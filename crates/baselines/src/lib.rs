@@ -1,0 +1,40 @@
+//! # dssddi-baselines
+//!
+//! The comparison methods of the paper's evaluation (Section V-A1):
+//!
+//! * **Traditional**: [`UserSim`] (feature-similarity weighted medication
+//!   use), [`EccRecommender`] (Ensemble Classifier Chains over logistic
+//!   regression) and [`SvmRecommender`] (one-vs-rest linear SVMs).
+//! * **Graph-learning**: [`GcmcRecommender`], [`LightGcnRecommender`],
+//!   [`SafeDrugRecommender`], [`BiparGcnRecommender`] and
+//!   [`CauseRecRecommender`].
+//!
+//! All baselines expose the same [`Recommender`] interface used by the
+//! experiment harness: fit on the observed patients, then produce a score
+//! matrix (patients × drugs) for unobserved patients from their features —
+//! the same inductive protocol DSSDDI is evaluated under.
+
+#![warn(missing_docs)]
+
+pub mod classical;
+pub mod graph_models;
+pub mod neural;
+pub mod usersim;
+
+pub use classical::{EccRecommender, SvmRecommender};
+pub use graph_models::{BiparGcnRecommender, GcmcRecommender, LightGcnRecommender};
+pub use neural::{CauseRecRecommender, SafeDrugRecommender};
+pub use usersim::UserSim;
+
+use dssddi_core::CoreError;
+use dssddi_tensor::Matrix;
+
+/// A fitted medication recommender that scores every drug for new patients.
+pub trait Recommender {
+    /// Name used in the experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Scores (higher = more recommended) for every patient row of
+    /// `features`, one column per drug.
+    fn predict_scores(&self, features: &Matrix) -> Result<Matrix, CoreError>;
+}

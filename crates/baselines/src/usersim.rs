@@ -1,0 +1,82 @@
+//! The UserSim baseline (Eq. 20 of the paper): suggestion scores for an
+//! unobserved patient are the medication-use rows of the observed patients,
+//! weighted by cosine feature similarity.
+
+use dssddi_core::CoreError;
+use dssddi_tensor::Matrix;
+
+use crate::Recommender;
+
+/// Feature-similarity weighted medication use.
+pub struct UserSim {
+    observed_features: Matrix,
+    observed_labels: Matrix,
+}
+
+impl UserSim {
+    /// Stores the observed patients' features and medication use.
+    pub fn fit(observed_features: &Matrix, observed_labels: &Matrix) -> Result<Self, CoreError> {
+        if observed_features.rows() != observed_labels.rows() {
+            return Err(CoreError::InvalidInput {
+                what: "UserSim needs one label row per observed patient",
+            });
+        }
+        if observed_features.rows() == 0 {
+            return Err(CoreError::InvalidInput { what: "UserSim needs at least one observed patient" });
+        }
+        Ok(Self {
+            observed_features: observed_features.clone(),
+            observed_labels: observed_labels.clone(),
+        })
+    }
+}
+
+impl Recommender for UserSim {
+    fn name(&self) -> &'static str {
+        "UserSim"
+    }
+
+    fn predict_scores(&self, features: &Matrix) -> Result<Matrix, CoreError> {
+        if features.cols() != self.observed_features.cols() {
+            return Err(CoreError::InvalidInput {
+                what: "feature dimension differs from the observed patients",
+            });
+        }
+        // Y_U = cosine_similarity(X_U, X_O) · Y_O  (Eq. 20).
+        let similarity = features.cosine_similarity_matrix(&self.observed_features)?;
+        Ok(similarity.matmul(&self.observed_labels)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn similar_patients_inherit_medications() {
+        let observed_features =
+            Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let observed_labels = Matrix::from_vec(2, 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0]).unwrap();
+        let model = UserSim::fit(&observed_features, &observed_labels).unwrap();
+        // A patient identical to observed patient 0.
+        let new = Matrix::from_vec(1, 2, vec![1.0, 0.0]).unwrap();
+        let scores = model.predict_scores(&new).unwrap();
+        assert!(scores.get(0, 0) > scores.get(0, 1));
+        assert!(scores.get(0, 0) > scores.get(0, 2));
+        assert_eq!(model.name(), "UserSim");
+    }
+
+    #[test]
+    fn dimension_mismatches_error() {
+        let x = Matrix::ones(2, 2);
+        let y = Matrix::ones(3, 4);
+        assert!(UserSim::fit(&x, &y).is_err());
+        let model = UserSim::fit(&x, &Matrix::ones(2, 4)).unwrap();
+        assert!(model.predict_scores(&Matrix::ones(1, 5)).is_err());
+    }
+
+    #[test]
+    fn empty_observed_set_is_rejected() {
+        assert!(UserSim::fit(&Matrix::zeros(0, 2), &Matrix::zeros(0, 3)).is_err());
+    }
+}

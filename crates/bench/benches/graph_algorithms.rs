@@ -1,0 +1,51 @@
+//! Benchmarks of the Medical Support graph kernels (Algorithm 1): truss
+//! decomposition, Steiner tree computation and the closest truss community
+//! query on the paper-sized DDI graph (86 drugs, 97 + 243 interactions).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dssddi_bench::BenchWorld;
+use dssddi_graph::{closest_truss_community, steiner_tree, truss_decomposition, CtcConfig};
+
+fn bench_graph(c: &mut Criterion) {
+    let world = BenchWorld::new(50, 1);
+    let structural = world.ddi.structural_graph();
+    let decomposition = truss_decomposition(&structural);
+
+    let mut group = c.benchmark_group("ms_module_graph_kernels");
+    group.sample_size(20);
+
+    group.bench_function("truss_decomposition_ddi_graph", |b| {
+        b.iter(|| truss_decomposition(&structural))
+    });
+
+    // Query sets typical of the experiments: the Fig. 8 suggestion and a
+    // larger k = 6 suggestion.
+    let fig8_query = vec![46usize, 47, 59];
+    let k6_query = vec![46usize, 47, 25, 8, 10, 5];
+
+    group.bench_function("steiner_tree_k3", |b| {
+        b.iter(|| steiner_tree(&structural, &fig8_query, &decomposition).unwrap())
+    });
+    group.bench_function("steiner_tree_k6", |b| {
+        b.iter(|| steiner_tree(&structural, &k6_query, &decomposition).unwrap())
+    });
+    group.bench_function("closest_truss_community_k3", |b| {
+        b.iter_batched(
+            || fig8_query.clone(),
+            |q| closest_truss_community(&structural, &q, &CtcConfig::default()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.bench_function("closest_truss_community_k6", |b| {
+        b.iter_batched(
+            || k6_query.clone(),
+            |q| closest_truss_community(&structural, &q, &CtcConfig::default()).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_graph);
+criterion_main!(benches);

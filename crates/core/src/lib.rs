@@ -1,0 +1,98 @@
+//! # dssddi-core
+//!
+//! The DSSDDI decision support system of Bian et al. (ICDE 2023):
+//!
+//! * [`ddi_module`] — the Drug-Drug Interaction module: DDIGCN learns drug
+//!   relation embeddings from the signed DDI graph by edge regression
+//!   (Section IV-A), with GIN / SGCN / SiGAT / SNEA backbones.
+//! * [`md_module`] — the Medical Decision module: counterfactual link
+//!   construction over the patient–drug bipartite graph (Section IV-B1) and
+//!   MDGCN, a LightGCN-style encoder with a personalised patient branch and
+//!   an MLP decoder conditioned on the treatment variable (Eq. 9–18).
+//! * [`ms_module`] — the Medical Support module: closest-truss-community
+//!   explanation subgraphs and the Suggestion Satisfaction measure
+//!   (Section IV-C, Eq. 19).
+//! * [`system`] — the end-to-end [`Dssddi`] facade: fit on observed
+//!   patients, suggest drugs for new patients, and explain every suggestion.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod counterfactual;
+pub mod ddi_module;
+pub mod md_module;
+pub mod ms_module;
+pub mod system;
+
+pub use config::{Backbone, DdiModuleConfig, DssddiConfig, MdModuleConfig, MsModuleConfig};
+pub use counterfactual::{CounterfactualLinks, TreatmentMatrix};
+pub use ddi_module::DdiModule;
+pub use md_module::MdModule;
+pub use ms_module::{suggestion_satisfaction, Explanation, SignedEdge};
+pub use system::{DrugSuggestion, Dssddi, Suggestion};
+
+use dssddi_graph::GraphError;
+use dssddi_ml::MlError;
+use dssddi_tensor::TensorError;
+
+/// Errors produced by the DSSDDI modules.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// A tensor/autodiff operation failed (almost always a shape bug).
+    Tensor(TensorError),
+    /// A graph operation failed.
+    Graph(GraphError),
+    /// A classical ML component failed.
+    Ml(MlError),
+    /// A configuration value is invalid for the requested operation.
+    InvalidConfig {
+        /// Description of the invalid configuration.
+        what: &'static str,
+    },
+    /// The module has not been fitted yet or its inputs are inconsistent.
+    InvalidInput {
+        /// Description of the problem.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
+            CoreError::Graph(e) => write!(f, "graph error: {e}"),
+            CoreError::Ml(e) => write!(f, "ml error: {e}"),
+            CoreError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
+            CoreError::InvalidInput { what } => write!(f, "invalid input: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Tensor(e) => Some(e),
+            CoreError::Graph(e) => Some(e),
+            CoreError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TensorError> for CoreError {
+    fn from(e: TensorError) -> Self {
+        CoreError::Tensor(e)
+    }
+}
+
+impl From<GraphError> for CoreError {
+    fn from(e: GraphError) -> Self {
+        CoreError::Graph(e)
+    }
+}
+
+impl From<MlError> for CoreError {
+    fn from(e: MlError) -> Self {
+        CoreError::Ml(e)
+    }
+}

@@ -1,0 +1,265 @@
+//! The Medical Support module (Section IV-C): explanation subgraphs and the
+//! Suggestion Satisfaction measure.
+//!
+//! Given the drugs suggested by the Medical Decision module, the MS module
+//! finds the closest truss community containing them in the DDI graph
+//! (Algorithm 1), classifies the interactions inside and around the
+//! suggestion, and scores the suggestion with SS (Eq. 19): good suggestions
+//! have many synergistic interactions among the suggested drugs and leave
+//! the antagonistic interactions pointing at non-suggested drugs.
+
+use dssddi_graph::{closest_truss_community, Community, Interaction, SignedGraph};
+
+use crate::config::MsModuleConfig;
+use crate::CoreError;
+
+/// An interaction edge annotated with its sign, for display to the doctor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SignedEdge {
+    /// First drug ID.
+    pub u: usize,
+    /// Second drug ID.
+    pub v: usize,
+    /// Interaction sign.
+    pub interaction: Interaction,
+}
+
+/// The explanation produced for a set of suggested drugs.
+#[derive(Debug, Clone)]
+pub struct Explanation {
+    /// The suggested drugs the explanation is about.
+    pub suggested: Vec<usize>,
+    /// The closest truss community around the suggestion.
+    pub community: Community,
+    /// Interactions inside the community, with signs.
+    pub edges: Vec<SignedEdge>,
+    /// Synergistic interactions among the suggested drugs (`r^in_pos`).
+    pub internal_synergy: usize,
+    /// Antagonistic interactions among the suggested drugs (`r^in_neg`).
+    pub internal_antagonism: usize,
+    /// Antagonistic interactions between suggested and non-suggested
+    /// community drugs (`r^out_neg`).
+    pub external_antagonism: usize,
+    /// The Suggestion Satisfaction score (Eq. 19).
+    pub suggestion_satisfaction: f64,
+}
+
+impl Explanation {
+    /// Synergistic edges among the suggested drugs, for display.
+    pub fn synergy_pairs(&self) -> Vec<(usize, usize)> {
+        self.edges
+            .iter()
+            .filter(|e| {
+                e.interaction == Interaction::Synergistic
+                    && self.suggested.contains(&e.u)
+                    && self.suggested.contains(&e.v)
+            })
+            .map(|e| (e.u, e.v))
+            .collect()
+    }
+
+    /// Antagonistic edges touching at least one suggested drug, for display.
+    pub fn antagonism_pairs(&self) -> Vec<(usize, usize)> {
+        self.edges
+            .iter()
+            .filter(|e| {
+                e.interaction == Interaction::Antagonistic
+                    && (self.suggested.contains(&e.u) || self.suggested.contains(&e.v))
+            })
+            .map(|e| (e.u, e.v))
+            .collect()
+    }
+}
+
+/// Computes Suggestion Satisfaction (Eq. 19) from the counted interactions.
+///
+/// * `k` — number of suggested drugs,
+/// * `community_size` — number of drugs `n'` in the explanation subgraph,
+/// * `internal_synergy` / `internal_antagonism` — interactions among the
+///   suggested drugs,
+/// * `external_antagonism` — antagonistic interactions between suggested and
+///   non-suggested community drugs,
+/// * `alpha` — balance between the two terms.
+pub fn suggestion_satisfaction(
+    k: usize,
+    community_size: usize,
+    internal_synergy: usize,
+    internal_antagonism: usize,
+    external_antagonism: usize,
+    alpha: f64,
+) -> f64 {
+    if k == 0 {
+        return 0.0;
+    }
+    let k_f = k as f64;
+    let first = 2.0 * (internal_synergy as f64 + 1.0)
+        / ((internal_antagonism as f64 + 1.0) * (k_f * (k_f - 1.0) + 2.0));
+    let outside = community_size.saturating_sub(k);
+    let second = if outside == 0 {
+        0.0
+    } else {
+        external_antagonism as f64 / (k_f * outside as f64)
+    };
+    alpha * first + (1.0 - alpha) * second
+}
+
+/// Builds the explanation for a set of suggested drugs: finds the closest
+/// truss community around them in the DDI graph, annotates its edges with
+/// interaction signs, and computes Suggestion Satisfaction.
+pub fn explain_suggestion(
+    ddi: &SignedGraph,
+    suggested: &[usize],
+    config: &MsModuleConfig,
+) -> Result<Explanation, CoreError> {
+    if suggested.is_empty() {
+        return Err(CoreError::InvalidInput { what: "cannot explain an empty suggestion" });
+    }
+    for &d in suggested {
+        if d >= ddi.node_count() {
+            return Err(CoreError::InvalidInput { what: "suggested drug ID outside the DDI graph" });
+        }
+    }
+    let structural = ddi.structural_graph();
+    let community = closest_truss_community(&structural, suggested, &config.ctc)?;
+
+    let edges: Vec<SignedEdge> = community
+        .edges
+        .iter()
+        .filter_map(|&(u, v)| {
+            ddi.interaction(u, v).map(|interaction| SignedEdge { u, v, interaction })
+        })
+        .collect();
+
+    let is_suggested = |d: usize| suggested.contains(&d);
+    let mut internal_synergy = 0usize;
+    let mut internal_antagonism = 0usize;
+    let mut external_antagonism = 0usize;
+    for e in &edges {
+        match (e.interaction, is_suggested(e.u), is_suggested(e.v)) {
+            (Interaction::Synergistic, true, true) => internal_synergy += 1,
+            (Interaction::Antagonistic, true, true) => internal_antagonism += 1,
+            (Interaction::Antagonistic, true, false) | (Interaction::Antagonistic, false, true) => {
+                external_antagonism += 1
+            }
+            _ => {}
+        }
+    }
+    let k = {
+        let mut unique: Vec<usize> = suggested.to_vec();
+        unique.sort_unstable();
+        unique.dedup();
+        unique.len()
+    };
+    let ss = suggestion_satisfaction(
+        k,
+        community.node_count(),
+        internal_synergy,
+        internal_antagonism,
+        external_antagonism,
+        config.alpha,
+    );
+    Ok(Explanation {
+        suggested: suggested.to_vec(),
+        community,
+        edges,
+        internal_synergy,
+        internal_antagonism,
+        external_antagonism,
+        suggestion_satisfaction: ss,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A DDI graph with a synergistic triangle {0,1,2}, antagonism from the
+    /// triangle to {3,4}, and an unrelated antagonistic pair {5,6}.
+    fn ddi() -> SignedGraph {
+        let mut g = SignedGraph::new(8);
+        for (u, v) in [(0, 1), (1, 2), (0, 2)] {
+            g.add_interaction(u, v, Interaction::Synergistic).unwrap();
+        }
+        for (u, v) in [(0, 3), (1, 3), (2, 4), (3, 4), (5, 6)] {
+            g.add_interaction(u, v, Interaction::Antagonistic).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn ss_formula_matches_hand_computation() {
+        // k = 2, n' = 4, rin_pos = 1, rin_neg = 0, rout_neg = 3, α = 0.5.
+        let ss = suggestion_satisfaction(2, 4, 1, 0, 3, 0.5);
+        let expected = 0.5 * (2.0 * 2.0 / (1.0 * 4.0)) + 0.5 * (3.0 / (2.0 * 2.0));
+        assert!((ss - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ss_rewards_synergy_and_penalises_internal_antagonism() {
+        let good = suggestion_satisfaction(3, 6, 3, 0, 2, 0.5);
+        let bad = suggestion_satisfaction(3, 6, 0, 3, 2, 0.5);
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn ss_edge_cases() {
+        assert_eq!(suggestion_satisfaction(0, 5, 1, 1, 1, 0.5), 0.0);
+        // Community equal to the suggestion: the external term vanishes.
+        let ss = suggestion_satisfaction(2, 2, 1, 0, 0, 0.5);
+        assert!(ss > 0.0);
+        // k = 1 suggestion is still scored.
+        let single = suggestion_satisfaction(1, 3, 0, 0, 2, 0.5);
+        assert!(single > 0.0);
+    }
+
+    #[test]
+    fn explanation_counts_interactions_correctly() {
+        let g = ddi();
+        let exp = explain_suggestion(&g, &[0, 1, 2], &MsModuleConfig::default()).unwrap();
+        assert_eq!(exp.internal_synergy, 3);
+        assert_eq!(exp.internal_antagonism, 0);
+        // External antagonism is only counted when the community search pulls
+        // non-suggested drugs into the explanation subgraph.
+        if exp.community.contains(3) || exp.community.contains(4) {
+            assert!(exp.external_antagonism >= 1);
+        } else {
+            assert_eq!(exp.external_antagonism, 0);
+        }
+        assert!(exp.suggestion_satisfaction > 0.0);
+        assert!(exp.community.contains(0) && exp.community.contains(1) && exp.community.contains(2));
+        // The unrelated pair {5,6} must not be pulled into the explanation.
+        assert!(!exp.community.contains(5) && !exp.community.contains(6));
+        assert_eq!(exp.synergy_pairs().len(), 3);
+    }
+
+    #[test]
+    fn antagonistic_suggestion_scores_lower_than_synergistic_one() {
+        let g = ddi();
+        let cfg = MsModuleConfig::default();
+        let synergistic = explain_suggestion(&g, &[0, 1], &cfg).unwrap();
+        let antagonistic = explain_suggestion(&g, &[3, 4], &cfg).unwrap();
+        assert!(
+            synergistic.suggestion_satisfaction > antagonistic.suggestion_satisfaction,
+            "SS must prefer the synergistic suggestion ({} vs {})",
+            synergistic.suggestion_satisfaction,
+            antagonistic.suggestion_satisfaction
+        );
+    }
+
+    #[test]
+    fn invalid_suggestions_error() {
+        let g = ddi();
+        let cfg = MsModuleConfig::default();
+        assert!(explain_suggestion(&g, &[], &cfg).is_err());
+        assert!(explain_suggestion(&g, &[99], &cfg).is_err());
+    }
+
+    #[test]
+    fn isolated_suggested_drug_is_still_explained() {
+        let g = ddi();
+        let exp = explain_suggestion(&g, &[7], &MsModuleConfig::default()).unwrap();
+        assert!(exp.community.contains(7));
+        assert_eq!(exp.internal_synergy, 0);
+        assert_eq!(exp.edges.len(), 0);
+    }
+}

@@ -1,0 +1,356 @@
+//! The end-to-end decision support system (Fig. 4 of the paper).
+//!
+//! [`Dssddi`] wires the three modules together: it trains DDIGCN on the DDI
+//! graph, shares the learned drug relation embeddings with MDGCN, trains
+//! MDGCN on the observed patients with counterfactual augmentation, and at
+//! inference time returns, for each patient, the top-k suggested drugs
+//! together with the closest-truss-community explanation and the Suggestion
+//! Satisfaction score.
+
+use rand::Rng;
+
+use dssddi_data::ChronicCohort;
+use dssddi_graph::{BipartiteGraph, SignedGraph};
+use dssddi_ml::top_k_indices;
+use dssddi_tensor::Matrix;
+
+use crate::config::{DrugFeatureSource, DssddiConfig};
+use crate::ddi_module::DdiModule;
+use crate::md_module::MdModule;
+use crate::ms_module::{explain_suggestion, Explanation};
+use crate::CoreError;
+
+/// One suggested drug with its prediction score.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrugSuggestion {
+    /// Drug ID (index into the formulary).
+    pub drug: usize,
+    /// Predicted medication-use probability.
+    pub score: f32,
+}
+
+/// The system output for one patient: suggested drugs plus the DDI-based
+/// explanation shown to the doctor.
+#[derive(Debug, Clone)]
+pub struct Suggestion {
+    /// Suggested drugs in descending score order.
+    pub drugs: Vec<DrugSuggestion>,
+    /// Explanation subgraph and Suggestion Satisfaction.
+    pub explanation: Explanation,
+}
+
+/// The fitted decision support system.
+pub struct Dssddi {
+    ddi_module: Option<DdiModule>,
+    md_module: MdModule,
+    ddi_graph: SignedGraph,
+    config: DssddiConfig,
+}
+
+impl Dssddi {
+    /// Fits the full system.
+    ///
+    /// * `train_features` — features of the observed (training) patients,
+    /// * `train_graph` — their medication use,
+    /// * `drug_features` — original drug features (typically KG pre-trained
+    ///   embeddings); replaced by one-hot identities when the configuration
+    ///   selects [`DrugFeatureSource::OneHot`],
+    /// * `ddi_graph` — the signed drug-drug interaction graph.
+    pub fn fit(
+        train_features: &Matrix,
+        train_graph: &BipartiteGraph,
+        drug_features: &Matrix,
+        ddi_graph: &SignedGraph,
+        config: &DssddiConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Self, CoreError> {
+        Self::fit_with_relation_embeddings(
+            train_features,
+            train_graph,
+            drug_features,
+            ddi_graph,
+            None,
+            config,
+            rng,
+        )
+    }
+
+    /// Like [`Dssddi::fit`], but allows overriding the drug relation
+    /// embeddings added to the final drug representations — used by the
+    /// Table II ablation (one-hot / KG / none instead of DDIGCN).
+    pub fn fit_with_relation_embeddings(
+        train_features: &Matrix,
+        train_graph: &BipartiteGraph,
+        drug_features: &Matrix,
+        ddi_graph: &SignedGraph,
+        relation_embeddings_override: Option<&Matrix>,
+        config: &DssddiConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Self, CoreError> {
+        let n_drugs = train_graph.right_count();
+        if ddi_graph.node_count() != n_drugs {
+            return Err(CoreError::InvalidInput {
+                what: "DDI graph and medication-use graph disagree on the number of drugs",
+            });
+        }
+
+        // Resolve the original drug features for the MD encoder.
+        let resolved_drug_features = match config.md.drug_features {
+            DrugFeatureSource::KnowledgeGraph => drug_features.clone(),
+            DrugFeatureSource::OneHot => Matrix::identity(n_drugs),
+        };
+
+        // Train the DDI module unless the ablation removes it entirely.
+        let (ddi_module, relation_embeddings) = if !config.md.use_ddi_embeddings {
+            (None, None)
+        } else if let Some(embeddings) = relation_embeddings_override {
+            (None, Some(embeddings.clone()))
+        } else {
+            let mut ddi_config = config.ddi.clone();
+            ddi_config.hidden_dim = config.md.hidden_dim;
+            let module = DdiModule::train(ddi_graph, &ddi_config, rng)?;
+            let embeddings = module.embeddings().clone();
+            (Some(module), Some(embeddings))
+        };
+
+        let md_module = MdModule::fit(
+            train_features,
+            train_graph,
+            &resolved_drug_features,
+            ddi_graph,
+            relation_embeddings.as_ref(),
+            &config.md,
+            rng,
+        )?;
+
+        Ok(Self { ddi_module, md_module, ddi_graph: ddi_graph.clone(), config: config.clone() })
+    }
+
+    /// Convenience constructor: fits the system on a subset (the observed
+    /// patients) of a generated chronic cohort.
+    pub fn fit_chronic(
+        cohort: &ChronicCohort,
+        observed_patients: &[usize],
+        drug_features: &Matrix,
+        ddi_graph: &SignedGraph,
+        config: &DssddiConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Self, CoreError> {
+        let train_features = cohort.features().select_rows(observed_patients);
+        let train_graph = cohort
+            .bipartite_graph(observed_patients)
+            .map_err(|_| CoreError::InvalidInput { what: "failed to build the training bipartite graph" })?;
+        Self::fit(&train_features, &train_graph, drug_features, ddi_graph, config, rng)
+    }
+
+    /// Predicted medication-use scores for unobserved patients
+    /// (one row per patient, one column per drug).
+    pub fn predict_scores(&self, features: &Matrix) -> Result<Matrix, CoreError> {
+        self.md_module.predict_scores(features)
+    }
+
+    /// Suggests the top-`k` drugs for every patient in `features` and
+    /// explains each suggestion through the Medical Support module.
+    pub fn suggest(&self, features: &Matrix, k: usize) -> Result<Vec<Suggestion>, CoreError> {
+        if k == 0 {
+            return Err(CoreError::InvalidConfig { what: "k must be positive" });
+        }
+        let scores = self.predict_scores(features)?;
+        let mut out = Vec::with_capacity(features.rows());
+        for p in 0..features.rows() {
+            let top = top_k_indices(scores.row(p), k);
+            let drugs: Vec<DrugSuggestion> = top
+                .iter()
+                .map(|&d| DrugSuggestion { drug: d, score: scores.get(p, d) })
+                .collect();
+            let suggested: Vec<usize> = top.clone();
+            let explanation = explain_suggestion(&self.ddi_graph, &suggested, &self.config.ms)?;
+            out.push(Suggestion { drugs, explanation });
+        }
+        Ok(out)
+    }
+
+    /// Explains an arbitrary set of drugs (e.g. a doctor's own prescription)
+    /// through the Medical Support module.
+    pub fn explain(&self, drugs: &[usize]) -> Result<Explanation, CoreError> {
+        explain_suggestion(&self.ddi_graph, drugs, &self.config.ms)
+    }
+
+    /// The trained DDI module, when the configuration uses one.
+    pub fn ddi_module(&self) -> Option<&DdiModule> {
+        self.ddi_module.as_ref()
+    }
+
+    /// The trained Medical Decision module.
+    pub fn md_module(&self) -> &MdModule {
+        &self.md_module
+    }
+
+    /// The DDI graph the system explains suggestions with.
+    pub fn ddi_graph(&self) -> &SignedGraph {
+        &self.ddi_graph
+    }
+
+    /// The configuration the system was fitted with.
+    pub fn config(&self) -> &DssddiConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Backbone, DssddiConfig};
+    use dssddi_data::{
+        generate_chronic_cohort, generate_ddi_graph, ChronicConfig, DdiConfig, DrugRegistry,
+    };
+    use dssddi_ml::{ndcg_at_k, recall_at_k};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn small_world(
+        n_patients: usize,
+        seed: u64,
+    ) -> (ChronicCohort, SignedGraph, Matrix) {
+        let registry = DrugRegistry::standard();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ddi = generate_ddi_graph(&registry, &DdiConfig::default(), &mut rng).unwrap();
+        let cohort = generate_chronic_cohort(
+            &registry,
+            &ddi,
+            &ChronicConfig { n_patients, ..Default::default() },
+            &mut rng,
+        )
+        .unwrap();
+        let drug_features = Matrix::rand_uniform(registry.len(), 16, -0.1, 0.1, &mut rng);
+        (cohort, ddi, drug_features)
+    }
+
+    fn tiny_config() -> DssddiConfig {
+        let mut config = DssddiConfig::fast();
+        config.ddi.epochs = 30;
+        config.ddi.hidden_dim = 16;
+        config.ddi.layers = 2;
+        config.ddi.backbone = Backbone::Sgcn;
+        config.md.hidden_dim = 16;
+        config.md.epochs = 40;
+        config
+    }
+
+    #[test]
+    fn end_to_end_fit_suggest_and_explain() {
+        let (cohort, ddi, drug_features) = small_world(80, 0);
+        let observed: Vec<usize> = (0..60).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let system =
+            Dssddi::fit_chronic(&cohort, &observed, &drug_features, &ddi, &tiny_config(), &mut rng)
+                .unwrap();
+        assert!(system.ddi_module().is_some());
+
+        let test_features = cohort.features().select_rows(&(60..80).collect::<Vec<_>>());
+        let suggestions = system.suggest(&test_features, 3).unwrap();
+        assert_eq!(suggestions.len(), 20);
+        for s in &suggestions {
+            assert_eq!(s.drugs.len(), 3);
+            // Scores are probabilities in descending order.
+            assert!(s.drugs[0].score >= s.drugs[1].score);
+            assert!(s.drugs.iter().all(|d| (0.0..=1.0).contains(&d.score)));
+            assert!(s.explanation.suggestion_satisfaction >= 0.0);
+            for d in &s.drugs {
+                assert!(s.explanation.community.contains(d.drug));
+            }
+        }
+    }
+
+    #[test]
+    fn dssddi_beats_random_scores_on_held_out_patients() {
+        let (cohort, ddi, drug_features) = small_world(120, 2);
+        let observed: Vec<usize> = (0..90).collect();
+        let held_out: Vec<usize> = (90..120).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let system =
+            Dssddi::fit_chronic(&cohort, &observed, &drug_features, &ddi, &tiny_config(), &mut rng)
+                .unwrap();
+        let test_features = cohort.features().select_rows(&held_out);
+        let test_labels = cohort.labels().select_rows(&held_out);
+        let scores = system.predict_scores(&test_features).unwrap();
+        let random = Matrix::rand_uniform(test_labels.rows(), test_labels.cols(), 0.0, 1.0, &mut rng);
+        let ours = recall_at_k(&scores, &test_labels, 6).unwrap();
+        let baseline = recall_at_k(&random, &test_labels, 6).unwrap();
+        assert!(
+            ours > baseline,
+            "DSSDDI recall@6 {ours:.3} should beat random {baseline:.3}"
+        );
+        let ndcg = ndcg_at_k(&scores, &test_labels, 6).unwrap();
+        assert!(ndcg > 0.05);
+    }
+
+    #[test]
+    fn mismatched_drug_counts_are_rejected() {
+        let (cohort, _, drug_features) = small_world(40, 4);
+        let wrong_ddi = SignedGraph::new(10);
+        let observed: Vec<usize> = (0..30).collect();
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(Dssddi::fit_chronic(
+            &cohort,
+            &observed,
+            &drug_features,
+            &wrong_ddi,
+            &tiny_config(),
+            &mut rng
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn ablation_without_ddi_embeddings_still_works() {
+        let (cohort, ddi, drug_features) = small_world(60, 6);
+        let observed: Vec<usize> = (0..45).collect();
+        let mut config = tiny_config();
+        config.md.use_ddi_embeddings = false;
+        let mut rng = StdRng::seed_from_u64(7);
+        let system =
+            Dssddi::fit_chronic(&cohort, &observed, &drug_features, &ddi, &config, &mut rng).unwrap();
+        assert!(system.ddi_module().is_none());
+        let test = cohort.features().select_rows(&[50, 51]);
+        let suggestions = system.suggest(&test, 2).unwrap();
+        assert_eq!(suggestions.len(), 2);
+    }
+
+    #[test]
+    fn relation_embedding_override_is_used() {
+        let (cohort, ddi, drug_features) = small_world(60, 8);
+        let observed: Vec<usize> = (0..45).collect();
+        let config = tiny_config();
+        let mut rng = StdRng::seed_from_u64(9);
+        let train_features = cohort.features().select_rows(&observed);
+        let train_graph = cohort.bipartite_graph(&observed).unwrap();
+        let override_embeddings =
+            Matrix::rand_uniform(ddi.node_count(), config.md.hidden_dim, -0.1, 0.1, &mut rng);
+        let system = Dssddi::fit_with_relation_embeddings(
+            &train_features,
+            &train_graph,
+            &drug_features,
+            &ddi,
+            Some(&override_embeddings),
+            &config,
+            &mut rng,
+        )
+        .unwrap();
+        // The DDI module is skipped when an override is supplied.
+        assert!(system.ddi_module().is_none());
+        assert!(system.md_module().ddi_embeddings().is_some());
+    }
+
+    #[test]
+    fn zero_k_suggestion_is_rejected() {
+        let (cohort, ddi, drug_features) = small_world(50, 10);
+        let observed: Vec<usize> = (0..40).collect();
+        let mut rng = StdRng::seed_from_u64(11);
+        let system =
+            Dssddi::fit_chronic(&cohort, &observed, &drug_features, &ddi, &tiny_config(), &mut rng)
+                .unwrap();
+        let test = cohort.features().select_rows(&[45]);
+        assert!(system.suggest(&test, 0).is_err());
+    }
+}

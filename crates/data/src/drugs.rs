@@ -1,0 +1,440 @@
+//! The 86-drug registry used by the chronic-disease decision support system.
+//!
+//! Section II-B of the paper describes 86 medications commonly used to treat
+//! chronic conditions, identified by integer drug IDs (DIDs). The case
+//! studies (Fig. 8 and Fig. 9) name specific drugs and their DIDs —
+//! Doxazosin (1), Enalapril (3), Perindopril (5), Amlodipine (8),
+//! Indapamide (10), Felodipine (32), Simvastatin (46), Atorvastatin (47),
+//! Metformin (48), Isosorbide (58/59), Gabapentin (61), Theophylline (83) —
+//! so this registry pins those drugs to exactly those IDs and fills the rest
+//! of the formulary with real drugs for the diseases of Fig. 2 and Fig. 3.
+
+/// Chronic diseases reported in the Hong Kong Chronic Disease Study
+/// (Fig. 2 and Fig. 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Disease {
+    /// High blood pressure (49% of the cohort).
+    Hypertension,
+    /// Stroke, heart failure and other cardiovascular events (22%).
+    CardiovascularEvents,
+    /// Type 2 diabetes mellitus (11%).
+    Type2Diabetes,
+    /// Gastric or duodenal ulcer (6%).
+    GastricUlcer,
+    /// Arthritis (3%).
+    Arthritis,
+    /// Benign prostatic hyperplasia (2%).
+    ProstaticHyperplasia,
+    /// Diabetic nephropathy (2%).
+    DiabeticNephropathy,
+    /// Myocardial infarction (1%).
+    MyocardialInfarction,
+    /// Asthma and chronic obstructive airway disease (1%).
+    Asthma,
+    /// Erosive esophagitis / reflux disease.
+    ErosiveEsophagitis,
+    /// Seizure disorders.
+    Seizures,
+    /// Eye diseases (glaucoma, cataract-related care).
+    EyeDiseases,
+    /// Anxiety and depressive disorders.
+    AnxietyDisorder,
+    /// Peripheral edema.
+    Edema,
+    /// Venous thromboembolism.
+    Thromboembolism,
+    /// Everything else (3%).
+    OtherDiseases,
+}
+
+impl Disease {
+    /// All diseases in a fixed, deterministic order.
+    pub const ALL: [Disease; 16] = [
+        Disease::Hypertension,
+        Disease::CardiovascularEvents,
+        Disease::Type2Diabetes,
+        Disease::GastricUlcer,
+        Disease::Arthritis,
+        Disease::ProstaticHyperplasia,
+        Disease::DiabeticNephropathy,
+        Disease::MyocardialInfarction,
+        Disease::Asthma,
+        Disease::ErosiveEsophagitis,
+        Disease::Seizures,
+        Disease::EyeDiseases,
+        Disease::AnxietyDisorder,
+        Disease::Edema,
+        Disease::Thromboembolism,
+        Disease::OtherDiseases,
+    ];
+
+    /// Human-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Disease::Hypertension => "Hypertension",
+            Disease::CardiovascularEvents => "Cardiovascular Events",
+            Disease::Type2Diabetes => "Type 2 Diabetes Mellitus",
+            Disease::GastricUlcer => "Gastric or Duodenal Ulcer",
+            Disease::Arthritis => "Arthritis",
+            Disease::ProstaticHyperplasia => "Prostatic Hyperplasia",
+            Disease::DiabeticNephropathy => "Diabetic Nephropathy",
+            Disease::MyocardialInfarction => "Myocardial Infarction",
+            Disease::Asthma => "Asthma",
+            Disease::ErosiveEsophagitis => "Erosive Esophagitis",
+            Disease::Seizures => "Seizures",
+            Disease::EyeDiseases => "Eye Diseases",
+            Disease::AnxietyDisorder => "Anxiety Disorder",
+            Disease::Edema => "Edema",
+            Disease::Thromboembolism => "Thromboembolism",
+            Disease::OtherDiseases => "Other Diseases",
+        }
+    }
+
+    /// Prevalence of the disease in the cohort, matching the proportions of
+    /// Fig. 2 (values for diseases only listed in Fig. 3 are small).
+    pub fn prevalence(self) -> f64 {
+        match self {
+            Disease::Hypertension => 0.49,
+            Disease::CardiovascularEvents => 0.22,
+            Disease::Type2Diabetes => 0.11,
+            Disease::GastricUlcer => 0.06,
+            Disease::Arthritis => 0.03,
+            Disease::ProstaticHyperplasia => 0.02,
+            Disease::DiabeticNephropathy => 0.02,
+            Disease::MyocardialInfarction => 0.01,
+            Disease::Asthma => 0.01,
+            Disease::ErosiveEsophagitis => 0.015,
+            Disease::Seizures => 0.008,
+            Disease::EyeDiseases => 0.012,
+            Disease::AnxietyDisorder => 0.015,
+            Disease::Edema => 0.01,
+            Disease::Thromboembolism => 0.006,
+            Disease::OtherDiseases => 0.03,
+        }
+    }
+
+    /// Index of the disease inside [`Disease::ALL`].
+    pub fn index(self) -> usize {
+        Disease::ALL.iter().position(|&d| d == self).expect("disease present in ALL")
+    }
+}
+
+/// Pharmacological class of a drug; used by the synthetic DDI generator to
+/// sample class-consistent interactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DrugClass {
+    /// Alpha-1 adrenergic receptor antagonists.
+    AlphaBlocker,
+    /// Angiotensin-converting enzyme inhibitors.
+    AceInhibitor,
+    /// Angiotensin-II receptor blockers.
+    Arb,
+    /// Dihydropyridine / non-dihydropyridine calcium channel blockers.
+    CalciumChannelBlocker,
+    /// Thiazide, loop and potassium-sparing diuretics.
+    Diuretic,
+    /// Beta-adrenergic blockers.
+    BetaBlocker,
+    /// HMG-CoA reductase inhibitors.
+    Statin,
+    /// Organic nitrates.
+    Nitrate,
+    /// Antiplatelet agents and anticoagulants.
+    Antithrombotic,
+    /// Oral antidiabetics and insulin.
+    Antidiabetic,
+    /// Proton-pump inhibitors, H2 antagonists and mucosal protectants.
+    Gastrointestinal,
+    /// NSAIDs, analgesics and anti-gout agents.
+    AntiInflammatory,
+    /// Anticonvulsants.
+    Anticonvulsant,
+    /// Bronchodilators and inhaled corticosteroids.
+    Respiratory,
+    /// Antidepressants, anxiolytics and hypnotics.
+    Psychotropic,
+    /// 5-alpha-reductase inhibitors for prostatic hyperplasia.
+    Urological,
+    /// Ophthalmic agents.
+    Ophthalmic,
+    /// Cardiac glycosides, antiarrhythmics and other cardiovascular agents.
+    OtherCardiac,
+}
+
+/// A drug in the formulary.
+#[derive(Debug, Clone)]
+pub struct Drug {
+    /// Drug ID (DID) — the index of the drug in the registry.
+    pub id: usize,
+    /// Generic name.
+    pub name: &'static str,
+    /// Pharmacological class.
+    pub class: DrugClass,
+    /// Diseases the drug is prescribed for.
+    pub treats: Vec<Disease>,
+}
+
+/// The fixed 86-drug formulary.
+#[derive(Debug, Clone)]
+pub struct DrugRegistry {
+    drugs: Vec<Drug>,
+}
+
+/// Number of drugs in the chronic-disease formulary (Section II-B).
+pub const NUM_DRUGS: usize = 86;
+
+impl DrugRegistry {
+    /// Builds the canonical 86-drug registry with the paper's named DIDs in
+    /// their documented positions.
+    pub fn standard() -> Self {
+        use Disease::*;
+        use DrugClass::*;
+        // (name, class, diseases) in DID order 0..85. The entries named in
+        // the paper's case studies are pinned to their published DIDs.
+        let spec: Vec<(&'static str, DrugClass, Vec<Disease>)> = vec![
+            /* 0 */ ("Terazosin", AlphaBlocker, vec![Hypertension, ProstaticHyperplasia]),
+            /* 1 */ ("Doxazosin", AlphaBlocker, vec![Hypertension, ProstaticHyperplasia]),
+            /* 2 */ ("Lisinopril", AceInhibitor, vec![Hypertension, CardiovascularEvents]),
+            /* 3 */ ("Enalapril", AceInhibitor, vec![Hypertension, CardiovascularEvents]),
+            /* 4 */ ("Ramipril", AceInhibitor, vec![Hypertension, DiabeticNephropathy]),
+            /* 5 */ ("Perindopril", AceInhibitor, vec![Hypertension, CardiovascularEvents]),
+            /* 6 */ ("Captopril", AceInhibitor, vec![Hypertension, DiabeticNephropathy]),
+            /* 7 */ ("Losartan", Arb, vec![Hypertension, DiabeticNephropathy]),
+            /* 8 */ ("Amlodipine", CalciumChannelBlocker, vec![Hypertension, CardiovascularEvents]),
+            /* 9 */ ("Prazosin", AlphaBlocker, vec![Hypertension, ProstaticHyperplasia]),
+            /* 10 */ ("Indapamide", Diuretic, vec![Hypertension, Edema]),
+            /* 11 */ ("Valsartan", Arb, vec![Hypertension, CardiovascularEvents]),
+            /* 12 */ ("Irbesartan", Arb, vec![Hypertension, DiabeticNephropathy]),
+            /* 13 */ ("Nifedipine", CalciumChannelBlocker, vec![Hypertension]),
+            /* 14 */ ("Diltiazem", CalciumChannelBlocker, vec![Hypertension, CardiovascularEvents]),
+            /* 15 */ ("Verapamil", CalciumChannelBlocker, vec![Hypertension, CardiovascularEvents]),
+            /* 16 */ ("Hydrochlorothiazide", Diuretic, vec![Hypertension, Edema]),
+            /* 17 */ ("Furosemide", Diuretic, vec![Edema, CardiovascularEvents, Hypertension]),
+            /* 18 */ ("Spironolactone", Diuretic, vec![CardiovascularEvents, Edema, Hypertension]),
+            /* 19 */ ("Amiloride", Diuretic, vec![Hypertension, Edema]),
+            /* 20 */ ("Atenolol", BetaBlocker, vec![Hypertension, MyocardialInfarction]),
+            /* 21 */ ("Metoprolol", BetaBlocker, vec![Hypertension, MyocardialInfarction]),
+            /* 22 */ ("Propranolol", BetaBlocker, vec![Hypertension, AnxietyDisorder]),
+            /* 23 */ ("Bisoprolol", BetaBlocker, vec![Hypertension, CardiovascularEvents]),
+            /* 24 */ ("Carvedilol", BetaBlocker, vec![CardiovascularEvents, Hypertension]),
+            /* 25 */ ("Aspirin", Antithrombotic, vec![CardiovascularEvents, MyocardialInfarction]),
+            /* 26 */ ("Clopidogrel", Antithrombotic, vec![CardiovascularEvents, MyocardialInfarction]),
+            /* 27 */ ("Warfarin", Antithrombotic, vec![Thromboembolism, CardiovascularEvents]),
+            /* 28 */ ("Dipyridamole", Antithrombotic, vec![CardiovascularEvents, Thromboembolism]),
+            /* 29 */ ("Digoxin", OtherCardiac, vec![CardiovascularEvents]),
+            /* 30 */ ("Amiodarone", OtherCardiac, vec![CardiovascularEvents]),
+            /* 31 */ ("Nitroglycerin", Nitrate, vec![CardiovascularEvents, MyocardialInfarction]),
+            /* 32 */ ("Felodipine", CalciumChannelBlocker, vec![Hypertension]),
+            /* 33 */ ("Gliclazide", Antidiabetic, vec![Type2Diabetes]),
+            /* 34 */ ("Glibenclamide", Antidiabetic, vec![Type2Diabetes]),
+            /* 35 */ ("Glipizide", Antidiabetic, vec![Type2Diabetes]),
+            /* 36 */ ("Sitagliptin", Antidiabetic, vec![Type2Diabetes]),
+            /* 37 */ ("Pioglitazone", Antidiabetic, vec![Type2Diabetes]),
+            /* 38 */ ("Acarbose", Antidiabetic, vec![Type2Diabetes]),
+            /* 39 */ ("Insulin Glargine", Antidiabetic, vec![Type2Diabetes, DiabeticNephropathy]),
+            /* 40 */ ("Omeprazole", Gastrointestinal, vec![GastricUlcer, ErosiveEsophagitis]),
+            /* 41 */ ("Lansoprazole", Gastrointestinal, vec![GastricUlcer, ErosiveEsophagitis]),
+            /* 42 */ ("Pantoprazole", Gastrointestinal, vec![GastricUlcer, ErosiveEsophagitis]),
+            /* 43 */ ("Ranitidine", Gastrointestinal, vec![GastricUlcer, ErosiveEsophagitis]),
+            /* 44 */ ("Famotidine", Gastrointestinal, vec![GastricUlcer]),
+            /* 45 */ ("Sucralfate", Gastrointestinal, vec![GastricUlcer]),
+            /* 46 */ ("Simvastatin", Statin, vec![CardiovascularEvents, MyocardialInfarction]),
+            /* 47 */ ("Atorvastatin", Statin, vec![CardiovascularEvents, MyocardialInfarction]),
+            /* 48 */ ("Metformin", Antidiabetic, vec![Type2Diabetes, DiabeticNephropathy]),
+            /* 49 */ ("Rosuvastatin", Statin, vec![CardiovascularEvents]),
+            /* 50 */ ("Pravastatin", Statin, vec![CardiovascularEvents]),
+            /* 51 */ ("Lovastatin", Statin, vec![CardiovascularEvents]),
+            /* 52 */ ("Ibuprofen", AntiInflammatory, vec![Arthritis]),
+            /* 53 */ ("Naproxen", AntiInflammatory, vec![Arthritis]),
+            /* 54 */ ("Diclofenac", AntiInflammatory, vec![Arthritis]),
+            /* 55 */ ("Celecoxib", AntiInflammatory, vec![Arthritis]),
+            /* 56 */ ("Paracetamol", AntiInflammatory, vec![Arthritis, OtherDiseases]),
+            /* 57 */ ("Allopurinol", AntiInflammatory, vec![Arthritis]),
+            /* 58 */ ("Isosorbide Dinitrate", Nitrate, vec![CardiovascularEvents, MyocardialInfarction]),
+            /* 59 */ ("Isosorbide Mononitrate", Nitrate, vec![CardiovascularEvents, MyocardialInfarction]),
+            /* 60 */ ("Phenytoin", Anticonvulsant, vec![Seizures]),
+            /* 61 */ ("Gabapentin", Anticonvulsant, vec![Seizures, Arthritis]),
+            /* 62 */ ("Carbamazepine", Anticonvulsant, vec![Seizures]),
+            /* 63 */ ("Sodium Valproate", Anticonvulsant, vec![Seizures]),
+            /* 64 */ ("Lamotrigine", Anticonvulsant, vec![Seizures]),
+            /* 65 */ ("Colchicine", AntiInflammatory, vec![Arthritis]),
+            /* 66 */ ("Methotrexate", AntiInflammatory, vec![Arthritis]),
+            /* 67 */ ("Salbutamol", Respiratory, vec![Asthma]),
+            /* 68 */ ("Budesonide", Respiratory, vec![Asthma]),
+            /* 69 */ ("Montelukast", Respiratory, vec![Asthma]),
+            /* 70 */ ("Ipratropium", Respiratory, vec![Asthma]),
+            /* 71 */ ("Prednisolone", Respiratory, vec![Asthma, Arthritis]),
+            /* 72 */ ("Sertraline", Psychotropic, vec![AnxietyDisorder]),
+            /* 73 */ ("Fluoxetine", Psychotropic, vec![AnxietyDisorder]),
+            /* 74 */ ("Amitriptyline", Psychotropic, vec![AnxietyDisorder]),
+            /* 75 */ ("Lorazepam", Psychotropic, vec![AnxietyDisorder]),
+            /* 76 */ ("Zolpidem", Psychotropic, vec![AnxietyDisorder]),
+            /* 77 */ ("Finasteride", Urological, vec![ProstaticHyperplasia]),
+            /* 78 */ ("Dutasteride", Urological, vec![ProstaticHyperplasia]),
+            /* 79 */ ("Tamsulosin", AlphaBlocker, vec![ProstaticHyperplasia]),
+            /* 80 */ ("Timolol", Ophthalmic, vec![EyeDiseases]),
+            /* 81 */ ("Latanoprost", Ophthalmic, vec![EyeDiseases]),
+            /* 82 */ ("Levothyroxine", OtherCardiac, vec![OtherDiseases]),
+            /* 83 */ ("Theophylline", Respiratory, vec![Asthma]),
+            /* 84 */ ("Alfuzosin", AlphaBlocker, vec![ProstaticHyperplasia]),
+            /* 85 */ ("Misoprostol", Gastrointestinal, vec![GastricUlcer]),
+        ];
+        debug_assert_eq!(spec.len(), NUM_DRUGS);
+        let drugs = spec
+            .into_iter()
+            .enumerate()
+            .map(|(id, (name, class, treats))| Drug { id, name, class, treats })
+            .collect();
+        Self { drugs }
+    }
+
+    /// Number of drugs in the registry.
+    pub fn len(&self) -> usize {
+        self.drugs.len()
+    }
+
+    /// True when the registry is empty (never the case for [`standard`](Self::standard)).
+    pub fn is_empty(&self) -> bool {
+        self.drugs.is_empty()
+    }
+
+    /// Drug with the given DID.
+    pub fn drug(&self, id: usize) -> Option<&Drug> {
+        self.drugs.get(id)
+    }
+
+    /// Looks a drug up by (case-insensitive) name.
+    pub fn by_name(&self, name: &str) -> Option<&Drug> {
+        self.drugs.iter().find(|d| d.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Iterator over all drugs in DID order.
+    pub fn iter(&self) -> impl Iterator<Item = &Drug> {
+        self.drugs.iter()
+    }
+
+    /// DIDs of all drugs prescribed for a disease.
+    pub fn drugs_for(&self, disease: Disease) -> Vec<usize> {
+        self.drugs
+            .iter()
+            .filter(|d| d.treats.contains(&disease))
+            .map(|d| d.id)
+            .collect()
+    }
+
+    /// DIDs of all drugs of a pharmacological class.
+    pub fn drugs_of_class(&self, class: DrugClass) -> Vec<usize> {
+        self.drugs.iter().filter(|d| d.class == class).map(|d| d.id).collect()
+    }
+
+    /// Number of distinct medications available per disease, i.e. the series
+    /// plotted in Fig. 3 of the paper.
+    pub fn medications_per_disease(&self) -> Vec<(Disease, usize)> {
+        Disease::ALL
+            .iter()
+            .map(|&d| (d, self.drugs_for(d).len()))
+            .collect()
+    }
+}
+
+impl Default for DrugRegistry {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_has_exactly_86_drugs() {
+        let reg = DrugRegistry::standard();
+        assert_eq!(reg.len(), NUM_DRUGS);
+        assert!(!reg.is_empty());
+    }
+
+    #[test]
+    fn paper_case_study_dids_are_pinned() {
+        let reg = DrugRegistry::standard();
+        let expect = [
+            (1usize, "Doxazosin"),
+            (3, "Enalapril"),
+            (5, "Perindopril"),
+            (8, "Amlodipine"),
+            (10, "Indapamide"),
+            (32, "Felodipine"),
+            (46, "Simvastatin"),
+            (47, "Atorvastatin"),
+            (48, "Metformin"),
+            (59, "Isosorbide Mononitrate"),
+            (61, "Gabapentin"),
+            (83, "Theophylline"),
+        ];
+        for (did, name) in expect {
+            assert_eq!(reg.drug(did).unwrap().name, name, "DID {did}");
+        }
+    }
+
+    #[test]
+    fn lookup_by_name_is_case_insensitive() {
+        let reg = DrugRegistry::standard();
+        assert_eq!(reg.by_name("metformin").unwrap().id, 48);
+        assert!(reg.by_name("not-a-drug").is_none());
+    }
+
+    #[test]
+    fn every_disease_has_at_least_one_drug() {
+        let reg = DrugRegistry::standard();
+        for disease in Disease::ALL {
+            assert!(
+                !reg.drugs_for(disease).is_empty(),
+                "no drugs registered for {}",
+                disease.name()
+            );
+        }
+    }
+
+    #[test]
+    fn hypertension_has_the_most_medications() {
+        // Fig. 3: hypertension is treated by the largest number of drugs.
+        let reg = DrugRegistry::standard();
+        let counts = reg.medications_per_disease();
+        let hypertension = counts
+            .iter()
+            .find(|(d, _)| *d == Disease::Hypertension)
+            .map(|&(_, c)| c)
+            .unwrap();
+        for (d, c) in counts {
+            if d != Disease::Hypertension {
+                assert!(hypertension >= c, "{} has more drugs than hypertension", d.name());
+            }
+        }
+    }
+
+    #[test]
+    fn prevalences_are_dominated_by_fig2_head() {
+        assert!(Disease::Hypertension.prevalence() > Disease::CardiovascularEvents.prevalence());
+        assert!(Disease::CardiovascularEvents.prevalence() > Disease::Type2Diabetes.prevalence());
+        let total: f64 = Disease::ALL.iter().map(|d| d.prevalence()).sum();
+        assert!(total > 0.9 && total < 1.2, "prevalence mass {total} drifted");
+    }
+
+    #[test]
+    fn drug_ids_are_dense_and_ordered() {
+        let reg = DrugRegistry::standard();
+        for (i, drug) in reg.iter().enumerate() {
+            assert_eq!(i, drug.id);
+            assert!(!drug.treats.is_empty());
+        }
+    }
+
+    #[test]
+    fn class_queries_group_related_drugs() {
+        let reg = DrugRegistry::standard();
+        let statins = reg.drugs_of_class(DrugClass::Statin);
+        assert!(statins.contains(&46) && statins.contains(&47));
+        assert_eq!(statins.len(), 5);
+        assert!(Disease::Hypertension.index() == 0);
+    }
+}

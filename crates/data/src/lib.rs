@@ -1,0 +1,72 @@
+//! # dssddi-data
+//!
+//! Data substrates for the DSSDDI reproduction. The paper evaluates on two
+//! private/restricted data sets (the Hong Kong Chronic Disease Study cohort
+//! and MIMIC-III) plus two external knowledge resources (DrugCombDB drug
+//! interactions and DRKG pre-trained embeddings). None of those artifacts
+//! can be redistributed, so this crate generates statistically faithful
+//! synthetic substitutes — see `DESIGN.md` for the substitution rationale:
+//!
+//! * [`drugs`] — the fixed 86-drug formulary with the paper's drug IDs,
+//! * [`ddi`] — a DrugCombDB-like signed interaction graph (97 synergistic +
+//!   243 antagonistic pairs, including every pair named in the case studies),
+//! * [`chronic`] — the chronic-disease cohort generator (4157 records,
+//!   71 features, Fig. 2/Fig. 3-calibrated),
+//! * [`mimic`] — a MIMIC-III-like multi-visit EHR generator,
+//! * [`drkg`] — a synthetic knowledge graph plus a from-scratch TransE
+//!   trainer for pre-trained drug embeddings,
+//! * [`split`] — the 5:3:2 patient split.
+
+#![warn(missing_docs)]
+
+pub mod chronic;
+pub mod ddi;
+pub mod drkg;
+pub mod drugs;
+pub mod mimic;
+pub mod split;
+
+pub use chronic::{generate_chronic_cohort, ChronicCohort, ChronicConfig, NUM_FEATURES};
+pub use ddi::{generate_ddi_graph, generate_ddi_graph_with_negatives, paper_interactions, DdiConfig};
+pub use drkg::{build_knowledge_graph, pretrained_drug_embeddings, train_transe, DrkgConfig};
+pub use drugs::{Disease, Drug, DrugClass, DrugRegistry, NUM_DRUGS};
+pub use mimic::{generate_mimic_dataset, MimicConfig, MimicDataset};
+pub use split::{split_patients, Split};
+
+use dssddi_graph::GraphError;
+
+/// Errors produced while generating or loading data sets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DataError {
+    /// A generator configuration is inconsistent or unsatisfiable.
+    InvalidConfig {
+        /// Human-readable description of the problem.
+        what: &'static str,
+    },
+    /// An underlying graph operation failed.
+    Graph(GraphError),
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataError::InvalidConfig { what } => write!(f, "invalid data configuration: {what}"),
+            DataError::Graph(e) => write!(f, "graph error while building data set: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DataError::Graph(e) => Some(e),
+            DataError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<GraphError> for DataError {
+    fn from(e: GraphError) -> Self {
+        DataError::Graph(e)
+    }
+}

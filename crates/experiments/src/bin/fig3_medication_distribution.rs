@@ -1,0 +1,21 @@
+//! Fig. 3 — the number of medications available for the common chronic
+//! diseases (the per-disease formulary sizes, 86 drugs in total).
+
+use dssddi_experiments::RunOptions;
+
+use dssddi_data::DrugRegistry;
+
+fn main() {
+    let _opts = RunOptions::from_args();
+    let registry = DrugRegistry::standard();
+    println!("Fig. 3 — number of medications per chronic disease (86-drug formulary)\n");
+    let mut counts = registry.medications_per_disease();
+    counts.sort_by(|a, b| b.1.cmp(&a.1));
+    println!("{:<28} {:>6}", "Disease", "#Drugs");
+    for (disease, count) in &counts {
+        let bar = "#".repeat(*count);
+        println!("{:<28} {:>6}  {}", disease.name(), count, bar);
+    }
+    let total: usize = registry.len();
+    println!("\nTotal formulary size: {total} drugs (paper: 86)");
+}

@@ -1,0 +1,24 @@
+//! Table III — Suggestion Satisfaction (Eq. 19) at k = 2..6 for every
+//! method: how synergistic the suggested drug sets are, and how well they
+//! push antagonistic interactions outside the suggestion.
+
+use dssddi_core::Backbone;
+use dssddi_experiments::{print_ss_table, run_chronic_baselines, run_dssddi_variant, ChronicWorld, RunOptions};
+
+fn main() {
+    let opts = RunOptions::from_args();
+    println!(
+        "Table III — Suggestion Satisfaction on the chronic data set ({} patients)",
+        opts.n_patients
+    );
+    let world = ChronicWorld::generate(&opts);
+
+    let mut methods = run_chronic_baselines(&world, &opts);
+    for backbone in Backbone::ALL {
+        let (scores, _) = run_dssddi_variant(&world, &opts, backbone);
+        methods.push(scores);
+    }
+    print_ss_table("Table III (SS@k, α = 0.5)", &methods, &world.ddi, &[2, 3, 4, 5, 6]);
+    println!("\nPaper reference: DSSDDI improves SS@4..6 by ~24-25% over the best baseline");
+    println!("(Bipar-GCN / LightGCN); traditional methods are lowest.");
+}

@@ -1,0 +1,415 @@
+//! Shared harness for the experiment binaries.
+//!
+//! Every table and figure of the paper's evaluation section has a dedicated
+//! binary under `src/bin/`; this library provides the common machinery:
+//! world generation (registry, DDI graph, cohort, KG drug features, 5:3:2
+//! split), method training, metric tables and Suggestion Satisfaction
+//! scoring. All binaries accept:
+//!
+//! * `--patients <N>` — cohort size (default 1200; the paper uses 4157),
+//! * `--seed <S>` — random seed (default 7),
+//! * `--full` — paper-scale configuration (4157 patients, 400/1000 epochs,
+//!   hidden size 64); without it a reduced configuration is used so every
+//!   experiment finishes in minutes on a laptop.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use dssddi_baselines::{
+    BiparGcnRecommender, CauseRecRecommender, EccRecommender, GcmcRecommender,
+    LightGcnRecommender, Recommender, SafeDrugRecommender, SvmRecommender, UserSim,
+};
+use dssddi_core::{ms_module::explain_suggestion, Backbone, Dssddi, DssddiConfig, MsModuleConfig};
+use dssddi_data::{
+    generate_chronic_cohort, generate_ddi_graph, pretrained_drug_embeddings, split_patients,
+    ChronicCohort, ChronicConfig, DdiConfig, DrkgConfig, DrugRegistry, Split,
+};
+use dssddi_graph::{BipartiteGraph, SignedGraph};
+use dssddi_ml::{ndcg_at_k, precision_at_k, recall_at_k, top_k_indices};
+use dssddi_tensor::Matrix;
+
+/// Command-line options shared by every experiment binary.
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Number of cohort patients to generate.
+    pub n_patients: usize,
+    /// Base random seed.
+    pub seed: u64,
+    /// Paper-scale configuration (slow) instead of the reduced one.
+    pub full: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self { n_patients: 1200, seed: 7, full: false }
+    }
+}
+
+impl RunOptions {
+    /// Parses `--patients`, `--seed` and `--full` from the process arguments.
+    pub fn from_args() -> Self {
+        let args: Vec<String> = std::env::args().collect();
+        let mut opts = Self::default();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--patients" if i + 1 < args.len() => {
+                    opts.n_patients = args[i + 1].parse().unwrap_or(opts.n_patients);
+                    i += 1;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    opts.seed = args[i + 1].parse().unwrap_or(opts.seed);
+                    i += 1;
+                }
+                "--full" => {
+                    opts.full = true;
+                    opts.n_patients = 4157;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        opts
+    }
+
+    /// The DSSDDI configuration matching the requested scale.
+    pub fn dssddi_config(&self) -> DssddiConfig {
+        if self.full {
+            DssddiConfig::paper()
+        } else {
+            let mut config = DssddiConfig::default();
+            config.ddi.hidden_dim = 32;
+            config.ddi.epochs = 200;
+            config.md.hidden_dim = 32;
+            config.md.epochs = 400;
+            config
+        }
+    }
+}
+
+/// The generated chronic-disease evaluation world.
+pub struct ChronicWorld {
+    /// The 86-drug formulary.
+    pub registry: DrugRegistry,
+    /// The signed DDI graph (97 synergistic + 243 antagonistic pairs).
+    pub ddi: SignedGraph,
+    /// The synthetic cohort.
+    pub cohort: ChronicCohort,
+    /// Pre-trained (TransE) drug features used as original drug features.
+    pub drug_features: Matrix,
+    /// The 5:3:2 patient split.
+    pub split: Split,
+}
+
+impl ChronicWorld {
+    /// Generates the chronic-disease world for the given options.
+    pub fn generate(opts: &RunOptions) -> Self {
+        let registry = DrugRegistry::standard();
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let ddi = generate_ddi_graph(&registry, &DdiConfig::default(), &mut rng)
+            .expect("DDI generation must succeed for the standard registry");
+        let cohort = generate_chronic_cohort(
+            &registry,
+            &ddi,
+            &ChronicConfig { n_patients: opts.n_patients, ..Default::default() },
+            &mut rng,
+        )
+        .expect("cohort generation");
+        let kg_dim = if opts.full { 64 } else { 32 };
+        let drug_features = pretrained_drug_embeddings(
+            &registry,
+            &DrkgConfig { dim: kg_dim, epochs: if opts.full { 60 } else { 25 }, ..Default::default() },
+            &mut rng,
+        )
+        .expect("TransE pre-training");
+        let split = split_patients(cohort.n_patients(), (5, 3, 2), &mut rng).expect("split");
+        Self { registry, ddi, cohort, drug_features, split }
+    }
+
+    /// Features of the observed (training) patients.
+    pub fn train_features(&self) -> Matrix {
+        self.cohort.features().select_rows(&self.split.train)
+    }
+
+    /// Labels of the observed (training) patients.
+    pub fn train_labels(&self) -> Matrix {
+        self.cohort.labels().select_rows(&self.split.train)
+    }
+
+    /// The training medication-use bipartite graph.
+    pub fn train_graph(&self) -> BipartiteGraph {
+        self.cohort.bipartite_graph(&self.split.train).expect("training graph")
+    }
+
+    /// Features of the held-out test patients.
+    pub fn test_features(&self) -> Matrix {
+        self.cohort.features().select_rows(&self.split.test)
+    }
+
+    /// Labels of the held-out test patients.
+    pub fn test_labels(&self) -> Matrix {
+        self.cohort.labels().select_rows(&self.split.test)
+    }
+}
+
+/// A named score matrix produced by one method on the test patients.
+pub struct MethodScores {
+    /// Method name (row label of the tables).
+    pub name: String,
+    /// Score matrix (test patients × drugs).
+    pub scores: Matrix,
+}
+
+/// Trains and evaluates every baseline of Table I on the chronic world.
+pub fn run_chronic_baselines(world: &ChronicWorld, opts: &RunOptions) -> Vec<MethodScores> {
+    let train_x = world.train_features();
+    let train_y = world.train_labels();
+    let train_graph = world.train_graph();
+    let test_x = world.test_features();
+    let epochs = if opts.full { 300 } else { 120 };
+    let graph_cfg = dssddi_baselines::graph_models::GraphBaselineConfig {
+        hidden_dim: if opts.full { 64 } else { 32 },
+        epochs,
+        ..Default::default()
+    };
+    let neural_cfg = dssddi_baselines::neural::NeuralConfig {
+        hidden_dim: if opts.full { 64 } else { 32 },
+        epochs,
+        ..Default::default()
+    };
+    let mut out = Vec::new();
+    let mut rng = StdRng::seed_from_u64(opts.seed + 1);
+
+    let usersim = UserSim::fit(&train_x, &train_y).expect("UserSim");
+    out.push(MethodScores { name: "UserSim".into(), scores: usersim.predict_scores(&test_x).expect("UserSim scores") });
+
+    let ecc = EccRecommender::fit(&train_x, &train_y, &dssddi_ml::EccConfig::default(), &mut rng).expect("ECC");
+    out.push(MethodScores { name: "ECC".into(), scores: ecc.predict_scores(&test_x).expect("ECC scores") });
+
+    let svm = SvmRecommender::fit(&train_x, &train_y, &dssddi_ml::SvmConfig { epochs: 40, ..Default::default() }).expect("SVM");
+    out.push(MethodScores { name: "SVM".into(), scores: svm.predict_scores(&test_x).expect("SVM scores") });
+
+    let gcmc = GcmcRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).expect("GCMC");
+    out.push(MethodScores { name: "GCMC".into(), scores: gcmc.predict_scores(&test_x).expect("GCMC scores") });
+
+    let lightgcn = LightGcnRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).expect("LightGCN");
+    out.push(MethodScores { name: "LightGCN".into(), scores: lightgcn.predict_scores(&test_x).expect("LightGCN scores") });
+
+    let safedrug = SafeDrugRecommender::fit(&train_x, &train_y, &world.ddi, 0.05, &neural_cfg, &mut rng).expect("SafeDrug");
+    out.push(MethodScores { name: "SafeDrug".into(), scores: safedrug.predict_scores(&test_x).expect("SafeDrug scores") });
+
+    let bipar = BiparGcnRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).expect("Bipar-GCN");
+    out.push(MethodScores { name: "Bipar-GCN".into(), scores: bipar.predict_scores(&test_x).expect("Bipar-GCN scores") });
+
+    let causerec = CauseRecRecommender::fit(&train_x, &train_y, 0.2, &neural_cfg, &mut rng).expect("CauseRec");
+    out.push(MethodScores { name: "CauseRec".into(), scores: causerec.predict_scores(&test_x).expect("CauseRec scores") });
+
+    out
+}
+
+/// Trains a DSSDDI variant with the given backbone and returns its scores on
+/// the test patients, together with the fitted system.
+pub fn run_dssddi_variant(
+    world: &ChronicWorld,
+    opts: &RunOptions,
+    backbone: Backbone,
+) -> (MethodScores, Dssddi) {
+    let mut config = opts.dssddi_config();
+    config.ddi.backbone = backbone;
+    let mut rng = StdRng::seed_from_u64(opts.seed + 2);
+    let system = Dssddi::fit_chronic(
+        &world.cohort,
+        &world.split.train,
+        &world.drug_features,
+        &world.ddi,
+        &config,
+        &mut rng,
+    )
+    .expect("DSSDDI training");
+    let scores = system.predict_scores(&world.test_features()).expect("DSSDDI scores");
+    (
+        MethodScores { name: format!("DSSDDI({})", backbone.name()), scores },
+        system,
+    )
+}
+
+/// Trains the Table II ablation variants (w/o DDI, one-hot, KG, DDIGCN) and
+/// returns their scores on the test patients.
+pub fn run_ablation_variants(world: &ChronicWorld, opts: &RunOptions) -> Vec<MethodScores> {
+    let mut out = Vec::new();
+    let hidden = opts.dssddi_config().md.hidden_dim;
+    let n_drugs = world.registry.len();
+
+    // w/o DDI: no relation embeddings at all.
+    let mut config = opts.dssddi_config();
+    config.md.use_ddi_embeddings = false;
+    let mut rng = StdRng::seed_from_u64(opts.seed + 3);
+    let system = Dssddi::fit_chronic(&world.cohort, &world.split.train, &world.drug_features, &world.ddi, &config, &mut rng)
+        .expect("w/o DDI variant");
+    out.push(MethodScores { name: "w/o DDI".into(), scores: system.predict_scores(&world.test_features()).expect("scores") });
+
+    // One-hot relation embeddings (identity truncated/padded to hidden dim).
+    let one_hot = Matrix::from_fn(n_drugs, hidden, |r, c| if r % hidden == c { 1.0 } else { 0.0 });
+    out.push(run_override_variant(world, opts, "One-hot", &one_hot));
+
+    // KG pre-trained relation embeddings (TransE, padded to hidden dim).
+    let kg = pad_to_width(&world.drug_features, hidden);
+    out.push(run_override_variant(world, opts, "KG", &kg));
+
+    // Full DDIGCN (SGCN backbone, the best of Table I).
+    let (ddigcn, _) = run_dssddi_variant(world, opts, Backbone::Sgcn);
+    out.push(MethodScores { name: "DDIGCN".into(), scores: ddigcn.scores });
+
+    out
+}
+
+fn run_override_variant(
+    world: &ChronicWorld,
+    opts: &RunOptions,
+    name: &str,
+    embeddings: &Matrix,
+) -> MethodScores {
+    let config = opts.dssddi_config();
+    let mut rng = StdRng::seed_from_u64(opts.seed + 4);
+    let train_features = world.train_features();
+    let train_graph = world.train_graph();
+    let system = Dssddi::fit_with_relation_embeddings(
+        &train_features,
+        &train_graph,
+        &world.drug_features,
+        &world.ddi,
+        Some(embeddings),
+        &config,
+        &mut rng,
+    )
+    .expect("ablation variant");
+    MethodScores {
+        name: name.into(),
+        scores: system.predict_scores(&world.test_features()).expect("scores"),
+    }
+}
+
+/// Pads (with zeros) or truncates a matrix to the requested number of columns.
+pub fn pad_to_width(m: &Matrix, width: usize) -> Matrix {
+    Matrix::from_fn(m.rows(), width, |r, c| if c < m.cols() { m.get(r, c) } else { 0.0 })
+}
+
+/// Prints a Table I/II/IV-style block: Precision@k, Recall@k and NDCG@k for
+/// every method at every cutoff in `ks`.
+pub fn print_metric_table(title: &str, methods: &[MethodScores], labels: &Matrix, ks: &[usize]) {
+    println!("\n=== {title} ===");
+    let mut header = format!("{:<16}", "Method");
+    for &k in ks {
+        header.push_str(&format!("  P@{k:<5} R@{k:<5} N@{k:<5}"));
+    }
+    println!("{header}");
+    for method in methods {
+        let mut row = format!("{:<16}", method.name);
+        for &k in ks {
+            let p = precision_at_k(&method.scores, labels, k).unwrap_or(0.0);
+            let r = recall_at_k(&method.scores, labels, k).unwrap_or(0.0);
+            let n = ndcg_at_k(&method.scores, labels, k).unwrap_or(0.0);
+            row.push_str(&format!("  {p:.4} {r:.4} {n:.4}"));
+        }
+        println!("{row}");
+    }
+}
+
+/// Mean Suggestion Satisfaction at `k` over the test patients for one score
+/// matrix (the quantity reported in Table III).
+pub fn mean_ss_at_k(scores: &Matrix, ddi: &SignedGraph, k: usize, alpha: f64) -> f64 {
+    let ms = MsModuleConfig { alpha, ..Default::default() };
+    let mut total = 0.0f64;
+    let mut count = 0usize;
+    for p in 0..scores.rows() {
+        let top = top_k_indices(scores.row(p), k);
+        if let Ok(explanation) = explain_suggestion(ddi, &top, &ms) {
+            total += explanation.suggestion_satisfaction;
+            count += 1;
+        }
+    }
+    if count == 0 {
+        0.0
+    } else {
+        total / count as f64
+    }
+}
+
+/// Prints a Table III-style Suggestion Satisfaction block.
+pub fn print_ss_table(title: &str, methods: &[MethodScores], ddi: &SignedGraph, ks: &[usize]) {
+    println!("\n=== {title} ===");
+    let mut header = format!("{:<16}", "Method");
+    for &k in ks {
+        header.push_str(&format!("  SS@{k:<6}"));
+    }
+    println!("{header}");
+    for method in methods {
+        let mut row = format!("{:<16}", method.name);
+        for &k in ks {
+            row.push_str(&format!("  {:.4}  ", mean_ss_at_k(&method.scores, ddi, k, 0.5)));
+        }
+        println!("{row}");
+    }
+}
+
+/// Formats a drug list with names for the case-study figures.
+pub fn format_drugs(registry: &DrugRegistry, drugs: &[usize]) -> String {
+    drugs
+        .iter()
+        .map(|&d| {
+            registry
+                .drug(d)
+                .map(|drug| format!("{} (DID {d})", drug.name))
+                .unwrap_or_else(|| format!("DID {d}"))
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> RunOptions {
+        RunOptions { n_patients: 60, seed: 3, full: false }
+    }
+
+    #[test]
+    fn world_generation_and_split_shapes() {
+        let world = ChronicWorld::generate(&tiny_opts());
+        assert_eq!(world.cohort.n_patients(), 60);
+        assert_eq!(world.split.len(), 60);
+        assert_eq!(world.train_features().rows(), world.split.train.len());
+        assert_eq!(world.test_labels().rows(), world.split.test.len());
+        assert_eq!(world.drug_features.rows(), 86);
+    }
+
+    #[test]
+    fn pad_to_width_pads_and_truncates() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let wide = pad_to_width(&m, 4);
+        assert_eq!(wide.shape(), (2, 4));
+        assert_eq!(wide.get(0, 3), 0.0);
+        let narrow = pad_to_width(&m, 1);
+        assert_eq!(narrow.shape(), (2, 1));
+        assert_eq!(narrow.get(1, 0), 3.0);
+    }
+
+    #[test]
+    fn mean_ss_is_in_range() {
+        let world = ChronicWorld::generate(&tiny_opts());
+        let scores = Matrix::rand_uniform(5, 86, 0.0, 1.0, &mut StdRng::seed_from_u64(1));
+        let ss = mean_ss_at_k(&scores, &world.ddi, 3, 0.5);
+        assert!(ss >= 0.0 && ss <= 1.5);
+    }
+
+    #[test]
+    fn format_drugs_uses_registry_names() {
+        let registry = DrugRegistry::standard();
+        let s = format_drugs(&registry, &[46, 47]);
+        assert!(s.contains("Simvastatin"));
+        assert!(s.contains("Atorvastatin"));
+    }
+}

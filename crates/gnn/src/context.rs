@@ -1,0 +1,144 @@
+//! Precomputed adjacency operators for a signed DDI graph.
+//!
+//! Every DDIGCN backbone consumes the same [`SignedGraphContext`]: mean
+//! aggregation matrices over all interacting edges (GIN), sign-separated
+//! mean aggregation matrices (SGCN), and directed edge lists with
+//! destination segments (the attention backbones SiGAT and SNEA).
+
+use std::rc::Rc;
+
+use dssddi_graph::{Interaction, SignedGraph};
+use dssddi_tensor::{CsrMatrix, TensorError};
+
+/// Adjacency structures derived once from a [`SignedGraph`] and shared by
+/// all forward passes.
+#[derive(Clone)]
+pub struct SignedGraphContext {
+    /// Number of drugs.
+    pub n: usize,
+    /// Undirected synergistic pairs `(u, v)` with `u < v`.
+    pub positive_edges: Vec<(usize, usize)>,
+    /// Undirected antagonistic pairs `(u, v)` with `u < v`.
+    pub negative_edges: Vec<(usize, usize)>,
+    /// All signed training edges `(u, v, label)` including explicit
+    /// no-interaction pairs (the DDIGCN regression targets).
+    pub labelled_edges: Vec<(usize, usize, f32)>,
+    /// Mean aggregation over all interacting neighbours (synergistic and
+    /// antagonistic), used by the GIN backbone.
+    pub mean_adjacency: Rc<CsrMatrix>,
+    /// Mean aggregation restricted to synergistic neighbours.
+    pub positive_mean_adjacency: Rc<CsrMatrix>,
+    /// Mean aggregation restricted to antagonistic neighbours.
+    pub negative_mean_adjacency: Rc<CsrMatrix>,
+    /// Directed interacting edges `(src, dst)` (both directions plus self
+    /// loops), for the attention backbones.
+    pub directed_edges: Rc<Vec<(usize, usize)>>,
+    /// Destination node of each directed edge (the softmax segments).
+    pub edge_segments: Rc<Vec<usize>>,
+    /// Sign of each directed edge (+1 synergy, −1 antagonism, +1 for self loops).
+    pub edge_signs: Vec<f32>,
+}
+
+impl SignedGraphContext {
+    /// Builds the context from a signed DDI graph.
+    pub fn new(graph: &SignedGraph) -> Result<Self, TensorError> {
+        let n = graph.node_count();
+        let positive_edges = graph.edges_of(Interaction::Synergistic);
+        let negative_edges = graph.edges_of(Interaction::Antagonistic);
+        let mut interacting: Vec<(usize, usize)> = positive_edges.clone();
+        interacting.extend_from_slice(&negative_edges);
+
+        let mean_adjacency = Rc::new(CsrMatrix::mean_adjacency(n, &interacting)?);
+        let positive_mean_adjacency = Rc::new(CsrMatrix::mean_adjacency(n, &positive_edges)?);
+        let negative_mean_adjacency = Rc::new(CsrMatrix::mean_adjacency(n, &negative_edges)?);
+
+        let mut directed = Vec::with_capacity(interacting.len() * 2 + n);
+        let mut signs = Vec::with_capacity(interacting.len() * 2 + n);
+        for &(u, v) in &positive_edges {
+            directed.push((u, v));
+            signs.push(1.0);
+            directed.push((v, u));
+            signs.push(1.0);
+        }
+        for &(u, v) in &negative_edges {
+            directed.push((u, v));
+            signs.push(-1.0);
+            directed.push((v, u));
+            signs.push(-1.0);
+        }
+        for i in 0..n {
+            directed.push((i, i));
+            signs.push(1.0);
+        }
+        let segments: Vec<usize> = directed.iter().map(|&(_, dst)| dst).collect();
+
+        Ok(Self {
+            n,
+            positive_edges,
+            negative_edges,
+            labelled_edges: graph.labelled_edges(),
+            mean_adjacency,
+            positive_mean_adjacency,
+            negative_mean_adjacency,
+            directed_edges: Rc::new(directed),
+            edge_segments: Rc::new(segments),
+            edge_signs: signs,
+        })
+    }
+
+    /// Number of directed edges (including self loops) seen by the attention
+    /// backbones.
+    pub fn directed_edge_count(&self) -> usize {
+        self.directed_edges.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dssddi_graph::Interaction;
+
+    fn small_graph() -> SignedGraph {
+        let mut g = SignedGraph::new(4);
+        g.add_interaction(0, 1, Interaction::Synergistic).unwrap();
+        g.add_interaction(1, 2, Interaction::Antagonistic).unwrap();
+        g.add_interaction(2, 3, Interaction::None).unwrap();
+        g
+    }
+
+    #[test]
+    fn context_splits_edges_by_sign() {
+        let ctx = SignedGraphContext::new(&small_graph()).unwrap();
+        assert_eq!(ctx.n, 4);
+        assert_eq!(ctx.positive_edges, vec![(0, 1)]);
+        assert_eq!(ctx.negative_edges, vec![(1, 2)]);
+        assert_eq!(ctx.labelled_edges.len(), 3);
+        // 2 directed per interacting edge + 4 self loops.
+        assert_eq!(ctx.directed_edge_count(), 2 * 2 + 4);
+        assert_eq!(ctx.edge_signs.len(), ctx.directed_edge_count());
+    }
+
+    #[test]
+    fn adjacency_shapes_match_node_count() {
+        let ctx = SignedGraphContext::new(&small_graph()).unwrap();
+        assert_eq!(ctx.mean_adjacency.rows(), 4);
+        assert_eq!(ctx.positive_mean_adjacency.cols(), 4);
+        assert_eq!(ctx.negative_mean_adjacency.rows(), 4);
+    }
+
+    #[test]
+    fn segments_point_at_edge_destinations() {
+        let ctx = SignedGraphContext::new(&small_graph()).unwrap();
+        for (e, &(_, dst)) in ctx.directed_edges.iter().enumerate() {
+            assert_eq!(ctx.edge_segments[e], dst);
+        }
+    }
+
+    #[test]
+    fn graph_without_interactions_still_builds() {
+        let g = SignedGraph::new(3);
+        let ctx = SignedGraphContext::new(&g).unwrap();
+        assert_eq!(ctx.positive_edges.len(), 0);
+        assert_eq!(ctx.directed_edge_count(), 3); // self loops only
+    }
+}

@@ -1,0 +1,175 @@
+//! Multi-layer perceptrons on the autodiff tape.
+//!
+//! Both DDIGCN (Eq. 1, the `f_Θ1` update) and the MDGCN decoder (Eq. 14–15,
+//! `f_Θ2`) are MLPs; this module provides a small reusable implementation
+//! whose parameters live in a shared [`ParamSet`].
+
+use rand::Rng;
+
+use dssddi_tensor::{init, Binder, ParamId, ParamSet, Tape, TensorError, Var};
+
+/// Activation applied between (and optionally after) MLP layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU with slope 0.01 (the paper's choice for MDGCN).
+    LeakyRelu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// No activation.
+    Identity,
+}
+
+/// A fully connected network `x W₁ + b₁ → act → … → x Wₗ + bₗ`.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<(ParamId, ParamId)>,
+    dims: Vec<usize>,
+    hidden_activation: Activation,
+    output_activation: Activation,
+}
+
+impl Mlp {
+    /// Creates an MLP with the given layer dimensions, e.g. `[64, 64, 1]`
+    /// builds two linear layers. Parameters are registered in `params` under
+    /// names derived from `name`.
+    pub fn new(
+        name: &str,
+        dims: &[usize],
+        hidden_activation: Activation,
+        output_activation: Activation,
+        params: &mut ParamSet,
+        rng: &mut impl Rng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "an MLP needs at least an input and an output dimension");
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for i in 0..dims.len() - 1 {
+            let w = params.add(
+                format!("{name}.w{i}"),
+                init::xavier_uniform(dims[i], dims[i + 1], rng),
+            );
+            let b = params.add(format!("{name}.b{i}"), init::zeros(1, dims[i + 1]));
+            layers.push((w, b));
+        }
+        Self { layers, dims: dims.to_vec(), hidden_activation, output_activation }
+    }
+
+    /// Input dimension.
+    pub fn input_dim(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Output dimension.
+    pub fn output_dim(&self) -> usize {
+        *self.dims.last().expect("dims nonempty")
+    }
+
+    /// Number of linear layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Runs the MLP on `x` (shape `n x input_dim`), binding its parameters
+    /// onto `tape` through `binder`.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        params: &ParamSet,
+        binder: &mut Binder,
+        x: Var,
+    ) -> Result<Var, TensorError> {
+        let mut h = x;
+        for (i, &(w, b)) in self.layers.iter().enumerate() {
+            let wv = binder.bind(tape, params, w);
+            let bv = binder.bind(tape, params, b);
+            h = tape.matmul(h, wv)?;
+            h = tape.add_broadcast_row(h, bv)?;
+            let act = if i + 1 == self.layers.len() {
+                self.output_activation
+            } else {
+                self.hidden_activation
+            };
+            h = apply_activation(tape, h, act);
+        }
+        Ok(h)
+    }
+}
+
+/// Applies an [`Activation`] to a tape variable.
+pub fn apply_activation(tape: &mut Tape, x: Var, activation: Activation) -> Var {
+    match activation {
+        Activation::Relu => tape.relu(x),
+        Activation::LeakyRelu => tape.leaky_relu(x, 0.01),
+        Activation::Tanh => tape.tanh(x),
+        Activation::Sigmoid => tape.sigmoid(x),
+        Activation::Identity => x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dssddi_tensor::{Adam, Matrix, Optimizer};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_parameter_count() {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let mlp = Mlp::new("m", &[4, 8, 2], Activation::Relu, Activation::Identity, &mut params, &mut rng);
+        assert_eq!(mlp.input_dim(), 4);
+        assert_eq!(mlp.output_dim(), 2);
+        assert_eq!(mlp.n_layers(), 2);
+        assert_eq!(params.len(), 4); // two weights + two biases
+        assert_eq!(params.num_scalars(), 4 * 8 + 8 + 8 * 2 + 2);
+
+        let mut tape = Tape::new();
+        let mut binder = Binder::new();
+        let x = tape.constant(Matrix::ones(5, 4));
+        let y = mlp.forward(&mut tape, &params, &mut binder, x).unwrap();
+        assert_eq!(tape.value(y).shape(), (5, 2));
+    }
+
+    #[test]
+    fn mlp_can_learn_xor() {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mlp = Mlp::new("xor", &[2, 16, 1], Activation::Tanh, Activation::Identity, &mut params, &mut rng);
+        let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]).unwrap();
+        let y = Matrix::from_vec(4, 1, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let mut opt = Adam::new(0.05);
+        let mut last = f32::INFINITY;
+        for _ in 0..400 {
+            let mut tape = Tape::new();
+            let mut binder = Binder::new();
+            let xv = tape.constant(x.clone());
+            let logits = mlp.forward(&mut tape, &params, &mut binder, xv).unwrap();
+            let loss = tape.bce_with_logits(logits, &y).unwrap();
+            tape.backward(loss).unwrap();
+            let grads = binder.grads(&tape, &params);
+            opt.step(&mut params, &grads).unwrap();
+            last = tape.value(loss).get(0, 0);
+        }
+        assert!(last < 0.1, "XOR not learned, loss {last}");
+    }
+
+    #[test]
+    fn every_activation_is_applied_without_panic() {
+        for act in [
+            Activation::Relu,
+            Activation::LeakyRelu,
+            Activation::Tanh,
+            Activation::Sigmoid,
+            Activation::Identity,
+        ] {
+            let mut tape = Tape::new();
+            let x = tape.constant(Matrix::from_vec(1, 2, vec![-1.0, 1.0]).unwrap());
+            let y = apply_activation(&mut tape, x, act);
+            assert!(tape.value(y).all_finite());
+        }
+    }
+}

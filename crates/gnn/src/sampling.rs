@@ -1,0 +1,120 @@
+//! Negative sampling for link-prediction training.
+//!
+//! MDGCN is trained with 1:1 negative sampling over patient–drug pairs
+//! (Section IV-B3): for every observed medication-use link, one unobserved
+//! pair from the same patient is sampled as a negative example.
+
+use rand::Rng;
+
+use dssddi_graph::BipartiteGraph;
+
+/// A training batch of patient–drug pairs with binary targets.
+#[derive(Debug, Clone, Default)]
+pub struct LinkBatch {
+    /// Patient index of every pair.
+    pub patients: Vec<usize>,
+    /// Drug index of every pair.
+    pub drugs: Vec<usize>,
+    /// Target of every pair (1.0 for observed links, 0.0 for negatives).
+    pub targets: Vec<f32>,
+}
+
+impl LinkBatch {
+    /// Number of pairs in the batch.
+    pub fn len(&self) -> usize {
+        self.patients.len()
+    }
+
+    /// True when the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.patients.is_empty()
+    }
+
+    /// Number of positive pairs.
+    pub fn positives(&self) -> usize {
+        self.targets.iter().filter(|&&t| t > 0.5).count()
+    }
+}
+
+/// Builds a training batch containing every observed link of `graph` as a
+/// positive pair and `negatives_per_positive` sampled non-links per positive
+/// (sampled uniformly over drugs the patient does not take).
+pub fn sample_link_batch(
+    graph: &BipartiteGraph,
+    negatives_per_positive: usize,
+    rng: &mut impl Rng,
+) -> LinkBatch {
+    let mut batch = LinkBatch::default();
+    let n_drugs = graph.right_count();
+    for (patient, drug) in graph.edges() {
+        batch.patients.push(patient);
+        batch.drugs.push(drug);
+        batch.targets.push(1.0);
+        let mut attempts = 0;
+        let mut added = 0;
+        while added < negatives_per_positive && attempts < 50 * negatives_per_positive.max(1) {
+            attempts += 1;
+            let candidate = rng.gen_range(0..n_drugs);
+            if !graph.has_edge(patient, candidate) {
+                batch.patients.push(patient);
+                batch.drugs.push(candidate);
+                batch.targets.push(0.0);
+                added += 1;
+            }
+        }
+    }
+    batch
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn graph() -> BipartiteGraph {
+        BipartiteGraph::from_pairs(4, 10, &[(0, 1), (0, 2), (1, 3), (2, 0), (3, 9)]).unwrap()
+    }
+
+    #[test]
+    fn one_to_one_sampling_doubles_the_batch() {
+        let g = graph();
+        let mut rng = StdRng::seed_from_u64(0);
+        let batch = sample_link_batch(&g, 1, &mut rng);
+        assert_eq!(batch.positives(), 5);
+        assert_eq!(batch.len(), 10);
+        assert!(!batch.is_empty());
+    }
+
+    #[test]
+    fn negatives_are_never_observed_links() {
+        let g = graph();
+        let mut rng = StdRng::seed_from_u64(1);
+        let batch = sample_link_batch(&g, 2, &mut rng);
+        for i in 0..batch.len() {
+            if batch.targets[i] < 0.5 {
+                assert!(!g.has_edge(batch.patients[i], batch.drugs[i]));
+            } else {
+                assert!(g.has_edge(batch.patients[i], batch.drugs[i]));
+            }
+        }
+    }
+
+    #[test]
+    fn zero_negatives_returns_positives_only() {
+        let g = graph();
+        let mut rng = StdRng::seed_from_u64(2);
+        let batch = sample_link_batch(&g, 0, &mut rng);
+        assert_eq!(batch.len(), batch.positives());
+    }
+
+    #[test]
+    fn patient_taking_every_drug_produces_no_negatives() {
+        let pairs: Vec<(usize, usize)> = (0..3).map(|d| (0, d)).collect();
+        let g = BipartiteGraph::from_pairs(1, 3, &pairs).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let batch = sample_link_batch(&g, 1, &mut rng);
+        assert_eq!(batch.positives(), 3);
+        assert_eq!(batch.len(), 3, "no negatives should be available");
+    }
+}

@@ -1,0 +1,178 @@
+//! Signed Graph Convolutional Network layer (Derr et al., ICDM 2018) —
+//! the best-performing DDIGCN backbone in the paper (Eq. 2–4).
+
+use rand::Rng;
+
+use dssddi_tensor::{Binder, ParamId, ParamSet, Tape, TensorError, Var, init};
+
+use crate::context::SignedGraphContext;
+
+/// One SGCN layer maintaining separate "balanced" (synergy-reachable) and
+/// "unbalanced" (antagonism-reachable) hidden representations.
+///
+/// Following Eq. 2–3 of the paper, the balanced representation aggregates
+/// synergistic neighbours' balanced states and antagonistic neighbours'
+/// unbalanced states (and vice versa), concatenated with the node's own
+/// previous state and linearly transformed.
+#[derive(Debug, Clone)]
+pub struct SgcnLayer {
+    w_balanced: ParamId,
+    b_balanced: ParamId,
+    w_unbalanced: ParamId,
+    b_unbalanced: ParamId,
+    out_dim: usize,
+}
+
+impl SgcnLayer {
+    /// Creates an SGCN layer mapping `in_dim`-dimensional balanced and
+    /// unbalanced states to `out_dim`-dimensional ones.
+    pub fn new(
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        params: &mut ParamSet,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w_balanced = params.add(
+            format!("{name}.w_bal"),
+            init::xavier_uniform(3 * in_dim, out_dim, rng),
+        );
+        let b_balanced = params.add(format!("{name}.b_bal"), init::zeros(1, out_dim));
+        let w_unbalanced = params.add(
+            format!("{name}.w_unbal"),
+            init::xavier_uniform(3 * in_dim, out_dim, rng),
+        );
+        let b_unbalanced = params.add(format!("{name}.b_unbal"), init::zeros(1, out_dim));
+        Self { w_balanced, b_balanced, w_unbalanced, b_unbalanced, out_dim }
+    }
+
+    /// Output dimension of each of the two hidden states.
+    pub fn output_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Applies the layer, returning the updated `(balanced, unbalanced)`
+    /// representations.
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        params: &ParamSet,
+        binder: &mut Binder,
+        ctx: &SignedGraphContext,
+        h_balanced: Var,
+        h_unbalanced: Var,
+    ) -> Result<(Var, Var), TensorError> {
+        // Balanced update: synergy neighbours' balanced + antagonism
+        // neighbours' unbalanced + own balanced state.
+        let pos_bal = tape.spmm(&ctx.positive_mean_adjacency, h_balanced)?;
+        let neg_unbal = tape.spmm(&ctx.negative_mean_adjacency, h_unbalanced)?;
+        let cat = tape.concat_cols(pos_bal, neg_unbal)?;
+        let cat = tape.concat_cols(cat, h_balanced)?;
+        let w_b = binder.bind(tape, params, self.w_balanced);
+        let b_b = binder.bind(tape, params, self.b_balanced);
+        let lin = tape.matmul(cat, w_b)?;
+        let lin = tape.add_broadcast_row(lin, b_b)?;
+        let new_balanced = tape.tanh(lin);
+
+        // Unbalanced update: synergy neighbours' unbalanced + antagonism
+        // neighbours' balanced + own unbalanced state.
+        let pos_unbal = tape.spmm(&ctx.positive_mean_adjacency, h_unbalanced)?;
+        let neg_bal = tape.spmm(&ctx.negative_mean_adjacency, h_balanced)?;
+        let cat_u = tape.concat_cols(pos_unbal, neg_bal)?;
+        let cat_u = tape.concat_cols(cat_u, h_unbalanced)?;
+        let w_u = binder.bind(tape, params, self.w_unbalanced);
+        let b_u = binder.bind(tape, params, self.b_unbalanced);
+        let lin_u = tape.matmul(cat_u, w_u)?;
+        let lin_u = tape.add_broadcast_row(lin_u, b_u)?;
+        let new_unbalanced = tape.tanh(lin_u);
+
+        Ok((new_balanced, new_unbalanced))
+    }
+
+    /// Concatenates balanced and unbalanced states into the final node
+    /// representation `z = [h_B, h_U]` (Eq. 4).
+    pub fn combine(tape: &mut Tape, balanced: Var, unbalanced: Var) -> Result<Var, TensorError> {
+        tape.concat_cols(balanced, unbalanced)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dssddi_graph::{Interaction, SignedGraph};
+    use dssddi_tensor::Matrix;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ctx() -> SignedGraphContext {
+        let mut g = SignedGraph::new(4);
+        g.add_interaction(0, 1, Interaction::Synergistic).unwrap();
+        g.add_interaction(1, 2, Interaction::Antagonistic).unwrap();
+        g.add_interaction(2, 3, Interaction::Antagonistic).unwrap();
+        SignedGraphContext::new(&g).unwrap()
+    }
+
+    #[test]
+    fn forward_shapes_and_combination() {
+        let ctx = ctx();
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let layer = SgcnLayer::new("sgcn0", 4, 6, &mut params, &mut rng);
+        assert_eq!(layer.output_dim(), 6);
+
+        let mut tape = Tape::new();
+        let mut binder = Binder::new();
+        let h = tape.constant(Matrix::identity(4));
+        let (b, u) = layer.forward(&mut tape, &params, &mut binder, &ctx, h, h).unwrap();
+        assert_eq!(tape.value(b).shape(), (4, 6));
+        assert_eq!(tape.value(u).shape(), (4, 6));
+        let z = SgcnLayer::combine(&mut tape, b, u).unwrap();
+        assert_eq!(tape.value(z).shape(), (4, 12));
+    }
+
+    #[test]
+    fn balanced_and_unbalanced_paths_differ_when_signs_differ() {
+        // Node 0 only has a synergistic neighbour, node 3 only an
+        // antagonistic one; their balanced representations should differ.
+        let ctx = ctx();
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = SgcnLayer::new("sgcn0", 4, 8, &mut params, &mut rng);
+        let mut tape = Tape::new();
+        let mut binder = Binder::new();
+        let h = tape.constant(Matrix::identity(4));
+        let (b, u) = layer.forward(&mut tape, &params, &mut binder, &ctx, h, h).unwrap();
+        let bv = tape.value(b);
+        let uv = tape.value(u);
+        let diff: f32 = bv
+            .row(0)
+            .iter()
+            .zip(uv.row(0).iter())
+            .map(|(x, y)| (x - y).abs())
+            .sum();
+        assert!(diff > 1e-4, "balanced and unbalanced collapsed to the same representation");
+    }
+
+    #[test]
+    fn gradients_flow_into_both_weight_matrices() {
+        let ctx = ctx();
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(2);
+        let layer = SgcnLayer::new("sgcn0", 4, 4, &mut params, &mut rng);
+        let mut tape = Tape::new();
+        let mut binder = Binder::new();
+        let h = tape.constant(Matrix::identity(4));
+        let (b, u) = layer.forward(&mut tape, &params, &mut binder, &ctx, h, h).unwrap();
+        let z = SgcnLayer::combine(&mut tape, b, u).unwrap();
+        let loss = tape.mean_all(z);
+        tape.backward(loss).unwrap();
+        let grads = binder.grads(&tape, &params);
+        for (id, g) in grads {
+            assert!(
+                g.frobenius_norm() > 0.0,
+                "parameter {} received no gradient",
+                params.name(id)
+            );
+        }
+    }
+}

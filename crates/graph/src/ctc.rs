@@ -1,0 +1,385 @@
+//! Closest Truss Community (CTC) search — Algorithm 1 of the paper.
+//!
+//! Given the DDI graph and the set of suggested drugs (the *query*), the
+//! Medical Support module extracts a connected, dense subgraph that contains
+//! every suggested drug and has small diameter. The procedure follows the
+//! paper: truss decomposition → Steiner tree over the query → expansion into
+//! a dense neighbourhood → maximal connected p-truss → iterative shrinking
+//! by removing the furthest nodes while maintaining the truss property.
+
+use std::collections::BTreeSet;
+
+use crate::steiner::steiner_tree;
+use crate::traversal::{all_connected, bfs, component_of, diameter};
+use crate::truss::{maintain_p_truss, truss_decomposition, TrussDecomposition};
+use crate::{GraphError, UnGraph};
+
+/// A dense explanation subgraph around a set of query drugs.
+#[derive(Debug, Clone)]
+pub struct Community {
+    /// Nodes of the community (always a superset of the reachable query nodes).
+    pub nodes: BTreeSet<usize>,
+    /// Edges of the community as normalised `(min, max)` pairs.
+    pub edges: Vec<(usize, usize)>,
+    /// Trussness `p` the community satisfies (every edge has support ≥ p − 2).
+    pub trussness: usize,
+    /// Hop diameter of the community (`usize::MAX` if it is a forest of parts).
+    pub diameter: usize,
+}
+
+impl Community {
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the community contains the node.
+    pub fn contains(&self, v: usize) -> bool {
+        self.nodes.contains(&v)
+    }
+}
+
+/// Configuration of the CTC search.
+#[derive(Debug, Clone)]
+pub struct CtcConfig {
+    /// Target size for the expanded candidate subgraph `G'₀`
+    /// (`n₀` in Algorithm 1).
+    pub expansion_size: usize,
+    /// Maximum number of shrink iterations (defensive bound; the loop also
+    /// stops when the query would become disconnected).
+    pub max_shrink_iterations: usize,
+}
+
+impl Default for CtcConfig {
+    fn default() -> Self {
+        Self { expansion_size: 30, max_shrink_iterations: 100 }
+    }
+}
+
+/// Sum of hop distances from every community node to its furthest query node
+/// — the `dist(G', Q)` objective minimised on line 15 of Algorithm 1.
+fn community_query_distance(graph: &UnGraph, nodes: &BTreeSet<usize>, query: &[usize]) -> usize {
+    let mut total = 0usize;
+    for &q in query {
+        if !nodes.contains(&q) {
+            return usize::MAX;
+        }
+        let res = bfs(graph, q, Some(nodes));
+        for &v in nodes {
+            match res.dist[v] {
+                usize::MAX => return usize::MAX,
+                d => total = total.max(d),
+            }
+        }
+    }
+    total
+}
+
+/// Runs the closest-truss-community search of Algorithm 1.
+///
+/// Query nodes that are isolated in `graph` are kept in the result (the MS
+/// module still has to display them) but cannot contribute interactions.
+pub fn closest_truss_community(
+    graph: &UnGraph,
+    query: &[usize],
+    config: &CtcConfig,
+) -> Result<Community, GraphError> {
+    let n = graph.node_count();
+    let mut unique_query: Vec<usize> = Vec::new();
+    for &q in query {
+        if q >= n {
+            return Err(GraphError::NodeOutOfRange { node: q, nodes: n });
+        }
+        if !unique_query.contains(&q) {
+            unique_query.push(q);
+        }
+    }
+    if unique_query.is_empty() {
+        return Err(GraphError::EmptyQuery);
+    }
+
+    // Line 1: truss decomposition on the full graph.
+    let decomposition = truss_decomposition(graph);
+
+    // Line 2: Steiner tree containing the suggested drugs.
+    let tree = steiner_tree(graph, &unique_query, &decomposition)?;
+
+    // Lines 3-4: seed subgraph and its minimum truss level p'.
+    let mut nodes: BTreeSet<usize> = tree.nodes.clone();
+    let mut sub = UnGraph::new(n);
+    for &(u, v) in &tree.edges {
+        sub.add_edge(u, v)?;
+    }
+    let p_seed = tree
+        .edges
+        .iter()
+        .filter_map(|&(u, v)| decomposition.truss(u, v))
+        .min()
+        .unwrap_or(2);
+
+    // Lines 5-7: grow the subgraph with adjacent edges of truss >= p'.
+    expand_candidate(graph, &decomposition, &mut sub, &mut nodes, p_seed, config.expansion_size);
+
+    // Line 8: truss decomposition on the candidate subgraph.
+    let local = truss_decomposition(&sub);
+
+    // Line 9: maximum connected p-truss containing the query.
+    let (mut p, mut best_nodes, mut best_sub) =
+        max_connected_p_truss(&local, &unique_query, n);
+    if best_nodes.is_empty() {
+        // The query has no triangles around it at all; fall back to the
+        // Steiner tree itself as a (2-truss) explanation.
+        p = 2;
+        best_nodes = nodes.clone();
+        best_sub = sub.clone();
+    }
+    // Query nodes with no interactions stay visible in the explanation.
+    for &q in &unique_query {
+        best_nodes.insert(q);
+    }
+
+    // Lines 10-15: iterative shrinking, keeping the candidate with the
+    // smallest query distance.
+    let mut best_candidate = (
+        community_query_distance(&best_sub, &best_nodes, &unique_query),
+        best_nodes.clone(),
+        best_sub.clone(),
+    );
+    let mut cur_nodes = best_nodes;
+    let mut cur_sub = best_sub;
+    for _ in 0..config.max_shrink_iterations {
+        // Find the non-query node furthest from the query.
+        let mut furthest: Option<(usize, usize)> = None;
+        for &v in &cur_nodes {
+            if unique_query.contains(&v) {
+                continue;
+            }
+            let d = crate::traversal::query_distance(&cur_sub, v, &unique_query, &cur_nodes);
+            if furthest.map_or(true, |(fd, _)| d > fd) {
+                furthest = Some((d, v));
+            }
+        }
+        let Some((_, victim)) = furthest else { break };
+        let mut next_nodes = cur_nodes.clone();
+        let mut next_sub = cur_sub.clone();
+        next_sub.detach_node(victim);
+        next_nodes.remove(&victim);
+        maintain_p_truss(&mut next_sub, &mut next_nodes, p);
+        for &q in &unique_query {
+            next_nodes.insert(q);
+        }
+        if !all_connected(&next_sub, &unique_query, &next_nodes) && unique_query.len() > 1 {
+            break;
+        }
+        let d = community_query_distance(&next_sub, &next_nodes, &unique_query);
+        if d <= best_candidate.0 {
+            best_candidate = (d, next_nodes.clone(), next_sub.clone());
+        }
+        cur_nodes = next_nodes;
+        cur_sub = next_sub;
+        if cur_nodes.len() <= unique_query.len() {
+            break;
+        }
+    }
+
+    let (_, final_nodes, final_sub) = best_candidate;
+    let edges: Vec<(usize, usize)> = final_sub
+        .edges()
+        .into_iter()
+        .filter(|&(u, v)| final_nodes.contains(&u) && final_nodes.contains(&v))
+        .collect();
+    let diam = diameter(&final_sub, &final_nodes);
+    Ok(Community { nodes: final_nodes, edges, trussness: p, diameter: diam })
+}
+
+/// Lines 5-7 of Algorithm 1: breadth-first expansion of the seed subgraph by
+/// adjacent edges whose (global) truss number is at least `p_seed`.
+fn expand_candidate(
+    graph: &UnGraph,
+    decomposition: &TrussDecomposition,
+    sub: &mut UnGraph,
+    nodes: &mut BTreeSet<usize>,
+    p_seed: usize,
+    target_size: usize,
+) {
+    let mut frontier: Vec<usize> = nodes.iter().copied().collect();
+    while nodes.len() < target_size {
+        let mut added_any = false;
+        let mut next_frontier = Vec::new();
+        for &u in &frontier {
+            for v in graph.neighbors(u) {
+                let t = decomposition.truss(u, v).unwrap_or(0);
+                if t >= p_seed {
+                    if !sub.has_edge(u, v) {
+                        let _ = sub.add_edge(u, v);
+                        added_any = true;
+                    }
+                    if nodes.insert(v) {
+                        next_frontier.push(v);
+                        added_any = true;
+                        if nodes.len() >= target_size {
+                            break;
+                        }
+                    }
+                }
+            }
+            if nodes.len() >= target_size {
+                break;
+            }
+        }
+        // Also close triangles among the current node set so the local truss
+        // decomposition sees the full induced density.
+        let snapshot: Vec<usize> = nodes.iter().copied().collect();
+        for &u in &snapshot {
+            for v in graph.neighbors(u) {
+                if nodes.contains(&v) && !sub.has_edge(u, v) {
+                    let t = decomposition.truss(u, v).unwrap_or(0);
+                    if t >= p_seed {
+                        let _ = sub.add_edge(u, v);
+                        added_any = true;
+                    }
+                }
+            }
+        }
+        if !added_any {
+            break;
+        }
+        frontier = next_frontier;
+        if frontier.is_empty() {
+            break;
+        }
+    }
+}
+
+/// Line 9 of Algorithm 1: the connected p-truss with the largest `p` that
+/// still contains every query node (restricted to the candidate subgraph).
+fn max_connected_p_truss(
+    local: &TrussDecomposition,
+    query: &[usize],
+    n: usize,
+) -> (usize, BTreeSet<usize>, UnGraph) {
+    let max_p = local.max_truss();
+    for p in (2..=max_p.max(2)).rev() {
+        let mut candidate = UnGraph::new(n);
+        for (&(u, v), &t) in local.iter() {
+            if t >= p {
+                let _ = candidate.add_edge(u, v);
+            }
+        }
+        let within: BTreeSet<usize> = candidate.non_isolated_nodes().into_iter().collect();
+        if query.iter().all(|q| within.contains(q)) && all_connected(&candidate, query, &within) {
+            let comp = component_of(&candidate, query[0], Some(&within));
+            let pruned = candidate.induced_subgraph(&comp);
+            return (p, comp, pruned);
+        }
+    }
+    (2, BTreeSet::new(), UnGraph::new(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A graph with a dense 4-clique {0,1,2,3}, a triangle {4,5,6} bridged to
+    /// the clique, and a long sparse path 7-8-9.
+    fn test_graph() -> UnGraph {
+        UnGraph::from_edges(
+            10,
+            &[
+                (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // clique
+                (3, 4), (4, 5), (4, 6), (5, 6), // bridge + triangle
+                (6, 7), (7, 8), (8, 9), // sparse tail
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn community_contains_all_query_nodes() {
+        let g = test_graph();
+        let c = closest_truss_community(&g, &[0, 2], &CtcConfig::default()).unwrap();
+        assert!(c.contains(0) && c.contains(2));
+        assert!(c.trussness >= 3);
+        assert!(c.edge_count() >= 1);
+    }
+
+    #[test]
+    fn dense_clique_query_yields_clique_community() {
+        let g = test_graph();
+        let c = closest_truss_community(&g, &[0, 1, 2, 3], &CtcConfig::default()).unwrap();
+        assert_eq!(c.trussness, 4);
+        assert!(c.nodes.is_superset(&[0, 1, 2, 3].into_iter().collect()));
+        // The sparse tail must not be dragged in.
+        assert!(!c.contains(8) && !c.contains(9));
+    }
+
+    #[test]
+    fn cross_cluster_query_stays_connected() {
+        let g = test_graph();
+        let c = closest_truss_community(&g, &[1, 5], &CtcConfig::default()).unwrap();
+        let within = c.nodes.clone();
+        let sub = UnGraph::from_edges(10, &c.edges).unwrap();
+        assert!(all_connected(&sub, &[1, 5], &within));
+        assert_ne!(c.diameter, usize::MAX);
+    }
+
+    #[test]
+    fn isolated_query_node_is_preserved() {
+        let mut g = test_graph();
+        g.detach_node(9);
+        let c = closest_truss_community(&g, &[0, 9], &CtcConfig::default()).unwrap();
+        assert!(c.contains(9));
+        assert!(c.contains(0));
+    }
+
+    #[test]
+    fn empty_and_out_of_range_queries_error() {
+        let g = test_graph();
+        assert!(matches!(
+            closest_truss_community(&g, &[], &CtcConfig::default()),
+            Err(GraphError::EmptyQuery)
+        ));
+        assert!(matches!(
+            closest_truss_community(&g, &[42], &CtcConfig::default()),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn single_node_query_returns_local_community() {
+        let g = test_graph();
+        let c = closest_truss_community(&g, &[0], &CtcConfig::default()).unwrap();
+        assert!(c.contains(0));
+        // Node 0 lives in the 4-clique, so its community should be dense.
+        assert!(c.trussness >= 3);
+    }
+
+    #[test]
+    fn every_edge_satisfies_trussness_invariant() {
+        let g = test_graph();
+        let c = closest_truss_community(&g, &[0, 1, 2, 3], &CtcConfig::default()).unwrap();
+        let sub = UnGraph::from_edges(10, &c.edges).unwrap();
+        if c.trussness > 2 {
+            for &(u, v) in &c.edges {
+                assert!(
+                    sub.edge_support(u, v) + 2 >= c.trussness,
+                    "edge ({u},{v}) violates {}-truss",
+                    c.trussness
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_free_graph_falls_back_to_steiner_tree() {
+        let g = UnGraph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]).unwrap();
+        let c = closest_truss_community(&g, &[0, 4], &CtcConfig::default()).unwrap();
+        assert!(c.contains(0) && c.contains(4));
+        assert_eq!(c.trussness, 2);
+    }
+}

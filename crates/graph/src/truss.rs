@@ -1,0 +1,221 @@
+//! Truss decomposition (Wang & Cheng, PVLDB 2012).
+//!
+//! The *support* of an edge is the number of triangles containing it. A
+//! subgraph is a *p-truss* when every edge has support at least `p − 2`
+//! inside the subgraph. The *truss number* of an edge is the largest `p`
+//! such that the edge belongs to a p-truss. The Medical Support module uses
+//! these quantities to find dense, well-connected explanation subgraphs
+//! around the suggested drugs (Definition 5 and Algorithm 1 of the paper).
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::ungraph::norm_edge;
+use crate::UnGraph;
+
+/// Result of a truss decomposition: the truss number of every edge.
+#[derive(Debug, Clone, Default)]
+pub struct TrussDecomposition {
+    truss: HashMap<(usize, usize), usize>,
+}
+
+impl TrussDecomposition {
+    /// Truss number of edge `{u, v}`; `None` if the edge is not present.
+    pub fn truss(&self, u: usize, v: usize) -> Option<usize> {
+        self.truss.get(&norm_edge(u, v)).copied()
+    }
+
+    /// Largest truss number over all edges (2 for a triangle-free graph,
+    /// 0 for an edgeless graph).
+    pub fn max_truss(&self) -> usize {
+        self.truss.values().copied().max().unwrap_or(0)
+    }
+
+    /// Smallest truss number over all edges (0 for an edgeless graph).
+    pub fn min_truss(&self) -> usize {
+        self.truss.values().copied().min().unwrap_or(0)
+    }
+
+    /// Iterator over `((u, v), truss)` entries.
+    pub fn iter(&self) -> impl Iterator<Item = (&(usize, usize), &usize)> {
+        self.truss.iter()
+    }
+
+    /// Number of edges covered by the decomposition.
+    pub fn len(&self) -> usize {
+        self.truss.len()
+    }
+
+    /// True when the decomposition covers no edges.
+    pub fn is_empty(&self) -> bool {
+        self.truss.is_empty()
+    }
+}
+
+/// Computes the truss number of every edge by iterative peeling: repeatedly
+/// remove the edge with the smallest support and record its truss number as
+/// `support at removal + 2`.
+pub fn truss_decomposition(graph: &UnGraph) -> TrussDecomposition {
+    let mut work = graph.clone();
+    let mut support: HashMap<(usize, usize), usize> = HashMap::new();
+    for (u, v) in work.edges() {
+        support.insert((u, v), work.edge_support(u, v));
+    }
+    let mut truss: HashMap<(usize, usize), usize> = HashMap::new();
+    let mut k = 2usize;
+
+    while !support.is_empty() {
+        // Peel every edge whose support is <= k - 2 at the current level.
+        loop {
+            let to_remove: Vec<(usize, usize)> = support
+                .iter()
+                .filter(|(_, &s)| s + 2 <= k)
+                .map(|(&e, _)| e)
+                .collect();
+            if to_remove.is_empty() {
+                break;
+            }
+            for (u, v) in to_remove {
+                if support.remove(&(u, v)).is_none() {
+                    continue;
+                }
+                truss.insert((u, v), k);
+                // Removing (u, v) destroys one triangle per common neighbour.
+                let common = work.common_neighbors(u, v);
+                work.remove_edge(u, v);
+                for w in common {
+                    for e in [norm_edge(u, w), norm_edge(v, w)] {
+                        if let Some(s) = support.get_mut(&e) {
+                            *s = s.saturating_sub(1);
+                        }
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    TrussDecomposition { truss }
+}
+
+/// Returns the subgraph formed by all edges whose truss number is at least
+/// `p` (node indices are preserved).
+pub fn p_truss_subgraph(graph: &UnGraph, decomposition: &TrussDecomposition, p: usize) -> UnGraph {
+    let mut sub = UnGraph::new(graph.node_count());
+    for (&(u, v), &t) in decomposition.iter() {
+        if t >= p {
+            let _ = sub.add_edge(u, v);
+        }
+    }
+    sub
+}
+
+/// Repeatedly removes edges whose support inside `sub` has fallen below
+/// `p - 2`, restoring the p-truss property after node/edge deletions
+/// (line 13 of Algorithm 1). Nodes left isolated are dropped from `nodes`.
+pub fn maintain_p_truss(sub: &mut UnGraph, nodes: &mut BTreeSet<usize>, p: usize) {
+    loop {
+        let violating: Vec<(usize, usize)> = sub
+            .edges()
+            .into_iter()
+            .filter(|&(u, v)| sub.edge_support(u, v) + 2 < p)
+            .collect();
+        if violating.is_empty() {
+            break;
+        }
+        for (u, v) in violating {
+            sub.remove_edge(u, v);
+        }
+    }
+    nodes.retain(|&v| sub.degree(v) > 0);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two triangles sharing an edge plus a pendant vertex.
+    fn diamond_with_tail() -> UnGraph {
+        UnGraph::from_edges(5, &[(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)]).unwrap()
+    }
+
+    #[test]
+    fn truss_numbers_of_known_graph() {
+        let g = diamond_with_tail();
+        let d = truss_decomposition(&g);
+        // Every triangle edge is in a 3-truss; the shared edge (1,2) has
+        // support 2 but is still only a 3-truss because its triangles are
+        // not mutually reinforcing after peeling. The pendant edge is a 2-truss.
+        assert_eq!(d.truss(3, 4), Some(2));
+        assert_eq!(d.truss(0, 1), Some(3));
+        assert_eq!(d.truss(1, 2), Some(3));
+        assert_eq!(d.max_truss(), 3);
+        assert_eq!(d.min_truss(), 2);
+        assert_eq!(d.len(), g.edge_count());
+    }
+
+    #[test]
+    fn four_clique_is_a_four_truss() {
+        let g = UnGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]).unwrap();
+        let d = truss_decomposition(&g);
+        for (u, v) in g.edges() {
+            assert_eq!(d.truss(u, v), Some(4), "edge ({u},{v})");
+        }
+    }
+
+    #[test]
+    fn triangle_free_graph_has_truss_two() {
+        let g = UnGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]).unwrap();
+        let d = truss_decomposition(&g);
+        assert_eq!(d.max_truss(), 2);
+        assert_eq!(d.min_truss(), 2);
+    }
+
+    #[test]
+    fn empty_graph_decomposition() {
+        let g = UnGraph::new(3);
+        let d = truss_decomposition(&g);
+        assert!(d.is_empty());
+        assert_eq!(d.max_truss(), 0);
+    }
+
+    #[test]
+    fn p_truss_subgraph_keeps_only_dense_edges() {
+        let g = diamond_with_tail();
+        let d = truss_decomposition(&g);
+        let sub = p_truss_subgraph(&g, &d, 3);
+        assert!(!sub.has_edge(3, 4));
+        assert!(sub.has_edge(0, 1));
+        assert_eq!(sub.edge_count(), 5);
+    }
+
+    #[test]
+    fn maintain_p_truss_removes_broken_edges_and_isolated_nodes() {
+        let g = diamond_with_tail();
+        let d = truss_decomposition(&g);
+        let mut sub = p_truss_subgraph(&g, &d, 3);
+        let mut nodes: BTreeSet<usize> = sub.non_isolated_nodes().into_iter().collect();
+        // Remove node 0: edges (1,2),(1,3),(2,3) still form a triangle (3-truss).
+        sub.detach_node(0);
+        nodes.remove(&0);
+        maintain_p_truss(&mut sub, &mut nodes, 3);
+        assert_eq!(nodes, [1, 2, 3].into_iter().collect());
+        assert_eq!(sub.edge_count(), 3);
+        // Now remove node 3; remaining edge (1,2) has no triangle and must go.
+        sub.detach_node(3);
+        nodes.remove(&3);
+        maintain_p_truss(&mut sub, &mut nodes, 3);
+        assert!(nodes.is_empty());
+        assert_eq!(sub.edge_count(), 0);
+    }
+
+    #[test]
+    fn decomposition_is_invariant_to_edge_insertion_order() {
+        let edges = [(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4)];
+        let mut reversed = edges;
+        reversed.reverse();
+        let a = truss_decomposition(&UnGraph::from_edges(5, &edges).unwrap());
+        let b = truss_decomposition(&UnGraph::from_edges(5, &reversed).unwrap());
+        for (u, v) in UnGraph::from_edges(5, &edges).unwrap().edges() {
+            assert_eq!(a.truss(u, v), b.truss(u, v));
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Ranking metrics for medication suggestion: Precision@k, Recall@k and
+//! NDCG@k exactly as defined in Section V-A2 (Eq. 21–24) of the paper.
+
+use dssddi_tensor::Matrix;
+
+use crate::MlError;
+
+/// Top-k drug indices for one patient, given a score row.
+pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.truncate(k);
+    idx
+}
+
+/// Aggregate Precision@k over all patients (Eq. 21): the total number of
+/// suggested-and-taken drugs divided by the total number of suggestions.
+pub fn precision_at_k(scores: &Matrix, labels: &Matrix, k: usize) -> Result<f64, MlError> {
+    validate(scores, labels, k)?;
+    let mut hit = 0usize;
+    let mut suggested = 0usize;
+    for p in 0..scores.rows() {
+        let top = top_k_indices(scores.row(p), k);
+        suggested += top.len();
+        hit += top.iter().filter(|&&d| labels.get(p, d) > 0.5).count();
+    }
+    Ok(hit as f64 / suggested.max(1) as f64)
+}
+
+/// Aggregate Recall@k over all patients (Eq. 22): the total number of
+/// suggested-and-taken drugs divided by the total number of drugs taken.
+pub fn recall_at_k(scores: &Matrix, labels: &Matrix, k: usize) -> Result<f64, MlError> {
+    validate(scores, labels, k)?;
+    let mut hit = 0usize;
+    let mut relevant = 0usize;
+    for p in 0..scores.rows() {
+        let top = top_k_indices(scores.row(p), k);
+        hit += top.iter().filter(|&&d| labels.get(p, d) > 0.5).count();
+        relevant += labels.row(p).iter().filter(|&&v| v > 0.5).count();
+    }
+    Ok(hit as f64 / relevant.max(1) as f64)
+}
+
+/// Mean NDCG@k over patients (Eq. 23–24) with binary graded relevance.
+pub fn ndcg_at_k(scores: &Matrix, labels: &Matrix, k: usize) -> Result<f64, MlError> {
+    validate(scores, labels, k)?;
+    let mut total = 0.0f64;
+    let mut counted = 0usize;
+    for p in 0..scores.rows() {
+        let relevant = labels.row(p).iter().filter(|&&v| v > 0.5).count();
+        if relevant == 0 {
+            continue;
+        }
+        counted += 1;
+        let top = top_k_indices(scores.row(p), k);
+        let mut dcg = 0.0f64;
+        for (pos, &d) in top.iter().enumerate() {
+            let rel = if labels.get(p, d) > 0.5 { 1.0 } else { 0.0 };
+            dcg += (2f64.powf(rel) - 1.0) / ((pos as f64 + 2.0).log2());
+        }
+        let ideal_hits = relevant.min(k);
+        let mut idcg = 0.0f64;
+        for pos in 0..ideal_hits {
+            idcg += 1.0 / ((pos as f64 + 2.0).log2());
+        }
+        if idcg > 0.0 {
+            total += dcg / idcg;
+        }
+    }
+    Ok(total / counted.max(1) as f64)
+}
+
+/// Precision, recall and NDCG at one cutoff, bundled for the experiment tables.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankingMetrics {
+    /// Precision@k.
+    pub precision: f64,
+    /// Recall@k.
+    pub recall: f64,
+    /// NDCG@k.
+    pub ndcg: f64,
+}
+
+/// Computes all three ranking metrics at a cutoff.
+pub fn ranking_metrics(scores: &Matrix, labels: &Matrix, k: usize) -> Result<RankingMetrics, MlError> {
+    Ok(RankingMetrics {
+        precision: precision_at_k(scores, labels, k)?,
+        recall: recall_at_k(scores, labels, k)?,
+        ndcg: ndcg_at_k(scores, labels, k)?,
+    })
+}
+
+fn validate(scores: &Matrix, labels: &Matrix, k: usize) -> Result<(), MlError> {
+    if scores.shape() != labels.shape() {
+        return Err(MlError::DimensionMismatch {
+            expected: scores.rows(),
+            found: labels.rows(),
+            what: "scores vs labels shape",
+        });
+    }
+    if k == 0 {
+        return Err(MlError::InvalidArgument { what: "k must be positive" });
+    }
+    if scores.rows() == 0 {
+        return Err(MlError::EmptyInput { what: "metrics require at least one patient" });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two patients, four drugs. Patient 0 takes drugs {0, 1}; patient 1
+    /// takes drug {3}.
+    fn toy() -> (Matrix, Matrix) {
+        let labels = Matrix::from_vec(2, 4, vec![1.0, 1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 1.0]).unwrap();
+        let scores = Matrix::from_vec(
+            2,
+            4,
+            vec![
+                0.9, 0.8, 0.1, 0.2, // perfect ordering for patient 0
+                0.9, 0.1, 0.2, 0.8, // drug 3 ranked second for patient 1
+            ],
+        )
+        .unwrap();
+        (scores, labels)
+    }
+
+    #[test]
+    fn perfect_and_partial_rankings() {
+        let (scores, labels) = toy();
+        // k=2: patient 0 hits 2/2, patient 1 hits 1/2 => precision 3/4.
+        assert!((precision_at_k(&scores, &labels, 2).unwrap() - 0.75).abs() < 1e-9);
+        // Recall: hits 3 of 3 relevant drugs.
+        assert!((recall_at_k(&scores, &labels, 2).unwrap() - 1.0).abs() < 1e-9);
+        let ndcg = ndcg_at_k(&scores, &labels, 2).unwrap();
+        assert!(ndcg > 0.8 && ndcg <= 1.0);
+    }
+
+    #[test]
+    fn perfect_scores_reach_one() {
+        let labels = Matrix::from_vec(1, 3, vec![0.0, 1.0, 0.0]).unwrap();
+        let scores = Matrix::from_vec(1, 3, vec![0.0, 1.0, 0.0]).unwrap();
+        assert!((ndcg_at_k(&scores, &labels, 1).unwrap() - 1.0).abs() < 1e-9);
+        assert!((precision_at_k(&scores, &labels, 1).unwrap() - 1.0).abs() < 1e-9);
+        assert!((recall_at_k(&scores, &labels, 1).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn worst_case_scores_are_zero() {
+        let labels = Matrix::from_vec(1, 4, vec![1.0, 0.0, 0.0, 0.0]).unwrap();
+        let scores = Matrix::from_vec(1, 4, vec![0.0, 0.9, 0.8, 0.7]).unwrap();
+        assert_eq!(precision_at_k(&scores, &labels, 2).unwrap(), 0.0);
+        assert_eq!(recall_at_k(&scores, &labels, 2).unwrap(), 0.0);
+        assert_eq!(ndcg_at_k(&scores, &labels, 2).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn metrics_are_bounded() {
+        let (scores, labels) = toy();
+        for k in 1..=4 {
+            let m = ranking_metrics(&scores, &labels, k).unwrap();
+            assert!((0.0..=1.0).contains(&m.precision));
+            assert!((0.0..=1.0).contains(&m.recall));
+            assert!((0.0..=1.0).contains(&m.ndcg));
+        }
+    }
+
+    #[test]
+    fn recall_is_monotone_in_k() {
+        let (scores, labels) = toy();
+        let mut prev = 0.0;
+        for k in 1..=4 {
+            let r = recall_at_k(&scores, &labels, k).unwrap();
+            assert!(r + 1e-12 >= prev);
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn patients_without_labels_are_skipped_by_ndcg() {
+        let labels = Matrix::from_vec(2, 3, vec![0.0, 0.0, 0.0, 1.0, 0.0, 0.0]).unwrap();
+        let scores = Matrix::from_vec(2, 3, vec![0.5, 0.4, 0.3, 0.9, 0.1, 0.0]).unwrap();
+        assert!((ndcg_at_k(&scores, &labels, 1).unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_arguments_error() {
+        let (scores, labels) = toy();
+        assert!(precision_at_k(&scores, &labels, 0).is_err());
+        assert!(precision_at_k(&scores, &Matrix::zeros(2, 3), 1).is_err());
+        assert!(ndcg_at_k(&Matrix::zeros(0, 4), &Matrix::zeros(0, 4), 1).is_err());
+    }
+
+    #[test]
+    fn top_k_handles_k_larger_than_items() {
+        let top = top_k_indices(&[0.1, 0.5], 10);
+        assert_eq!(top, vec![1, 0]);
+    }
+}

@@ -1,0 +1,97 @@
+//! Quickstart: build the synthetic chronic-disease world, fit DSSDDI on the
+//! observed patients, and print suggestions + explanations for a few
+//! held-out patients.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use dssddi::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // 1. Data: the 86-drug formulary, the signed DDI graph and a cohort.
+    let registry = DrugRegistry::standard();
+    let ddi = generate_ddi_graph(&registry, &DdiConfig::default(), &mut rng).expect("ddi");
+    let cohort = generate_chronic_cohort(
+        &registry,
+        &ddi,
+        &ChronicConfig { n_patients: 400, ..Default::default() },
+        &mut rng,
+    )
+    .expect("cohort");
+    let drug_features = pretrained_drug_embeddings(
+        &registry,
+        &DrkgConfig { dim: 32, epochs: 20, ..Default::default() },
+        &mut rng,
+    )
+    .expect("TransE embeddings");
+    let split = split_patients(cohort.n_patients(), (5, 3, 2), &mut rng).expect("split");
+    println!(
+        "Cohort: {} patients, {} drugs, {} synergistic / {} antagonistic interactions",
+        cohort.n_patients(),
+        registry.len(),
+        ddi.synergistic_count(),
+        ddi.antagonistic_count()
+    );
+
+    // 2. Fit the decision support system on the observed (training) patients.
+    let mut config = DssddiConfig::fast();
+    config.md.hidden_dim = 32;
+    config.ddi.hidden_dim = 32;
+    let system = Dssddi::fit_chronic(&cohort, &split.train, &drug_features, &ddi, &config, &mut rng)
+        .expect("DSSDDI training");
+    println!(
+        "Trained DSSDDI({}) on {} observed patients\n",
+        config.ddi.backbone.name(),
+        split.train.len()
+    );
+
+    // 3. Suggest medications for three held-out patients and explain them.
+    let patients = &split.test[..3];
+    let features = cohort.features().select_rows(patients);
+    let suggestions = system.suggest(&features, 3).expect("suggestions");
+    for (i, suggestion) in suggestions.iter().enumerate() {
+        let patient = patients[i];
+        println!("Patient #{patient}");
+        println!(
+            "  diseases       : {:?}",
+            cohort.diseases()[patient].iter().map(|d| d.name()).collect::<Vec<_>>()
+        );
+        println!(
+            "  actually taking: {:?}",
+            cohort
+                .drugs_of(patient)
+                .iter()
+                .map(|&d| registry.drug(d).unwrap().name)
+                .collect::<Vec<_>>()
+        );
+        for s in &suggestion.drugs {
+            println!(
+                "  suggest {:<24} (DID {:>2}) score {:.3}",
+                registry.drug(s.drug).unwrap().name,
+                s.drug,
+                s.score
+            );
+        }
+        let exp = &suggestion.explanation;
+        println!(
+            "  explanation: {} drugs in the DDI subgraph, {} synergistic / {} antagonistic internal edges, SS = {:.3}\n",
+            exp.community.node_count(),
+            exp.internal_synergy,
+            exp.internal_antagonism,
+            exp.suggestion_satisfaction
+        );
+    }
+
+    // 4. Evaluate against the held-out prescriptions.
+    let test_features = cohort.features().select_rows(&split.test);
+    let test_labels = cohort.labels().select_rows(&split.test);
+    let scores = system.predict_scores(&test_features).expect("scores");
+    let metrics = ranking_metrics(&scores, &test_labels, 6).expect("metrics");
+    println!(
+        "Held-out performance: Precision@6 {:.3}, Recall@6 {:.3}, NDCG@6 {:.3}",
+        metrics.precision, metrics.recall, metrics.ndcg
+    );
+}

@@ -1,0 +1,85 @@
+//! # dssddi
+//!
+//! A from-scratch Rust reproduction of **"Decision Support System for
+//! Chronic Diseases Based on Drug-Drug Interactions"** (Bian et al.,
+//! ICDE 2023).
+//!
+//! This facade crate re-exports the whole workspace so downstream users can
+//! depend on a single crate:
+//!
+//! * [`tensor`] — dense matrices, sparse products and reverse-mode autodiff,
+//! * [`graph`] — signed/bipartite graphs, truss decomposition, Steiner trees
+//!   and closest-truss-community search,
+//! * [`data`] — synthetic chronic cohort, DrugCombDB-like DDI, MIMIC-like
+//!   EHR, DRKG/TransE substrates,
+//! * [`ml`] — k-means, logistic regression, SVMs, classifier chains and
+//!   ranking metrics,
+//! * [`gnn`] — GIN / SGCN / SiGAT / SNEA / LightGCN building blocks,
+//! * [`core`] — the DSSDDI system itself (DDI, Medical Decision and Medical
+//!   Support modules),
+//! * [`baselines`] — the comparison methods of the paper's evaluation.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use dssddi::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let registry = DrugRegistry::standard();
+//! let ddi = generate_ddi_graph(&registry, &DdiConfig::default(), &mut rng).unwrap();
+//! let cohort = generate_chronic_cohort(
+//!     &registry,
+//!     &ddi,
+//!     &ChronicConfig { n_patients: 400, ..Default::default() },
+//!     &mut rng,
+//! )
+//! .unwrap();
+//! let drug_features =
+//!     pretrained_drug_embeddings(&registry, &DrkgConfig::default(), &mut rng).unwrap();
+//! let split = split_patients(cohort.n_patients(), (5, 3, 2), &mut rng).unwrap();
+//!
+//! let system = Dssddi::fit_chronic(
+//!     &cohort,
+//!     &split.train,
+//!     &drug_features,
+//!     &ddi,
+//!     &DssddiConfig::fast(),
+//!     &mut rng,
+//! )
+//! .unwrap();
+//! let new_patient = cohort.features().select_rows(&split.test[..1]);
+//! for suggestion in system.suggest(&new_patient, 3).unwrap() {
+//!     println!("suggested drugs: {:?}", suggestion.drugs);
+//!     println!("suggestion satisfaction: {:.3}", suggestion.explanation.suggestion_satisfaction);
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub use dssddi_baselines as baselines;
+pub use dssddi_core as core;
+pub use dssddi_data as data;
+pub use dssddi_gnn as gnn;
+pub use dssddi_graph as graph;
+pub use dssddi_ml as ml;
+pub use dssddi_tensor as tensor;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use dssddi_baselines::{
+        BiparGcnRecommender, CauseRecRecommender, EccRecommender, GcmcRecommender,
+        LightGcnRecommender, Recommender, SafeDrugRecommender, SvmRecommender, UserSim,
+    };
+    pub use dssddi_core::{
+        Backbone, Dssddi, DssddiConfig, Explanation, MdModuleConfig, MsModuleConfig, Suggestion,
+    };
+    pub use dssddi_data::{
+        generate_chronic_cohort, generate_ddi_graph, generate_mimic_dataset,
+        pretrained_drug_embeddings, split_patients, ChronicCohort, ChronicConfig, DdiConfig,
+        Disease, DrkgConfig, DrugRegistry, MimicConfig, Split,
+    };
+    pub use dssddi_graph::{BipartiteGraph, Interaction, SignedGraph};
+    pub use dssddi_ml::{ndcg_at_k, precision_at_k, ranking_metrics, recall_at_k, top_k_indices};
+    pub use dssddi_tensor::Matrix;
+}
