@@ -38,7 +38,12 @@ pub struct GraphBaselineConfig {
 
 impl Default for GraphBaselineConfig {
     fn default() -> Self {
-        Self { hidden_dim: 64, epochs: 200, learning_rate: 0.01, layers: 2 }
+        Self {
+            hidden_dim: 64,
+            epochs: 200,
+            learning_rate: 0.01,
+            layers: 2,
+        }
     }
 }
 
@@ -68,12 +73,12 @@ fn build_operators(graph: &BipartiteGraph) -> Result<Operators, CoreError> {
 
 fn validate(features: &Matrix, graph: &BipartiteGraph) -> Result<(), CoreError> {
     if graph.left_count() == 0 || graph.right_count() == 0 {
-        return Err(CoreError::InvalidInput { what: "training graph is empty" });
+        return Err(CoreError::invalid_input("training graph is empty"));
     }
     if features.rows() != graph.left_count() {
-        return Err(CoreError::InvalidInput {
-            what: "feature rows must equal the number of observed patients",
-        });
+        return Err(CoreError::invalid_input(
+            "feature rows must equal the number of observed patients",
+        ));
     }
     Ok(())
 }
@@ -124,7 +129,8 @@ impl GcmcRecommender {
             &mut params,
             rng,
         );
-        let drug_embedding = params.add("gcmc.drug_embedding", init::xavier_uniform(n_drugs, h, rng));
+        let drug_embedding =
+            params.add("gcmc.drug_embedding", init::xavier_uniform(n_drugs, h, rng));
         let drug_conv = GcnLayer::new("gcmc.drug_conv", h, h, Activation::Relu, &mut params, rng);
         let operators = build_operators(graph)?;
         let mut optimizer = Adam::new(config.learning_rate);
@@ -137,7 +143,14 @@ impl GcmcRecommender {
             let hp = patient_encoder.forward(&mut tape, &params, &mut binder, x)?;
             let hd0 = binder.bind(&mut tape, &params, drug_embedding);
             // Drug representations aggregate the connected patients' encodings.
-            let hd = drug_conv.forward_with_input(&mut tape, &params, &mut binder, &operators.drug_from_patient, hp, hd0)?;
+            let hd = drug_conv.forward_with_input(
+                &mut tape,
+                &params,
+                &mut binder,
+                &operators.drug_from_patient,
+                hp,
+                hd0,
+            )?;
             let logits = inner_product_logits(&mut tape, hp, hd, &batch.patients, &batch.drugs)?;
             let targets = Matrix::from_vec(batch.targets.len(), 1, batch.targets.clone())?;
             let loss = tape.bce_with_logits(logits, &targets)?;
@@ -152,9 +165,20 @@ impl GcmcRecommender {
         let x = tape.constant(observed_features.clone());
         let hp = patient_encoder.forward(&mut tape, &params, &mut binder, x)?;
         let hd0 = binder.bind(&mut tape, &params, drug_embedding);
-        let hd = drug_conv.forward_with_input(&mut tape, &params, &mut binder, &operators.drug_from_patient, hp, hd0)?;
+        let hd = drug_conv.forward_with_input(
+            &mut tape,
+            &params,
+            &mut binder,
+            &operators.drug_from_patient,
+            hp,
+            hd0,
+        )?;
         let drug_repr = tape.value(hd).clone();
-        Ok(Self { params, patient_encoder, drug_repr })
+        Ok(Self {
+            params,
+            patient_encoder,
+            drug_repr,
+        })
     }
 }
 
@@ -198,7 +222,9 @@ impl Recommender for GcmcRecommender {
         let mut tape = Tape::new();
         let mut binder = Binder::new();
         let x = tape.constant(features.clone());
-        let hp = self.patient_encoder.forward(&mut tape, &self.params, &mut binder, x)?;
+        let hp = self
+            .patient_encoder
+            .forward(&mut tape, &self.params, &mut binder, x)?;
         let hp = tape.value(hp).clone();
         Ok(hp.matmul(&self.drug_repr.transpose())?)
     }
@@ -232,7 +258,9 @@ impl LightGcnRecommender {
         let patient_embedding = params.add("lightgcn.patients", init::xavier_uniform(m, h, rng));
         let drug_embedding = params.add("lightgcn.drugs", init::xavier_uniform(n, h, rng));
         let operators = build_operators(graph)?;
-        let betas: Vec<f32> = (0..=config.layers).map(|t| 1.0 / (t as f32 + 2.0)).collect();
+        let betas: Vec<f32> = (0..=config.layers)
+            .map(|t| 1.0 / (t as f32 + 2.0))
+            .collect();
         let mut optimizer = Adam::new(config.learning_rate);
 
         let propagate = |tape: &mut Tape, p0: Var, d0: Var| -> Result<(Var, Var), CoreError> {
@@ -275,7 +303,11 @@ impl LightGcnRecommender {
         let (hp, hd) = propagate(&mut tape, p0, d0)?;
         let patient_repr = tape.value(hp).clone();
         let drug_repr = tape.value(hd).clone();
-        Ok(Self { observed_features: observed_features.clone(), patient_repr, drug_repr })
+        Ok(Self {
+            observed_features: observed_features.clone(),
+            patient_repr,
+            drug_repr,
+        })
     }
 
     /// Final (propagated) representations of unobserved patients: the cosine
@@ -350,8 +382,18 @@ impl BiparGcnRecommender {
         );
         // Drug-oriented tower: free embeddings refined by aggregating the
         // patient-tower outputs of connected patients.
-        let drug_embedding = params.add("bipar.drug_embedding", init::xavier_uniform(n_drugs, h, rng));
-        let drug_conv = GcnLayer::new("bipar.drug_conv", h, h, Activation::LeakyRelu, &mut params, rng);
+        let drug_embedding = params.add(
+            "bipar.drug_embedding",
+            init::xavier_uniform(n_drugs, h, rng),
+        );
+        let drug_conv = GcnLayer::new(
+            "bipar.drug_conv",
+            h,
+            h,
+            Activation::LeakyRelu,
+            &mut params,
+            rng,
+        );
         let operators = build_operators(graph)?;
         let mut optimizer = Adam::new(config.learning_rate);
 
@@ -362,7 +404,8 @@ impl BiparGcnRecommender {
             let x = tape.constant(observed_features.clone());
             let hp = patient_tower.forward(tape, params, binder, x)?;
             let hd0 = binder.bind(tape, params, drug_embedding);
-            let aggregated = drug_conv.forward(tape, params, binder, &operators.drug_from_patient, hp)?;
+            let aggregated =
+                drug_conv.forward(tape, params, binder, &operators.drug_from_patient, hp)?;
             let hd = tape.add(aggregated, hd0)?;
             Ok((hp, hd))
         };
@@ -384,7 +427,11 @@ impl BiparGcnRecommender {
         let mut binder = Binder::new();
         let (_, hd) = forward(&mut tape, &mut binder, &params)?;
         let drug_repr = tape.value(hd).clone();
-        Ok(Self { params, patient_tower, drug_repr })
+        Ok(Self {
+            params,
+            patient_tower,
+            drug_repr,
+        })
     }
 }
 
@@ -397,7 +444,9 @@ impl Recommender for BiparGcnRecommender {
         let mut tape = Tape::new();
         let mut binder = Binder::new();
         let x = tape.constant(features.clone());
-        let hp = self.patient_tower.forward(&mut tape, &self.params, &mut binder, x)?;
+        let hp = self
+            .patient_tower
+            .forward(&mut tape, &self.params, &mut binder, x)?;
         let hp = tape.value(hp).clone();
         Ok(hp.matmul(&self.drug_repr.transpose())?)
     }
@@ -433,7 +482,12 @@ mod tests {
     }
 
     fn quick() -> GraphBaselineConfig {
-        GraphBaselineConfig { hidden_dim: 8, epochs: 60, learning_rate: 0.05, layers: 2 }
+        GraphBaselineConfig {
+            hidden_dim: 8,
+            epochs: 60,
+            learning_rate: 0.05,
+            layers: 2,
+        }
     }
 
     fn group0_probe() -> Matrix {

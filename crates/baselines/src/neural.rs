@@ -31,7 +31,11 @@ pub struct NeuralConfig {
 
 impl Default for NeuralConfig {
     fn default() -> Self {
-        Self { hidden_dim: 64, epochs: 150, learning_rate: 0.01 }
+        Self {
+            hidden_dim: 64,
+            epochs: 150,
+            learning_rate: 0.01,
+        }
     }
 }
 
@@ -88,7 +92,8 @@ impl SafeDrugRecommender {
     ) -> Result<Self, CoreError> {
         validate(observed_features, observed_labels)?;
         let n_drugs = observed_labels.cols();
-        let mut model = MultiLabelMlp::new(observed_features.cols(), config.hidden_dim, n_drugs, rng);
+        let mut model =
+            MultiLabelMlp::new(observed_features.cols(), config.hidden_dim, n_drugs, rng);
         let antagonistic: Vec<(usize, usize)> = ddi
             .edges_of(Interaction::Antagonistic)
             .into_iter()
@@ -100,7 +105,9 @@ impl SafeDrugRecommender {
             let mut tape = Tape::new();
             let mut binder = Binder::new();
             let x = tape.constant(observed_features.clone());
-            let logits = model.mlp.forward(&mut tape, &model.params, &mut binder, x)?;
+            let logits = model
+                .mlp
+                .forward(&mut tape, &model.params, &mut binder, x)?;
             let bce = tape.bce_with_logits(logits, observed_labels)?;
             // DDI loss: mean over antagonistic pairs of the product of the
             // predicted probabilities (both high => penalty).
@@ -169,8 +176,12 @@ impl CauseRecRecommender {
         rng: &mut impl Rng,
     ) -> Result<Self, CoreError> {
         validate(observed_features, observed_labels)?;
-        let mut model =
-            MultiLabelMlp::new(observed_features.cols(), config.hidden_dim, observed_labels.cols(), rng);
+        let mut model = MultiLabelMlp::new(
+            observed_features.cols(),
+            config.hidden_dim,
+            observed_labels.cols(),
+            rng,
+        );
         let mut optimizer = Adam::new(config.learning_rate);
         let mut losses = Vec::with_capacity(config.epochs);
         for _ in 0..config.epochs {
@@ -189,10 +200,14 @@ impl CauseRecRecommender {
             let mut tape = Tape::new();
             let mut binder = Binder::new();
             let x = tape.constant(observed_features.clone());
-            let logits = model.mlp.forward(&mut tape, &model.params, &mut binder, x)?;
+            let logits = model
+                .mlp
+                .forward(&mut tape, &model.params, &mut binder, x)?;
             let factual_loss = tape.bce_with_logits(logits, observed_labels)?;
             let x_cf = tape.constant(counterfactual);
-            let logits_cf = model.mlp.forward(&mut tape, &model.params, &mut binder, x_cf)?;
+            let logits_cf = model
+                .mlp
+                .forward(&mut tape, &model.params, &mut binder, x_cf)?;
             let cf_loss = tape.bce_with_logits(logits_cf, observed_labels)?;
             let cf_weighted = tape.scale(cf_loss, 0.5);
             let loss = tape.add(factual_loss, cf_weighted)?;
@@ -222,10 +237,14 @@ impl Recommender for CauseRecRecommender {
 
 fn validate(features: &Matrix, labels: &Matrix) -> Result<(), CoreError> {
     if features.rows() == 0 {
-        return Err(CoreError::InvalidInput { what: "baseline requires observed patients" });
+        return Err(CoreError::invalid_input(
+            "baseline requires observed patients",
+        ));
     }
     if features.rows() != labels.rows() {
-        return Err(CoreError::InvalidInput { what: "labels must have one row per observed patient" });
+        return Err(CoreError::invalid_input(
+            "labels must have one row per observed patient",
+        ));
     }
     Ok(())
 }
@@ -240,12 +259,17 @@ mod tests {
         let x = Matrix::from_fn(60, 3, |r, c| if (r % 3) == c { 1.0 } else { 0.0 });
         let y = Matrix::from_fn(60, 4, |r, c| if (r % 3) == c { 1.0 } else { 0.0 });
         let mut ddi = SignedGraph::new(4);
-        ddi.add_interaction(0, 3, Interaction::Antagonistic).unwrap();
+        ddi.add_interaction(0, 3, Interaction::Antagonistic)
+            .unwrap();
         (x, y, ddi)
     }
 
     fn quick() -> NeuralConfig {
-        NeuralConfig { hidden_dim: 16, epochs: 80, learning_rate: 0.05 }
+        NeuralConfig {
+            hidden_dim: 16,
+            epochs: 80,
+            learning_rate: 0.05,
+        }
     }
 
     #[test]
@@ -274,8 +298,7 @@ mod tests {
         let unconstrained =
             SafeDrugRecommender::fit(&x, &y, &ddi, 0.0, &quick(), &mut rng).unwrap();
         let mut rng = StdRng::seed_from_u64(1);
-        let constrained =
-            SafeDrugRecommender::fit(&x, &y, &ddi, 5.0, &quick(), &mut rng).unwrap();
+        let constrained = SafeDrugRecommender::fit(&x, &y, &ddi, 5.0, &quick(), &mut rng).unwrap();
         let probe = Matrix::from_vec(1, 3, vec![1.0, 0.0, 0.0]).unwrap();
         let joint = |m: &SafeDrugRecommender| {
             let s = m.predict_scores(&probe).unwrap();
@@ -300,8 +323,18 @@ mod tests {
     fn invalid_inputs_are_rejected() {
         let (x, y, ddi) = toy();
         let mut rng = StdRng::seed_from_u64(3);
-        assert!(SafeDrugRecommender::fit(&Matrix::zeros(0, 3), &Matrix::zeros(0, 4), &ddi, 0.1, &quick(), &mut rng).is_err());
-        assert!(CauseRecRecommender::fit(&x, &Matrix::zeros(10, 4), 0.2, &quick(), &mut rng).is_err());
+        assert!(SafeDrugRecommender::fit(
+            &Matrix::zeros(0, 3),
+            &Matrix::zeros(0, 4),
+            &ddi,
+            0.1,
+            &quick(),
+            &mut rng
+        )
+        .is_err());
+        assert!(
+            CauseRecRecommender::fit(&x, &Matrix::zeros(10, 4), 0.2, &quick(), &mut rng).is_err()
+        );
         let _ = y;
     }
 }

@@ -17,12 +17,14 @@ impl UserSim {
     /// Stores the observed patients' features and medication use.
     pub fn fit(observed_features: &Matrix, observed_labels: &Matrix) -> Result<Self, CoreError> {
         if observed_features.rows() != observed_labels.rows() {
-            return Err(CoreError::InvalidInput {
-                what: "UserSim needs one label row per observed patient",
-            });
+            return Err(CoreError::invalid_input(
+                "UserSim needs one label row per observed patient",
+            ));
         }
         if observed_features.rows() == 0 {
-            return Err(CoreError::InvalidInput { what: "UserSim needs at least one observed patient" });
+            return Err(CoreError::invalid_input(
+                "UserSim needs at least one observed patient",
+            ));
         }
         Ok(Self {
             observed_features: observed_features.clone(),
@@ -38,9 +40,9 @@ impl Recommender for UserSim {
 
     fn predict_scores(&self, features: &Matrix) -> Result<Matrix, CoreError> {
         if features.cols() != self.observed_features.cols() {
-            return Err(CoreError::InvalidInput {
-                what: "feature dimension differs from the observed patients",
-            });
+            return Err(CoreError::invalid_input(
+                "feature dimension differs from the observed patients",
+            ));
         }
         // Y_U = cosine_similarity(X_U, X_O) · Y_O  (Eq. 20).
         let similarity = features.cosine_similarity_matrix(&self.observed_features)?;
@@ -54,8 +56,7 @@ mod tests {
 
     #[test]
     fn similar_patients_inherit_medications() {
-        let observed_features =
-            Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
+        let observed_features = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]).unwrap();
         let observed_labels = Matrix::from_vec(2, 3, vec![1.0, 0.0, 0.0, 0.0, 1.0, 1.0]).unwrap();
         let model = UserSim::fit(&observed_features, &observed_labels).unwrap();
         // A patient identical to observed patient 0.

@@ -9,7 +9,7 @@ use rand::SeedableRng;
 use dssddi_baselines::{LightGcnRecommender, Recommender, UserSim};
 use dssddi_bench::BenchWorld;
 use dssddi_core::ms_module::explain_suggestion;
-use dssddi_core::{Dssddi, DssddiConfig, MsModuleConfig};
+use dssddi_core::{DssddiConfig, MsModuleConfig, ServiceBuilder};
 use dssddi_data::{generate_chronic_cohort, generate_mimic_dataset, ChronicConfig, MimicConfig};
 use dssddi_ml::{ndcg_at_k, precision_at_k, recall_at_k, top_k_indices};
 
@@ -23,7 +23,10 @@ fn bench_data_generation(c: &mut Criterion) {
             generate_chronic_cohort(
                 &world.registry,
                 &world.ddi,
-                &ChronicConfig { n_patients: 500, ..Default::default() },
+                &ChronicConfig {
+                    n_patients: 500,
+                    ..Default::default()
+                },
                 &mut rng,
             )
             .unwrap()
@@ -32,8 +35,14 @@ fn bench_data_generation(c: &mut Criterion) {
     group.bench_function("mimic_dataset_500_patients_table4", |b| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(11);
-            generate_mimic_dataset(&MimicConfig { n_patients: 500, ..Default::default() }, &mut rng)
-                .unwrap()
+            generate_mimic_dataset(
+                &MimicConfig {
+                    n_patients: 500,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+            .unwrap()
         })
     });
     group.finish();
@@ -56,15 +65,16 @@ fn bench_scoring_pipelines(c: &mut Criterion) {
     config.ddi.epochs = 30;
     config.md.epochs = 30;
     let mut rng = StdRng::seed_from_u64(13);
-    let dssddi = Dssddi::fit_chronic(
-        &world.cohort,
-        &observed,
-        &world.drug_features,
-        &world.ddi,
-        &config,
-        &mut rng,
-    )
-    .unwrap();
+    let dssddi = ServiceBuilder::new()
+        .config(config)
+        .fit_chronic(
+            &world.cohort,
+            &observed,
+            &world.drug_features,
+            &world.ddi,
+            &mut rng,
+        )
+        .unwrap();
     let lightgcn = LightGcnRecommender::fit(
         &train_x,
         &train_graph,

@@ -37,7 +37,10 @@ fn bench_mdgcn(c: &mut Criterion) {
     let graph = world.cohort.bipartite_graph(&observed).unwrap();
     let mut group = c.benchmark_group("mdgcn_training");
     group.sample_size(10);
-    for (label, counterfactual) in [("with_counterfactual", true), ("without_counterfactual", false)] {
+    for (label, counterfactual) in [
+        ("with_counterfactual", true),
+        ("without_counterfactual", false),
+    ] {
         let config = MdModuleConfig {
             hidden_dim: 32,
             epochs: 5,

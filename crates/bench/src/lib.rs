@@ -34,16 +34,24 @@ impl BenchWorld {
     pub fn new(n_patients: usize, seed: u64) -> Self {
         let registry = DrugRegistry::standard();
         let mut rng = StdRng::seed_from_u64(seed);
-        let ddi = generate_ddi_graph(&registry, &DdiConfig::default(), &mut rng)
-            .expect("DDI generation");
+        let ddi =
+            generate_ddi_graph(&registry, &DdiConfig::default(), &mut rng).expect("DDI generation");
         let cohort = generate_chronic_cohort(
             &registry,
             &ddi,
-            &ChronicConfig { n_patients, ..Default::default() },
+            &ChronicConfig {
+                n_patients,
+                ..Default::default()
+            },
             &mut rng,
         )
         .expect("cohort generation");
         let drug_features = Matrix::rand_uniform(registry.len(), 32, -0.1, 0.1, &mut rng);
-        Self { registry, ddi, cohort, drug_features }
+        Self {
+            registry,
+            ddi,
+            cohort,
+            drug_features,
+        }
     }
 }

@@ -34,7 +34,12 @@ impl Backbone {
     }
 
     /// All backbones in the order of Table I.
-    pub const ALL: [Backbone; 4] = [Backbone::Sigat, Backbone::Snea, Backbone::Gin, Backbone::Sgcn];
+    pub const ALL: [Backbone; 4] = [
+        Backbone::Sigat,
+        Backbone::Snea,
+        Backbone::Gin,
+        Backbone::Sgcn,
+    ];
 }
 
 /// Configuration of the DDI module (DDIGCN).
@@ -142,7 +147,10 @@ pub struct MsModuleConfig {
 
 impl Default for MsModuleConfig {
     fn default() -> Self {
-        Self { alpha: 0.5, ctc: CtcConfig::default() }
+        Self {
+            alpha: 0.5,
+            ctc: CtcConfig::default(),
+        }
     }
 }
 
@@ -162,8 +170,17 @@ impl DssddiConfig {
     /// hidden sizes and far fewer epochs, same structure.
     pub fn fast() -> Self {
         Self {
-            ddi: DdiModuleConfig { hidden_dim: 16, layers: 2, epochs: 60, ..Default::default() },
-            md: MdModuleConfig { hidden_dim: 16, epochs: 60, ..Default::default() },
+            ddi: DdiModuleConfig {
+                hidden_dim: 16,
+                layers: 2,
+                epochs: 60,
+                ..Default::default()
+            },
+            md: MdModuleConfig {
+                hidden_dim: 16,
+                epochs: 60,
+                ..Default::default()
+            },
             ms: MsModuleConfig::default(),
         }
     }
@@ -171,8 +188,14 @@ impl DssddiConfig {
     /// The paper's full configuration (slow: 400 + 1000 epochs).
     pub fn paper() -> Self {
         Self {
-            ddi: DdiModuleConfig { epochs: 400, ..Default::default() },
-            md: MdModuleConfig { epochs: 1000, ..Default::default() },
+            ddi: DdiModuleConfig {
+                epochs: 400,
+                ..Default::default()
+            },
+            md: MdModuleConfig {
+                epochs: 1000,
+                ..Default::default()
+            },
             ms: MsModuleConfig::default(),
         }
     }

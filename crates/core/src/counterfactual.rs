@@ -37,9 +37,9 @@ impl TreatmentMatrix {
         let m = graph.left_count();
         let n = graph.right_count();
         if clusters.len() != m {
-            return Err(CoreError::InvalidInput {
-                what: "cluster assignment length must equal the number of observed patients",
-            });
+            return Err(CoreError::invalid_input(
+                "cluster assignment length must equal the number of observed patients",
+            ));
         }
         let mut t = Matrix::zeros(m, n);
         // Step 1: observed links.
@@ -157,7 +157,10 @@ impl CounterfactualIndex {
     ) -> Self {
         let patient_neighbors = nearest_within(patient_features, gamma_patient, max_candidates);
         let drug_neighbors = nearest_within(drug_features, gamma_drug, max_candidates);
-        Self { patient_neighbors, drug_neighbors }
+        Self {
+            patient_neighbors,
+            drug_neighbors,
+        }
     }
 
     /// Finds counterfactual links for the given `(patient, drug)` training
@@ -212,7 +215,13 @@ fn nearest_within(features: &Matrix, threshold: f32, max_candidates: usize) -> V
             .filter(|&(d, _)| d <= threshold)
             .collect();
         dists.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
-        result.push(dists.into_iter().map(|(_, j)| j).take(max_candidates.max(1)).collect());
+        result.push(
+            dists
+                .into_iter()
+                .map(|(_, j)| j)
+                .take(max_candidates.max(1))
+                .collect(),
+        );
     }
     result
 }
@@ -230,13 +239,10 @@ mod tests {
         let clusters = vec![0, 0, 1, 1];
         let mut ddi = SignedGraph::new(5);
         ddi.add_interaction(1, 2, Interaction::Synergistic).unwrap();
-        ddi.add_interaction(0, 3, Interaction::Antagonistic).unwrap();
-        let patient_features = Matrix::from_vec(
-            4,
-            2,
-            vec![0.0, 0.0, 0.1, 0.0, 5.0, 5.0, 5.1, 5.0],
-        )
-        .unwrap();
+        ddi.add_interaction(0, 3, Interaction::Antagonistic)
+            .unwrap();
+        let patient_features =
+            Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.1, 0.0, 5.0, 5.0, 5.1, 5.0]).unwrap();
         let drug_features = Matrix::identity(5);
         (graph, clusters, ddi, patient_features, drug_features)
     }

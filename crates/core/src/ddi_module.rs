@@ -35,46 +35,65 @@ impl BackboneNet {
         rng: &mut impl Rng,
     ) -> Result<Self, CoreError> {
         if hidden_dim == 0 || layers == 0 {
-            return Err(CoreError::InvalidConfig {
-                what: "DDIGCN needs a positive hidden dimension and at least one layer",
-            });
+            return Err(CoreError::invalid_config(
+                "DDIGCN needs a positive hidden dimension and at least one layer",
+            ));
         }
         match backbone {
             Backbone::Gin => {
                 let mut convs = Vec::with_capacity(layers);
                 let mut dim = input_dim;
                 for l in 0..layers {
-                    convs.push(GinConv::new(&format!("ddigcn.gin{l}"), dim, hidden_dim, true, params, rng));
+                    convs.push(GinConv::new(
+                        &format!("ddigcn.gin{l}"),
+                        dim,
+                        hidden_dim,
+                        true,
+                        params,
+                        rng,
+                    ));
                     dim = hidden_dim;
                 }
                 Ok(BackboneNet::Gin(convs))
             }
             Backbone::Sgcn => {
-                if hidden_dim % 2 != 0 {
-                    return Err(CoreError::InvalidConfig {
-                        what: "SGCN backbone requires an even hidden dimension",
-                    });
+                if !hidden_dim.is_multiple_of(2) {
+                    return Err(CoreError::invalid_config(
+                        "SGCN backbone requires an even hidden dimension",
+                    ));
                 }
                 let half = hidden_dim / 2;
                 let mut convs = Vec::with_capacity(layers);
                 let mut dim = input_dim;
                 for l in 0..layers {
-                    convs.push(SgcnLayer::new(&format!("ddigcn.sgcn{l}"), dim, half, params, rng));
+                    convs.push(SgcnLayer::new(
+                        &format!("ddigcn.sgcn{l}"),
+                        dim,
+                        half,
+                        params,
+                        rng,
+                    ));
                     dim = half;
                 }
                 Ok(BackboneNet::Sgcn(convs))
             }
             Backbone::Sigat => {
-                if hidden_dim % 2 != 0 {
-                    return Err(CoreError::InvalidConfig {
-                        what: "SiGAT backbone requires an even hidden dimension",
-                    });
+                if !hidden_dim.is_multiple_of(2) {
+                    return Err(CoreError::invalid_config(
+                        "SiGAT backbone requires an even hidden dimension",
+                    ));
                 }
                 let half = hidden_dim / 2;
                 let mut convs = Vec::with_capacity(layers);
                 let mut dim = input_dim;
                 for l in 0..layers {
-                    convs.push(SigatLayer::new(&format!("ddigcn.sigat{l}"), dim, half, params, rng));
+                    convs.push(SigatLayer::new(
+                        &format!("ddigcn.sigat{l}"),
+                        dim,
+                        half,
+                        params,
+                        rng,
+                    ));
                     dim = hidden_dim;
                 }
                 Ok(BackboneNet::Sigat(convs))
@@ -83,7 +102,13 @@ impl BackboneNet {
                 let mut convs = Vec::with_capacity(layers);
                 let mut dim = input_dim;
                 for l in 0..layers {
-                    convs.push(SneaLayer::new(&format!("ddigcn.snea{l}"), dim, hidden_dim, params, rng));
+                    convs.push(SneaLayer::new(
+                        &format!("ddigcn.snea{l}"),
+                        dim,
+                        hidden_dim,
+                        params,
+                        rng,
+                    ));
                     dim = hidden_dim;
                 }
                 Ok(BackboneNet::Snea(convs))
@@ -153,7 +178,7 @@ impl DdiModule {
     ) -> Result<Self, CoreError> {
         let n = graph.node_count();
         if n == 0 {
-            return Err(CoreError::InvalidInput { what: "DDI graph has no drugs" });
+            return Err(CoreError::invalid_input("DDI graph has no drugs"));
         }
         // Ensure the training edge set contains explicit non-interactions.
         let mut graph = graph.clone();
@@ -165,11 +190,20 @@ impl DdiModule {
         }
         let ctx = SignedGraphContext::new(&graph)?;
         if ctx.labelled_edges.is_empty() {
-            return Err(CoreError::InvalidInput { what: "DDI graph has no edges to regress on" });
+            return Err(CoreError::invalid_input(
+                "DDI graph has no edges to regress on",
+            ));
         }
 
         let mut params = ParamSet::new();
-        let net = BackboneNet::build(config.backbone, n, config.hidden_dim, config.layers, &mut params, rng)?;
+        let net = BackboneNet::build(
+            config.backbone,
+            n,
+            config.hidden_dim,
+            config.layers,
+            &mut params,
+            rng,
+        )?;
 
         let edge_u: Vec<usize> = ctx.labelled_edges.iter().map(|&(u, _, _)| u).collect();
         let edge_v: Vec<usize> = ctx.labelled_edges.iter().map(|&(_, v, _)| v).collect();
@@ -205,7 +239,11 @@ impl DdiModule {
         let z = net.forward(&mut tape, &params, &mut binder, &ctx, x)?;
         let embeddings = tape.value(z).clone();
 
-        Ok(Self { embeddings, losses, backbone: config.backbone })
+        Ok(Self {
+            embeddings,
+            losses,
+            backbone: config.backbone,
+        })
     }
 
     /// The learned drug relation embeddings (`n_drugs x hidden_dim`).
@@ -271,7 +309,10 @@ mod tests {
             let module = DdiModule::train(&toy_ddi(), &quick(backbone), &mut rng).unwrap();
             let losses = module.training_losses();
             let first = losses[..10.min(losses.len())].iter().sum::<f32>() / 10.0;
-            let last = losses[losses.len().saturating_sub(10)..].iter().sum::<f32>() / 10.0;
+            let last = losses[losses.len().saturating_sub(10)..]
+                .iter()
+                .sum::<f32>()
+                / 10.0;
             assert!(
                 last < first,
                 "{}: loss did not decrease ({first} -> {last})",
@@ -297,12 +338,25 @@ mod tests {
     #[test]
     fn odd_hidden_dim_is_rejected_for_sign_concatenating_backbones() {
         let mut rng = StdRng::seed_from_u64(2);
-        let bad = DdiModuleConfig { hidden_dim: 7, backbone: Backbone::Sgcn, ..quick(Backbone::Sgcn) };
+        let bad = DdiModuleConfig {
+            hidden_dim: 7,
+            backbone: Backbone::Sgcn,
+            ..quick(Backbone::Sgcn)
+        };
         assert!(DdiModule::train(&toy_ddi(), &bad, &mut rng).is_err());
-        let bad2 = DdiModuleConfig { hidden_dim: 7, backbone: Backbone::Sigat, ..quick(Backbone::Sigat) };
+        let bad2 = DdiModuleConfig {
+            hidden_dim: 7,
+            backbone: Backbone::Sigat,
+            ..quick(Backbone::Sigat)
+        };
         assert!(DdiModule::train(&toy_ddi(), &bad2, &mut rng).is_err());
         // GIN accepts odd dimensions.
-        let ok = DdiModuleConfig { hidden_dim: 7, epochs: 5, backbone: Backbone::Gin, ..quick(Backbone::Gin) };
+        let ok = DdiModuleConfig {
+            hidden_dim: 7,
+            epochs: 5,
+            backbone: Backbone::Gin,
+            ..quick(Backbone::Gin)
+        };
         assert!(DdiModule::train(&toy_ddi(), &ok, &mut rng).is_ok());
     }
 

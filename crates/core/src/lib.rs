@@ -22,21 +22,34 @@ pub mod counterfactual;
 pub mod ddi_module;
 pub mod md_module;
 pub mod ms_module;
+pub mod service;
 pub mod system;
 
 pub use config::{Backbone, DdiModuleConfig, DssddiConfig, MdModuleConfig, MsModuleConfig};
 pub use counterfactual::{CounterfactualLinks, TreatmentMatrix};
 pub use ddi_module::DdiModule;
 pub use md_module::MdModule;
-pub use ms_module::{suggestion_satisfaction, Explanation, SignedEdge};
+pub use ms_module::{suggestion_satisfaction, Explanation, ExplanationCache, SignedEdge};
+pub use service::{
+    CheckPrescriptionRequest, DecisionService, DrugId, InteractionReport, PairInteraction,
+    PatientId, ScoredDrug, ServiceBuilder, SuggestFilters, SuggestRequest, SuggestResponse,
+};
 pub use system::{DrugSuggestion, Dssddi, Suggestion};
 
+use dssddi_data::DataError;
 use dssddi_graph::GraphError;
 use dssddi_ml::MlError;
 use dssddi_tensor::TensorError;
 
-/// Errors produced by the DSSDDI modules.
+/// The single error type produced everywhere in the DSSDDI system, from data
+/// assembly through training to clinical requests.
+///
+/// Contextual variants carry owned, formatted messages so callers see *which*
+/// value was wrong, not just that one was. The enum is `#[non_exhaustive]`:
+/// new failure modes may be added without a breaking change, so downstream
+/// matches need a wildcard arm.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CoreError {
     /// A tensor/autodiff operation failed (almost always a shape bug).
     Tensor(TensorError),
@@ -44,16 +57,54 @@ pub enum CoreError {
     Graph(GraphError),
     /// A classical ML component failed.
     Ml(MlError),
+    /// A data generator or registry operation failed.
+    Data(DataError),
     /// A configuration value is invalid for the requested operation.
     InvalidConfig {
         /// Description of the invalid configuration.
-        what: &'static str,
+        what: String,
     },
     /// The module has not been fitted yet or its inputs are inconsistent.
     InvalidInput {
         /// Description of the problem.
-        what: &'static str,
+        what: String,
     },
+    /// A drug referenced by name or ID is not in the service's registry.
+    UnknownDrug {
+        /// The name or ID the caller asked for.
+        query: String,
+    },
+    /// A clinical request needs a fitted model the service was built without.
+    NotFitted {
+        /// The operation that was requested.
+        operation: String,
+    },
+}
+
+impl CoreError {
+    /// A [`CoreError::InvalidConfig`] with a contextual message.
+    pub fn invalid_config(what: impl Into<String>) -> Self {
+        CoreError::InvalidConfig { what: what.into() }
+    }
+
+    /// A [`CoreError::InvalidInput`] with a contextual message.
+    pub fn invalid_input(what: impl Into<String>) -> Self {
+        CoreError::InvalidInput { what: what.into() }
+    }
+
+    /// A [`CoreError::UnknownDrug`] for a failed registry lookup.
+    pub fn unknown_drug(query: impl Into<String>) -> Self {
+        CoreError::UnknownDrug {
+            query: query.into(),
+        }
+    }
+
+    /// A [`CoreError::NotFitted`] for an operation requiring a trained model.
+    pub fn not_fitted(operation: impl Into<String>) -> Self {
+        CoreError::NotFitted {
+            operation: operation.into(),
+        }
+    }
 }
 
 impl std::fmt::Display for CoreError {
@@ -62,8 +113,18 @@ impl std::fmt::Display for CoreError {
             CoreError::Tensor(e) => write!(f, "tensor error: {e}"),
             CoreError::Graph(e) => write!(f, "graph error: {e}"),
             CoreError::Ml(e) => write!(f, "ml error: {e}"),
+            CoreError::Data(e) => write!(f, "data error: {e}"),
             CoreError::InvalidConfig { what } => write!(f, "invalid configuration: {what}"),
             CoreError::InvalidInput { what } => write!(f, "invalid input: {what}"),
+            CoreError::UnknownDrug { query } => {
+                write!(f, "unknown drug {query:?}: not in the service's formulary")
+            }
+            CoreError::NotFitted { operation } => {
+                write!(
+                    f,
+                    "{operation} requires a fitted model; this service was built without one"
+                )
+            }
         }
     }
 }
@@ -74,8 +135,15 @@ impl std::error::Error for CoreError {
             CoreError::Tensor(e) => Some(e),
             CoreError::Graph(e) => Some(e),
             CoreError::Ml(e) => Some(e),
+            CoreError::Data(e) => Some(e),
             _ => None,
         }
+    }
+}
+
+impl From<DataError> for CoreError {
+    fn from(e: DataError) -> Self {
+        CoreError::Data(e)
     }
 }
 

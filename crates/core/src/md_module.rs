@@ -98,31 +98,35 @@ impl MdModule {
         let m = train_graph.left_count();
         let n = train_graph.right_count();
         if m == 0 || n == 0 {
-            return Err(CoreError::InvalidInput { what: "training graph has no patients or drugs" });
+            return Err(CoreError::invalid_input(
+                "training graph has no patients or drugs",
+            ));
         }
         if train_features.rows() != m {
-            return Err(CoreError::InvalidInput {
-                what: "train_features rows must equal the number of observed patients",
-            });
+            return Err(CoreError::invalid_input(
+                "train_features rows must equal the number of observed patients",
+            ));
         }
         if drug_features.rows() != n {
-            return Err(CoreError::InvalidInput {
-                what: "drug_features rows must equal the number of drugs",
-            });
+            return Err(CoreError::invalid_input(
+                "drug_features rows must equal the number of drugs",
+            ));
         }
         if config.hidden_dim == 0 || config.epochs == 0 {
-            return Err(CoreError::InvalidConfig {
-                what: "MDGCN needs a positive hidden dimension and at least one epoch",
-            });
+            return Err(CoreError::invalid_config(
+                "MDGCN needs a positive hidden dimension and at least one epoch",
+            ));
         }
         let ddi_embeddings = if config.use_ddi_embeddings {
-            let emb = ddi_embeddings.ok_or(CoreError::InvalidInput {
-                what: "use_ddi_embeddings is enabled but no DDI embeddings were provided",
+            let emb = ddi_embeddings.ok_or_else(|| {
+                CoreError::invalid_input(
+                    "use_ddi_embeddings is enabled but no DDI embeddings were provided",
+                )
             })?;
             if emb.shape() != (n, config.hidden_dim) {
-                return Err(CoreError::InvalidInput {
-                    what: "DDI embeddings must have shape (n_drugs, hidden_dim)",
-                });
+                return Err(CoreError::invalid_input(
+                    "DDI embeddings must have shape (n_drugs, hidden_dim)",
+                ));
             }
             Some(emb.clone())
         } else {
@@ -132,9 +136,15 @@ impl MdModule {
         // Parameters.
         let mut params = ParamSet::new();
         let h = config.hidden_dim;
-        let patient_w = params.add("md.patient_w", init::xavier_uniform(train_features.cols(), h, rng));
+        let patient_w = params.add(
+            "md.patient_w",
+            init::xavier_uniform(train_features.cols(), h, rng),
+        );
         let patient_b = params.add("md.patient_b", init::zeros(1, h));
-        let drug_w = params.add("md.drug_w", init::xavier_uniform(drug_features.cols(), h, rng));
+        let drug_w = params.add(
+            "md.drug_w",
+            init::xavier_uniform(drug_features.cols(), h, rng),
+        );
         let drug_b = params.add("md.drug_b", init::zeros(1, h));
         let decoder = Mlp::new(
             "md.decoder",
@@ -150,7 +160,11 @@ impl MdModule {
         let kmeans = fit_kmeans(train_features, n_clusters, 50, rng)?;
         let clusters = kmeans.assignments().to_vec();
         let treatment = TreatmentMatrix::build(train_graph, &clusters, ddi_graph)?;
-        let labels = Matrix::from_fn(m, n, |p, d| if train_graph.has_edge(p, d) { 1.0 } else { 0.0 });
+        let labels = Matrix::from_fn(
+            m,
+            n,
+            |p, d| if train_graph.has_edge(p, d) { 1.0 } else { 0.0 },
+        );
         let cf_index = if config.use_counterfactual {
             Some(CounterfactualIndex::build(
                 train_features,
@@ -174,7 +188,7 @@ impl MdModule {
         for _ in 0..config.epochs {
             let batch = sample_link_batch(train_graph, config.negatives_per_positive, rng);
             if batch.is_empty() {
-                return Err(CoreError::InvalidInput { what: "training graph has no links" });
+                return Err(CoreError::invalid_input("training graph has no links"));
             }
             let factual_t: Vec<f32> = batch
                 .patients
@@ -209,16 +223,30 @@ impl MdModule {
 
             let targets = Matrix::from_vec(batch.targets.len(), 1, batch.targets.clone())?;
             let factual_logits = decode_pairs(
-                &mut tape, &params, &mut binder, &decoder, hp, hd,
-                &batch.patients, &batch.drugs, &factual_t,
+                &mut tape,
+                &params,
+                &mut binder,
+                &decoder,
+                hp,
+                hd,
+                &batch.patients,
+                &batch.drugs,
+                &factual_t,
             )?;
             let factual_loss = tape.bce_with_logits(factual_logits, &targets)?;
 
             let loss = if let Some(cf) = &counterfactual {
                 let cf_targets = Matrix::from_vec(cf.outcomes.len(), 1, cf.outcomes.clone())?;
                 let cf_logits = decode_pairs(
-                    &mut tape, &params, &mut binder, &decoder, hp, hd,
-                    &batch.patients, &batch.drugs, &cf.treatments,
+                    &mut tape,
+                    &params,
+                    &mut binder,
+                    &decoder,
+                    hp,
+                    hd,
+                    &batch.patients,
+                    &batch.drugs,
+                    &cf.treatments,
                 )?;
                 let cf_loss = tape.bce_with_logits(cf_logits, &cf_targets)?;
                 let weighted = tape.scale(cf_loss, config.delta);
@@ -251,7 +279,11 @@ impl MdModule {
             ddi_embeddings.as_ref(),
         )?;
         let drug_repr = tape.value(hd).clone();
-        let counterfactual_match_rate = if total_cf == 0 { 0.0 } else { matched as f64 / total_cf as f64 };
+        let counterfactual_match_rate = if total_cf == 0 {
+            0.0
+        } else {
+            matched as f64 / total_cf as f64
+        };
 
         Ok(Self {
             params,
@@ -306,16 +338,17 @@ impl MdModule {
     /// K-means cluster and the synergy edges of the DDI graph.
     pub fn treatment_for(&self, features_row: &[f32]) -> Vec<f32> {
         let cluster = self.kmeans.predict_row(features_row);
-        self.treatment.for_new_patient(cluster, &self.clusters, &self.ddi_graph)
+        self.treatment
+            .for_new_patient(cluster, &self.clusters, &self.ddi_graph)
     }
 
     /// Predicts medication-use scores (probabilities) for unobserved
     /// patients, one row per patient and one column per drug.
     pub fn predict_scores(&self, features: &Matrix) -> Result<Matrix, CoreError> {
         if features.cols() != self.params.get(self.patient_w).rows() {
-            return Err(CoreError::InvalidInput {
-                what: "patient feature dimension differs from the fitted model",
-            });
+            return Err(CoreError::invalid_input(
+                "patient feature dimension differs from the fitted model",
+            ));
         }
         let hp = self.patient_representations(features)?;
         let n_drugs = self.drug_repr.rows();
@@ -331,7 +364,9 @@ impl MdModule {
             let prod = tape.mul(hp_var, hd_sel)?;
             let t_col = tape.constant(Matrix::col_vector(&treat));
             let cat = tape.concat_cols(prod, t_col)?;
-            let logits = self.decoder.forward(&mut tape, &self.params, &mut binder, cat)?;
+            let logits = self
+                .decoder
+                .forward(&mut tape, &self.params, &mut binder, cat)?;
             let probs = tape.sigmoid(logits);
             let values = tape.value(probs);
             for d in 0..n_drugs {
@@ -454,7 +489,11 @@ mod tests {
         let features = Matrix::from_fn(20, 4, |p, c| {
             let group = p / 10;
             if c < 2 {
-                if group == 0 { 1.0 } else { 0.0 }
+                if group == 0 {
+                    1.0
+                } else {
+                    0.0
+                }
             } else if group == 1 {
                 1.0
             } else {
@@ -475,7 +514,8 @@ mod tests {
         let mut ddi = SignedGraph::new(6);
         ddi.add_interaction(0, 1, Interaction::Synergistic).unwrap();
         ddi.add_interaction(4, 5, Interaction::Synergistic).unwrap();
-        ddi.add_interaction(1, 4, Interaction::Antagonistic).unwrap();
+        ddi.add_interaction(1, 4, Interaction::Antagonistic)
+            .unwrap();
         (features, graph, drug_features, ddi)
     }
 
@@ -495,9 +535,16 @@ mod tests {
     fn training_reduces_loss_and_learns_group_preferences() {
         let (features, graph, drug_features, ddi) = toy();
         let mut rng = StdRng::seed_from_u64(0);
-        let module =
-            MdModule::fit(&features, &graph, &drug_features, &ddi, None, &quick_config(), &mut rng)
-                .unwrap();
+        let module = MdModule::fit(
+            &features,
+            &graph,
+            &drug_features,
+            &ddi,
+            None,
+            &quick_config(),
+            &mut rng,
+        )
+        .unwrap();
         let losses = module.training_losses();
         assert!(losses.last().unwrap() < losses.first().unwrap());
 
@@ -516,18 +563,40 @@ mod tests {
         let mut config = quick_config();
         config.use_ddi_embeddings = true;
         // Missing embeddings -> error.
-        assert!(MdModule::fit(&features, &graph, &drug_features, &ddi, None, &config, &mut rng).is_err());
+        assert!(MdModule::fit(
+            &features,
+            &graph,
+            &drug_features,
+            &ddi,
+            None,
+            &config,
+            &mut rng
+        )
+        .is_err());
         // Wrong shape -> error.
         let bad = Matrix::zeros(6, 3);
-        assert!(
-            MdModule::fit(&features, &graph, &drug_features, &ddi, Some(&bad), &config, &mut rng)
-                .is_err()
-        );
+        assert!(MdModule::fit(
+            &features,
+            &graph,
+            &drug_features,
+            &ddi,
+            Some(&bad),
+            &config,
+            &mut rng
+        )
+        .is_err());
         // Correct shape -> trains.
         let good = Matrix::rand_uniform(6, 8, -0.1, 0.1, &mut rng);
-        let module =
-            MdModule::fit(&features, &graph, &drug_features, &ddi, Some(&good), &config, &mut rng)
-                .unwrap();
+        let module = MdModule::fit(
+            &features,
+            &graph,
+            &drug_features,
+            &ddi,
+            Some(&good),
+            &config,
+            &mut rng,
+        )
+        .unwrap();
         assert!(module.ddi_embeddings().is_some());
     }
 
@@ -535,9 +604,16 @@ mod tests {
     fn treatment_for_new_patient_reflects_cluster_medication() {
         let (features, graph, drug_features, ddi) = toy();
         let mut rng = StdRng::seed_from_u64(2);
-        let module =
-            MdModule::fit(&features, &graph, &drug_features, &ddi, None, &quick_config(), &mut rng)
-                .unwrap();
+        let module = MdModule::fit(
+            &features,
+            &graph,
+            &drug_features,
+            &ddi,
+            None,
+            &quick_config(),
+            &mut rng,
+        )
+        .unwrap();
         let group0 = module.treatment_for(&[1.0, 1.0, 0.0, 0.0]);
         assert_eq!(group0[0], 1.0);
         assert_eq!(group0[1], 1.0);
@@ -551,15 +627,25 @@ mod tests {
     fn patient_representations_are_personalised() {
         let (features, graph, drug_features, ddi) = toy();
         let mut rng = StdRng::seed_from_u64(3);
-        let module =
-            MdModule::fit(&features, &graph, &drug_features, &ddi, None, &quick_config(), &mut rng)
-                .unwrap();
+        let module = MdModule::fit(
+            &features,
+            &graph,
+            &drug_features,
+            &ddi,
+            None,
+            &quick_config(),
+            &mut rng,
+        )
+        .unwrap();
         let reprs = module.patient_representations(&features).unwrap();
         assert_eq!(reprs.shape(), (20, 8));
         // Patients from different groups must not collapse to the same vector.
         let cross = reprs.row_cosine(0, &reprs, 15);
         let within = reprs.row_cosine(0, &reprs, 1);
-        assert!(within > cross, "within-group similarity {within} <= cross-group {cross}");
+        assert!(
+            within > cross,
+            "within-group similarity {within} <= cross-group {cross}"
+        );
     }
 
     #[test]
@@ -568,20 +654,52 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         // Mismatched feature rows.
         let bad_features = Matrix::zeros(5, 4);
-        assert!(MdModule::fit(&bad_features, &graph, &drug_features, &ddi, None, &quick_config(), &mut rng)
-            .is_err());
+        assert!(MdModule::fit(
+            &bad_features,
+            &graph,
+            &drug_features,
+            &ddi,
+            None,
+            &quick_config(),
+            &mut rng
+        )
+        .is_err());
         // Mismatched drug feature rows.
         let bad_drugs = Matrix::zeros(3, 6);
-        assert!(MdModule::fit(&features, &graph, &bad_drugs, &ddi, None, &quick_config(), &mut rng)
-            .is_err());
+        assert!(MdModule::fit(
+            &features,
+            &graph,
+            &bad_drugs,
+            &ddi,
+            None,
+            &quick_config(),
+            &mut rng
+        )
+        .is_err());
         // Zero epochs.
         let mut cfg = quick_config();
         cfg.epochs = 0;
-        assert!(MdModule::fit(&features, &graph, &drug_features, &ddi, None, &cfg, &mut rng).is_err());
+        assert!(MdModule::fit(
+            &features,
+            &graph,
+            &drug_features,
+            &ddi,
+            None,
+            &cfg,
+            &mut rng
+        )
+        .is_err());
         // Prediction with wrong feature width.
-        let module =
-            MdModule::fit(&features, &graph, &drug_features, &ddi, None, &quick_config(), &mut rng)
-                .unwrap();
+        let module = MdModule::fit(
+            &features,
+            &graph,
+            &drug_features,
+            &ddi,
+            None,
+            &quick_config(),
+            &mut rng,
+        )
+        .unwrap();
         assert!(module.predict_scores(&Matrix::zeros(1, 9)).is_err());
     }
 
@@ -589,15 +707,30 @@ mod tests {
     fn counterfactual_training_matches_some_pairs() {
         let (features, graph, drug_features, ddi) = toy();
         let mut rng = StdRng::seed_from_u64(5);
-        let module =
-            MdModule::fit(&features, &graph, &drug_features, &ddi, None, &quick_config(), &mut rng)
-                .unwrap();
+        let module = MdModule::fit(
+            &features,
+            &graph,
+            &drug_features,
+            &ddi,
+            None,
+            &quick_config(),
+            &mut rng,
+        )
+        .unwrap();
         assert!(module.counterfactual_match_rate() > 0.0);
         // Disabling counterfactuals trains too and reports a zero match rate.
         let mut cfg = quick_config();
         cfg.use_counterfactual = false;
-        let module2 =
-            MdModule::fit(&features, &graph, &drug_features, &ddi, None, &cfg, &mut rng).unwrap();
+        let module2 = MdModule::fit(
+            &features,
+            &graph,
+            &drug_features,
+            &ddi,
+            None,
+            &cfg,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(module2.counterfactual_match_rate(), 0.0);
     }
 }

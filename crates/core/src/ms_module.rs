@@ -8,6 +8,8 @@
 //! have many synergistic interactions among the suggested drugs and leave
 //! the antagonistic interactions pointing at non-suggested drugs.
 
+use std::collections::HashMap;
+
 use dssddi_graph::{closest_truss_community, Community, Interaction, SignedGraph};
 
 use crate::config::MsModuleConfig;
@@ -103,6 +105,58 @@ pub fn suggestion_satisfaction(
     alpha * first + (1.0 - alpha) * second
 }
 
+/// Memoizes [`explain_suggestion`] results keyed by the (sorted, deduplicated)
+/// suggested drug set.
+///
+/// Suggestion batches are highly repetitive: patients with the same chronic
+/// profile receive the same top-k drugs, and the closest-truss-community
+/// search is by far the most expensive part of serving a suggestion. One
+/// cache per batch collapses those repeats into a single search each.
+#[derive(Debug, Default)]
+pub struct ExplanationCache {
+    entries: HashMap<Vec<usize>, Explanation>,
+    hits: usize,
+    misses: usize,
+}
+
+impl ExplanationCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The explanation for `suggested`, computed at most once per distinct
+    /// drug set. The returned explanation lists the drugs in sorted order.
+    pub fn explain(
+        &mut self,
+        ddi: &SignedGraph,
+        suggested: &[usize],
+        config: &MsModuleConfig,
+    ) -> Result<Explanation, CoreError> {
+        let mut key: Vec<usize> = suggested.to_vec();
+        key.sort_unstable();
+        key.dedup();
+        if let Some(cached) = self.entries.get(&key) {
+            self.hits += 1;
+            return Ok(cached.clone());
+        }
+        let explanation = explain_suggestion(ddi, &key, config)?;
+        self.misses += 1;
+        self.entries.insert(key, explanation.clone());
+        Ok(explanation)
+    }
+
+    /// How many lookups were answered from the cache.
+    pub fn hits(&self) -> usize {
+        self.hits
+    }
+
+    /// How many lookups required a fresh community search.
+    pub fn misses(&self) -> usize {
+        self.misses
+    }
+}
+
 /// Builds the explanation for a set of suggested drugs: finds the closest
 /// truss community around them in the DDI graph, annotates its edges with
 /// interaction signs, and computes Suggestion Satisfaction.
@@ -112,11 +166,15 @@ pub fn explain_suggestion(
     config: &MsModuleConfig,
 ) -> Result<Explanation, CoreError> {
     if suggested.is_empty() {
-        return Err(CoreError::InvalidInput { what: "cannot explain an empty suggestion" });
+        return Err(CoreError::invalid_input(
+            "cannot explain an empty suggestion",
+        ));
     }
     for &d in suggested {
         if d >= ddi.node_count() {
-            return Err(CoreError::InvalidInput { what: "suggested drug ID outside the DDI graph" });
+            return Err(CoreError::invalid_input(
+                "suggested drug ID outside the DDI graph",
+            ));
         }
     }
     let structural = ddi.structural_graph();
@@ -126,7 +184,8 @@ pub fn explain_suggestion(
         .edges
         .iter()
         .filter_map(|&(u, v)| {
-            ddi.interaction(u, v).map(|interaction| SignedEdge { u, v, interaction })
+            ddi.interaction(u, v)
+                .map(|interaction| SignedEdge { u, v, interaction })
         })
         .collect();
 
@@ -226,7 +285,9 @@ mod tests {
             assert_eq!(exp.external_antagonism, 0);
         }
         assert!(exp.suggestion_satisfaction > 0.0);
-        assert!(exp.community.contains(0) && exp.community.contains(1) && exp.community.contains(2));
+        assert!(
+            exp.community.contains(0) && exp.community.contains(1) && exp.community.contains(2)
+        );
         // The unrelated pair {5,6} must not be pulled into the explanation.
         assert!(!exp.community.contains(5) && !exp.community.contains(6));
         assert_eq!(exp.synergy_pairs().len(), 3);
@@ -252,6 +313,28 @@ mod tests {
         let cfg = MsModuleConfig::default();
         assert!(explain_suggestion(&g, &[], &cfg).is_err());
         assert!(explain_suggestion(&g, &[99], &cfg).is_err());
+    }
+
+    #[test]
+    fn explanation_cache_deduplicates_equivalent_suggestions() {
+        let g = ddi();
+        let cfg = MsModuleConfig::default();
+        let mut cache = ExplanationCache::new();
+        let a = cache.explain(&g, &[0, 1, 2], &cfg).unwrap();
+        // Same set in a different order, and with a duplicate: both hits.
+        let b = cache.explain(&g, &[2, 0, 1], &cfg).unwrap();
+        let c = cache.explain(&g, &[1, 0, 2, 2], &cfg).unwrap();
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(a.suggestion_satisfaction, b.suggestion_satisfaction);
+        assert_eq!(a.internal_synergy, c.internal_synergy);
+        // A genuinely different set misses.
+        cache.explain(&g, &[3, 4], &cfg).unwrap();
+        assert_eq!(cache.misses(), 2);
+        // Cached results agree with the uncached path.
+        let direct = explain_suggestion(&g, &[0, 1, 2], &cfg).unwrap();
+        assert_eq!(a.suggestion_satisfaction, direct.suggestion_satisfaction);
+        assert_eq!(a.edges.len(), direct.edges.len());
     }
 
     #[test]

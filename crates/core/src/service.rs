@@ -1,0 +1,1089 @@
+//! The clinical decision service: a typed request/response API over the
+//! DSSDDI system.
+//!
+//! The research-style [`Dssddi`] facade works in raw `usize` drug indices and
+//! positional [`Matrix`] arguments. Deployed prescription-critiquing systems
+//! are organised differently: a doctor-facing service accepts *typed clinical
+//! requests* and returns *structured, explanation-carrying responses*. This
+//! module provides that layer:
+//!
+//! * [`DrugId`] / [`PatientId`] — typed identifiers with registry-backed name
+//!   resolution instead of bare indices,
+//! * [`ServiceBuilder`] — validates and assembles a [`DssddiConfig`] before
+//!   any training starts, returning contextual errors,
+//! * [`SuggestRequest`] → [`SuggestResponse`] — top-k medication suggestion
+//!   for one patient, with per-request filters and named, scored drugs,
+//! * [`CheckPrescriptionRequest`] → [`InteractionReport`] — critique of an
+//!   existing drug set against the signed DDI graph, no model required,
+//! * [`DecisionService::suggest_batch`] — serves many patients with a single
+//!   score-prediction pass and memoized explanations.
+//!
+//! ```no_run
+//! use dssddi_core::{ServiceBuilder, SuggestRequest, PatientId};
+//! # use dssddi_data::{generate_chronic_cohort, generate_ddi_graph,
+//! #     pretrained_drug_embeddings, split_patients, ChronicConfig, DdiConfig,
+//! #     DrkgConfig, DrugRegistry};
+//! # use rand::SeedableRng;
+//! # let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! # let registry = DrugRegistry::standard();
+//! # let ddi = generate_ddi_graph(&registry, &DdiConfig::default(), &mut rng).unwrap();
+//! # let cohort = generate_chronic_cohort(&registry, &ddi, &ChronicConfig::default(), &mut rng).unwrap();
+//! # let features = pretrained_drug_embeddings(&registry, &DrkgConfig::default(), &mut rng).unwrap();
+//! # let split = split_patients(cohort.n_patients(), (5, 3, 2), &mut rng).unwrap();
+//! let service = ServiceBuilder::fast()
+//!     .fit_chronic(&cohort, &split.train, &features, &ddi, &mut rng)
+//!     .unwrap();
+//! let request = SuggestRequest::new(
+//!     PatientId::new(0),
+//!     cohort.features().row(split.test[0]).to_vec(),
+//!     3,
+//! );
+//! let response = service.suggest(&request).unwrap();
+//! for drug in &response.drugs {
+//!     println!("{} ({}): {:.3}", drug.name, drug.id, drug.score);
+//! }
+//! ```
+
+use std::fmt;
+
+use rand::Rng;
+
+use dssddi_data::{ChronicCohort, DrugRegistry};
+use dssddi_graph::{BipartiteGraph, Interaction, SignedGraph};
+use dssddi_tensor::Matrix;
+
+use crate::config::{Backbone, DssddiConfig};
+use crate::ms_module::{Explanation, ExplanationCache};
+use crate::system::Dssddi;
+use crate::CoreError;
+
+/// A typed drug identifier (the paper's DID): an index into the service's
+/// [`DrugRegistry`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DrugId(usize);
+
+impl DrugId {
+    /// Wraps a raw DID.
+    pub fn new(id: usize) -> Self {
+        DrugId(id)
+    }
+
+    /// The raw index into the formulary.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for DrugId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DID {}", self.0)
+    }
+}
+
+impl From<usize> for DrugId {
+    fn from(id: usize) -> Self {
+        DrugId(id)
+    }
+}
+
+/// A typed patient identifier, echoed back in responses so batched callers
+/// can correlate requests with results.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PatientId(usize);
+
+impl PatientId {
+    /// Wraps a raw patient identifier.
+    pub fn new(id: usize) -> Self {
+        PatientId(id)
+    }
+
+    /// The raw identifier.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for PatientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "patient #{}", self.0)
+    }
+}
+
+impl From<usize> for PatientId {
+    fn from(id: usize) -> Self {
+        PatientId(id)
+    }
+}
+
+/// One suggested drug: typed identifier, resolved name and prediction score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScoredDrug {
+    /// Typed drug identifier.
+    pub id: DrugId,
+    /// Generic name from the registry.
+    pub name: String,
+    /// Predicted medication-use probability.
+    pub score: f32,
+}
+
+/// Per-request constraints on which drugs may be suggested.
+#[derive(Debug, Clone, Default)]
+pub struct SuggestFilters {
+    /// Drugs that must never appear in the suggestion (allergies,
+    /// contraindications, drugs already tried).
+    pub exclude: Vec<DrugId>,
+    /// Drugs the patient is already taking: any candidate with an
+    /// antagonistic DDI against one of these is dropped.
+    pub avoid_antagonists_of: Vec<DrugId>,
+}
+
+impl SuggestFilters {
+    /// No constraints.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Returns true when the filters reject candidate drug `d`.
+    fn rejects(&self, d: usize, ddi: &SignedGraph) -> bool {
+        if self.exclude.iter().any(|x| x.index() == d) {
+            return true;
+        }
+        self.avoid_antagonists_of
+            .iter()
+            .any(|taken| ddi.interaction(taken.index(), d) == Some(Interaction::Antagonistic))
+    }
+}
+
+/// A medication-suggestion request for one patient.
+#[derive(Debug, Clone)]
+pub struct SuggestRequest {
+    /// Caller-side patient identifier, echoed in the response.
+    pub patient: PatientId,
+    /// The patient's feature vector (same layout as the training features).
+    pub features: Vec<f32>,
+    /// Number of drugs to suggest.
+    pub k: usize,
+    /// Constraints on the suggestion.
+    pub filters: SuggestFilters,
+}
+
+impl SuggestRequest {
+    /// A request with no filters.
+    pub fn new(patient: PatientId, features: Vec<f32>, k: usize) -> Self {
+        Self {
+            patient,
+            features,
+            k,
+            filters: SuggestFilters::none(),
+        }
+    }
+
+    /// Adds filters to the request.
+    pub fn with_filters(mut self, filters: SuggestFilters) -> Self {
+        self.filters = filters;
+        self
+    }
+}
+
+/// The service's answer to a [`SuggestRequest`].
+#[derive(Debug, Clone)]
+pub struct SuggestResponse {
+    /// The patient the suggestion is for.
+    pub patient: PatientId,
+    /// Suggested drugs in descending score order, with resolved names.
+    pub drugs: Vec<ScoredDrug>,
+    /// The DDI-based explanation subgraph shown to the doctor.
+    pub explanation: Explanation,
+    /// The Suggestion Satisfaction score (Eq. 19), copied out of the
+    /// explanation for convenience.
+    pub suggestion_satisfaction: f64,
+}
+
+/// A request to critique an existing prescription against the DDI graph.
+#[derive(Debug, Clone)]
+pub struct CheckPrescriptionRequest {
+    /// Optional patient the prescription belongs to.
+    pub patient: Option<PatientId>,
+    /// The prescribed drugs.
+    pub drugs: Vec<DrugId>,
+}
+
+impl CheckPrescriptionRequest {
+    /// A prescription check without patient attribution.
+    pub fn new(drugs: Vec<DrugId>) -> Self {
+        Self {
+            patient: None,
+            drugs,
+        }
+    }
+
+    /// Attributes the prescription to a patient.
+    pub fn for_patient(mut self, patient: PatientId) -> Self {
+        self.patient = Some(patient);
+        self
+    }
+}
+
+/// One annotated drug-drug interaction inside a prescription.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairInteraction {
+    /// First drug.
+    pub a: DrugId,
+    /// First drug's name.
+    pub a_name: String,
+    /// Second drug.
+    pub b: DrugId,
+    /// Second drug's name.
+    pub b_name: String,
+    /// The interaction's sign.
+    pub interaction: Interaction,
+}
+
+/// The critique of a prescription: every pairwise interaction among the
+/// prescribed drugs, plus the community explanation and its SS score.
+#[derive(Debug, Clone)]
+pub struct InteractionReport {
+    /// The patient the prescription belongs to, when given.
+    pub patient: Option<PatientId>,
+    /// The prescribed drugs with resolved names (scores are not applicable
+    /// and set to the neutral 1.0).
+    pub drugs: Vec<ScoredDrug>,
+    /// Antagonistic pairs among the prescribed drugs — the cases a doctor
+    /// must review before signing off.
+    pub antagonistic: Vec<PairInteraction>,
+    /// Synergistic pairs among the prescribed drugs.
+    pub synergistic: Vec<PairInteraction>,
+    /// The community explanation around the prescription.
+    pub explanation: Explanation,
+    /// The Suggestion Satisfaction score of the prescription.
+    pub suggestion_satisfaction: f64,
+}
+
+impl InteractionReport {
+    /// True when no antagonistic pair was found among the prescribed drugs.
+    pub fn is_safe(&self) -> bool {
+        self.antagonistic.is_empty()
+    }
+}
+
+/// Validates and assembles a [`DssddiConfig`] into a [`DecisionService`].
+///
+/// The builder replaces the ad-hoc `DssddiConfig` struct mutation that every
+/// example and test used to do, and rejects inconsistent configurations
+/// *before* spending any training time, with messages naming the offending
+/// value.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceBuilder {
+    config: DssddiConfig,
+    registry: Option<DrugRegistry>,
+}
+
+impl ServiceBuilder {
+    /// A builder starting from the paper's default configuration.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A builder starting from [`DssddiConfig::fast`] — right for examples,
+    /// tests and interactive use.
+    pub fn fast() -> Self {
+        Self {
+            config: DssddiConfig::fast(),
+            registry: None,
+        }
+    }
+
+    /// A builder starting from the paper's full training schedule.
+    pub fn paper() -> Self {
+        Self {
+            config: DssddiConfig::paper(),
+            registry: None,
+        }
+    }
+
+    /// Replaces the whole configuration.
+    pub fn config(mut self, config: DssddiConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the DDIGCN backbone.
+    pub fn backbone(mut self, backbone: Backbone) -> Self {
+        self.config.ddi.backbone = backbone;
+        self
+    }
+
+    /// Sets the hidden dimension shared by the DDI and MD modules.
+    pub fn hidden_dim(mut self, dim: usize) -> Self {
+        self.config.ddi.hidden_dim = dim;
+        self.config.md.hidden_dim = dim;
+        self
+    }
+
+    /// Sets the training epochs of the DDI and MD modules.
+    pub fn epochs(mut self, ddi: usize, md: usize) -> Self {
+        self.config.ddi.epochs = ddi;
+        self.config.md.epochs = md;
+        self
+    }
+
+    /// Enables or disables counterfactual augmentation.
+    pub fn counterfactual(mut self, enabled: bool) -> Self {
+        self.config.md.use_counterfactual = enabled;
+        self
+    }
+
+    /// Sets the Suggestion Satisfaction balance α (must lie in `[0, 1]`).
+    pub fn alpha(mut self, alpha: f64) -> Self {
+        self.config.ms.alpha = alpha;
+        self
+    }
+
+    /// Uses a custom drug registry instead of [`DrugRegistry::standard`].
+    pub fn registry(mut self, registry: DrugRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// The assembled configuration (after validation it is safe to train).
+    pub fn peek_config(&self) -> &DssddiConfig {
+        &self.config
+    }
+
+    /// Checks the assembled configuration, returning a contextual error for
+    /// the first inconsistency found.
+    pub fn validate(&self) -> Result<(), CoreError> {
+        let c = &self.config;
+        if c.ddi.hidden_dim == 0 {
+            return Err(CoreError::invalid_config("ddi.hidden_dim must be positive"));
+        }
+        if matches!(c.ddi.backbone, Backbone::Sgcn | Backbone::Sigat)
+            && !c.ddi.hidden_dim.is_multiple_of(2)
+        {
+            return Err(CoreError::invalid_config(format!(
+                "ddi.hidden_dim = {} must be even for the {} backbone (its output is a \
+                 sign-wise concatenation of two halves)",
+                c.ddi.hidden_dim,
+                c.ddi.backbone.name()
+            )));
+        }
+        if c.ddi.layers == 0 {
+            return Err(CoreError::invalid_config("ddi.layers must be at least 1"));
+        }
+        if c.ddi.epochs == 0 || c.md.epochs == 0 {
+            return Err(CoreError::invalid_config(format!(
+                "training epochs must be positive (ddi.epochs = {}, md.epochs = {})",
+                c.ddi.epochs, c.md.epochs
+            )));
+        }
+        for (name, lr) in [("ddi", c.ddi.learning_rate), ("md", c.md.learning_rate)] {
+            if !(lr.is_finite() && lr > 0.0) {
+                return Err(CoreError::invalid_config(format!(
+                    "{name}.learning_rate = {lr} must be a positive finite number"
+                )));
+            }
+        }
+        if c.md.hidden_dim == 0 {
+            return Err(CoreError::invalid_config("md.hidden_dim must be positive"));
+        }
+        if c.md.propagation_layers == 0 {
+            return Err(CoreError::invalid_config(
+                "md.propagation_layers must be at least 1",
+            ));
+        }
+        if c.md.n_clusters == 0 {
+            return Err(CoreError::invalid_config(
+                "md.n_clusters must be positive (the paper uses the number of chronic diseases)",
+            ));
+        }
+        if !(0.0..=1.0).contains(&c.ms.alpha) {
+            return Err(CoreError::invalid_config(format!(
+                "ms.alpha = {} must lie in [0, 1] (it balances internal synergy against \
+                 external antagonism in SS)",
+                c.ms.alpha
+            )));
+        }
+        Ok(())
+    }
+
+    fn registry_for(&self, ddi_graph: &SignedGraph) -> Result<DrugRegistry, CoreError> {
+        let registry = self.registry.clone().unwrap_or_default();
+        if registry.len() != ddi_graph.node_count() {
+            return Err(CoreError::invalid_input(format!(
+                "registry has {} drugs but the DDI graph has {} nodes; the service needs \
+                 one registry entry per DDI node to resolve names",
+                registry.len(),
+                ddi_graph.node_count()
+            )));
+        }
+        Ok(registry)
+    }
+
+    /// Builds a *support-only* service around a DDI graph: prescription
+    /// critique and explanations work, suggestion requires a fitted model
+    /// and returns [`CoreError::NotFitted`]. No training happens.
+    pub fn build_support(self, ddi_graph: &SignedGraph) -> Result<DecisionService, CoreError> {
+        self.validate()?;
+        let registry = self.registry_for(ddi_graph)?;
+        Ok(DecisionService {
+            registry,
+            state: ServiceState::SupportOnly {
+                ddi: ddi_graph.clone(),
+                config: self.config,
+            },
+        })
+    }
+
+    /// Validates, then fits the full system on explicit training matrices.
+    pub fn fit(
+        self,
+        train_features: &Matrix,
+        train_graph: &BipartiteGraph,
+        drug_features: &Matrix,
+        ddi_graph: &SignedGraph,
+        rng: &mut impl Rng,
+    ) -> Result<DecisionService, CoreError> {
+        self.validate()?;
+        let registry = self.registry_for(ddi_graph)?;
+        let engine = Dssddi::fit(
+            train_features,
+            train_graph,
+            drug_features,
+            ddi_graph,
+            &self.config,
+            rng,
+        )?;
+        Ok(DecisionService {
+            registry,
+            state: ServiceState::Fitted {
+                engine: Box::new(engine),
+                n_features: train_features.cols(),
+            },
+        })
+    }
+
+    /// Validates, then fits the full system on the observed subset of a
+    /// generated chronic cohort.
+    pub fn fit_chronic(
+        self,
+        cohort: &ChronicCohort,
+        observed_patients: &[usize],
+        drug_features: &Matrix,
+        ddi_graph: &SignedGraph,
+        rng: &mut impl Rng,
+    ) -> Result<DecisionService, CoreError> {
+        self.validate()?;
+        let registry = self.registry_for(ddi_graph)?;
+        let engine = Dssddi::fit_chronic_inner(
+            cohort,
+            observed_patients,
+            drug_features,
+            ddi_graph,
+            &self.config,
+            rng,
+        )?;
+        Ok(DecisionService {
+            registry,
+            state: ServiceState::Fitted {
+                engine: Box::new(engine),
+                n_features: cohort.features().cols(),
+            },
+        })
+    }
+}
+
+/// The doctor-facing decision service: typed suggestion and prescription
+/// critique over a fitted DSSDDI system and its drug registry.
+pub struct DecisionService {
+    registry: DrugRegistry,
+    state: ServiceState,
+}
+
+/// What the service was built with. A fitted engine already owns the DDI
+/// graph and configuration, so the service stores its own copies only in
+/// support-only mode — there is exactly one copy either way.
+enum ServiceState {
+    /// Trained by one of the builder's `fit*` methods.
+    Fitted {
+        engine: Box<Dssddi>,
+        n_features: usize,
+    },
+    /// Built by [`ServiceBuilder::build_support`]: critique only.
+    SupportOnly {
+        ddi: SignedGraph,
+        config: DssddiConfig,
+    },
+}
+
+impl fmt::Debug for DecisionService {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DecisionService")
+            .field("drugs", &self.registry.len())
+            .field("ddi_edges", &self.ddi_graph().edge_count())
+            .field("fitted", &self.engine().is_some())
+            .finish_non_exhaustive()
+    }
+}
+
+impl DecisionService {
+    /// Resolves a free-form drug reference (name, `"48"`, `"DID 48"`).
+    pub fn resolve_drug(&self, query: &str) -> Result<DrugId, CoreError> {
+        self.registry
+            .resolve(query)
+            .map(DrugId::new)
+            .ok_or_else(|| CoreError::unknown_drug(query))
+    }
+
+    /// The generic name behind a typed drug identifier.
+    pub fn drug_name(&self, id: DrugId) -> Result<&str, CoreError> {
+        self.registry
+            .name_of(id.index())
+            .ok_or_else(|| CoreError::unknown_drug(id.to_string()))
+    }
+
+    /// The drug registry backing name resolution.
+    pub fn registry(&self) -> &DrugRegistry {
+        &self.registry
+    }
+
+    /// The signed DDI graph the service critiques prescriptions against.
+    pub fn ddi_graph(&self) -> &SignedGraph {
+        match &self.state {
+            ServiceState::Fitted { engine, .. } => engine.ddi_graph(),
+            ServiceState::SupportOnly { ddi, .. } => ddi,
+        }
+    }
+
+    /// The configuration the service was built with.
+    pub fn config(&self) -> &DssddiConfig {
+        match &self.state {
+            ServiceState::Fitted { engine, .. } => engine.config(),
+            ServiceState::SupportOnly { config, .. } => config,
+        }
+    }
+
+    /// The underlying fitted system, when the service was built by training
+    /// (absent for [`ServiceBuilder::build_support`] services).
+    pub fn engine(&self) -> Option<&Dssddi> {
+        match &self.state {
+            ServiceState::Fitted { engine, .. } => Some(engine.as_ref()),
+            ServiceState::SupportOnly { .. } => None,
+        }
+    }
+
+    fn fitted(&self, operation: &str) -> Result<(&Dssddi, usize), CoreError> {
+        match &self.state {
+            ServiceState::Fitted { engine, n_features } => Ok((engine.as_ref(), *n_features)),
+            ServiceState::SupportOnly { .. } => Err(CoreError::not_fitted(operation)),
+        }
+    }
+
+    /// Raw medication-use scores (one row per patient, one column per drug)
+    /// for externally assembled feature matrices.
+    pub fn predict_scores(&self, features: &Matrix) -> Result<Matrix, CoreError> {
+        self.fitted("predict_scores")?.0.predict_scores(features)
+    }
+
+    /// Serves one suggestion request.
+    pub fn suggest(&self, request: &SuggestRequest) -> Result<SuggestResponse, CoreError> {
+        self.suggest_batch(std::slice::from_ref(request))?
+            .pop()
+            .ok_or_else(|| CoreError::invalid_input("suggest_batch returned no response"))
+    }
+
+    /// Serves a batch of suggestion requests.
+    ///
+    /// Score prediction is amortised: the patients' feature vectors are
+    /// stacked into one matrix and pushed through the model in a single
+    /// forward pass, and explanations are memoized per distinct suggested
+    /// drug set — with homogeneous cohorts most patients share a handful of
+    /// communities.
+    pub fn suggest_batch(
+        &self,
+        requests: &[SuggestRequest],
+    ) -> Result<Vec<SuggestResponse>, CoreError> {
+        let (engine, n_features) = self.fitted("suggest_batch")?;
+        if requests.is_empty() {
+            return Ok(Vec::new());
+        }
+        let n_drugs = self.ddi_graph().node_count();
+        for (i, request) in requests.iter().enumerate() {
+            if request.features.len() != n_features {
+                return Err(CoreError::invalid_input(format!(
+                    "request {i} ({}) carries {} features but the model was trained on {}",
+                    request.patient,
+                    request.features.len(),
+                    n_features
+                )));
+            }
+            if request.k == 0 {
+                return Err(CoreError::invalid_input(format!(
+                    "request {i} ({}) asks for k = 0 suggestions",
+                    request.patient
+                )));
+            }
+            for id in request
+                .filters
+                .exclude
+                .iter()
+                .chain(&request.filters.avoid_antagonists_of)
+            {
+                if id.index() >= n_drugs {
+                    return Err(CoreError::unknown_drug(id.to_string()));
+                }
+            }
+        }
+
+        // One forward pass for the whole batch.
+        let stacked: Vec<f32> = requests
+            .iter()
+            .flat_map(|r| r.features.iter().copied())
+            .collect();
+        let features = Matrix::from_vec(requests.len(), n_features, stacked)?;
+        let scores = engine.predict_scores(&features)?;
+
+        let mut cache = ExplanationCache::new();
+        let mut responses = Vec::with_capacity(requests.len());
+        for (row, request) in requests.iter().enumerate() {
+            let ranked = self.ranked_candidates(scores.row(row), request)?;
+            let suggested: Vec<usize> = ranked.iter().map(|d| d.id.index()).collect();
+            let explanation = cache.explain(self.ddi_graph(), &suggested, &self.config().ms)?;
+            let suggestion_satisfaction = explanation.suggestion_satisfaction;
+            responses.push(SuggestResponse {
+                patient: request.patient,
+                drugs: ranked,
+                explanation,
+                suggestion_satisfaction,
+            });
+        }
+        Ok(responses)
+    }
+
+    /// Ranks one patient's scores under the request's filters.
+    fn ranked_candidates(
+        &self,
+        scores: &[f32],
+        request: &SuggestRequest,
+    ) -> Result<Vec<ScoredDrug>, CoreError> {
+        let filters_active =
+            !request.filters.exclude.is_empty() || !request.filters.avoid_antagonists_of.is_empty();
+        let mut order: Vec<usize> = (0..scores.len())
+            .filter(|&d| !request.filters.rejects(d, self.ddi_graph()))
+            .collect();
+        if order.len() < request.k {
+            return Err(CoreError::invalid_input(if filters_active {
+                format!(
+                    "filters for {} leave only {} candidate drugs but k = {}",
+                    request.patient,
+                    order.len(),
+                    request.k
+                )
+            } else {
+                format!(
+                    "k = {} exceeds the {} drugs in the formulary (request for {})",
+                    request.k,
+                    order.len(),
+                    request.patient
+                )
+            }));
+        }
+        order.sort_by(|&a, &b| {
+            scores[b]
+                .partial_cmp(&scores[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        order.truncate(request.k);
+        order
+            .into_iter()
+            .map(|d| {
+                Ok(ScoredDrug {
+                    id: DrugId::new(d),
+                    name: self.drug_name(DrugId::new(d))?.to_string(),
+                    score: scores[d],
+                })
+            })
+            .collect()
+    }
+
+    /// Critiques an existing prescription against the signed DDI graph:
+    /// classifies every pairwise interaction and attaches the community
+    /// explanation with its Suggestion Satisfaction score.
+    ///
+    /// Works on every service, including support-only ones — no fitted
+    /// model is needed to check a prescription.
+    pub fn check_prescription(
+        &self,
+        request: &CheckPrescriptionRequest,
+    ) -> Result<InteractionReport, CoreError> {
+        if request.drugs.is_empty() {
+            return Err(CoreError::invalid_input(
+                "cannot check an empty prescription",
+            ));
+        }
+        let n_drugs = self.ddi_graph().node_count();
+        for id in &request.drugs {
+            if id.index() >= n_drugs {
+                return Err(CoreError::unknown_drug(id.to_string()));
+            }
+        }
+        // A prescription is a drug *set*: deduplicate (keeping first-seen
+        // order) so a repeated drug cannot double-report its interactions.
+        let mut drugs: Vec<ScoredDrug> = Vec::with_capacity(request.drugs.len());
+        for &id in &request.drugs {
+            if drugs.iter().any(|d| d.id == id) {
+                continue;
+            }
+            drugs.push(ScoredDrug {
+                id,
+                name: self.drug_name(id)?.to_string(),
+                score: 1.0,
+            });
+        }
+        let mut antagonistic = Vec::new();
+        let mut synergistic = Vec::new();
+        for (i, a) in drugs.iter().enumerate() {
+            for b in &drugs[i + 1..] {
+                if let Some(interaction) = self.ddi_graph().interaction(a.id.index(), b.id.index())
+                {
+                    let pair = PairInteraction {
+                        a: a.id,
+                        a_name: a.name.clone(),
+                        b: b.id,
+                        b_name: b.name.clone(),
+                        interaction,
+                    };
+                    match interaction {
+                        Interaction::Antagonistic => antagonistic.push(pair),
+                        Interaction::Synergistic => synergistic.push(pair),
+                        // Explicitly recorded non-interactions are not
+                        // worth surfacing to the doctor.
+                        Interaction::None => {}
+                    }
+                }
+            }
+        }
+        let indices: Vec<usize> = drugs.iter().map(|d| d.id.index()).collect();
+        let explanation =
+            crate::ms_module::explain_suggestion(self.ddi_graph(), &indices, &self.config().ms)?;
+        let suggestion_satisfaction = explanation.suggestion_satisfaction;
+        Ok(InteractionReport {
+            patient: request.patient,
+            drugs,
+            antagonistic,
+            synergistic,
+            explanation,
+            suggestion_satisfaction,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dssddi_data::{
+        generate_chronic_cohort, generate_ddi_graph, ChronicConfig, DdiConfig, DrugRegistry,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fitted_service(seed: u64) -> (DecisionService, ChronicCohort, Vec<usize>) {
+        let registry = DrugRegistry::standard();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ddi = generate_ddi_graph(&registry, &DdiConfig::default(), &mut rng).unwrap();
+        let cohort = generate_chronic_cohort(
+            &registry,
+            &ddi,
+            &ChronicConfig {
+                n_patients: 70,
+                ..Default::default()
+            },
+            &mut rng,
+        )
+        .unwrap();
+        let drug_features = Matrix::rand_uniform(registry.len(), 16, -0.1, 0.1, &mut rng);
+        let observed: Vec<usize> = (0..55).collect();
+        let held_out: Vec<usize> = (55..70).collect();
+        let service = ServiceBuilder::fast()
+            .hidden_dim(16)
+            .epochs(25, 30)
+            .fit_chronic(&cohort, &observed, &drug_features, &ddi, &mut rng)
+            .unwrap();
+        (service, cohort, held_out)
+    }
+
+    fn support_service(seed: u64) -> DecisionService {
+        let registry = DrugRegistry::standard();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ddi = generate_ddi_graph(&registry, &DdiConfig::default(), &mut rng).unwrap();
+        ServiceBuilder::fast().build_support(&ddi).unwrap()
+    }
+
+    #[test]
+    fn typed_ids_display_and_round_trip() {
+        assert_eq!(DrugId::new(48).to_string(), "DID 48");
+        assert_eq!(PatientId::new(3).to_string(), "patient #3");
+        assert_eq!(DrugId::from(7).index(), 7);
+        assert_eq!(PatientId::from(9).index(), 9);
+    }
+
+    #[test]
+    fn builder_rejects_odd_hidden_dim_for_sign_concatenating_backbones() {
+        let err = ServiceBuilder::fast()
+            .backbone(Backbone::Sgcn)
+            .hidden_dim(15)
+            .validate();
+        match err {
+            Err(CoreError::InvalidConfig { what }) => {
+                assert!(
+                    what.contains("15") && what.contains("SGCN"),
+                    "uncontextual: {what}"
+                )
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+        // GIN has no sign-wise concatenation, so odd dims are fine.
+        ServiceBuilder::fast()
+            .backbone(Backbone::Gin)
+            .hidden_dim(15)
+            .validate()
+            .unwrap();
+    }
+
+    #[test]
+    fn builder_rejects_degenerate_values_with_context() {
+        assert!(matches!(
+            ServiceBuilder::fast().epochs(0, 10).validate(),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            ServiceBuilder::fast().alpha(1.5).validate(),
+            Err(CoreError::InvalidConfig { .. })
+        ));
+        let mut config = DssddiConfig::fast();
+        config.md.learning_rate = -0.5;
+        match ServiceBuilder::new().config(config).validate() {
+            Err(CoreError::InvalidConfig { what }) => {
+                assert!(
+                    what.contains("-0.5"),
+                    "message should name the value: {what}"
+                )
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builder_rejects_registry_ddi_size_mismatch() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let registry = DrugRegistry::standard();
+        let ddi = generate_ddi_graph(&registry, &DdiConfig::default(), &mut rng).unwrap();
+        let small = SignedGraph::new(5);
+        assert!(matches!(
+            ServiceBuilder::fast().build_support(&small),
+            Err(CoreError::InvalidInput { .. })
+        ));
+        ServiceBuilder::fast().build_support(&ddi).unwrap();
+    }
+
+    #[test]
+    fn support_service_checks_prescriptions_but_cannot_suggest() {
+        let service = support_service(2);
+        let report = service
+            .check_prescription(&CheckPrescriptionRequest::new(vec![
+                DrugId::new(61),
+                DrugId::new(59),
+            ]))
+            .unwrap();
+        // Gabapentin (61) + Isosorbide Mononitrate (59) is the paper's
+        // Fig. 8 antagonistic pair; the generator always includes it.
+        assert!(!report.is_safe());
+        assert_eq!(report.antagonistic.len(), 1);
+        assert_eq!(report.antagonistic[0].a_name, "Gabapentin");
+        assert_eq!(report.antagonistic[0].b_name, "Isosorbide Mononitrate");
+
+        let request = SuggestRequest::new(PatientId::new(0), vec![0.0; 71], 3);
+        assert!(matches!(
+            service.suggest(&request),
+            Err(CoreError::NotFitted { .. })
+        ));
+    }
+
+    #[test]
+    fn resolve_drug_reports_unknown_queries() {
+        let service = support_service(3);
+        assert_eq!(service.resolve_drug("Metformin").unwrap(), DrugId::new(48));
+        assert_eq!(service.resolve_drug("DID 48").unwrap(), DrugId::new(48));
+        match service.resolve_drug("Unobtainium") {
+            Err(CoreError::UnknownDrug { query }) => assert_eq!(query, "Unobtainium"),
+            other => panic!("expected UnknownDrug, got {other:?}"),
+        }
+        assert!(service.drug_name(DrugId::new(999)).is_err());
+    }
+
+    #[test]
+    fn suggest_batch_returns_named_ranked_drugs_with_explanations() {
+        let (service, cohort, held_out) = fitted_service(5);
+        let requests: Vec<SuggestRequest> = held_out
+            .iter()
+            .map(|&p| SuggestRequest::new(PatientId::new(p), cohort.features().row(p).to_vec(), 3))
+            .collect();
+        let responses = service.suggest_batch(&requests).unwrap();
+        assert_eq!(responses.len(), requests.len());
+        for (request, response) in requests.iter().zip(&responses) {
+            assert_eq!(response.patient, request.patient);
+            assert_eq!(response.drugs.len(), 3);
+            for pair in response.drugs.windows(2) {
+                assert!(pair[0].score >= pair[1].score, "ranking must be descending");
+            }
+            for drug in &response.drugs {
+                assert_eq!(
+                    drug.name,
+                    service.registry().name_of(drug.id.index()).unwrap(),
+                    "names must come from the registry"
+                );
+                assert!(response.explanation.community.contains(drug.id.index()));
+            }
+            assert!(response.suggestion_satisfaction >= 0.0);
+        }
+    }
+
+    #[test]
+    fn filters_exclude_and_avoid_antagonists() {
+        let (service, cohort, held_out) = fitted_service(7);
+        let patient = held_out[0];
+        let features = cohort.features().row(patient).to_vec();
+
+        let baseline = service
+            .suggest(&SuggestRequest::new(
+                PatientId::new(patient),
+                features.clone(),
+                4,
+            ))
+            .unwrap();
+        let top: Vec<DrugId> = baseline.drugs.iter().map(|d| d.id).collect();
+
+        // Excluding the top drug must remove it from the new suggestion.
+        let filtered = service
+            .suggest(
+                &SuggestRequest::new(PatientId::new(patient), features.clone(), 4).with_filters(
+                    SuggestFilters {
+                        exclude: vec![top[0]],
+                        ..Default::default()
+                    },
+                ),
+            )
+            .unwrap();
+        assert!(filtered.drugs.iter().all(|d| d.id != top[0]));
+
+        // Avoiding antagonists of a drug removes all its antagonists.
+        let taken = DrugId::new(59); // Isosorbide Mononitrate
+        let safe = service
+            .suggest(
+                &SuggestRequest::new(PatientId::new(patient), features, 4).with_filters(
+                    SuggestFilters {
+                        avoid_antagonists_of: vec![taken],
+                        ..Default::default()
+                    },
+                ),
+            )
+            .unwrap();
+        for drug in &safe.drugs {
+            assert_ne!(
+                service
+                    .ddi_graph()
+                    .interaction(taken.index(), drug.id.index()),
+                Some(Interaction::Antagonistic),
+                "{} is antagonistic with the drug the patient already takes",
+                drug.name
+            );
+        }
+    }
+
+    #[test]
+    fn over_constrained_filters_error_contextually() {
+        let (service, cohort, held_out) = fitted_service(9);
+        let patient = held_out[0];
+        let exclude: Vec<DrugId> = (0..service.registry().len()).map(DrugId::new).collect();
+        let request = SuggestRequest::new(
+            PatientId::new(patient),
+            cohort.features().row(patient).to_vec(),
+            2,
+        )
+        .with_filters(SuggestFilters {
+            exclude,
+            ..Default::default()
+        });
+        match service.suggest(&request) {
+            Err(CoreError::InvalidInput { what }) => {
+                assert!(what.contains("k = 2"), "message lacks context: {what}")
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wrong_feature_length_is_rejected_with_patient_context() {
+        let (service, _, _) = fitted_service(11);
+        let request = SuggestRequest::new(PatientId::new(42), vec![0.0; 3], 2);
+        match service.suggest(&request) {
+            Err(CoreError::InvalidInput { what }) => {
+                assert!(
+                    what.contains("patient #42") && what.contains("3"),
+                    "got: {what}"
+                )
+            }
+            other => panic!("expected InvalidInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_amortisation_matches_single_requests() {
+        let (service, cohort, held_out) = fitted_service(13);
+        let requests: Vec<SuggestRequest> = held_out[..4]
+            .iter()
+            .map(|&p| SuggestRequest::new(PatientId::new(p), cohort.features().row(p).to_vec(), 3))
+            .collect();
+        let batched = service.suggest_batch(&requests).unwrap();
+        for (request, batch_response) in requests.iter().zip(&batched) {
+            let single = service.suggest(request).unwrap();
+            let batch_ids: Vec<DrugId> = batch_response.drugs.iter().map(|d| d.id).collect();
+            let single_ids: Vec<DrugId> = single.drugs.iter().map(|d| d.id).collect();
+            assert_eq!(batch_ids, single_ids);
+        }
+    }
+
+    #[test]
+    fn check_prescription_classifies_paper_pairs() {
+        let service = support_service(17);
+        // Fig. 9 case 1: Indapamide (10) + Perindopril (5) is synergistic.
+        let report = service
+            .check_prescription(
+                &CheckPrescriptionRequest::new(vec![DrugId::new(10), DrugId::new(5)])
+                    .for_patient(PatientId::new(1)),
+            )
+            .unwrap();
+        assert!(report.is_safe());
+        assert_eq!(report.synergistic.len(), 1);
+        assert_eq!(report.patient, Some(PatientId::new(1)));
+        assert!(report.suggestion_satisfaction > 0.0);
+
+        // A duplicated drug must not double-report its interactions.
+        let dup = service
+            .check_prescription(&CheckPrescriptionRequest::new(vec![
+                DrugId::new(10),
+                DrugId::new(5),
+                DrugId::new(10),
+            ]))
+            .unwrap();
+        assert_eq!(dup.drugs.len(), 2, "prescription is a set");
+        assert_eq!(dup.synergistic.len(), 1);
+
+        assert!(service
+            .check_prescription(&CheckPrescriptionRequest::new(vec![]))
+            .is_err());
+        assert!(matches!(
+            service.check_prescription(&CheckPrescriptionRequest::new(vec![DrugId::new(999)])),
+            Err(CoreError::UnknownDrug { .. })
+        ));
+    }
+}

@@ -17,7 +17,7 @@ use dssddi_tensor::Matrix;
 use crate::config::{DrugFeatureSource, DssddiConfig};
 use crate::ddi_module::DdiModule;
 use crate::md_module::MdModule;
-use crate::ms_module::{explain_suggestion, Explanation};
+use crate::ms_module::{explain_suggestion, Explanation, ExplanationCache};
 use crate::CoreError;
 
 /// One suggested drug with its prediction score.
@@ -89,9 +89,9 @@ impl Dssddi {
     ) -> Result<Self, CoreError> {
         let n_drugs = train_graph.right_count();
         if ddi_graph.node_count() != n_drugs {
-            return Err(CoreError::InvalidInput {
-                what: "DDI graph and medication-use graph disagree on the number of drugs",
-            });
+            return Err(CoreError::invalid_input(
+                "DDI graph and medication-use graph disagree on the number of drugs",
+            ));
         }
 
         // Resolve the original drug features for the MD encoder.
@@ -123,11 +123,20 @@ impl Dssddi {
             rng,
         )?;
 
-        Ok(Self { ddi_module, md_module, ddi_graph: ddi_graph.clone(), config: config.clone() })
+        Ok(Self {
+            ddi_module,
+            md_module,
+            ddi_graph: ddi_graph.clone(),
+            config: config.clone(),
+        })
     }
 
     /// Convenience constructor: fits the system on a subset (the observed
     /// patients) of a generated chronic cohort.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `ServiceBuilder::fit_chronic` to obtain a `DecisionService`"
+    )]
     pub fn fit_chronic(
         cohort: &ChronicCohort,
         observed_patients: &[usize],
@@ -136,11 +145,36 @@ impl Dssddi {
         config: &DssddiConfig,
         rng: &mut impl Rng,
     ) -> Result<Self, CoreError> {
+        Self::fit_chronic_inner(
+            cohort,
+            observed_patients,
+            drug_features,
+            ddi_graph,
+            config,
+            rng,
+        )
+    }
+
+    /// Non-deprecated implementation backing both the legacy
+    /// [`Dssddi::fit_chronic`] shim and [`crate::service::ServiceBuilder`].
+    pub(crate) fn fit_chronic_inner(
+        cohort: &ChronicCohort,
+        observed_patients: &[usize],
+        drug_features: &Matrix,
+        ddi_graph: &SignedGraph,
+        config: &DssddiConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Self, CoreError> {
         let train_features = cohort.features().select_rows(observed_patients);
-        let train_graph = cohort
-            .bipartite_graph(observed_patients)
-            .map_err(|_| CoreError::InvalidInput { what: "failed to build the training bipartite graph" })?;
-        Self::fit(&train_features, &train_graph, drug_features, ddi_graph, config, rng)
+        let train_graph = cohort.bipartite_graph(observed_patients)?;
+        Self::fit(
+            &train_features,
+            &train_graph,
+            drug_features,
+            ddi_graph,
+            config,
+            rng,
+        )
     }
 
     /// Predicted medication-use scores for unobserved patients
@@ -151,20 +185,42 @@ impl Dssddi {
 
     /// Suggests the top-`k` drugs for every patient in `features` and
     /// explains each suggestion through the Medical Support module.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `DecisionService::suggest_batch`, which resolves drug names and \
+                supports per-request filters"
+    )]
     pub fn suggest(&self, features: &Matrix, k: usize) -> Result<Vec<Suggestion>, CoreError> {
+        self.suggest_inner(features, k)
+    }
+
+    /// Non-deprecated implementation backing both the legacy
+    /// [`Dssddi::suggest`] shim and [`crate::service::DecisionService`].
+    ///
+    /// Prediction runs once for the whole batch, and explanations are
+    /// memoized per distinct suggested drug set: patients who receive the
+    /// same top-`k` drugs share a single community search.
+    pub(crate) fn suggest_inner(
+        &self,
+        features: &Matrix,
+        k: usize,
+    ) -> Result<Vec<Suggestion>, CoreError> {
         if k == 0 {
-            return Err(CoreError::InvalidConfig { what: "k must be positive" });
+            return Err(CoreError::invalid_config("k must be positive"));
         }
         let scores = self.predict_scores(features)?;
+        let mut cache = ExplanationCache::new();
         let mut out = Vec::with_capacity(features.rows());
         for p in 0..features.rows() {
             let top = top_k_indices(scores.row(p), k);
             let drugs: Vec<DrugSuggestion> = top
                 .iter()
-                .map(|&d| DrugSuggestion { drug: d, score: scores.get(p, d) })
+                .map(|&d| DrugSuggestion {
+                    drug: d,
+                    score: scores.get(p, d),
+                })
                 .collect();
-            let suggested: Vec<usize> = top.clone();
-            let explanation = explain_suggestion(&self.ddi_graph, &suggested, &self.config.ms)?;
+            let explanation = cache.explain(&self.ddi_graph, &top, &self.config.ms)?;
             out.push(Suggestion { drugs, explanation });
         }
         Ok(out)
@@ -198,6 +254,7 @@ impl Dssddi {
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy shims must keep working until removal
 mod tests {
     use super::*;
     use crate::config::{Backbone, DssddiConfig};
@@ -208,17 +265,17 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn small_world(
-        n_patients: usize,
-        seed: u64,
-    ) -> (ChronicCohort, SignedGraph, Matrix) {
+    fn small_world(n_patients: usize, seed: u64) -> (ChronicCohort, SignedGraph, Matrix) {
         let registry = DrugRegistry::standard();
         let mut rng = StdRng::seed_from_u64(seed);
         let ddi = generate_ddi_graph(&registry, &DdiConfig::default(), &mut rng).unwrap();
         let cohort = generate_chronic_cohort(
             &registry,
             &ddi,
-            &ChronicConfig { n_patients, ..Default::default() },
+            &ChronicConfig {
+                n_patients,
+                ..Default::default()
+            },
             &mut rng,
         )
         .unwrap();
@@ -242,9 +299,15 @@ mod tests {
         let (cohort, ddi, drug_features) = small_world(80, 0);
         let observed: Vec<usize> = (0..60).collect();
         let mut rng = StdRng::seed_from_u64(1);
-        let system =
-            Dssddi::fit_chronic(&cohort, &observed, &drug_features, &ddi, &tiny_config(), &mut rng)
-                .unwrap();
+        let system = Dssddi::fit_chronic(
+            &cohort,
+            &observed,
+            &drug_features,
+            &ddi,
+            &tiny_config(),
+            &mut rng,
+        )
+        .unwrap();
         assert!(system.ddi_module().is_some());
 
         let test_features = cohort.features().select_rows(&(60..80).collect::<Vec<_>>());
@@ -268,13 +331,20 @@ mod tests {
         let observed: Vec<usize> = (0..90).collect();
         let held_out: Vec<usize> = (90..120).collect();
         let mut rng = StdRng::seed_from_u64(3);
-        let system =
-            Dssddi::fit_chronic(&cohort, &observed, &drug_features, &ddi, &tiny_config(), &mut rng)
-                .unwrap();
+        let system = Dssddi::fit_chronic(
+            &cohort,
+            &observed,
+            &drug_features,
+            &ddi,
+            &tiny_config(),
+            &mut rng,
+        )
+        .unwrap();
         let test_features = cohort.features().select_rows(&held_out);
         let test_labels = cohort.labels().select_rows(&held_out);
         let scores = system.predict_scores(&test_features).unwrap();
-        let random = Matrix::rand_uniform(test_labels.rows(), test_labels.cols(), 0.0, 1.0, &mut rng);
+        let random =
+            Matrix::rand_uniform(test_labels.rows(), test_labels.cols(), 0.0, 1.0, &mut rng);
         let ours = recall_at_k(&scores, &test_labels, 6).unwrap();
         let baseline = recall_at_k(&random, &test_labels, 6).unwrap();
         assert!(
@@ -310,7 +380,8 @@ mod tests {
         config.md.use_ddi_embeddings = false;
         let mut rng = StdRng::seed_from_u64(7);
         let system =
-            Dssddi::fit_chronic(&cohort, &observed, &drug_features, &ddi, &config, &mut rng).unwrap();
+            Dssddi::fit_chronic(&cohort, &observed, &drug_features, &ddi, &config, &mut rng)
+                .unwrap();
         assert!(system.ddi_module().is_none());
         let test = cohort.features().select_rows(&[50, 51]);
         let suggestions = system.suggest(&test, 2).unwrap();
@@ -347,9 +418,15 @@ mod tests {
         let (cohort, ddi, drug_features) = small_world(50, 10);
         let observed: Vec<usize> = (0..40).collect();
         let mut rng = StdRng::seed_from_u64(11);
-        let system =
-            Dssddi::fit_chronic(&cohort, &observed, &drug_features, &ddi, &tiny_config(), &mut rng)
-                .unwrap();
+        let system = Dssddi::fit_chronic(
+            &cohort,
+            &observed,
+            &drug_features,
+            &ddi,
+            &tiny_config(),
+            &mut rng,
+        )
+        .unwrap();
         let test = cohort.features().select_rows(&[45]);
         assert!(system.suggest(&test, 0).is_err());
     }

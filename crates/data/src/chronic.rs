@@ -39,7 +39,11 @@ pub struct ChronicConfig {
 
 impl Default for ChronicConfig {
     fn default() -> Self {
-        Self { n_patients: 4157, antagonism_tolerance: 0.12, synergy_boost: 0.55 }
+        Self {
+            n_patients: 4157,
+            antagonism_tolerance: 0.12,
+            synergy_boost: 0.55,
+        }
     }
 }
 
@@ -156,7 +160,10 @@ pub fn feature_names() -> Vec<String> {
         "exercise_days_per_week".into(),
     ];
     for d in Disease::ALL {
-        names.push(format!("history_{}", d.name().to_lowercase().replace(' ', "_")));
+        names.push(format!(
+            "history_{}",
+            d.name().to_lowercase().replace(' ', "_")
+        ));
     }
     for class in [
         "alpha_blocker",
@@ -211,7 +218,9 @@ pub fn generate_chronic_cohort(
     rng: &mut impl Rng,
 ) -> Result<ChronicCohort, DataError> {
     if config.n_patients == 0 {
-        return Err(DataError::InvalidConfig { what: "n_patients must be positive" });
+        return Err(DataError::InvalidConfig {
+            what: "n_patients must be positive",
+        });
     }
     let n = config.n_patients;
     let n_drugs = registry.len();
@@ -267,10 +276,18 @@ pub fn generate_chronic_cohort(
         let hypertensive = ds.contains(&Disease::Hypertension);
         let diabetic = ds.contains(&Disease::Type2Diabetes);
         let depressed = ds.contains(&Disease::AnxietyDisorder);
-        let systolic = if hypertensive { rng.gen_range(140.0..185.0) } else { rng.gen_range(105.0..140.0) };
+        let systolic = if hypertensive {
+            rng.gen_range(140.0..185.0)
+        } else {
+            rng.gen_range(105.0..140.0)
+        };
         let diastolic = systolic * 0.6 + rng.gen_range(-5.0..5.0f32);
         let heart_rate = rng.gen_range(55.0..95.0f32);
-        let gds = if depressed { rng.gen_range(8.0..15.0) } else { rng.gen_range(0.0..8.0f32) };
+        let gds = if depressed {
+            rng.gen_range(8.0..15.0)
+        } else {
+            rng.gen_range(0.0..8.0f32)
+        };
 
         features.set(p, 0, (age - 65.0) / 30.0);
         features.set(p, 1, if is_male { 1.0 } else { 0.0 });
@@ -279,7 +296,15 @@ pub fn generate_chronic_cohort(
         features.set(p, 4, (diastolic - 50.0) / 70.0);
         features.set(p, 5, (heart_rate - 40.0) / 80.0);
         features.set(p, 6, gds / 15.0);
-        features.set(p, 7, if rng.gen_bool(if is_male { 0.3 } else { 0.05 }) { 1.0 } else { 0.0 });
+        features.set(
+            p,
+            7,
+            if rng.gen_bool(if is_male { 0.3 } else { 0.05 }) {
+                1.0
+            } else {
+                0.0
+            },
+        );
         features.set(p, 8, if rng.gen_bool(0.2) { 1.0 } else { 0.0 });
         features.set(p, 9, rng.gen_range(0.0..7.0f32) / 7.0);
 
@@ -373,9 +398,12 @@ pub fn generate_chronic_cohort(
             (crate::drugs::DrugClass::Urological, 41),
         ];
         for (class, col) in class_cols {
-            let takes_class = kept
-                .iter()
-                .any(|&drug| registry.drug(drug).map(|d| d.class == class).unwrap_or(false));
+            let takes_class = kept.iter().any(|&drug| {
+                registry
+                    .drug(drug)
+                    .map(|d| d.class == class)
+                    .unwrap_or(false)
+            });
             let history = takes_class && rng.gen_bool(0.8) || rng.gen_bool(0.03);
             features.set(p, col, if history { 1.0 } else { 0.0 });
         }
@@ -388,14 +416,34 @@ pub fn generate_chronic_cohort(
         }
 
         // Laboratory values conditioned on the disease profile.
-        let glucose = if diabetic { rng.gen_range(7.5..15.0) } else { rng.gen_range(4.0..7.0f32) };
-        let hba1c = if diabetic { rng.gen_range(7.0..11.0) } else { rng.gen_range(4.5..6.5f32) };
+        let glucose = if diabetic {
+            rng.gen_range(7.5..15.0)
+        } else {
+            rng.gen_range(4.0..7.0f32)
+        };
+        let hba1c = if diabetic {
+            rng.gen_range(7.0..11.0)
+        } else {
+            rng.gen_range(4.5..6.5f32)
+        };
         let nephropathy = ds.contains(&Disease::DiabeticNephropathy);
-        let creatinine = if nephropathy { rng.gen_range(150.0..400.0) } else { rng.gen_range(50.0..110.0f32) };
-        let egfr = if nephropathy { rng.gen_range(15.0..45.0) } else { rng.gen_range(60.0..110.0f32) };
+        let creatinine = if nephropathy {
+            rng.gen_range(150.0..400.0)
+        } else {
+            rng.gen_range(50.0..110.0f32)
+        };
+        let egfr = if nephropathy {
+            rng.gen_range(15.0..45.0)
+        } else {
+            rng.gen_range(60.0..110.0f32)
+        };
         let cardiovascular = ds.contains(&Disease::CardiovascularEvents)
             || ds.contains(&Disease::MyocardialInfarction);
-        let cholesterol = if cardiovascular { rng.gen_range(5.2..8.0) } else { rng.gen_range(3.5..5.5f32) };
+        let cholesterol = if cardiovascular {
+            rng.gen_range(5.2..8.0)
+        } else {
+            rng.gen_range(3.5..5.5f32)
+        };
         let ldl = cholesterol * 0.6 + rng.gen_range(-0.3..0.3f32);
         let hdl = rng.gen_range(0.8..2.0f32);
         let triglycerides = rng.gen_range(0.8..3.5f32);
@@ -408,12 +456,12 @@ pub fn generate_chronic_cohort(
             ldl / 6.0,
             hdl / 3.0,
             triglycerides / 5.0,
-            rng.gen_range(9.0..16.0f32) / 20.0,  // hemoglobin
-            rng.gen_range(3.2..5.4f32) / 6.0,    // potassium
+            rng.gen_range(9.0..16.0f32) / 20.0,     // hemoglobin
+            rng.gen_range(3.2..5.4f32) / 6.0,       // potassium
             rng.gen_range(132.0..146.0f32) / 150.0, // sodium
-            rng.gen_range(3.0..12.0f32) / 15.0,  // urea
-            rng.gen_range(30.0..50.0f32) / 60.0, // albumin
-            rng.gen_range(0.2..0.6f32),          // uric acid (already ~normalised)
+            rng.gen_range(3.0..12.0f32) / 15.0,     // urea
+            rng.gen_range(30.0..50.0f32) / 60.0,    // albumin
+            rng.gen_range(0.2..0.6f32),             // uric acid (already ~normalised)
         ];
         for (i, v) in labs.into_iter().enumerate() {
             features.set(p, 57 + i, v);
@@ -422,7 +470,12 @@ pub fn generate_chronic_cohort(
         diseases.push(ds);
     }
 
-    Ok(ChronicCohort { features, labels, diseases, feature_names: feature_names() })
+    Ok(ChronicCohort {
+        features,
+        labels,
+        diseases,
+        feature_names: feature_names(),
+    })
 }
 
 /// Convenience: shuffled patient indices for sampling case-study patients.
@@ -447,7 +500,10 @@ mod tests {
         let cohort = generate_chronic_cohort(
             &registry,
             &ddi,
-            &ChronicConfig { n_patients: n, ..Default::default() },
+            &ChronicConfig {
+                n_patients: n,
+                ..Default::default()
+            },
             &mut rng,
         )
         .unwrap();
@@ -467,21 +523,38 @@ mod tests {
     fn every_patient_takes_at_least_one_drug() {
         let (_, _, cohort) = small_cohort(300, 1);
         for p in 0..cohort.n_patients() {
-            assert!(!cohort.drugs_of(p).is_empty(), "patient {p} has no medications");
+            assert!(
+                !cohort.drugs_of(p).is_empty(),
+                "patient {p} has no medications"
+            );
         }
         let mean = cohort.mean_drugs_per_patient();
-        assert!(mean >= 1.0 && mean <= 8.0, "unrealistic mean drugs/patient {mean}");
+        assert!(
+            (1.0..=8.0).contains(&mean),
+            "unrealistic mean drugs/patient {mean}"
+        );
     }
 
     #[test]
     fn hypertension_is_the_most_prevalent_disease() {
         let (_, _, cohort) = small_cohort(800, 2);
         let prev = cohort.disease_prevalence();
-        let hyp = prev.iter().find(|(d, _)| *d == Disease::Hypertension).unwrap().1;
-        assert!(hyp > 0.35 && hyp < 0.65, "hypertension prevalence {hyp} off target");
+        let hyp = prev
+            .iter()
+            .find(|(d, _)| *d == Disease::Hypertension)
+            .unwrap()
+            .1;
+        assert!(
+            hyp > 0.35 && hyp < 0.65,
+            "hypertension prevalence {hyp} off target"
+        );
         for (d, p) in prev {
             if d != Disease::Hypertension {
-                assert!(p <= hyp + 0.05, "{} more prevalent than hypertension", d.name());
+                assert!(
+                    p <= hyp + 0.05,
+                    "{} more prevalent than hypertension",
+                    d.name()
+                );
             }
         }
     }
@@ -504,13 +577,22 @@ mod tests {
             let ds = &cohort.diseases()[p];
             for drug in cohort.drugs_of(p) {
                 total += 1;
-                if registry.drug(drug).unwrap().treats.iter().any(|t| ds.contains(t)) {
+                if registry
+                    .drug(drug)
+                    .unwrap()
+                    .treats
+                    .iter()
+                    .any(|t| ds.contains(t))
+                {
                     indicated += 1;
                 }
             }
         }
         let ratio = indicated as f64 / total.max(1) as f64;
-        assert!(ratio > 0.8, "only {ratio:.2} of prescriptions are indicated");
+        assert!(
+            ratio > 0.8,
+            "only {ratio:.2} of prescriptions are indicated"
+        );
     }
 
     #[test]
@@ -534,7 +616,10 @@ mod tests {
         let registry = DrugRegistry::standard();
         let mut rng = StdRng::seed_from_u64(0);
         let ddi = generate_ddi_graph(&registry, &DdiConfig::default(), &mut rng).unwrap();
-        let bad = ChronicConfig { n_patients: 0, ..Default::default() };
+        let bad = ChronicConfig {
+            n_patients: 0,
+            ..Default::default()
+        };
         assert!(generate_chronic_cohort(&registry, &ddi, &bad, &mut rng).is_err());
     }
 

@@ -27,7 +27,10 @@ pub struct DdiConfig {
 
 impl Default for DdiConfig {
     fn default() -> Self {
-        Self { synergistic_pairs: 97, antagonistic_pairs: 243 }
+        Self {
+            synergistic_pairs: 97,
+            antagonistic_pairs: 243,
+        }
     }
 }
 
@@ -150,8 +153,16 @@ pub fn generate_ddi_graph(
     // Fill antagonistic pairs first (they are the larger and more
     // safety-critical class), then synergistic pairs.
     for (kind, target, rules) in [
-        (Interaction::Antagonistic, config.antagonistic_pairs, antagonistic_class_rules()),
-        (Interaction::Synergistic, config.synergistic_pairs, synergistic_class_rules()),
+        (
+            Interaction::Antagonistic,
+            config.antagonistic_pairs,
+            antagonistic_class_rules(),
+        ),
+        (
+            Interaction::Synergistic,
+            config.synergistic_pairs,
+            synergistic_class_rules(),
+        ),
     ] {
         let current = match kind {
             Interaction::Antagonistic => graph.antagonistic_count(),
@@ -171,7 +182,9 @@ pub fn generate_ddi_graph(
         }
         pool.shuffle(rng);
         for &(u, v) in pool.iter().take(needed) {
-            graph.add_interaction(u, v, kind).map_err(DataError::Graph)?;
+            graph
+                .add_interaction(u, v, kind)
+                .map_err(DataError::Graph)?;
         }
     }
     Ok(graph)
@@ -226,8 +239,10 @@ mod tests {
     #[test]
     fn generation_is_deterministic_for_a_seed() {
         let reg = registry();
-        let a = generate_ddi_graph(&reg, &DdiConfig::default(), &mut StdRng::seed_from_u64(3)).unwrap();
-        let b = generate_ddi_graph(&reg, &DdiConfig::default(), &mut StdRng::seed_from_u64(3)).unwrap();
+        let a =
+            generate_ddi_graph(&reg, &DdiConfig::default(), &mut StdRng::seed_from_u64(3)).unwrap();
+        let b =
+            generate_ddi_graph(&reg, &DdiConfig::default(), &mut StdRng::seed_from_u64(3)).unwrap();
         let ea: Vec<_> = a.interactions().collect();
         let eb: Vec<_> = b.interactions().collect();
         assert_eq!(ea, eb);
@@ -236,8 +251,9 @@ mod tests {
     #[test]
     fn negative_edges_are_added_on_request() {
         let mut rng = StdRng::seed_from_u64(5);
-        let g = generate_ddi_graph_with_negatives(&registry(), &DdiConfig::default(), 340, &mut rng)
-            .unwrap();
+        let g =
+            generate_ddi_graph_with_negatives(&registry(), &DdiConfig::default(), 340, &mut rng)
+                .unwrap();
         assert_eq!(g.edge_count(), 97 + 243 + 340);
         // Structural graph ignores the sampled no-interaction edges.
         assert_eq!(g.structural_graph().edge_count(), 97 + 243);
@@ -246,16 +262,25 @@ mod tests {
     #[test]
     fn impossible_configs_are_rejected() {
         let mut rng = StdRng::seed_from_u64(1);
-        let too_few = DdiConfig { synergistic_pairs: 1, antagonistic_pairs: 243 };
+        let too_few = DdiConfig {
+            synergistic_pairs: 1,
+            antagonistic_pairs: 243,
+        };
         assert!(generate_ddi_graph(&registry(), &too_few, &mut rng).is_err());
-        let too_many = DdiConfig { synergistic_pairs: 5000, antagonistic_pairs: 243 };
+        let too_many = DdiConfig {
+            synergistic_pairs: 5000,
+            antagonistic_pairs: 243,
+        };
         assert!(generate_ddi_graph(&registry(), &too_many, &mut rng).is_err());
     }
 
     #[test]
     fn smaller_custom_counts_are_supported() {
         let mut rng = StdRng::seed_from_u64(2);
-        let cfg = DdiConfig { synergistic_pairs: 20, antagonistic_pairs: 40 };
+        let cfg = DdiConfig {
+            synergistic_pairs: 20,
+            antagonistic_pairs: 40,
+        };
         let g = generate_ddi_graph(&registry(), &cfg, &mut rng).unwrap();
         assert_eq!(g.synergistic_count(), 20);
         assert_eq!(g.antagonistic_count(), 40);

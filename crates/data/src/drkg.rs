@@ -66,7 +66,13 @@ pub struct DrkgConfig {
 
 impl Default for DrkgConfig {
     fn default() -> Self {
-        Self { n_genes: 60, dim: 64, epochs: 50, learning_rate: 0.05, margin: 1.0 }
+        Self {
+            n_genes: 60,
+            dim: 64,
+            epochs: 50,
+            learning_rate: 0.05,
+            margin: 1.0,
+        }
     }
 }
 
@@ -142,10 +148,19 @@ pub fn build_knowledge_graph(
     for d in 0..n_diseases {
         for _ in 0..4 {
             let gene = rng.gen_range(0..n_genes.max(1));
-            triples.push((n_drugs + d, Relation::AssociatedWith, n_drugs + n_diseases + gene));
+            triples.push((
+                n_drugs + d,
+                Relation::AssociatedWith,
+                n_drugs + n_diseases + gene,
+            ));
         }
     }
-    KnowledgeGraph { n_drugs, n_diseases, n_genes, triples }
+    KnowledgeGraph {
+        n_drugs,
+        n_diseases,
+        n_genes,
+        triples,
+    }
 }
 
 /// TransE embeddings for every entity and relation of a knowledge graph.
@@ -176,7 +191,8 @@ impl TransEModel {
     pub fn score(&self, (h, r, t): Triple) -> f32 {
         let mut dist = 0.0f32;
         for d in 0..self.entity.cols() {
-            let diff = self.entity.get(h, d) + self.relation.get(r.index(), d) - self.entity.get(t, d);
+            let diff =
+                self.entity.get(h, d) + self.relation.get(r.index(), d) - self.entity.get(t, d);
             dist += diff * diff;
         }
         -dist.sqrt()
@@ -190,10 +206,14 @@ pub fn train_transe(
     rng: &mut impl Rng,
 ) -> Result<TransEModel, DataError> {
     if kg.triples.is_empty() {
-        return Err(DataError::InvalidConfig { what: "knowledge graph has no triples" });
+        return Err(DataError::InvalidConfig {
+            what: "knowledge graph has no triples",
+        });
     }
     if config.dim == 0 {
-        return Err(DataError::InvalidConfig { what: "embedding dimension must be positive" });
+        return Err(DataError::InvalidConfig {
+            what: "embedding dimension must be positive",
+        });
     }
     let n_e = kg.n_entities();
     let dim = config.dim;
@@ -208,7 +228,11 @@ pub fn train_transe(
             // Corrupt head or tail uniformly.
             let corrupt_head = rng.gen_bool(0.5);
             let corrupted = rng.gen_range(0..n_e);
-            let (nh, nt) = if corrupt_head { (corrupted, t) } else { (h, corrupted) };
+            let (nh, nt) = if corrupt_head {
+                (corrupted, t)
+            } else {
+                (h, corrupted)
+            };
 
             let pos = l2_parts(&entity, &relation, h, r.index(), t);
             let neg = l2_parts(&entity, &relation, nh, r.index(), nt);
@@ -248,7 +272,8 @@ pub fn pretrained_drug_embeddings(
     let model = train_transe(&kg, config, rng)?;
     let mut out = Matrix::zeros(registry.len(), config.dim);
     for drug in 0..registry.len() {
-        out.row_mut(drug).copy_from_slice(model.entity_embedding(drug));
+        out.row_mut(drug)
+            .copy_from_slice(model.entity_embedding(drug));
     }
     Ok(out)
 }
@@ -285,7 +310,11 @@ mod tests {
     use rand::SeedableRng;
 
     fn quick_config() -> DrkgConfig {
-        DrkgConfig { dim: 16, epochs: 15, ..Default::default() }
+        DrkgConfig {
+            dim: 16,
+            epochs: 15,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -326,7 +355,10 @@ mod tests {
             }
         }
         let rate = better as f64 / total as f64;
-        assert!(rate > 0.7, "TransE separates only {rate:.2} of corrupted triples");
+        assert!(
+            rate > 0.7,
+            "TransE separates only {rate:.2} of corrupted triples"
+        );
     }
 
     #[test]
@@ -346,7 +378,11 @@ mod tests {
     fn same_class_drugs_embed_closer_than_random_pairs() {
         let registry = DrugRegistry::standard();
         let mut rng = StdRng::seed_from_u64(3);
-        let cfg = DrkgConfig { dim: 24, epochs: 40, ..Default::default() };
+        let cfg = DrkgConfig {
+            dim: 24,
+            epochs: 40,
+            ..Default::default()
+        };
         let emb = pretrained_drug_embeddings(&registry, &cfg, &mut rng).unwrap();
         // Statins (46, 47, 49, 50, 51) vs a cross-class pair.
         let statin_sim = emb.row_cosine(46, &emb, 47);
@@ -362,9 +398,17 @@ mod tests {
         let registry = DrugRegistry::standard();
         let mut rng = StdRng::seed_from_u64(4);
         let kg = build_knowledge_graph(&registry, &quick_config(), &mut rng);
-        let zero_dim = DrkgConfig { dim: 0, ..Default::default() };
+        let zero_dim = DrkgConfig {
+            dim: 0,
+            ..Default::default()
+        };
         assert!(train_transe(&kg, &zero_dim, &mut rng).is_err());
-        let empty = KnowledgeGraph { n_drugs: 0, n_diseases: 0, n_genes: 0, triples: vec![] };
+        let empty = KnowledgeGraph {
+            n_drugs: 0,
+            n_diseases: 0,
+            n_genes: 0,
+            triples: vec![],
+        };
         assert!(train_transe(&empty, &quick_config(), &mut rng).is_err());
     }
 }

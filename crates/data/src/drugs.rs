@@ -115,7 +115,10 @@ impl Disease {
 
     /// Index of the disease inside [`Disease::ALL`].
     pub fn index(self) -> usize {
-        Disease::ALL.iter().position(|&d| d == self).expect("disease present in ALL")
+        Disease::ALL
+            .iter()
+            .position(|&d| d == self)
+            .expect("disease present in ALL")
     }
 }
 
@@ -192,38 +195,153 @@ impl DrugRegistry {
         // (name, class, diseases) in DID order 0..85. The entries named in
         // the paper's case studies are pinned to their published DIDs.
         let spec: Vec<(&'static str, DrugClass, Vec<Disease>)> = vec![
-            /* 0 */ ("Terazosin", AlphaBlocker, vec![Hypertension, ProstaticHyperplasia]),
-            /* 1 */ ("Doxazosin", AlphaBlocker, vec![Hypertension, ProstaticHyperplasia]),
-            /* 2 */ ("Lisinopril", AceInhibitor, vec![Hypertension, CardiovascularEvents]),
-            /* 3 */ ("Enalapril", AceInhibitor, vec![Hypertension, CardiovascularEvents]),
-            /* 4 */ ("Ramipril", AceInhibitor, vec![Hypertension, DiabeticNephropathy]),
-            /* 5 */ ("Perindopril", AceInhibitor, vec![Hypertension, CardiovascularEvents]),
-            /* 6 */ ("Captopril", AceInhibitor, vec![Hypertension, DiabeticNephropathy]),
+            /* 0 */
+            (
+                "Terazosin",
+                AlphaBlocker,
+                vec![Hypertension, ProstaticHyperplasia],
+            ),
+            /* 1 */
+            (
+                "Doxazosin",
+                AlphaBlocker,
+                vec![Hypertension, ProstaticHyperplasia],
+            ),
+            /* 2 */
+            (
+                "Lisinopril",
+                AceInhibitor,
+                vec![Hypertension, CardiovascularEvents],
+            ),
+            /* 3 */
+            (
+                "Enalapril",
+                AceInhibitor,
+                vec![Hypertension, CardiovascularEvents],
+            ),
+            /* 4 */
+            (
+                "Ramipril",
+                AceInhibitor,
+                vec![Hypertension, DiabeticNephropathy],
+            ),
+            /* 5 */
+            (
+                "Perindopril",
+                AceInhibitor,
+                vec![Hypertension, CardiovascularEvents],
+            ),
+            /* 6 */
+            (
+                "Captopril",
+                AceInhibitor,
+                vec![Hypertension, DiabeticNephropathy],
+            ),
             /* 7 */ ("Losartan", Arb, vec![Hypertension, DiabeticNephropathy]),
-            /* 8 */ ("Amlodipine", CalciumChannelBlocker, vec![Hypertension, CardiovascularEvents]),
-            /* 9 */ ("Prazosin", AlphaBlocker, vec![Hypertension, ProstaticHyperplasia]),
+            /* 8 */
+            (
+                "Amlodipine",
+                CalciumChannelBlocker,
+                vec![Hypertension, CardiovascularEvents],
+            ),
+            /* 9 */
+            (
+                "Prazosin",
+                AlphaBlocker,
+                vec![Hypertension, ProstaticHyperplasia],
+            ),
             /* 10 */ ("Indapamide", Diuretic, vec![Hypertension, Edema]),
             /* 11 */ ("Valsartan", Arb, vec![Hypertension, CardiovascularEvents]),
             /* 12 */ ("Irbesartan", Arb, vec![Hypertension, DiabeticNephropathy]),
             /* 13 */ ("Nifedipine", CalciumChannelBlocker, vec![Hypertension]),
-            /* 14 */ ("Diltiazem", CalciumChannelBlocker, vec![Hypertension, CardiovascularEvents]),
-            /* 15 */ ("Verapamil", CalciumChannelBlocker, vec![Hypertension, CardiovascularEvents]),
+            /* 14 */
+            (
+                "Diltiazem",
+                CalciumChannelBlocker,
+                vec![Hypertension, CardiovascularEvents],
+            ),
+            /* 15 */
+            (
+                "Verapamil",
+                CalciumChannelBlocker,
+                vec![Hypertension, CardiovascularEvents],
+            ),
             /* 16 */ ("Hydrochlorothiazide", Diuretic, vec![Hypertension, Edema]),
-            /* 17 */ ("Furosemide", Diuretic, vec![Edema, CardiovascularEvents, Hypertension]),
-            /* 18 */ ("Spironolactone", Diuretic, vec![CardiovascularEvents, Edema, Hypertension]),
+            /* 17 */
+            (
+                "Furosemide",
+                Diuretic,
+                vec![Edema, CardiovascularEvents, Hypertension],
+            ),
+            /* 18 */
+            (
+                "Spironolactone",
+                Diuretic,
+                vec![CardiovascularEvents, Edema, Hypertension],
+            ),
             /* 19 */ ("Amiloride", Diuretic, vec![Hypertension, Edema]),
-            /* 20 */ ("Atenolol", BetaBlocker, vec![Hypertension, MyocardialInfarction]),
-            /* 21 */ ("Metoprolol", BetaBlocker, vec![Hypertension, MyocardialInfarction]),
-            /* 22 */ ("Propranolol", BetaBlocker, vec![Hypertension, AnxietyDisorder]),
-            /* 23 */ ("Bisoprolol", BetaBlocker, vec![Hypertension, CardiovascularEvents]),
-            /* 24 */ ("Carvedilol", BetaBlocker, vec![CardiovascularEvents, Hypertension]),
-            /* 25 */ ("Aspirin", Antithrombotic, vec![CardiovascularEvents, MyocardialInfarction]),
-            /* 26 */ ("Clopidogrel", Antithrombotic, vec![CardiovascularEvents, MyocardialInfarction]),
-            /* 27 */ ("Warfarin", Antithrombotic, vec![Thromboembolism, CardiovascularEvents]),
-            /* 28 */ ("Dipyridamole", Antithrombotic, vec![CardiovascularEvents, Thromboembolism]),
+            /* 20 */
+            (
+                "Atenolol",
+                BetaBlocker,
+                vec![Hypertension, MyocardialInfarction],
+            ),
+            /* 21 */
+            (
+                "Metoprolol",
+                BetaBlocker,
+                vec![Hypertension, MyocardialInfarction],
+            ),
+            /* 22 */
+            (
+                "Propranolol",
+                BetaBlocker,
+                vec![Hypertension, AnxietyDisorder],
+            ),
+            /* 23 */
+            (
+                "Bisoprolol",
+                BetaBlocker,
+                vec![Hypertension, CardiovascularEvents],
+            ),
+            /* 24 */
+            (
+                "Carvedilol",
+                BetaBlocker,
+                vec![CardiovascularEvents, Hypertension],
+            ),
+            /* 25 */
+            (
+                "Aspirin",
+                Antithrombotic,
+                vec![CardiovascularEvents, MyocardialInfarction],
+            ),
+            /* 26 */
+            (
+                "Clopidogrel",
+                Antithrombotic,
+                vec![CardiovascularEvents, MyocardialInfarction],
+            ),
+            /* 27 */
+            (
+                "Warfarin",
+                Antithrombotic,
+                vec![Thromboembolism, CardiovascularEvents],
+            ),
+            /* 28 */
+            (
+                "Dipyridamole",
+                Antithrombotic,
+                vec![CardiovascularEvents, Thromboembolism],
+            ),
             /* 29 */ ("Digoxin", OtherCardiac, vec![CardiovascularEvents]),
             /* 30 */ ("Amiodarone", OtherCardiac, vec![CardiovascularEvents]),
-            /* 31 */ ("Nitroglycerin", Nitrate, vec![CardiovascularEvents, MyocardialInfarction]),
+            /* 31 */
+            (
+                "Nitroglycerin",
+                Nitrate,
+                vec![CardiovascularEvents, MyocardialInfarction],
+            ),
             /* 32 */ ("Felodipine", CalciumChannelBlocker, vec![Hypertension]),
             /* 33 */ ("Gliclazide", Antidiabetic, vec![Type2Diabetes]),
             /* 34 */ ("Glibenclamide", Antidiabetic, vec![Type2Diabetes]),
@@ -231,16 +349,56 @@ impl DrugRegistry {
             /* 36 */ ("Sitagliptin", Antidiabetic, vec![Type2Diabetes]),
             /* 37 */ ("Pioglitazone", Antidiabetic, vec![Type2Diabetes]),
             /* 38 */ ("Acarbose", Antidiabetic, vec![Type2Diabetes]),
-            /* 39 */ ("Insulin Glargine", Antidiabetic, vec![Type2Diabetes, DiabeticNephropathy]),
-            /* 40 */ ("Omeprazole", Gastrointestinal, vec![GastricUlcer, ErosiveEsophagitis]),
-            /* 41 */ ("Lansoprazole", Gastrointestinal, vec![GastricUlcer, ErosiveEsophagitis]),
-            /* 42 */ ("Pantoprazole", Gastrointestinal, vec![GastricUlcer, ErosiveEsophagitis]),
-            /* 43 */ ("Ranitidine", Gastrointestinal, vec![GastricUlcer, ErosiveEsophagitis]),
+            /* 39 */
+            (
+                "Insulin Glargine",
+                Antidiabetic,
+                vec![Type2Diabetes, DiabeticNephropathy],
+            ),
+            /* 40 */
+            (
+                "Omeprazole",
+                Gastrointestinal,
+                vec![GastricUlcer, ErosiveEsophagitis],
+            ),
+            /* 41 */
+            (
+                "Lansoprazole",
+                Gastrointestinal,
+                vec![GastricUlcer, ErosiveEsophagitis],
+            ),
+            /* 42 */
+            (
+                "Pantoprazole",
+                Gastrointestinal,
+                vec![GastricUlcer, ErosiveEsophagitis],
+            ),
+            /* 43 */
+            (
+                "Ranitidine",
+                Gastrointestinal,
+                vec![GastricUlcer, ErosiveEsophagitis],
+            ),
             /* 44 */ ("Famotidine", Gastrointestinal, vec![GastricUlcer]),
             /* 45 */ ("Sucralfate", Gastrointestinal, vec![GastricUlcer]),
-            /* 46 */ ("Simvastatin", Statin, vec![CardiovascularEvents, MyocardialInfarction]),
-            /* 47 */ ("Atorvastatin", Statin, vec![CardiovascularEvents, MyocardialInfarction]),
-            /* 48 */ ("Metformin", Antidiabetic, vec![Type2Diabetes, DiabeticNephropathy]),
+            /* 46 */
+            (
+                "Simvastatin",
+                Statin,
+                vec![CardiovascularEvents, MyocardialInfarction],
+            ),
+            /* 47 */
+            (
+                "Atorvastatin",
+                Statin,
+                vec![CardiovascularEvents, MyocardialInfarction],
+            ),
+            /* 48 */
+            (
+                "Metformin",
+                Antidiabetic,
+                vec![Type2Diabetes, DiabeticNephropathy],
+            ),
             /* 49 */ ("Rosuvastatin", Statin, vec![CardiovascularEvents]),
             /* 50 */ ("Pravastatin", Statin, vec![CardiovascularEvents]),
             /* 51 */ ("Lovastatin", Statin, vec![CardiovascularEvents]),
@@ -248,10 +406,25 @@ impl DrugRegistry {
             /* 53 */ ("Naproxen", AntiInflammatory, vec![Arthritis]),
             /* 54 */ ("Diclofenac", AntiInflammatory, vec![Arthritis]),
             /* 55 */ ("Celecoxib", AntiInflammatory, vec![Arthritis]),
-            /* 56 */ ("Paracetamol", AntiInflammatory, vec![Arthritis, OtherDiseases]),
+            /* 56 */
+            (
+                "Paracetamol",
+                AntiInflammatory,
+                vec![Arthritis, OtherDiseases],
+            ),
             /* 57 */ ("Allopurinol", AntiInflammatory, vec![Arthritis]),
-            /* 58 */ ("Isosorbide Dinitrate", Nitrate, vec![CardiovascularEvents, MyocardialInfarction]),
-            /* 59 */ ("Isosorbide Mononitrate", Nitrate, vec![CardiovascularEvents, MyocardialInfarction]),
+            /* 58 */
+            (
+                "Isosorbide Dinitrate",
+                Nitrate,
+                vec![CardiovascularEvents, MyocardialInfarction],
+            ),
+            /* 59 */
+            (
+                "Isosorbide Mononitrate",
+                Nitrate,
+                vec![CardiovascularEvents, MyocardialInfarction],
+            ),
             /* 60 */ ("Phenytoin", Anticonvulsant, vec![Seizures]),
             /* 61 */ ("Gabapentin", Anticonvulsant, vec![Seizures, Arthritis]),
             /* 62 */ ("Carbamazepine", Anticonvulsant, vec![Seizures]),
@@ -283,7 +456,12 @@ impl DrugRegistry {
         let drugs = spec
             .into_iter()
             .enumerate()
-            .map(|(id, (name, class, treats))| Drug { id, name, class, treats })
+            .map(|(id, (name, class, treats))| Drug {
+                id,
+                name,
+                class,
+                treats,
+            })
             .collect();
         Self { drugs }
     }
@@ -305,7 +483,32 @@ impl DrugRegistry {
 
     /// Looks a drug up by (case-insensitive) name.
     pub fn by_name(&self, name: &str) -> Option<&Drug> {
-        self.drugs.iter().find(|d| d.name.eq_ignore_ascii_case(name))
+        self.drugs
+            .iter()
+            .find(|d| d.name.eq_ignore_ascii_case(name))
+    }
+
+    /// Generic name of the drug with the given DID.
+    pub fn name_of(&self, id: usize) -> Option<&'static str> {
+        self.drugs.get(id).map(|d| d.name)
+    }
+
+    /// Resolves a free-form drug reference to a DID: a (case-insensitive)
+    /// generic name, a bare numeric DID (`"48"`), or a `"DID 48"` form.
+    pub fn resolve(&self, query: &str) -> Option<usize> {
+        let query = query.trim();
+        if let Some(drug) = self.by_name(query) {
+            return Some(drug.id);
+        }
+        let numeric = query
+            .strip_prefix("DID")
+            .or_else(|| query.strip_prefix("did"))
+            .map(str::trim)
+            .unwrap_or(query);
+        numeric
+            .parse::<usize>()
+            .ok()
+            .filter(|&id| id < self.drugs.len())
     }
 
     /// Iterator over all drugs in DID order.
@@ -324,7 +527,11 @@ impl DrugRegistry {
 
     /// DIDs of all drugs of a pharmacological class.
     pub fn drugs_of_class(&self, class: DrugClass) -> Vec<usize> {
-        self.drugs.iter().filter(|d| d.class == class).map(|d| d.id).collect()
+        self.drugs
+            .iter()
+            .filter(|d| d.class == class)
+            .map(|d| d.id)
+            .collect()
     }
 
     /// Number of distinct medications available per disease, i.e. the series
@@ -384,6 +591,20 @@ mod tests {
     }
 
     #[test]
+    fn resolve_accepts_names_and_numeric_dids() {
+        let reg = DrugRegistry::standard();
+        assert_eq!(reg.resolve("Metformin"), Some(48));
+        assert_eq!(reg.resolve("  metformin "), Some(48));
+        assert_eq!(reg.resolve("48"), Some(48));
+        assert_eq!(reg.resolve("DID 48"), Some(48));
+        assert_eq!(reg.resolve("did 7"), Some(7));
+        assert_eq!(reg.resolve("999"), None);
+        assert_eq!(reg.resolve("not-a-drug"), None);
+        assert_eq!(reg.name_of(48), Some("Metformin"));
+        assert_eq!(reg.name_of(NUM_DRUGS), None);
+    }
+
+    #[test]
     fn every_disease_has_at_least_one_drug() {
         let reg = DrugRegistry::standard();
         for disease in Disease::ALL {
@@ -407,7 +628,11 @@ mod tests {
             .unwrap();
         for (d, c) in counts {
             if d != Disease::Hypertension {
-                assert!(hypertension >= c, "{} has more drugs than hypertension", d.name());
+                assert!(
+                    hypertension >= c,
+                    "{} has more drugs than hypertension",
+                    d.name()
+                );
             }
         }
     }
@@ -417,7 +642,10 @@ mod tests {
         assert!(Disease::Hypertension.prevalence() > Disease::CardiovascularEvents.prevalence());
         assert!(Disease::CardiovascularEvents.prevalence() > Disease::Type2Diabetes.prevalence());
         let total: f64 = Disease::ALL.iter().map(|d| d.prevalence()).sum();
-        assert!(total > 0.9 && total < 1.2, "prevalence mass {total} drifted");
+        assert!(
+            total > 0.9 && total < 1.2,
+            "prevalence mass {total} drifted"
+        );
     }
 
     #[test]

@@ -27,7 +27,9 @@ pub mod mimic;
 pub mod split;
 
 pub use chronic::{generate_chronic_cohort, ChronicCohort, ChronicConfig, NUM_FEATURES};
-pub use ddi::{generate_ddi_graph, generate_ddi_graph_with_negatives, paper_interactions, DdiConfig};
+pub use ddi::{
+    generate_ddi_graph, generate_ddi_graph_with_negatives, paper_interactions, DdiConfig,
+};
 pub use drkg::{build_knowledge_graph, pretrained_drug_embeddings, train_transe, DrkgConfig};
 pub use drugs::{Disease, Drug, DrugClass, DrugRegistry, NUM_DRUGS};
 pub use mimic::{generate_mimic_dataset, MimicConfig, MimicDataset};

@@ -160,7 +160,11 @@ pub fn generate_mimic_dataset(
             let mut drugs: Vec<usize> = (0..config.n_drugs).collect();
             drugs.shuffle(rng);
             drugs.truncate(n_drugs);
-            Condition { diagnosis: dx, procedures: proc, drugs }
+            Condition {
+                diagnosis: dx,
+                procedures: proc,
+                drugs,
+            }
         })
         .collect();
 
@@ -227,7 +231,10 @@ pub fn generate_mimic_dataset(
         }
     }
     all_pairs.shuffle(rng);
-    for &(u, v) in all_pairs.iter().take(config.n_antagonistic_pairs.min(all_pairs.len())) {
+    for &(u, v) in all_pairs
+        .iter()
+        .take(config.n_antagonistic_pairs.min(all_pairs.len()))
+    {
         ddi.add_interaction(u, v, Interaction::Antagonistic)
             .map_err(DataError::Graph)?;
     }
@@ -249,7 +256,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn small(n: usize, seed: u64) -> MimicDataset {
-        let cfg = MimicConfig { n_patients: n, ..Default::default() };
+        let cfg = MimicConfig {
+            n_patients: n,
+            ..Default::default()
+        };
         generate_mimic_dataset(&cfg, &mut StdRng::seed_from_u64(seed)).unwrap()
     }
 
@@ -267,7 +277,10 @@ mod tests {
     fn label_cardinality_matches_mimic_scale() {
         let d = small(400, 1);
         let mean = d.mean_drugs_per_patient();
-        assert!(mean >= 5.0 && mean <= 20.0, "mean drugs/patient {mean} out of range");
+        assert!(
+            (5.0..=20.0).contains(&mean),
+            "mean drugs/patient {mean} out of range"
+        );
         for p in 0..d.n_patients() {
             assert!(!d.drugs_of(p).is_empty());
         }
@@ -301,9 +314,16 @@ mod tests {
     #[test]
     fn invalid_configs_error() {
         let mut rng = StdRng::seed_from_u64(0);
-        let zero = MimicConfig { n_patients: 0, ..Default::default() };
+        let zero = MimicConfig {
+            n_patients: 0,
+            ..Default::default()
+        };
         assert!(generate_mimic_dataset(&zero, &mut rng).is_err());
-        let few_codes = MimicConfig { n_diagnosis_codes: 2, n_conditions: 10, ..Default::default() };
+        let few_codes = MimicConfig {
+            n_diagnosis_codes: 2,
+            n_conditions: 10,
+            ..Default::default()
+        };
         assert!(generate_mimic_dataset(&few_codes, &mut rng).is_err());
     }
 

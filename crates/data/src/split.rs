@@ -42,10 +42,14 @@ pub fn split_patients(
 ) -> Result<Split, DataError> {
     let (a, b, c) = ratio;
     if a + b + c == 0 {
-        return Err(DataError::InvalidConfig { what: "split ratio must not be all zeros" });
+        return Err(DataError::InvalidConfig {
+            what: "split ratio must not be all zeros",
+        });
     }
     if n == 0 {
-        return Err(DataError::InvalidConfig { what: "cannot split zero patients" });
+        return Err(DataError::InvalidConfig {
+            what: "cannot split zero patients",
+        });
     }
     let mut idx: Vec<usize> = (0..n).collect();
     idx.shuffle(rng);
@@ -72,7 +76,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(0);
         let s = split_patients(100, (5, 3, 2), &mut rng).unwrap();
         assert_eq!(s.len(), 100);
-        let mut all: Vec<usize> = s.train.iter().chain(&s.val).chain(&s.test).copied().collect();
+        let mut all: Vec<usize> = s
+            .train
+            .iter()
+            .chain(&s.val)
+            .chain(&s.test)
+            .copied()
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..100).collect::<Vec<_>>());
     }

@@ -9,10 +9,16 @@ fn main() {
     let opts = RunOptions::from_args();
     let world = ChronicWorld::generate(&opts);
     println!("Fig. 2 — proportion of patients with various diseases");
-    println!("(cohort of {} interview records, seed {})\n", opts.n_patients, opts.seed);
+    println!(
+        "(cohort of {} interview records, seed {})\n",
+        opts.n_patients, opts.seed
+    );
     let mut prevalence = world.cohort.disease_prevalence();
     prevalence.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
-    println!("{:<28} {:>8}  {:<40} {:>8}", "Disease", "Measured", "", "Paper");
+    println!(
+        "{:<28} {:>8}  {:<40} {:>8}",
+        "Disease", "Measured", "", "Paper"
+    );
     let paper: &[(&str, f64)] = &[
         ("Hypertension", 0.49),
         ("Cardiovascular Events", 0.22),
@@ -32,6 +38,12 @@ fn main() {
             .find(|(name, _)| *name == disease.name())
             .map(|(_, v)| format!("{:.2}", v))
             .unwrap_or_else(|| "-".into());
-        println!("{:<28} {:>7.1}%  {:<40} {:>8}", disease.name(), measured * 100.0, bar, paper_value);
+        println!(
+            "{:<28} {:>7.1}%  {:<40} {:>8}",
+            disease.name(),
+            measured * 100.0,
+            bar,
+            paper_value
+        );
     }
 }

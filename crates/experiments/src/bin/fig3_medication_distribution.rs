@@ -10,7 +10,7 @@ fn main() {
     let registry = DrugRegistry::standard();
     println!("Fig. 3 — number of medications per chronic disease (86-drug formulary)\n");
     let mut counts = registry.medications_per_disease();
-    counts.sort_by(|a, b| b.1.cmp(&a.1));
+    counts.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
     println!("{:<28} {:>6}", "Disease", "#Drugs");
     for (disease, count) in &counts {
         let bar = "#".repeat(*count);

@@ -64,7 +64,10 @@ fn coarse_heatmap(reprs: &Matrix, cells: usize) -> Vec<String> {
 
 fn main() {
     let opts = RunOptions::from_args();
-    println!("Fig. 7 — representation similarity: DSSDDI vs LightGCN ({} patients)", opts.n_patients);
+    println!(
+        "Fig. 7 — representation similarity: DSSDDI vs LightGCN ({} patients)",
+        opts.n_patients
+    );
     let world = ChronicWorld::generate(&opts);
 
     let (_, dssddi) = run_dssddi_variant(&world, &opts, Backbone::Sgcn);
@@ -74,15 +77,23 @@ fn main() {
         ..Default::default()
     };
     let mut rng = StdRng::seed_from_u64(opts.seed + 11);
-    let lightgcn = LightGcnRecommender::fit(&world.train_features(), &world.train_graph(), &graph_cfg, &mut rng)
-        .expect("LightGCN");
-    let _ = lightgcn.predict_scores(&world.test_features()).expect("scores");
+    let lightgcn = LightGcnRecommender::fit(
+        &world.train_features(),
+        &world.train_graph(),
+        &graph_cfg,
+        &mut rng,
+    )
+    .expect("LightGCN");
+    let _ = lightgcn
+        .predict_scores(&world.test_features())
+        .expect("scores");
 
     // 100 sampled test patients (or all of them if fewer).
     let sample: Vec<usize> = world.split.test.iter().copied().take(100).collect();
     let sample_features = world.cohort.features().select_rows(&sample);
 
-    let dssddi_patients = dssddi
+    let engine = dssddi.engine().expect("fitted service");
+    let dssddi_patients = engine
         .md_module()
         .patient_representations(&sample_features)
         .expect("DSSDDI patient representations");
@@ -91,8 +102,14 @@ fn main() {
         .expect("LightGCN patient representations");
 
     println!("\n(a) Patient representations — mean pairwise cosine similarity");
-    println!("    DSSDDI   : {:.3}  (paper: low, patients stay distinguishable)", mean_offdiagonal_cosine(&dssddi_patients));
-    println!("    LightGCN : {:.3}  (paper: close to 1.0, over-smoothed)", mean_offdiagonal_cosine(&lightgcn_patients));
+    println!(
+        "    DSSDDI   : {:.3}  (paper: low, patients stay distinguishable)",
+        mean_offdiagonal_cosine(&dssddi_patients)
+    );
+    println!(
+        "    LightGCN : {:.3}  (paper: close to 1.0, over-smoothed)",
+        mean_offdiagonal_cosine(&lightgcn_patients)
+    );
     println!("\n    DSSDDI patient similarity (10x10 block heatmap)");
     for row in coarse_heatmap(&dssddi_patients, 10) {
         println!("      {row}");
@@ -102,11 +119,17 @@ fn main() {
         println!("      {row}");
     }
 
-    let dssddi_drugs = dssddi.md_module().drug_representations();
+    let dssddi_drugs = engine.md_module().drug_representations();
     let lightgcn_drugs = lightgcn.drug_representations();
     println!("\n(b) Drug representations (86 drugs) — mean pairwise cosine similarity");
-    println!("    DSSDDI   : {:.3}  (paper: block structure by treated disease)", mean_offdiagonal_cosine(dssddi_drugs));
-    println!("    LightGCN : {:.3}  (paper: uniformly low similarity)", mean_offdiagonal_cosine(lightgcn_drugs));
+    println!(
+        "    DSSDDI   : {:.3}  (paper: block structure by treated disease)",
+        mean_offdiagonal_cosine(dssddi_drugs)
+    );
+    println!(
+        "    LightGCN : {:.3}  (paper: uniformly low similarity)",
+        mean_offdiagonal_cosine(lightgcn_drugs)
+    );
 
     // Within-class vs cross-class similarity for DSSDDI's drug embeddings.
     let statins = [46usize, 47, 49, 50, 51];

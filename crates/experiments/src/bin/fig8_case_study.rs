@@ -2,7 +2,9 @@
 //! Medical Support subgraphs (closest truss communities) behind the top-3
 //! suggestions of DSSDDI, LightGCN, GCMC, SVM and ECC.
 
-use dssddi_core::{ms_module::explain_suggestion, Backbone, MsModuleConfig};
+use dssddi_core::{
+    ms_module::explain_suggestion, Backbone, MsModuleConfig, PatientId, SuggestRequest,
+};
 use dssddi_data::Disease;
 use dssddi_experiments::{
     format_drugs, run_chronic_baselines, run_dssddi_variant, ChronicWorld, RunOptions,
@@ -24,23 +26,40 @@ fn main() {
         .unwrap_or(world.split.test[0]);
     println!(
         "Patient #{patient}: diseases = {:?}, actually taking: {}",
-        world.cohort.diseases()[patient].iter().map(|d| d.name()).collect::<Vec<_>>(),
+        world.cohort.diseases()[patient]
+            .iter()
+            .map(|d| d.name())
+            .collect::<Vec<_>>(),
         format_drugs(&world.registry, &world.cohort.drugs_of(patient))
     );
 
-    let patient_features = world.cohort.features().select_rows(&[patient]);
     let ms = MsModuleConfig::default();
     let k = 3;
 
-    // DSSDDI.
-    let (_, system) = run_dssddi_variant(&world, &opts, Backbone::Sgcn);
-    let suggestion = &system.suggest(&patient_features, k).expect("DSSDDI suggestion")[0];
-    print_case("DSSDDI", &world, &suggestion.explanation.suggested, &suggestion.explanation);
+    // DSSDDI, through the typed decision service.
+    let (_, service) = run_dssddi_variant(&world, &opts, Backbone::Sgcn);
+    let request = SuggestRequest::new(
+        PatientId::new(patient),
+        world.cohort.features().row(patient).to_vec(),
+        k,
+    );
+    let response = service.suggest(&request).expect("DSSDDI suggestion");
+    print_case(
+        "DSSDDI",
+        &world,
+        &response.explanation.suggested,
+        &response.explanation,
+    );
 
     // Baselines (LightGCN, GCMC, SVM, ECC as in the figure).
     let baselines = run_chronic_baselines(&world, &opts);
     // The test feature matrix row index of this patient.
-    let row = world.split.test.iter().position(|&p| p == patient).unwrap_or(0);
+    let row = world
+        .split
+        .test
+        .iter()
+        .position(|&p| p == patient)
+        .unwrap_or(0);
     for wanted in ["LightGCN", "GCMC", "SVM", "ECC"] {
         if let Some(method) = baselines.iter().find(|m| m.name == wanted) {
             let top = top_k_indices(method.scores.row(row), k);

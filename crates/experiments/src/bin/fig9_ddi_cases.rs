@@ -21,7 +21,10 @@ fn rank_of(scores: &Matrix, row: usize, drug: usize) -> usize {
 
 fn main() {
     let opts = RunOptions::from_args();
-    println!("Fig. 9 — effect of the DDI module on individual rankings ({} patients)\n", opts.n_patients);
+    println!(
+        "Fig. 9 — effect of the DDI module on individual rankings ({} patients)\n",
+        opts.n_patients
+    );
     let world = ChronicWorld::generate(&opts);
 
     // With DDI (full DSSDDI) and without DDI (ablated) score matrices.
@@ -30,16 +33,19 @@ fn main() {
         let mut config = opts.dssddi_config();
         config.md.use_ddi_embeddings = false;
         let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(opts.seed + 2);
-        let system = dssddi_core::Dssddi::fit_chronic(
-            &world.cohort,
-            &world.split.train,
-            &world.drug_features,
-            &world.ddi,
-            &config,
-            &mut rng,
-        )
-        .expect("w/o DDI system");
-        system.predict_scores(&world.test_features()).expect("scores")
+        let service = dssddi_core::ServiceBuilder::new()
+            .config(config)
+            .fit_chronic(
+                &world.cohort,
+                &world.split.train,
+                &world.drug_features,
+                &world.ddi,
+                &mut rng,
+            )
+            .expect("w/o DDI system");
+        service
+            .predict_scores(&world.test_features())
+            .expect("scores")
     };
     let test_labels = world.test_labels();
 
@@ -97,8 +103,8 @@ fn report_case(
 ) {
     println!("== {title} ==");
     println!("   {narrative}");
-    let row = (0..test_labels.rows())
-        .find(|&r| required.iter().all(|&d| test_labels.get(r, d) > 0.5));
+    let row =
+        (0..test_labels.rows()).find(|&r| required.iter().all(|&d| test_labels.get(r, d) > 0.5));
     match row {
         None => {
             println!(

@@ -4,7 +4,9 @@
 //! variants.
 
 use dssddi_core::Backbone;
-use dssddi_experiments::{print_metric_table, run_chronic_baselines, run_dssddi_variant, ChronicWorld, RunOptions};
+use dssddi_experiments::{
+    print_metric_table, run_chronic_baselines, run_dssddi_variant, ChronicWorld, RunOptions,
+};
 
 fn main() {
     let opts = RunOptions::from_args();

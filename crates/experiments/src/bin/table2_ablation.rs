@@ -9,7 +9,11 @@ fn main() {
     println!(
         "Table II — drug-embedding ablation on the chronic data set ({} patients, {})",
         opts.n_patients,
-        if opts.full { "paper configuration" } else { "reduced configuration" }
+        if opts.full {
+            "paper configuration"
+        } else {
+            "reduced configuration"
+        }
     );
     let world = ChronicWorld::generate(&opts);
     let test_labels = world.test_labels();

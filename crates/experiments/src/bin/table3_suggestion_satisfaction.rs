@@ -3,7 +3,9 @@
 //! push antagonistic interactions outside the suggestion.
 
 use dssddi_core::Backbone;
-use dssddi_experiments::{print_ss_table, run_chronic_baselines, run_dssddi_variant, ChronicWorld, RunOptions};
+use dssddi_experiments::{
+    print_ss_table, run_chronic_baselines, run_dssddi_variant, ChronicWorld, RunOptions,
+};
 
 fn main() {
     let opts = RunOptions::from_args();
@@ -18,7 +20,12 @@ fn main() {
         let (scores, _) = run_dssddi_variant(&world, &opts, backbone);
         methods.push(scores);
     }
-    print_ss_table("Table III (SS@k, α = 0.5)", &methods, &world.ddi, &[2, 3, 4, 5, 6]);
+    print_ss_table(
+        "Table III (SS@k, α = 0.5)",
+        &methods,
+        &world.ddi,
+        &[2, 3, 4, 5, 6],
+    );
     println!("\nPaper reference: DSSDDI improves SS@4..6 by ~24-25% over the best baseline");
     println!("(Bipar-GCN / LightGCN); traditional methods are lowest.");
 }

@@ -4,8 +4,8 @@
 //! antagonistic-only).
 
 use dssddi_baselines::{
-    BiparGcnRecommender, CauseRecRecommender, EccRecommender, GcmcRecommender,
-    LightGcnRecommender, Recommender, SafeDrugRecommender, SvmRecommender, UserSim,
+    BiparGcnRecommender, CauseRecRecommender, EccRecommender, GcmcRecommender, LightGcnRecommender,
+    Recommender, SafeDrugRecommender, SvmRecommender, UserSim,
 };
 use dssddi_core::{config::DrugFeatureSource, Backbone, Dssddi};
 use dssddi_experiments::{print_metric_table, MethodScores, RunOptions};
@@ -16,7 +16,11 @@ use rand::SeedableRng;
 
 fn main() {
     let opts = RunOptions::from_args();
-    let n_patients = if opts.full { 6350 } else { opts.n_patients.min(1500) };
+    let n_patients = if opts.full {
+        6350
+    } else {
+        opts.n_patients.min(1500)
+    };
     println!(
         "Table IV — MIMIC-III-like data set, {} patients ({} configuration)",
         n_patients,
@@ -25,11 +29,15 @@ fn main() {
 
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mimic = dssddi_data::generate_mimic_dataset(
-        &dssddi_data::MimicConfig { n_patients, ..Default::default() },
+        &dssddi_data::MimicConfig {
+            n_patients,
+            ..Default::default()
+        },
         &mut rng,
     )
     .expect("MIMIC-like generation");
-    let split = dssddi_data::split_patients(mimic.n_patients(), (5, 3, 2), &mut rng).expect("split");
+    let split =
+        dssddi_data::split_patients(mimic.n_patients(), (5, 3, 2), &mut rng).expect("split");
 
     let train_x = mimic.features().select_rows(&split.train);
     let train_y = mimic.labels().select_rows(&split.train);
@@ -45,8 +53,8 @@ fn main() {
                 .collect::<Vec<_>>()
         })
         .collect();
-    let train_graph =
-        BipartiteGraph::from_pairs(split.train.len(), mimic.n_drugs(), &train_pairs).expect("train graph");
+    let train_graph = BipartiteGraph::from_pairs(split.train.len(), mimic.n_drugs(), &train_pairs)
+        .expect("train graph");
 
     let epochs = if opts.full { 300 } else { 100 };
     let graph_cfg = dssddi_baselines::graph_models::GraphBaselineConfig {
@@ -62,30 +70,86 @@ fn main() {
 
     let mut methods: Vec<MethodScores> = Vec::new();
     let usersim = UserSim::fit(&train_x, &train_y).expect("UserSim");
-    methods.push(MethodScores { name: "UserSim".into(), scores: usersim.predict_scores(&test_x).unwrap() });
-    let ecc = EccRecommender::fit(&train_x, &train_y, &dssddi_ml::EccConfig { n_chains: 2, ..Default::default() }, &mut rng).expect("ECC");
-    methods.push(MethodScores { name: "ECC".into(), scores: ecc.predict_scores(&test_x).unwrap() });
-    let svm = SvmRecommender::fit(&train_x, &train_y, &dssddi_ml::SvmConfig { epochs: 30, ..Default::default() }).expect("SVM");
-    methods.push(MethodScores { name: "SVM".into(), scores: svm.predict_scores(&test_x).unwrap() });
+    methods.push(MethodScores {
+        name: "UserSim".into(),
+        scores: usersim.predict_scores(&test_x).unwrap(),
+    });
+    let ecc = EccRecommender::fit(
+        &train_x,
+        &train_y,
+        &dssddi_ml::EccConfig {
+            n_chains: 2,
+            ..Default::default()
+        },
+        &mut rng,
+    )
+    .expect("ECC");
+    methods.push(MethodScores {
+        name: "ECC".into(),
+        scores: ecc.predict_scores(&test_x).unwrap(),
+    });
+    let svm = SvmRecommender::fit(
+        &train_x,
+        &train_y,
+        &dssddi_ml::SvmConfig {
+            epochs: 30,
+            ..Default::default()
+        },
+    )
+    .expect("SVM");
+    methods.push(MethodScores {
+        name: "SVM".into(),
+        scores: svm.predict_scores(&test_x).unwrap(),
+    });
     let gcmc = GcmcRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).expect("GCMC");
-    methods.push(MethodScores { name: "GCMC".into(), scores: gcmc.predict_scores(&test_x).unwrap() });
-    let lightgcn = LightGcnRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).expect("LightGCN");
-    methods.push(MethodScores { name: "LightGCN".into(), scores: lightgcn.predict_scores(&test_x).unwrap() });
-    let safedrug = SafeDrugRecommender::fit(&train_x, &train_y, mimic.ddi(), 0.05, &neural_cfg, &mut rng).expect("SafeDrug");
-    methods.push(MethodScores { name: "SafeDrug".into(), scores: safedrug.predict_scores(&test_x).unwrap() });
-    let bipar = BiparGcnRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).expect("Bipar-GCN");
-    methods.push(MethodScores { name: "Bipar-GCN".into(), scores: bipar.predict_scores(&test_x).unwrap() });
-    let causerec = CauseRecRecommender::fit(&train_x, &train_y, 0.2, &neural_cfg, &mut rng).expect("CauseRec");
-    methods.push(MethodScores { name: "CauseRec".into(), scores: causerec.predict_scores(&test_x).unwrap() });
+    methods.push(MethodScores {
+        name: "GCMC".into(),
+        scores: gcmc.predict_scores(&test_x).unwrap(),
+    });
+    let lightgcn =
+        LightGcnRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).expect("LightGCN");
+    methods.push(MethodScores {
+        name: "LightGCN".into(),
+        scores: lightgcn.predict_scores(&test_x).unwrap(),
+    });
+    let safedrug =
+        SafeDrugRecommender::fit(&train_x, &train_y, mimic.ddi(), 0.05, &neural_cfg, &mut rng)
+            .expect("SafeDrug");
+    methods.push(MethodScores {
+        name: "SafeDrug".into(),
+        scores: safedrug.predict_scores(&test_x).unwrap(),
+    });
+    let bipar =
+        BiparGcnRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).expect("Bipar-GCN");
+    methods.push(MethodScores {
+        name: "Bipar-GCN".into(),
+        scores: bipar.predict_scores(&test_x).unwrap(),
+    });
+    let causerec =
+        CauseRecRecommender::fit(&train_x, &train_y, 0.2, &neural_cfg, &mut rng).expect("CauseRec");
+    methods.push(MethodScores {
+        name: "CauseRec".into(),
+        scores: causerec.predict_scores(&test_x).unwrap(),
+    });
 
     // DSSDDI(GIN): antagonism-only DDI graph, one-hot drug features.
     let mut config = opts.dssddi_config();
     config.ddi.backbone = Backbone::Gin;
     config.md.drug_features = DrugFeatureSource::OneHot;
     let placeholder_drug_features = Matrix::identity(mimic.n_drugs());
-    let system = Dssddi::fit(&train_x, &train_graph, &placeholder_drug_features, mimic.ddi(), &config, &mut rng)
-        .expect("DSSDDI(GIN) on MIMIC");
-    methods.push(MethodScores { name: "DSSDDI(GIN)".into(), scores: system.predict_scores(&test_x).unwrap() });
+    let system = Dssddi::fit(
+        &train_x,
+        &train_graph,
+        &placeholder_drug_features,
+        mimic.ddi(),
+        &config,
+        &mut rng,
+    )
+    .expect("DSSDDI(GIN) on MIMIC");
+    methods.push(MethodScores {
+        name: "DSSDDI(GIN)".into(),
+        scores: system.predict_scores(&test_x).unwrap(),
+    });
 
     print_metric_table("Table IV (k = 4, 6, 8)", &methods, &test_y, &[4, 6, 8]);
     println!("\nPaper reference: all methods score much higher than on the chronic data");

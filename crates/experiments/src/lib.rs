@@ -18,10 +18,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use dssddi_baselines::{
-    BiparGcnRecommender, CauseRecRecommender, EccRecommender, GcmcRecommender,
-    LightGcnRecommender, Recommender, SafeDrugRecommender, SvmRecommender, UserSim,
+    BiparGcnRecommender, CauseRecRecommender, EccRecommender, GcmcRecommender, LightGcnRecommender,
+    Recommender, SafeDrugRecommender, SvmRecommender, UserSim,
 };
-use dssddi_core::{ms_module::explain_suggestion, Backbone, Dssddi, DssddiConfig, MsModuleConfig};
+use dssddi_core::{
+    ms_module::explain_suggestion, Backbone, DecisionService, Dssddi, DssddiConfig, MsModuleConfig,
+    ServiceBuilder,
+};
 use dssddi_data::{
     generate_chronic_cohort, generate_ddi_graph, pretrained_drug_embeddings, split_patients,
     ChronicCohort, ChronicConfig, DdiConfig, DrkgConfig, DrugRegistry, Split,
@@ -43,7 +46,11 @@ pub struct RunOptions {
 
 impl Default for RunOptions {
     fn default() -> Self {
-        Self { n_patients: 1200, seed: 7, full: false }
+        Self {
+            n_patients: 1200,
+            seed: 7,
+            full: false,
+        }
     }
 }
 
@@ -113,19 +120,32 @@ impl ChronicWorld {
         let cohort = generate_chronic_cohort(
             &registry,
             &ddi,
-            &ChronicConfig { n_patients: opts.n_patients, ..Default::default() },
+            &ChronicConfig {
+                n_patients: opts.n_patients,
+                ..Default::default()
+            },
             &mut rng,
         )
         .expect("cohort generation");
         let kg_dim = if opts.full { 64 } else { 32 };
         let drug_features = pretrained_drug_embeddings(
             &registry,
-            &DrkgConfig { dim: kg_dim, epochs: if opts.full { 60 } else { 25 }, ..Default::default() },
+            &DrkgConfig {
+                dim: kg_dim,
+                epochs: if opts.full { 60 } else { 25 },
+                ..Default::default()
+            },
             &mut rng,
         )
         .expect("TransE pre-training");
         let split = split_patients(cohort.n_patients(), (5, 3, 2), &mut rng).expect("split");
-        Self { registry, ddi, cohort, drug_features, split }
+        Self {
+            registry,
+            ddi,
+            cohort,
+            drug_features,
+            split,
+        }
     }
 
     /// Features of the observed (training) patients.
@@ -140,7 +160,9 @@ impl ChronicWorld {
 
     /// The training medication-use bipartite graph.
     pub fn train_graph(&self) -> BipartiteGraph {
-        self.cohort.bipartite_graph(&self.split.train).expect("training graph")
+        self.cohort
+            .bipartite_graph(&self.split.train)
+            .expect("training graph")
     }
 
     /// Features of the held-out test patients.
@@ -183,55 +205,103 @@ pub fn run_chronic_baselines(world: &ChronicWorld, opts: &RunOptions) -> Vec<Met
     let mut rng = StdRng::seed_from_u64(opts.seed + 1);
 
     let usersim = UserSim::fit(&train_x, &train_y).expect("UserSim");
-    out.push(MethodScores { name: "UserSim".into(), scores: usersim.predict_scores(&test_x).expect("UserSim scores") });
+    out.push(MethodScores {
+        name: "UserSim".into(),
+        scores: usersim.predict_scores(&test_x).expect("UserSim scores"),
+    });
 
-    let ecc = EccRecommender::fit(&train_x, &train_y, &dssddi_ml::EccConfig::default(), &mut rng).expect("ECC");
-    out.push(MethodScores { name: "ECC".into(), scores: ecc.predict_scores(&test_x).expect("ECC scores") });
+    let ecc = EccRecommender::fit(
+        &train_x,
+        &train_y,
+        &dssddi_ml::EccConfig::default(),
+        &mut rng,
+    )
+    .expect("ECC");
+    out.push(MethodScores {
+        name: "ECC".into(),
+        scores: ecc.predict_scores(&test_x).expect("ECC scores"),
+    });
 
-    let svm = SvmRecommender::fit(&train_x, &train_y, &dssddi_ml::SvmConfig { epochs: 40, ..Default::default() }).expect("SVM");
-    out.push(MethodScores { name: "SVM".into(), scores: svm.predict_scores(&test_x).expect("SVM scores") });
+    let svm = SvmRecommender::fit(
+        &train_x,
+        &train_y,
+        &dssddi_ml::SvmConfig {
+            epochs: 40,
+            ..Default::default()
+        },
+    )
+    .expect("SVM");
+    out.push(MethodScores {
+        name: "SVM".into(),
+        scores: svm.predict_scores(&test_x).expect("SVM scores"),
+    });
 
     let gcmc = GcmcRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).expect("GCMC");
-    out.push(MethodScores { name: "GCMC".into(), scores: gcmc.predict_scores(&test_x).expect("GCMC scores") });
+    out.push(MethodScores {
+        name: "GCMC".into(),
+        scores: gcmc.predict_scores(&test_x).expect("GCMC scores"),
+    });
 
-    let lightgcn = LightGcnRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).expect("LightGCN");
-    out.push(MethodScores { name: "LightGCN".into(), scores: lightgcn.predict_scores(&test_x).expect("LightGCN scores") });
+    let lightgcn =
+        LightGcnRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).expect("LightGCN");
+    out.push(MethodScores {
+        name: "LightGCN".into(),
+        scores: lightgcn.predict_scores(&test_x).expect("LightGCN scores"),
+    });
 
-    let safedrug = SafeDrugRecommender::fit(&train_x, &train_y, &world.ddi, 0.05, &neural_cfg, &mut rng).expect("SafeDrug");
-    out.push(MethodScores { name: "SafeDrug".into(), scores: safedrug.predict_scores(&test_x).expect("SafeDrug scores") });
+    let safedrug =
+        SafeDrugRecommender::fit(&train_x, &train_y, &world.ddi, 0.05, &neural_cfg, &mut rng)
+            .expect("SafeDrug");
+    out.push(MethodScores {
+        name: "SafeDrug".into(),
+        scores: safedrug.predict_scores(&test_x).expect("SafeDrug scores"),
+    });
 
-    let bipar = BiparGcnRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).expect("Bipar-GCN");
-    out.push(MethodScores { name: "Bipar-GCN".into(), scores: bipar.predict_scores(&test_x).expect("Bipar-GCN scores") });
+    let bipar =
+        BiparGcnRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).expect("Bipar-GCN");
+    out.push(MethodScores {
+        name: "Bipar-GCN".into(),
+        scores: bipar.predict_scores(&test_x).expect("Bipar-GCN scores"),
+    });
 
-    let causerec = CauseRecRecommender::fit(&train_x, &train_y, 0.2, &neural_cfg, &mut rng).expect("CauseRec");
-    out.push(MethodScores { name: "CauseRec".into(), scores: causerec.predict_scores(&test_x).expect("CauseRec scores") });
+    let causerec =
+        CauseRecRecommender::fit(&train_x, &train_y, 0.2, &neural_cfg, &mut rng).expect("CauseRec");
+    out.push(MethodScores {
+        name: "CauseRec".into(),
+        scores: causerec.predict_scores(&test_x).expect("CauseRec scores"),
+    });
 
     out
 }
 
 /// Trains a DSSDDI variant with the given backbone and returns its scores on
-/// the test patients, together with the fitted system.
+/// the test patients, together with the fitted decision service.
 pub fn run_dssddi_variant(
     world: &ChronicWorld,
     opts: &RunOptions,
     backbone: Backbone,
-) -> (MethodScores, Dssddi) {
-    let mut config = opts.dssddi_config();
-    config.ddi.backbone = backbone;
+) -> (MethodScores, DecisionService) {
     let mut rng = StdRng::seed_from_u64(opts.seed + 2);
-    let system = Dssddi::fit_chronic(
-        &world.cohort,
-        &world.split.train,
-        &world.drug_features,
-        &world.ddi,
-        &config,
-        &mut rng,
-    )
-    .expect("DSSDDI training");
-    let scores = system.predict_scores(&world.test_features()).expect("DSSDDI scores");
+    let service = ServiceBuilder::new()
+        .config(opts.dssddi_config())
+        .backbone(backbone)
+        .fit_chronic(
+            &world.cohort,
+            &world.split.train,
+            &world.drug_features,
+            &world.ddi,
+            &mut rng,
+        )
+        .expect("DSSDDI training");
+    let scores = service
+        .predict_scores(&world.test_features())
+        .expect("DSSDDI scores");
     (
-        MethodScores { name: format!("DSSDDI({})", backbone.name()), scores },
-        system,
+        MethodScores {
+            name: format!("DSSDDI({})", backbone.name()),
+            scores,
+        },
+        service,
     )
 }
 
@@ -246,12 +316,29 @@ pub fn run_ablation_variants(world: &ChronicWorld, opts: &RunOptions) -> Vec<Met
     let mut config = opts.dssddi_config();
     config.md.use_ddi_embeddings = false;
     let mut rng = StdRng::seed_from_u64(opts.seed + 3);
-    let system = Dssddi::fit_chronic(&world.cohort, &world.split.train, &world.drug_features, &world.ddi, &config, &mut rng)
+    let service = ServiceBuilder::new()
+        .config(config)
+        .fit_chronic(
+            &world.cohort,
+            &world.split.train,
+            &world.drug_features,
+            &world.ddi,
+            &mut rng,
+        )
         .expect("w/o DDI variant");
-    out.push(MethodScores { name: "w/o DDI".into(), scores: system.predict_scores(&world.test_features()).expect("scores") });
+    out.push(MethodScores {
+        name: "w/o DDI".into(),
+        scores: service
+            .predict_scores(&world.test_features())
+            .expect("scores"),
+    });
 
     // One-hot relation embeddings (identity truncated/padded to hidden dim).
-    let one_hot = Matrix::from_fn(n_drugs, hidden, |r, c| if r % hidden == c { 1.0 } else { 0.0 });
+    let one_hot = Matrix::from_fn(
+        n_drugs,
+        hidden,
+        |r, c| if r % hidden == c { 1.0 } else { 0.0 },
+    );
     out.push(run_override_variant(world, opts, "One-hot", &one_hot));
 
     // KG pre-trained relation embeddings (TransE, padded to hidden dim).
@@ -260,7 +347,10 @@ pub fn run_ablation_variants(world: &ChronicWorld, opts: &RunOptions) -> Vec<Met
 
     // Full DDIGCN (SGCN backbone, the best of Table I).
     let (ddigcn, _) = run_dssddi_variant(world, opts, Backbone::Sgcn);
-    out.push(MethodScores { name: "DDIGCN".into(), scores: ddigcn.scores });
+    out.push(MethodScores {
+        name: "DDIGCN".into(),
+        scores: ddigcn.scores,
+    });
 
     out
 }
@@ -287,13 +377,21 @@ fn run_override_variant(
     .expect("ablation variant");
     MethodScores {
         name: name.into(),
-        scores: system.predict_scores(&world.test_features()).expect("scores"),
+        scores: system
+            .predict_scores(&world.test_features())
+            .expect("scores"),
     }
 }
 
 /// Pads (with zeros) or truncates a matrix to the requested number of columns.
 pub fn pad_to_width(m: &Matrix, width: usize) -> Matrix {
-    Matrix::from_fn(m.rows(), width, |r, c| if c < m.cols() { m.get(r, c) } else { 0.0 })
+    Matrix::from_fn(m.rows(), width, |r, c| {
+        if c < m.cols() {
+            m.get(r, c)
+        } else {
+            0.0
+        }
+    })
 }
 
 /// Prints a Table I/II/IV-style block: Precision@k, Recall@k and NDCG@k for
@@ -320,7 +418,10 @@ pub fn print_metric_table(title: &str, methods: &[MethodScores], labels: &Matrix
 /// Mean Suggestion Satisfaction at `k` over the test patients for one score
 /// matrix (the quantity reported in Table III).
 pub fn mean_ss_at_k(scores: &Matrix, ddi: &SignedGraph, k: usize, alpha: f64) -> f64 {
-    let ms = MsModuleConfig { alpha, ..Default::default() };
+    let ms = MsModuleConfig {
+        alpha,
+        ..Default::default()
+    };
     let mut total = 0.0f64;
     let mut count = 0usize;
     for p in 0..scores.rows() {
@@ -348,7 +449,10 @@ pub fn print_ss_table(title: &str, methods: &[MethodScores], ddi: &SignedGraph, 
     for method in methods {
         let mut row = format!("{:<16}", method.name);
         for &k in ks {
-            row.push_str(&format!("  {:.4}  ", mean_ss_at_k(&method.scores, ddi, k, 0.5)));
+            row.push_str(&format!(
+                "  {:.4}  ",
+                mean_ss_at_k(&method.scores, ddi, k, 0.5)
+            ));
         }
         println!("{row}");
     }
@@ -373,7 +477,11 @@ mod tests {
     use super::*;
 
     fn tiny_opts() -> RunOptions {
-        RunOptions { n_patients: 60, seed: 3, full: false }
+        RunOptions {
+            n_patients: 60,
+            seed: 3,
+            full: false,
+        }
     }
 
     #[test]
@@ -402,7 +510,7 @@ mod tests {
         let world = ChronicWorld::generate(&tiny_opts());
         let scores = Matrix::rand_uniform(5, 86, 0.0, 1.0, &mut StdRng::seed_from_u64(1));
         let ss = mean_ss_at_k(&scores, &world.ddi, 3, 0.5);
-        assert!(ss >= 0.0 && ss <= 1.5);
+        assert!((0.0..=1.5).contains(&ss));
     }
 
     #[test]

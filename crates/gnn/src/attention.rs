@@ -24,7 +24,11 @@ fn directed_edges_of_sign(
     ctx: &SignedGraphContext,
     positive: bool,
 ) -> (Rc<Vec<(usize, usize)>>, Rc<Vec<usize>>) {
-    let undirected = if positive { &ctx.positive_edges } else { &ctx.negative_edges };
+    let undirected = if positive {
+        &ctx.positive_edges
+    } else {
+        &ctx.negative_edges
+    };
     let mut edges = Vec::with_capacity(undirected.len() * 2 + ctx.n);
     for &(u, v) in undirected {
         edges.push((u, v));
@@ -45,9 +49,21 @@ struct AttentionHead {
 }
 
 impl AttentionHead {
-    fn new(name: &str, in_dim: usize, out_dim: usize, params: &mut ParamSet, rng: &mut impl Rng) -> Self {
-        let w = params.add(format!("{name}.w"), init::xavier_uniform(in_dim, out_dim, rng));
-        let attn = params.add(format!("{name}.attn"), init::xavier_uniform(2 * out_dim, 1, rng));
+    fn new(
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        params: &mut ParamSet,
+        rng: &mut impl Rng,
+    ) -> Self {
+        let w = params.add(
+            format!("{name}.w"),
+            init::xavier_uniform(in_dim, out_dim, rng),
+        );
+        let attn = params.add(
+            format!("{name}.attn"),
+            init::xavier_uniform(2 * out_dim, 1, rng),
+        );
         Self { w, attn }
     }
 
@@ -122,10 +138,22 @@ impl SigatLayer {
         let (pos_edges, pos_segments) = directed_edges_of_sign(ctx, true);
         let (neg_edges, neg_segments) = directed_edges_of_sign(ctx, false);
         let pos = self.positive_head.forward(
-            tape, params, binder, &pos_edges, &pos_segments, ctx.n, x,
+            tape,
+            params,
+            binder,
+            &pos_edges,
+            &pos_segments,
+            ctx.n,
+            x,
         )?;
         let neg = self.negative_head.forward(
-            tape, params, binder, &neg_edges, &neg_segments, ctx.n, x,
+            tape,
+            params,
+            binder,
+            &neg_edges,
+            &neg_segments,
+            ctx.n,
+            x,
         )?;
         let cat = tape.concat_cols(pos, neg)?;
         Ok(tape.tanh(cat))
@@ -151,8 +179,14 @@ impl SneaLayer {
         params: &mut ParamSet,
         rng: &mut impl Rng,
     ) -> Self {
-        let w = params.add(format!("{name}.w"), init::xavier_uniform(in_dim, out_dim, rng));
-        let attn = params.add(format!("{name}.attn"), init::xavier_uniform(2 * out_dim, 1, rng));
+        let w = params.add(
+            format!("{name}.w"),
+            init::xavier_uniform(in_dim, out_dim, rng),
+        );
+        let attn = params.add(
+            format!("{name}.attn"),
+            init::xavier_uniform(2 * out_dim, 1, rng),
+        );
         Self { w, attn, out_dim }
     }
 
@@ -186,8 +220,10 @@ impl SneaLayer {
         let alpha = tape.segment_softmax(logits, &ctx.edge_segments)?;
         // The edge sign modulates the attention weight: antagonistic
         // neighbours contribute negatively.
-        let signs = tape.constant(Matrix::from_vec(ctx.edge_signs.len(), 1, ctx.edge_signs.clone())
-            .expect("edge sign vector length"));
+        let signs = tape.constant(
+            Matrix::from_vec(ctx.edge_signs.len(), 1, ctx.edge_signs.clone())
+                .expect("edge sign vector length"),
+        );
         let signed_alpha = tape.mul(alpha, signs)?;
         let aggregated = tape.spmm_edge_weighted(&ctx.directed_edges, signed_alpha, h, ctx.n)?;
         Ok(tape.tanh(aggregated))
@@ -221,7 +257,9 @@ mod tests {
         let mut tape = Tape::new();
         let mut binder = Binder::new();
         let x = tape.constant(Matrix::identity(5));
-        let z = layer.forward(&mut tape, &params, &mut binder, &ctx, x).unwrap();
+        let z = layer
+            .forward(&mut tape, &params, &mut binder, &ctx, x)
+            .unwrap();
         assert_eq!(tape.value(z).shape(), (5, 12));
         let loss = tape.mean_all(z);
         tape.backward(loss).unwrap();
@@ -239,7 +277,9 @@ mod tests {
         let mut tape = Tape::new();
         let mut binder = Binder::new();
         let x = tape.constant(Matrix::identity(5));
-        let z = layer.forward(&mut tape, &params, &mut binder, &ctx, x).unwrap();
+        let z = layer
+            .forward(&mut tape, &params, &mut binder, &ctx, x)
+            .unwrap();
         assert_eq!(tape.value(z).shape(), (5, 7));
         assert!(tape.value(z).all_finite());
         let loss = tape.mean_all(z);
@@ -258,8 +298,12 @@ mod tests {
         let mut tape = Tape::new();
         let mut binder = Binder::new();
         let x = tape.constant(Matrix::identity(3));
-        let a = sigat.forward(&mut tape, &params, &mut binder, &ctx, x).unwrap();
-        let b = snea.forward(&mut tape, &params, &mut binder, &ctx, x).unwrap();
+        let a = sigat
+            .forward(&mut tape, &params, &mut binder, &ctx, x)
+            .unwrap();
+        let b = snea
+            .forward(&mut tape, &params, &mut binder, &ctx, x)
+            .unwrap();
         assert!(tape.value(a).all_finite());
         assert!(tape.value(b).all_finite());
     }
@@ -273,11 +317,18 @@ mod tests {
         let mut tape = Tape::new();
         let mut binder = Binder::new();
         let x = tape.constant(Matrix::identity(5));
-        let z = layer.forward(&mut tape, &params, &mut binder, &ctx, x).unwrap();
+        let z = layer
+            .forward(&mut tape, &params, &mut binder, &ctx, x)
+            .unwrap();
         let zv = tape.value(z);
         // Node 0 (one synergistic neighbour) and node 4 (one antagonistic
         // neighbour) should not produce identical embeddings.
-        let diff: f32 = zv.row(0).iter().zip(zv.row(4)).map(|(a, b)| (a - b).abs()).sum();
+        let diff: f32 = zv
+            .row(0)
+            .iter()
+            .zip(zv.row(4))
+            .map(|(a, b)| (a - b).abs())
+            .sum();
         assert!(diff > 1e-5);
     }
 }

@@ -28,9 +28,17 @@ impl GcnLayer {
         params: &mut ParamSet,
         rng: &mut impl Rng,
     ) -> Self {
-        let w = params.add(format!("{name}.w"), init::xavier_uniform(in_dim, out_dim, rng));
+        let w = params.add(
+            format!("{name}.w"),
+            init::xavier_uniform(in_dim, out_dim, rng),
+        );
         let b = params.add(format!("{name}.b"), init::zeros(1, out_dim));
-        Self { w, b, activation, out_dim }
+        Self {
+            w,
+            b,
+            activation,
+            out_dim,
+        }
     }
 
     /// Output dimension.
@@ -65,7 +73,8 @@ mod tests {
 
     #[test]
     fn forward_shape_and_gradients() {
-        let adj = Rc::new(CsrMatrix::normalized_adjacency(4, &[(0, 1), (1, 2), (2, 3)], true).unwrap());
+        let adj =
+            Rc::new(CsrMatrix::normalized_adjacency(4, &[(0, 1), (1, 2), (2, 3)], true).unwrap());
         let mut params = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(0);
         let layer = GcnLayer::new("gcn0", 4, 6, Activation::Relu, &mut params, &mut rng);
@@ -74,7 +83,9 @@ mod tests {
         let mut tape = Tape::new();
         let mut binder = Binder::new();
         let x = tape.constant(Matrix::identity(4));
-        let h = layer.forward(&mut tape, &params, &mut binder, &adj, x).unwrap();
+        let h = layer
+            .forward(&mut tape, &params, &mut binder, &adj, x)
+            .unwrap();
         assert_eq!(tape.value(h).shape(), (4, 6));
         let loss = tape.mean_all(h);
         tape.backward(loss).unwrap();
@@ -91,8 +102,12 @@ mod tests {
         let mut tape = Tape::new();
         let mut binder = Binder::new();
         let x = tape.constant(Matrix::identity(3));
-        let h1 = l1.forward(&mut tape, &params, &mut binder, &adj, x).unwrap();
-        let h2 = l2.forward(&mut tape, &params, &mut binder, &adj, h1).unwrap();
+        let h1 = l1
+            .forward(&mut tape, &params, &mut binder, &adj, x)
+            .unwrap();
+        let h2 = l2
+            .forward(&mut tape, &params, &mut binder, &adj, h1)
+            .unwrap();
         assert_eq!(tape.value(h2).shape(), (3, 2));
         assert!(tape.value(h2).all_finite());
     }

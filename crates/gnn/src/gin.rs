@@ -40,7 +40,13 @@ impl GinConv {
         );
         let gamma = params.add(format!("{name}.bn_gamma"), Matrix::ones(1, out_dim));
         let beta = params.add(format!("{name}.bn_beta"), Matrix::zeros(1, out_dim));
-        Self { epsilon, mlp, gamma, beta, use_batch_norm }
+        Self {
+            epsilon,
+            mlp,
+            gamma,
+            beta,
+            use_batch_norm,
+        }
     }
 
     /// Output feature dimension.
@@ -101,7 +107,9 @@ mod tests {
         let mut tape = Tape::new();
         let mut binder = Binder::new();
         let x = tape.constant(Matrix::identity(5));
-        let z = conv.forward(&mut tape, &params, &mut binder, &ctx, x).unwrap();
+        let z = conv
+            .forward(&mut tape, &params, &mut binder, &ctx, x)
+            .unwrap();
         assert_eq!(tape.value(z).shape(), (5, 8));
         assert!(tape.value(z).all_finite());
     }
@@ -115,11 +123,16 @@ mod tests {
         let mut tape = Tape::new();
         let mut binder = Binder::new();
         let x = tape.constant(Matrix::identity(5));
-        let z = conv.forward(&mut tape, &params, &mut binder, &ctx, x).unwrap();
+        let z = conv
+            .forward(&mut tape, &params, &mut binder, &ctx, x)
+            .unwrap();
         let loss = tape.mean_all(z);
         tape.backward(loss).unwrap();
         let grads = binder.grads(&tape, &params);
-        let nonzero = grads.iter().filter(|(_, g)| g.frobenius_norm() > 0.0).count();
+        let nonzero = grads
+            .iter()
+            .filter(|(_, g)| g.frobenius_norm() > 0.0)
+            .count();
         assert!(nonzero >= 3, "only {nonzero} parameters received gradient");
     }
 
@@ -134,7 +147,9 @@ mod tests {
         let mut tape = Tape::new();
         let mut binder = Binder::new();
         let x = tape.constant(Matrix::identity(3));
-        let z = conv.forward(&mut tape, &params, &mut binder, &ctx, x).unwrap();
+        let z = conv
+            .forward(&mut tape, &params, &mut binder, &ctx, x)
+            .unwrap();
         assert!(tape.value(z).all_finite());
     }
 }

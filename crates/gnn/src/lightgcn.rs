@@ -15,11 +15,8 @@ use dssddi_tensor::{CsrMatrix, Tape, TensorError, Var};
 /// Symmetrically normalised adjacency of a patient–drug bipartite graph,
 /// with patients occupying rows `0..n_patients` and drugs the rest.
 pub fn bipartite_adjacency(graph: &BipartiteGraph) -> Result<Rc<CsrMatrix>, TensorError> {
-    let adj = CsrMatrix::bipartite_normalized(
-        graph.left_count(),
-        graph.right_count(),
-        &graph.edges(),
-    )?;
+    let adj =
+        CsrMatrix::bipartite_normalized(graph.left_count(), graph.right_count(), &graph.edges())?;
     Ok(Rc::new(adj))
 }
 

@@ -44,7 +44,10 @@ impl Mlp {
         params: &mut ParamSet,
         rng: &mut impl Rng,
     ) -> Self {
-        assert!(dims.len() >= 2, "an MLP needs at least an input and an output dimension");
+        assert!(
+            dims.len() >= 2,
+            "an MLP needs at least an input and an output dimension"
+        );
         let mut layers = Vec::with_capacity(dims.len() - 1);
         for i in 0..dims.len() - 1 {
             let w = params.add(
@@ -54,7 +57,12 @@ impl Mlp {
             let b = params.add(format!("{name}.b{i}"), init::zeros(1, dims[i + 1]));
             layers.push((w, b));
         }
-        Self { layers, dims: dims.to_vec(), hidden_activation, output_activation }
+        Self {
+            layers,
+            dims: dims.to_vec(),
+            hidden_activation,
+            output_activation,
+        }
     }
 
     /// Input dimension.
@@ -120,7 +128,14 @@ mod tests {
     fn shapes_and_parameter_count() {
         let mut params = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(0);
-        let mlp = Mlp::new("m", &[4, 8, 2], Activation::Relu, Activation::Identity, &mut params, &mut rng);
+        let mlp = Mlp::new(
+            "m",
+            &[4, 8, 2],
+            Activation::Relu,
+            Activation::Identity,
+            &mut params,
+            &mut rng,
+        );
         assert_eq!(mlp.input_dim(), 4);
         assert_eq!(mlp.output_dim(), 2);
         assert_eq!(mlp.n_layers(), 2);
@@ -138,7 +153,14 @@ mod tests {
     fn mlp_can_learn_xor() {
         let mut params = ParamSet::new();
         let mut rng = StdRng::seed_from_u64(1);
-        let mlp = Mlp::new("xor", &[2, 16, 1], Activation::Tanh, Activation::Identity, &mut params, &mut rng);
+        let mlp = Mlp::new(
+            "xor",
+            &[2, 16, 1],
+            Activation::Tanh,
+            Activation::Identity,
+            &mut params,
+            &mut rng,
+        );
         let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]).unwrap();
         let y = Matrix::from_vec(4, 1, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
         let mut opt = Adam::new(0.05);

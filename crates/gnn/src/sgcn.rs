@@ -3,7 +3,7 @@
 
 use rand::Rng;
 
-use dssddi_tensor::{Binder, ParamId, ParamSet, Tape, TensorError, Var, init};
+use dssddi_tensor::{init, Binder, ParamId, ParamSet, Tape, TensorError, Var};
 
 use crate::context::SignedGraphContext;
 
@@ -43,7 +43,13 @@ impl SgcnLayer {
             init::xavier_uniform(3 * in_dim, out_dim, rng),
         );
         let b_unbalanced = params.add(format!("{name}.b_unbal"), init::zeros(1, out_dim));
-        Self { w_balanced, b_balanced, w_unbalanced, b_unbalanced, out_dim }
+        Self {
+            w_balanced,
+            b_balanced,
+            w_unbalanced,
+            b_unbalanced,
+            out_dim,
+        }
     }
 
     /// Output dimension of each of the two hidden states.
@@ -123,7 +129,9 @@ mod tests {
         let mut tape = Tape::new();
         let mut binder = Binder::new();
         let h = tape.constant(Matrix::identity(4));
-        let (b, u) = layer.forward(&mut tape, &params, &mut binder, &ctx, h, h).unwrap();
+        let (b, u) = layer
+            .forward(&mut tape, &params, &mut binder, &ctx, h, h)
+            .unwrap();
         assert_eq!(tape.value(b).shape(), (4, 6));
         assert_eq!(tape.value(u).shape(), (4, 6));
         let z = SgcnLayer::combine(&mut tape, b, u).unwrap();
@@ -141,7 +149,9 @@ mod tests {
         let mut tape = Tape::new();
         let mut binder = Binder::new();
         let h = tape.constant(Matrix::identity(4));
-        let (b, u) = layer.forward(&mut tape, &params, &mut binder, &ctx, h, h).unwrap();
+        let (b, u) = layer
+            .forward(&mut tape, &params, &mut binder, &ctx, h, h)
+            .unwrap();
         let bv = tape.value(b);
         let uv = tape.value(u);
         let diff: f32 = bv
@@ -150,7 +160,10 @@ mod tests {
             .zip(uv.row(0).iter())
             .map(|(x, y)| (x - y).abs())
             .sum();
-        assert!(diff > 1e-4, "balanced and unbalanced collapsed to the same representation");
+        assert!(
+            diff > 1e-4,
+            "balanced and unbalanced collapsed to the same representation"
+        );
     }
 
     #[test]
@@ -162,7 +175,9 @@ mod tests {
         let mut tape = Tape::new();
         let mut binder = Binder::new();
         let h = tape.constant(Matrix::identity(4));
-        let (b, u) = layer.forward(&mut tape, &params, &mut binder, &ctx, h, h).unwrap();
+        let (b, u) = layer
+            .forward(&mut tape, &params, &mut binder, &ctx, h, h)
+            .unwrap();
         let z = SgcnLayer::combine(&mut tape, b, u).unwrap();
         let loss = tape.mean_all(z);
         tape.backward(loss).unwrap();

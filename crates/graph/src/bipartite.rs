@@ -60,10 +60,16 @@ impl BipartiteGraph {
     /// Adds a patient–drug link (duplicates are ignored).
     pub fn add_edge(&mut self, left: usize, right: usize) -> Result<(), GraphError> {
         if left >= self.n_left {
-            return Err(GraphError::NodeOutOfRange { node: left, nodes: self.n_left });
+            return Err(GraphError::NodeOutOfRange {
+                node: left,
+                nodes: self.n_left,
+            });
         }
         if right >= self.n_right {
-            return Err(GraphError::NodeOutOfRange { node: right, nodes: self.n_right });
+            return Err(GraphError::NodeOutOfRange {
+                node: right,
+                nodes: self.n_right,
+            });
         }
         self.left_adj[left].insert(right);
         self.right_adj[right].insert(left);

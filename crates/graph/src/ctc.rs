@@ -57,7 +57,10 @@ pub struct CtcConfig {
 
 impl Default for CtcConfig {
     fn default() -> Self {
-        Self { expansion_size: 30, max_shrink_iterations: 100 }
+        Self {
+            expansion_size: 30,
+            max_shrink_iterations: 100,
+        }
     }
 }
 
@@ -123,14 +126,20 @@ pub fn closest_truss_community(
         .unwrap_or(2);
 
     // Lines 5-7: grow the subgraph with adjacent edges of truss >= p'.
-    expand_candidate(graph, &decomposition, &mut sub, &mut nodes, p_seed, config.expansion_size);
+    expand_candidate(
+        graph,
+        &decomposition,
+        &mut sub,
+        &mut nodes,
+        p_seed,
+        config.expansion_size,
+    );
 
     // Line 8: truss decomposition on the candidate subgraph.
     let local = truss_decomposition(&sub);
 
     // Line 9: maximum connected p-truss containing the query.
-    let (mut p, mut best_nodes, mut best_sub) =
-        max_connected_p_truss(&local, &unique_query, n);
+    let (mut p, mut best_nodes, mut best_sub) = max_connected_p_truss(&local, &unique_query, n);
     if best_nodes.is_empty() {
         // The query has no triangles around it at all; fall back to the
         // Steiner tree itself as a (2-truss) explanation.
@@ -160,7 +169,7 @@ pub fn closest_truss_community(
                 continue;
             }
             let d = crate::traversal::query_distance(&cur_sub, v, &unique_query, &cur_nodes);
-            if furthest.map_or(true, |(fd, _)| d > fd) {
+            if furthest.is_none_or(|(fd, _)| d > fd) {
                 furthest = Some((d, v));
             }
         }
@@ -194,7 +203,12 @@ pub fn closest_truss_community(
         .filter(|&(u, v)| final_nodes.contains(&u) && final_nodes.contains(&v))
         .collect();
     let diam = diameter(&final_sub, &final_nodes);
-    Ok(Community { nodes: final_nodes, edges, trussness: p, diameter: diam })
+    Ok(Community {
+        nodes: final_nodes,
+        edges,
+        trussness: p,
+        diameter: diam,
+    })
 }
 
 /// Lines 5-7 of Algorithm 1: breadth-first expansion of the seed subgraph by
@@ -291,9 +305,19 @@ mod tests {
         UnGraph::from_edges(
             10,
             &[
-                (0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), // clique
-                (3, 4), (4, 5), (4, 6), (5, 6), // bridge + triangle
-                (6, 7), (7, 8), (8, 9), // sparse tail
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (1, 2),
+                (1, 3),
+                (2, 3), // clique
+                (3, 4),
+                (4, 5),
+                (4, 6),
+                (5, 6), // bridge + triangle
+                (6, 7),
+                (7, 8),
+                (8, 9), // sparse tail
             ],
         )
         .unwrap()

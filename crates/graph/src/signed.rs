@@ -45,7 +45,10 @@ pub struct SignedGraph {
 impl SignedGraph {
     /// Creates a signed graph over `n` nodes with no edges.
     pub fn new(n: usize) -> Self {
-        Self { n, edges: BTreeMap::new() }
+        Self {
+            n,
+            edges: BTreeMap::new(),
+        }
     }
 
     /// Number of nodes.
@@ -66,7 +69,10 @@ impl SignedGraph {
         interaction: Interaction,
     ) -> Result<(), GraphError> {
         if u >= self.n || v >= self.n {
-            return Err(GraphError::NodeOutOfRange { node: u.max(v), nodes: self.n });
+            return Err(GraphError::NodeOutOfRange {
+                node: u.max(v),
+                nodes: self.n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
@@ -135,7 +141,9 @@ impl SignedGraph {
 
     /// Signed edge list `(u, v, label)` used as the DDIGCN regression targets.
     pub fn labelled_edges(&self) -> Vec<(usize, usize, f32)> {
-        self.interactions().map(|(u, v, i)| (u, v, i.label())).collect()
+        self.interactions()
+            .map(|(u, v, i)| (u, v, i.label()))
+            .collect()
     }
 
     /// Samples `count` drug pairs with no recorded interaction and adds them
@@ -161,7 +169,9 @@ impl SignedGraph {
     /// Count of drugs that participate in at least one synergistic or
     /// antagonistic interaction.
     pub fn interacting_drug_count(&self) -> usize {
-        (0..self.n).filter(|&v| !self.interacting_neighbors(v).is_empty()).count()
+        (0..self.n)
+            .filter(|&v| !self.interacting_neighbors(v).is_empty())
+            .count()
     }
 }
 

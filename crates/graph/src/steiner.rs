@@ -71,7 +71,10 @@ pub fn steiner_tree(
     let mut nodes: BTreeSet<usize> = unique_query.iter().copied().collect();
     let mut edges: BTreeSet<(usize, usize)> = BTreeSet::new();
     if unique_query.len() == 1 {
-        return Ok(SteinerTree { nodes, edges: vec![] });
+        return Ok(SteinerTree {
+            nodes,
+            edges: vec![],
+        });
     }
 
     // Shortest paths from every query node under the truss-aware metric.
@@ -107,9 +110,7 @@ pub fn steiner_tree(
         // Expand the MST edge (best_from[pick] -> pick) into its shortest path.
         let from = best_from[pick];
         let (_, parents) = &per_query[from];
-        if let Some(path) =
-            reconstruct_path(parents, unique_query[from], unique_query[pick])
-        {
+        if let Some(path) = reconstruct_path(parents, unique_query[from], unique_query[pick]) {
             for window in path.windows(2) {
                 nodes.insert(window[0]);
                 nodes.insert(window[1]);
@@ -147,7 +148,10 @@ pub fn steiner_tree(
         }
     }
     let final_edges: Vec<(usize, usize)> = tree.edges();
-    Ok(SteinerTree { nodes, edges: final_edges })
+    Ok(SteinerTree {
+        nodes,
+        edges: final_edges,
+    })
 }
 
 #[cfg(test)]
@@ -161,7 +165,17 @@ mod tests {
         // 3-4-5   plus a dense triangle 1-4-6 to attract truss-aware paths
         UnGraph::from_edges(
             7,
-            &[(0, 1), (1, 2), (0, 3), (2, 5), (3, 4), (4, 5), (1, 4), (1, 6), (4, 6)],
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 3),
+                (2, 5),
+                (3, 4),
+                (4, 5),
+                (1, 4),
+                (1, 6),
+                (4, 6),
+            ],
         )
         .unwrap()
     }
@@ -173,7 +187,11 @@ mod tests {
         let t = steiner_tree(&g, &[0, 5, 6], &d).unwrap();
         let tree_graph = t.to_graph(g.node_count()).unwrap();
         let within = t.nodes.clone();
-        assert!(crate::traversal::all_connected(&tree_graph, &[0, 5, 6], &within));
+        assert!(crate::traversal::all_connected(
+            &tree_graph,
+            &[0, 5, 6],
+            &within
+        ));
         // A tree has |nodes| - 1 edges when connected.
         assert_eq!(t.edge_count(), t.nodes.len() - 1);
     }
@@ -199,7 +217,10 @@ mod tests {
     fn empty_query_is_an_error_and_out_of_range_is_an_error() {
         let g = grid_graph();
         let d = truss_decomposition(&g);
-        assert!(matches!(steiner_tree(&g, &[], &d), Err(GraphError::EmptyQuery)));
+        assert!(matches!(
+            steiner_tree(&g, &[], &d),
+            Err(GraphError::EmptyQuery)
+        ));
         assert!(matches!(
             steiner_tree(&g, &[99], &d),
             Err(GraphError::NodeOutOfRange { .. })

@@ -24,7 +24,7 @@ pub fn bfs(graph: &UnGraph, source: usize, within: Option<&BTreeSet<usize>>) -> 
     let n = graph.node_count();
     let mut dist = vec![usize::MAX; n];
     let mut parent = vec![usize::MAX; n];
-    if source >= n || within.map_or(false, |w| !w.contains(&source)) {
+    if source >= n || within.is_some_and(|w| !w.contains(&source)) {
         return BfsResult { dist, parent };
     }
     let mut queue = VecDeque::new();
@@ -88,7 +88,10 @@ pub fn dijkstra(
     impl Eq for Entry {}
     impl Ord for Entry {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-            other.0.partial_cmp(&self.0).unwrap_or(std::cmp::Ordering::Equal)
+            other
+                .0
+                .partial_cmp(&self.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
         }
     }
     impl PartialOrd for Entry {
@@ -230,7 +233,13 @@ mod tests {
     fn dijkstra_prefers_lighter_paths() {
         // 0-1-2 with cheap edges, 0-2 expensive direct edge.
         let g = UnGraph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]).unwrap();
-        let (dist, parent) = dijkstra(&g, 0, |u, v| if (u, v) == (0, 2) || (u, v) == (2, 0) { 10.0 } else { 1.0 });
+        let (dist, parent) = dijkstra(&g, 0, |u, v| {
+            if (u, v) == (0, 2) || (u, v) == (2, 0) {
+                10.0
+            } else {
+                1.0
+            }
+        });
         assert!((dist[2] - 2.0).abs() < 1e-9);
         assert_eq!(reconstruct_path(&parent, 0, 2).unwrap(), vec![0, 1, 2]);
     }

@@ -28,7 +28,9 @@ pub fn norm_edge(u: usize, v: usize) -> (usize, usize) {
 impl UnGraph {
     /// Creates a graph with `n` isolated nodes.
     pub fn new(n: usize) -> Self {
-        Self { adj: vec![BTreeSet::new(); n] }
+        Self {
+            adj: vec![BTreeSet::new(); n],
+        }
     }
 
     /// Builds a graph from an edge list.
@@ -55,7 +57,10 @@ impl UnGraph {
     pub fn add_edge(&mut self, u: usize, v: usize) -> Result<(), GraphError> {
         let n = self.node_count();
         if u >= n || v >= n {
-            return Err(GraphError::NodeOutOfRange { node: u.max(v), nodes: n });
+            return Err(GraphError::NodeOutOfRange {
+                node: u.max(v),
+                nodes: n,
+            });
         }
         if u == v {
             return Err(GraphError::SelfLoop { node: u });
@@ -111,7 +116,9 @@ impl UnGraph {
 
     /// Nodes that have at least one incident edge.
     pub fn non_isolated_nodes(&self) -> Vec<usize> {
-        (0..self.node_count()).filter(|&v| self.degree(v) > 0).collect()
+        (0..self.node_count())
+            .filter(|&v| self.degree(v) > 0)
+            .collect()
     }
 
     /// Number of triangles containing the edge `{u, v}` (its *support*).
@@ -175,7 +182,10 @@ mod tests {
     fn self_loops_and_out_of_range_are_rejected() {
         let mut g = UnGraph::new(2);
         assert!(matches!(g.add_edge(0, 0), Err(GraphError::SelfLoop { .. })));
-        assert!(matches!(g.add_edge(0, 5), Err(GraphError::NodeOutOfRange { .. })));
+        assert!(matches!(
+            g.add_edge(0, 5),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
     }
 
     #[test]

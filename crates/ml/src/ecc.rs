@@ -25,7 +25,13 @@ pub struct EccConfig {
 
 impl Default for EccConfig {
     fn default() -> Self {
-        Self { n_chains: 3, base: LogisticConfig { epochs: 40, ..Default::default() } }
+        Self {
+            n_chains: 3,
+            base: LogisticConfig {
+                epochs: 40,
+                ..Default::default()
+            },
+        }
     }
 }
 
@@ -51,7 +57,9 @@ impl EnsembleClassifierChain {
         rng: &mut impl Rng,
     ) -> Result<Self, MlError> {
         if x.rows() == 0 {
-            return Err(MlError::EmptyInput { what: "ECC requires samples" });
+            return Err(MlError::EmptyInput {
+                what: "ECC requires samples",
+            });
         }
         if x.rows() != y.rows() {
             return Err(MlError::DimensionMismatch {
@@ -61,7 +69,9 @@ impl EnsembleClassifierChain {
             });
         }
         if config.n_chains == 0 {
-            return Err(MlError::InvalidArgument { what: "n_chains must be positive" });
+            return Err(MlError::InvalidArgument {
+                what: "n_chains must be positive",
+            });
         }
         let n_labels = y.cols();
         let mut chains = Vec::with_capacity(config.n_chains);
@@ -77,9 +87,12 @@ impl EnsembleClassifierChain {
                 // Chain the *true* labels during training (teacher forcing),
                 // as in the original ECC formulation.
                 let label_col = Matrix::col_vector(&targets);
-                augmented = augmented
-                    .concat_cols(&label_col)
-                    .map_err(|_| MlError::InvalidArgument { what: "failed to chain label column" })?;
+                augmented =
+                    augmented
+                        .concat_cols(&label_col)
+                        .map_err(|_| MlError::InvalidArgument {
+                            what: "failed to chain label column",
+                        })?;
                 classifiers.push(clf);
             }
             chains.push(Chain { order, classifiers });
@@ -189,7 +202,12 @@ mod tests {
             &mut rng
         )
         .is_err());
-        let zero_chains = EccConfig { n_chains: 0, ..Default::default() };
-        assert!(EnsembleClassifierChain::fit(&x, &Matrix::ones(5, 3), &zero_chains, &mut rng).is_err());
+        let zero_chains = EccConfig {
+            n_chains: 0,
+            ..Default::default()
+        };
+        assert!(
+            EnsembleClassifierChain::fit(&x, &Matrix::ones(5, 3), &zero_chains, &mut rng).is_err()
+        );
     }
 }

@@ -76,10 +76,14 @@ pub fn fit_kmeans(
 ) -> Result<KMeans, MlError> {
     let n = x.rows();
     if k == 0 {
-        return Err(MlError::InvalidArgument { what: "k must be positive" });
+        return Err(MlError::InvalidArgument {
+            what: "k must be positive",
+        });
     }
     if n == 0 {
-        return Err(MlError::EmptyInput { what: "k-means requires at least one sample" });
+        return Err(MlError::EmptyInput {
+            what: "k-means requires at least one sample",
+        });
     }
     let k = k.min(n);
     let d = x.cols();
@@ -168,7 +172,11 @@ pub fn fit_kmeans(
             break;
         }
     }
-    Ok(KMeans { centroids, assignments, inertia })
+    Ok(KMeans {
+        centroids,
+        assignments,
+        inertia,
+    })
 }
 
 #[cfg(test)]

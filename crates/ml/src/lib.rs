@@ -50,8 +50,15 @@ impl std::fmt::Display for MlError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             MlError::EmptyInput { what } => write!(f, "empty input: {what}"),
-            MlError::DimensionMismatch { expected, found, what } => {
-                write!(f, "dimension mismatch for {what}: expected {expected}, found {found}")
+            MlError::DimensionMismatch {
+                expected,
+                found,
+                what,
+            } => {
+                write!(
+                    f,
+                    "dimension mismatch for {what}: expected {expected}, found {found}"
+                )
             }
             MlError::InvalidArgument { what } => write!(f, "invalid argument: {what}"),
         }

@@ -20,7 +20,11 @@ pub struct LogisticConfig {
 
 impl Default for LogisticConfig {
     fn default() -> Self {
-        Self { epochs: 100, learning_rate: 0.1, l2: 1e-4 }
+        Self {
+            epochs: 100,
+            learning_rate: 0.1,
+            l2: 1e-4,
+        }
     }
 }
 
@@ -35,7 +39,9 @@ impl LogisticRegression {
     /// Fits the model on features `x` and binary targets `y` (values in {0, 1}).
     pub fn fit(x: &Matrix, y: &[f32], config: &LogisticConfig) -> Result<Self, MlError> {
         if x.rows() == 0 {
-            return Err(MlError::EmptyInput { what: "logistic regression requires samples" });
+            return Err(MlError::EmptyInput {
+                what: "logistic regression requires samples",
+            });
         }
         if x.rows() != y.len() {
             return Err(MlError::DimensionMismatch {
@@ -51,7 +57,12 @@ impl LogisticRegression {
         for _ in 0..config.epochs {
             for i in 0..n {
                 let row = x.row(i);
-                let z: f32 = row.iter().zip(weights.iter()).map(|(a, b)| a * b).sum::<f32>() + bias;
+                let z: f32 = row
+                    .iter()
+                    .zip(weights.iter())
+                    .map(|(a, b)| a * b)
+                    .sum::<f32>()
+                    + bias;
                 let p = stable_sigmoid(z);
                 let err = p - y[i];
                 for (w, &xv) in weights.iter_mut().zip(row.iter()) {
@@ -65,13 +76,20 @@ impl LogisticRegression {
 
     /// Probability that the sample belongs to the positive class.
     pub fn predict_proba_row(&self, row: &[f32]) -> f32 {
-        let z: f32 = row.iter().zip(self.weights.iter()).map(|(a, b)| a * b).sum::<f32>() + self.bias;
+        let z: f32 = row
+            .iter()
+            .zip(self.weights.iter())
+            .map(|(a, b)| a * b)
+            .sum::<f32>()
+            + self.bias;
         stable_sigmoid(z)
     }
 
     /// Positive-class probabilities for every row of `x`.
     pub fn predict_proba(&self, x: &Matrix) -> Vec<f32> {
-        (0..x.rows()).map(|r| self.predict_proba_row(x.row(r))).collect()
+        (0..x.rows())
+            .map(|r| self.predict_proba_row(x.row(r)))
+            .collect()
     }
 
     /// Hard 0/1 predictions at threshold 0.5.
@@ -103,7 +121,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let x = Matrix::from_fn(n, 2, |_, _| rng.gen_range(-1.0..1.0f32));
         let y: Vec<f32> = (0..n)
-            .map(|i| if x.get(i, 0) + 0.5 * x.get(i, 1) > 0.0 { 1.0 } else { 0.0 })
+            .map(|i| {
+                if x.get(i, 0) + 0.5 * x.get(i, 1) > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         (x, y)
     }
@@ -130,7 +154,9 @@ mod tests {
     fn mismatched_targets_error() {
         let x = Matrix::ones(4, 2);
         assert!(LogisticRegression::fit(&x, &[1.0, 0.0], &LogisticConfig::default()).is_err());
-        assert!(LogisticRegression::fit(&Matrix::zeros(0, 2), &[], &LogisticConfig::default()).is_err());
+        assert!(
+            LogisticRegression::fit(&Matrix::zeros(0, 2), &[], &LogisticConfig::default()).is_err()
+        );
     }
 
     #[test]
@@ -149,13 +175,19 @@ mod tests {
         let free = LogisticRegression::fit(
             &x,
             &y,
-            &LogisticConfig { l2: 0.0, ..Default::default() },
+            &LogisticConfig {
+                l2: 0.0,
+                ..Default::default()
+            },
         )
         .unwrap();
         let reg = LogisticRegression::fit(
             &x,
             &y,
-            &LogisticConfig { l2: 0.5, ..Default::default() },
+            &LogisticConfig {
+                l2: 0.5,
+                ..Default::default()
+            },
         )
         .unwrap();
         let norm = |w: &[f32]| w.iter().map(|v| v * v).sum::<f32>();

@@ -8,7 +8,11 @@ use crate::MlError;
 /// Top-k drug indices for one patient, given a score row.
 pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| scores[b].partial_cmp(&scores[a]).unwrap_or(std::cmp::Ordering::Equal));
+    idx.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
     idx.truncate(k);
     idx
 }
@@ -82,7 +86,11 @@ pub struct RankingMetrics {
 }
 
 /// Computes all three ranking metrics at a cutoff.
-pub fn ranking_metrics(scores: &Matrix, labels: &Matrix, k: usize) -> Result<RankingMetrics, MlError> {
+pub fn ranking_metrics(
+    scores: &Matrix,
+    labels: &Matrix,
+    k: usize,
+) -> Result<RankingMetrics, MlError> {
     Ok(RankingMetrics {
         precision: precision_at_k(scores, labels, k)?,
         recall: recall_at_k(scores, labels, k)?,
@@ -99,10 +107,14 @@ fn validate(scores: &Matrix, labels: &Matrix, k: usize) -> Result<(), MlError> {
         });
     }
     if k == 0 {
-        return Err(MlError::InvalidArgument { what: "k must be positive" });
+        return Err(MlError::InvalidArgument {
+            what: "k must be positive",
+        });
     }
     if scores.rows() == 0 {
-        return Err(MlError::EmptyInput { what: "metrics require at least one patient" });
+        return Err(MlError::EmptyInput {
+            what: "metrics require at least one patient",
+        });
     }
     Ok(())
 }

@@ -22,7 +22,11 @@ pub struct SvmConfig {
 
 impl Default for SvmConfig {
     fn default() -> Self {
-        Self { epochs: 100, learning_rate: 0.05, l2: 1e-3 }
+        Self {
+            epochs: 100,
+            learning_rate: 0.05,
+            l2: 1e-3,
+        }
     }
 }
 
@@ -38,7 +42,9 @@ impl LinearSvm {
     /// (internally mapped to {−1, +1}).
     pub fn fit(x: &Matrix, y: &[f32], config: &SvmConfig) -> Result<Self, MlError> {
         if x.rows() == 0 {
-            return Err(MlError::EmptyInput { what: "SVM requires samples" });
+            return Err(MlError::EmptyInput {
+                what: "SVM requires samples",
+            });
         }
         if x.rows() != y.len() {
             return Err(MlError::DimensionMismatch {
@@ -55,8 +61,13 @@ impl LinearSvm {
             for i in 0..n {
                 let target = if y[i] > 0.5 { 1.0 } else { -1.0 };
                 let row = x.row(i);
-                let margin: f32 =
-                    target * (row.iter().zip(weights.iter()).map(|(a, b)| a * b).sum::<f32>() + bias);
+                let margin: f32 = target
+                    * (row
+                        .iter()
+                        .zip(weights.iter())
+                        .map(|(a, b)| a * b)
+                        .sum::<f32>()
+                        + bias);
                 if margin < 1.0 {
                     for (w, &xv) in weights.iter_mut().zip(row.iter()) {
                         *w -= config.learning_rate * (config.l2 * *w - target * xv);
@@ -74,12 +85,18 @@ impl LinearSvm {
 
     /// Signed distance to the separating hyperplane (the drug score).
     pub fn decision_function_row(&self, row: &[f32]) -> f32 {
-        row.iter().zip(self.weights.iter()).map(|(a, b)| a * b).sum::<f32>() + self.bias
+        row.iter()
+            .zip(self.weights.iter())
+            .map(|(a, b)| a * b)
+            .sum::<f32>()
+            + self.bias
     }
 
     /// Decision values for every row of `x`.
     pub fn decision_function(&self, x: &Matrix) -> Vec<f32> {
-        (0..x.rows()).map(|r| self.decision_function_row(x.row(r))).collect()
+        (0..x.rows())
+            .map(|r| self.decision_function_row(x.row(r)))
+            .collect()
     }
 
     /// Hard 0/1 predictions.
@@ -101,7 +118,13 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let x = Matrix::from_fn(n, 3, |_, _| rng.gen_range(-1.0..1.0f32));
         let y: Vec<f32> = (0..n)
-            .map(|i| if 2.0 * x.get(i, 0) - x.get(i, 2) > 0.1 { 1.0 } else { 0.0 })
+            .map(|i| {
+                if 2.0 * x.get(i, 0) - x.get(i, 2) > 0.1 {
+                    1.0
+                } else {
+                    0.0
+                }
+            })
             .collect();
         (x, y)
     }

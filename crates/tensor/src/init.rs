@@ -38,8 +38,8 @@ pub fn one_hot_ids(n: usize) -> Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn xavier_uniform_is_bounded() {

@@ -82,7 +82,11 @@ pub enum TensorError {
 impl std::fmt::Display for TensorError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            TensorError::ShapeMismatch { expected, found, op } => write!(
+            TensorError::ShapeMismatch {
+                expected,
+                found,
+                op,
+            } => write!(
                 f,
                 "shape mismatch in {op}: expected {}x{}, found {}x{}",
                 expected.0, expected.1, found.0, found.1

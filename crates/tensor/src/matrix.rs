@@ -33,17 +33,29 @@ impl fmt::Debug for Matrix {
 impl Matrix {
     /// Creates a matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix filled with ones.
     pub fn ones(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![1.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![1.0; rows * cols],
+        }
     }
 
     /// Creates a matrix filled with a constant value.
     pub fn full(rows: usize, cols: usize, value: f32) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -73,12 +85,20 @@ impl Matrix {
 
     /// Creates a single-row matrix from a slice.
     pub fn row_vector(values: &[f32]) -> Self {
-        Self { rows: 1, cols: values.len(), data: values.to_vec() }
+        Self {
+            rows: 1,
+            cols: values.len(),
+            data: values.to_vec(),
+        }
     }
 
     /// Creates a single-column matrix from a slice.
     pub fn col_vector(values: &[f32]) -> Self {
-        Self { rows: values.len(), cols: 1, data: values.to_vec() }
+        Self {
+            rows: values.len(),
+            cols: 1,
+            data: values.to_vec(),
+        }
     }
 
     /// Creates an identity matrix of size `n`.
@@ -152,21 +172,30 @@ impl Matrix {
     /// Panics if the indices are out of bounds (programmer error).
     #[inline]
     pub fn get(&self, r: usize, c: usize) -> f32 {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c]
     }
 
     /// Sets the entry at `(r, c)`.
     #[inline]
     pub fn set(&mut self, r: usize, c: usize, value: f32) {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] = value;
     }
 
     /// Adds `value` to the entry at `(r, c)`.
     #[inline]
     pub fn add_at(&mut self, r: usize, c: usize, value: f32) {
-        debug_assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        debug_assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.data[r * self.cols + c] += value;
     }
 
@@ -292,7 +321,11 @@ impl Matrix {
             .zip(rhs.data.iter())
             .map(|(&a, &b)| f(a, b))
             .collect();
-        Ok(Matrix { rows: self.rows, cols: self.cols, data })
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// Applies `f` to every entry, returning a new matrix.
@@ -393,7 +426,11 @@ impl Matrix {
         }
         let mut data = self.data.clone();
         data.extend_from_slice(&rhs.data);
-        Ok(Matrix { rows: self.rows + rhs.rows, cols: self.cols, data })
+        Ok(Matrix {
+            rows: self.rows + rhs.rows,
+            cols: self.cols,
+            data,
+        })
     }
 
     /// L2 norm of each row, as an `(rows, 1)` matrix.
@@ -467,7 +504,11 @@ impl Matrix {
     pub fn argsort_row_desc(&self, r: usize) -> Vec<usize> {
         let row = self.row(r);
         let mut idx: Vec<usize> = (0..row.len()).collect();
-        idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).unwrap_or(std::cmp::Ordering::Equal));
+        idx.sort_by(|&a, &b| {
+            row[b]
+                .partial_cmp(&row[a])
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
         idx
     }
 }
@@ -475,8 +516,8 @@ impl Matrix {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
     use rand::rngs::StdRng;
+    use rand::SeedableRng;
 
     #[test]
     fn zeros_ones_full_shapes() {

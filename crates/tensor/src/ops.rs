@@ -10,8 +10,8 @@
 
 use std::rc::Rc;
 
-use crate::{CsrMatrix, Matrix, TensorError, Var};
 use crate::tape::Tape;
+use crate::{CsrMatrix, Matrix, TensorError, Var};
 
 /// The operation that produced a tape node, together with its inputs
 /// (referenced by node index).
@@ -68,7 +68,10 @@ pub(crate) enum Op {
         n_out: usize,
     },
     /// Softmax of edge logits grouped by destination segment.
-    SegmentSoftmax { logits: usize, segments: Rc<Vec<usize>> },
+    SegmentSoftmax {
+        logits: usize,
+        segments: Rc<Vec<usize>>,
+    },
     /// Per-column standardisation `(x - μ) / sqrt(σ² + eps)`.
     StandardizeCols { x: usize, eps: f32 },
     /// Mean squared error against a constant target.
@@ -273,7 +276,12 @@ impl Tape {
         }
         Ok(self.push(
             out,
-            Op::SpmmEdgeWeighted { edges: Rc::clone(edges), weights: weights.0, x: x.0, n_out },
+            Op::SpmmEdgeWeighted {
+                edges: Rc::clone(edges),
+                weights: weights.0,
+                x: x.0,
+                n_out,
+            },
         ))
     }
 
@@ -308,7 +316,13 @@ impl Tape {
         for (e, &s) in segments.iter().enumerate() {
             out.set(e, 0, exps[e] / sum_per_seg[s].max(f32::MIN_POSITIVE));
         }
-        Ok(self.push(out, Op::SegmentSoftmax { logits: logits.0, segments: Rc::clone(segments) }))
+        Ok(self.push(
+            out,
+            Op::SegmentSoftmax {
+                logits: logits.0,
+                segments: Rc::clone(segments),
+            },
+        ))
     }
 
     /// Per-column standardisation (zero mean, unit variance), the
@@ -351,7 +365,10 @@ impl Tape {
         let loss = diff.hadamard(&diff)?.mean();
         Ok(self.push(
             Matrix::full(1, 1, loss),
-            Op::MseLoss { pred: pred.0, target: Rc::new(target.clone()) },
+            Op::MseLoss {
+                pred: pred.0,
+                target: Rc::new(target.clone()),
+            },
         ))
     }
 
@@ -373,7 +390,10 @@ impl Tape {
         let loss = total / lv.len().max(1) as f32;
         Ok(self.push(
             Matrix::full(1, 1, loss),
-            Op::BceWithLogits { logits: logits.0, targets: Rc::new(targets.clone()) },
+            Op::BceWithLogits {
+                logits: logits.0,
+                targets: Rc::new(targets.clone()),
+            },
         ))
     }
 
@@ -503,7 +523,12 @@ impl Tape {
             Op::Spmm(a, x) => {
                 contributions.push((*x, a.transpose_matmul_dense(grad)?));
             }
-            Op::SpmmEdgeWeighted { edges, weights, x, n_out: _ } => {
+            Op::SpmmEdgeWeighted {
+                edges,
+                weights,
+                x,
+                n_out: _,
+            } => {
                 let wv = self.node_value(*weights);
                 let xv = self.node_value(*x);
                 let mut dw = Matrix::zeros(edges.len(), 1);

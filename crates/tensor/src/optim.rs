@@ -33,7 +33,10 @@ pub struct Sgd {
 impl Sgd {
     /// Creates an SGD optimizer with the given learning rate and no decay.
     pub fn new(lr: f32) -> Self {
-        Self { lr, weight_decay: 0.0 }
+        Self {
+            lr,
+            weight_decay: 0.0,
+        }
     }
 
     /// Adds L2 weight decay.

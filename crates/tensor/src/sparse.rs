@@ -30,7 +30,10 @@ impl CsrMatrix {
     ) -> Result<Self, TensorError> {
         for &(r, c, _) in triplets {
             if r >= rows || c >= cols {
-                return Err(TensorError::IndexOutOfBounds { index: (r, c), shape: (rows, cols) });
+                return Err(TensorError::IndexOutOfBounds {
+                    index: (r, c),
+                    shape: (rows, cols),
+                });
             }
         }
         let mut sorted: Vec<(usize, usize, f32)> = triplets.to_vec();
@@ -56,7 +59,13 @@ impl CsrMatrix {
         for r in 0..rows {
             row_ptr[r + 1] += row_ptr[r];
         }
-        Ok(Self { rows, cols, row_ptr, col_idx, values })
+        Ok(Self {
+            rows,
+            cols,
+            row_ptr,
+            col_idx,
+            values,
+        })
     }
 
     /// Number of rows.
@@ -152,7 +161,10 @@ impl CsrMatrix {
         let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(edges.len() * 2 + n);
         for &(u, v) in edges {
             if u >= n || v >= n {
-                return Err(TensorError::IndexOutOfBounds { index: (u, v), shape: (n, n) });
+                return Err(TensorError::IndexOutOfBounds {
+                    index: (u, v),
+                    shape: (n, n),
+                });
             }
             pairs.push((u, v));
             pairs.push((v, u));
@@ -184,7 +196,10 @@ impl CsrMatrix {
         let mut pairs: Vec<(usize, usize)> = Vec::with_capacity(edges.len() * 2);
         for &(u, v) in edges {
             if u >= n || v >= n {
-                return Err(TensorError::IndexOutOfBounds { index: (u, v), shape: (n, n) });
+                return Err(TensorError::IndexOutOfBounds {
+                    index: (u, v),
+                    shape: (n, n),
+                });
             }
             pairs.push((u, v));
             pairs.push((v, u));

@@ -77,12 +77,19 @@ impl Tape {
     }
 
     fn push_with_grad(&mut self, value: Matrix, op: Op, requires_grad: bool) -> Var {
-        self.nodes.push(Node { value, grad: None, op, requires_grad });
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            requires_grad,
+        });
         Var(self.nodes.len() - 1)
     }
 
     fn op_requires_grad(&self, op: &Op) -> bool {
-        self.op_inputs(op).iter().any(|&i| self.nodes[i].requires_grad)
+        self.op_inputs(op)
+            .iter()
+            .any(|&i| self.nodes[i].requires_grad)
     }
 
     fn op_inputs(&self, op: &Op) -> Vec<usize> {
@@ -192,9 +199,10 @@ mod tests {
         let s = tape.sigmoid(z);
         let loss = tape.sum_all(s);
         tape.backward(loss).unwrap();
-        let zval = 1.0 * 0.5 + (-1.0) * 0.25;
+        // x = [1, -1] against W = [0.5, 0.25]^T.
+        let zval = 0.5 - 0.25;
         let sig = 1.0 / (1.0 + (-zval as f32).exp());
-        let expected = [1.0 * sig * (1.0 - sig), -1.0 * sig * (1.0 - sig)];
+        let expected = [sig * (1.0 - sig), -(sig * (1.0 - sig))];
         let grad = tape.grad(w).unwrap();
         assert!((grad.get(0, 0) - expected[0]).abs() < 1e-5);
         assert!((grad.get(1, 0) - expected[1]).abs() < 1e-5);

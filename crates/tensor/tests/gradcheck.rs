@@ -25,7 +25,9 @@ fn loss_and_grad<F: Fn(&mut Tape, Var) -> Result<Var, TensorError>>(
     tape.backward(loss).expect("backward failed");
     (
         tape.value(loss).get(0, 0),
-        tape.grad(x).cloned().unwrap_or_else(|| Matrix::zeros(input.rows(), input.cols())),
+        tape.grad(x)
+            .cloned()
+            .unwrap_or_else(|| Matrix::zeros(input.rows(), input.cols())),
     )
 }
 
@@ -191,7 +193,9 @@ fn two_layer_mlp_gradcheck() {
     // A deterministic end-to-end check through an MLP with every common op.
     let x = Matrix::from_fn(4, 3, |r, c| 0.3 * (r as f32) - 0.2 * (c as f32) + 0.1);
     check_gradient(&x, |t, x| {
-        let w1 = t.constant(Matrix::from_fn(3, 5, |r, c| 0.1 * (r as f32 + 1.0) - 0.05 * c as f32));
+        let w1 = t.constant(Matrix::from_fn(3, 5, |r, c| {
+            0.1 * (r as f32 + 1.0) - 0.05 * c as f32
+        }));
         let b1 = t.constant(Matrix::from_fn(1, 5, |_, c| 0.01 * c as f32));
         let w2 = t.constant(Matrix::from_fn(5, 1, |r, _| 0.2 - 0.05 * r as f32));
         let h = t.matmul(x, w1)?;

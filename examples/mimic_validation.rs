@@ -1,7 +1,11 @@
 //! Validation on the MIMIC-III-like EHR data (the Section V-E protocol):
 //! diagnosis/procedure codes of earlier visits are the features, the
 //! last-visit prescription is the label, and only antagonistic DDI pairs are
-//! available, so DSSDDI runs with the GIN backbone.
+//! available, so the service is built with the GIN backbone.
+//!
+//! MIMIC drug indices are not the chronic formulary, so the service is given
+//! a registry-free engine here: the builder still validates the
+//! configuration, while the engine-level API handles the raw matrices.
 //!
 //! Run with: `cargo run --release --example mimic_validation`
 
@@ -13,7 +17,10 @@ use rand::SeedableRng;
 fn main() {
     let mut rng = StdRng::seed_from_u64(21);
     let mimic = generate_mimic_dataset(
-        &MimicConfig { n_patients: 800, ..Default::default() },
+        &MimicConfig {
+            n_patients: 800,
+            ..Default::default()
+        },
         &mut rng,
     )
     .expect("MIMIC-like data");
@@ -41,27 +48,45 @@ fn main() {
     let train_graph =
         BipartiteGraph::from_pairs(split.train.len(), mimic.n_drugs(), &pairs).expect("graph");
 
-    // DSSDDI with the GIN backbone and one-hot drug features.
-    let mut config = DssddiConfig::fast();
-    config.ddi.backbone = Backbone::Gin;
-    config.ddi.hidden_dim = 32;
-    config.md.hidden_dim = 32;
-    config.md.epochs = 80;
+    // Validate the MIMIC configuration through the builder, then fit the
+    // engine on the raw matrices (MIMIC uses its own drug index space).
+    let builder = ServiceBuilder::fast()
+        .backbone(Backbone::Gin)
+        .hidden_dim(32)
+        .epochs(60, 80);
+    builder.validate().expect("valid MIMIC configuration");
+    let mut config = builder.peek_config().clone();
     config.md.drug_features = DrugFeatureSource::OneHot;
     let placeholder = Matrix::identity(mimic.n_drugs());
-    let dssddi = Dssddi::fit(&train_x, &train_graph, &placeholder, mimic.ddi(), &config, &mut rng)
-        .expect("DSSDDI(GIN)");
+    let dssddi = Dssddi::fit(
+        &train_x,
+        &train_graph,
+        &placeholder,
+        mimic.ddi(),
+        &config,
+        &mut rng,
+    )
+    .expect("DSSDDI(GIN)");
 
     // A simple baseline for reference.
     let usersim = UserSim::fit(&train_x, &train_y).expect("UserSim");
 
-    println!("\n{:<14} {:>8} {:>8} {:>8}", "Method", "P@8", "R@8", "NDCG@8");
+    println!(
+        "\n{:<14} {:>8} {:>8} {:>8}",
+        "Method", "P@8", "R@8", "NDCG@8"
+    );
     for (name, scores) in [
-        ("DSSDDI(GIN)", dssddi.predict_scores(&test_x).expect("scores")),
+        (
+            "DSSDDI(GIN)",
+            dssddi.predict_scores(&test_x).expect("scores"),
+        ),
         ("UserSim", usersim.predict_scores(&test_x).expect("scores")),
     ] {
         let m = ranking_metrics(&scores, &test_y, 8).expect("metrics");
-        println!("{name:<14} {:>8.3} {:>8.3} {:>8.3}", m.precision, m.recall, m.ndcg);
+        println!(
+            "{name:<14} {:>8.3} {:>8.3} {:>8.3}",
+            m.precision, m.recall, m.ndcg
+        );
     }
     println!("\n(The paper's Table IV reports the same ordering at k = 4, 6, 8.)");
 }

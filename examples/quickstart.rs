@@ -1,6 +1,6 @@
-//! Quickstart: build the synthetic chronic-disease world, fit DSSDDI on the
-//! observed patients, and print suggestions + explanations for a few
-//! held-out patients.
+//! Quickstart: build the synthetic chronic-disease world, train a
+//! [`DecisionService`] through the [`ServiceBuilder`], and serve typed
+//! suggestion requests plus a prescription check for a few held-out patients.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -17,13 +17,20 @@ fn main() {
     let cohort = generate_chronic_cohort(
         &registry,
         &ddi,
-        &ChronicConfig { n_patients: 400, ..Default::default() },
+        &ChronicConfig {
+            n_patients: 400,
+            ..Default::default()
+        },
         &mut rng,
     )
     .expect("cohort");
     let drug_features = pretrained_drug_embeddings(
         &registry,
-        &DrkgConfig { dim: 32, epochs: 20, ..Default::default() },
+        &DrkgConfig {
+            dim: 32,
+            epochs: 20,
+            ..Default::default()
+        },
         &mut rng,
     )
     .expect("TransE embeddings");
@@ -36,28 +43,35 @@ fn main() {
         ddi.antagonistic_count()
     );
 
-    // 2. Fit the decision support system on the observed (training) patients.
-    let mut config = DssddiConfig::fast();
-    config.md.hidden_dim = 32;
-    config.ddi.hidden_dim = 32;
-    let system = Dssddi::fit_chronic(&cohort, &split.train, &drug_features, &ddi, &config, &mut rng)
+    // 2. Build the decision service: the builder validates the configuration
+    // before any training time is spent.
+    let service = ServiceBuilder::fast()
+        .hidden_dim(32)
+        .fit_chronic(&cohort, &split.train, &drug_features, &ddi, &mut rng)
         .expect("DSSDDI training");
     println!(
-        "Trained DSSDDI({}) on {} observed patients\n",
-        config.ddi.backbone.name(),
+        "Trained DecisionService({}) on {} observed patients\n",
+        service.config().ddi.backbone.name(),
         split.train.len()
     );
 
-    // 3. Suggest medications for three held-out patients and explain them.
+    // 3. Suggest medications for three held-out patients. The batch shares
+    // one model forward pass, and repeated explanations are memoized.
     let patients = &split.test[..3];
-    let features = cohort.features().select_rows(patients);
-    let suggestions = system.suggest(&features, 3).expect("suggestions");
-    for (i, suggestion) in suggestions.iter().enumerate() {
-        let patient = patients[i];
-        println!("Patient #{patient}");
+    let requests: Vec<SuggestRequest> = patients
+        .iter()
+        .map(|&p| SuggestRequest::new(PatientId::new(p), cohort.features().row(p).to_vec(), 3))
+        .collect();
+    let responses = service.suggest_batch(&requests).expect("suggestions");
+    for response in &responses {
+        let patient = response.patient.index();
+        println!("{}", response.patient);
         println!(
             "  diseases       : {:?}",
-            cohort.diseases()[patient].iter().map(|d| d.name()).collect::<Vec<_>>()
+            cohort.diseases()[patient]
+                .iter()
+                .map(|d| d.name())
+                .collect::<Vec<_>>()
         );
         println!(
             "  actually taking: {:?}",
@@ -67,31 +81,55 @@ fn main() {
                 .map(|&d| registry.drug(d).unwrap().name)
                 .collect::<Vec<_>>()
         );
-        for s in &suggestion.drugs {
+        for drug in &response.drugs {
             println!(
-                "  suggest {:<24} (DID {:>2}) score {:.3}",
-                registry.drug(s.drug).unwrap().name,
-                s.drug,
-                s.score
+                "  suggest {:<24} ({:>6}) score {:.3}",
+                drug.name, drug.id, drug.score
             );
         }
-        let exp = &suggestion.explanation;
+        let exp = &response.explanation;
         println!(
             "  explanation: {} drugs in the DDI subgraph, {} synergistic / {} antagonistic internal edges, SS = {:.3}\n",
             exp.community.node_count(),
             exp.internal_synergy,
             exp.internal_antagonism,
-            exp.suggestion_satisfaction
+            response.suggestion_satisfaction
         );
     }
 
-    // 4. Evaluate against the held-out prescriptions.
+    // 4. Critique an existing prescription against the signed DDI graph —
+    // the paper's Fig. 8 antagonistic pair, by name.
+    let check = CheckPrescriptionRequest::new(vec![
+        service.resolve_drug("Gabapentin").expect("known drug"),
+        service
+            .resolve_drug("Isosorbide Mononitrate")
+            .expect("known drug"),
+    ]);
+    let report = service
+        .check_prescription(&check)
+        .expect("prescription check");
+    println!(
+        "Prescription check (Gabapentin + Isosorbide Mononitrate): {}",
+        if report.is_safe() {
+            "no antagonism found"
+        } else {
+            "antagonism found"
+        }
+    );
+    for pair in &report.antagonistic {
+        println!(
+            "  warning: {} <-> {} is antagonistic",
+            pair.a_name, pair.b_name
+        );
+    }
+
+    // 5. Evaluate against the held-out prescriptions.
     let test_features = cohort.features().select_rows(&split.test);
     let test_labels = cohort.labels().select_rows(&split.test);
-    let scores = system.predict_scores(&test_features).expect("scores");
+    let scores = service.predict_scores(&test_features).expect("scores");
     let metrics = ranking_metrics(&scores, &test_labels, 6).expect("metrics");
     println!(
-        "Held-out performance: Precision@6 {:.3}, Recall@6 {:.3}, NDCG@6 {:.3}",
+        "\nHeld-out performance: Precision@6 {:.3}, Recall@6 {:.3}, NDCG@6 {:.3}",
         metrics.precision, metrics.recall, metrics.ndcg
     );
 }

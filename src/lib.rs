@@ -16,10 +16,16 @@
 //!   ranking metrics,
 //! * [`gnn`] — GIN / SGCN / SiGAT / SNEA / LightGCN building blocks,
 //! * [`core`] — the DSSDDI system itself (DDI, Medical Decision and Medical
-//!   Support modules),
+//!   Support modules) and the clinical [`DecisionService`](core::DecisionService) API,
 //! * [`baselines`] — the comparison methods of the paper's evaluation.
 //!
 //! ## Quickstart
+//!
+//! The public API is the service layer: build a
+//! [`DecisionService`](core::DecisionService) with
+//! [`ServiceBuilder`](core::ServiceBuilder), then exchange typed requests and responses —
+//! suggestions come back as named, scored drugs with a DDI explanation, and
+//! existing prescriptions can be critiqued against the signed DDI graph.
 //!
 //! ```no_run
 //! use dssddi::prelude::*;
@@ -39,21 +45,49 @@
 //!     pretrained_drug_embeddings(&registry, &DrkgConfig::default(), &mut rng).unwrap();
 //! let split = split_patients(cohort.n_patients(), (5, 3, 2), &mut rng).unwrap();
 //!
-//! let system = Dssddi::fit_chronic(
-//!     &cohort,
-//!     &split.train,
-//!     &drug_features,
-//!     &ddi,
-//!     &DssddiConfig::fast(),
-//!     &mut rng,
-//! )
-//! .unwrap();
-//! let new_patient = cohort.features().select_rows(&split.test[..1]);
-//! for suggestion in system.suggest(&new_patient, 3).unwrap() {
-//!     println!("suggested drugs: {:?}", suggestion.drugs);
-//!     println!("suggestion satisfaction: {:.3}", suggestion.explanation.suggestion_satisfaction);
+//! // Validate the configuration and train the service.
+//! let service = ServiceBuilder::fast()
+//!     .hidden_dim(32)
+//!     .fit_chronic(&cohort, &split.train, &drug_features, &ddi, &mut rng)
+//!     .unwrap();
+//!
+//! // Suggest three drugs for a new patient; one prediction pass serves the
+//! // whole batch and repeated explanations are memoized.
+//! let requests: Vec<SuggestRequest> = split.test[..3]
+//!     .iter()
+//!     .map(|&p| SuggestRequest::new(PatientId::new(p), cohort.features().row(p).to_vec(), 3))
+//!     .collect();
+//! for response in service.suggest_batch(&requests).unwrap() {
+//!     for drug in &response.drugs {
+//!         println!("{}: {} ({}) score {:.3}", response.patient, drug.name, drug.id, drug.score);
+//!     }
+//!     println!("suggestion satisfaction: {:.3}", response.suggestion_satisfaction);
+//! }
+//!
+//! // Critique an existing prescription against the DDI graph.
+//! let check = CheckPrescriptionRequest::new(vec![
+//!     service.resolve_drug("Gabapentin").unwrap(),
+//!     service.resolve_drug("Isosorbide Mononitrate").unwrap(),
+//! ]);
+//! let report = service.check_prescription(&check).unwrap();
+//! if !report.is_safe() {
+//!     for pair in &report.antagonistic {
+//!         println!("warning: {} is antagonistic with {}", pair.a_name, pair.b_name);
+//!     }
 //! }
 //! ```
+//!
+//! ## Migrating from the research facade
+//!
+//! The pre-service entry points still compile but are deprecated:
+//! `Dssddi::fit_chronic` is replaced by
+//! [`ServiceBuilder::fit_chronic`](core::ServiceBuilder::fit_chronic) (which
+//! validates the configuration first), and `Dssddi::suggest` by
+//! [`DecisionService::suggest_batch`](core::DecisionService::suggest_batch)
+//! (which resolves drug names, supports per-request filters and memoizes
+//! explanations). The engine-level `Dssddi::fit` remains available for
+//! research code that needs raw matrices, and a fitted engine is reachable
+//! through `DecisionService::engine`.
 
 #![warn(missing_docs)]
 
@@ -72,7 +106,10 @@ pub mod prelude {
         LightGcnRecommender, Recommender, SafeDrugRecommender, SvmRecommender, UserSim,
     };
     pub use dssddi_core::{
-        Backbone, Dssddi, DssddiConfig, Explanation, MdModuleConfig, MsModuleConfig, Suggestion,
+        Backbone, CheckPrescriptionRequest, CoreError, DecisionService, DrugId, Dssddi,
+        DssddiConfig, Explanation, InteractionReport, MdModuleConfig, MsModuleConfig,
+        PairInteraction, PatientId, ScoredDrug, ServiceBuilder, SuggestFilters, SuggestRequest,
+        SuggestResponse, Suggestion,
     };
     pub use dssddi_data::{
         generate_chronic_cohort, generate_ddi_graph, generate_mimic_dataset,

@@ -1,5 +1,7 @@
 //! Cross-crate integration tests: the full DSSDDI pipeline from synthetic
-//! data generation through training, suggestion, explanation and evaluation.
+//! data generation through training, suggestion, explanation and evaluation,
+//! through both the typed [`DecisionService`] API and the legacy deprecated
+//! shims (which must keep compiling and agreeing with the service).
 
 use dssddi::core::ms_module::explain_suggestion;
 use dssddi::core::MsModuleConfig;
@@ -22,18 +24,31 @@ fn build_world(n_patients: usize, seed: u64) -> World {
     let cohort = generate_chronic_cohort(
         &registry,
         &ddi,
-        &ChronicConfig { n_patients, ..Default::default() },
+        &ChronicConfig {
+            n_patients,
+            ..Default::default()
+        },
         &mut rng,
     )
     .unwrap();
     let drug_features = pretrained_drug_embeddings(
         &registry,
-        &DrkgConfig { dim: 16, epochs: 10, ..Default::default() },
+        &DrkgConfig {
+            dim: 16,
+            epochs: 10,
+            ..Default::default()
+        },
         &mut rng,
     )
     .unwrap();
     let split = split_patients(cohort.n_patients(), (5, 3, 2), &mut rng).unwrap();
-    World { registry, ddi, cohort, drug_features, split }
+    World {
+        registry,
+        ddi,
+        cohort,
+        drug_features,
+        split,
+    }
 }
 
 fn tiny_config() -> DssddiConfig {
@@ -46,6 +61,93 @@ fn tiny_config() -> DssddiConfig {
 }
 
 #[test]
+fn decision_service_end_to_end() {
+    let world = build_world(120, 1);
+    let mut rng = StdRng::seed_from_u64(2);
+
+    // Build through the validating builder.
+    let service = ServiceBuilder::fast()
+        .hidden_dim(16)
+        .epochs(40, 50)
+        .fit_chronic(
+            &world.cohort,
+            &world.split.train,
+            &world.drug_features,
+            &world.ddi,
+            &mut rng,
+        )
+        .expect("service training");
+
+    // Batched suggestion: one request per held-out patient.
+    let requests: Vec<SuggestRequest> = world
+        .split
+        .test
+        .iter()
+        .map(|&p| {
+            SuggestRequest::new(
+                PatientId::new(p),
+                world.cohort.features().row(p).to_vec(),
+                4,
+            )
+        })
+        .collect();
+    let responses = service.suggest_batch(&requests).expect("suggest_batch");
+    assert_eq!(responses.len(), world.split.test.len());
+    for (request, response) in requests.iter().zip(&responses) {
+        assert_eq!(response.patient, request.patient);
+        assert_eq!(response.drugs.len(), 4);
+        for drug in &response.drugs {
+            // Responses carry registry-resolved drug *names*, not indices.
+            assert_eq!(
+                drug.name,
+                world.registry.drug(drug.id.index()).unwrap().name,
+                "drug names must come from the registry"
+            );
+            assert!((0.0..=1.0).contains(&drug.score));
+            assert!(response.explanation.community.contains(drug.id.index()));
+        }
+        assert!(response.suggestion_satisfaction >= 0.0);
+    }
+
+    // Prescription critique flags the paper's known antagonistic pair.
+    let check = CheckPrescriptionRequest::new(vec![
+        service.resolve_drug("Gabapentin").unwrap(),
+        service.resolve_drug("Isosorbide Mononitrate").unwrap(),
+    ]);
+    let report = service
+        .check_prescription(&check)
+        .expect("check_prescription");
+    assert!(!report.is_safe());
+    assert_eq!(report.antagonistic.len(), 1);
+    assert_eq!(report.antagonistic[0].a_name, "Gabapentin");
+    assert!(report.explanation.community.contains(61));
+
+    // Filters: a patient already taking Isosorbide Mononitrate must not be
+    // suggested any of its antagonists.
+    let taken = service.resolve_drug("Isosorbide Mononitrate").unwrap();
+    let filtered = service
+        .suggest(
+            &SuggestRequest::new(
+                PatientId::new(world.split.test[0]),
+                world.cohort.features().row(world.split.test[0]).to_vec(),
+                4,
+            )
+            .with_filters(SuggestFilters {
+                avoid_antagonists_of: vec![taken],
+                ..Default::default()
+            }),
+        )
+        .expect("filtered suggestion");
+    for drug in &filtered.drugs {
+        assert_ne!(
+            world.ddi.interaction(taken.index(), drug.id.index()),
+            Some(Interaction::Antagonistic)
+        );
+    }
+}
+
+#[test]
+#[allow(deprecated)] // intentionally exercises the legacy shims
 fn full_pipeline_fit_suggest_explain_evaluate() {
     let world = build_world(120, 1);
     let mut rng = StdRng::seed_from_u64(2);
@@ -79,7 +181,11 @@ fn full_pipeline_fit_suggest_explain_evaluate() {
     let scores = system.predict_scores(&test_features).unwrap();
     let metrics = ranking_metrics(&scores, &test_labels, 6).unwrap();
     assert!(metrics.precision > 0.0 && metrics.precision <= 1.0);
-    assert!(metrics.recall > 0.1, "recall@6 unexpectedly low: {}", metrics.recall);
+    assert!(
+        metrics.recall > 0.1,
+        "recall@6 unexpectedly low: {}",
+        metrics.recall
+    );
     assert!(metrics.ndcg > 0.1);
 }
 
@@ -91,15 +197,16 @@ fn dssddi_is_clearly_better_than_chance_and_competitive_with_usersim() {
     config.md.hidden_dim = 32;
     config.ddi.hidden_dim = 32;
     let mut rng = StdRng::seed_from_u64(4);
-    let system = Dssddi::fit_chronic(
-        &world.cohort,
-        &world.split.train,
-        &world.drug_features,
-        &world.ddi,
-        &config,
-        &mut rng,
-    )
-    .unwrap();
+    let system = ServiceBuilder::new()
+        .config(config)
+        .fit_chronic(
+            &world.cohort,
+            &world.split.train,
+            &world.drug_features,
+            &world.ddi,
+            &mut rng,
+        )
+        .unwrap();
 
     let train_x = world.cohort.features().select_rows(&world.split.train);
     let train_y = world.cohort.labels().select_rows(&world.split.train);
@@ -134,17 +241,18 @@ fn training_is_deterministic_for_a_fixed_seed() {
     let world = build_world(80, 5);
     let fit = |seed: u64| {
         let mut rng = StdRng::seed_from_u64(seed);
-        let system = Dssddi::fit_chronic(
-            &world.cohort,
-            &world.split.train,
-            &world.drug_features,
-            &world.ddi,
-            &tiny_config(),
-            &mut rng,
-        )
-        .unwrap();
+        let service = ServiceBuilder::new()
+            .config(tiny_config())
+            .fit_chronic(
+                &world.cohort,
+                &world.split.train,
+                &world.drug_features,
+                &world.ddi,
+                &mut rng,
+            )
+            .unwrap();
         let test_features = world.cohort.features().select_rows(&world.split.test[..5]);
-        system.predict_scores(&test_features).unwrap()
+        service.predict_scores(&test_features).unwrap()
     };
     let a = fit(9);
     let b = fit(9);
@@ -170,7 +278,10 @@ fn suggestion_satisfaction_prefers_paper_synergy_pairs() {
 fn mimic_like_pipeline_with_gin_backbone() {
     let mut rng = StdRng::seed_from_u64(8);
     let mimic = generate_mimic_dataset(
-        &MimicConfig { n_patients: 150, ..Default::default() },
+        &MimicConfig {
+            n_patients: 150,
+            ..Default::default()
+        },
         &mut rng,
     )
     .unwrap();
@@ -191,13 +302,24 @@ fn mimic_like_pipeline_with_gin_backbone() {
     config.ddi.backbone = Backbone::Gin;
     config.md.drug_features = dssddi::core::config::DrugFeatureSource::OneHot;
     let placeholder = Matrix::identity(mimic.n_drugs());
-    let system =
-        Dssddi::fit(&train_x, &train_graph, &placeholder, mimic.ddi(), &config, &mut rng).unwrap();
+    let system = Dssddi::fit(
+        &train_x,
+        &train_graph,
+        &placeholder,
+        mimic.ddi(),
+        &config,
+        &mut rng,
+    )
+    .unwrap();
     let scores = system.predict_scores(&test_x).unwrap();
     let metrics = ranking_metrics(&scores, &test_y, 8).unwrap();
     // MIMIC-like labels are dense (8-15 drugs), so precision is high even for
     // a lightly trained model.
-    assert!(metrics.precision > 0.2, "precision@8 too low: {}", metrics.precision);
+    assert!(
+        metrics.precision > 0.2,
+        "precision@8 too low: {}",
+        metrics.precision
+    );
 }
 
 #[test]
@@ -216,14 +338,24 @@ fn baselines_and_dssddi_share_the_same_interface_shapes() {
         epochs: 20,
         ..Default::default()
     };
-    let neural_cfg =
-        dssddi::baselines::neural::NeuralConfig { hidden_dim: 16, epochs: 20, ..Default::default() };
+    let neural_cfg = dssddi::baselines::neural::NeuralConfig {
+        hidden_dim: 16,
+        epochs: 20,
+        ..Default::default()
+    };
 
     let recommenders: Vec<Box<dyn Recommender>> = vec![
         Box::new(UserSim::fit(&train_x, &train_y).unwrap()),
         Box::new(
-            SvmRecommender::fit(&train_x, &train_y, &dssddi::ml::SvmConfig { epochs: 10, ..Default::default() })
-                .unwrap(),
+            SvmRecommender::fit(
+                &train_x,
+                &train_y,
+                &dssddi::ml::SvmConfig {
+                    epochs: 10,
+                    ..Default::default()
+                },
+            )
+            .unwrap(),
         ),
         Box::new(GcmcRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).unwrap()),
         Box::new(LightGcnRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).unwrap()),
@@ -236,7 +368,16 @@ fn baselines_and_dssddi_share_the_same_interface_shapes() {
     ];
     for recommender in &recommenders {
         let scores = recommender.predict_scores(&test_x).unwrap();
-        assert_eq!(scores.shape(), (n_test, n_drugs), "{} shape", recommender.name());
-        assert!(scores.all_finite(), "{} produced non-finite scores", recommender.name());
+        assert_eq!(
+            scores.shape(),
+            (n_test, n_drugs),
+            "{} shape",
+            recommender.name()
+        );
+        assert!(
+            scores.all_finite(),
+            "{} produced non-finite scores",
+            recommender.name()
+        );
     }
 }

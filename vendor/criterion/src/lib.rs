@@ -1,0 +1,187 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! crate.
+//!
+//! The build environment has no network access, so this vendored crate
+//! provides the benchmark-definition API the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, `benchmark_group`,
+//! `bench_function`, `iter`, `iter_batched`) backed by a simple wall-clock
+//! measurement: each benchmark is warmed up once and then timed over
+//! `sample_size` iterations, reporting the mean per-iteration time. There is
+//! no statistical analysis, outlier rejection, or HTML report.
+
+use std::time::Instant;
+
+/// How batched inputs are grouped (accepted for API compatibility; the
+/// stand-in times every batch individually regardless).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration setup output.
+    SmallInput,
+    /// Large per-iteration setup output.
+    LargeInput,
+    /// One setup per measured batch.
+    PerIteration,
+}
+
+/// Timing driver handed to every benchmark closure.
+pub struct Bencher {
+    iterations: u64,
+    /// Total measured time in nanoseconds, excluding setup.
+    measured_nanos: u128,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std::hint::black_box(routine());
+        }
+        self.measured_nanos += start.elapsed().as_nanos();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`, excluding setup time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.measured_nanos += start.elapsed().as_nanos();
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs and reports one benchmark.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        // One untimed warm-up pass, then the measured passes.
+        let mut warmup = Bencher {
+            iterations: 1,
+            measured_nanos: 0,
+        };
+        f(&mut warmup);
+        let mut bencher = Bencher {
+            iterations: self.sample_size as u64,
+            measured_nanos: 0,
+        };
+        f(&mut bencher);
+        let per_iter = bencher.measured_nanos / bencher.iterations.max(1) as u128;
+        println!(
+            "{}/{:<40} {:>12} ns/iter ({} iters)",
+            self.name, id, per_iter, bencher.iterations
+        );
+        self
+    }
+
+    /// Finishes the group (reporting happens per-benchmark).
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            _criterion: self,
+        }
+    }
+
+    /// Runs and reports a single ungrouped benchmark.
+    pub fn bench_function<S: Into<String>, F>(&mut self, id: S, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Prevents the optimizer from eliding a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_the_closure() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("counter", |b| b.iter(|| runs += 1));
+        group.finish();
+        // One warm-up iteration plus three timed iterations.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_inputs() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(2);
+        let mut seen = Vec::new();
+        let mut next = 0u32;
+        group.bench_function("batched", |b| {
+            b.iter_batched(
+                || {
+                    next += 1;
+                    next
+                },
+                |input| seen.push(input),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(seen.len(), 3);
+    }
+}
