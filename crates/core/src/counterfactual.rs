@@ -81,6 +81,12 @@ impl TreatmentMatrix {
         Ok(Self { matrix: t })
     }
 
+    /// Reassembles a treatment matrix from its persisted `patients x drugs`
+    /// matrix (model persistence).
+    pub(crate) fn from_matrix(matrix: Matrix) -> Self {
+        Self { matrix }
+    }
+
     /// Treatment value for a patient–drug pair.
     pub fn get(&self, patient: usize, drug: usize) -> f32 {
         self.matrix.get(patient, drug)

@@ -12,9 +12,11 @@ use rand::Rng;
 
 use dssddi_gnn::{GinConv, SgcnLayer, SigatLayer, SignedGraphContext, SneaLayer};
 use dssddi_graph::SignedGraph;
+use dssddi_tensor::serde::{ByteReader, ByteWriter, SerdeError};
 use dssddi_tensor::{init, Adam, Binder, Matrix, Optimizer, ParamSet, Tape, Var};
 
 use crate::config::{Backbone, DdiModuleConfig};
+use crate::persist::{self, section};
 use crate::CoreError;
 
 /// The GNN stack of a particular backbone.
@@ -243,6 +245,24 @@ impl DdiModule {
             embeddings,
             losses,
             backbone: config.backbone,
+        })
+    }
+
+    /// Serializes the trained module (embeddings, loss trace, backbone).
+    pub(crate) fn write_into(&self, w: &mut ByteWriter) {
+        persist::put_section(w, section::DDI_MODULE);
+        w.put_matrix(&self.embeddings);
+        w.put_f32_slice(&self.losses);
+        persist::write_backbone(w, self.backbone);
+    }
+
+    /// Reconstructs a trained module written by [`DdiModule::write_into`].
+    pub(crate) fn read_from(r: &mut ByteReader<'_>) -> Result<Self, SerdeError> {
+        persist::expect_section(r, section::DDI_MODULE, "ddi_module")?;
+        Ok(Self {
+            embeddings: r.take_matrix("ddi_module.embeddings")?,
+            losses: r.take_f32_vec("ddi_module.losses")?,
+            backbone: persist::read_backbone(r)?,
         })
     }
 

@@ -22,6 +22,7 @@ pub mod counterfactual;
 pub mod ddi_module;
 pub mod md_module;
 pub mod ms_module;
+mod persist;
 pub mod service;
 pub mod system;
 
@@ -29,7 +30,10 @@ pub use config::{Backbone, DdiModuleConfig, DssddiConfig, MdModuleConfig, MsModu
 pub use counterfactual::{CounterfactualLinks, TreatmentMatrix};
 pub use ddi_module::DdiModule;
 pub use md_module::MdModule;
-pub use ms_module::{suggestion_satisfaction, Explanation, ExplanationCache, SignedEdge};
+pub use ms_module::{
+    suggestion_satisfaction, Explanation, ExplanationCache, SignedEdge,
+    DEFAULT_EXPLANATION_CACHE_CAPACITY,
+};
 pub use service::{
     CheckPrescriptionRequest, DecisionService, DrugId, InteractionReport, PairInteraction,
     PatientId, ScoredDrug, ServiceBuilder, SuggestFilters, SuggestRequest, SuggestResponse,
@@ -79,6 +83,13 @@ pub enum CoreError {
         /// The operation that was requested.
         operation: String,
     },
+    /// Saving or loading persisted model state failed (truncated, corrupt or
+    /// version-mismatched file, or a registry that does not match the one the
+    /// service was persisted with).
+    Persistence {
+        /// Description of the failure.
+        what: String,
+    },
 }
 
 impl CoreError {
@@ -105,6 +116,11 @@ impl CoreError {
             operation: operation.into(),
         }
     }
+
+    /// A [`CoreError::Persistence`] with a contextual message.
+    pub fn persistence(what: impl Into<String>) -> Self {
+        CoreError::Persistence { what: what.into() }
+    }
 }
 
 impl std::fmt::Display for CoreError {
@@ -125,6 +141,7 @@ impl std::fmt::Display for CoreError {
                     "{operation} requires a fitted model; this service was built without one"
                 )
             }
+            CoreError::Persistence { what } => write!(f, "persistence error: {what}"),
         }
     }
 }
@@ -162,5 +179,13 @@ impl From<GraphError> for CoreError {
 impl From<MlError> for CoreError {
     fn from(e: MlError) -> Self {
         CoreError::Ml(e)
+    }
+}
+
+impl From<dssddi_tensor::serde::SerdeError> for CoreError {
+    fn from(e: dssddi_tensor::serde::SerdeError) -> Self {
+        CoreError::Persistence {
+            what: e.to_string(),
+        }
     }
 }

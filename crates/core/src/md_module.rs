@@ -20,12 +20,14 @@ use dssddi_gnn::{sample_link_batch, Activation, Mlp};
 use dssddi_graph::{BipartiteGraph, SignedGraph};
 use dssddi_ml::fit_kmeans;
 use dssddi_ml::KMeans;
+use dssddi_tensor::serde::{ByteReader, ByteWriter, SerdeError};
 use dssddi_tensor::{
     init, Adam, Binder, CsrMatrix, Matrix, Optimizer, ParamId, ParamSet, Tape, Var,
 };
 
 use crate::config::MdModuleConfig;
 use crate::counterfactual::{CounterfactualIndex, TreatmentMatrix};
+use crate::persist::{self, section};
 use crate::CoreError;
 
 /// A fitted Medical Decision module.
@@ -297,6 +299,111 @@ impl MdModule {
             kmeans,
             clusters,
             treatment,
+            drug_repr,
+            losses,
+            counterfactual_match_rate,
+        })
+    }
+
+    /// Serializes the fitted module: the full parameter set, the decoder
+    /// structure, the treatment machinery (k-means, clusters, treatment
+    /// matrix) and the cached drug representations — everything
+    /// [`MdModule::predict_scores`] touches.
+    pub(crate) fn write_into(&self, w: &mut ByteWriter) {
+        persist::put_section(w, section::MD_MODULE);
+        w.put_param_set(&self.params);
+        w.put_param_id(self.patient_w);
+        w.put_param_id(self.patient_b);
+        self.decoder.write_into(w);
+        persist::write_md_config(w, &self.config);
+        w.put_matrix(&self.drug_features);
+        w.put_opt_matrix(self.ddi_embeddings.as_ref());
+        persist::write_signed_graph(w, &self.ddi_graph);
+        persist::write_kmeans(w, &self.kmeans);
+        w.put_usize_slice(&self.clusters);
+        w.put_matrix(self.treatment.matrix());
+        w.put_matrix(&self.drug_repr);
+        w.put_f32_slice(&self.losses);
+        w.put_f64(self.counterfactual_match_rate);
+    }
+
+    /// Reconstructs a fitted module written by [`MdModule::write_into`],
+    /// validating the cross-field consistency the serving path relies on so
+    /// a decoded module can never panic inside `predict_scores`.
+    pub(crate) fn read_from(r: &mut ByteReader<'_>) -> Result<Self, SerdeError> {
+        persist::expect_section(r, section::MD_MODULE, "md_module")?;
+        let params = r.take_param_set("md_module.params")?;
+        let patient_w = r.take_param_id(&params, "md_module.patient_w")?;
+        let patient_b = r.take_param_id(&params, "md_module.patient_b")?;
+        let decoder = Mlp::read_from(r, &params)?;
+        let config = persist::read_md_config(r)?;
+        let drug_features = r.take_matrix("md_module.drug_features")?;
+        let ddi_embeddings = r.take_opt_matrix("md_module.ddi_embeddings")?;
+        let ddi_graph = persist::read_signed_graph(r)?;
+        let kmeans = persist::read_kmeans(r)?;
+        let clusters = r.take_usize_vec("md_module.clusters")?;
+        let treatment = r.take_matrix("md_module.treatment")?;
+        let drug_repr = r.take_matrix("md_module.drug_repr")?;
+        let losses = r.take_f32_vec("md_module.losses")?;
+        let counterfactual_match_rate = r.take_f64("md_module.counterfactual_match_rate")?;
+
+        let corrupt = |what: String| SerdeError::Corrupt { what };
+        let n_drugs = drug_repr.rows();
+        if treatment.cols() != n_drugs {
+            return Err(corrupt(format!(
+                "treatment matrix covers {} drugs but {} drug representations were persisted",
+                treatment.cols(),
+                n_drugs
+            )));
+        }
+        if treatment.rows() != clusters.len() {
+            return Err(corrupt(format!(
+                "treatment matrix has {} patient rows but {} cluster assignments",
+                treatment.rows(),
+                clusters.len()
+            )));
+        }
+        if clusters.iter().any(|&c| c >= kmeans.k()) {
+            return Err(corrupt(
+                "a persisted cluster assignment exceeds the k-means cluster count".into(),
+            ));
+        }
+        let patient_hidden = params.get(patient_w).cols();
+        if params.get(patient_b).shape() != (1, patient_hidden) {
+            return Err(corrupt(
+                "patient bias shape disagrees with the patient projection".into(),
+            ));
+        }
+        if decoder.input_dim() != patient_hidden + 1 {
+            return Err(corrupt(format!(
+                "decoder expects {} inputs but the encoder produces {} (+1 treatment)",
+                decoder.input_dim(),
+                patient_hidden
+            )));
+        }
+        if decoder.output_dim() != 1 {
+            return Err(corrupt(format!(
+                "decoder produces {} outputs but medication-use prediction needs exactly 1",
+                decoder.output_dim()
+            )));
+        }
+        if drug_repr.cols() != patient_hidden {
+            return Err(corrupt(
+                "drug representation width disagrees with the patient hidden width".into(),
+            ));
+        }
+        Ok(Self {
+            params,
+            patient_w,
+            patient_b,
+            decoder,
+            config,
+            drug_features,
+            ddi_embeddings,
+            ddi_graph,
+            kmeans,
+            clusters,
+            treatment: TreatmentMatrix::from_matrix(treatment),
             drug_repr,
             losses,
             counterfactual_match_rate,

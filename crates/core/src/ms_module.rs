@@ -105,28 +105,66 @@ pub fn suggestion_satisfaction(
     alpha * first + (1.0 - alpha) * second
 }
 
-/// Memoizes [`explain_suggestion`] results keyed by the (sorted, deduplicated)
-/// suggested drug set.
+/// Default number of distinct drug sets an [`ExplanationCache`] retains.
+///
+/// With the paper's 86-drug formulary and top-k suggestions there are far
+/// fewer *observed* distinct suggestion sets than this, so in practice the
+/// bound only matters for adversarial or very long-lived workloads.
+pub const DEFAULT_EXPLANATION_CACHE_CAPACITY: usize = 1024;
+
+/// Memoizes [`explain_suggestion`] results keyed by the (sorted,
+/// deduplicated) suggested drug set, evicting the least-recently-used entry
+/// once a fixed capacity is reached.
 ///
 /// Suggestion batches are highly repetitive: patients with the same chronic
 /// profile receive the same top-k drugs, and the closest-truss-community
-/// search is by far the most expensive part of serving a suggestion. One
-/// cache per batch collapses those repeats into a single search each.
-#[derive(Debug, Default)]
+/// search is by far the most expensive part of serving a suggestion. The DDI
+/// graph is immutable after fit, so a service-owned cache stays valid across
+/// batches and collapses repeated community searches for the whole lifetime
+/// of the service — while the capacity bound keeps a long-lived service's
+/// memory use flat.
+#[derive(Debug)]
 pub struct ExplanationCache {
-    entries: HashMap<Vec<usize>, Explanation>,
+    entries: HashMap<Vec<usize>, CachedExplanation>,
+    capacity: usize,
+    clock: u64,
     hits: usize,
     misses: usize,
 }
 
+#[derive(Debug)]
+struct CachedExplanation {
+    explanation: Explanation,
+    last_used: u64,
+}
+
+impl Default for ExplanationCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl ExplanationCache {
-    /// An empty cache.
+    /// An empty cache bounded at [`DEFAULT_EXPLANATION_CACHE_CAPACITY`].
     pub fn new() -> Self {
-        Self::default()
+        Self::with_capacity(DEFAULT_EXPLANATION_CACHE_CAPACITY)
+    }
+
+    /// An empty cache retaining at most `capacity` distinct drug sets
+    /// (clamped to at least 1).
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// The explanation for `suggested`, computed at most once per distinct
-    /// drug set. The returned explanation lists the drugs in sorted order.
+    /// cached drug set. The returned explanation lists the drugs in sorted
+    /// order.
     pub fn explain(
         &mut self,
         ddi: &SignedGraph,
@@ -136,13 +174,34 @@ impl ExplanationCache {
         let mut key: Vec<usize> = suggested.to_vec();
         key.sort_unstable();
         key.dedup();
-        if let Some(cached) = self.entries.get(&key) {
+        self.clock += 1;
+        if let Some(cached) = self.entries.get_mut(&key) {
+            cached.last_used = self.clock;
             self.hits += 1;
-            return Ok(cached.clone());
+            return Ok(cached.explanation.clone());
         }
         let explanation = explain_suggestion(ddi, &key, config)?;
         self.misses += 1;
-        self.entries.insert(key, explanation.clone());
+        if self.entries.len() >= self.capacity {
+            // O(len) scan for the least-recently-used entry; the capacity is
+            // small enough that a linked recency list is not worth the
+            // bookkeeping.
+            if let Some(lru) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&lru);
+            }
+        }
+        self.entries.insert(
+            key,
+            CachedExplanation {
+                explanation: explanation.clone(),
+                last_used: self.clock,
+            },
+        );
         Ok(explanation)
     }
 
@@ -154,6 +213,21 @@ impl ExplanationCache {
     /// How many lookups required a fresh community search.
     pub fn misses(&self) -> usize {
         self.misses
+    }
+
+    /// Number of drug sets currently cached (never exceeds the capacity).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Maximum number of drug sets the cache retains.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 }
 
@@ -335,6 +409,30 @@ mod tests {
         let direct = explain_suggestion(&g, &[0, 1, 2], &cfg).unwrap();
         assert_eq!(a.suggestion_satisfaction, direct.suggestion_satisfaction);
         assert_eq!(a.edges.len(), direct.edges.len());
+    }
+
+    #[test]
+    fn explanation_cache_is_size_bounded_with_lru_eviction() {
+        let g = ddi();
+        let cfg = MsModuleConfig::default();
+        let mut cache = ExplanationCache::with_capacity(2);
+        assert_eq!(cache.capacity(), 2);
+        cache.explain(&g, &[0, 1], &cfg).unwrap();
+        cache.explain(&g, &[3, 4], &cfg).unwrap();
+        assert_eq!(cache.len(), 2);
+        // Touch {0,1} so {3,4} becomes the least recently used entry...
+        cache.explain(&g, &[0, 1], &cfg).unwrap();
+        assert_eq!(cache.hits(), 1);
+        // ...then insert a third set: the cache must stay at capacity.
+        cache.explain(&g, &[5, 6], &cfg).unwrap();
+        assert_eq!(cache.len(), 2);
+        // {0,1} survived the eviction, {3,4} did not.
+        cache.explain(&g, &[0, 1], &cfg).unwrap();
+        assert_eq!(cache.hits(), 2);
+        cache.explain(&g, &[3, 4], &cfg).unwrap();
+        assert_eq!(cache.misses(), 4, "evicted set must be recomputed");
+        // A zero capacity is clamped so the cache still functions.
+        assert_eq!(ExplanationCache::with_capacity(0).capacity(), 1);
     }
 
     #[test]

@@ -44,16 +44,25 @@
 //! }
 //! ```
 
+// The serving path must degrade into typed errors, never panics: a malformed
+// request or file is routine input for a long-lived service. Vetted
+// invariants may be locally allowed with a justification.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use std::fmt;
+use std::path::Path;
+use std::sync::Mutex;
 
 use rand::Rng;
 
 use dssddi_data::{ChronicCohort, DrugRegistry};
 use dssddi_graph::{BipartiteGraph, Interaction, SignedGraph};
+use dssddi_tensor::serde::{self as tserde, ByteReader, ByteWriter};
 use dssddi_tensor::Matrix;
 
 use crate::config::{Backbone, DssddiConfig};
 use crate::ms_module::{Explanation, ExplanationCache};
+use crate::persist::{self, section};
 use crate::system::Dssddi;
 use crate::CoreError;
 
@@ -425,13 +434,13 @@ impl ServiceBuilder {
     pub fn build_support(self, ddi_graph: &SignedGraph) -> Result<DecisionService, CoreError> {
         self.validate()?;
         let registry = self.registry_for(ddi_graph)?;
-        Ok(DecisionService {
+        Ok(DecisionService::assemble(
             registry,
-            state: ServiceState::SupportOnly {
+            ServiceState::SupportOnly {
                 ddi: ddi_graph.clone(),
                 config: self.config,
             },
-        })
+        ))
     }
 
     /// Validates, then fits the full system on explicit training matrices.
@@ -453,13 +462,13 @@ impl ServiceBuilder {
             &self.config,
             rng,
         )?;
-        Ok(DecisionService {
+        Ok(DecisionService::assemble(
             registry,
-            state: ServiceState::Fitted {
+            ServiceState::Fitted {
                 engine: Box::new(engine),
                 n_features: train_features.cols(),
             },
-        })
+        ))
     }
 
     /// Validates, then fits the full system on the observed subset of a
@@ -482,13 +491,13 @@ impl ServiceBuilder {
             &self.config,
             rng,
         )?;
-        Ok(DecisionService {
+        Ok(DecisionService::assemble(
             registry,
-            state: ServiceState::Fitted {
+            ServiceState::Fitted {
                 engine: Box::new(engine),
                 n_features: cohort.features().cols(),
             },
-        })
+        ))
     }
 }
 
@@ -497,6 +506,13 @@ impl ServiceBuilder {
 pub struct DecisionService {
     registry: DrugRegistry,
     state: ServiceState,
+    /// Cross-batch explanation memo. The DDI graph is immutable after fit,
+    /// so cached community searches stay valid for the service's lifetime;
+    /// the cache itself is size-bounded (LRU) so a long-lived service cannot
+    /// grow it without bound. A `Mutex` (rather than `RefCell`) keeps the
+    /// serving API `&self` while leaving the service `Sync`, so one fitted
+    /// service can sit behind concurrent request handlers.
+    explanations: Mutex<ExplanationCache>,
 }
 
 /// What the service was built with. A fitted engine already owns the DDI
@@ -526,6 +542,138 @@ impl fmt::Debug for DecisionService {
 }
 
 impl DecisionService {
+    /// Assembles a service around a state, attaching the service-owned
+    /// explanation cache.
+    fn assemble(registry: DrugRegistry, state: ServiceState) -> Self {
+        Self {
+            registry,
+            state,
+            explanations: Mutex::new(ExplanationCache::new()),
+        }
+    }
+
+    /// Locks the explanation cache, recovering from a poisoned lock: the
+    /// cache holds only memoized results, so state left by a panicking
+    /// thread is still a valid cache.
+    fn lock_explanations(&self) -> std::sync::MutexGuard<'_, ExplanationCache> {
+        self.explanations
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Saves the service to a `DSSD` container file: the registry identity,
+    /// the configuration and — for fitted services — every trained parameter
+    /// set, so the service can be reloaded on a serving host and produce
+    /// byte-identical suggestions. See [`dssddi_tensor::serde`] for the
+    /// on-disk format (magic bytes, version, CRC-32 checksum).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        let mut w = ByteWriter::new();
+        persist::put_section(&mut w, section::SERVICE);
+        // Registry identity: digest plus the DID-ordered names, so a
+        // mismatch on load can name the offending drug.
+        w.put_u64(self.registry.digest());
+        let names = self.registry.names();
+        w.put_usize(names.len());
+        for name in names {
+            w.put_str(name);
+        }
+        match &self.state {
+            ServiceState::Fitted { engine, n_features } => {
+                w.put_u8(1);
+                w.put_usize(*n_features);
+                engine.write_into(&mut w);
+            }
+            ServiceState::SupportOnly { ddi, config } => {
+                w.put_u8(0);
+                persist::write_signed_graph(&mut w, ddi);
+                persist::write_config(&mut w, config);
+            }
+        }
+        tserde::save_container(path, w.as_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a service saved by [`DecisionService::save`], reattaching the
+    /// caller's [`DrugRegistry`] after verifying it is the registry the
+    /// service was persisted with (same drugs, same DIDs) — otherwise the
+    /// typed [`DrugId`]s baked into the trained parameters would silently
+    /// resolve to different drugs.
+    ///
+    /// Truncated, corrupt or version-mismatched files produce a typed
+    /// [`CoreError::Persistence`]; loading never panics.
+    pub fn load(path: impl AsRef<Path>, registry: DrugRegistry) -> Result<Self, CoreError> {
+        let payload = tserde::load_container(path)?;
+        let mut r = ByteReader::new(&payload);
+        persist::expect_section(&mut r, section::SERVICE, "service")?;
+        let digest = r.take_u64("service.registry_digest")?;
+        let n_names = r.take_usize("service.registry_len")?;
+        if n_names != registry.len() {
+            return Err(CoreError::persistence(format!(
+                "service was persisted with {n_names} drugs but the provided registry has {}",
+                registry.len()
+            )));
+        }
+        for did in 0..n_names {
+            let stored = r.take_str("service.registry_name")?;
+            let provided = registry.name_of(did).unwrap_or("<missing>");
+            if stored != provided {
+                return Err(CoreError::persistence(format!(
+                    "registry mismatch at DID {did}: service was persisted with \
+                     {stored:?} but the provided registry has {provided:?}"
+                )));
+            }
+        }
+        if digest != registry.digest() {
+            return Err(CoreError::persistence(
+                "registry digest mismatch: the provided registry is not the one the \
+                 service was persisted with",
+            ));
+        }
+        let state = match r.take_u8("service.state_tag")? {
+            1 => {
+                let n_features = r.take_usize("service.n_features")?;
+                let engine = Dssddi::read_from(&mut r)?;
+                ServiceState::Fitted {
+                    engine: Box::new(engine),
+                    n_features,
+                }
+            }
+            0 => {
+                let ddi = persist::read_signed_graph(&mut r)?;
+                let config = persist::read_config(&mut r)?;
+                ServiceState::SupportOnly { ddi, config }
+            }
+            other => {
+                return Err(CoreError::persistence(format!(
+                    "unknown service state tag {other}"
+                )))
+            }
+        };
+        if !r.is_exhausted() {
+            return Err(CoreError::persistence(format!(
+                "{} unexpected trailing bytes after the service state",
+                r.remaining()
+            )));
+        }
+        let service = Self::assemble(registry, state);
+        if service.registry.len() != service.ddi_graph().node_count() {
+            return Err(CoreError::persistence(format!(
+                "persisted DDI graph has {} nodes but the registry has {} drugs",
+                service.ddi_graph().node_count(),
+                service.registry.len()
+            )));
+        }
+        Ok(service)
+    }
+
+    /// Cumulative `(hits, misses)` of the service-owned explanation cache —
+    /// a serving-side observability hook for how often community searches
+    /// are being collapsed across batches.
+    pub fn explanation_cache_stats(&self) -> (usize, usize) {
+        let cache = self.lock_explanations();
+        (cache.hits(), cache.misses())
+    }
+
     /// Resolves a free-form drug reference (name, `"48"`, `"DID 48"`).
     pub fn resolve_drug(&self, query: &str) -> Result<DrugId, CoreError> {
         self.registry
@@ -596,8 +744,10 @@ impl DecisionService {
     /// Score prediction is amortised: the patients' feature vectors are
     /// stacked into one matrix and pushed through the model in a single
     /// forward pass, and explanations are memoized per distinct suggested
-    /// drug set — with homogeneous cohorts most patients share a handful of
-    /// communities.
+    /// drug set in the service-owned, size-bounded cache — with homogeneous
+    /// cohorts most patients share a handful of communities, and because the
+    /// DDI graph is immutable after fit the memo keeps paying off across
+    /// batches, not just within one.
     pub fn suggest_batch(
         &self,
         requests: &[SuggestRequest],
@@ -642,7 +792,7 @@ impl DecisionService {
         let features = Matrix::from_vec(requests.len(), n_features, stacked)?;
         let scores = engine.predict_scores(&features)?;
 
-        let mut cache = ExplanationCache::new();
+        let mut cache = self.lock_explanations();
         let mut responses = Vec::with_capacity(requests.len());
         for (row, request) in requests.iter().enumerate() {
             let ranked = self.ranked_candidates(scores.row(row), request)?;
@@ -778,6 +928,7 @@ impl DecisionService {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
     use dssddi_data::{
@@ -816,6 +967,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(seed);
         let ddi = generate_ddi_graph(&registry, &DdiConfig::default(), &mut rng).unwrap();
         ServiceBuilder::fast().build_support(&ddi).unwrap()
+    }
+
+    #[test]
+    fn decision_service_is_send_and_sync() {
+        // The sharded serving front-end shares one fitted service across
+        // request-handler threads; losing these bounds is a regression.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DecisionService>();
     }
 
     #[test]
@@ -1033,6 +1192,30 @@ mod tests {
                 )
             }
             other => panic!("expected InvalidInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn explanation_cache_is_shared_across_batches() {
+        let (service, cohort, held_out) = fitted_service(19);
+        let requests: Vec<SuggestRequest> = held_out[..6]
+            .iter()
+            .map(|&p| SuggestRequest::new(PatientId::new(p), cohort.features().row(p).to_vec(), 3))
+            .collect();
+        let first = service.suggest_batch(&requests).unwrap();
+        let (h1, m1) = service.explanation_cache_stats();
+        assert!(
+            m1 >= 1,
+            "first batch must run at least one community search"
+        );
+        // Serving the same batch again answers every explanation from the
+        // service-owned cache: zero new community searches.
+        let second = service.suggest_batch(&requests).unwrap();
+        let (h2, m2) = service.explanation_cache_stats();
+        assert_eq!(m2, m1, "second batch must not search again");
+        assert_eq!(h2, h1 + requests.len());
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.suggestion_satisfaction, b.suggestion_satisfaction);
         }
     }
 

@@ -7,17 +7,25 @@
 //! together with the closest-truss-community explanation and the Suggestion
 //! Satisfaction score.
 
+// Like the service layer, the engine's serving path returns typed errors
+// instead of panicking; see `service.rs` for the rationale.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::path::Path;
+
 use rand::Rng;
 
 use dssddi_data::ChronicCohort;
 use dssddi_graph::{BipartiteGraph, SignedGraph};
 use dssddi_ml::top_k_indices;
+use dssddi_tensor::serde::{self as tserde, ByteReader, ByteWriter, SerdeError};
 use dssddi_tensor::Matrix;
 
 use crate::config::{DrugFeatureSource, DssddiConfig};
 use crate::ddi_module::DdiModule;
 use crate::md_module::MdModule;
 use crate::ms_module::{explain_suggestion, Explanation, ExplanationCache};
+use crate::persist::{self, section};
 use crate::CoreError;
 
 /// One suggested drug with its prediction score.
@@ -165,6 +173,15 @@ impl Dssddi {
         config: &DssddiConfig,
         rng: &mut impl Rng,
     ) -> Result<Self, CoreError> {
+        if let Some(&bad) = observed_patients
+            .iter()
+            .find(|&&p| p >= cohort.n_patients())
+        {
+            return Err(CoreError::invalid_input(format!(
+                "observed patient index {bad} is out of range for a cohort of {} patients",
+                cohort.n_patients()
+            )));
+        }
         let train_features = cohort.features().select_rows(observed_patients);
         let train_graph = cohort.bipartite_graph(observed_patients)?;
         Self::fit(
@@ -232,6 +249,76 @@ impl Dssddi {
         explain_suggestion(&self.ddi_graph, drugs, &self.config.ms)
     }
 
+    /// Serializes the fitted system into a payload.
+    pub(crate) fn write_into(&self, w: &mut ByteWriter) {
+        persist::put_section(w, section::ENGINE);
+        match &self.ddi_module {
+            Some(module) => {
+                w.put_bool(true);
+                module.write_into(w);
+            }
+            None => w.put_bool(false),
+        }
+        self.md_module.write_into(w);
+        persist::write_signed_graph(w, &self.ddi_graph);
+        persist::write_config(w, &self.config);
+    }
+
+    /// Reconstructs a fitted system written by [`Dssddi::write_into`].
+    pub(crate) fn read_from(r: &mut ByteReader<'_>) -> Result<Self, SerdeError> {
+        persist::expect_section(r, section::ENGINE, "engine")?;
+        let ddi_module = if r.take_bool("engine.has_ddi_module")? {
+            Some(DdiModule::read_from(r)?)
+        } else {
+            None
+        };
+        let md_module = MdModule::read_from(r)?;
+        let ddi_graph = persist::read_signed_graph(r)?;
+        let config = persist::read_config(r)?;
+        if md_module.n_drugs() != ddi_graph.node_count() {
+            return Err(SerdeError::Corrupt {
+                what: format!(
+                    "persisted MD module covers {} drugs but the DDI graph has {} nodes",
+                    md_module.n_drugs(),
+                    ddi_graph.node_count()
+                ),
+            });
+        }
+        Ok(Self {
+            ddi_module,
+            md_module,
+            ddi_graph,
+            config,
+        })
+    }
+
+    /// Saves the fitted system to a `DSSD` container file, so a model
+    /// trained once can be shipped to serving hosts. See
+    /// [`dssddi_tensor::serde`] for the on-disk format.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        let mut w = ByteWriter::new();
+        self.write_into(&mut w);
+        tserde::save_container(path, w.as_bytes())?;
+        Ok(())
+    }
+
+    /// Loads a fitted system from a file written by [`Dssddi::save`].
+    ///
+    /// Truncated, corrupt or version-mismatched files produce a typed
+    /// [`CoreError::Persistence`] — loading never panics.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, CoreError> {
+        let payload = tserde::load_container(path)?;
+        let mut r = ByteReader::new(&payload);
+        let engine = Self::read_from(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(CoreError::persistence(format!(
+                "{} unexpected trailing bytes after the engine state",
+                r.remaining()
+            )));
+        }
+        Ok(engine)
+    }
+
     /// The trained DDI module, when the configuration uses one.
     pub fn ddi_module(&self) -> Option<&DdiModule> {
         self.ddi_module.as_ref()
@@ -255,6 +342,7 @@ impl Dssddi {
 
 #[cfg(test)]
 #[allow(deprecated)] // the legacy shims must keep working until removal
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
     use crate::config::{Backbone, DssddiConfig};

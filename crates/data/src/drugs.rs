@@ -516,6 +516,30 @@ impl DrugRegistry {
         self.drugs.iter()
     }
 
+    /// Generic names of all drugs in DID order — the identity a persisted
+    /// service records so typed [`Drug`] ids survive a save/load round trip.
+    pub fn names(&self) -> Vec<&'static str> {
+        self.drugs.iter().map(|d| d.name).collect()
+    }
+
+    /// A content digest (FNV-1a over the DID-ordered names) identifying the
+    /// formulary. A service persisted against one registry refuses to load
+    /// against a registry with a different digest: the DIDs baked into its
+    /// trained parameters would silently point at different drugs.
+    pub fn digest(&self) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for drug in &self.drugs {
+            for b in drug.name.bytes() {
+                hash ^= b as u64;
+                hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+            }
+            // Separator so ["ab","c"] and ["a","bc"] hash differently.
+            hash ^= 0xFF;
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
     /// DIDs of all drugs prescribed for a disease.
     pub fn drugs_for(&self, disease: Disease) -> Vec<usize> {
         self.drugs
@@ -646,6 +670,20 @@ mod tests {
             total > 0.9 && total < 1.2,
             "prevalence mass {total} drifted"
         );
+    }
+
+    #[test]
+    fn names_and_digest_identify_the_formulary() {
+        let reg = DrugRegistry::standard();
+        let names = reg.names();
+        assert_eq!(names.len(), NUM_DRUGS);
+        assert_eq!(names[48], "Metformin");
+        // The digest is deterministic and sensitive to the name sequence.
+        assert_eq!(reg.digest(), DrugRegistry::standard().digest());
+        let truncated = DrugRegistry {
+            drugs: reg.drugs[..NUM_DRUGS - 1].to_vec(),
+        };
+        assert_ne!(reg.digest(), truncated.digest());
     }
 
     #[test]

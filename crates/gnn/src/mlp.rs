@@ -6,6 +6,7 @@
 
 use rand::Rng;
 
+use dssddi_tensor::serde::{ByteReader, ByteWriter, SerdeError};
 use dssddi_tensor::{init, Binder, ParamId, ParamSet, Tape, TensorError, Var};
 
 /// Activation applied between (and optionally after) MLP layers.
@@ -21,6 +22,31 @@ pub enum Activation {
     Sigmoid,
     /// No activation.
     Identity,
+}
+
+impl Activation {
+    /// Stable on-disk tag of the activation.
+    pub fn tag(self) -> u8 {
+        match self {
+            Activation::Relu => 0,
+            Activation::LeakyRelu => 1,
+            Activation::Tanh => 2,
+            Activation::Sigmoid => 3,
+            Activation::Identity => 4,
+        }
+    }
+
+    /// Inverse of [`Activation::tag`].
+    pub fn from_tag(tag: u8) -> Option<Self> {
+        match tag {
+            0 => Some(Activation::Relu),
+            1 => Some(Activation::LeakyRelu),
+            2 => Some(Activation::Tanh),
+            3 => Some(Activation::Sigmoid),
+            4 => Some(Activation::Identity),
+            _ => None,
+        }
+    }
 }
 
 /// A fully connected network `x W₁ + b₁ → act → … → x Wₗ + bₗ`.
@@ -78,6 +104,65 @@ impl Mlp {
     /// Number of linear layers.
     pub fn n_layers(&self) -> usize {
         self.layers.len()
+    }
+
+    /// Serializes the MLP's structure (layer parameter ids, dimensions and
+    /// activations). Parameter *values* live in the shared [`ParamSet`] and
+    /// are serialized with it, not here.
+    pub fn write_into(&self, w: &mut ByteWriter) {
+        w.put_usize(self.layers.len());
+        for &(wid, bid) in &self.layers {
+            w.put_param_id(wid);
+            w.put_param_id(bid);
+        }
+        w.put_usize_slice(&self.dims);
+        w.put_u8(self.hidden_activation.tag());
+        w.put_u8(self.output_activation.tag());
+    }
+
+    /// Reconstructs an MLP written by [`Mlp::write_into`], validating every
+    /// parameter id and layer shape against `params` so a corrupt file can
+    /// never produce an MLP that panics at inference time.
+    pub fn read_from(r: &mut ByteReader<'_>, params: &ParamSet) -> Result<Self, SerdeError> {
+        let n_layers = r.take_usize("mlp.layers")?;
+        let mut layers = Vec::new();
+        for _ in 0..n_layers {
+            let wid = r.take_param_id(params, "mlp.layer.w")?;
+            let bid = r.take_param_id(params, "mlp.layer.b")?;
+            layers.push((wid, bid));
+        }
+        let dims = r.take_usize_vec("mlp.dims")?;
+        if dims.len() < 2 || dims.len() != n_layers + 1 {
+            return Err(SerdeError::Corrupt {
+                what: format!("mlp: {} dims do not match {} layers", dims.len(), n_layers),
+            });
+        }
+        for (i, &(wid, bid)) in layers.iter().enumerate() {
+            let (expect_in, expect_out) = (dims[i], dims[i + 1]);
+            if params.get(wid).shape() != (expect_in, expect_out)
+                || params.get(bid).shape() != (1, expect_out)
+            {
+                return Err(SerdeError::Corrupt {
+                    what: format!(
+                        "mlp: layer {i} parameters do not have the declared \
+                         {expect_in}->{expect_out} shape"
+                    ),
+                });
+            }
+        }
+        let hidden = r.take_u8("mlp.hidden_activation")?;
+        let output = r.take_u8("mlp.output_activation")?;
+        let decode = |tag: u8| {
+            Activation::from_tag(tag).ok_or_else(|| SerdeError::Corrupt {
+                what: format!("mlp: unknown activation tag {tag}"),
+            })
+        };
+        Ok(Self {
+            layers,
+            dims,
+            hidden_activation: decode(hidden)?,
+            output_activation: decode(output)?,
+        })
     }
 
     /// Runs the MLP on `x` (shape `n x input_dim`), binding its parameters
@@ -177,6 +262,49 @@ mod tests {
             last = tape.value(loss).get(0, 0);
         }
         assert!(last < 0.1, "XOR not learned, loss {last}");
+    }
+
+    #[test]
+    fn mlp_round_trips_through_serde() {
+        let mut params = ParamSet::new();
+        let mut rng = StdRng::seed_from_u64(9);
+        let mlp = Mlp::new(
+            "m",
+            &[3, 5, 2],
+            Activation::LeakyRelu,
+            Activation::Sigmoid,
+            &mut params,
+            &mut rng,
+        );
+        let mut w = ByteWriter::new();
+        mlp.write_into(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = ByteReader::new(&bytes);
+        let back = Mlp::read_from(&mut r, &params).unwrap();
+        assert_eq!(back.input_dim(), 3);
+        assert_eq!(back.output_dim(), 2);
+        assert_eq!(back.n_layers(), 2);
+
+        // The reloaded MLP computes the same outputs with the same ParamSet.
+        let x = Matrix::rand_uniform(4, 3, -1.0, 1.0, &mut rng);
+        let mut t1 = Tape::new();
+        let mut b1 = Binder::new();
+        let x1 = t1.constant(x.clone());
+        let y1 = mlp.forward(&mut t1, &params, &mut b1, x1).unwrap();
+        let mut t2 = Tape::new();
+        let mut b2 = Binder::new();
+        let x2 = t2.constant(x);
+        let y2 = back.forward(&mut t2, &params, &mut b2, x2).unwrap();
+        assert_eq!(t1.value(y1), t2.value(y2));
+
+        // A reader over an empty ParamSet rejects the parameter ids.
+        let mut r = ByteReader::new(&bytes);
+        assert!(Mlp::read_from(&mut r, &ParamSet::new()).is_err());
+        // Truncation errors instead of panicking.
+        for cut in 0..bytes.len() {
+            let mut r = ByteReader::new(&bytes[..cut]);
+            assert!(Mlp::read_from(&mut r, &params).is_err());
+        }
     }
 
     #[test]

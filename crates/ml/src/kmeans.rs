@@ -21,6 +21,35 @@ pub struct KMeans {
 }
 
 impl KMeans {
+    /// Reassembles a fitted model from its parts (model persistence).
+    ///
+    /// Validates that at least one centroid exists and that every assignment
+    /// refers to an existing centroid, so a model restored from a corrupt
+    /// file cannot panic later in [`KMeans::predict_row`].
+    pub fn from_parts(
+        centroids: Matrix,
+        assignments: Vec<usize>,
+        inertia: f32,
+    ) -> Result<Self, MlError> {
+        if centroids.rows() == 0 {
+            return Err(MlError::EmptyInput {
+                what: "k-means needs at least one centroid",
+            });
+        }
+        if let Some(&bad) = assignments.iter().find(|&&a| a >= centroids.rows()) {
+            return Err(MlError::DimensionMismatch {
+                expected: centroids.rows(),
+                found: bad,
+                what: "cluster assignment out of centroid range",
+            });
+        }
+        Ok(Self {
+            centroids,
+            assignments,
+            inertia,
+        })
+    }
+
     /// Cluster centroids (one row per cluster).
     pub fn centroids(&self) -> &Matrix {
         &self.centroids
@@ -242,6 +271,24 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let km = fit_kmeans(&x, 3, 20, &mut rng).unwrap();
         assert!(km.inertia() < 1e-6);
+    }
+
+    #[test]
+    fn from_parts_round_trips_and_validates() {
+        let x = blobs(10, 9);
+        let mut rng = StdRng::seed_from_u64(10);
+        let km = fit_kmeans(&x, 3, 30, &mut rng).unwrap();
+        let rebuilt = KMeans::from_parts(
+            km.centroids().clone(),
+            km.assignments().to_vec(),
+            km.inertia(),
+        )
+        .unwrap();
+        assert_eq!(rebuilt.predict(&x), km.predict(&x));
+        assert_eq!(rebuilt.k(), km.k());
+
+        assert!(KMeans::from_parts(Matrix::zeros(0, 2), vec![], 0.0).is_err());
+        assert!(KMeans::from_parts(Matrix::zeros(2, 2), vec![0, 5], 0.0).is_err());
     }
 
     #[test]

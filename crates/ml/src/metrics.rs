@@ -6,19 +6,26 @@ use dssddi_tensor::Matrix;
 use crate::MlError;
 
 /// Top-k drug indices for one patient, given a score row.
+///
+/// `k` larger than the row is truncated to the row length, and NaN scores
+/// always rank *below* every real score (a drug whose prediction is
+/// undefined must never displace one with a genuine score).
 pub fn top_k_indices(scores: &[f32], k: usize) -> Vec<usize> {
+    let rank = |x: f32| if x.is_nan() { f32::NEG_INFINITY } else { x };
     let mut idx: Vec<usize> = (0..scores.len()).collect();
-    idx.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
+    idx.sort_by(|&a, &b| rank(scores[b]).total_cmp(&rank(scores[a])));
     idx.truncate(k);
     idx
 }
 
 /// Aggregate Precision@k over all patients (Eq. 21): the total number of
 /// suggested-and-taken drugs divided by the total number of suggestions.
+///
+/// Edge cases are defined, not NaN: `k = 0`, mismatched shapes and an empty
+/// score matrix return an [`MlError`]; `k` larger than the number of drugs
+/// counts only the `n_drugs` suggestions that can actually be made; a
+/// patient with an all-zero label row simply contributes no hits, and a
+/// batch with no relevant labels at all scores 0.0.
 pub fn precision_at_k(scores: &Matrix, labels: &Matrix, k: usize) -> Result<f64, MlError> {
     validate(scores, labels, k)?;
     let mut hit = 0usize;
@@ -33,6 +40,9 @@ pub fn precision_at_k(scores: &Matrix, labels: &Matrix, k: usize) -> Result<f64,
 
 /// Aggregate Recall@k over all patients (Eq. 22): the total number of
 /// suggested-and-taken drugs divided by the total number of drugs taken.
+///
+/// Same defined edge cases as [`precision_at_k`]; when no patient takes any
+/// drug the denominator would be zero and the recall is defined as 0.0.
 pub fn recall_at_k(scores: &Matrix, labels: &Matrix, k: usize) -> Result<f64, MlError> {
     validate(scores, labels, k)?;
     let mut hit = 0usize;
@@ -46,6 +56,11 @@ pub fn recall_at_k(scores: &Matrix, labels: &Matrix, k: usize) -> Result<f64, Ml
 }
 
 /// Mean NDCG@k over patients (Eq. 23–24) with binary graded relevance.
+///
+/// Patients with an all-zero label row have no defined ideal ranking and are
+/// skipped (the mean runs over patients with at least one relevant drug); a
+/// batch where *every* row is all-zero returns 0.0. `k = 0` is an
+/// [`MlError`]; `k` beyond the number of drugs uses the full ranking.
 pub fn ndcg_at_k(scores: &Matrix, labels: &Matrix, k: usize) -> Result<f64, MlError> {
     validate(scores, labels, k)?;
     let mut total = 0.0f64;
@@ -98,6 +113,9 @@ pub fn ranking_metrics(
     })
 }
 
+/// Shared argument validation: the same shape, a positive `k` and at least
+/// one patient. `k = 0` is rejected here (rather than silently scoring 0.0)
+/// because it is always a caller bug, never a data condition.
 fn validate(scores: &Matrix, labels: &Matrix, k: usize) -> Result<(), MlError> {
     if scores.shape() != labels.shape() {
         return Err(MlError::DimensionMismatch {
@@ -209,5 +227,43 @@ mod tests {
     fn top_k_handles_k_larger_than_items() {
         let top = top_k_indices(&[0.1, 0.5], 10);
         assert_eq!(top, vec![1, 0]);
+        assert!(top_k_indices(&[], 3).is_empty());
+    }
+
+    #[test]
+    fn nan_scores_rank_below_every_real_score() {
+        let top = top_k_indices(&[f32::NAN, 0.1, f32::NAN, 0.9, -5.0], 5);
+        assert_eq!(&top[..3], &[3, 1, 4], "real scores must come first");
+        // With k = 2 the NaN entries never make the cut.
+        assert_eq!(
+            top_k_indices(&[f32::NAN, 0.1, f32::NAN, 0.9, -5.0], 2),
+            [3, 1]
+        );
+    }
+
+    #[test]
+    fn k_beyond_the_formulary_is_well_defined() {
+        let (scores, labels) = toy();
+        // k = 100 >> 4 drugs: every drug is suggested, so precision is the
+        // label density over the 8 actually-possible suggestions and recall
+        // and NDCG reach 1.0. Nothing divides by k itself.
+        let p = precision_at_k(&scores, &labels, 100).unwrap();
+        assert!((p - 3.0 / 8.0).abs() < 1e-12);
+        assert!((recall_at_k(&scores, &labels, 100).unwrap() - 1.0).abs() < 1e-12);
+        let n = ndcg_at_k(&scores, &labels, 100).unwrap();
+        assert!(n.is_finite() && n > 0.0 && n <= 1.0);
+    }
+
+    #[test]
+    fn all_zero_label_rows_yield_zero_not_nan() {
+        let labels = Matrix::zeros(3, 4);
+        let scores = Matrix::from_fn(3, 4, |r, c| (r * 4 + c) as f32 / 12.0);
+        for k in 1..=6 {
+            let m = ranking_metrics(&scores, &labels, k).unwrap();
+            assert_eq!(m.precision, 0.0);
+            assert_eq!(m.recall, 0.0);
+            assert_eq!(m.ndcg, 0.0);
+            assert!(m.precision.is_finite() && m.recall.is_finite() && m.ndcg.is_finite());
+        }
     }
 }

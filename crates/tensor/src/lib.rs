@@ -43,6 +43,7 @@ mod matrix;
 mod ops;
 mod optim;
 mod params;
+pub mod serde;
 mod sparse;
 mod tape;
 

@@ -75,7 +75,40 @@
 //!         println!("warning: {} is antagonistic with {}", pair.a_name, pair.b_name);
 //!     }
 //! }
+//!
+//! // Persist the fitted service and reload it on a serving host. The
+//! // reloaded service produces byte-identical suggestions; damaged files
+//! // are rejected with typed errors.
+//! service.save("dssddi.dssd").unwrap();
+//! let reloaded = DecisionService::load("dssddi.dssd", DrugRegistry::standard()).unwrap();
+//! assert_eq!(
+//!     reloaded.suggest_batch(&requests).unwrap().len(),
+//!     requests.len(),
+//! );
 //! ```
+//!
+//! ## Persistence (`DSSD` files)
+//!
+//! A fitted [`DecisionService`](core::DecisionService) (or engine-level
+//! [`Dssddi`](core::Dssddi)) can be saved to a versioned, dependency-free
+//! binary container and reloaded in a fresh process —
+//! `save(path)` / `load(path, registry)`. The on-disk layout is 4 magic
+//! bytes `"DSSD"`, a little-endian `u16` format version (currently 1), a
+//! `u64` payload length, the payload, and a CRC-32 checksum of the payload
+//! (see [`tensor::serde`]). The payload records the registry's drug names
+//! (so typed [`DrugId`](core::DrugId)s survive reload and a wrong registry
+//! is refused), the configuration, and every trained parameter set
+//! (MDGCN weights, DDIGCN embeddings, treatment clusters). Loading is fully
+//! bounds-checked: truncated, corrupt or version-mismatched files return
+//! [`CoreError::Persistence`](core::CoreError::Persistence), never panic.
+//! See `examples/save_load.rs` for the end-to-end round trip.
+//!
+//! Serving also memoizes explanation subgraphs in a service-owned,
+//! size-bounded LRU cache (default
+//! [`DEFAULT_EXPLANATION_CACHE_CAPACITY`](core::DEFAULT_EXPLANATION_CACHE_CAPACITY)
+//! = 1024 drug sets), shared across `suggest_batch` calls — the DDI graph is
+//! immutable after fit, so cached community searches stay valid for the
+//! service's lifetime while memory use stays flat.
 //!
 //! ## Migrating from the research facade
 //!
