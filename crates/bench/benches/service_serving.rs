@@ -1,0 +1,143 @@
+//! Service-layer serving benchmarks (the ROADMAP's criterion-benches item):
+//! `suggest_batch` with cold versus memoized explanations, the taped versus
+//! tape-free score-prediction paths behind it, `check_prescription`, and
+//! save/load throughput of the `DSSD` container.
+//!
+//! The headline comparison for the tape-free inference engine is
+//! `predict_scores/batch64_taped` against `predict_scores/batch64_tape_free`
+//! — identical work, identical (bit-for-bit) outputs, no autodiff tape on
+//! the second. `suggest_batch/batch64_cold` measures the full serving path
+//! (prediction + ranking + community search) with the explanation cache
+//! cleared before every batch; `batch64_memoized` leaves the cache warm.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+
+use dssddi_bench::BenchWorld;
+use dssddi_core::{CheckPrescriptionRequest, DrugId};
+use dssddi_tensor::Matrix;
+
+fn bench_suggest_batch(c: &mut Criterion) {
+    let world = BenchWorld::new(200, 11);
+    let service = world.fitted_service(120, 13);
+    let held_out: Vec<usize> = (120..184).collect();
+    let requests = world.suggest_requests(&held_out);
+    assert_eq!(requests.len(), 64);
+
+    let mut group = c.benchmark_group("suggest_batch");
+    group.sample_size(10);
+    group.bench_function("batch64_cold", |b| {
+        b.iter_batched(
+            || service.clear_explanation_cache(),
+            |_| service.suggest_batch(&requests).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    // Single-shard cold serving: the pre-PR execution shape (one thread,
+    // every explanation searched inline) for the ≥2x throughput comparison.
+    group.bench_function("batch64_cold_serial_1shard", |b| {
+        b.iter_batched(
+            || service.clear_explanation_cache(),
+            |_| service.suggest_batch_sharded(&requests, 1).unwrap(),
+            BatchSize::SmallInput,
+        )
+    });
+    // Warm the memo once, then serve the same batch from it.
+    service.suggest_batch(&requests).unwrap();
+    group.bench_function("batch64_memoized", |b| {
+        b.iter(|| service.suggest_batch(&requests).unwrap())
+    });
+    group.bench_function("batch64_serial_1shard", |b| {
+        b.iter(|| service.suggest_batch_sharded(&requests, 1).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_predict_scores(c: &mut Criterion) {
+    let world = BenchWorld::new(200, 11);
+    let service = world.fitted_service(120, 13);
+    let engine = service.engine().expect("fitted service has an engine");
+    let held_out: Vec<usize> = (120..184).collect();
+    let features = world.cohort.features().select_rows(&held_out);
+
+    let mut group = c.benchmark_group("predict_scores");
+    group.sample_size(10);
+    group.bench_function("batch64_taped", |b| {
+        b.iter(|| engine.predict_scores_taped(&features).unwrap())
+    });
+    group.bench_function("batch64_tape_free", |b| {
+        b.iter(|| engine.predict_scores(&features).unwrap())
+    });
+    // The two paths must agree bit-for-bit, or the comparison is void.
+    let taped = engine.predict_scores_taped(&features).unwrap();
+    let tape_free = engine.predict_scores(&features).unwrap();
+    assert_eq!(taped, tape_free);
+    group.finish();
+}
+
+fn bench_check_prescription(c: &mut Criterion) {
+    let world = BenchWorld::new(50, 11);
+    let service = world.fitted_service(40, 13);
+    // The paper's Fig. 8 antagonistic pair plus a synergistic pair.
+    let request = CheckPrescriptionRequest::new(vec![
+        DrugId::new(61),
+        DrugId::new(59),
+        DrugId::new(10),
+        DrugId::new(5),
+    ]);
+    let mut group = c.benchmark_group("check_prescription");
+    group.sample_size(10);
+    group.bench_function("four_drug_prescription", |b| {
+        b.iter(|| service.check_prescription(&request).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_save_load(c: &mut Criterion) {
+    let world = BenchWorld::new(120, 11);
+    let service = world.fitted_service(90, 13);
+    let dir = std::env::temp_dir().join("dssddi_bench_save_load");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("service.dssd");
+
+    let mut group = c.benchmark_group("persistence");
+    group.sample_size(10);
+    group.bench_function("save_fitted_service", |b| {
+        b.iter(|| service.save(&path).unwrap())
+    });
+    service.save(&path).unwrap();
+    let registry = world.registry.clone();
+    group.bench_function("load_fitted_service", |b| {
+        b.iter(|| {
+            dssddi_core::DecisionService::load(&path, registry.clone()).unwrap();
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_file(&path);
+}
+
+fn bench_tensor_kernels(c: &mut Criterion) {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(5);
+    let a = Matrix::rand_uniform(256, 256, -1.0, 1.0, &mut rng);
+    let b = Matrix::rand_uniform(256, 256, -1.0, 1.0, &mut rng);
+    let mut group = c.benchmark_group("tensor_kernels");
+    group.sample_size(10);
+    group.bench_function("matmul_256", |b2| b2.iter(|| a.matmul(&b).unwrap()));
+    let mut out = Matrix::zeros(256, 256);
+    group.bench_function("matmul_into_256", |b2| {
+        b2.iter(|| a.matmul_into(&b, &mut out).unwrap())
+    });
+    group.bench_function("transpose_256", |b2| b2.iter(|| a.transpose()));
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_suggest_batch,
+    bench_predict_scores,
+    bench_check_prescription,
+    bench_save_load,
+    bench_tensor_kernels,
+);
+criterion_main!(benches);

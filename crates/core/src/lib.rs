@@ -31,7 +31,7 @@ pub use counterfactual::{CounterfactualLinks, TreatmentMatrix};
 pub use ddi_module::DdiModule;
 pub use md_module::MdModule;
 pub use ms_module::{
-    suggestion_satisfaction, Explanation, ExplanationCache, SignedEdge,
+    suggestion_satisfaction, Explanation, ExplanationCache, ExplanationIndex, SignedEdge,
     DEFAULT_EXPLANATION_CACHE_CAPACITY,
 };
 pub use service::{

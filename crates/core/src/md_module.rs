@@ -22,7 +22,8 @@ use dssddi_ml::fit_kmeans;
 use dssddi_ml::KMeans;
 use dssddi_tensor::serde::{ByteReader, ByteWriter, SerdeError};
 use dssddi_tensor::{
-    init, Adam, Binder, CsrMatrix, Matrix, Optimizer, ParamId, ParamSet, Tape, Var,
+    fused_linear_into, init, stable_sigmoid, ActivationKind, Adam, Binder, CsrMatrix, Matrix,
+    Optimizer, ParamId, ParamSet, ScratchPool, Tape, Var,
 };
 
 use crate::config::MdModuleConfig;
@@ -182,6 +183,12 @@ impl MdModule {
         let operators = bipartite_operators(train_graph)?;
         let betas = layer_betas(config.propagation_layers);
 
+        // The encoder re-feeds the same feature matrices every epoch; share
+        // them with the tapes through `Rc` so no epoch pays a full copy.
+        let patient_features_rc = Rc::new(train_features.clone());
+        let drug_features_rc = Rc::new(drug_features.clone());
+        let ddi_embeddings_rc = ddi_embeddings.as_ref().map(|m| Rc::new(m.clone()));
+
         let mut optimizer = Adam::new(config.learning_rate);
         let mut losses = Vec::with_capacity(config.epochs);
         let mut matched = 0usize;
@@ -216,11 +223,11 @@ impl MdModule {
                 patient_b,
                 drug_w,
                 drug_b,
-                train_features,
-                drug_features,
+                &patient_features_rc,
+                &drug_features_rc,
                 &operators,
                 &betas,
-                ddi_embeddings.as_ref(),
+                ddi_embeddings_rc.as_ref(),
             )?;
 
             let targets = Matrix::from_vec(batch.targets.len(), 1, batch.targets.clone())?;
@@ -274,11 +281,11 @@ impl MdModule {
             patient_b,
             drug_w,
             drug_b,
-            train_features,
-            drug_features,
+            &patient_features_rc,
+            &drug_features_rc,
             &operators,
             &betas,
-            ddi_embeddings.as_ref(),
+            ddi_embeddings_rc.as_ref(),
         )?;
         let drug_repr = tape.value(hd).clone();
         let counterfactual_match_rate = if total_cf == 0 {
@@ -429,16 +436,21 @@ impl MdModule {
     /// The pre-propagation patient representations `h_i` (Eq. 9) for a set of
     /// patients — the personalised embeddings the decoder consumes, and the
     /// quantity compared against LightGCN in Fig. 7(a).
+    ///
+    /// Runs tape-free (one fused kernel), producing the same bits as the
+    /// taped `matmul → add_broadcast_row → leaky_relu` chain used in
+    /// training.
     pub fn patient_representations(&self, features: &Matrix) -> Result<Matrix, CoreError> {
-        let mut tape = Tape::new();
-        let mut binder = Binder::new();
-        let x = tape.constant(features.clone());
-        let w = binder.bind(&mut tape, &self.params, self.patient_w);
-        let b = binder.bind(&mut tape, &self.params, self.patient_b);
-        let lin = tape.matmul(x, w)?;
-        let lin = tape.add_broadcast_row(lin, b)?;
-        let h = tape.leaky_relu(lin, 0.01);
-        Ok(tape.value(h).clone())
+        let hidden = self.params.get(self.patient_w).cols();
+        let mut out = Matrix::zeros(features.rows(), hidden);
+        fused_linear_into(
+            features,
+            self.params.get(self.patient_w),
+            self.params.get(self.patient_b),
+            ActivationKind::LeakyRelu(0.01),
+            &mut out,
+        )?;
+        Ok(out)
     }
 
     /// Treatment row for a previously unseen patient, derived from its
@@ -451,6 +463,12 @@ impl MdModule {
 
     /// Predicts medication-use scores (probabilities) for unobserved
     /// patients, one row per patient and one column per drug.
+    ///
+    /// This is the serving fast path: no [`Tape`], no per-op allocation —
+    /// the decoder input for each patient is assembled directly into a
+    /// scratch buffer that is reused across the whole batch, and the
+    /// decoder runs through [`Mlp::infer`]. Produces bit-identical scores
+    /// to [`MdModule::predict_scores_taped`] (asserted in tests).
     pub fn predict_scores(&self, features: &Matrix) -> Result<Matrix, CoreError> {
         if features.cols() != self.params.get(self.patient_w).rows() {
             return Err(CoreError::invalid_input(
@@ -458,6 +476,55 @@ impl MdModule {
             ));
         }
         let hp = self.patient_representations(features)?;
+        let n_drugs = self.drug_repr.rows();
+        let hidden = self.drug_repr.cols();
+        let mut pool = ScratchPool::new();
+        let mut scores = Matrix::zeros(features.rows(), n_drugs);
+        for p in 0..features.rows() {
+            let treat = self.treatment_for(features.row(p));
+            // Decoder input rows: `[h_i ⊙ h'_v, T_iv]` (Eq. 14).
+            let mut input = pool.take(n_drugs, hidden + 1);
+            let hp_row = hp.row(p);
+            for d in 0..n_drugs {
+                let hd_row = self.drug_repr.row(d);
+                let row = input.row_mut(d);
+                for c in 0..hidden {
+                    row[c] = hp_row[c] * hd_row[c];
+                }
+                row[hidden] = treat[d];
+            }
+            let logits = self.decoder.infer(&self.params, &input, &mut pool)?;
+            for d in 0..n_drugs {
+                scores.set(p, d, stable_sigmoid(logits.get(d, 0)));
+            }
+            pool.recycle(input);
+            pool.recycle(logits);
+        }
+        Ok(scores)
+    }
+
+    /// Reference scoring path running every forward pass through the full
+    /// autodiff [`Tape`] — the pre-optimization implementation, kept so
+    /// tests can assert the fast path is bit-identical and benches can
+    /// measure the speedup. Not used by the serving layer.
+    pub fn predict_scores_taped(&self, features: &Matrix) -> Result<Matrix, CoreError> {
+        if features.cols() != self.params.get(self.patient_w).rows() {
+            return Err(CoreError::invalid_input(
+                "patient feature dimension differs from the fitted model",
+            ));
+        }
+        // Taped Eq. 9 projection (the historical `patient_representations`).
+        let hp = {
+            let mut tape = Tape::new();
+            let mut binder = Binder::new();
+            let x = tape.constant(features.clone());
+            let w = binder.bind(&mut tape, &self.params, self.patient_w);
+            let b = binder.bind(&mut tape, &self.params, self.patient_b);
+            let lin = tape.matmul(x, w)?;
+            let lin = tape.add_broadcast_row(lin, b)?;
+            let h = tape.leaky_relu(lin, 0.01);
+            tape.value(h).clone()
+        };
         let n_drugs = self.drug_repr.rows();
         let mut scores = Matrix::zeros(features.rows(), n_drugs);
         let all_drugs: Vec<usize> = (0..n_drugs).collect();
@@ -515,21 +582,21 @@ fn encoder_forward(
     patient_b: ParamId,
     drug_w: ParamId,
     drug_b: ParamId,
-    patient_features: &Matrix,
-    drug_features: &Matrix,
+    patient_features: &Rc<Matrix>,
+    drug_features: &Rc<Matrix>,
     operators: &BipartiteOperators,
     betas: &[f32],
-    ddi_embeddings: Option<&Matrix>,
+    ddi_embeddings: Option<&Rc<Matrix>>,
 ) -> Result<(Var, Var), CoreError> {
     // Eq. 9-10: project both sides into the shared hidden space.
-    let xp = tape.constant(patient_features.clone());
+    let xp = tape.constant_shared(Rc::clone(patient_features));
     let wp = binder.bind(tape, params, patient_w);
     let bp = binder.bind(tape, params, patient_b);
     let hp_lin = tape.matmul(xp, wp)?;
     let hp_lin = tape.add_broadcast_row(hp_lin, bp)?;
     let hp = tape.leaky_relu(hp_lin, 0.01);
 
-    let xd = tape.constant(drug_features.clone());
+    let xd = tape.constant_shared(Rc::clone(drug_features));
     let wd = binder.bind(tape, params, drug_w);
     let bd = binder.bind(tape, params, drug_b);
     let hd_lin = tape.matmul(xd, wd)?;
@@ -553,7 +620,7 @@ fn encoder_forward(
     // Share the DDI relation embeddings: h'_v = h'_v + z_v.
     let final_d = match ddi_embeddings {
         Some(z) => {
-            let zv = tape.constant(z.clone());
+            let zv = tape.constant_shared(Rc::clone(z));
             tape.add(combined_d, zv)?
         }
         None => combined_d,
@@ -808,6 +875,32 @@ mod tests {
         )
         .unwrap();
         assert!(module.predict_scores(&Matrix::zeros(1, 9)).is_err());
+    }
+
+    #[test]
+    fn tape_free_scores_are_bit_identical_to_taped_scores() {
+        let (features, graph, drug_features, ddi) = toy();
+        let mut rng = StdRng::seed_from_u64(21);
+        let module = MdModule::fit(
+            &features,
+            &graph,
+            &drug_features,
+            &ddi,
+            None,
+            &quick_config(),
+            &mut rng,
+        )
+        .unwrap();
+        let query = Matrix::rand_uniform(7, 4, -1.0, 1.0, &mut rng);
+        let fast = module.predict_scores(&query).unwrap();
+        let taped = module.predict_scores_taped(&query).unwrap();
+        assert_eq!(fast.shape(), taped.shape());
+        let fast_bits: Vec<u32> = fast.data().iter().map(|v| v.to_bits()).collect();
+        let taped_bits: Vec<u32> = taped.data().iter().map(|v| v.to_bits()).collect();
+        assert_eq!(
+            fast_bits, taped_bits,
+            "serving fast path drifted from the taped reference"
+        );
     }
 
     #[test]

@@ -10,7 +10,10 @@
 
 use std::collections::HashMap;
 
-use dssddi_graph::{closest_truss_community, Community, Interaction, SignedGraph};
+use dssddi_graph::{
+    closest_truss_community_with, truss_decomposition, Community, Interaction, SignedGraph,
+    TrussDecomposition, UnGraph,
+};
 
 use crate::config::MsModuleConfig;
 use crate::CoreError;
@@ -162,27 +165,43 @@ impl ExplanationCache {
         }
     }
 
-    /// The explanation for `suggested`, computed at most once per distinct
-    /// cached drug set. The returned explanation lists the drugs in sorted
-    /// order.
-    pub fn explain(
-        &mut self,
-        ddi: &SignedGraph,
-        suggested: &[usize],
-        config: &MsModuleConfig,
-    ) -> Result<Explanation, CoreError> {
+    /// The canonical cache key of a suggested drug set: sorted, deduplicated
+    /// indices (a prescription is a set; order must not fragment the memo).
+    pub fn canonical_key(suggested: &[usize]) -> Vec<usize> {
         let mut key: Vec<usize> = suggested.to_vec();
         key.sort_unstable();
         key.dedup();
+        key
+    }
+
+    /// The cached explanation for `suggested`, if present (counts a hit and
+    /// refreshes the entry's recency). Separated from [`ExplanationCache::insert`]
+    /// so concurrent serving shards can run the expensive community search
+    /// *outside* the cache lock: lock → `lookup`, miss → search unlocked,
+    /// lock → `insert`.
+    pub fn lookup(&mut self, suggested: &[usize]) -> Option<Explanation> {
+        let key = Self::canonical_key(suggested);
         self.clock += 1;
-        if let Some(cached) = self.entries.get_mut(&key) {
-            cached.last_used = self.clock;
-            self.hits += 1;
-            return Ok(cached.explanation.clone());
+        match self.entries.get_mut(&key) {
+            Some(cached) => {
+                cached.last_used = self.clock;
+                self.hits += 1;
+                Some(cached.explanation.clone())
+            }
+            None => None,
         }
-        let explanation = explain_suggestion(ddi, &key, config)?;
+    }
+
+    /// Records a freshly computed explanation for `suggested`, counting a
+    /// miss and evicting the least-recently-used entry when at capacity.
+    /// If two shards raced on the same key, the later insert harmlessly
+    /// overwrites the earlier with an identical explanation (community
+    /// search is deterministic for a fixed graph and key).
+    pub fn insert(&mut self, suggested: &[usize], explanation: Explanation) {
+        let key = Self::canonical_key(suggested);
         self.misses += 1;
-        if self.entries.len() >= self.capacity {
+        self.clock += 1;
+        if !self.entries.contains_key(&key) && self.entries.len() >= self.capacity {
             // O(len) scan for the least-recently-used entry; the capacity is
             // small enough that a linked recency list is not worth the
             // bookkeeping.
@@ -198,10 +217,27 @@ impl ExplanationCache {
         self.entries.insert(
             key,
             CachedExplanation {
-                explanation: explanation.clone(),
+                explanation,
                 last_used: self.clock,
             },
         );
+    }
+
+    /// The explanation for `suggested`, computed at most once per distinct
+    /// cached drug set. The returned explanation lists the drugs in sorted
+    /// order.
+    pub fn explain(
+        &mut self,
+        ddi: &SignedGraph,
+        suggested: &[usize],
+        config: &MsModuleConfig,
+    ) -> Result<Explanation, CoreError> {
+        if let Some(hit) = self.lookup(suggested) {
+            return Ok(hit);
+        }
+        let key = Self::canonical_key(suggested);
+        let explanation = explain_suggestion(ddi, &key, config)?;
+        self.insert(&key, explanation.clone());
         Ok(explanation)
     }
 
@@ -229,13 +265,78 @@ impl ExplanationCache {
     pub fn capacity(&self) -> usize {
         self.capacity
     }
+
+    /// Drops every cached drug set (the cumulative hit/miss counters are
+    /// kept) — lets benchmarks and operators measure the cold path.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+/// Precomputed structural view of an immutable DDI graph: the unsigned
+/// structural graph plus its full truss decomposition (line 1 of
+/// Algorithm 1). Every explanation used to recompute both; a serving layer
+/// builds the index once per fitted graph and amortises them over all
+/// requests — the community search itself is unchanged, so explanations are
+/// identical to the per-call recomputation.
+#[derive(Debug, Clone)]
+pub struct ExplanationIndex {
+    structural: UnGraph,
+    decomposition: TrussDecomposition,
+}
+
+impl ExplanationIndex {
+    /// Builds the index for a DDI graph (one structural projection + one
+    /// truss decomposition).
+    pub fn build(ddi: &SignedGraph) -> Self {
+        let structural = ddi.structural_graph();
+        let decomposition = truss_decomposition(&structural);
+        Self {
+            structural,
+            decomposition,
+        }
+    }
+
+    /// [`explain_suggestion`] against the precomputed index. `ddi` must be
+    /// the graph the index was built from.
+    pub fn explain(
+        &self,
+        ddi: &SignedGraph,
+        suggested: &[usize],
+        config: &MsModuleConfig,
+    ) -> Result<Explanation, CoreError> {
+        explain_with(
+            ddi,
+            &self.structural,
+            &self.decomposition,
+            suggested,
+            config,
+        )
+    }
 }
 
 /// Builds the explanation for a set of suggested drugs: finds the closest
 /// truss community around them in the DDI graph, annotates its edges with
 /// interaction signs, and computes Suggestion Satisfaction.
+///
+/// Recomputes the structural graph and truss decomposition per call; hot
+/// serving paths go through [`ExplanationIndex`] instead.
 pub fn explain_suggestion(
     ddi: &SignedGraph,
+    suggested: &[usize],
+    config: &MsModuleConfig,
+) -> Result<Explanation, CoreError> {
+    let structural = ddi.structural_graph();
+    let decomposition = truss_decomposition(&structural);
+    explain_with(ddi, &structural, &decomposition, suggested, config)
+}
+
+/// Shared implementation of [`explain_suggestion`] over a (possibly
+/// precomputed) structural graph and truss decomposition.
+fn explain_with(
+    ddi: &SignedGraph,
+    structural: &UnGraph,
+    decomposition: &TrussDecomposition,
     suggested: &[usize],
     config: &MsModuleConfig,
 ) -> Result<Explanation, CoreError> {
@@ -251,8 +352,8 @@ pub fn explain_suggestion(
             ));
         }
     }
-    let structural = ddi.structural_graph();
-    let community = closest_truss_community(&structural, suggested, &config.ctc)?;
+    let community =
+        closest_truss_community_with(structural, decomposition, suggested, &config.ctc)?;
 
     let edges: Vec<SignedEdge> = community
         .edges

@@ -61,10 +61,14 @@ use dssddi_tensor::serde::{self as tserde, ByteReader, ByteWriter};
 use dssddi_tensor::Matrix;
 
 use crate::config::{Backbone, DssddiConfig};
-use crate::ms_module::{Explanation, ExplanationCache};
+use crate::ms_module::{Explanation, ExplanationCache, ExplanationIndex};
 use crate::persist::{self, section};
 use crate::system::Dssddi;
 use crate::CoreError;
+
+/// Requests one serving worker must have before [`DecisionService::suggest_batch`]
+/// spawns another: below this, thread startup costs more than it overlaps.
+const MIN_REQUESTS_PER_SHARD: usize = 8;
 
 /// A typed drug identifier (the paper's DID): an index into the service's
 /// [`DrugRegistry`].
@@ -513,6 +517,10 @@ pub struct DecisionService {
     /// serving API `&self` while leaving the service `Sync`, so one fitted
     /// service can sit behind concurrent request handlers.
     explanations: Mutex<ExplanationCache>,
+    /// Structural graph + full-graph truss decomposition, computed once at
+    /// assembly: every cold explanation starts from these instead of
+    /// re-deriving them (the graph is immutable after fit).
+    explanation_index: ExplanationIndex,
 }
 
 /// What the service was built with. A fitted engine already owns the DDI
@@ -545,10 +553,15 @@ impl DecisionService {
     /// Assembles a service around a state, attaching the service-owned
     /// explanation cache.
     fn assemble(registry: DrugRegistry, state: ServiceState) -> Self {
+        let explanation_index = ExplanationIndex::build(match &state {
+            ServiceState::Fitted { engine, .. } => engine.ddi_graph(),
+            ServiceState::SupportOnly { ddi, .. } => ddi,
+        });
         Self {
             registry,
             state,
             explanations: Mutex::new(ExplanationCache::new()),
+            explanation_index,
         }
     }
 
@@ -674,6 +687,13 @@ impl DecisionService {
         (cache.hits(), cache.misses())
     }
 
+    /// Empties the explanation memo (cumulative hit/miss counters are kept).
+    /// Exists so benchmarks — and operators bisecting a latency regression —
+    /// can measure the cold path on a warm service.
+    pub fn clear_explanation_cache(&self) {
+        self.lock_explanations().clear();
+    }
+
     /// Resolves a free-form drug reference (name, `"48"`, `"DID 48"`).
     pub fn resolve_drug(&self, query: &str) -> Result<DrugId, CoreError> {
         self.registry
@@ -741,16 +761,43 @@ impl DecisionService {
 
     /// Serves a batch of suggestion requests.
     ///
-    /// Score prediction is amortised: the patients' feature vectors are
-    /// stacked into one matrix and pushed through the model in a single
-    /// forward pass, and explanations are memoized per distinct suggested
-    /// drug set in the service-owned, size-bounded cache — with homogeneous
-    /// cohorts most patients share a handful of communities, and because the
-    /// DDI graph is immutable after fit the memo keeps paying off across
-    /// batches, not just within one.
+    /// Score prediction is amortised: each worker stacks its patients'
+    /// feature vectors into one matrix and pushes them through the
+    /// tape-free inference path in a single pass, and explanations are
+    /// memoized per distinct suggested drug set in the service-owned,
+    /// size-bounded cache — with homogeneous cohorts most patients share a
+    /// handful of communities, and because the DDI graph is immutable after
+    /// fit the memo keeps paying off across batches, not just within one.
+    ///
+    /// Large batches are sharded across scoped worker threads (the service
+    /// is `Sync`; the explanation memo stays shared behind its lock). The
+    /// shard count is picked from the machine's parallelism; use
+    /// [`DecisionService::suggest_batch_sharded`] to control it explicitly.
+    /// Responses always come back in request order with scores identical to
+    /// the serial path — patients are scored independently, so sharding
+    /// cannot change any result.
     pub fn suggest_batch(
         &self,
         requests: &[SuggestRequest],
+    ) -> Result<Vec<SuggestResponse>, CoreError> {
+        // Floor division: a worker is only worth spawning once it has a
+        // full MIN_REQUESTS_PER_SHARD of work; the tail rides with the
+        // last full shard instead of paying a thread spawn of its own.
+        let workers = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min((requests.len() / MIN_REQUESTS_PER_SHARD).max(1));
+        self.suggest_batch_sharded(requests, workers)
+    }
+
+    /// [`DecisionService::suggest_batch`] with an explicit shard count:
+    /// requests are split into `shards` contiguous chunks served by scoped
+    /// worker threads (`shards` is clamped to `1..=requests.len()`; `1`
+    /// serves the whole batch on the calling thread).
+    pub fn suggest_batch_sharded(
+        &self,
+        requests: &[SuggestRequest],
+        shards: usize,
     ) -> Result<Vec<SuggestResponse>, CoreError> {
         let (engine, n_features) = self.fitted("suggest_batch")?;
         if requests.is_empty() {
@@ -784,20 +831,73 @@ impl DecisionService {
             }
         }
 
-        // One forward pass for the whole batch.
-        let stacked: Vec<f32> = requests
+        let shards = shards.clamp(1, requests.len());
+        if shards == 1 {
+            return self.serve_chunk(engine, n_features, requests);
+        }
+        let chunk_len = requests.len().div_ceil(shards);
+        let results: Vec<Result<Vec<SuggestResponse>, CoreError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = requests
+                .chunks(chunk_len)
+                .map(|chunk| s.spawn(move || self.serve_chunk(engine, n_features, chunk)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| match handle.join() {
+                    Ok(result) => result,
+                    // A worker panic is a bug, not routine input: surface it
+                    // unchanged instead of laundering it into a CoreError.
+                    Err(panic) => std::panic::resume_unwind(panic),
+                })
+                .collect()
+        });
+        let mut responses = Vec::with_capacity(requests.len());
+        for result in results {
+            responses.extend(result?);
+        }
+        Ok(responses)
+    }
+
+    /// Serves one contiguous chunk of validated requests: a single
+    /// prediction pass for the chunk, then ranking and (locked, memoized)
+    /// explanation lookup per request.
+    fn serve_chunk(
+        &self,
+        engine: &Dssddi,
+        n_features: usize,
+        chunk: &[SuggestRequest],
+    ) -> Result<Vec<SuggestResponse>, CoreError> {
+        let stacked: Vec<f32> = chunk
             .iter()
             .flat_map(|r| r.features.iter().copied())
             .collect();
-        let features = Matrix::from_vec(requests.len(), n_features, stacked)?;
+        let features = Matrix::from_vec(chunk.len(), n_features, stacked)?;
         let scores = engine.predict_scores(&features)?;
-
-        let mut cache = self.lock_explanations();
-        let mut responses = Vec::with_capacity(requests.len());
-        for (row, request) in requests.iter().enumerate() {
+        let mut responses = Vec::with_capacity(chunk.len());
+        for (row, request) in chunk.iter().enumerate() {
             let ranked = self.ranked_candidates(scores.row(row), request)?;
             let suggested: Vec<usize> = ranked.iter().map(|d| d.id.index()).collect();
-            let explanation = cache.explain(self.ddi_graph(), &suggested, &self.config().ms)?;
+            // The lock is held only for the memo lookup/insert, never for
+            // the community search itself — cold explanations are the most
+            // expensive part of serving and must overlap across shards. Two
+            // shards may race on the same drug set and search it twice; the
+            // search is deterministic, so either insert wins harmlessly.
+            // (The lookup is bound to a variable so its guard drops before
+            // the miss path re-locks to insert.)
+            let cached = self.lock_explanations().lookup(&suggested);
+            let explanation = match cached {
+                Some(hit) => hit,
+                None => {
+                    let key = ExplanationCache::canonical_key(&suggested);
+                    let computed = self.explanation_index.explain(
+                        self.ddi_graph(),
+                        &key,
+                        &self.config().ms,
+                    )?;
+                    self.lock_explanations().insert(&key, computed.clone());
+                    computed
+                }
+            };
             let suggestion_satisfaction = explanation.suggestion_satisfaction;
             responses.push(SuggestResponse {
                 patient: request.patient,
@@ -914,7 +1014,8 @@ impl DecisionService {
         }
         let indices: Vec<usize> = drugs.iter().map(|d| d.id.index()).collect();
         let explanation =
-            crate::ms_module::explain_suggestion(self.ddi_graph(), &indices, &self.config().ms)?;
+            self.explanation_index
+                .explain(self.ddi_graph(), &indices, &self.config().ms)?;
         let suggestion_satisfaction = explanation.suggestion_satisfaction;
         Ok(InteractionReport {
             patient: request.patient,
@@ -1233,6 +1334,52 @@ mod tests {
             let single_ids: Vec<DrugId> = single.drugs.iter().map(|d| d.id).collect();
             assert_eq!(batch_ids, single_ids);
         }
+    }
+
+    #[test]
+    fn sharded_batches_preserve_request_order_and_scores() {
+        let (service, cohort, held_out) = fitted_service(23);
+        let requests: Vec<SuggestRequest> = held_out
+            .iter()
+            .map(|&p| SuggestRequest::new(PatientId::new(p), cohort.features().row(p).to_vec(), 3))
+            .collect();
+        let serial = service.suggest_batch_sharded(&requests, 1).unwrap();
+        for shards in [2, 4, requests.len(), requests.len() + 10] {
+            service.clear_explanation_cache();
+            let parallel = service.suggest_batch_sharded(&requests, shards).unwrap();
+            assert_eq!(parallel.len(), serial.len());
+            for (request, (a, b)) in requests.iter().zip(serial.iter().zip(&parallel)) {
+                assert_eq!(
+                    a.patient, request.patient,
+                    "responses must stay in request order"
+                );
+                assert_eq!(b.patient, request.patient);
+                let serial_scored: Vec<(DrugId, u32)> =
+                    a.drugs.iter().map(|d| (d.id, d.score.to_bits())).collect();
+                let parallel_scored: Vec<(DrugId, u32)> =
+                    b.drugs.iter().map(|d| (d.id, d.score.to_bits())).collect();
+                assert_eq!(
+                    serial_scored, parallel_scored,
+                    "sharding must not change any score or ranking"
+                );
+                assert_eq!(a.suggestion_satisfaction, b.suggestion_satisfaction);
+            }
+        }
+    }
+
+    #[test]
+    fn clear_explanation_cache_forces_cold_searches() {
+        let (service, cohort, held_out) = fitted_service(29);
+        let requests: Vec<SuggestRequest> = held_out[..4]
+            .iter()
+            .map(|&p| SuggestRequest::new(PatientId::new(p), cohort.features().row(p).to_vec(), 3))
+            .collect();
+        service.suggest_batch(&requests).unwrap();
+        let (_, m1) = service.explanation_cache_stats();
+        service.clear_explanation_cache();
+        service.suggest_batch(&requests).unwrap();
+        let (_, m2) = service.explanation_cache_stats();
+        assert!(m2 > m1, "clearing the cache must force fresh searches");
     }
 
     #[test]

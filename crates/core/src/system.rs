@@ -195,9 +195,17 @@ impl Dssddi {
     }
 
     /// Predicted medication-use scores for unobserved patients
-    /// (one row per patient, one column per drug).
+    /// (one row per patient, one column per drug). Runs the tape-free
+    /// inference fast path (see [`MdModule::predict_scores`]).
     pub fn predict_scores(&self, features: &Matrix) -> Result<Matrix, CoreError> {
         self.md_module.predict_scores(features)
+    }
+
+    /// Reference taped scoring path, kept so benches and tests can compare
+    /// against the tape-free fast path (see
+    /// [`MdModule::predict_scores_taped`]).
+    pub fn predict_scores_taped(&self, features: &Matrix) -> Result<Matrix, CoreError> {
+        self.md_module.predict_scores_taped(features)
     }
 
     /// Suggests the top-`k` drugs for every patient in `features` and

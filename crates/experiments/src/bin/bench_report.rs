@@ -1,0 +1,320 @@
+//! Serving performance report: runs a fixed suggestion/critique workload
+//! against a freshly fitted `DecisionService` and writes the measurements
+//! to `BENCH_serving.json`, so the serving-path performance trajectory is
+//! tracked across PRs in version control.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p dssddi-experiments --bin bench_report
+//!     [--smoke] [--out PATH] [--patients N] [--seed S]
+//! ```
+//!
+//! `--smoke` shrinks the workload to a few seconds for CI; the checked-in
+//! `BENCH_serving.json` at the repository root is produced by the default
+//! (full) workload. Latencies are wall-clock per batch; `p50`/`p99` are
+//! percentiles over the recorded batch latencies and `throughput_rps` is
+//! total requests served divided by total serving time.
+
+use std::time::Instant;
+
+use dssddi_bench::BenchWorld;
+use dssddi_core::{CheckPrescriptionRequest, DecisionService, DrugId};
+
+struct Workload {
+    n_patients: usize,
+    n_observed: usize,
+    batch_sizes: Vec<usize>,
+    /// Timed repetitions per batch size.
+    iterations: usize,
+    seed: u64,
+    smoke: bool,
+}
+
+struct BenchResult {
+    name: String,
+    batch_size: usize,
+    iterations: usize,
+    throughput_rps: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+fn percentile(sorted_ms: &[f64], pct: f64) -> f64 {
+    if sorted_ms.is_empty() {
+        return 0.0;
+    }
+    let rank = ((pct / 100.0) * (sorted_ms.len() - 1) as f64).round() as usize;
+    sorted_ms[rank.min(sorted_ms.len() - 1)]
+}
+
+/// Times `routine` `iterations` times serving `batch_size` requests per
+/// call, returning throughput and latency percentiles. `setup` runs before
+/// each iteration *outside* the timed region (mirroring criterion's
+/// `iter_batched`), so e.g. clearing the explanation cache is not billed to
+/// the cold path.
+fn measure(
+    name: &str,
+    batch_size: usize,
+    iterations: usize,
+    mut setup: impl FnMut(),
+    mut routine: impl FnMut(),
+) -> BenchResult {
+    let mut latencies_ms = Vec::with_capacity(iterations);
+    let mut total_s = 0.0f64;
+    for _ in 0..iterations {
+        setup();
+        let start = Instant::now();
+        routine();
+        let elapsed = start.elapsed().as_secs_f64();
+        total_s += elapsed;
+        latencies_ms.push(elapsed * 1e3);
+    }
+    let mut sorted = latencies_ms.clone();
+    sorted.sort_by(|a, b| a.total_cmp(b));
+    BenchResult {
+        name: name.to_string(),
+        batch_size,
+        iterations,
+        throughput_rps: (batch_size * iterations) as f64 / total_s.max(1e-9),
+        p50_ms: percentile(&sorted, 50.0),
+        p99_ms: percentile(&sorted, 99.0),
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn write_report(path: &str, workload: &Workload, results: &[BenchResult]) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"generated_by\": \"bench_report (dssddi-experiments)\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"workload\": {\n");
+    out.push_str(&format!("    \"smoke\": {},\n", workload.smoke));
+    out.push_str(&format!("    \"seed\": {},\n", workload.seed));
+    out.push_str(&format!(
+        "    \"cohort_patients\": {},\n",
+        workload.n_patients
+    ));
+    out.push_str(&format!(
+        "    \"observed_patients\": {},\n",
+        workload.n_observed
+    ));
+    out.push_str(&format!(
+        "    \"iterations_per_batch_size\": {},\n",
+        workload.iterations
+    ));
+    out.push_str(&format!(
+        "    \"batch_sizes\": [{}]\n",
+        workload
+            .batch_sizes
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(&r.name)));
+        out.push_str(&format!("      \"batch_size\": {},\n", r.batch_size));
+        out.push_str(&format!("      \"iterations\": {},\n", r.iterations));
+        out.push_str(&format!(
+            "      \"throughput_rps\": {:.2},\n",
+            r.throughput_rps
+        ));
+        out.push_str(&format!("      \"p50_ms\": {:.4},\n", r.p50_ms));
+        out.push_str(&format!("      \"p99_ms\": {:.4}\n", r.p99_ms));
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    std::fs::write(path, &out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+}
+
+fn serving_results(
+    world: &BenchWorld,
+    service: &DecisionService,
+    w: &Workload,
+) -> Vec<BenchResult> {
+    let mut results = Vec::new();
+    let engine = service.engine().expect("fitted service has an engine");
+    let held_out_pool: Vec<usize> = (w.n_observed..w.n_patients).collect();
+
+    for &batch in &w.batch_sizes {
+        let patients: Vec<usize> = (0..batch)
+            .map(|i| held_out_pool[i % held_out_pool.len()])
+            .collect();
+        let requests = world.suggest_requests(&patients);
+        let features = world.cohort.features().select_rows(&patients);
+
+        // Cold explanations: clear the memo (untimed) before every batch.
+        results.push(measure(
+            "suggest_batch_cold",
+            batch,
+            w.iterations,
+            || service.clear_explanation_cache(),
+            || {
+                service.suggest_batch(&requests).expect("suggest_batch");
+            },
+        ));
+        // Pre-PR execution shape: one thread, cold explanations.
+        results.push(measure(
+            "suggest_batch_cold_serial_1shard",
+            batch,
+            w.iterations,
+            || service.clear_explanation_cache(),
+            || {
+                service
+                    .suggest_batch_sharded(&requests, 1)
+                    .expect("suggest_batch_sharded");
+            },
+        ));
+        // Warm memo: the steady state of a homogeneous cohort.
+        service.suggest_batch(&requests).expect("warm-up");
+        results.push(measure(
+            "suggest_batch_memoized",
+            batch,
+            w.iterations,
+            || {},
+            || {
+                service.suggest_batch(&requests).expect("suggest_batch");
+            },
+        ));
+        // Score prediction alone: taped reference vs tape-free fast path.
+        results.push(measure(
+            "predict_scores_taped",
+            batch,
+            w.iterations,
+            || {},
+            || {
+                engine
+                    .predict_scores_taped(&features)
+                    .expect("predict_scores_taped");
+            },
+        ));
+        results.push(measure(
+            "predict_scores_tape_free",
+            batch,
+            w.iterations,
+            || {},
+            || {
+                engine.predict_scores(&features).expect("predict_scores");
+            },
+        ));
+    }
+
+    // Prescription critique (model-free serving path).
+    let check = CheckPrescriptionRequest::new(vec![
+        DrugId::new(61),
+        DrugId::new(59),
+        DrugId::new(10),
+        DrugId::new(5),
+    ]);
+    results.push(measure(
+        "check_prescription",
+        1,
+        w.iterations,
+        || {},
+        || {
+            service.check_prescription(&check).expect("check");
+        },
+    ));
+
+    // Persistence throughput.
+    let dir = std::env::temp_dir().join("dssddi_bench_report");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("service.dssd");
+    results.push(measure(
+        "save_fitted_service",
+        1,
+        w.iterations,
+        || {},
+        || {
+            service.save(&path).expect("save");
+        },
+    ));
+    let registry = world.registry.clone();
+    results.push(measure(
+        "load_fitted_service",
+        1,
+        w.iterations,
+        || {},
+        || {
+            DecisionService::load(&path, registry.clone()).expect("load");
+        },
+    ));
+    let _ = std::fs::remove_file(&path);
+    results
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut smoke = false;
+    let mut out_path = "BENCH_serving.json".to_string();
+    let mut n_patients = 200usize;
+    let mut seed = 11u64;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--smoke" => smoke = true,
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 1;
+            }
+            "--patients" if i + 1 < args.len() => {
+                n_patients = args[i + 1].parse().unwrap_or(n_patients);
+                i += 1;
+            }
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse().unwrap_or(seed);
+                i += 1;
+            }
+            other => eprintln!("ignoring unknown argument {other:?}"),
+        }
+        i += 1;
+    }
+    let workload = if smoke {
+        Workload {
+            n_patients: 60,
+            n_observed: 45,
+            batch_sizes: vec![1, 8],
+            iterations: 2,
+            seed,
+            smoke,
+        }
+    } else {
+        Workload {
+            n_patients,
+            n_observed: n_patients * 3 / 5,
+            batch_sizes: vec![1, 8, 64],
+            iterations: 10,
+            seed,
+            smoke,
+        }
+    };
+
+    eprintln!(
+        "bench_report: fitting service on {} observed / {} total patients (seed {}) ...",
+        workload.n_observed, workload.n_patients, workload.seed
+    );
+    let world = BenchWorld::new(workload.n_patients, workload.seed);
+    let service = world.fitted_service(workload.n_observed, workload.seed + 2);
+
+    eprintln!("bench_report: running serving workload ...");
+    let results = serving_results(&world, &service, &workload);
+    write_report(&out_path, &workload, &results);
+    for r in &results {
+        println!(
+            "{:<34} batch {:>3}  {:>12.1} req/s  p50 {:>9.3} ms  p99 {:>9.3} ms",
+            r.name, r.batch_size, r.throughput_rps, r.p50_ms, r.p99_ms
+        );
+    }
+    println!("wrote {out_path}");
+}

@@ -12,10 +12,10 @@ use crate::mlp::{apply_activation, Activation};
 /// One standard GCN layer.
 #[derive(Debug, Clone)]
 pub struct GcnLayer {
-    w: ParamId,
-    b: ParamId,
-    activation: Activation,
-    out_dim: usize,
+    pub(crate) w: ParamId,
+    pub(crate) b: ParamId,
+    pub(crate) activation: Activation,
+    pub(crate) out_dim: usize,
 }
 
 impl GcnLayer {

@@ -1,0 +1,194 @@
+//! Tape-free inference for the GNN building blocks.
+//!
+//! Training needs the autodiff [`Tape`](dssddi_tensor::Tape): every
+//! operation allocates a node, clones activations and remembers enough to
+//! run backwards. Serving needs none of that — a suggestion request only
+//! ever runs forwards. The methods in this module re-express the forward
+//! passes of [`Mlp`], [`GcnLayer`] and [`SgcnLayer`] directly over the
+//! fused kernels of `dssddi_tensor`, writing every intermediate into a
+//! caller-provided [`ScratchPool`] so a serving loop performs no steady-
+//! state allocation at all.
+//!
+//! ## Bit-identical by construction
+//!
+//! The tape-free paths are not merely "numerically close" to the taped
+//! ones; they produce the same bits. Each taped op is replaced by a kernel
+//! with the identical floating-point evaluation order:
+//!
+//! * `Tape::matmul` and [`fused_linear_into`] share the same blocked,
+//!   `k`-ascending accumulation (both call `Matrix::matmul_into`),
+//! * the fused bias-plus-activation pass performs the same single addition
+//!   as `Tape::add_broadcast_row` followed by the same scalar activation
+//!   function,
+//! * `Tape::spmm` and `CsrMatrix::matmul_dense_into` share one CSR kernel,
+//! * concatenation copies values verbatim.
+//!
+//! The equivalence tests in `tests/infer_equivalence.rs` assert exact
+//! equality between `forward` and `infer` on randomized shapes, weights
+//! and activations.
+
+use dssddi_tensor::{
+    fused_linear_into, ActivationKind, CsrMatrix, Matrix, ParamSet, ScratchPool, TensorError,
+};
+
+use crate::context::SignedGraphContext;
+use crate::gcn::GcnLayer;
+use crate::mlp::{Activation, Mlp};
+use crate::sgcn::SgcnLayer;
+
+/// The scalar activation a tape-level [`Activation`] evaluates — shared by
+/// every tape-free layer so the mapping exists in exactly one place.
+pub fn activation_kind(activation: Activation) -> ActivationKind {
+    match activation {
+        Activation::Relu => ActivationKind::Relu,
+        // The taped path applies leaky ReLU with slope 0.01 (see
+        // `apply_activation`); the tape-free path must match it exactly.
+        Activation::LeakyRelu => ActivationKind::LeakyRelu(0.01),
+        Activation::Tanh => ActivationKind::Tanh,
+        Activation::Sigmoid => ActivationKind::Sigmoid,
+        Activation::Identity => ActivationKind::Identity,
+    }
+}
+
+/// Writes `[a | b | c]` into `out` row by row (shapes are the caller's
+/// responsibility; this is the tape-free counterpart of two chained
+/// `Tape::concat_cols` calls).
+fn concat3_into(a: &Matrix, b: &Matrix, c: &Matrix, out: &mut Matrix) {
+    debug_assert_eq!(out.rows(), a.rows());
+    debug_assert_eq!(out.cols(), a.cols() + b.cols() + c.cols());
+    let (da, db) = (a.cols(), b.cols());
+    for r in 0..out.rows() {
+        let row = out.row_mut(r);
+        row[..da].copy_from_slice(a.row(r));
+        row[da..da + db].copy_from_slice(b.row(r));
+        row[da + db..].copy_from_slice(c.row(r));
+    }
+}
+
+impl Mlp {
+    /// Tape-free forward pass over `x` (shape `n x input_dim`), bit-identical
+    /// to [`Mlp::forward`] on a tape.
+    ///
+    /// Intermediates come from (and retire back into) `pool`; callers may
+    /// [`ScratchPool::recycle`] the returned matrix once they are done with
+    /// it, making a serving loop allocation-free after warm-up.
+    pub fn infer(
+        &self,
+        params: &ParamSet,
+        x: &Matrix,
+        pool: &mut ScratchPool,
+    ) -> Result<Matrix, TensorError> {
+        let mut cur: Option<Matrix> = None;
+        for (i, &(w, b)) in self.layers.iter().enumerate() {
+            let act = if i + 1 == self.layers.len() {
+                self.output_activation
+            } else {
+                self.hidden_activation
+            };
+            let input = cur.as_ref().unwrap_or(x);
+            let mut out = pool.take(input.rows(), self.dims[i + 1]);
+            fused_linear_into(
+                input,
+                params.get(w),
+                params.get(b),
+                activation_kind(act),
+                &mut out,
+            )?;
+            if let Some(prev) = cur.replace(out) {
+                pool.recycle(prev);
+            }
+        }
+        // Construction asserts `dims.len() >= 2`, so at least one layer ran;
+        // an (impossible) zero-layer MLP is the identity.
+        Ok(cur.unwrap_or_else(|| x.clone()))
+    }
+}
+
+impl GcnLayer {
+    /// Tape-free `act(Â x W + b)`, bit-identical to [`GcnLayer::forward`].
+    pub fn infer(
+        &self,
+        params: &ParamSet,
+        adjacency: &CsrMatrix,
+        x: &Matrix,
+        pool: &mut ScratchPool,
+    ) -> Result<Matrix, TensorError> {
+        let mut propagated = pool.take(adjacency.rows(), x.cols());
+        adjacency.matmul_dense_into(x, &mut propagated)?;
+        let mut out = pool.take(propagated.rows(), self.out_dim);
+        fused_linear_into(
+            &propagated,
+            params.get(self.w),
+            params.get(self.b),
+            activation_kind(self.activation),
+            &mut out,
+        )?;
+        pool.recycle(propagated);
+        Ok(out)
+    }
+}
+
+impl SgcnLayer {
+    /// Tape-free layer application, returning the updated
+    /// `(balanced, unbalanced)` representations — bit-identical to
+    /// [`SgcnLayer::forward`].
+    pub fn infer(
+        &self,
+        params: &ParamSet,
+        ctx: &SignedGraphContext,
+        h_balanced: &Matrix,
+        h_unbalanced: &Matrix,
+        pool: &mut ScratchPool,
+    ) -> Result<(Matrix, Matrix), TensorError> {
+        let n = h_balanced.rows();
+        let d = h_balanced.cols();
+
+        // Balanced update: synergy neighbours' balanced + antagonism
+        // neighbours' unbalanced + own balanced state (Eq. 2).
+        let mut pos_agg = pool.take(n, d);
+        ctx.positive_mean_adjacency
+            .matmul_dense_into(h_balanced, &mut pos_agg)?;
+        let mut neg_agg = pool.take(n, d);
+        ctx.negative_mean_adjacency
+            .matmul_dense_into(h_unbalanced, &mut neg_agg)?;
+        let mut cat = pool.take(n, 3 * d);
+        concat3_into(&pos_agg, &neg_agg, h_balanced, &mut cat);
+        let mut new_balanced = pool.take(n, self.out_dim);
+        fused_linear_into(
+            &cat,
+            params.get(self.w_balanced),
+            params.get(self.b_balanced),
+            ActivationKind::Tanh,
+            &mut new_balanced,
+        )?;
+
+        // Unbalanced update (Eq. 3), reusing the aggregation buffers.
+        ctx.positive_mean_adjacency
+            .matmul_dense_into(h_unbalanced, &mut pos_agg)?;
+        ctx.negative_mean_adjacency
+            .matmul_dense_into(h_balanced, &mut neg_agg)?;
+        concat3_into(&pos_agg, &neg_agg, h_unbalanced, &mut cat);
+        let mut new_unbalanced = pool.take(n, self.out_dim);
+        fused_linear_into(
+            &cat,
+            params.get(self.w_unbalanced),
+            params.get(self.b_unbalanced),
+            ActivationKind::Tanh,
+            &mut new_unbalanced,
+        )?;
+
+        pool.recycle(pos_agg);
+        pool.recycle(neg_agg);
+        pool.recycle(cat);
+        Ok((new_balanced, new_unbalanced))
+    }
+
+    /// Tape-free counterpart of [`SgcnLayer::combine`] (Eq. 4):
+    /// `z = [h_B, h_U]`.
+    pub fn combine_inference(
+        balanced: &Matrix,
+        unbalanced: &Matrix,
+    ) -> Result<Matrix, TensorError> {
+        balanced.concat_cols(unbalanced)
+    }
+}

@@ -10,7 +10,9 @@
 //! * [`lightgcn`] — LightGCN-style propagation used by the MDGCN encoder and
 //!   the LightGCN baseline,
 //! * [`gcn`] — a generic GCN layer used by the GCMC / Bipar-GCN baselines,
-//! * [`sampling`] — 1:1 negative sampling over patient–drug links.
+//! * [`sampling`] — 1:1 negative sampling over patient–drug links,
+//! * [`infer`] — tape-free inference over scratch buffers for the serving
+//!   path (bit-identical to the taped forward passes).
 
 #![warn(missing_docs)]
 
@@ -18,6 +20,7 @@ pub mod attention;
 pub mod context;
 pub mod gcn;
 pub mod gin;
+pub mod infer;
 pub mod lightgcn;
 pub mod mlp;
 pub mod sampling;
@@ -27,6 +30,7 @@ pub use attention::{SigatLayer, SneaLayer};
 pub use context::SignedGraphContext;
 pub use gcn::GcnLayer;
 pub use gin::GinConv;
+pub use infer::activation_kind;
 pub use lightgcn::{bipartite_adjacency, lightgcn_propagate, paper_layer_weights};
 pub use mlp::{apply_activation, Activation, Mlp};
 pub use sampling::{sample_link_batch, LinkBatch};

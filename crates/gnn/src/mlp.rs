@@ -52,10 +52,10 @@ impl Activation {
 /// A fully connected network `x W₁ + b₁ → act → … → x Wₗ + bₗ`.
 #[derive(Debug, Clone)]
 pub struct Mlp {
-    layers: Vec<(ParamId, ParamId)>,
-    dims: Vec<usize>,
-    hidden_activation: Activation,
-    output_activation: Activation,
+    pub(crate) layers: Vec<(ParamId, ParamId)>,
+    pub(crate) dims: Vec<usize>,
+    pub(crate) hidden_activation: Activation,
+    pub(crate) output_activation: Activation,
 }
 
 impl Mlp {

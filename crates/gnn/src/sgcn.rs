@@ -16,11 +16,11 @@ use crate::context::SignedGraphContext;
 /// previous state and linearly transformed.
 #[derive(Debug, Clone)]
 pub struct SgcnLayer {
-    w_balanced: ParamId,
-    b_balanced: ParamId,
-    w_unbalanced: ParamId,
-    b_unbalanced: ParamId,
-    out_dim: usize,
+    pub(crate) w_balanced: ParamId,
+    pub(crate) b_balanced: ParamId,
+    pub(crate) w_unbalanced: ParamId,
+    pub(crate) b_unbalanced: ParamId,
+    pub(crate) out_dim: usize,
 }
 
 impl SgcnLayer {

@@ -92,6 +92,21 @@ pub fn closest_truss_community(
     query: &[usize],
     config: &CtcConfig,
 ) -> Result<Community, GraphError> {
+    // Line 1: truss decomposition on the full graph.
+    let decomposition = truss_decomposition(graph);
+    closest_truss_community_with(graph, &decomposition, query, config)
+}
+
+/// [`closest_truss_community`] with a caller-provided truss decomposition of
+/// `graph` (line 1 of Algorithm 1 hoisted out). Serving layers whose graph
+/// is immutable decompose once and amortise it over every explanation; the
+/// result is identical to recomputing per call.
+pub fn closest_truss_community_with(
+    graph: &UnGraph,
+    decomposition: &TrussDecomposition,
+    query: &[usize],
+    config: &CtcConfig,
+) -> Result<Community, GraphError> {
     let n = graph.node_count();
     let mut unique_query: Vec<usize> = Vec::new();
     for &q in query {
@@ -106,11 +121,8 @@ pub fn closest_truss_community(
         return Err(GraphError::EmptyQuery);
     }
 
-    // Line 1: truss decomposition on the full graph.
-    let decomposition = truss_decomposition(graph);
-
     // Line 2: Steiner tree containing the suggested drugs.
-    let tree = steiner_tree(graph, &unique_query, &decomposition)?;
+    let tree = steiner_tree(graph, &unique_query, decomposition)?;
 
     // Lines 3-4: seed subgraph and its minimum truss level p'.
     let mut nodes: BTreeSet<usize> = tree.nodes.clone();
@@ -128,7 +140,7 @@ pub fn closest_truss_community(
     // Lines 5-7: grow the subgraph with adjacent edges of truss >= p'.
     expand_candidate(
         graph,
-        &decomposition,
+        decomposition,
         &mut sub,
         &mut nodes,
         p_seed,
@@ -153,7 +165,11 @@ pub fn closest_truss_community(
     }
 
     // Lines 10-15: iterative shrinking, keeping the candidate with the
-    // smallest query distance.
+    // smallest query distance. The candidate state is mutated in place (a
+    // rejected step only ever precedes a `break`, so no rollback is needed)
+    // and the furthest node is found with |Q| BFS passes from the query
+    // nodes instead of one BFS per community node — hop distances are
+    // symmetric, so the selected victim is identical.
     let mut best_candidate = (
         community_query_distance(&best_sub, &best_nodes, &unique_query),
         best_nodes.clone(),
@@ -162,35 +178,37 @@ pub fn closest_truss_community(
     let mut cur_nodes = best_nodes;
     let mut cur_sub = best_sub;
     for _ in 0..config.max_shrink_iterations {
-        // Find the non-query node furthest from the query.
+        // Find the non-query node furthest from the query (max over query
+        // nodes of the hop distance, unreachable counting as infinite —
+        // exactly `traversal::query_distance`, batched).
+        let from_query: Vec<crate::traversal::BfsResult> = unique_query
+            .iter()
+            .map(|&q| bfs(&cur_sub, q, Some(&cur_nodes)))
+            .collect();
         let mut furthest: Option<(usize, usize)> = None;
         for &v in &cur_nodes {
             if unique_query.contains(&v) {
                 continue;
             }
-            let d = crate::traversal::query_distance(&cur_sub, v, &unique_query, &cur_nodes);
+            let d = from_query.iter().map(|res| res.dist[v]).max().unwrap_or(0);
             if furthest.is_none_or(|(fd, _)| d > fd) {
                 furthest = Some((d, v));
             }
         }
         let Some((_, victim)) = furthest else { break };
-        let mut next_nodes = cur_nodes.clone();
-        let mut next_sub = cur_sub.clone();
-        next_sub.detach_node(victim);
-        next_nodes.remove(&victim);
-        maintain_p_truss(&mut next_sub, &mut next_nodes, p);
+        cur_sub.detach_node(victim);
+        cur_nodes.remove(&victim);
+        maintain_p_truss(&mut cur_sub, &mut cur_nodes, p);
         for &q in &unique_query {
-            next_nodes.insert(q);
+            cur_nodes.insert(q);
         }
-        if !all_connected(&next_sub, &unique_query, &next_nodes) && unique_query.len() > 1 {
+        if !all_connected(&cur_sub, &unique_query, &cur_nodes) && unique_query.len() > 1 {
             break;
         }
-        let d = community_query_distance(&next_sub, &next_nodes, &unique_query);
+        let d = community_query_distance(&cur_sub, &cur_nodes, &unique_query);
         if d <= best_candidate.0 {
-            best_candidate = (d, next_nodes.clone(), next_sub.clone());
+            best_candidate = (d, cur_nodes.clone(), cur_sub.clone());
         }
-        cur_nodes = next_nodes;
-        cur_sub = next_sub;
         if cur_nodes.len() <= unique_query.len() {
             break;
         }

@@ -24,7 +24,7 @@ pub mod truss;
 mod ungraph;
 
 pub use bipartite::BipartiteGraph;
-pub use ctc::{closest_truss_community, Community, CtcConfig};
+pub use ctc::{closest_truss_community, closest_truss_community_with, Community, CtcConfig};
 pub use signed::{Interaction, SignedGraph};
 pub use steiner::{steiner_tree, SteinerTree};
 pub use traversal::{bfs, connected_components, diameter, BfsResult};

@@ -16,6 +16,10 @@ use crate::UnGraph;
 #[derive(Debug, Clone, Default)]
 pub struct TrussDecomposition {
     truss: HashMap<(usize, usize), usize>,
+    // Cached at construction: the truss-aware Steiner distance evaluates
+    // `max_truss` once per edge relaxation, and a per-call scan of the edge
+    // map used to dominate the whole community search.
+    max_truss: usize,
 }
 
 impl TrussDecomposition {
@@ -25,9 +29,9 @@ impl TrussDecomposition {
     }
 
     /// Largest truss number over all edges (2 for a triangle-free graph,
-    /// 0 for an edgeless graph).
+    /// 0 for an edgeless graph). O(1): computed once at decomposition time.
     pub fn max_truss(&self) -> usize {
-        self.truss.values().copied().max().unwrap_or(0)
+        self.max_truss
     }
 
     /// Smallest truss number over all edges (0 for an edgeless graph).
@@ -93,7 +97,8 @@ pub fn truss_decomposition(graph: &UnGraph) -> TrussDecomposition {
         }
         k += 1;
     }
-    TrussDecomposition { truss }
+    let max_truss = truss.values().copied().max().unwrap_or(0);
+    TrussDecomposition { truss, max_truss }
 }
 
 /// Returns the subgraph formed by all edges whose truss number is at least

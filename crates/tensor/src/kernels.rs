@@ -1,0 +1,137 @@
+//! Fused, allocation-free inference kernels.
+//!
+//! Training records every operation on the [`Tape`](crate::Tape) so that
+//! gradients can flow backwards; inference needs none of that. The kernels
+//! here compute whole MLP/GCN layers — `act(x · W + b)` — in a single pass
+//! over the output buffer, writing into caller-provided scratch memory
+//! (see [`crate::ScratchPool`]) instead of allocating per operation.
+//!
+//! Every kernel is *bit-compatible* with the taped formulation it replaces:
+//! the matmul accumulates in the same `k`-ascending order as
+//! [`Matrix::matmul`], the bias is added with the same single `f32`
+//! addition as `Tape::add_broadcast_row`, and [`ActivationKind::apply`]
+//! evaluates exactly the scalar functions the tape's activation ops map
+//! over their inputs. A tape-free forward pass therefore produces the same
+//! bits as the taped one — asserted by the equivalence tests in
+//! `dssddi-gnn` and `dssddi-core`.
+
+use crate::ops::stable_sigmoid;
+use crate::{Matrix, TensorError};
+
+/// A scalar activation function, mirroring the activation ops of the tape
+/// (`Tape::relu`, `Tape::leaky_relu`, `Tape::tanh`, `Tape::sigmoid`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ActivationKind {
+    /// Rectified linear unit `max(x, 0)`.
+    Relu,
+    /// Leaky ReLU with the given negative slope.
+    LeakyRelu(f32),
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Numerically stable logistic sigmoid.
+    Sigmoid,
+    /// No activation.
+    Identity,
+}
+
+impl ActivationKind {
+    /// Applies the activation to one scalar — the exact per-element function
+    /// the corresponding tape op maps over its input.
+    #[inline]
+    pub fn apply(self, v: f32) -> f32 {
+        match self {
+            ActivationKind::Relu => v.max(0.0),
+            ActivationKind::LeakyRelu(slope) => {
+                if v > 0.0 {
+                    v
+                } else {
+                    slope * v
+                }
+            }
+            ActivationKind::Tanh => v.tanh(),
+            ActivationKind::Sigmoid => stable_sigmoid(v),
+            ActivationKind::Identity => v,
+        }
+    }
+}
+
+/// One fused dense layer: `out = act(x · w + bias)`, written into a
+/// caller-provided buffer.
+///
+/// `bias` must be a `1 x w.cols()` row (the layout MLP and GCN layers store
+/// their biases in); `out` must already have shape `(x.rows(), w.cols())`
+/// and is overwritten. Fusing the bias addition and activation into the
+/// matmul's output pass removes two full intermediate matrices per layer
+/// compared to the taped `matmul → add_broadcast_row → activation` chain,
+/// while producing bit-identical values (see the module docs).
+pub fn fused_linear_into(
+    x: &Matrix,
+    w: &Matrix,
+    bias: &Matrix,
+    activation: ActivationKind,
+    out: &mut Matrix,
+) -> Result<(), TensorError> {
+    if bias.shape() != (1, w.cols()) {
+        return Err(TensorError::ShapeMismatch {
+            expected: (1, w.cols()),
+            found: bias.shape(),
+            op: "fused_linear (bias)",
+        });
+    }
+    x.matmul_into(w, out)?;
+    let b = bias.data();
+    for r in 0..out.rows() {
+        for (o, &bj) in out.row_mut(r).iter_mut().zip(b) {
+            *o = activation.apply(*o + bj);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn fused_linear_matches_unfused_sequence_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for act in [
+            ActivationKind::Relu,
+            ActivationKind::LeakyRelu(0.01),
+            ActivationKind::Tanh,
+            ActivationKind::Sigmoid,
+            ActivationKind::Identity,
+        ] {
+            let x = Matrix::rand_uniform(7, 5, -2.0, 2.0, &mut rng);
+            let w = Matrix::rand_uniform(5, 3, -1.0, 1.0, &mut rng);
+            let bias = Matrix::rand_uniform(1, 3, -0.5, 0.5, &mut rng);
+
+            let mut fused = Matrix::zeros(7, 3);
+            fused_linear_into(&x, &w, &bias, act, &mut fused).unwrap();
+
+            let mut unfused = x.matmul(&w).unwrap();
+            for r in 0..unfused.rows() {
+                for c in 0..unfused.cols() {
+                    let v = unfused.get(r, c) + bias.get(0, c);
+                    unfused.set(r, c, act.apply(v));
+                }
+            }
+            assert_eq!(fused, unfused);
+        }
+    }
+
+    #[test]
+    fn fused_linear_validates_shapes() {
+        let x = Matrix::zeros(2, 3);
+        let w = Matrix::zeros(3, 4);
+        let bad_bias = Matrix::zeros(1, 3);
+        let mut out = Matrix::zeros(2, 4);
+        assert!(fused_linear_into(&x, &w, &bad_bias, ActivationKind::Identity, &mut out).is_err());
+        let bias = Matrix::zeros(1, 4);
+        let mut bad_out = Matrix::zeros(2, 3);
+        assert!(fused_linear_into(&x, &w, &bias, ActivationKind::Identity, &mut bad_out).is_err());
+        assert!(fused_linear_into(&x, &w, &bias, ActivationKind::Identity, &mut out).is_ok());
+    }
+}

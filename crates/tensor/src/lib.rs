@@ -39,18 +39,22 @@
 #![warn(missing_docs)]
 
 pub mod init;
+mod kernels;
 mod matrix;
 mod ops;
 mod optim;
 mod params;
+mod scratch;
 pub mod serde;
 mod sparse;
 mod tape;
 
+pub use kernels::{fused_linear_into, ActivationKind};
 pub use matrix::Matrix;
 pub use ops::stable_sigmoid;
 pub use optim::{Adam, Optimizer, Sgd};
 pub use params::{clip_grad_norm, Binder, ParamId, ParamSet};
+pub use scratch::ScratchPool;
 pub use sparse::CsrMatrix;
 pub use tape::{Tape, Var};
 

@@ -12,6 +12,22 @@ use rand::Rng;
 
 use crate::TensorError;
 
+/// Row-block size of the dense matmul kernel: a block of output rows is
+/// finished against one `rhs` panel before moving on, so the panel is reused
+/// from cache `MATMUL_I_BLOCK` times.
+const MATMUL_I_BLOCK: usize = 32;
+
+/// Inner-dimension block size of the dense matmul kernel: `MATMUL_K_BLOCK`
+/// rows of `rhs` form the panel kept hot in L1/L2. Blocks are visited in
+/// ascending order, so every output element still accumulates its `k` terms
+/// in exactly the order of the textbook i-k-j loop — the blocking changes
+/// memory traffic, never floating-point results.
+const MATMUL_K_BLOCK: usize = 64;
+
+/// Tile side of the blocked transpose (a 32x32 f32 tile is 4 KiB, i.e. two
+/// tiles fit in L1 comfortably).
+const TRANSPOSE_BLOCK: usize = 32;
+
 /// A dense, row-major matrix of `f32` values.
 #[derive(Clone, PartialEq)]
 pub struct Matrix {
@@ -56,6 +72,13 @@ impl Matrix {
             cols,
             data: vec![value; rows * cols],
         }
+    }
+
+    /// Internal constructor for callers that have already established
+    /// `data.len() == rows * cols` (the scratch pool).
+    pub(crate) fn from_parts(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        debug_assert_eq!(data.len(), rows * cols);
+        Self { rows, cols, data }
     }
 
     /// Creates a matrix from a row-major data vector.
@@ -235,6 +258,24 @@ impl Matrix {
     ///
     /// Returns an error when the inner dimensions do not agree.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, TensorError> {
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out)?;
+        Ok(out)
+    }
+
+    /// Matrix product `self * rhs` written into a caller-provided buffer
+    /// (typically from a [`crate::ScratchPool`]) — the allocation-free kernel
+    /// behind [`Matrix::matmul`].
+    ///
+    /// `out` must already have shape `(self.rows, rhs.cols)`; its previous
+    /// contents are overwritten. The kernel is cache-blocked (panels of
+    /// `MATMUL_I_BLOCK` output rows against `MATMUL_K_BLOCK` `rhs` rows)
+    /// with a branch-free inner loop over contiguous slices that the
+    /// compiler can autovectorize. Because blocks are visited in ascending
+    /// order, every output element accumulates its `k` terms in plain
+    /// ascending order: results are deterministic and independent of the
+    /// block sizes.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), TensorError> {
         if self.cols != rhs.rows {
             return Err(TensorError::ShapeMismatch {
                 expected: (self.cols, self.cols),
@@ -242,30 +283,57 @@ impl Matrix {
                 op: "matmul",
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order: streams over `rhs` rows for cache friendliness.
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (j, &b_kj) in b_row.iter().enumerate() {
-                    out_row[j] += a_ik * b_kj;
+        if out.shape() != (self.rows, rhs.cols) {
+            return Err(TensorError::ShapeMismatch {
+                expected: (self.rows, rhs.cols),
+                found: out.shape(),
+                op: "matmul_into",
+            });
+        }
+        out.data.fill(0.0);
+        let n = rhs.cols;
+        for ii in (0..self.rows).step_by(MATMUL_I_BLOCK) {
+            let i_end = (ii + MATMUL_I_BLOCK).min(self.rows);
+            for kk in (0..self.cols).step_by(MATMUL_K_BLOCK) {
+                let k_end = (kk + MATMUL_K_BLOCK).min(self.cols);
+                for i in ii..i_end {
+                    let a_row = &self.data[i * self.cols..(i + 1) * self.cols];
+                    let out_row = &mut out.data[i * n..(i + 1) * n];
+                    for (k, &a_ik) in a_row[kk..k_end].iter().enumerate() {
+                        // One well-predicted branch per `k`, amortised over
+                        // the whole `j` loop: one-hot and other row-sparse
+                        // inputs (DDIGCN identity features, binary patient
+                        // features) skip the entire panel row, while the
+                        // inner loop below stays branch-free and
+                        // autovectorizable for dense inputs.
+                        if a_ik == 0.0 {
+                            continue;
+                        }
+                        let b_row = &rhs.data[(kk + k) * n..(kk + k + 1) * n];
+                        for (o, &b_kj) in out_row.iter_mut().zip(b_row) {
+                            *o += a_ik * b_kj;
+                        }
+                    }
                 }
             }
         }
-        Ok(out)
+        Ok(())
     }
 
-    /// Transpose.
+    /// Transpose (cache-blocked: both the source rows and the destination
+    /// rows of a `TRANSPOSE_BLOCK`-squared tile stay resident while it is moved).
     pub fn transpose(&self) -> Matrix {
         let mut out = Matrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.set(c, r, self.get(r, c));
+        for rr in (0..self.rows).step_by(TRANSPOSE_BLOCK) {
+            let r_end = (rr + TRANSPOSE_BLOCK).min(self.rows);
+            for cc in (0..self.cols).step_by(TRANSPOSE_BLOCK) {
+                let c_end = (cc + TRANSPOSE_BLOCK).min(self.cols);
+                for r in rr..r_end {
+                    let src = &self.data[r * self.cols..(r + 1) * self.cols];
+                    for c in cc..c_end {
+                        out.data[c * self.rows + r] = src[c];
+                    }
+                }
             }
         }
         out

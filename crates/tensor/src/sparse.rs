@@ -8,6 +8,12 @@
 
 use crate::{Matrix, TensorError};
 
+/// Minimum number of multiply-adds (`nnz * dense_cols`) before
+/// `matmul_dense` shards rows across threads: below this, spawning costs
+/// more than it saves (the paper-sized graphs fall well under it, so
+/// training stays single-threaded and deterministic in timing).
+const PAR_MIN_WORK: usize = 1 << 16;
+
 /// A sparse matrix in compressed sparse row format.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CsrMatrix {
@@ -95,6 +101,22 @@ impl CsrMatrix {
 
     /// Sparse–dense product `self * dense`.
     pub fn matmul_dense(&self, dense: &Matrix) -> Result<Matrix, TensorError> {
+        let mut out = Matrix::zeros(self.rows, dense.cols());
+        self.matmul_dense_into(dense, &mut out)?;
+        Ok(out)
+    }
+
+    /// Sparse–dense product `self * dense` written into a caller-provided
+    /// buffer (typically from a [`crate::ScratchPool`]).
+    ///
+    /// `out` must already have shape `(self.rows, dense.cols())`; its
+    /// previous contents are overwritten. Rows of the output are
+    /// independent, so when the total work (`nnz * dense_cols`) is large
+    /// enough the row range is sharded across scoped threads; each row is
+    /// still accumulated by exactly one thread in the same entry order as
+    /// the serial loop, so results are bit-identical regardless of the
+    /// thread count.
+    pub fn matmul_dense_into(&self, dense: &Matrix, out: &mut Matrix) -> Result<(), TensorError> {
         if self.cols != dense.rows() {
             return Err(TensorError::ShapeMismatch {
                 expected: (self.cols, dense.cols()),
@@ -102,17 +124,47 @@ impl CsrMatrix {
                 op: "CsrMatrix::matmul_dense",
             });
         }
-        let mut out = Matrix::zeros(self.rows, dense.cols());
-        for r in 0..self.rows {
-            for (c, v) in self.row_entries(r) {
+        if out.shape() != (self.rows, dense.cols()) {
+            return Err(TensorError::ShapeMismatch {
+                expected: (self.rows, dense.cols()),
+                found: out.shape(),
+                op: "CsrMatrix::matmul_dense_into",
+            });
+        }
+        let cols = dense.cols();
+        out.data_mut().fill(0.0);
+        if cols == 0 || self.rows == 0 {
+            return Ok(());
+        }
+        let threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+            .min(self.rows.max(1));
+        if threads > 1 && self.nnz().saturating_mul(cols) >= PAR_MIN_WORK {
+            let rows_per_shard = self.rows.div_ceil(threads);
+            std::thread::scope(|s| {
+                for (shard, chunk) in out.data_mut().chunks_mut(rows_per_shard * cols).enumerate() {
+                    let first_row = shard * rows_per_shard;
+                    s.spawn(move || self.accumulate_rows(dense, first_row, chunk, cols));
+                }
+            });
+        } else {
+            self.accumulate_rows(dense, 0, out.data_mut(), cols);
+        }
+        Ok(())
+    }
+
+    /// Serial kernel over the row range starting at `first_row` whose output
+    /// slice is `chunk` (`chunk.len() / cols` rows).
+    fn accumulate_rows(&self, dense: &Matrix, first_row: usize, chunk: &mut [f32], cols: usize) {
+        for (local, dst) in chunk.chunks_mut(cols).enumerate() {
+            for (c, v) in self.row_entries(first_row + local) {
                 let src = dense.row(c);
-                let dst = out.row_mut(r);
                 for (d, s) in dst.iter_mut().zip(src.iter()) {
                     *d += v * s;
                 }
             }
         }
-        Ok(out)
     }
 
     /// Transposed sparse–dense product `selfᵀ * dense` (used in backward).

@@ -8,6 +8,8 @@
 //! [`ParamSet`](crate::ParamSet) and are re-inserted as leaves on every
 //! training step, exactly like a define-by-run framework.
 
+use std::rc::Rc;
+
 use crate::ops::Op;
 use crate::{Matrix, TensorError};
 
@@ -16,7 +18,12 @@ use crate::{Matrix, TensorError};
 pub struct Var(pub(crate) usize);
 
 pub(crate) struct Node {
-    value: Matrix,
+    // Values are reference-counted so that (a) large constant inputs can be
+    // shared onto many tapes without copying (`Tape::constant_shared` — one
+    // feature matrix serves every training epoch) and (b) the backward pass
+    // can hold a node's output while mutating the node table without
+    // cloning the matrix.
+    value: Rc<Matrix>,
     grad: Option<Matrix>,
     op: Op,
     requires_grad: bool,
@@ -54,6 +61,21 @@ impl Tape {
         self.push_with_grad(value, Op::Constant, false)
     }
 
+    /// Inserts a non-differentiable constant without copying it: the tape
+    /// shares the caller's reference-counted matrix. Training loops that
+    /// re-feed the same features every epoch (and would otherwise clone a
+    /// full feature matrix per step) should build the `Rc` once and pass
+    /// clones of it here.
+    pub fn constant_shared(&mut self, value: Rc<Matrix>) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op: Op::Constant,
+            requires_grad: false,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
     /// Value held by a variable.
     pub fn value(&self, v: Var) -> &Matrix {
         &self.nodes[v.0].value
@@ -78,7 +100,7 @@ impl Tape {
 
     fn push_with_grad(&mut self, value: Matrix, op: Op, requires_grad: bool) -> Var {
         self.nodes.push(Node {
-            value,
+            value: Rc::new(value),
             grad: None,
             op,
             requires_grad,
@@ -147,7 +169,9 @@ impl Tape {
                 }
                 match &node.grad {
                     None => continue,
-                    Some(g) => (node.op.clone(), g.clone(), node.value.clone()),
+                    // Cloning the Rc keeps the node's output alive across the
+                    // mutable gradient updates below without copying it.
+                    Some(g) => (node.op.clone(), g.clone(), Rc::clone(&node.value)),
                 }
             };
             let contributions = self.backward_contributions(&op, &grad, &out)?;

@@ -110,6 +110,42 @@
 //! immutable after fit, so cached community searches stay valid for the
 //! service's lifetime while memory use stays flat.
 //!
+//! ## Serving performance
+//!
+//! Inference never touches the autodiff tape: `suggest_batch` runs through
+//! a dedicated tape-free path (`Mlp::infer` and friends in [`gnn::infer`])
+//! built on fused, cache-blocked kernels in [`tensor`] that write into a
+//! reusable [`ScratchPool`](tensor::ScratchPool) — no per-op allocation in
+//! steady state, and **bit-identical** outputs to the taped training-time
+//! forward pass (asserted by property tests; the taped reference survives
+//! as `predict_scores_taped`). Scratch-pool rules: whoever `take`s a buffer
+//! `recycle`s it when done; a taken buffer has *unspecified contents* and
+//! must be fully overwritten (every `*_into` kernel does — use
+//! `take_zeroed` otherwise); buffers never cross threads — each serving
+//! worker owns its own pool.
+//!
+//! Large batches are sharded across scoped worker threads automatically
+//! (the service is `Sync`;
+//! [`suggest_batch_sharded`](core::DecisionService::suggest_batch_sharded)
+//! controls the shard count explicitly). The shared explanation memo is
+//! locked only for lookup/insert — never during a community search — so
+//! cold explanations overlap across shards. Responses are always in
+//! request order with scores identical to serial serving.
+//!
+//! The serving performance trajectory is tracked in `BENCH_serving.json`
+//! at the repository root, written by
+//! `cargo run --release -p dssddi-experiments --bin bench_report`. Each
+//! entry reports `throughput_rps` (requests per second over the whole
+//! run), and `p50_ms`/`p99_ms` latency percentiles per *batch* call for a
+//! named workload at a given `batch_size` — compare `suggest_batch_cold`
+//! (explanation cache cleared before every batch) against
+//! `suggest_batch_memoized` (steady state), and `predict_scores_taped`
+//! against `predict_scores_tape_free` for the pure model-inference
+//! speedup. Criterion benches covering the same paths live in
+//! `crates/bench/benches/service_serving.rs`
+//! (`cargo bench -p dssddi-bench`); CI smoke-runs them with
+//! `cargo bench -- --test`.
+//!
 //! ## Migrating from the research facade
 //!
 //! The pre-service entry points still compile but are deprecated:
