@@ -30,7 +30,7 @@ pub struct SignedEdge {
 }
 
 /// The explanation produced for a set of suggested drugs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Explanation {
     /// The suggested drugs the explanation is about.
     pub suggested: Vec<usize>,

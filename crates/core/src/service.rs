@@ -140,7 +140,7 @@ pub struct ScoredDrug {
 }
 
 /// Per-request constraints on which drugs may be suggested.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SuggestFilters {
     /// Drugs that must never appear in the suggestion (allergies,
     /// contraindications, drugs already tried).
@@ -168,7 +168,7 @@ impl SuggestFilters {
 }
 
 /// A medication-suggestion request for one patient.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuggestRequest {
     /// Caller-side patient identifier, echoed in the response.
     pub patient: PatientId,
@@ -199,7 +199,7 @@ impl SuggestRequest {
 }
 
 /// The service's answer to a [`SuggestRequest`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SuggestResponse {
     /// The patient the suggestion is for.
     pub patient: PatientId,
@@ -213,7 +213,7 @@ pub struct SuggestResponse {
 }
 
 /// A request to critique an existing prescription against the DDI graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CheckPrescriptionRequest {
     /// Optional patient the prescription belongs to.
     pub patient: Option<PatientId>,
@@ -254,7 +254,7 @@ pub struct PairInteraction {
 
 /// The critique of a prescription: every pairwise interaction among the
 /// prescribed drugs, plus the community explanation and its SS score.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct InteractionReport {
     /// The patient the prescription belongs to, when given.
     pub patient: Option<PatientId>,
@@ -616,26 +616,65 @@ impl DecisionService {
     /// [`CoreError::Persistence`]; loading never panics.
     pub fn load(path: impl AsRef<Path>, registry: DrugRegistry) -> Result<Self, CoreError> {
         let payload = tserde::load_container(path)?;
-        let mut r = ByteReader::new(&payload);
+        Self::from_payload(&payload, Some(registry))
+    }
+
+    /// Loads a service saved by [`DecisionService::save`], reconstructing
+    /// the [`DrugRegistry`] from the DID-ordered name list embedded in the
+    /// file instead of requiring the caller to supply one.
+    ///
+    /// This is what a serving host that only receives `DSSD` files — such as
+    /// the `dssddi-serve` gateway — uses: the embedded names identify the
+    /// formulary completely (the stored digest is still verified against
+    /// them), but the reconstructed registry carries no class or indication
+    /// metadata. When the caller *does* hold the original registry, prefer
+    /// [`DecisionService::load`], which cross-checks it name by name.
+    pub fn load_with_embedded_registry(path: impl AsRef<Path>) -> Result<Self, CoreError> {
+        let payload = tserde::load_container(path)?;
+        Self::from_payload(&payload, None)
+    }
+
+    /// Decodes a service payload. With `Some(registry)` the embedded name
+    /// list is verified against the provided registry (same drugs, same
+    /// DIDs); with `None` the registry is rebuilt from the embedded names.
+    fn from_payload(payload: &[u8], provided: Option<DrugRegistry>) -> Result<Self, CoreError> {
+        let mut r = ByteReader::new(payload);
         persist::expect_section(&mut r, section::SERVICE, "service")?;
         let digest = r.take_u64("service.registry_digest")?;
         let n_names = r.take_usize("service.registry_len")?;
-        if n_names != registry.len() {
-            return Err(CoreError::persistence(format!(
-                "service was persisted with {n_names} drugs but the provided registry has {}",
-                registry.len()
-            )));
-        }
-        for did in 0..n_names {
-            let stored = r.take_str("service.registry_name")?;
-            let provided = registry.name_of(did).unwrap_or("<missing>");
-            if stored != provided {
+        if let Some(registry) = &provided {
+            if n_names != registry.len() {
                 return Err(CoreError::persistence(format!(
-                    "registry mismatch at DID {did}: service was persisted with \
-                     {stored:?} but the provided registry has {provided:?}"
+                    "service was persisted with {n_names} drugs but the provided registry has {}",
+                    registry.len()
                 )));
             }
         }
+        // Collected only when reconstructing; every name read is individually
+        // bounds-checked, and no allocation is sized from the untrusted
+        // n_names count.
+        let mut stored_names: Vec<String> = Vec::new();
+        for did in 0..n_names {
+            let stored = r.take_str("service.registry_name")?;
+            match &provided {
+                Some(registry) => {
+                    let provided_name = registry.name_of(did).unwrap_or("<missing>");
+                    if stored != provided_name {
+                        return Err(CoreError::persistence(format!(
+                            "registry mismatch at DID {did}: service was persisted with \
+                             {stored:?} but the provided registry has {provided_name:?}"
+                        )));
+                    }
+                }
+                None => stored_names.push(stored),
+            }
+        }
+        let registry = match provided {
+            Some(registry) => registry,
+            None => DrugRegistry::from_names(stored_names).map_err(|e| {
+                CoreError::persistence(format!("embedded registry names are invalid: {e}"))
+            })?,
+        };
         if digest != registry.digest() {
             return Err(CoreError::persistence(
                 "registry digest mismatch: the provided registry is not the one the \
@@ -739,6 +778,23 @@ impl DecisionService {
         }
     }
 
+    /// True when the service carries a trained model (suggestion works);
+    /// false for support-only services (critique only).
+    pub fn is_fitted(&self) -> bool {
+        matches!(&self.state, ServiceState::Fitted { .. })
+    }
+
+    /// Length of the patient feature vectors the trained model expects, or
+    /// `None` for support-only services. Serving gateways surface this in
+    /// their model listings so remote callers can size requests without
+    /// holding the training data.
+    pub fn n_features(&self) -> Option<usize> {
+        match &self.state {
+            ServiceState::Fitted { n_features, .. } => Some(*n_features),
+            ServiceState::SupportOnly { .. } => None,
+        }
+    }
+
     fn fitted(&self, operation: &str) -> Result<(&Dssddi, usize), CoreError> {
         match &self.state {
             ServiceState::Fitted { engine, n_features } => Ok((engine.as_ref(), *n_features)),
@@ -799,10 +855,14 @@ impl DecisionService {
         requests: &[SuggestRequest],
         shards: usize,
     ) -> Result<Vec<SuggestResponse>, CoreError> {
-        let (engine, n_features) = self.fitted("suggest_batch")?;
+        // An empty batch is an empty answer — before any model check or
+        // shard arithmetic, so no worker thread is ever spawned for it and
+        // pollers draining an empty queue don't error on support-only
+        // services.
         if requests.is_empty() {
             return Ok(Vec::new());
         }
+        let (engine, n_features) = self.fitted("suggest_batch")?;
         let n_drugs = self.ddi_graph().node_count();
         for (i, request) in requests.iter().enumerate() {
             if request.features.len() != n_features {
@@ -835,7 +895,7 @@ impl DecisionService {
         if shards == 1 {
             return self.serve_chunk(engine, n_features, requests);
         }
-        let chunk_len = requests.len().div_ceil(shards);
+        let chunk_len = Self::shard_chunk_len(requests.len(), shards);
         let results: Vec<Result<Vec<SuggestResponse>, CoreError>> = std::thread::scope(|s| {
             let handles: Vec<_> = requests
                 .chunks(chunk_len)
@@ -856,6 +916,16 @@ impl DecisionService {
             responses.extend(result?);
         }
         Ok(responses)
+    }
+
+    /// Chunk length that spreads `n_requests` over at most `shards` workers
+    /// with no idle worker: the caller clamps `shards` to the batch size, and
+    /// ceiling division guarantees `div_ceil(n_requests, chunk_len)` — the
+    /// number of threads actually spawned — never exceeds either bound, so a
+    /// shard count larger than the batch cannot create workers with nothing
+    /// to serve.
+    fn shard_chunk_len(n_requests: usize, shards: usize) -> usize {
+        n_requests.div_ceil(shards.clamp(1, n_requests.max(1)))
     }
 
     /// Serves one contiguous chunk of validated requests: a single
@@ -1365,6 +1435,61 @@ mod tests {
                 assert_eq!(a.suggestion_satisfaction, b.suggestion_satisfaction);
             }
         }
+    }
+
+    #[test]
+    fn empty_batch_returns_empty_without_workers_or_model() {
+        // Fitted: empty in, empty out, regardless of the shard request.
+        let (service, _, _) = fitted_service(31);
+        assert_eq!(service.suggest_batch(&[]).unwrap(), vec![]);
+        assert_eq!(service.suggest_batch_sharded(&[], 0).unwrap(), vec![]);
+        assert_eq!(service.suggest_batch_sharded(&[], 1000).unwrap(), vec![]);
+        // Support-only: an empty batch needs no model, so it must not be a
+        // NotFitted error — a poller draining an empty queue is routine.
+        let support = support_service(31);
+        assert_eq!(support.suggest_batch(&[]).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn oversized_shard_counts_never_plan_idle_workers() {
+        for n_requests in [1usize, 2, 5, 8, 64, 100] {
+            for shards in [
+                0usize,
+                1,
+                2,
+                7,
+                n_requests,
+                n_requests + 1,
+                10 * n_requests + 3,
+            ] {
+                let chunk_len = DecisionService::shard_chunk_len(n_requests, shards);
+                assert!(chunk_len >= 1);
+                let workers = n_requests.div_ceil(chunk_len);
+                assert!(
+                    workers <= n_requests,
+                    "{workers} workers planned for {n_requests} requests (shards = {shards})"
+                );
+                assert!(
+                    workers <= shards.max(1),
+                    "{workers} workers exceed the {shards} requested shards"
+                );
+                // Every worker owns at least one request: the last chunk is
+                // the only short one and it is never empty.
+                assert!((workers - 1) * chunk_len < n_requests);
+            }
+        }
+    }
+
+    #[test]
+    fn shard_counts_beyond_the_batch_still_serve_correctly() {
+        let (service, cohort, held_out) = fitted_service(37);
+        let requests: Vec<SuggestRequest> = held_out[..3]
+            .iter()
+            .map(|&p| SuggestRequest::new(PatientId::new(p), cohort.features().row(p).to_vec(), 3))
+            .collect();
+        let serial = service.suggest_batch_sharded(&requests, 1).unwrap();
+        let oversharded = service.suggest_batch_sharded(&requests, 500).unwrap();
+        assert_eq!(serial, oversharded);
     }
 
     #[test]

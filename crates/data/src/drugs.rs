@@ -162,6 +162,9 @@ pub enum DrugClass {
     Ophthalmic,
     /// Cardiac glycosides, antiarrhythmics and other cardiovascular agents.
     OtherCardiac,
+    /// No pharmacological class on record — the class of anonymised drugs in
+    /// registries built from bare name lists (e.g. the MIMIC label space).
+    Unclassified,
 }
 
 /// A drug in the formulary.
@@ -170,7 +173,7 @@ pub struct Drug {
     /// Drug ID (DID) — the index of the drug in the registry.
     pub id: usize,
     /// Generic name.
-    pub name: &'static str,
+    pub name: String,
     /// Pharmacological class.
     pub class: DrugClass,
     /// Diseases the drug is prescribed for.
@@ -458,12 +461,52 @@ impl DrugRegistry {
             .enumerate()
             .map(|(id, (name, class, treats))| Drug {
                 id,
-                name,
+                name: name.to_string(),
                 class,
                 treats,
             })
             .collect();
         Self { drugs }
+    }
+
+    /// Builds a registry from a bare, DID-ordered name list — the shape of a
+    /// formulary that arrives without class or indication metadata, such as
+    /// the anonymised MIMIC drug space or the name list embedded in a
+    /// persisted `DSSD` service.
+    ///
+    /// Names must be non-empty and unique case-insensitively (lookup by name
+    /// ignores case, so two names differing only in case would shadow each
+    /// other). All drugs get [`DrugClass::Unclassified`] and an empty
+    /// indication list.
+    pub fn from_names(
+        names: impl IntoIterator<Item = impl Into<String>>,
+    ) -> Result<Self, crate::DataError> {
+        let mut drugs: Vec<Drug> = Vec::new();
+        for (id, name) in names.into_iter().enumerate() {
+            let name = name.into();
+            if name.trim().is_empty() {
+                return Err(crate::DataError::InvalidConfig {
+                    what: "registry names must be non-empty",
+                });
+            }
+            if drugs.iter().any(|d| d.name.eq_ignore_ascii_case(&name)) {
+                return Err(crate::DataError::InvalidConfig {
+                    what: "registry names must be unique (case-insensitively)",
+                });
+            }
+            drugs.push(Drug {
+                id,
+                name,
+                class: DrugClass::Unclassified,
+                treats: Vec::new(),
+            });
+        }
+        if drugs.is_empty() {
+            return Err(crate::DataError::InvalidConfig {
+                what: "a registry needs at least one drug",
+            });
+        }
+        Ok(Self { drugs })
     }
 
     /// Number of drugs in the registry.
@@ -489,8 +532,8 @@ impl DrugRegistry {
     }
 
     /// Generic name of the drug with the given DID.
-    pub fn name_of(&self, id: usize) -> Option<&'static str> {
-        self.drugs.get(id).map(|d| d.name)
+    pub fn name_of(&self, id: usize) -> Option<&str> {
+        self.drugs.get(id).map(|d| d.name.as_str())
     }
 
     /// Resolves a free-form drug reference to a DID: a (case-insensitive)
@@ -518,8 +561,8 @@ impl DrugRegistry {
 
     /// Generic names of all drugs in DID order — the identity a persisted
     /// service records so typed [`Drug`] ids survive a save/load round trip.
-    pub fn names(&self) -> Vec<&'static str> {
-        self.drugs.iter().map(|d| d.name).collect()
+    pub fn names(&self) -> Vec<&str> {
+        self.drugs.iter().map(|d| d.name.as_str()).collect()
     }
 
     /// A content digest (FNV-1a over the DID-ordered names) identifying the
@@ -693,6 +736,29 @@ mod tests {
             assert_eq!(i, drug.id);
             assert!(!drug.treats.is_empty());
         }
+    }
+
+    #[test]
+    fn from_names_builds_an_unclassified_registry() {
+        let reg = DrugRegistry::from_names(["Alpha", "Beta", "Gamma"]).unwrap();
+        assert_eq!(reg.len(), 3);
+        assert_eq!(reg.resolve("beta"), Some(1));
+        assert_eq!(reg.resolve("DID 2"), Some(2));
+        assert_eq!(reg.name_of(2), Some("Gamma"));
+        assert!(reg.iter().all(|d| d.class == DrugClass::Unclassified));
+        // The digest is the same FNV over names, so a from_names registry
+        // with the standard names is digest-identical to the standard one.
+        let standard = DrugRegistry::standard();
+        let rebuilt = DrugRegistry::from_names(standard.names()).unwrap();
+        assert_eq!(rebuilt.digest(), standard.digest());
+    }
+
+    #[test]
+    fn from_names_rejects_degenerate_name_lists() {
+        assert!(DrugRegistry::from_names(Vec::<String>::new()).is_err());
+        assert!(DrugRegistry::from_names(["ok", ""]).is_err());
+        assert!(DrugRegistry::from_names(["ok", "  "]).is_err());
+        assert!(DrugRegistry::from_names(["Aspirin", "aspirin"]).is_err());
     }
 
     #[test]

@@ -16,6 +16,7 @@ use rand::Rng;
 use dssddi_graph::{Interaction, SignedGraph};
 use dssddi_tensor::Matrix;
 
+use crate::drugs::DrugRegistry;
 use crate::DataError;
 
 /// Configuration of the synthetic MIMIC-like generator.
@@ -55,6 +56,7 @@ pub struct MimicDataset {
     labels: Matrix,
     visits: Vec<usize>,
     ddi: SignedGraph,
+    registry: DrugRegistry,
     n_diagnosis_codes: usize,
     n_procedure_codes: usize,
 }
@@ -79,6 +81,16 @@ impl MimicDataset {
     /// The antagonism-only DDI graph over the anonymised drugs.
     pub fn ddi(&self) -> &SignedGraph {
         &self.ddi
+    }
+
+    /// The anonymised drug registry over the label space (`MIMIC drug 000`,
+    /// `MIMIC drug 001`, …): one entry per DDI node, so the typed
+    /// `DecisionService` API — and therefore the serving gateway — can
+    /// cover the MIMIC workload instead of falling back to the engine-level
+    /// one. The names carry no class or indication metadata, mirroring the
+    /// anonymised public MIMIC drug identifiers.
+    pub fn registry(&self) -> &DrugRegistry {
+        &self.registry
     }
 
     /// Number of patients.
@@ -239,11 +251,19 @@ pub fn generate_mimic_dataset(
             .map_err(DataError::Graph)?;
     }
 
+    // Anonymised registry over the label space: the public MIMIC download
+    // identifies drugs only by index, so the names are synthetic but stable,
+    // giving the typed service API (and the serving gateway) a formulary to
+    // resolve against.
+    let registry =
+        DrugRegistry::from_names((0..config.n_drugs).map(|d| format!("MIMIC drug {d:03}")))?;
+
     Ok(MimicDataset {
         features,
         labels,
         visits,
         ddi,
+        registry,
         n_diagnosis_codes: config.n_diagnosis_codes,
         n_procedure_codes: config.n_procedure_codes,
     })
@@ -291,6 +311,17 @@ mod tests {
         let d = small(50, 2);
         assert_eq!(d.ddi().synergistic_count(), 0);
         assert_eq!(d.ddi().antagonistic_count(), 200);
+    }
+
+    #[test]
+    fn registry_covers_the_label_space() {
+        let d = small(40, 6);
+        assert_eq!(d.registry().len(), d.n_drugs());
+        assert_eq!(d.registry().len(), d.ddi().node_count());
+        assert_eq!(d.registry().resolve("MIMIC drug 007"), Some(7));
+        assert_eq!(d.registry().name_of(0), Some("MIMIC drug 000"));
+        // Deterministic identity: the same config yields the same digest.
+        assert_eq!(d.registry().digest(), small(10, 9).registry().digest());
     }
 
     #[test]

@@ -20,11 +20,18 @@ use std::time::Instant;
 
 use dssddi_bench::BenchWorld;
 use dssddi_core::{CheckPrescriptionRequest, DecisionService, DrugId};
+use dssddi_serving::wire::{
+    decode_request, decode_response, encode_request, encode_response, open_wire_frame,
+};
+use dssddi_serving::{Client, ModelCatalog, ModelKey, Request, Router, Server};
 
 struct Workload {
     n_patients: usize,
     n_observed: usize,
     batch_sizes: Vec<usize>,
+    /// Batch sizes for the network-path benches (wire codec + loopback
+    /// gateway end-to-end).
+    gateway_batch_sizes: Vec<usize>,
     /// Timed repetitions per batch size.
     iterations: usize,
     seed: u64,
@@ -107,9 +114,18 @@ fn write_report(path: &str, workload: &Workload, results: &[BenchResult]) {
         workload.iterations
     ));
     out.push_str(&format!(
-        "    \"batch_sizes\": [{}]\n",
+        "    \"batch_sizes\": [{}],\n",
         workload
             .batch_sizes
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "    \"gateway_batch_sizes\": [{}]\n",
+        workload
+            .gateway_batch_sizes
             .iter()
             .map(|b| b.to_string())
             .collect::<Vec<_>>()
@@ -254,6 +270,98 @@ fn serving_results(
     results
 }
 
+/// Network-path results: wire-protocol encode/decode round-trip cost and
+/// end-to-end gateway throughput over loopback TCP, per batch size —
+/// `BENCH_serving.json` tracks the serving trajectory *including* the
+/// network layer, not just the in-process core.
+fn gateway_results(world: &BenchWorld, w: &Workload) -> Vec<BenchResult> {
+    let mut results = Vec::new();
+    let key = match ModelKey::new("chronic") {
+        Ok(key) => key,
+        Err(e) => panic!("model key: {e}"),
+    };
+    let held_out_pool: Vec<usize> = (w.n_observed..w.n_patients).collect();
+
+    // A gateway-owned service, fitted exactly like the in-process one.
+    let mut catalog = ModelCatalog::new();
+    catalog
+        .insert(key.clone(), world.fitted_service(w.n_observed, w.seed + 2))
+        .unwrap_or_else(|e| panic!("catalog insert: {e}"));
+    let server = Server::bind("127.0.0.1:0", Router::new(catalog))
+        .unwrap_or_else(|e| panic!("bind gateway: {e}"));
+    let addr = server
+        .local_addr()
+        .unwrap_or_else(|e| panic!("gateway addr: {e}"));
+    let server_thread = std::thread::spawn(move || server.run());
+    let mut client = Client::connect(addr).unwrap_or_else(|e| panic!("connect gateway: {e}"));
+
+    for &batch in &w.gateway_batch_sizes {
+        let patients: Vec<usize> = (0..batch)
+            .map(|i| held_out_pool[i % held_out_pool.len()])
+            .collect();
+        let requests = world.suggest_requests(&patients);
+
+        // Pure codec cost: request encode→validate→decode round trip
+        // (no sockets, no model).
+        let wire_request = Request::SuggestBatch {
+            model: key.clone(),
+            requests: requests.clone(),
+        };
+        results.push(measure(
+            "wire_request_roundtrip",
+            batch,
+            w.iterations,
+            || {},
+            || {
+                let frame = encode_request(&wire_request);
+                let payload = open_wire_frame(&frame).expect("frame validates");
+                decode_request(payload).expect("payload decodes");
+            },
+        ));
+        // Response frames are much larger (explanation subgraphs); measure
+        // them separately from a real served response.
+        let response_frame = {
+            let responses = client
+                .suggest_batch(&key, &requests)
+                .unwrap_or_else(|e| panic!("gateway warm-up: {e}"));
+            encode_response(&dssddi_serving::Response::SuggestBatch(responses))
+        };
+        results.push(measure(
+            "wire_response_roundtrip",
+            batch,
+            w.iterations,
+            || {},
+            || {
+                let payload = open_wire_frame(&response_frame).expect("frame validates");
+                decode_response(payload).expect("payload decodes");
+            },
+        ));
+        // End-to-end: client → loopback TCP → router → sharded
+        // suggest_batch → response frame → client (warm explanation memo,
+        // the steady state of a homogeneous cohort).
+        results.push(measure(
+            "gateway_suggest_batch_loopback",
+            batch,
+            w.iterations,
+            || {},
+            || {
+                client
+                    .suggest_batch(&key, &requests)
+                    .unwrap_or_else(|e| panic!("gateway suggest_batch: {e}"));
+            },
+        ));
+    }
+
+    client
+        .shutdown()
+        .unwrap_or_else(|e| panic!("gateway shutdown: {e}"));
+    match server_thread.join() {
+        Ok(result) => result.unwrap_or_else(|e| panic!("gateway run loop: {e}")),
+        Err(_) => panic!("gateway run loop panicked"),
+    }
+    results
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut smoke = false;
@@ -285,6 +393,7 @@ fn main() {
             n_patients: 60,
             n_observed: 45,
             batch_sizes: vec![1, 8],
+            gateway_batch_sizes: vec![1, 16],
             iterations: 2,
             seed,
             smoke,
@@ -294,6 +403,7 @@ fn main() {
             n_patients,
             n_observed: n_patients * 3 / 5,
             batch_sizes: vec![1, 8, 64],
+            gateway_batch_sizes: vec![1, 16, 64],
             iterations: 10,
             seed,
             smoke,
@@ -308,7 +418,9 @@ fn main() {
     let service = world.fitted_service(workload.n_observed, workload.seed + 2);
 
     eprintln!("bench_report: running serving workload ...");
-    let results = serving_results(&world, &service, &workload);
+    let mut results = serving_results(&world, &service, &workload);
+    eprintln!("bench_report: running gateway/network workload ...");
+    results.extend(gateway_results(&world, &workload));
     write_report(&out_path, &workload, &results);
     for r in &results {
         println!(

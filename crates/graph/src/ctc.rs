@@ -15,7 +15,7 @@ use crate::truss::{maintain_p_truss, truss_decomposition, TrussDecomposition};
 use crate::{GraphError, UnGraph};
 
 /// A dense explanation subgraph around a set of query drugs.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Community {
     /// Nodes of the community (always a superset of the reachable query nodes).
     pub nodes: BTreeSet<usize>,

@@ -1,0 +1,141 @@
+//! Queries a running `dssddi-serve` gateway over the network: the client
+//! half of the *train → save → serve → query* story.
+//!
+//! Start a gateway first, e.g. the deterministic demo catalog:
+//!
+//! ```text
+//! cargo run --release -p dssddi-serving --bin dssddi-serve -- --demo --listen 127.0.0.1:0
+//! ```
+//!
+//! then point this example at the printed address:
+//!
+//! ```text
+//! cargo run --release -p dssddi-serving --example serve_client -- 127.0.0.1:PORT [--shutdown]
+//! ```
+//!
+//! With `--shutdown` the example asks the gateway to exit cleanly after the
+//! queries — that is what the CI loopback smoke test does.
+
+use dssddi_core::{CheckPrescriptionRequest, DrugId, SuggestRequest};
+use dssddi_serving::demo::{demo_requests, demo_world, DEMO_SEED};
+use dssddi_serving::{Client, ServingError};
+
+fn main() -> Result<(), ServingError> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let addr = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".to_string());
+    let shutdown = args.iter().any(|a| a == "--shutdown");
+
+    println!("connecting to dssddi-serve at {addr} ...");
+    let mut client = Client::connect(addr.as_str())?;
+
+    // 1. What does this gateway serve?
+    let models = client.list_models()?;
+    println!("\ngateway serves {} model(s):", models.len());
+    for model in &models {
+        println!(
+            "  {:<12} fitted: {:<5} drugs: {:<3} features: {:<9} backbone: {} digest: {:#018x}",
+            model.key.to_string(),
+            model.fitted,
+            model.n_drugs,
+            model
+                .n_features
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "-".to_string()),
+            model.backbone,
+            model.registry_digest,
+        );
+    }
+
+    // 2. Pick a fitted shard and suggest medications for held-out patients.
+    //    The demo world is derived from a shared seed, so when the gateway
+    //    runs `--demo` we can send real held-out patient features; against
+    //    other gateways we fall back to zero vectors of the advertised width.
+    let fitted = models
+        .iter()
+        .find(|m| m.fitted)
+        .ok_or_else(|| ServingError::Protocol {
+            what: "gateway serves no fitted model".to_string(),
+        })?;
+    let world = demo_world(DEMO_SEED)?;
+    let requests: Vec<SuggestRequest> = match fitted.n_features {
+        Some(n) if n == world.cohort.features().cols() => demo_requests(&world, 4, 3),
+        Some(n) => demo_requests(&world, 4, 3)
+            .into_iter()
+            .map(|r| SuggestRequest::new(r.patient, vec![0.0; n], r.k))
+            .collect(),
+        None => Vec::new(),
+    };
+
+    println!("\nsuggestions from model {:?}:", fitted.key.to_string());
+    let responses = client.suggest_batch(&fitted.key, &requests)?;
+    for response in &responses {
+        let drugs: Vec<String> = response
+            .drugs
+            .iter()
+            .map(|d| format!("{} (score {:.3})", d.name, d.score))
+            .collect();
+        println!(
+            "  {}: {} | SS {:.3}",
+            response.patient,
+            drugs.join(", "),
+            response.suggestion_satisfaction
+        );
+    }
+
+    // 3. Critique a prescription: Gabapentin (61) + Isosorbide Mononitrate
+    //    (59) is the paper's Fig. 8 antagonistic pair in the standard
+    //    formulary.
+    let critique_key = models
+        .iter()
+        .map(|m| &m.key)
+        .find(|k| k.as_str() == "critique")
+        .cloned()
+        .unwrap_or_else(|| fitted.key.clone());
+    let check = CheckPrescriptionRequest::new(vec![DrugId::new(61), DrugId::new(59)]);
+    match client.check_prescription(&critique_key, &check) {
+        Ok(report) => {
+            println!(
+                "\nprescription critique on {:?}: safe = {}",
+                critique_key.to_string(),
+                report.is_safe()
+            );
+            for pair in &report.antagonistic {
+                println!(
+                    "  warning: {} is antagonistic with {}",
+                    pair.a_name, pair.b_name
+                );
+            }
+        }
+        Err(ServingError::Remote { code, message }) => {
+            // A non-demo gateway may have a smaller formulary; the typed
+            // error tells us exactly that without tearing anything down.
+            println!("\nprescription critique rejected ({code}): {message}");
+        }
+        Err(other) => return Err(other),
+    }
+
+    // 4. Serving statistics accumulated by the gateway for this session.
+    println!("\nper-model serving stats:");
+    for (key, stats) in client.stats()? {
+        println!(
+            "  {:<12} requests: {:<4} errors: {:<3} cache hit rate: {:.2} p50: {:.3} ms p99: {:.3} ms",
+            key.to_string(),
+            stats.requests,
+            stats.errors,
+            stats.cache_hit_rate(),
+            stats.p50_ms,
+            stats.p99_ms,
+        );
+    }
+
+    if shutdown {
+        println!("\nasking the gateway to shut down ...");
+        client.shutdown()?;
+        println!("gateway acknowledged shutdown");
+    }
+    Ok(())
+}

@@ -1,0 +1,152 @@
+//! The DSSDDI serving gateway binary.
+//!
+//! Loads one or more trained `DSSD` model files into a [`ModelCatalog`] and
+//! serves them over TCP with the versioned wire protocol — the *train →
+//! save → serve → query* deployment story of the decision support system.
+//!
+//! ```text
+//! dssddi-serve [--listen ADDR] [--demo] [--seed S] [KEY=PATH.dssd ...]
+//!
+//!   --listen ADDR   address to bind (default 127.0.0.1:7878; port 0 picks
+//!                   an ephemeral port, printed on startup)
+//!   --demo          train and serve the deterministic demo catalog
+//!                   (shards "chronic" and "critique") instead of, or in
+//!                   addition to, loading files
+//!   --seed S        demo training seed (default 7)
+//!   KEY=PATH        load PATH (a DecisionService::save file) under the
+//!                   routing key KEY; repeatable
+//! ```
+//!
+//! On startup the gateway prints exactly one line
+//! `dssddi-serve listening on <addr>` to stdout, so wrappers (CI, scripts)
+//! can scrape the ephemeral port. It exits cleanly when a client sends the
+//! `Shutdown` message.
+
+use std::process::ExitCode;
+
+use dssddi_serving::demo::{demo_catalog, DEMO_SEED};
+use dssddi_serving::{ModelCatalog, ModelKey, Router, Server};
+
+struct Args {
+    listen: String,
+    demo: bool,
+    seed: u64,
+    models: Vec<(String, String)>,
+}
+
+fn usage() -> &'static str {
+    "usage: dssddi-serve [--listen ADDR] [--demo] [--seed S] [KEY=PATH.dssd ...]\n\
+     serve trained DSSD model files (or the --demo catalog) over TCP"
+}
+
+fn parse_args(args: &[String]) -> Result<Args, String> {
+    let mut parsed = Args {
+        listen: "127.0.0.1:7878".to_string(),
+        demo: false,
+        seed: DEMO_SEED,
+        models: Vec::new(),
+    };
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--listen" => {
+                i += 1;
+                parsed.listen = args
+                    .get(i)
+                    .ok_or("--listen needs an address argument")?
+                    .clone();
+            }
+            "--demo" => parsed.demo = true,
+            "--seed" => {
+                i += 1;
+                parsed.seed = args
+                    .get(i)
+                    .ok_or("--seed needs a number argument")?
+                    .parse()
+                    .map_err(|e| format!("invalid --seed: {e}"))?;
+            }
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => {
+                let (key, path) = other.split_once('=').ok_or_else(|| {
+                    format!("unrecognised argument {other:?} (model files are KEY=PATH)")
+                })?;
+                parsed.models.push((key.to_string(), path.to_string()));
+            }
+        }
+        i += 1;
+    }
+    Ok(parsed)
+}
+
+fn build_catalog(args: &Args) -> Result<ModelCatalog, String> {
+    let mut catalog = if args.demo {
+        eprintln!(
+            "dssddi-serve: training demo catalog (seed {}) ...",
+            args.seed
+        );
+        let (catalog, _world) =
+            demo_catalog(args.seed).map_err(|e| format!("training demo catalog: {e}"))?;
+        catalog
+    } else {
+        ModelCatalog::new()
+    };
+    for (key, path) in &args.models {
+        let key = ModelKey::new(key.as_str()).map_err(|e| e.to_string())?;
+        catalog
+            .load_file(key.clone(), path)
+            .map_err(|e| format!("loading {path:?} as {key}: {e}"))?;
+        eprintln!("dssddi-serve: loaded {path:?} as model {key:?}");
+    }
+    if catalog.is_empty() {
+        return Err(format!("no models to serve\n{}", usage()));
+    }
+    Ok(catalog)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&args) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            return ExitCode::from(2);
+        }
+    };
+    let catalog = match build_catalog(&args) {
+        Ok(catalog) => catalog,
+        Err(message) => {
+            eprintln!("dssddi-serve: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let keys: Vec<String> = catalog.keys().iter().map(|k| k.to_string()).collect();
+    let server = match Server::bind(args.listen.as_str(), Router::new(catalog)) {
+        Ok(server) => server,
+        Err(error) => {
+            eprintln!("dssddi-serve: cannot bind {}: {error}", args.listen);
+            return ExitCode::from(1);
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => {
+            // The single scrape-able startup line; everything else goes to
+            // stderr so wrappers can rely on stdout's shape.
+            println!("dssddi-serve listening on {addr}");
+            eprintln!("dssddi-serve: serving models: {}", keys.join(", "));
+        }
+        Err(error) => {
+            eprintln!("dssddi-serve: cannot read bound address: {error}");
+            return ExitCode::from(1);
+        }
+    }
+    match server.run() {
+        Ok(()) => {
+            eprintln!("dssddi-serve: shutdown complete");
+            ExitCode::SUCCESS
+        }
+        Err(error) => {
+            eprintln!("dssddi-serve: server failed: {error}");
+            ExitCode::from(1)
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! The blocking gateway client.
+//!
+//! [`Client`] speaks the [`crate::wire`] protocol over one TCP connection:
+//! each method writes one framed request and blocks for the framed
+//! response. Responses carry exactly the bytes the server's in-process
+//! `DecisionService` produced — scores and satisfaction values are
+//! IEEE-754 bit-identical to a local call on the same fitted service.
+//!
+//! Server-side failures come back as [`ServingError::Remote`] with the
+//! machine-readable [`crate::ErrorCode`], so callers can branch on the
+//! failure class (`UnknownModel` vs `InvalidInput` vs `NotFitted` ...)
+//! without parsing messages.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use dssddi_core::{CheckPrescriptionRequest, InteractionReport, SuggestRequest, SuggestResponse};
+
+use crate::router::{ModelInfo, ModelKey, ModelStats};
+use crate::wire::{self, RequestRef, Response, WireError};
+use crate::ServingError;
+
+/// A blocking connection to a `dssddi-serve` gateway.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a gateway.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServingError> {
+        let stream = TcpStream::connect(addr).map_err(|e| ServingError::Io {
+            what: format!("connecting to gateway: {e}"),
+        })?;
+        stream.set_nodelay(true).ok();
+        Ok(Self { stream })
+    }
+
+    /// One request/response exchange; remote error frames become
+    /// [`ServingError::Remote`]. The borrowed view means no request payload
+    /// (feature vectors included) is ever cloned just to be encoded.
+    fn call(&mut self, request: RequestRef<'_>) -> Result<Response, ServingError> {
+        wire::write_frame(&mut self.stream, &wire::encode_request_ref(request))?;
+        let payload = wire::read_frame(&mut self.stream)?;
+        let response = wire::decode_response(&payload).map_err(WireError::Decode)?;
+        match response {
+            Response::Error { code, message } => Err(ServingError::Remote { code, message }),
+            other => Ok(other),
+        }
+    }
+
+    /// Asks one model shard for a top-k suggestion.
+    pub fn suggest(
+        &mut self,
+        model: &ModelKey,
+        request: &SuggestRequest,
+    ) -> Result<SuggestResponse, ServingError> {
+        match self.call(RequestRef::Suggest { model, request })? {
+            Response::Suggest(response) => Ok(response),
+            other => Err(unexpected("Suggest", &other)),
+        }
+    }
+
+    /// Sends a whole batch in one frame; the server answers it with one
+    /// sharded prediction pass, responses in request order.
+    pub fn suggest_batch(
+        &mut self,
+        model: &ModelKey,
+        requests: &[SuggestRequest],
+    ) -> Result<Vec<SuggestResponse>, ServingError> {
+        match self.call(RequestRef::SuggestBatch { model, requests })? {
+            Response::SuggestBatch(responses) => Ok(responses),
+            other => Err(unexpected("SuggestBatch", &other)),
+        }
+    }
+
+    /// Critiques an existing prescription against one shard's DDI graph.
+    pub fn check_prescription(
+        &mut self,
+        model: &ModelKey,
+        request: &CheckPrescriptionRequest,
+    ) -> Result<InteractionReport, ServingError> {
+        match self.call(RequestRef::CheckPrescription { model, request })? {
+            Response::CheckPrescription(report) => Ok(report),
+            other => Err(unexpected("CheckPrescription", &other)),
+        }
+    }
+
+    /// Lists the models the gateway serves.
+    pub fn list_models(&mut self) -> Result<Vec<ModelInfo>, ServingError> {
+        match self.call(RequestRef::ListModels)? {
+            Response::ListModels(models) => Ok(models),
+            other => Err(unexpected("ListModels", &other)),
+        }
+    }
+
+    /// Fetches per-model serving statistics.
+    pub fn stats(&mut self) -> Result<Vec<(ModelKey, ModelStats)>, ServingError> {
+        match self.call(RequestRef::Stats)? {
+            Response::Stats(entries) => Ok(entries),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Asks the gateway to shut down cleanly, consuming the client. Returns
+    /// once the server has acknowledged.
+    pub fn shutdown(mut self) -> Result<(), ServingError> {
+        match self.call(RequestRef::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("Shutdown", &other)),
+        }
+    }
+}
+
+fn unexpected(asked: &str, got: &Response) -> ServingError {
+    // Name only the variant: the payload can be large and is not the point.
+    let got = match got {
+        Response::Suggest(_) => "Suggest",
+        Response::SuggestBatch(_) => "SuggestBatch",
+        Response::CheckPrescription(_) => "CheckPrescription",
+        Response::ListModels(_) => "ListModels",
+        Response::Stats(_) => "Stats",
+        Response::ShuttingDown => "ShuttingDown",
+        Response::Error { .. } => "Error",
+    };
+    ServingError::Protocol {
+        what: format!("asked for {asked}, server answered {got}"),
+    }
+}

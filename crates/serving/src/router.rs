@@ -1,0 +1,485 @@
+//! The model catalog and router: several fitted services behind one typed
+//! serving surface.
+//!
+//! A production deployment of the paper's system shards by disease, cohort
+//! or region: each shard is one fitted [`DecisionService`] persisted to a
+//! `DSSD` file. [`ModelCatalog`] owns the loaded shards keyed by
+//! [`ModelKey`]; [`Router`] dispatches typed requests to the right shard
+//! and keeps per-model serving statistics — requests served, error count,
+//! explanation-cache hit rate, and p50/p99 latency over a sliding window —
+//! surfaced locally via [`Router::stats`] and remotely via the `Stats` wire
+//! message.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use dssddi_core::{
+    CheckPrescriptionRequest, DecisionService, InteractionReport, SuggestRequest, SuggestResponse,
+};
+use dssddi_data::DrugRegistry;
+
+use crate::ServingError;
+
+/// Maximum length of a model key, in bytes.
+pub const MAX_MODEL_KEY_LEN: usize = 64;
+
+/// Latency samples kept per model for the percentile estimates: enough for
+/// stable p99 figures, small enough that a long-lived gateway's stats stay
+/// O(1) per shard.
+const LATENCY_WINDOW: usize = 1024;
+
+/// Identifies one model shard in the catalog (e.g. `chronic`,
+/// `mimic/icu`, `region-hk.hypertension`).
+///
+/// Keys are non-empty, at most [`MAX_MODEL_KEY_LEN`] bytes, and restricted
+/// to ASCII alphanumerics plus `-`, `_`, `.` and `/` — a charset that
+/// survives command lines, file names and log lines unescaped.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ModelKey(String);
+
+impl ModelKey {
+    /// Validates and wraps a key.
+    pub fn new(key: impl Into<String>) -> Result<Self, ServingError> {
+        let key = key.into();
+        if key.is_empty() {
+            return Err(ServingError::InvalidKey {
+                what: "model keys must be non-empty".to_string(),
+            });
+        }
+        if key.len() > MAX_MODEL_KEY_LEN {
+            return Err(ServingError::InvalidKey {
+                what: format!(
+                    "model key is {} bytes, above the {MAX_MODEL_KEY_LEN}-byte limit",
+                    key.len()
+                ),
+            });
+        }
+        if let Some(bad) = key
+            .chars()
+            .find(|c| !(c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | '/')))
+        {
+            return Err(ServingError::InvalidKey {
+                what: format!(
+                    "model key {key:?} contains {bad:?}; allowed are ASCII alphanumerics \
+                     and '-', '_', '.', '/'"
+                ),
+            });
+        }
+        Ok(ModelKey(key))
+    }
+
+    /// The key as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ModelKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::str::FromStr for ModelKey {
+    type Err = ServingError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ModelKey::new(s)
+    }
+}
+
+/// What a gateway advertises about one shard in `ListModels` responses:
+/// enough for a remote caller to pick a shard and size requests for it
+/// without holding the training data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelInfo {
+    /// The shard's routing key.
+    pub key: ModelKey,
+    /// True when the shard carries a trained model (suggestion works);
+    /// false for support-only shards (prescription critique only).
+    pub fitted: bool,
+    /// Number of drugs in the shard's formulary.
+    pub n_drugs: usize,
+    /// Length of the feature vectors the shard's model expects
+    /// (`None` for support-only shards).
+    pub n_features: Option<usize>,
+    /// FNV digest of the shard's DID-ordered drug names — lets a caller
+    /// verify it holds the same formulary before trusting returned DIDs.
+    pub registry_digest: u64,
+    /// The DDIGCN backbone the shard was configured with.
+    pub backbone: String,
+}
+
+/// Per-model serving statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelStats {
+    /// Individual requests served (a batch of 16 counts 16).
+    pub requests: u64,
+    /// Requests that ended in an error.
+    pub errors: u64,
+    /// Cumulative explanation-cache hits of the shard's service.
+    pub cache_hits: u64,
+    /// Cumulative explanation-cache misses of the shard's service.
+    pub cache_misses: u64,
+    /// Median routed-call latency in milliseconds over the sliding window.
+    pub p50_ms: f64,
+    /// 99th-percentile routed-call latency in milliseconds over the window.
+    pub p99_ms: f64,
+}
+
+impl ModelStats {
+    /// Fraction of explanation lookups answered from the cache
+    /// (0.0 when nothing has been looked up yet).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Sliding window of routed-call latencies (microseconds).
+struct LatencyWindow {
+    samples: Vec<u64>,
+    /// Next slot to overwrite once the window is full.
+    next: usize,
+}
+
+impl LatencyWindow {
+    fn new() -> Self {
+        Self {
+            samples: Vec::with_capacity(LATENCY_WINDOW),
+            next: 0,
+        }
+    }
+
+    fn record(&mut self, micros: u64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(micros);
+        } else {
+            self.samples[self.next] = micros;
+            self.next = (self.next + 1) % LATENCY_WINDOW;
+        }
+    }
+
+    /// `(p50_ms, p99_ms)` over the window (zeros before the first sample).
+    fn percentiles_ms(&self) -> (f64, f64) {
+        if self.samples.is_empty() {
+            return (0.0, 0.0);
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = |pct: f64| {
+            let idx = ((pct / 100.0) * (sorted.len() - 1) as f64).round() as usize;
+            sorted[idx.min(sorted.len() - 1)] as f64 / 1e3
+        };
+        (rank(50.0), rank(99.0))
+    }
+}
+
+/// One shard: the service plus its serving counters.
+struct ModelEntry {
+    service: DecisionService,
+    requests: AtomicU64,
+    errors: AtomicU64,
+    latencies: Mutex<LatencyWindow>,
+}
+
+impl ModelEntry {
+    fn new(service: DecisionService) -> Self {
+        Self {
+            service,
+            requests: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyWindow::new()),
+        }
+    }
+
+    /// Records one routed call: `n_requests` individual requests answered
+    /// in `elapsed_micros`, successfully or not.
+    fn record(&self, n_requests: u64, elapsed_micros: u64, ok: bool) {
+        self.requests.fetch_add(n_requests, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(n_requests, Ordering::Relaxed);
+        }
+        // Same poisoning stance as the service's explanation cache: the
+        // window only holds samples, so state left by a panicking thread is
+        // still a valid window.
+        let mut window = self
+            .latencies
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        window.record(elapsed_micros);
+    }
+
+    fn stats(&self) -> ModelStats {
+        let (p50_ms, p99_ms) = {
+            let window = self
+                .latencies
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            window.percentiles_ms()
+        };
+        let (cache_hits, cache_misses) = self.service.explanation_cache_stats();
+        ModelStats {
+            requests: self.requests.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            cache_hits: cache_hits as u64,
+            cache_misses: cache_misses as u64,
+            p50_ms,
+            p99_ms,
+        }
+    }
+
+    fn info(&self, key: &ModelKey) -> ModelInfo {
+        ModelInfo {
+            key: key.clone(),
+            fitted: self.service.is_fitted(),
+            n_drugs: self.service.registry().len(),
+            n_features: self.service.n_features(),
+            registry_digest: self.service.registry().digest(),
+            backbone: self.service.config().ddi.backbone.name().to_string(),
+        }
+    }
+}
+
+/// Owns the loaded model shards of a gateway, keyed by [`ModelKey`].
+#[derive(Default)]
+pub struct ModelCatalog {
+    models: BTreeMap<ModelKey, ModelEntry>,
+}
+
+impl ModelCatalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of registered shards.
+    pub fn len(&self) -> usize {
+        self.models.len()
+    }
+
+    /// True when no shard is registered.
+    pub fn is_empty(&self) -> bool {
+        self.models.is_empty()
+    }
+
+    /// The registered keys, in sorted order.
+    pub fn keys(&self) -> Vec<&ModelKey> {
+        self.models.keys().collect()
+    }
+
+    /// The shard behind a key, when registered.
+    pub fn service(&self, key: &ModelKey) -> Option<&DecisionService> {
+        self.models.get(key).map(|entry| &entry.service)
+    }
+
+    /// Registers an in-process service under a key. Each key routes to
+    /// exactly one shard; re-registering is a typed error (a gateway that
+    /// silently swapped a model under a live key would serve two different
+    /// formularies to one client).
+    pub fn insert(&mut self, key: ModelKey, service: DecisionService) -> Result<(), ServingError> {
+        if self.models.contains_key(&key) {
+            return Err(ServingError::DuplicateModel {
+                key: key.as_str().to_string(),
+            });
+        }
+        self.models.insert(key, ModelEntry::new(service));
+        Ok(())
+    }
+
+    /// Loads a `DSSD` file into the catalog, reconstructing the formulary
+    /// from the registry embedded in the file
+    /// ([`DecisionService::load_with_embedded_registry`]) — the usual path
+    /// for a serving host that receives only trained artifacts.
+    pub fn load_file(&mut self, key: ModelKey, path: impl AsRef<Path>) -> Result<(), ServingError> {
+        let service = DecisionService::load_with_embedded_registry(path)?;
+        self.insert(key, service)
+    }
+
+    /// Loads a `DSSD` file into the catalog, verifying it against a
+    /// caller-held registry name by name ([`DecisionService::load`]).
+    pub fn load_file_with_registry(
+        &mut self,
+        key: ModelKey,
+        path: impl AsRef<Path>,
+        registry: DrugRegistry,
+    ) -> Result<(), ServingError> {
+        let service = DecisionService::load(path, registry)?;
+        self.insert(key, service)
+    }
+}
+
+impl fmt::Debug for ModelCatalog {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ModelCatalog")
+            .field("models", &self.keys())
+            .finish()
+    }
+}
+
+/// Routes typed requests to the right catalog shard and records per-model
+/// serving statistics. The router is `Sync`: one instance serves all
+/// connection threads of a gateway.
+#[derive(Debug)]
+pub struct Router {
+    catalog: ModelCatalog,
+}
+
+impl Router {
+    /// A router over a catalog.
+    pub fn new(catalog: ModelCatalog) -> Self {
+        Self { catalog }
+    }
+
+    /// The catalog behind the router.
+    pub fn catalog(&self) -> &ModelCatalog {
+        &self.catalog
+    }
+
+    fn entry(&self, key: &ModelKey) -> Result<&ModelEntry, ServingError> {
+        self.catalog
+            .models
+            .get(key)
+            .ok_or_else(|| ServingError::UnknownModel {
+                key: key.as_str().to_string(),
+                available: self
+                    .catalog
+                    .models
+                    .keys()
+                    .map(|k| k.as_str().to_string())
+                    .collect(),
+            })
+    }
+
+    /// Runs one routed call against a shard, recording request count,
+    /// latency and outcome.
+    fn routed<T>(
+        &self,
+        key: &ModelKey,
+        n_requests: u64,
+        call: impl FnOnce(&DecisionService) -> Result<T, dssddi_core::CoreError>,
+    ) -> Result<T, ServingError> {
+        let entry = self.entry(key)?;
+        let start = Instant::now();
+        let result = call(&entry.service);
+        let elapsed_micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+        entry.record(n_requests, elapsed_micros, result.is_ok());
+        result.map_err(ServingError::Core)
+    }
+
+    /// Serves one suggestion request on the shard behind `key`.
+    pub fn suggest(
+        &self,
+        key: &ModelKey,
+        request: &SuggestRequest,
+    ) -> Result<SuggestResponse, ServingError> {
+        self.routed(key, 1, |service| service.suggest(request))
+    }
+
+    /// Serves a batch of suggestion requests on the shard behind `key`
+    /// (one sharded prediction pass, responses in request order).
+    pub fn suggest_batch(
+        &self,
+        key: &ModelKey,
+        requests: &[SuggestRequest],
+    ) -> Result<Vec<SuggestResponse>, ServingError> {
+        self.routed(key, requests.len() as u64, |service| {
+            service.suggest_batch(requests)
+        })
+    }
+
+    /// Critiques a prescription against the shard behind `key`.
+    pub fn check_prescription(
+        &self,
+        key: &ModelKey,
+        request: &CheckPrescriptionRequest,
+    ) -> Result<InteractionReport, ServingError> {
+        self.routed(key, 1, |service| service.check_prescription(request))
+    }
+
+    /// Advertises every shard, in key order.
+    pub fn list_models(&self) -> Vec<ModelInfo> {
+        self.catalog
+            .models
+            .iter()
+            .map(|(key, entry)| entry.info(key))
+            .collect()
+    }
+
+    /// Per-model serving statistics, in key order.
+    pub fn stats(&self) -> Vec<(ModelKey, ModelStats)> {
+        self.catalog
+            .models
+            .iter()
+            .map(|(key, entry)| (key.clone(), entry.stats()))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_keys_validate_charset_and_length() {
+        for good in ["chronic", "mimic/icu", "region-hk.hypertension_v2", "a"] {
+            assert_eq!(ModelKey::new(good).unwrap().as_str(), good);
+        }
+        for bad in ["", "white space", "naïve", "semi;colon", "tab\there"] {
+            assert!(matches!(
+                ModelKey::new(bad),
+                Err(ServingError::InvalidKey { .. })
+            ));
+        }
+        assert!(ModelKey::new("k".repeat(MAX_MODEL_KEY_LEN)).is_ok());
+        assert!(ModelKey::new("k".repeat(MAX_MODEL_KEY_LEN + 1)).is_err());
+        let parsed: ModelKey = "chronic".parse().unwrap();
+        assert_eq!(parsed.to_string(), "chronic");
+    }
+
+    #[test]
+    fn latency_window_slides_and_ranks() {
+        let mut window = LatencyWindow::new();
+        assert_eq!(window.percentiles_ms(), (0.0, 0.0));
+        for micros in [1000u64, 2000, 3000, 4000, 5000] {
+            window.record(micros);
+        }
+        let (p50, p99) = window.percentiles_ms();
+        assert_eq!(p50, 3.0);
+        assert_eq!(p99, 5.0);
+        // Overflowing the window overwrites the oldest samples.
+        for _ in 0..LATENCY_WINDOW {
+            window.record(7000);
+        }
+        let (p50, p99) = window.percentiles_ms();
+        assert_eq!((p50, p99), (7.0, 7.0));
+    }
+
+    #[test]
+    fn cache_hit_rate_handles_zero_lookups() {
+        let stats = ModelStats {
+            requests: 0,
+            errors: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+            p50_ms: 0.0,
+            p99_ms: 0.0,
+        };
+        assert_eq!(stats.cache_hit_rate(), 0.0);
+        let stats = ModelStats {
+            cache_hits: 3,
+            cache_misses: 1,
+            ..stats
+        };
+        assert_eq!(stats.cache_hit_rate(), 0.75);
+    }
+}

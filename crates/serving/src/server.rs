@@ -1,0 +1,215 @@
+//! The gateway server: a thread-per-connection TCP front-end over the
+//! [`Router`].
+//!
+//! Each accepted connection gets its own handler thread that reads framed
+//! requests, dispatches them through the shared router (so per-model stats
+//! aggregate across connections) and writes framed responses back. The
+//! sharded `suggest_batch` core does the heavy lifting; the server adds only
+//! transport.
+//!
+//! Failure containment is the design center: a malformed or corrupt frame
+//! produces a typed [`Response::Error`] on that connection — or, when the
+//! stream can no longer be trusted to be frame-aligned, closes *that*
+//! connection — and never takes the gateway down. Only an explicit
+//! `Shutdown` message ends the accept loop.
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+use crate::router::Router;
+use crate::wire::{self, Request, Response, WireError};
+use crate::ServingError;
+
+/// A bound, not-yet-running gateway server.
+pub struct Server {
+    listener: TcpListener,
+    router: Arc<Router>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds the gateway to an address. Use port `0` for an ephemeral port
+    /// and read the actual one back with [`Server::local_addr`].
+    pub fn bind(addr: impl ToSocketAddrs, router: Router) -> Result<Self, ServingError> {
+        let listener = TcpListener::bind(addr).map_err(|e| ServingError::Io {
+            what: format!("binding listener: {e}"),
+        })?;
+        Ok(Self {
+            listener,
+            router: Arc::new(router),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address the server is listening on.
+    pub fn local_addr(&self) -> Result<SocketAddr, ServingError> {
+        self.listener.local_addr().map_err(|e| ServingError::Io {
+            what: format!("reading local address: {e}"),
+        })
+    }
+
+    /// The shared router, e.g. for inspecting stats from the serving
+    /// process itself.
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    /// Runs the accept loop until a client sends `Shutdown`, then drains:
+    /// handler threads finish the request they are serving (idle
+    /// connections close within one poll interval) before `run` returns.
+    /// Each connection is served by its own thread; a connection-level
+    /// failure never ends the loop.
+    pub fn run(self) -> Result<(), ServingError> {
+        let local = self.local_addr()?;
+        // The address the shutdown handler pokes to wake this loop out of
+        // `accept`. A wildcard bind (0.0.0.0 / ::) is not connectable on
+        // every platform, so poke the same port on the matching loopback.
+        let wake = if local.ip().is_unspecified() {
+            let loopback: std::net::IpAddr = match local {
+                SocketAddr::V4(_) => std::net::Ipv4Addr::LOCALHOST.into(),
+                SocketAddr::V6(_) => std::net::Ipv6Addr::LOCALHOST.into(),
+            };
+            SocketAddr::new(loopback, local.port())
+        } else {
+            local
+        };
+        let mut handlers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    // Reap finished handlers so the list tracks live
+                    // connections, not connection history.
+                    handlers.retain(|handle| !handle.is_finished());
+                    let router = Arc::clone(&self.router);
+                    let shutdown = Arc::clone(&self.shutdown);
+                    handlers.push(std::thread::spawn(move || {
+                        handle_connection(stream, &router, &shutdown, wake);
+                    }));
+                }
+                // A failed accept with the peer gone mid-handshake is
+                // routine. But accept errors can also be persistent resource
+                // exhaustion (EMFILE/ENFILE when fds run out) — without a
+                // pause, `continue` would turn this loop into a busy spin
+                // that starves the handlers that could release those fds.
+                Err(_) => {
+                    std::thread::sleep(std::time::Duration::from_millis(20));
+                    continue;
+                }
+            }
+        }
+        // Drain: every handler observes the shutdown flag after its current
+        // request, or on its next idle poll, so these joins are bounded.
+        for handle in handlers {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("addr", &self.listener.local_addr().ok())
+            .field("models", &self.router.catalog().keys())
+            .finish()
+    }
+}
+
+/// How often an idle connection wakes from its blocking read to check the
+/// shutdown flag. Bounds the post-shutdown drain time of idle keep-alive
+/// connections without disturbing active ones.
+const IDLE_POLL_INTERVAL: std::time::Duration = std::time::Duration::from_millis(250);
+
+/// Serves one connection until it closes, fails, or the gateway shuts down.
+fn handle_connection(
+    mut stream: TcpStream,
+    router: &Router,
+    shutdown: &AtomicBool,
+    wake: SocketAddr,
+) {
+    // Frames are written in one piece; waiting for coalescing only adds
+    // latency on the small request/response frames exchanged here.
+    stream.set_nodelay(true).ok();
+    // The read timeout makes idle waits poll the shutdown flag; a timeout
+    // that fires *before any frame byte* surfaces as IdleTimeout, one that
+    // fires mid-frame means the peer stalled and the connection is dropped.
+    stream.set_read_timeout(Some(IDLE_POLL_INTERVAL)).ok();
+    loop {
+        let payload = match wire::read_frame(&mut stream) {
+            Ok(payload) => payload,
+            Err(WireError::IdleTimeout) => {
+                if shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+            Err(WireError::ConnectionClosed) => return,
+            Err(WireError::Io { .. }) => return,
+            Err(error) => {
+                // Bad magic, version mismatch, truncation, CRC failure or an
+                // oversized length: answer with a typed error, then close —
+                // after a framing failure the stream may no longer be
+                // frame-aligned, so continuing could misparse every later
+                // byte. The *gateway* stays up; only this connection ends.
+                let response = wire::error_response(&ServingError::Wire(error));
+                let _ = wire::write_frame(&mut stream, &wire::encode_response(&response));
+                return;
+            }
+        };
+        let request = match wire::decode_request(&payload) {
+            Ok(request) => request,
+            Err(error) => {
+                // The frame itself validated (length + CRC), so the stream
+                // is still aligned: report the malformed body and keep the
+                // connection alive.
+                let response = wire::error_response(&ServingError::Wire(WireError::Decode(error)));
+                if wire::write_frame(&mut stream, &wire::encode_response(&response)).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let shutting_down = matches!(request, Request::Shutdown);
+        let response = dispatch(router, &request);
+        if wire::write_frame(&mut stream, &wire::encode_response(&response)).is_err() {
+            return;
+        }
+        if shutting_down {
+            shutdown.store(true, Ordering::SeqCst);
+            // The accept loop is parked in `accept`; poke it awake so it
+            // observes the flag and exits.
+            let _ = TcpStream::connect(wake);
+            return;
+        }
+        // Drain semantics: once shutdown is requested, finish the request
+        // that was already in flight (just answered above), then close
+        // instead of taking new work from this connection.
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+    }
+}
+
+/// Maps one decoded request to its response, converting routing/service
+/// errors into typed error frames.
+fn dispatch(router: &Router, request: &Request) -> Response {
+    let result = match request {
+        Request::Suggest { model, request } => {
+            router.suggest(model, request).map(Response::Suggest)
+        }
+        Request::SuggestBatch { model, requests } => router
+            .suggest_batch(model, requests)
+            .map(Response::SuggestBatch),
+        Request::CheckPrescription { model, request } => router
+            .check_prescription(model, request)
+            .map(Response::CheckPrescription),
+        Request::ListModels => Ok(Response::ListModels(router.list_models())),
+        Request::Stats => Ok(Response::Stats(router.stats())),
+        Request::Shutdown => Ok(Response::ShuttingDown),
+    };
+    result.unwrap_or_else(|error| wire::error_response(&error))
+}

@@ -1,0 +1,1118 @@
+//! The versioned binary wire protocol of the serving gateway.
+//!
+//! Every message travels in a *frame* with the same shape as the `DSSD`
+//! container (see [`dssddi_tensor::serde`]), under its own magic bytes and
+//! version so a model file can never be confused with a network frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic bytes "DSWR"
+//! 4       2     protocol version (little-endian u16, currently 1)
+//! 6       8     payload length in bytes (little-endian u64)
+//! 14      n     payload (tagged message body)
+//! 14+n    4     CRC-32 (IEEE) of the payload (little-endian u32)
+//! ```
+//!
+//! The payload opens with a one-byte message tag followed by the message
+//! body, encoded with the same bounds-checked `ByteWriter`/`ByteReader`
+//! primitives the model container uses. `f32`/`f64` values travel as their
+//! IEEE-754 bit patterns, so scores and suggestion-satisfaction values are
+//! **bit-identical** after a round trip — a remote client sees exactly the
+//! numbers an in-process caller would.
+//!
+//! Decoding is fully defensive: truncated frames, flipped bits (caught by
+//! the CRC), foreign magic bytes, future protocol versions, unknown message
+//! tags and oversized declared lengths all produce typed [`WireError`]s —
+//! never a panic, and never an allocation sized from an unvalidated length.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use dssddi_core::{
+    CheckPrescriptionRequest, DrugId, Explanation, InteractionReport, PairInteraction, PatientId,
+    ScoredDrug, SignedEdge, SuggestFilters, SuggestRequest, SuggestResponse,
+};
+use dssddi_graph::{Community, Interaction};
+use dssddi_tensor::serde::{
+    open_frame, parse_frame_header, seal_frame, ByteReader, ByteWriter, SerdeError,
+    FRAME_HEADER_LEN,
+};
+
+use crate::router::{ModelInfo, ModelKey, ModelStats};
+use crate::ServingError;
+
+/// Magic bytes opening every wire frame ("DSsddi WiRe").
+pub const WIRE_MAGIC: [u8; 4] = *b"DSWR";
+
+/// Current wire protocol version.
+pub const WIRE_VERSION: u16 = 1;
+
+/// Upper bound on a frame's declared payload length. A 64-request batch
+/// with wide feature vectors is a few hundred kilobytes; 16 MiB leaves two
+/// orders of magnitude of headroom while keeping a malicious length prefix
+/// from turning into a giant allocation.
+pub const MAX_FRAME_PAYLOAD: usize = 16 << 20;
+
+/// Errors produced while reading, writing or decoding wire frames.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WireError {
+    /// The frame or its payload failed validation (bad magic, version
+    /// mismatch, truncation, CRC mismatch, unknown tag, corrupt field).
+    Decode(SerdeError),
+    /// The frame header declared a payload larger than [`MAX_FRAME_PAYLOAD`].
+    Oversized {
+        /// Length the header declared.
+        declared: usize,
+        /// The enforced maximum.
+        max: usize,
+    },
+    /// The peer closed the connection cleanly between frames.
+    ConnectionClosed,
+    /// A read timeout fired before any byte of a frame arrived — the
+    /// connection is idle, not broken. Only produced when the caller has
+    /// set a read timeout on the stream; servers use it to poll their
+    /// shutdown flag between requests.
+    IdleTimeout,
+    /// A socket read or write failed mid-frame.
+    Io {
+        /// Description including the underlying error.
+        what: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Decode(e) => write!(f, "frame decode error: {e}"),
+            WireError::Oversized { declared, max } => write!(
+                f,
+                "frame declares a {declared}-byte payload, above the {max}-byte limit"
+            ),
+            WireError::ConnectionClosed => write!(f, "connection closed by peer"),
+            WireError::IdleTimeout => write!(f, "read timed out with no frame in flight"),
+            WireError::Io { what } => write!(f, "frame i/o error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Decode(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SerdeError> for WireError {
+    fn from(e: SerdeError) -> Self {
+        WireError::Decode(e)
+    }
+}
+
+/// Machine-readable classification of a server-side failure, carried in
+/// [`Response::Error`] frames so remote callers can branch on the failure
+/// class without parsing messages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ErrorCode {
+    /// The request frame or payload could not be decoded.
+    Malformed,
+    /// The request named a model the gateway does not serve.
+    UnknownModel,
+    /// A drug reference fell outside the routed model's formulary.
+    UnknownDrug,
+    /// The routed service rejected the request's content.
+    InvalidInput,
+    /// The request needs a fitted model and the routed shard has none.
+    NotFitted,
+    /// Any other server-side failure.
+    Internal,
+}
+
+impl ErrorCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            ErrorCode::Malformed => 1,
+            ErrorCode::UnknownModel => 2,
+            ErrorCode::UnknownDrug => 3,
+            ErrorCode::InvalidInput => 4,
+            ErrorCode::NotFitted => 5,
+            ErrorCode::Internal => 6,
+        }
+    }
+
+    fn from_u8(tag: u8) -> Result<Self, SerdeError> {
+        Ok(match tag {
+            1 => ErrorCode::Malformed,
+            2 => ErrorCode::UnknownModel,
+            3 => ErrorCode::UnknownDrug,
+            4 => ErrorCode::InvalidInput,
+            5 => ErrorCode::NotFitted,
+            6 => ErrorCode::Internal,
+            other => {
+                return Err(SerdeError::Corrupt {
+                    what: format!("unknown error code {other}"),
+                })
+            }
+        })
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::UnknownModel => "unknown-model",
+            ErrorCode::UnknownDrug => "unknown-drug",
+            ErrorCode::InvalidInput => "invalid-input",
+            ErrorCode::NotFitted => "not-fitted",
+            ErrorCode::Internal => "internal",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A client-to-server message.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Request {
+    /// Top-k medication suggestion for one patient on one model shard.
+    Suggest {
+        /// The shard to route to.
+        model: ModelKey,
+        /// The typed suggestion request.
+        request: SuggestRequest,
+    },
+    /// A batch of suggestion requests served by one model shard in a single
+    /// sharded prediction pass.
+    SuggestBatch {
+        /// The shard to route to.
+        model: ModelKey,
+        /// The typed suggestion requests.
+        requests: Vec<SuggestRequest>,
+    },
+    /// Critique of an existing prescription against one shard's DDI graph.
+    CheckPrescription {
+        /// The shard to route to.
+        model: ModelKey,
+        /// The typed prescription-check request.
+        request: CheckPrescriptionRequest,
+    },
+    /// Enumerate the models the gateway serves.
+    ListModels,
+    /// Per-model serving statistics.
+    Stats,
+    /// Ask the server to stop accepting connections and exit its run loop.
+    Shutdown,
+}
+
+/// A server-to-client message.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Response {
+    /// Answer to [`Request::Suggest`].
+    Suggest(SuggestResponse),
+    /// Answer to [`Request::SuggestBatch`], in request order.
+    SuggestBatch(Vec<SuggestResponse>),
+    /// Answer to [`Request::CheckPrescription`].
+    CheckPrescription(InteractionReport),
+    /// Answer to [`Request::ListModels`].
+    ListModels(Vec<ModelInfo>),
+    /// Answer to [`Request::Stats`].
+    Stats(Vec<(ModelKey, ModelStats)>),
+    /// Acknowledgement of [`Request::Shutdown`].
+    ShuttingDown,
+    /// A typed server-side failure.
+    Error {
+        /// Machine-readable error class.
+        code: ErrorCode,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Field codecs. Every `take_*` below reads through the bounds-checked
+// `ByteReader`, so a truncated or corrupt body surfaces as a typed
+// `SerdeError` from the primitive it failed in.
+// ---------------------------------------------------------------------------
+
+fn put_interaction(w: &mut ByteWriter, i: Interaction) {
+    w.put_u8(match i {
+        Interaction::None => 0,
+        Interaction::Synergistic => 1,
+        Interaction::Antagonistic => 2,
+    });
+}
+
+fn take_interaction(r: &mut ByteReader<'_>) -> Result<Interaction, SerdeError> {
+    Ok(match r.take_u8("interaction")? {
+        0 => Interaction::None,
+        1 => Interaction::Synergistic,
+        2 => Interaction::Antagonistic,
+        other => {
+            return Err(SerdeError::Corrupt {
+                what: format!("unknown interaction sign {other}"),
+            })
+        }
+    })
+}
+
+fn put_model_key(w: &mut ByteWriter, key: &ModelKey) {
+    w.put_str(key.as_str());
+}
+
+fn take_model_key(r: &mut ByteReader<'_>) -> Result<ModelKey, SerdeError> {
+    let raw = r.take_str("model_key")?;
+    ModelKey::new(&raw).map_err(|e| SerdeError::Corrupt {
+        what: format!("invalid model key on the wire: {e}"),
+    })
+}
+
+fn put_suggest_filters(w: &mut ByteWriter, filters: &SuggestFilters) {
+    let exclude: Vec<usize> = filters.exclude.iter().map(|d| d.index()).collect();
+    let avoid: Vec<usize> = filters
+        .avoid_antagonists_of
+        .iter()
+        .map(|d| d.index())
+        .collect();
+    w.put_usize_slice(&exclude);
+    w.put_usize_slice(&avoid);
+}
+
+fn take_suggest_filters(r: &mut ByteReader<'_>) -> Result<SuggestFilters, SerdeError> {
+    let exclude = r.take_usize_vec("filters.exclude")?;
+    let avoid = r.take_usize_vec("filters.avoid_antagonists_of")?;
+    Ok(SuggestFilters {
+        exclude: exclude.into_iter().map(DrugId::new).collect(),
+        avoid_antagonists_of: avoid.into_iter().map(DrugId::new).collect(),
+    })
+}
+
+fn put_suggest_request(w: &mut ByteWriter, request: &SuggestRequest) {
+    w.put_usize(request.patient.index());
+    w.put_f32_slice(&request.features);
+    w.put_usize(request.k);
+    put_suggest_filters(w, &request.filters);
+}
+
+fn take_suggest_request(r: &mut ByteReader<'_>) -> Result<SuggestRequest, SerdeError> {
+    let patient = PatientId::new(r.take_usize("request.patient")?);
+    let features = r.take_f32_vec("request.features")?;
+    let k = r.take_usize("request.k")?;
+    let filters = take_suggest_filters(r)?;
+    Ok(SuggestRequest::new(patient, features, k).with_filters(filters))
+}
+
+fn put_scored_drug(w: &mut ByteWriter, drug: &ScoredDrug) {
+    w.put_usize(drug.id.index());
+    w.put_str(&drug.name);
+    w.put_f32(drug.score);
+}
+
+fn take_scored_drug(r: &mut ByteReader<'_>) -> Result<ScoredDrug, SerdeError> {
+    Ok(ScoredDrug {
+        id: DrugId::new(r.take_usize("drug.id")?),
+        name: r.take_str("drug.name")?,
+        score: r.take_f32("drug.score")?,
+    })
+}
+
+fn put_scored_drugs(w: &mut ByteWriter, drugs: &[ScoredDrug]) {
+    w.put_usize(drugs.len());
+    for drug in drugs {
+        put_scored_drug(w, drug);
+    }
+}
+
+fn take_scored_drugs(r: &mut ByteReader<'_>) -> Result<Vec<ScoredDrug>, SerdeError> {
+    let len = r.take_usize("drugs.len")?;
+    let mut drugs = Vec::new();
+    for _ in 0..len {
+        drugs.push(take_scored_drug(r)?);
+    }
+    Ok(drugs)
+}
+
+fn put_community(w: &mut ByteWriter, community: &Community) {
+    let nodes: Vec<usize> = community.nodes.iter().copied().collect();
+    w.put_usize_slice(&nodes);
+    w.put_usize(community.edges.len());
+    for &(u, v) in &community.edges {
+        w.put_usize(u);
+        w.put_usize(v);
+    }
+    w.put_usize(community.trussness);
+    w.put_usize(community.diameter);
+}
+
+fn take_community(r: &mut ByteReader<'_>) -> Result<Community, SerdeError> {
+    let nodes = r.take_usize_vec("community.nodes")?;
+    let n_edges = r.take_usize("community.edges.len")?;
+    let mut edges = Vec::new();
+    for _ in 0..n_edges {
+        let u = r.take_usize("community.edge.u")?;
+        let v = r.take_usize("community.edge.v")?;
+        edges.push((u, v));
+    }
+    Ok(Community {
+        nodes: nodes.into_iter().collect(),
+        edges,
+        trussness: r.take_usize("community.trussness")?,
+        diameter: r.take_usize("community.diameter")?,
+    })
+}
+
+fn put_explanation(w: &mut ByteWriter, explanation: &Explanation) {
+    w.put_usize_slice(&explanation.suggested);
+    put_community(w, &explanation.community);
+    w.put_usize(explanation.edges.len());
+    for edge in &explanation.edges {
+        w.put_usize(edge.u);
+        w.put_usize(edge.v);
+        put_interaction(w, edge.interaction);
+    }
+    w.put_usize(explanation.internal_synergy);
+    w.put_usize(explanation.internal_antagonism);
+    w.put_usize(explanation.external_antagonism);
+    w.put_f64(explanation.suggestion_satisfaction);
+}
+
+fn take_explanation(r: &mut ByteReader<'_>) -> Result<Explanation, SerdeError> {
+    let suggested = r.take_usize_vec("explanation.suggested")?;
+    let community = take_community(r)?;
+    let n_edges = r.take_usize("explanation.edges.len")?;
+    let mut edges = Vec::new();
+    for _ in 0..n_edges {
+        edges.push(SignedEdge {
+            u: r.take_usize("explanation.edge.u")?,
+            v: r.take_usize("explanation.edge.v")?,
+            interaction: take_interaction(r)?,
+        });
+    }
+    Ok(Explanation {
+        suggested,
+        community,
+        edges,
+        internal_synergy: r.take_usize("explanation.internal_synergy")?,
+        internal_antagonism: r.take_usize("explanation.internal_antagonism")?,
+        external_antagonism: r.take_usize("explanation.external_antagonism")?,
+        suggestion_satisfaction: r.take_f64("explanation.ss")?,
+    })
+}
+
+fn put_suggest_response(w: &mut ByteWriter, response: &SuggestResponse) {
+    w.put_usize(response.patient.index());
+    put_scored_drugs(w, &response.drugs);
+    put_explanation(w, &response.explanation);
+    w.put_f64(response.suggestion_satisfaction);
+}
+
+fn take_suggest_response(r: &mut ByteReader<'_>) -> Result<SuggestResponse, SerdeError> {
+    Ok(SuggestResponse {
+        patient: PatientId::new(r.take_usize("response.patient")?),
+        drugs: take_scored_drugs(r)?,
+        explanation: take_explanation(r)?,
+        suggestion_satisfaction: r.take_f64("response.ss")?,
+    })
+}
+
+fn put_opt_patient(w: &mut ByteWriter, patient: Option<PatientId>) {
+    match patient {
+        Some(p) => {
+            w.put_bool(true);
+            w.put_usize(p.index());
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn take_opt_patient(r: &mut ByteReader<'_>) -> Result<Option<PatientId>, SerdeError> {
+    if r.take_bool("patient.present")? {
+        Ok(Some(PatientId::new(r.take_usize("patient.id")?)))
+    } else {
+        Ok(None)
+    }
+}
+
+fn put_check_request(w: &mut ByteWriter, request: &CheckPrescriptionRequest) {
+    put_opt_patient(w, request.patient);
+    let drugs: Vec<usize> = request.drugs.iter().map(|d| d.index()).collect();
+    w.put_usize_slice(&drugs);
+}
+
+fn take_check_request(r: &mut ByteReader<'_>) -> Result<CheckPrescriptionRequest, SerdeError> {
+    let patient = take_opt_patient(r)?;
+    let drugs = r.take_usize_vec("check.drugs")?;
+    let mut request = CheckPrescriptionRequest::new(drugs.into_iter().map(DrugId::new).collect());
+    if let Some(p) = patient {
+        request = request.for_patient(p);
+    }
+    Ok(request)
+}
+
+fn put_pair(w: &mut ByteWriter, pair: &PairInteraction) {
+    w.put_usize(pair.a.index());
+    w.put_str(&pair.a_name);
+    w.put_usize(pair.b.index());
+    w.put_str(&pair.b_name);
+    put_interaction(w, pair.interaction);
+}
+
+fn take_pair(r: &mut ByteReader<'_>) -> Result<PairInteraction, SerdeError> {
+    Ok(PairInteraction {
+        a: DrugId::new(r.take_usize("pair.a")?),
+        a_name: r.take_str("pair.a_name")?,
+        b: DrugId::new(r.take_usize("pair.b")?),
+        b_name: r.take_str("pair.b_name")?,
+        interaction: take_interaction(r)?,
+    })
+}
+
+fn put_pairs(w: &mut ByteWriter, pairs: &[PairInteraction]) {
+    w.put_usize(pairs.len());
+    for pair in pairs {
+        put_pair(w, pair);
+    }
+}
+
+fn take_pairs(r: &mut ByteReader<'_>) -> Result<Vec<PairInteraction>, SerdeError> {
+    let len = r.take_usize("pairs.len")?;
+    let mut pairs = Vec::new();
+    for _ in 0..len {
+        pairs.push(take_pair(r)?);
+    }
+    Ok(pairs)
+}
+
+fn put_report(w: &mut ByteWriter, report: &InteractionReport) {
+    put_opt_patient(w, report.patient);
+    put_scored_drugs(w, &report.drugs);
+    put_pairs(w, &report.antagonistic);
+    put_pairs(w, &report.synergistic);
+    put_explanation(w, &report.explanation);
+    w.put_f64(report.suggestion_satisfaction);
+}
+
+fn take_report(r: &mut ByteReader<'_>) -> Result<InteractionReport, SerdeError> {
+    Ok(InteractionReport {
+        patient: take_opt_patient(r)?,
+        drugs: take_scored_drugs(r)?,
+        antagonistic: take_pairs(r)?,
+        synergistic: take_pairs(r)?,
+        explanation: take_explanation(r)?,
+        suggestion_satisfaction: r.take_f64("report.ss")?,
+    })
+}
+
+fn put_model_info(w: &mut ByteWriter, info: &ModelInfo) {
+    put_model_key(w, &info.key);
+    w.put_bool(info.fitted);
+    w.put_usize(info.n_drugs);
+    match info.n_features {
+        Some(n) => {
+            w.put_bool(true);
+            w.put_usize(n);
+        }
+        None => w.put_bool(false),
+    }
+    w.put_u64(info.registry_digest);
+    w.put_str(&info.backbone);
+}
+
+fn take_model_info(r: &mut ByteReader<'_>) -> Result<ModelInfo, SerdeError> {
+    let key = take_model_key(r)?;
+    let fitted = r.take_bool("model.fitted")?;
+    let n_drugs = r.take_usize("model.n_drugs")?;
+    let n_features = if r.take_bool("model.n_features.present")? {
+        Some(r.take_usize("model.n_features")?)
+    } else {
+        None
+    };
+    Ok(ModelInfo {
+        key,
+        fitted,
+        n_drugs,
+        n_features,
+        registry_digest: r.take_u64("model.registry_digest")?,
+        backbone: r.take_str("model.backbone")?,
+    })
+}
+
+fn put_model_stats(w: &mut ByteWriter, stats: &ModelStats) {
+    w.put_u64(stats.requests);
+    w.put_u64(stats.errors);
+    w.put_u64(stats.cache_hits);
+    w.put_u64(stats.cache_misses);
+    w.put_f64(stats.p50_ms);
+    w.put_f64(stats.p99_ms);
+}
+
+fn take_model_stats(r: &mut ByteReader<'_>) -> Result<ModelStats, SerdeError> {
+    Ok(ModelStats {
+        requests: r.take_u64("stats.requests")?,
+        errors: r.take_u64("stats.errors")?,
+        cache_hits: r.take_u64("stats.cache_hits")?,
+        cache_misses: r.take_u64("stats.cache_misses")?,
+        p50_ms: r.take_f64("stats.p50_ms")?,
+        p99_ms: r.take_f64("stats.p99_ms")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Message codecs.
+// ---------------------------------------------------------------------------
+
+const TAG_SUGGEST: u8 = 1;
+const TAG_SUGGEST_BATCH: u8 = 2;
+const TAG_CHECK_PRESCRIPTION: u8 = 3;
+const TAG_LIST_MODELS: u8 = 4;
+const TAG_STATS: u8 = 5;
+const TAG_SHUTDOWN: u8 = 6;
+const TAG_SHUTTING_DOWN: u8 = 7;
+const TAG_ERROR: u8 = 0;
+
+/// A borrowed view of a [`Request`], so callers holding the pieces (a key,
+/// a slice of requests) can encode a frame without cloning them into an
+/// owned message first — the client's hot path.
+#[derive(Debug, Clone, Copy)]
+#[non_exhaustive]
+pub enum RequestRef<'a> {
+    /// Borrowed [`Request::Suggest`].
+    Suggest {
+        /// The shard to route to.
+        model: &'a ModelKey,
+        /// The typed suggestion request.
+        request: &'a SuggestRequest,
+    },
+    /// Borrowed [`Request::SuggestBatch`].
+    SuggestBatch {
+        /// The shard to route to.
+        model: &'a ModelKey,
+        /// The typed suggestion requests.
+        requests: &'a [SuggestRequest],
+    },
+    /// Borrowed [`Request::CheckPrescription`].
+    CheckPrescription {
+        /// The shard to route to.
+        model: &'a ModelKey,
+        /// The typed prescription-check request.
+        request: &'a CheckPrescriptionRequest,
+    },
+    /// Borrowed [`Request::ListModels`].
+    ListModels,
+    /// Borrowed [`Request::Stats`].
+    Stats,
+    /// Borrowed [`Request::Shutdown`].
+    Shutdown,
+}
+
+impl Request {
+    /// The borrowed view of this request.
+    pub fn as_request_ref(&self) -> RequestRef<'_> {
+        match self {
+            Request::Suggest { model, request } => RequestRef::Suggest { model, request },
+            Request::SuggestBatch { model, requests } => {
+                RequestRef::SuggestBatch { model, requests }
+            }
+            Request::CheckPrescription { model, request } => {
+                RequestRef::CheckPrescription { model, request }
+            }
+            Request::ListModels => RequestRef::ListModels,
+            Request::Stats => RequestRef::Stats,
+            Request::Shutdown => RequestRef::Shutdown,
+        }
+    }
+}
+
+/// Encodes a borrowed request view into a complete, sealed wire frame.
+pub fn encode_request_ref(request: RequestRef<'_>) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match request {
+        RequestRef::Suggest { model, request } => {
+            w.put_u8(TAG_SUGGEST);
+            put_model_key(&mut w, model);
+            put_suggest_request(&mut w, request);
+        }
+        RequestRef::SuggestBatch { model, requests } => {
+            w.put_u8(TAG_SUGGEST_BATCH);
+            put_model_key(&mut w, model);
+            w.put_usize(requests.len());
+            for request in requests {
+                put_suggest_request(&mut w, request);
+            }
+        }
+        RequestRef::CheckPrescription { model, request } => {
+            w.put_u8(TAG_CHECK_PRESCRIPTION);
+            put_model_key(&mut w, model);
+            put_check_request(&mut w, request);
+        }
+        RequestRef::ListModels => w.put_u8(TAG_LIST_MODELS),
+        RequestRef::Stats => w.put_u8(TAG_STATS),
+        RequestRef::Shutdown => w.put_u8(TAG_SHUTDOWN),
+    }
+    seal_frame(WIRE_MAGIC, WIRE_VERSION, w.as_bytes())
+}
+
+/// Encodes a request into a complete, sealed wire frame.
+pub fn encode_request(request: &Request) -> Vec<u8> {
+    encode_request_ref(request.as_request_ref())
+}
+
+/// Decodes a request from a validated frame payload.
+pub fn decode_request(payload: &[u8]) -> Result<Request, SerdeError> {
+    let mut r = ByteReader::new(payload);
+    let request = match r.take_u8("request.tag")? {
+        TAG_SUGGEST => Request::Suggest {
+            model: take_model_key(&mut r)?,
+            request: take_suggest_request(&mut r)?,
+        },
+        TAG_SUGGEST_BATCH => {
+            let model = take_model_key(&mut r)?;
+            let len = r.take_usize("batch.len")?;
+            let mut requests = Vec::new();
+            for _ in 0..len {
+                requests.push(take_suggest_request(&mut r)?);
+            }
+            Request::SuggestBatch { model, requests }
+        }
+        TAG_CHECK_PRESCRIPTION => Request::CheckPrescription {
+            model: take_model_key(&mut r)?,
+            request: take_check_request(&mut r)?,
+        },
+        TAG_LIST_MODELS => Request::ListModels,
+        TAG_STATS => Request::Stats,
+        TAG_SHUTDOWN => Request::Shutdown,
+        other => {
+            return Err(SerdeError::Corrupt {
+                what: format!("unknown request tag {other}"),
+            })
+        }
+    };
+    if !r.is_exhausted() {
+        return Err(SerdeError::Corrupt {
+            what: format!("{} trailing bytes after the request body", r.remaining()),
+        });
+    }
+    Ok(request)
+}
+
+/// Encodes a response into a complete, sealed wire frame.
+pub fn encode_response(response: &Response) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match response {
+        Response::Suggest(response) => {
+            w.put_u8(TAG_SUGGEST);
+            put_suggest_response(&mut w, response);
+        }
+        Response::SuggestBatch(responses) => {
+            w.put_u8(TAG_SUGGEST_BATCH);
+            w.put_usize(responses.len());
+            for response in responses {
+                put_suggest_response(&mut w, response);
+            }
+        }
+        Response::CheckPrescription(report) => {
+            w.put_u8(TAG_CHECK_PRESCRIPTION);
+            put_report(&mut w, report);
+        }
+        Response::ListModels(models) => {
+            w.put_u8(TAG_LIST_MODELS);
+            w.put_usize(models.len());
+            for info in models {
+                put_model_info(&mut w, info);
+            }
+        }
+        Response::Stats(entries) => {
+            w.put_u8(TAG_STATS);
+            w.put_usize(entries.len());
+            for (key, stats) in entries {
+                put_model_key(&mut w, key);
+                put_model_stats(&mut w, stats);
+            }
+        }
+        Response::ShuttingDown => w.put_u8(TAG_SHUTTING_DOWN),
+        Response::Error { code, message } => {
+            w.put_u8(TAG_ERROR);
+            w.put_u8(code.to_u8());
+            w.put_str(message);
+        }
+    }
+    seal_frame(WIRE_MAGIC, WIRE_VERSION, w.as_bytes())
+}
+
+/// Decodes a response from a validated frame payload.
+pub fn decode_response(payload: &[u8]) -> Result<Response, SerdeError> {
+    let mut r = ByteReader::new(payload);
+    let response = match r.take_u8("response.tag")? {
+        TAG_SUGGEST => Response::Suggest(take_suggest_response(&mut r)?),
+        TAG_SUGGEST_BATCH => {
+            let len = r.take_usize("batch.len")?;
+            let mut responses = Vec::new();
+            for _ in 0..len {
+                responses.push(take_suggest_response(&mut r)?);
+            }
+            Response::SuggestBatch(responses)
+        }
+        TAG_CHECK_PRESCRIPTION => Response::CheckPrescription(take_report(&mut r)?),
+        TAG_LIST_MODELS => {
+            let len = r.take_usize("models.len")?;
+            let mut models = Vec::new();
+            for _ in 0..len {
+                models.push(take_model_info(&mut r)?);
+            }
+            Response::ListModels(models)
+        }
+        TAG_STATS => {
+            let len = r.take_usize("stats.len")?;
+            let mut entries = Vec::new();
+            for _ in 0..len {
+                let key = take_model_key(&mut r)?;
+                let stats = take_model_stats(&mut r)?;
+                entries.push((key, stats));
+            }
+            Response::Stats(entries)
+        }
+        TAG_SHUTTING_DOWN => Response::ShuttingDown,
+        TAG_ERROR => Response::Error {
+            code: ErrorCode::from_u8(r.take_u8("error.code")?)?,
+            message: r.take_str("error.message")?,
+        },
+        other => {
+            return Err(SerdeError::Corrupt {
+                what: format!("unknown response tag {other}"),
+            })
+        }
+    };
+    if !r.is_exhausted() {
+        return Err(SerdeError::Corrupt {
+            what: format!("{} trailing bytes after the response body", r.remaining()),
+        });
+    }
+    Ok(response)
+}
+
+/// Validates a complete frame (as produced by [`encode_request`] /
+/// [`encode_response`]) and returns its payload. This is the non-streaming
+/// entry point used by tests and benchmarks; sockets go through
+/// [`read_frame`].
+pub fn open_wire_frame(frame: &[u8]) -> Result<&[u8], WireError> {
+    let declared = parse_frame_header(WIRE_MAGIC, WIRE_VERSION, frame)?;
+    if declared > MAX_FRAME_PAYLOAD {
+        return Err(WireError::Oversized {
+            declared,
+            max: MAX_FRAME_PAYLOAD,
+        });
+    }
+    Ok(open_frame(WIRE_MAGIC, WIRE_VERSION, frame)?)
+}
+
+/// Writes a sealed frame to a stream.
+pub fn write_frame(stream: &mut impl Write, frame: &[u8]) -> Result<(), WireError> {
+    stream.write_all(frame).map_err(|e| WireError::Io {
+        what: format!("writing frame: {e}"),
+    })?;
+    stream.flush().map_err(|e| WireError::Io {
+        what: format!("flushing frame: {e}"),
+    })
+}
+
+/// Reads one frame from a stream and returns its validated payload.
+///
+/// A clean end-of-stream *between* frames is [`WireError::ConnectionClosed`];
+/// end-of-stream *inside* a frame is a truncation error. The declared
+/// payload length is checked against [`MAX_FRAME_PAYLOAD`] before any
+/// allocation.
+pub fn read_frame(stream: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    let mut header = [0u8; FRAME_HEADER_LEN];
+    let mut filled = 0usize;
+    while filled < header.len() {
+        match stream.read(&mut header[filled..]) {
+            Ok(0) if filled == 0 => return Err(WireError::ConnectionClosed),
+            Ok(0) => {
+                return Err(WireError::Decode(SerdeError::Truncated {
+                    what: "frame header",
+                }))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            // A read timeout before the first frame byte means the
+            // connection is merely idle (WouldBlock on Unix SO_RCVTIMEO,
+            // TimedOut on Windows); a timeout mid-frame means the peer
+            // stalled and falls through to the Io arm below.
+            Err(e)
+                if filled == 0
+                    && matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) =>
+            {
+                return Err(WireError::IdleTimeout)
+            }
+            Err(e) => {
+                return Err(WireError::Io {
+                    what: format!("reading frame header: {e}"),
+                })
+            }
+        }
+    }
+    let declared = parse_frame_header(WIRE_MAGIC, WIRE_VERSION, &header)?;
+    if declared > MAX_FRAME_PAYLOAD {
+        return Err(WireError::Oversized {
+            declared,
+            max: MAX_FRAME_PAYLOAD,
+        });
+    }
+    // Reassemble the full frame so validation (length + CRC) is exactly the
+    // container code path.
+    let mut frame = Vec::with_capacity(FRAME_HEADER_LEN + declared + 4);
+    frame.extend_from_slice(&header);
+    frame.resize(FRAME_HEADER_LEN + declared + 4, 0);
+    let mut pos = FRAME_HEADER_LEN;
+    while pos < frame.len() {
+        match stream.read(&mut frame[pos..]) {
+            Ok(0) => {
+                return Err(WireError::Decode(SerdeError::Truncated {
+                    what: "frame payload",
+                }))
+            }
+            Ok(n) => pos += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                return Err(WireError::Io {
+                    what: format!("reading frame payload: {e}"),
+                })
+            }
+        }
+    }
+    Ok(open_frame(WIRE_MAGIC, WIRE_VERSION, &frame)?.to_vec())
+}
+
+/// Maps a routing/service error to the typed error frame the server sends
+/// back, so remote callers see the same failure classes in-process callers
+/// match on.
+pub fn error_response(error: &ServingError) -> Response {
+    use dssddi_core::CoreError;
+    let code = match error {
+        ServingError::UnknownModel { .. } => ErrorCode::UnknownModel,
+        ServingError::Wire(_) | ServingError::Protocol { .. } => ErrorCode::Malformed,
+        ServingError::Core(CoreError::UnknownDrug { .. }) => ErrorCode::UnknownDrug,
+        ServingError::Core(CoreError::NotFitted { .. }) => ErrorCode::NotFitted,
+        ServingError::Core(CoreError::InvalidInput { .. })
+        | ServingError::Core(CoreError::InvalidConfig { .. }) => ErrorCode::InvalidInput,
+        _ => ErrorCode::Internal,
+    };
+    Response::Error {
+        code,
+        message: error.to_string(),
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+
+    fn sample_request() -> Request {
+        Request::Suggest {
+            model: ModelKey::new("chronic").unwrap(),
+            request: SuggestRequest::new(PatientId::new(3), vec![0.5, -1.25, f32::NAN], 4)
+                .with_filters(SuggestFilters {
+                    exclude: vec![DrugId::new(1)],
+                    avoid_antagonists_of: vec![DrugId::new(59)],
+                }),
+        }
+    }
+
+    #[test]
+    fn request_frames_round_trip() {
+        let request = sample_request();
+        let frame = encode_request(&request);
+        let payload = open_wire_frame(&frame).unwrap();
+        let back = decode_request(payload).unwrap();
+        // NaN features break derived equality; compare the pieces.
+        match (&request, &back) {
+            (
+                Request::Suggest {
+                    model: m1,
+                    request: r1,
+                },
+                Request::Suggest {
+                    model: m2,
+                    request: r2,
+                },
+            ) => {
+                assert_eq!(m1, m2);
+                assert_eq!(r1.patient, r2.patient);
+                assert_eq!(r1.k, r2.k);
+                assert_eq!(r1.filters, r2.filters);
+                let bits = |v: &[f32]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+                assert_eq!(bits(&r1.features), bits(&r2.features));
+            }
+            other => panic!("wrong decode: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn control_messages_round_trip() {
+        for request in [Request::ListModels, Request::Stats, Request::Shutdown] {
+            let frame = encode_request(&request);
+            let payload = open_wire_frame(&frame).unwrap();
+            assert_eq!(decode_request(payload).unwrap(), request);
+        }
+        for response in [
+            Response::ShuttingDown,
+            Response::Error {
+                code: ErrorCode::UnknownModel,
+                message: "no such shard".into(),
+            },
+            Response::ListModels(vec![]),
+            Response::Stats(vec![]),
+        ] {
+            let frame = encode_response(&response);
+            let payload = open_wire_frame(&frame).unwrap();
+            assert_eq!(decode_response(payload).unwrap(), response);
+        }
+    }
+
+    #[test]
+    fn foreign_and_future_frames_are_typed_errors() {
+        let frame = encode_request(&Request::ListModels);
+        // Foreign magic: a DSSD model file is not a wire frame.
+        let mut bad = frame.clone();
+        bad[..4].copy_from_slice(b"DSSD");
+        assert!(matches!(
+            open_wire_frame(&bad),
+            Err(WireError::Decode(SerdeError::BadMagic))
+        ));
+        // Future protocol version.
+        let mut bad = frame.clone();
+        bad[4..6].copy_from_slice(&2u16.to_le_bytes());
+        assert!(matches!(
+            open_wire_frame(&bad),
+            Err(WireError::Decode(SerdeError::UnsupportedVersion {
+                found: 2,
+                supported: WIRE_VERSION,
+            }))
+        ));
+        // Oversized declared payload is rejected before allocation.
+        let mut bad = frame.clone();
+        bad[6..14].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        assert!(matches!(
+            open_wire_frame(&bad),
+            Err(WireError::Oversized { .. })
+        ));
+        // Flipped payload bit: CRC catches it.
+        let mut bad = frame.clone();
+        let payload_byte = FRAME_HEADER_LEN;
+        bad[payload_byte] ^= 0x10;
+        assert!(matches!(
+            open_wire_frame(&bad),
+            Err(WireError::Decode(SerdeError::ChecksumMismatch { .. }))
+        ));
+        // Truncation anywhere is an error, never a panic.
+        for cut in 0..frame.len() {
+            assert!(open_wire_frame(&frame[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_corrupt() {
+        assert!(matches!(
+            decode_request(&[0xEE]),
+            Err(SerdeError::Corrupt { .. })
+        ));
+        assert!(matches!(
+            decode_response(&[0xEE]),
+            Err(SerdeError::Corrupt { .. })
+        ));
+        // Trailing bytes after a well-formed body are rejected.
+        let mut w = ByteWriter::new();
+        w.put_u8(TAG_LIST_MODELS);
+        w.put_u8(0);
+        assert!(matches!(
+            decode_request(w.as_bytes()),
+            Err(SerdeError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn timeouts_are_idle_only_before_the_first_frame_byte() {
+        // A reader that yields `prefix` and then times out, like a socket
+        // with SO_RCVTIMEO on an idle (or stalled) peer.
+        struct StallAfter {
+            prefix: Vec<u8>,
+            pos: usize,
+        }
+        impl Read for StallAfter {
+            fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+                if self.pos < self.prefix.len() {
+                    let n = buf.len().min(self.prefix.len() - self.pos);
+                    buf[..n].copy_from_slice(&self.prefix[self.pos..self.pos + n]);
+                    self.pos += n;
+                    Ok(n)
+                } else {
+                    Err(std::io::Error::from(std::io::ErrorKind::WouldBlock))
+                }
+            }
+        }
+        // No bytes at all: the connection is idle.
+        let mut idle = StallAfter {
+            prefix: vec![],
+            pos: 0,
+        };
+        assert!(matches!(read_frame(&mut idle), Err(WireError::IdleTimeout)));
+        // A stall mid-frame is a broken peer, not idleness.
+        let frame = encode_request(&Request::ListModels);
+        let mut stalled = StallAfter {
+            prefix: frame[..7].to_vec(),
+            pos: 0,
+        };
+        assert!(matches!(
+            read_frame(&mut stalled),
+            Err(WireError::Io { .. })
+        ));
+    }
+
+    #[test]
+    fn borrowed_and_owned_request_encodings_are_identical() {
+        let request = sample_request();
+        let (model, suggest) = match &request {
+            Request::Suggest { model, request } => (model, request),
+            other => panic!("sample changed: {other:?}"),
+        };
+        assert_eq!(
+            encode_request(&request),
+            encode_request_ref(RequestRef::Suggest {
+                model,
+                request: suggest
+            })
+        );
+        assert_eq!(
+            encode_request(&Request::Stats),
+            encode_request_ref(RequestRef::Stats)
+        );
+    }
+
+    #[test]
+    fn streamed_frames_round_trip_through_read_frame() {
+        let request = sample_request();
+        let frame = encode_request(&request);
+        let mut stream = std::io::Cursor::new(frame.clone());
+        let payload = read_frame(&mut stream).unwrap();
+        assert_eq!(payload, open_wire_frame(&frame).unwrap());
+        // A clean EOF between frames is ConnectionClosed ...
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(Vec::<u8>::new())),
+            Err(WireError::ConnectionClosed)
+        ));
+        // ... but EOF inside a frame is a truncation error.
+        let mut cut = std::io::Cursor::new(frame[..frame.len() - 2].to_vec());
+        assert!(matches!(
+            read_frame(&mut cut),
+            Err(WireError::Decode(SerdeError::Truncated { .. }))
+        ));
+    }
+}

@@ -422,50 +422,71 @@ impl<'a> ByteReader<'a> {
     }
 }
 
-/// Wraps a payload in the `DSSD` container: magic, version, length, payload,
-/// CRC-32 trailer.
-pub fn seal_container(payload: &[u8]) -> Vec<u8> {
-    let mut out = Vec::with_capacity(payload.len() + 18);
-    out.extend_from_slice(&MAGIC);
-    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+/// Byte length of a frame header: magic (4) + version (2) + payload
+/// length (8). Every framed format built on this module — the `DSSD`
+/// container and the serving wire protocol — shares this prefix shape.
+pub const FRAME_HEADER_LEN: usize = 14;
+
+/// Wraps a payload in a generic frame: `magic`, little-endian `version`,
+/// `u64` payload length, payload, CRC-32 trailer. The `DSSD` container and
+/// the serving wire protocol are both instances of this layout, differing
+/// only in their magic bytes and version number.
+pub fn seal_frame(magic: [u8; 4], version: u16, payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + FRAME_HEADER_LEN + 4);
+    out.extend_from_slice(&magic);
+    out.extend_from_slice(&version.to_le_bytes());
     out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
     out.extend_from_slice(payload);
     out.extend_from_slice(&crc32(payload).to_le_bytes());
     out
 }
 
-/// Validates a `DSSD` container and returns its payload slice.
+/// Validates the leading [`FRAME_HEADER_LEN`] bytes of a frame and returns
+/// the declared payload length.
 ///
-/// Checks, in order: magic bytes, format version, declared payload length
-/// against the actual byte count, and the CRC-32 trailer.
-pub fn open_container(bytes: &[u8]) -> Result<&[u8], SerdeError> {
+/// Checks, in order: magic bytes, format version, and that the declared
+/// length fits in `usize`. This is the streaming entry point: a socket
+/// reader pulls the fixed-size header first, learns the payload length from
+/// it, then reads exactly `length + 4` more bytes (payload plus CRC) and
+/// hands the whole frame to [`open_frame`].
+pub fn parse_frame_header(magic: [u8; 4], version: u16, bytes: &[u8]) -> Result<usize, SerdeError> {
     if bytes.len() < 4 {
         return Err(SerdeError::Truncated {
             what: "container magic",
         });
     }
-    if bytes[..4] != MAGIC {
+    if bytes[..4] != magic {
         return Err(SerdeError::BadMagic);
     }
-    if bytes.len() < 14 {
+    if bytes.len() < FRAME_HEADER_LEN {
         return Err(SerdeError::Truncated {
             what: "container header",
         });
     }
-    let version = u16::from_le_bytes([bytes[4], bytes[5]]);
-    if version != FORMAT_VERSION {
+    let found = u16::from_le_bytes([bytes[4], bytes[5]]);
+    if found != version {
         return Err(SerdeError::UnsupportedVersion {
-            found: version,
-            supported: FORMAT_VERSION,
+            found,
+            supported: version,
         });
     }
     let declared = u64::from_le_bytes([
         bytes[6], bytes[7], bytes[8], bytes[9], bytes[10], bytes[11], bytes[12], bytes[13],
     ]);
-    let declared = usize::try_from(declared).map_err(|_| SerdeError::Corrupt {
+    usize::try_from(declared).map_err(|_| SerdeError::Corrupt {
         what: format!("declared payload length {declared} does not fit in usize"),
-    })?;
-    let body = &bytes[14..];
+    })
+}
+
+/// Validates a complete frame sealed by [`seal_frame`] and returns its
+/// payload slice.
+///
+/// Checks, in order: the header (via [`parse_frame_header`]), the declared
+/// payload length against the actual byte count (trailing bytes are
+/// rejected), and the CRC-32 trailer.
+pub fn open_frame(magic: [u8; 4], version: u16, bytes: &[u8]) -> Result<&[u8], SerdeError> {
+    let declared = parse_frame_header(magic, version, bytes)?;
+    let body = &bytes[FRAME_HEADER_LEN..];
     // The declared length is untrusted input: checked arithmetic, so a
     // near-usize::MAX value cannot overflow `declared + 4`.
     let declared_with_crc = declared.checked_add(4).ok_or_else(|| SerdeError::Corrupt {
@@ -499,6 +520,20 @@ pub fn open_container(bytes: &[u8]) -> Result<&[u8], SerdeError> {
         });
     }
     Ok(payload)
+}
+
+/// Wraps a payload in the `DSSD` container: magic, version, length, payload,
+/// CRC-32 trailer.
+pub fn seal_container(payload: &[u8]) -> Vec<u8> {
+    seal_frame(MAGIC, FORMAT_VERSION, payload)
+}
+
+/// Validates a `DSSD` container and returns its payload slice.
+///
+/// Checks, in order: magic bytes, format version, declared payload length
+/// against the actual byte count, and the CRC-32 trailer.
+pub fn open_container(bytes: &[u8]) -> Result<&[u8], SerdeError> {
+    open_frame(MAGIC, FORMAT_VERSION, bytes)
 }
 
 /// Seals `payload` into a container and writes it to `path`.
@@ -682,6 +717,31 @@ mod tests {
         let mut bad = sealed;
         bad[6..14].copy_from_slice(&(u64::MAX - 4).to_le_bytes());
         assert!(open_container(&bad).is_err());
+    }
+
+    #[test]
+    fn generic_frames_are_isolated_by_magic_and_version() {
+        let framed = seal_frame(*b"DSWP", 3, b"payload");
+        assert_eq!(open_frame(*b"DSWP", 3, &framed).unwrap(), b"payload");
+        // A frame sealed under one magic is not a container and vice versa.
+        assert_eq!(
+            open_frame(*b"DSWP", 3, &seal_container(b"payload")),
+            Err(SerdeError::BadMagic)
+        );
+        assert_eq!(open_container(&framed), Err(SerdeError::BadMagic));
+        // Same magic, different version: typed version mismatch.
+        assert!(matches!(
+            open_frame(*b"DSWP", 4, &framed),
+            Err(SerdeError::UnsupportedVersion {
+                found: 3,
+                supported: 4
+            })
+        ));
+        // Streaming header parse recovers the declared payload length.
+        assert_eq!(
+            parse_frame_header(*b"DSWP", 3, &framed[..FRAME_HEADER_LEN]).unwrap(),
+            b"payload".len()
+        );
     }
 
     #[test]

@@ -3,9 +3,11 @@
 //! last-visit prescription is the label, and only antagonistic DDI pairs are
 //! available, so the service is built with the GIN backbone.
 //!
-//! MIMIC drug indices are not the chronic formulary, so the service is given
-//! a registry-free engine here: the builder still validates the
-//! configuration, while the engine-level API handles the raw matrices.
+//! The MIMIC generator now produces an anonymised [`DrugRegistry`] alongside
+//! the dataset, so the whole pipeline runs through the typed
+//! [`DecisionService`] API — train, evaluate, request typed suggestions, and
+//! (because any fitted service persists to a `DSSD` file) the resulting
+//! model can be served by the `dssddi-serve` gateway like the chronic one.
 //!
 //! Run with: `cargo run --release --example mimic_validation`
 
@@ -48,25 +50,22 @@ fn main() {
     let train_graph =
         BipartiteGraph::from_pairs(split.train.len(), mimic.n_drugs(), &pairs).expect("graph");
 
-    // Validate the MIMIC configuration through the builder, then fit the
-    // engine on the raw matrices (MIMIC uses its own drug index space).
-    let builder = ServiceBuilder::fast()
+    // The generated registry covers the anonymised label space, so the
+    // typed service API fits MIMIC end to end — no more engine-level
+    // fallback. Only antagonistic interactions exist, hence GIN; drug
+    // features are one-hot because MIMIC drugs have no KG embeddings.
+    let mut builder = ServiceBuilder::fast()
         .backbone(Backbone::Gin)
         .hidden_dim(32)
-        .epochs(60, 80);
-    builder.validate().expect("valid MIMIC configuration");
+        .epochs(60, 80)
+        .registry(mimic.registry().clone());
     let mut config = builder.peek_config().clone();
     config.md.drug_features = DrugFeatureSource::OneHot;
+    builder = builder.config(config);
     let placeholder = Matrix::identity(mimic.n_drugs());
-    let dssddi = Dssddi::fit(
-        &train_x,
-        &train_graph,
-        &placeholder,
-        mimic.ddi(),
-        &config,
-        &mut rng,
-    )
-    .expect("DSSDDI(GIN)");
+    let service = builder
+        .fit(&train_x, &train_graph, &placeholder, mimic.ddi(), &mut rng)
+        .expect("DSSDDI(GIN) service");
 
     // A simple baseline for reference.
     let usersim = UserSim::fit(&train_x, &train_y).expect("UserSim");
@@ -78,7 +77,7 @@ fn main() {
     for (name, scores) in [
         (
             "DSSDDI(GIN)",
-            dssddi.predict_scores(&test_x).expect("scores"),
+            service.predict_scores(&test_x).expect("scores"),
         ),
         ("UserSim", usersim.predict_scores(&test_x).expect("scores")),
     ] {
@@ -89,4 +88,51 @@ fn main() {
         );
     }
     println!("\n(The paper's Table IV reports the same ordering at k = 4, 6, 8.)");
+
+    // Typed requests resolve anonymised names through the MIMIC registry.
+    let requests: Vec<SuggestRequest> = split.test[..3]
+        .iter()
+        .map(|&p| SuggestRequest::new(PatientId::new(p), mimic.features().row(p).to_vec(), 8))
+        .collect();
+    println!("\nTyped suggestions for three held-out ICU patients:");
+    for response in service.suggest_batch(&requests).expect("suggest") {
+        let top: Vec<String> = response
+            .drugs
+            .iter()
+            .take(3)
+            .map(|d| format!("{} ({:.3})", d.name, d.score))
+            .collect();
+        println!(
+            "  {}: {} ... | SS {:.3}",
+            response.patient,
+            top.join(", "),
+            response.suggestion_satisfaction
+        );
+    }
+
+    // The fitted MIMIC service persists like any other, so the serving
+    // gateway can shard it next to the chronic model:
+    //   service.save("mimic.dssd")  →  dssddi-serve mimic=mimic.dssd
+    let dir = std::env::temp_dir().join("dssddi-mimic-example");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join("mimic.dssd");
+    service.save(&path).expect("save MIMIC service");
+    let mut catalog = ModelCatalog::new();
+    catalog
+        .load_file(ModelKey::new("mimic").expect("key"), &path)
+        .expect("load MIMIC model into the gateway catalog");
+    let router = Router::new(catalog);
+    let routed = router
+        .suggest_batch(&ModelKey::new("mimic").expect("key"), &requests)
+        .expect("routed suggestions");
+    println!(
+        "\nServed through the gateway router: {} responses, model list: {:?}",
+        routed.len(),
+        router
+            .list_models()
+            .iter()
+            .map(|m| format!("{} ({} drugs)", m.key, m.n_drugs))
+            .collect::<Vec<_>>()
+    );
+    std::fs::remove_file(&path).ok();
 }

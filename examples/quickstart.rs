@@ -78,7 +78,7 @@ fn main() {
             cohort
                 .drugs_of(patient)
                 .iter()
-                .map(|&d| registry.drug(d).unwrap().name)
+                .map(|&d| registry.name_of(d).unwrap())
                 .collect::<Vec<_>>()
         );
         for drug in &response.drugs {

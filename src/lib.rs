@@ -17,6 +17,10 @@
 //! * [`gnn`] — GIN / SGCN / SiGAT / SNEA / LightGCN building blocks,
 //! * [`core`] — the DSSDDI system itself (DDI, Medical Decision and Medical
 //!   Support modules) and the clinical [`DecisionService`](core::DecisionService) API,
+//! * [`serving`] — the multi-tenant network gateway: a
+//!   [`ModelCatalog`](serving::ModelCatalog)/[`Router`](serving::Router) over
+//!   several fitted services, a versioned binary wire protocol, the
+//!   `dssddi-serve` server binary and a blocking [`Client`](serving::Client),
 //! * [`baselines`] — the comparison methods of the paper's evaluation.
 //!
 //! ## Quickstart
@@ -85,7 +89,28 @@
 //!     reloaded.suggest_batch(&requests).unwrap().len(),
 //!     requests.len(),
 //! );
+//!
+//! // Serve the saved model over the network: load it into a catalog under
+//! // a routing key, bind the gateway, and query it with the blocking
+//! // client. Remote responses are byte-identical to in-process calls.
+//! let mut catalog = ModelCatalog::new();
+//! catalog.load_file(ModelKey::new("chronic").unwrap(), "dssddi.dssd").unwrap();
+//! let server = Server::bind("127.0.0.1:0", Router::new(catalog)).unwrap();
+//! let addr = server.local_addr().unwrap();
+//! std::thread::spawn(move || server.run());
+//! let mut client = Client::connect(addr).unwrap();
+//! let remote = client
+//!     .suggest_batch(&ModelKey::new("chronic").unwrap(), &requests)
+//!     .unwrap();
+//! assert_eq!(remote.len(), requests.len());
+//! client.shutdown().unwrap();
 //! ```
+//!
+//! The same gateway runs stand-alone as the `dssddi-serve` binary
+//! (`cargo run --release -p dssddi-serving --bin dssddi-serve -- --demo`);
+//! see the [`serving`] crate docs for the wire protocol's frame layout
+//! (magic `DSWR`, version, payload length, CRC-32) and the
+//! `serve_client` example for the full network round trip.
 //!
 //! ## Persistence (`DSSD` files)
 //!
@@ -166,6 +191,7 @@ pub use dssddi_data as data;
 pub use dssddi_gnn as gnn;
 pub use dssddi_graph as graph;
 pub use dssddi_ml as ml;
+pub use dssddi_serving as serving;
 pub use dssddi_tensor as tensor;
 
 /// The most commonly used items, re-exported flat.
@@ -187,5 +213,8 @@ pub mod prelude {
     };
     pub use dssddi_graph::{BipartiteGraph, Interaction, SignedGraph};
     pub use dssddi_ml::{ndcg_at_k, precision_at_k, ranking_metrics, recall_at_k, top_k_indices};
+    pub use dssddi_serving::{
+        Client, ModelCatalog, ModelInfo, ModelKey, ModelStats, Router, Server, ServingError,
+    };
     pub use dssddi_tensor::Matrix;
 }

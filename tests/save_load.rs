@@ -115,6 +115,47 @@ fn reloaded_service_returns_identical_responses() {
 }
 
 #[test]
+fn embedded_registry_load_matches_registry_backed_load() {
+    // A serving host that only receives the DSSD file can reconstruct the
+    // registry from the embedded name list and still serve byte-identical
+    // suggestions — this is what the dssddi-serve gateway relies on.
+    let world = build_world(41);
+    let service = fitted_service(&world, 42);
+    let path = temp_path("embedded-registry");
+    service.save(&path).unwrap();
+    let embedded = DecisionService::load_with_embedded_registry(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+
+    assert_eq!(embedded.registry().len(), service.registry().len());
+    assert_eq!(embedded.registry().digest(), service.registry().digest());
+    assert_eq!(embedded.registry().names(), service.registry().names());
+    assert!(embedded.is_fitted());
+    assert_eq!(embedded.n_features(), service.n_features());
+
+    let requests: Vec<SuggestRequest> = (60..70)
+        .map(|p| {
+            SuggestRequest::new(
+                PatientId::new(p),
+                world.cohort.features().row(p).to_vec(),
+                4,
+            )
+        })
+        .collect();
+    let original = service.suggest_batch(&requests).unwrap();
+    let restored = embedded.suggest_batch(&requests).unwrap();
+    for (a, b) in original.iter().zip(&restored) {
+        assert_eq!(a, b, "embedded-registry load must serve identically");
+        for (da, db) in a.drugs.iter().zip(&b.drugs) {
+            assert_eq!(da.score.to_bits(), db.score.to_bits());
+        }
+    }
+    assert!(matches!(
+        DecisionService::load_with_embedded_registry(temp_path("no-such-file")),
+        Err(CoreError::Persistence { .. })
+    ));
+}
+
+#[test]
 fn support_only_service_round_trips() {
     let world = build_world(21);
     let service = ServiceBuilder::fast().build_support(&world.ddi).unwrap();

@@ -56,7 +56,7 @@ fn drug_ids_round_trip_through_the_registry() {
 
     for drug in registry.iter() {
         // name -> id -> name round-trip for the whole formulary.
-        let id = service.resolve_drug(drug.name).unwrap();
+        let id = service.resolve_drug(&drug.name).unwrap();
         assert_eq!(id.index(), drug.id);
         assert_eq!(service.drug_name(id).unwrap(), drug.name);
         // Display form resolves too ("DID 48").

@@ -4,7 +4,8 @@
 //! The build environment has no network access, so this vendored crate
 //! implements the strategy subset the workspace's property tests use:
 //! range strategies, `any::<bool>()` / `any::<prop::sample::Index>()`,
-//! `collection::vec`, `prop_map` / `prop_flat_map`, the `proptest!` macro
+//! `collection::vec`, tuple strategies (up to 8 components),
+//! `prop_map` / `prop_flat_map`, the `proptest!` macro
 //! with `#![proptest_config(...)]`, and `prop_assert!` / `prop_assert_eq!`.
 //!
 //! Differences from upstream: cases are generated from a fixed per-test seed
@@ -115,6 +116,28 @@ impl<T: rand::SampleUniform> Strategy for std::ops::RangeInclusive<T> {
         rng.gen_range(*self.start()..=*self.end())
     }
 }
+
+// Tuples of strategies are themselves strategies (as in upstream proptest):
+// each component generates independently, in order.
+macro_rules! impl_strategy_for_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_for_tuple!(A: 0, B: 1);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6);
+impl_strategy_for_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5, G: 6, H: 7);
 
 /// Types with a canonical "any value" strategy.
 pub trait Arbitrary: Sized {
