@@ -40,6 +40,11 @@ pub use service::{
 };
 pub use system::{DrugSuggestion, Dssddi, Suggestion};
 
+// The clinical knowledge-base types travel with the request/response types
+// they annotate (`CheckPrescriptionRequest.policy`, `PairInteraction.severity`),
+// so re-export them here for single-crate consumers.
+pub use dssddi_kb::{AlertPolicy, KbError, KbInfo, KnowledgeBase, Severity};
+
 use dssddi_data::DataError;
 use dssddi_graph::GraphError;
 use dssddi_ml::MlError;

@@ -57,6 +57,7 @@ use rand::Rng;
 
 use dssddi_data::{ChronicCohort, DrugRegistry};
 use dssddi_graph::{BipartiteGraph, Interaction, SignedGraph};
+use dssddi_kb::{AlertPolicy, KnowledgeBase, Severity};
 use dssddi_tensor::serde::{self as tserde, ByteReader, ByteWriter};
 use dssddi_tensor::Matrix;
 
@@ -148,6 +149,14 @@ pub struct SuggestFilters {
     /// Drugs the patient is already taking: any candidate with an
     /// antagonistic DDI against one of these is dropped.
     pub avoid_antagonists_of: Vec<DrugId>,
+    /// Drugs the patient is already taking, checked against the clinical
+    /// knowledge base: any candidate whose interaction with one of these is
+    /// graded [`Severity::Contraindicated`] is dropped. Needs a
+    /// [`KnowledgeBase`] on the serving path
+    /// ([`DecisionService::suggest_batch_with_kb`] or a gateway shard's KB);
+    /// without one no grade can reach `Contraindicated` and the filter
+    /// passes everything.
+    pub exclude_contraindicated_with: Vec<DrugId>,
 }
 
 impl SuggestFilters {
@@ -157,13 +166,27 @@ impl SuggestFilters {
     }
 
     /// Returns true when the filters reject candidate drug `d`.
-    fn rejects(&self, d: usize, ddi: &SignedGraph) -> bool {
+    fn rejects(&self, d: usize, ddi: &SignedGraph, kb: Option<&KnowledgeBase>) -> bool {
         if self.exclude.iter().any(|x| x.index() == d) {
             return true;
         }
-        self.avoid_antagonists_of
+        if self
+            .avoid_antagonists_of
             .iter()
             .any(|taken| ddi.interaction(taken.index(), d) == Some(Interaction::Antagonistic))
+        {
+            return true;
+        }
+        if let Some(kb) = kb {
+            // A contraindication fires on the KB fact alone — a curated
+            // hard stop must hold even for pairs the DDI graph has no
+            // signed edge for.
+            return self.exclude_contraindicated_with.iter().any(|taken| {
+                kb.lookup(taken.index(), d)
+                    .is_some_and(|fact| fact.severity == Severity::Contraindicated)
+            });
+        }
+        false
     }
 }
 
@@ -219,20 +242,32 @@ pub struct CheckPrescriptionRequest {
     pub patient: Option<PatientId>,
     /// The prescribed drugs.
     pub drugs: Vec<DrugId>,
+    /// Which severity grades the report includes. The default reports
+    /// everything; a busy clinic raises the threshold to fight alert
+    /// fatigue. Contraindicated findings always fire.
+    pub policy: AlertPolicy,
 }
 
 impl CheckPrescriptionRequest {
-    /// A prescription check without patient attribution.
+    /// A prescription check without patient attribution, reporting every
+    /// severity grade.
     pub fn new(drugs: Vec<DrugId>) -> Self {
         Self {
             patient: None,
             drugs,
+            policy: AlertPolicy::default(),
         }
     }
 
     /// Attributes the prescription to a patient.
     pub fn for_patient(mut self, patient: PatientId) -> Self {
         self.patient = Some(patient);
+        self
+    }
+
+    /// Sets the alert policy gating which findings the report carries.
+    pub fn with_policy(mut self, policy: AlertPolicy) -> Self {
+        self.policy = policy;
         self
     }
 }
@@ -248,12 +283,23 @@ pub struct PairInteraction {
     pub b: DrugId,
     /// Second drug's name.
     pub b_name: String,
-    /// The interaction's sign.
+    /// The DDI graph's sign for the pair. [`Interaction::None`] marks a
+    /// finding that comes from a knowledge-base fact alone — the graph has
+    /// no signed edge, but the curated fact still fires.
     pub interaction: Interaction,
+    /// Clinical severity grade: the knowledge base's fact when one is
+    /// attached to the serving path, otherwise the sign-derived default
+    /// ([`Severity::default_for`] — antagonistic edges of unknown severity
+    /// grade `Moderate`).
+    pub severity: Severity,
+    /// The knowledge base's management hint ("monitor INR", "separate
+    /// doses"), when it has one for this pair.
+    pub management: Option<String>,
 }
 
 /// The critique of a prescription: every pairwise interaction among the
-/// prescribed drugs, plus the community explanation and its SS score.
+/// prescribed drugs that passes the request's [`AlertPolicy`], plus the
+/// community explanation and its SS score.
 #[derive(Debug, Clone, PartialEq)]
 pub struct InteractionReport {
     /// The patient the prescription belongs to, when given.
@@ -261,8 +307,10 @@ pub struct InteractionReport {
     /// The prescribed drugs with resolved names (scores are not applicable
     /// and set to the neutral 1.0).
     pub drugs: Vec<ScoredDrug>,
-    /// Antagonistic pairs among the prescribed drugs — the cases a doctor
-    /// must review before signing off.
+    /// The hazards a doctor must review before signing off: antagonistic
+    /// pairs among the prescribed drugs, plus knowledge-base facts for
+    /// pairs the DDI graph has no signed edge for (their
+    /// [`PairInteraction::interaction`] is [`Interaction::None`]).
     pub antagonistic: Vec<PairInteraction>,
     /// Synergistic pairs among the prescribed drugs.
     pub synergistic: Vec<PairInteraction>,
@@ -270,12 +318,30 @@ pub struct InteractionReport {
     pub explanation: Explanation,
     /// The Suggestion Satisfaction score of the prescription.
     pub suggestion_satisfaction: f64,
+    /// Version of the knowledge base that graded the findings, when one was
+    /// attached (`None` means sign-derived default grades).
+    pub kb_version: Option<u64>,
 }
 
 impl InteractionReport {
-    /// True when no antagonistic pair was found among the prescribed drugs.
+    /// True when no antagonistic pair was found among the prescribed drugs
+    /// (under the request's alert policy).
     pub fn is_safe(&self) -> bool {
         self.antagonistic.is_empty()
+    }
+
+    /// The most severe grade among the reported findings, when any.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.antagonistic
+            .iter()
+            .chain(&self.synergistic)
+            .map(|p| p.severity)
+            .max()
+    }
+
+    /// True when a reported finding is graded [`Severity::Contraindicated`].
+    pub fn has_contraindicated(&self) -> bool {
+        self.max_severity() == Some(Severity::Contraindicated)
     }
 }
 
@@ -634,6 +700,15 @@ impl DecisionService {
         Self::from_payload(&payload, None)
     }
 
+    /// [`DecisionService::load_with_embedded_registry`] over an in-memory
+    /// `DSSD` container — what a serving gateway uses when a re-trained
+    /// model arrives *over the wire* (hot reload) instead of from a file.
+    /// The same validation applies: damaged bytes are typed errors.
+    pub fn load_with_embedded_registry_bytes(bytes: &[u8]) -> Result<Self, CoreError> {
+        let payload = tserde::open_frame(tserde::MAGIC, tserde::FORMAT_VERSION, bytes)?;
+        Self::from_payload(payload, None)
+    }
+
     /// Decodes a service payload. With `Some(registry)` the embedded name
     /// list is verified against the provided registry (same drugs, same
     /// DIDs); with `None` the registry is rebuilt from the embedded names.
@@ -808,9 +883,38 @@ impl DecisionService {
         self.fitted("predict_scores")?.0.predict_scores(features)
     }
 
+    /// Checks that an attached knowledge base grades this service's
+    /// formulary before any of its grades are trusted.
+    fn validate_kb(&self, kb: Option<&KnowledgeBase>) -> Result<(), CoreError> {
+        if let Some(kb) = kb {
+            if kb.n_drugs() != self.registry.len() || kb.registry_digest() != self.registry.digest()
+            {
+                return Err(CoreError::invalid_input(format!(
+                    "knowledge base grades a {}-drug formulary (digest {:#018x}) but the \
+                     service holds {} drugs (digest {:#018x})",
+                    kb.n_drugs(),
+                    kb.registry_digest(),
+                    self.registry.len(),
+                    self.registry.digest()
+                )));
+            }
+        }
+        Ok(())
+    }
+
     /// Serves one suggestion request.
     pub fn suggest(&self, request: &SuggestRequest) -> Result<SuggestResponse, CoreError> {
-        self.suggest_batch(std::slice::from_ref(request))?
+        self.suggest_with_kb(request, None)
+    }
+
+    /// [`DecisionService::suggest`] with a clinical knowledge base grading
+    /// the `exclude_contraindicated_with` filter.
+    pub fn suggest_with_kb(
+        &self,
+        request: &SuggestRequest,
+        kb: Option<&KnowledgeBase>,
+    ) -> Result<SuggestResponse, CoreError> {
+        self.suggest_batch_with_kb(std::slice::from_ref(request), kb)?
             .pop()
             .ok_or_else(|| CoreError::invalid_input("suggest_batch returned no response"))
     }
@@ -836,6 +940,18 @@ impl DecisionService {
         &self,
         requests: &[SuggestRequest],
     ) -> Result<Vec<SuggestResponse>, CoreError> {
+        self.suggest_batch_with_kb(requests, None)
+    }
+
+    /// [`DecisionService::suggest_batch`] with a clinical knowledge base:
+    /// candidates whose interaction with a drug named in
+    /// [`SuggestFilters::exclude_contraindicated_with`] is graded
+    /// [`Severity::Contraindicated`] are excluded from the ranking.
+    pub fn suggest_batch_with_kb(
+        &self,
+        requests: &[SuggestRequest],
+        kb: Option<&KnowledgeBase>,
+    ) -> Result<Vec<SuggestResponse>, CoreError> {
         // Floor division: a worker is only worth spawning once it has a
         // full MIN_REQUESTS_PER_SHARD of work; the tail rides with the
         // last full shard instead of paying a thread spawn of its own.
@@ -843,7 +959,7 @@ impl DecisionService {
             .map(|n| n.get())
             .unwrap_or(1)
             .min((requests.len() / MIN_REQUESTS_PER_SHARD).max(1));
-        self.suggest_batch_sharded(requests, workers)
+        self.suggest_batch_sharded_with_kb(requests, workers, kb)
     }
 
     /// [`DecisionService::suggest_batch`] with an explicit shard count:
@@ -855,6 +971,17 @@ impl DecisionService {
         requests: &[SuggestRequest],
         shards: usize,
     ) -> Result<Vec<SuggestResponse>, CoreError> {
+        self.suggest_batch_sharded_with_kb(requests, shards, None)
+    }
+
+    /// [`DecisionService::suggest_batch_sharded`] with a clinical knowledge
+    /// base grading the `exclude_contraindicated_with` filter.
+    pub fn suggest_batch_sharded_with_kb(
+        &self,
+        requests: &[SuggestRequest],
+        shards: usize,
+        kb: Option<&KnowledgeBase>,
+    ) -> Result<Vec<SuggestResponse>, CoreError> {
         // An empty batch is an empty answer — before any model check or
         // shard arithmetic, so no worker thread is ever spawned for it and
         // pollers draining an empty queue don't error on support-only
@@ -862,6 +989,7 @@ impl DecisionService {
         if requests.is_empty() {
             return Ok(Vec::new());
         }
+        self.validate_kb(kb)?;
         let (engine, n_features) = self.fitted("suggest_batch")?;
         let n_drugs = self.ddi_graph().node_count();
         for (i, request) in requests.iter().enumerate() {
@@ -884,6 +1012,7 @@ impl DecisionService {
                 .exclude
                 .iter()
                 .chain(&request.filters.avoid_antagonists_of)
+                .chain(&request.filters.exclude_contraindicated_with)
             {
                 if id.index() >= n_drugs {
                     return Err(CoreError::unknown_drug(id.to_string()));
@@ -893,13 +1022,13 @@ impl DecisionService {
 
         let shards = shards.clamp(1, requests.len());
         if shards == 1 {
-            return self.serve_chunk(engine, n_features, requests);
+            return self.serve_chunk(engine, n_features, requests, kb);
         }
         let chunk_len = Self::shard_chunk_len(requests.len(), shards);
         let results: Vec<Result<Vec<SuggestResponse>, CoreError>> = std::thread::scope(|s| {
             let handles: Vec<_> = requests
                 .chunks(chunk_len)
-                .map(|chunk| s.spawn(move || self.serve_chunk(engine, n_features, chunk)))
+                .map(|chunk| s.spawn(move || self.serve_chunk(engine, n_features, chunk, kb)))
                 .collect();
             handles
                 .into_iter()
@@ -936,6 +1065,7 @@ impl DecisionService {
         engine: &Dssddi,
         n_features: usize,
         chunk: &[SuggestRequest],
+        kb: Option<&KnowledgeBase>,
     ) -> Result<Vec<SuggestResponse>, CoreError> {
         let stacked: Vec<f32> = chunk
             .iter()
@@ -945,7 +1075,7 @@ impl DecisionService {
         let scores = engine.predict_scores(&features)?;
         let mut responses = Vec::with_capacity(chunk.len());
         for (row, request) in chunk.iter().enumerate() {
-            let ranked = self.ranked_candidates(scores.row(row), request)?;
+            let ranked = self.ranked_candidates(scores.row(row), request, kb)?;
             let suggested: Vec<usize> = ranked.iter().map(|d| d.id.index()).collect();
             // The lock is held only for the memo lookup/insert, never for
             // the community search itself — cold explanations are the most
@@ -984,11 +1114,13 @@ impl DecisionService {
         &self,
         scores: &[f32],
         request: &SuggestRequest,
+        kb: Option<&KnowledgeBase>,
     ) -> Result<Vec<ScoredDrug>, CoreError> {
-        let filters_active =
-            !request.filters.exclude.is_empty() || !request.filters.avoid_antagonists_of.is_empty();
+        let filters_active = !request.filters.exclude.is_empty()
+            || !request.filters.avoid_antagonists_of.is_empty()
+            || !request.filters.exclude_contraindicated_with.is_empty();
         let mut order: Vec<usize> = (0..scores.len())
-            .filter(|&d| !request.filters.rejects(d, self.ddi_graph()))
+            .filter(|&d| !request.filters.rejects(d, self.ddi_graph(), kb))
             .collect();
         if order.len() < request.k {
             return Err(CoreError::invalid_input(if filters_active {
@@ -1030,11 +1162,30 @@ impl DecisionService {
     /// explanation with its Suggestion Satisfaction score.
     ///
     /// Works on every service, including support-only ones — no fitted
-    /// model is needed to check a prescription.
+    /// model is needed to check a prescription. Without a knowledge base,
+    /// findings carry sign-derived default grades
+    /// ([`Severity::default_for`]); attach one with
+    /// [`DecisionService::check_prescription_with_kb`] for clinical grades
+    /// and management hints.
     pub fn check_prescription(
         &self,
         request: &CheckPrescriptionRequest,
     ) -> Result<InteractionReport, CoreError> {
+        self.check_prescription_with_kb(request, None)
+    }
+
+    /// [`DecisionService::check_prescription`] with a clinical knowledge
+    /// base: every finding is graded by the KB's severity facts (pairs the
+    /// KB has no fact for fall back to the sign default), carries the KB's
+    /// management hint, and the request's [`AlertPolicy`] filters findings
+    /// *at the source* — a `Major`-and-up policy never materialises the
+    /// `Minor` chatter it would suppress.
+    pub fn check_prescription_with_kb(
+        &self,
+        request: &CheckPrescriptionRequest,
+        kb: Option<&KnowledgeBase>,
+    ) -> Result<InteractionReport, CoreError> {
+        self.validate_kb(kb)?;
         if request.drugs.is_empty() {
             return Err(CoreError::invalid_input(
                 "cannot check an empty prescription",
@@ -1063,22 +1214,47 @@ impl DecisionService {
         let mut synergistic = Vec::new();
         for (i, a) in drugs.iter().enumerate() {
             for b in &drugs[i + 1..] {
-                if let Some(interaction) = self.ddi_graph().interaction(a.id.index(), b.id.index())
-                {
-                    let pair = PairInteraction {
-                        a: a.id,
-                        a_name: a.name.clone(),
-                        b: b.id,
-                        b_name: b.name.clone(),
-                        interaction,
-                    };
-                    match interaction {
-                        Interaction::Antagonistic => antagonistic.push(pair),
-                        Interaction::Synergistic => synergistic.push(pair),
-                        // Explicitly recorded non-interactions are not
-                        // worth surfacing to the doctor.
-                        Interaction::None => {}
-                    }
+                let graph_sign = self.ddi_graph().interaction(a.id.index(), b.id.index());
+                let signed = graph_sign.filter(|&sign| sign != Interaction::None);
+                let fact = kb.and_then(|kb| kb.lookup(a.id.index(), b.id.index()));
+                let (interaction, severity, management) = match (signed, fact) {
+                    (Some(sign), Some(fact)) => (
+                        sign,
+                        fact.severity,
+                        fact.management_hint().map(str::to_string),
+                    ),
+                    (Some(sign), None) => (sign, Severity::default_for(sign), None),
+                    // The knowledge base knows a hazard the graph has no
+                    // signed edge for — a curated fact outranks an absent
+                    // (or explicitly "no interaction") edge, so it must
+                    // still fire. The pair keeps the graph's (non-)sign.
+                    (None, Some(fact)) => (
+                        graph_sign.unwrap_or(Interaction::None),
+                        fact.severity,
+                        fact.management_hint().map(str::to_string),
+                    ),
+                    // Neither the graph nor the KB knows the pair, or the
+                    // graph explicitly recorded no interaction: nothing
+                    // worth surfacing to the doctor.
+                    (None, None) => continue,
+                };
+                if !request.policy.reports(severity) {
+                    continue;
+                }
+                let pair = PairInteraction {
+                    a: a.id,
+                    a_name: a.name.clone(),
+                    b: b.id,
+                    b_name: b.name.clone(),
+                    interaction,
+                    severity,
+                    management,
+                };
+                match interaction {
+                    Interaction::Synergistic => synergistic.push(pair),
+                    // KB-only facts (graph sign None) are hazards to
+                    // review: they join the antagonistic list.
+                    Interaction::Antagonistic | Interaction::None => antagonistic.push(pair),
                 }
             }
         }
@@ -1094,6 +1270,7 @@ impl DecisionService {
             synergistic,
             explanation,
             suggestion_satisfaction,
+            kb_version: kb.map(KnowledgeBase::version),
         })
     }
 }
@@ -1505,6 +1682,233 @@ mod tests {
         service.suggest_batch(&requests).unwrap();
         let (_, m2) = service.explanation_cache_stats();
         assert!(m2 > m1, "clearing the cache must force fresh searches");
+    }
+
+    #[test]
+    fn check_prescription_grades_with_kb_and_filters_by_policy() {
+        use dssddi_kb::{EvidenceLevel, KbFact};
+        let service = support_service(41);
+        let mut kb =
+            KnowledgeBase::from_ddi_graph(service.ddi_graph(), service.registry()).unwrap();
+        // Upgrade the Fig. 8 pair to a contraindication with a hint.
+        kb.upsert(
+            61,
+            59,
+            KbFact {
+                severity: Severity::Contraindicated,
+                evidence: EvidenceLevel::Established,
+                mechanism: "nitrate potentiation".to_string(),
+                management: "do not combine".to_string(),
+            },
+        )
+        .unwrap();
+        let drugs = vec![
+            DrugId::new(61),
+            DrugId::new(59),
+            DrugId::new(10),
+            DrugId::new(5),
+        ];
+
+        // Default policy: everything reported, graded by the KB.
+        let full = service
+            .check_prescription_with_kb(&CheckPrescriptionRequest::new(drugs.clone()), Some(&kb))
+            .unwrap();
+        assert_eq!(full.kb_version, Some(kb.version()));
+        assert!(full.has_contraindicated());
+        assert_eq!(full.max_severity(), Some(Severity::Contraindicated));
+        let hard_stop = full
+            .antagonistic
+            .iter()
+            .find(|p| p.severity == Severity::Contraindicated)
+            .expect("the upgraded pair is reported");
+        assert_eq!(hard_stop.management.as_deref(), Some("do not combine"));
+        // Graph-seeded facts grade by sign and carry no hint.
+        for pair in &full.synergistic {
+            assert_eq!(pair.severity, Severity::Minor);
+            assert_eq!(pair.management, None);
+        }
+
+        // A Major-and-up policy filters the routine findings at the source
+        // but the contraindication still fires.
+        let gated = service
+            .check_prescription_with_kb(
+                &CheckPrescriptionRequest::new(drugs.clone())
+                    .with_policy(AlertPolicy::at_least(Severity::Major)),
+                Some(&kb),
+            )
+            .unwrap();
+        assert_eq!(gated.antagonistic.len(), 1);
+        assert_eq!(gated.antagonistic[0].severity, Severity::Contraindicated);
+        assert!(gated.synergistic.is_empty(), "Minor synergies are muted");
+        // The explanation is computed over the full drug set either way.
+        assert_eq!(gated.explanation, full.explanation);
+
+        // Without a KB, grades fall back to the sign defaults and no KB
+        // version is recorded.
+        let ungraded = service
+            .check_prescription(&CheckPrescriptionRequest::new(drugs))
+            .unwrap();
+        assert_eq!(ungraded.kb_version, None);
+        for pair in &ungraded.antagonistic {
+            assert_eq!(pair.severity, Severity::Moderate);
+        }
+    }
+
+    #[test]
+    fn kb_facts_without_graph_edges_still_fire() {
+        use dssddi_kb::{EvidenceLevel, KbFact};
+        let service = support_service(53);
+        // Find a drug pair the DDI graph records nothing about.
+        let n = service.registry().len();
+        let (a, b) = (0..n)
+            .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+            .find(|&(a, b)| service.ddi_graph().interaction(a, b).is_none())
+            .expect("the paper graph is sparse; an unrecorded pair exists");
+        let mut kb =
+            KnowledgeBase::from_ddi_graph(service.ddi_graph(), service.registry()).unwrap();
+        kb.upsert(
+            a,
+            b,
+            KbFact {
+                severity: Severity::Contraindicated,
+                evidence: EvidenceLevel::Established,
+                mechanism: "post-marketing signal".to_string(),
+                management: "do not combine".to_string(),
+            },
+        )
+        .unwrap();
+        // Without the KB the pair is invisible; with it, the curated hard
+        // stop fires even though the graph has no edge.
+        let request = CheckPrescriptionRequest::new(vec![DrugId::new(a), DrugId::new(b)]);
+        let ungraded = service.check_prescription(&request).unwrap();
+        assert!(ungraded.is_safe());
+        let graded = service
+            .check_prescription_with_kb(&request, Some(&kb))
+            .unwrap();
+        assert!(!graded.is_safe());
+        assert!(graded.has_contraindicated());
+        assert_eq!(graded.antagonistic.len(), 1);
+        assert_eq!(
+            graded.antagonistic[0].interaction,
+            Interaction::None,
+            "a KB-only finding keeps the graph's (non-)sign"
+        );
+        assert_eq!(
+            graded.antagonistic[0].management.as_deref(),
+            Some("do not combine")
+        );
+        // The suggest-side contraindication filter holds on the KB fact
+        // alone too: candidate `b` is dropped when the patient takes `a`.
+        let (fitted, cohort, held_out) = fitted_service(53);
+        let patient = held_out[0];
+        let features = cohort.features().row(patient).to_vec();
+        let filters = SuggestFilters {
+            exclude_contraindicated_with: vec![DrugId::new(a)],
+            ..Default::default()
+        };
+        let mut fitted_kb =
+            KnowledgeBase::from_ddi_graph(fitted.ddi_graph(), fitted.registry()).unwrap();
+        fitted_kb
+            .upsert(
+                a,
+                b,
+                KbFact {
+                    severity: Severity::Contraindicated,
+                    evidence: EvidenceLevel::Established,
+                    mechanism: String::new(),
+                    management: String::new(),
+                },
+            )
+            .unwrap();
+        let safe = fitted
+            .suggest_with_kb(
+                &SuggestRequest::new(PatientId::new(patient), features, n - 1)
+                    .with_filters(filters),
+                Some(&fitted_kb),
+            )
+            .unwrap();
+        assert!(safe.drugs.iter().all(|d| d.id.index() != b));
+    }
+
+    #[test]
+    fn kb_over_a_foreign_formulary_is_rejected() {
+        let service = support_service(43);
+        let foreign = DrugRegistry::from_names(vec!["A".to_string(), "B".to_string()]).unwrap();
+        let kb = KnowledgeBase::new(&foreign);
+        assert!(matches!(
+            service.check_prescription_with_kb(
+                &CheckPrescriptionRequest::new(vec![DrugId::new(1)]),
+                Some(&kb),
+            ),
+            Err(CoreError::InvalidInput { .. })
+        ));
+        let (fitted, cohort, held_out) = fitted_service(43);
+        let request = SuggestRequest::new(
+            PatientId::new(held_out[0]),
+            cohort.features().row(held_out[0]).to_vec(),
+            3,
+        );
+        assert!(matches!(
+            fitted.suggest_with_kb(&request, Some(&kb)),
+            Err(CoreError::InvalidInput { .. })
+        ));
+    }
+
+    #[test]
+    fn contraindicated_candidates_are_excluded_from_suggestions() {
+        use dssddi_kb::{EvidenceLevel, KbFact};
+        let (service, cohort, held_out) = fitted_service(47);
+        // Take a real antagonistic edge and upgrade it to a contraindication.
+        let (taken, candidate) = service.ddi_graph().edges_of(Interaction::Antagonistic)[0];
+        let mut kb =
+            KnowledgeBase::from_ddi_graph(service.ddi_graph(), service.registry()).unwrap();
+        kb.upsert(
+            taken,
+            candidate,
+            KbFact {
+                severity: Severity::Contraindicated,
+                evidence: EvidenceLevel::Established,
+                mechanism: String::new(),
+                management: "never together".to_string(),
+            },
+        )
+        .unwrap();
+        let patient = held_out[0];
+        let features = cohort.features().row(patient).to_vec();
+        let n = service.registry().len();
+
+        // Unfiltered, every drug is rankable (k = n succeeds).
+        let all = service
+            .suggest(&SuggestRequest::new(
+                PatientId::new(patient),
+                features.clone(),
+                n,
+            ))
+            .unwrap();
+        assert!(all.drugs.iter().any(|d| d.id.index() == candidate));
+
+        let filters = SuggestFilters {
+            exclude_contraindicated_with: vec![DrugId::new(taken)],
+            ..Default::default()
+        };
+        // With the KB, the contraindicated candidate is gone.
+        let safe = service
+            .suggest_with_kb(
+                &SuggestRequest::new(PatientId::new(patient), features.clone(), n - 1)
+                    .with_filters(filters.clone()),
+                Some(&kb),
+            )
+            .unwrap();
+        assert!(safe.drugs.iter().all(|d| d.id.index() != candidate));
+        // Without a KB no grade can reach Contraindicated: the same filter
+        // passes everything and the candidate ranks again.
+        let ungraded = service
+            .suggest(
+                &SuggestRequest::new(PatientId::new(patient), features, n - 1)
+                    .with_filters(filters),
+            )
+            .unwrap();
+        assert!(ungraded.drugs.iter().any(|d| d.id.index() == candidate));
     }
 
     #[test]

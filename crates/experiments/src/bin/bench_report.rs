@@ -243,6 +243,30 @@ fn serving_results(
         },
     ));
 
+    // Knowledge-base lookups: the per-pair cost the severity-graded
+    // critique path adds on top of the graph walk. One "request" here is a
+    // full sweep over every drug pair of the formulary.
+    let kb = dssddi_kb::KnowledgeBase::from_ddi_graph(&world.ddi, &world.registry)
+        .expect("kb from ddi graph");
+    let n_drugs = world.registry.len();
+    results.push(measure(
+        "kb_lookup",
+        1,
+        w.iterations,
+        || {},
+        || {
+            let mut graded = 0usize;
+            for a in 0..n_drugs {
+                for b in (a + 1)..n_drugs {
+                    if kb.lookup(a, b).is_some() {
+                        graded += 1;
+                    }
+                }
+            }
+            assert_eq!(graded, kb.len());
+        },
+    ));
+
     // Persistence throughput.
     let dir = std::env::temp_dir().join("dssddi_bench_report");
     std::fs::create_dir_all(&dir).expect("temp dir");
@@ -351,6 +375,26 @@ fn gateway_results(world: &BenchWorld, w: &Workload) -> Vec<BenchResult> {
             },
         ));
     }
+
+    // End-to-end severity-graded critique over the wire: client → loopback
+    // TCP → router → KB-graded check_prescription → framed report → client.
+    let check = CheckPrescriptionRequest::new(vec![
+        DrugId::new(61),
+        DrugId::new(59),
+        DrugId::new(10),
+        DrugId::new(5),
+    ]);
+    results.push(measure(
+        "gateway_check_prescription_loopback",
+        1,
+        w.iterations,
+        || {},
+        || {
+            client
+                .check_prescription(&key, &check)
+                .unwrap_or_else(|e| panic!("gateway check_prescription: {e}"));
+        },
+    ));
 
     client
         .shutdown()

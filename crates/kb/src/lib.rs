@@ -1,0 +1,144 @@
+//! # dssddi-kb
+//!
+//! The clinical knowledge-base subsystem of the DSSDDI reproduction.
+//!
+//! The paper's decision support system critiques prescriptions against the
+//! signed drug-drug interaction graph, but an edge only says *that* two
+//! drugs interact. A deployable critiquing system needs a clinical layer on
+//! top: how **severe** is the interaction, how well **evidenced**, and what
+//! should the prescriber **do** about it. This crate is that layer:
+//!
+//! * [`Severity`] — the four-grade ladder (`Minor` → `Moderate` → `Major` →
+//!   `Contraindicated`) with a total order,
+//! * [`EvidenceLevel`] — how established a fact is,
+//! * [`AlertPolicy`] — the per-request filter deciding which findings a
+//!   critique reports (minimum severity; contraindicated findings always
+//!   fire),
+//! * [`KnowledgeBase`] — a versioned, registry-aware store of
+//!   severity-graded facts keyed by canonical drug pairs, ingested from a
+//!   TSV source format ([`KnowledgeBase::ingest_tsv`]) or seeded from the
+//!   DDI graph itself ([`KnowledgeBase::from_ddi_graph`]; unknown-severity
+//!   antagonistic edges default to `Moderate`),
+//! * the `DSKB` container ([`KnowledgeBase::save`] /
+//!   [`KnowledgeBase::load`]) — the same CRC-framed layout as `DSSD` model
+//!   files and `DSWR` wire frames, under its own magic bytes, so a KB can
+//!   ship to serving hosts and hot-reload under a live routing key,
+//! * [`KbDiff`] — a typed difference between two KB versions, for operators
+//!   reviewing an update before reloading it.
+//!
+//! ```
+//! use dssddi_data::DrugRegistry;
+//! use dssddi_kb::{AlertPolicy, KnowledgeBase, Severity};
+//!
+//! let registry = DrugRegistry::standard();
+//! let mut kb = KnowledgeBase::new(&registry);
+//! kb.ingest_tsv(
+//!     "Gabapentin\tIsosorbide Mononitrate\tmajor\tstudy\tadditive hypotension\treview dosing\n",
+//!     &registry,
+//! )?;
+//! let gabapentin = registry.resolve("Gabapentin").unwrap();
+//! let mononitrate = registry.resolve("Isosorbide Mononitrate").unwrap();
+//! let fact = kb.lookup(gabapentin, mononitrate).unwrap();
+//! assert_eq!(fact.severity, Severity::Major);
+//! // An outpatient policy mutes Minor/Moderate chatter but reports this.
+//! assert!(AlertPolicy::at_least(Severity::Major).reports(fact.severity));
+//! # Ok::<(), dssddi_kb::KbError>(())
+//! ```
+
+#![warn(missing_docs)]
+// The KB is serving-path input: damaged containers, malformed TSV and
+// foreign registries are routine and must come back as typed errors.
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use std::fmt;
+
+use dssddi_tensor::serde::SerdeError;
+
+pub mod base;
+pub mod severity;
+
+pub use base::{
+    IngestSummary, KbChange, KbDiff, KbFact, KbInfo, KnowledgeBase, KB_FORMAT_VERSION, KB_MAGIC,
+    MAX_KB_PAYLOAD,
+};
+pub use severity::{AlertPolicy, EvidenceLevel, Severity};
+
+/// Errors produced while building, ingesting, persisting or comparing
+/// knowledge bases.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KbError {
+    /// A TSV row could not be parsed.
+    Parse {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// Description of the problem.
+        what: String,
+    },
+    /// A TSV drug cell did not resolve against the registry.
+    UnknownDrug {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// The cell content that failed to resolve.
+        query: String,
+    },
+    /// A fact named the same drug on both sides.
+    SelfInteraction {
+        /// 1-based line number (0 for programmatic [`KnowledgeBase::upsert`]).
+        line: usize,
+        /// The drug's DID.
+        drug: usize,
+    },
+    /// The KB and the registry (or two KBs) describe different formularies.
+    RegistryMismatch {
+        /// Description of the mismatch.
+        what: String,
+    },
+    /// A `DSKB` container failed validation (bad magic, version mismatch,
+    /// truncation, CRC mismatch, corrupt field).
+    Serde(SerdeError),
+    /// A filesystem operation failed.
+    Io {
+        /// Description including the underlying error.
+        what: String,
+    },
+}
+
+impl fmt::Display for KbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KbError::Parse { line, what } => write!(f, "kb source line {line}: {what}"),
+            KbError::UnknownDrug { line, query } => {
+                write!(f, "kb source line {line}: unknown drug {query:?}")
+            }
+            KbError::SelfInteraction { line, drug } => {
+                if *line == 0 {
+                    write!(f, "drug DID {drug} cannot interact with itself")
+                } else {
+                    write!(
+                        f,
+                        "kb source line {line}: drug DID {drug} cannot interact with itself"
+                    )
+                }
+            }
+            KbError::RegistryMismatch { what } => write!(f, "formulary mismatch: {what}"),
+            KbError::Serde(e) => write!(f, "kb container error: {e}"),
+            KbError::Io { what } => write!(f, "kb i/o error: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for KbError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KbError::Serde(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SerdeError> for KbError {
+    fn from(e: SerdeError) -> Self {
+        KbError::Serde(e)
+    }
+}

@@ -37,7 +37,7 @@ fn main() -> Result<(), ServingError> {
     println!("\ngateway serves {} model(s):", models.len());
     for model in &models {
         println!(
-            "  {:<12} fitted: {:<5} drugs: {:<3} features: {:<9} backbone: {} digest: {:#018x}",
+            "  {:<12} fitted: {:<5} drugs: {:<3} features: {:<9} backbone: {} digest: {:#018x} kb: v{}",
             model.key.to_string(),
             model.fitted,
             model.n_drugs,
@@ -47,6 +47,7 @@ fn main() -> Result<(), ServingError> {
                 .unwrap_or_else(|| "-".to_string()),
             model.backbone,
             model.registry_digest,
+            model.kb_version,
         );
     }
 
@@ -99,14 +100,21 @@ fn main() -> Result<(), ServingError> {
     match client.check_prescription(&critique_key, &check) {
         Ok(report) => {
             println!(
-                "\nprescription critique on {:?}: safe = {}",
+                "\nprescription critique on {:?}: safe = {} (kb v{})",
                 critique_key.to_string(),
-                report.is_safe()
+                report.is_safe(),
+                report.kb_version.unwrap_or(0),
             );
             for pair in &report.antagonistic {
                 println!(
-                    "  warning: {} is antagonistic with {}",
-                    pair.a_name, pair.b_name
+                    "  warning [{}]: {} is antagonistic with {}{}",
+                    pair.severity,
+                    pair.a_name,
+                    pair.b_name,
+                    pair.management
+                        .as_deref()
+                        .map(|hint| format!(" — {hint}"))
+                        .unwrap_or_default(),
                 );
             }
         }

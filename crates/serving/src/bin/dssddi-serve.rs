@@ -5,7 +5,8 @@
 //! save → serve → query* deployment story of the decision support system.
 //!
 //! ```text
-//! dssddi-serve [--listen ADDR] [--demo] [--seed S] [KEY=PATH.dssd ...]
+//! dssddi-serve [--listen ADDR] [--demo] [--seed S] [--kb KEY=PATH.dskb ...]
+//!              [KEY=PATH.dssd ...]
 //!
 //!   --listen ADDR   address to bind (default 127.0.0.1:7878; port 0 picks
 //!                   an ephemeral port, printed on startup)
@@ -13,6 +14,10 @@
 //!                   (shards "chronic" and "critique") instead of, or in
 //!                   addition to, loading files
 //!   --seed S        demo training seed (default 7)
+//!   --kb KEY=PATH   load PATH (a KnowledgeBase::save DSKB file) as the
+//!                   clinical knowledge base of shard KEY; repeatable.
+//!                   Shards without one critique against a KB seeded from
+//!                   their own DDI graph (severity defaults by sign).
 //!   KEY=PATH        load PATH (a DecisionService::save file) under the
 //!                   routing key KEY; repeatable
 //! ```
@@ -32,11 +37,15 @@ struct Args {
     demo: bool,
     seed: u64,
     models: Vec<(String, String)>,
+    kbs: Vec<(String, String)>,
 }
 
 fn usage() -> &'static str {
-    "usage: dssddi-serve [--listen ADDR] [--demo] [--seed S] [KEY=PATH.dssd ...]\n\
-     serve trained DSSD model files (or the --demo catalog) over TCP"
+    "usage: dssddi-serve [--listen ADDR] [--demo] [--seed S] \
+     [--kb KEY=PATH.dskb ...] [KEY=PATH.dssd ...]\n\
+     serve trained DSSD model files (or the --demo catalog) over TCP, each \
+     paired with a clinical knowledge base (--kb, or seeded from the \
+     shard's DDI graph)"
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -45,6 +54,7 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         demo: false,
         seed: DEMO_SEED,
         models: Vec::new(),
+        kbs: Vec::new(),
     };
     let mut i = 0;
     while i < args.len() {
@@ -55,6 +65,14 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     .get(i)
                     .ok_or("--listen needs an address argument")?
                     .clone();
+            }
+            "--kb" => {
+                i += 1;
+                let spec = args.get(i).ok_or("--kb needs a KEY=PATH.dskb argument")?;
+                let (key, path) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("invalid --kb {spec:?} (expected KEY=PATH.dskb)"))?;
+                parsed.kbs.push((key.to_string(), path.to_string()));
             }
             "--demo" => parsed.demo = true,
             "--seed" => {
@@ -99,6 +117,13 @@ fn build_catalog(args: &Args) -> Result<ModelCatalog, String> {
     }
     if catalog.is_empty() {
         return Err(format!("no models to serve\n{}", usage()));
+    }
+    for (key, path) in &args.kbs {
+        let key = ModelKey::new(key.as_str()).map_err(|e| e.to_string())?;
+        catalog
+            .load_kb_file(&key, path)
+            .map_err(|e| format!("loading {path:?} as knowledge base of {key}: {e}"))?;
+        eprintln!("dssddi-serve: loaded {path:?} as knowledge base of {key:?}");
     }
     Ok(catalog)
 }

@@ -12,8 +12,10 @@
 //! without parsing messages.
 
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use dssddi_core::{CheckPrescriptionRequest, InteractionReport, SuggestRequest, SuggestResponse};
+use dssddi_kb::KbInfo;
 
 use crate::router::{ModelInfo, ModelKey, ModelStats};
 use crate::wire::{self, RequestRef, Response, WireError};
@@ -23,24 +25,131 @@ use crate::ServingError;
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
+    /// Set after a transport-level failure (timeout, I/O error, undecodable
+    /// frame). The stream may then hold a late or partial response, so
+    /// reading the *next* frame could deliver a stale answer to the wrong
+    /// request — every later call fails fast instead of risking that.
+    poisoned: bool,
 }
 
 impl Client {
-    /// Connects to a gateway.
+    /// Connects to a gateway with no timeouts: connecting blocks as long as
+    /// the OS allows, and a hung server blocks every call forever. Prefer
+    /// [`Client::connect_timeout`] anywhere a human or a request deadline
+    /// is waiting.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServingError> {
         let stream = TcpStream::connect(addr).map_err(|e| ServingError::Io {
             what: format!("connecting to gateway: {e}"),
         })?;
         stream.set_nodelay(true).ok();
-        Ok(Self { stream })
+        Ok(Self {
+            stream,
+            poisoned: false,
+        })
+    }
+
+    /// Connects to a gateway with an overall connect deadline (shared by
+    /// every address the name resolves to — trying a dead IPv6 address
+    /// first cannot multiply the wait), and arms the same duration as the
+    /// per-call response timeout (tune it afterwards with
+    /// [`Client::set_read_timeout`]). A server that accepts but never
+    /// answers then fails the pending call with a typed
+    /// [`WireError::Timeout`] instead of blocking the caller forever.
+    ///
+    /// The deadline covers the TCP connection attempts; name resolution
+    /// itself goes through the blocking OS resolver (`std` offers no
+    /// timeout there), so a hostname behind an unresponsive resolver can
+    /// still stall before the deadline starts. Pass a socket address to
+    /// skip resolution entirely.
+    pub fn connect_timeout(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+    ) -> Result<Self, ServingError> {
+        let addrs: Vec<_> = addr
+            .to_socket_addrs()
+            .map_err(|e| ServingError::Io {
+                what: format!("resolving gateway address: {e}"),
+            })?
+            .collect();
+        let deadline = std::time::Instant::now() + timeout;
+        let mut last_error: Option<std::io::Error> = None;
+        let stream = addrs
+            .iter()
+            .find_map(|addr| {
+                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+                if remaining.is_zero() {
+                    return None;
+                }
+                match TcpStream::connect_timeout(addr, remaining) {
+                    Ok(stream) => Some(stream),
+                    Err(e) => {
+                        last_error = Some(e);
+                        None
+                    }
+                }
+            })
+            .ok_or_else(|| ServingError::Io {
+                what: match last_error {
+                    Some(e) => format!("connecting to gateway within {timeout:?}: {e}"),
+                    None => "gateway address resolved to no socket addresses".to_string(),
+                },
+            })?;
+        stream.set_nodelay(true).ok();
+        let client = Self {
+            stream,
+            poisoned: false,
+        };
+        client.set_read_timeout(Some(timeout))?;
+        Ok(client)
+    }
+
+    /// Arms (or with `None` disarms) the response timeout: a call whose
+    /// response does not arrive in time fails with
+    /// [`WireError::Timeout`] instead of blocking forever. `Some(0)` is
+    /// rejected by the OS; pass `None` to disable.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ServingError> {
+        self.stream
+            .set_read_timeout(timeout)
+            .map_err(|e| ServingError::Io {
+                what: format!("arming read timeout: {e}"),
+            })
     }
 
     /// One request/response exchange; remote error frames become
     /// [`ServingError::Remote`]. The borrowed view means no request payload
     /// (feature vectors included) is ever cloned just to be encoded.
+    ///
+    /// Any transport-level failure poisons the connection: a timed-out
+    /// response may still arrive later, and delivering it as the answer to
+    /// the *next* request would silently return wrong clinical results.
+    /// (Typed `Remote` error frames keep the stream aligned and do not
+    /// poison.) A poisoned client fails every call; reconnect to recover.
     fn call(&mut self, request: RequestRef<'_>) -> Result<Response, ServingError> {
+        if self.poisoned {
+            return Err(ServingError::Protocol {
+                what: "connection is poisoned by an earlier transport failure (a late \
+                       response could answer the wrong request); reconnect"
+                    .to_string(),
+            });
+        }
+        let result = self.exchange(request);
+        if matches!(
+            result,
+            Err(ServingError::Wire(_)) | Err(ServingError::Io { .. })
+        ) {
+            self.poisoned = true;
+        }
+        result
+    }
+
+    fn exchange(&mut self, request: RequestRef<'_>) -> Result<Response, ServingError> {
         wire::write_frame(&mut self.stream, &wire::encode_request_ref(request))?;
-        let payload = wire::read_frame(&mut self.stream)?;
+        let payload = wire::read_frame(&mut self.stream).map_err(|e| match e {
+            // For a client a frame is always in flight once the request is
+            // written, so "idle" timeouts are the server failing to answer.
+            WireError::IdleTimeout => WireError::Timeout,
+            other => other,
+        })?;
         let response = wire::decode_response(&payload).map_err(WireError::Decode)?;
         match response {
             Response::Error { code, message } => Err(ServingError::Remote { code, message }),
@@ -85,6 +194,66 @@ impl Client {
         }
     }
 
+    /// Checks that a reload artifact fits in one wire frame *before* any
+    /// byte is written: failing after a multi-megabyte upload would waste
+    /// the transfer and poison the connection, and the server would reject
+    /// the oversized frame anyway.
+    fn check_reload_fits(model: &ModelKey, container: &[u8]) -> Result<(), ServingError> {
+        // Frame overhead around the container: message tag, key, two
+        // length prefixes — bounded well below this slack.
+        let budget = wire::MAX_FRAME_PAYLOAD - model.as_str().len() - 64;
+        if container.len() > budget {
+            return Err(ServingError::Wire(WireError::Oversized {
+                declared: container.len(),
+                max: budget,
+            }));
+        }
+        Ok(())
+    }
+
+    /// Ships a `DSSD` container to the gateway and hot-swaps it in under a
+    /// live key (see `ModelCatalog::replace`); returns the shard's new
+    /// listing. The artifact must serve the shard's formulary and fit in
+    /// one wire frame ([`wire::MAX_FRAME_PAYLOAD`], 16 MiB) — larger
+    /// artifacts reach the gateway as files (`dssddi-serve` arguments /
+    /// `ModelCatalog::load_file`).
+    pub fn reload_model(
+        &mut self,
+        model: &ModelKey,
+        container: &[u8],
+    ) -> Result<ModelInfo, ServingError> {
+        Self::check_reload_fits(model, container)?;
+        match self.call(RequestRef::ReloadModel { model, container })? {
+            Response::ModelReloaded(info) => Ok(info),
+            other => Err(unexpected("ReloadModel", &other)),
+        }
+    }
+
+    /// Ships a `DSKB` container to the gateway and hot-swaps the knowledge
+    /// base paired with a live key; returns the new KB's summary. The
+    /// artifact must fit in one wire frame ([`wire::MAX_FRAME_PAYLOAD`],
+    /// 16 MiB) — larger knowledge bases reach the gateway as files
+    /// (`dssddi-serve --kb` / `ModelCatalog::load_kb_file`).
+    pub fn reload_kb(
+        &mut self,
+        model: &ModelKey,
+        container: &[u8],
+    ) -> Result<KbInfo, ServingError> {
+        Self::check_reload_fits(model, container)?;
+        match self.call(RequestRef::ReloadKb { model, container })? {
+            Response::KbReloaded(info) => Ok(info),
+            other => Err(unexpected("ReloadKb", &other)),
+        }
+    }
+
+    /// Fetches the summary of the knowledge base paired with one shard.
+    pub fn kb_info(&mut self, model: &ModelKey) -> Result<KbInfo, ServingError> {
+        match self.call(RequestRef::KbInfo { model })? {
+            Response::KbInfo(info) => Ok(info),
+            other => Err(unexpected("KbInfo", &other)),
+        }
+    }
+
     /// Lists the models the gateway serves.
     pub fn list_models(&mut self) -> Result<Vec<ModelInfo>, ServingError> {
         match self.call(RequestRef::ListModels)? {
@@ -117,6 +286,9 @@ fn unexpected(asked: &str, got: &Response) -> ServingError {
         Response::Suggest(_) => "Suggest",
         Response::SuggestBatch(_) => "SuggestBatch",
         Response::CheckPrescription(_) => "CheckPrescription",
+        Response::ModelReloaded(_) => "ModelReloaded",
+        Response::KbReloaded(_) => "KbReloaded",
+        Response::KbInfo(_) => "KbInfo",
         Response::ListModels(_) => "ListModels",
         Response::Stats(_) => "Stats",
         Response::ShuttingDown => "ShuttingDown",

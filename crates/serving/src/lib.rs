@@ -64,6 +64,7 @@
 use std::fmt;
 
 use dssddi_core::CoreError;
+use dssddi_kb::KbError;
 
 pub mod client;
 pub mod demo;
@@ -72,6 +73,7 @@ pub mod server;
 pub mod wire;
 
 pub use client::Client;
+pub use dssddi_kb::{AlertPolicy, KbInfo, KnowledgeBase, Severity};
 pub use router::{ModelCatalog, ModelInfo, ModelKey, ModelStats, Router};
 pub use server::Server;
 pub use wire::{ErrorCode, Request, Response, WireError};
@@ -98,6 +100,17 @@ pub enum ServingError {
         /// The keys the catalog actually serves.
         available: Vec<String>,
     },
+    /// A hot-reload artifact (model or knowledge base) describes a
+    /// different formulary than the live shard it would replace.
+    FormularyMismatch {
+        /// The shard key the reload targeted.
+        key: String,
+        /// Description of the mismatch.
+        what: String,
+    },
+    /// A knowledge-base operation failed (malformed TSV, damaged `DSKB`
+    /// container, foreign formulary).
+    Kb(KbError),
     /// The routed service rejected the request (or failed to load).
     Core(CoreError),
     /// A wire frame could not be written, read or decoded.
@@ -138,6 +151,10 @@ impl fmt::Display for ServingError {
                     available.join(", ")
                 }
             ),
+            ServingError::FormularyMismatch { key, what } => {
+                write!(f, "reload rejected for model {key:?}: {what}")
+            }
+            ServingError::Kb(e) => write!(f, "knowledge base error: {e}"),
             ServingError::Core(e) => write!(f, "service error: {e}"),
             ServingError::Wire(e) => write!(f, "wire protocol error: {e}"),
             ServingError::Io { what } => write!(f, "i/o error: {what}"),
@@ -154,6 +171,7 @@ impl std::error::Error for ServingError {
         match self {
             ServingError::Core(e) => Some(e),
             ServingError::Wire(e) => Some(e),
+            ServingError::Kb(e) => Some(e),
             _ => None,
         }
     }
@@ -162,6 +180,12 @@ impl std::error::Error for ServingError {
 impl From<CoreError> for ServingError {
     fn from(e: CoreError) -> Self {
         ServingError::Core(e)
+    }
+}
+
+impl From<KbError> for ServingError {
+    fn from(e: KbError) -> Self {
+        ServingError::Kb(e)
     }
 }
 

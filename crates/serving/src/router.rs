@@ -3,25 +3,40 @@
 //!
 //! A production deployment of the paper's system shards by disease, cohort
 //! or region: each shard is one fitted [`DecisionService`] persisted to a
-//! `DSSD` file. [`ModelCatalog`] owns the loaded shards keyed by
-//! [`ModelKey`]; [`Router`] dispatches typed requests to the right shard
-//! and keeps per-model serving statistics — requests served, error count,
-//! explanation-cache hit rate, and p50/p99 latency over a sliding window —
-//! surfaced locally via [`Router::stats`] and remotely via the `Stats` wire
-//! message.
+//! `DSSD` file, *paired with* a clinical [`KnowledgeBase`] (`DSKB` file)
+//! that grades its interaction findings. [`ModelCatalog`] owns the loaded
+//! shards keyed by [`ModelKey`]; [`Router`] dispatches typed requests to
+//! the right shard and keeps per-model serving statistics — requests
+//! served, error counts broken down by [`ErrorCode`], explanation-cache
+//! hit rate, and p50/p99 latency over a sliding window — surfaced locally
+//! via [`Router::stats`] and remotely via the `Stats` wire message.
+//!
+//! ## Hot reload
+//!
+//! Both halves of a shard sit behind their own `RwLock<Arc<...>>`, so a
+//! re-trained model ([`ModelCatalog::replace`], wire `ReloadModel`) or an
+//! updated knowledge base ([`ModelCatalog::replace_kb`], wire `ReloadKb`)
+//! can be swapped in *under a live key with zero dropped connections*:
+//! requests in flight finish on the `Arc` they cloned, new requests pick up
+//! the replacement, and the shard's serving counters survive the swap. A
+//! replacement must describe the same formulary (registry digest) as the
+//! shard it replaces — a gateway that silently swapped formularies under a
+//! live key would resolve the same DIDs to different drugs.
 
 use std::collections::BTreeMap;
 use std::fmt;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
 use dssddi_core::{
     CheckPrescriptionRequest, DecisionService, InteractionReport, SuggestRequest, SuggestResponse,
 };
 use dssddi_data::DrugRegistry;
+use dssddi_kb::{KbInfo, KnowledgeBase};
 
+use crate::wire::{self, ErrorCode, Request, Response};
 use crate::ServingError;
 
 /// Maximum length of a model key, in bytes.
@@ -112,6 +127,8 @@ pub struct ModelInfo {
     pub registry_digest: u64,
     /// The DDIGCN backbone the shard was configured with.
     pub backbone: String,
+    /// Version of the shard's clinical knowledge base.
+    pub kb_version: u64,
 }
 
 /// Per-model serving statistics.
@@ -121,11 +138,16 @@ pub struct ModelStats {
     pub requests: u64,
     /// Requests that ended in an error.
     pub errors: u64,
+    /// Errors broken down by wire [`ErrorCode`], in code order; codes with
+    /// no occurrence are omitted.
+    pub errors_by_code: Vec<(ErrorCode, u64)>,
     /// Cumulative explanation-cache hits of the shard's service.
     pub cache_hits: u64,
     /// Cumulative explanation-cache misses of the shard's service.
     pub cache_misses: u64,
     /// Median routed-call latency in milliseconds over the sliding window.
+    /// On the network path the sample covers response encoding too (the
+    /// frame a client waits for), not just the model call.
     pub p50_ms: f64,
     /// 99th-percentile routed-call latency in milliseconds over the window.
     pub p99_ms: f64,
@@ -183,53 +205,78 @@ impl LatencyWindow {
     }
 }
 
-/// One shard: the service plus its serving counters.
+/// Recovers a lock from poisoning: every guarded structure here (latency
+/// window, swap slots) is valid whatever state a panicking thread left it
+/// in, so serving continues.
+fn relock<T>(result: Result<T, std::sync::PoisonError<T>>) -> T {
+    result.unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// One shard: the service, its paired knowledge base and its serving
+/// counters. Service and KB each sit behind `RwLock<Arc<...>>` so hot
+/// reload swaps the `Arc` while requests in flight finish on the one they
+/// cloned; the counters live *outside* the locks and survive every swap.
 struct ModelEntry {
-    service: DecisionService,
+    service: RwLock<Arc<DecisionService>>,
+    kb: RwLock<Arc<KnowledgeBase>>,
     requests: AtomicU64,
     errors: AtomicU64,
+    errors_by_code: [AtomicU64; ErrorCode::ALL.len()],
     latencies: Mutex<LatencyWindow>,
 }
 
 impl ModelEntry {
-    fn new(service: DecisionService) -> Self {
+    fn new(service: DecisionService, kb: KnowledgeBase) -> Self {
         Self {
-            service,
+            service: RwLock::new(Arc::new(service)),
+            kb: RwLock::new(Arc::new(kb)),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
+            errors_by_code: std::array::from_fn(|_| AtomicU64::new(0)),
             latencies: Mutex::new(LatencyWindow::new()),
         }
     }
 
-    /// Records one routed call: `n_requests` individual requests answered
-    /// in `elapsed_micros`, successfully or not.
-    fn record(&self, n_requests: u64, elapsed_micros: u64, ok: bool) {
+    /// The shard's current service (requests in flight keep the `Arc` they
+    /// cloned across a concurrent swap).
+    fn service(&self) -> Arc<DecisionService> {
+        relock(self.service.read()).clone()
+    }
+
+    /// The shard's current knowledge base.
+    fn kb(&self) -> Arc<KnowledgeBase> {
+        relock(self.kb.read()).clone()
+    }
+
+    /// Records one routed call's outcome: `n_requests` individual requests,
+    /// and the error class when it failed.
+    fn record_outcome(&self, n_requests: u64, error: Option<ErrorCode>) {
         self.requests.fetch_add(n_requests, Ordering::Relaxed);
-        if !ok {
+        if let Some(code) = error {
             self.errors.fetch_add(n_requests, Ordering::Relaxed);
+            self.errors_by_code[code.index()].fetch_add(n_requests, Ordering::Relaxed);
         }
-        // Same poisoning stance as the service's explanation cache: the
-        // window only holds samples, so state left by a panicking thread is
-        // still a valid window.
-        let mut window = self
-            .latencies
-            .lock()
-            .unwrap_or_else(|poisoned| poisoned.into_inner());
-        window.record(elapsed_micros);
+    }
+
+    /// Records one latency sample for the percentile window.
+    fn record_latency(&self, elapsed_micros: u64) {
+        relock(self.latencies.lock()).record(elapsed_micros);
     }
 
     fn stats(&self) -> ModelStats {
-        let (p50_ms, p99_ms) = {
-            let window = self
-                .latencies
-                .lock()
-                .unwrap_or_else(|poisoned| poisoned.into_inner());
-            window.percentiles_ms()
-        };
-        let (cache_hits, cache_misses) = self.service.explanation_cache_stats();
+        let (p50_ms, p99_ms) = relock(self.latencies.lock()).percentiles_ms();
+        let (cache_hits, cache_misses) = self.service().explanation_cache_stats();
+        let errors_by_code = ErrorCode::ALL
+            .iter()
+            .filter_map(|&code| {
+                let count = self.errors_by_code[code.index()].load(Ordering::Relaxed);
+                (count > 0).then_some((code, count))
+            })
+            .collect();
         ModelStats {
             requests: self.requests.load(Ordering::Relaxed),
             errors: self.errors.load(Ordering::Relaxed),
+            errors_by_code,
             cache_hits: cache_hits as u64,
             cache_misses: cache_misses as u64,
             p50_ms,
@@ -238,15 +285,40 @@ impl ModelEntry {
     }
 
     fn info(&self, key: &ModelKey) -> ModelInfo {
+        let service = self.service();
         ModelInfo {
             key: key.clone(),
-            fitted: self.service.is_fitted(),
-            n_drugs: self.service.registry().len(),
-            n_features: self.service.n_features(),
-            registry_digest: self.service.registry().digest(),
-            backbone: self.service.config().ddi.backbone.name().to_string(),
+            fitted: service.is_fitted(),
+            n_drugs: service.registry().len(),
+            n_features: service.n_features(),
+            registry_digest: service.registry().digest(),
+            backbone: service.config().ddi.backbone.name().to_string(),
+            kb_version: self.kb().version(),
         }
     }
+}
+
+/// Pairs a service with the knowledge base a new shard starts from: seeded
+/// from the shard's own DDI graph, so every gateway critique is
+/// severity-graded from the first request (antagonistic edges of unknown
+/// severity default to `Moderate`).
+fn default_kb(service: &DecisionService) -> Result<KnowledgeBase, ServingError> {
+    KnowledgeBase::from_ddi_graph(service.ddi_graph(), service.registry()).map_err(ServingError::Kb)
+}
+
+/// Checks that a replacement (service or KB) describes the same formulary
+/// as the shard it replaces.
+fn check_digest(key: &ModelKey, current: u64, replacement: u64) -> Result<(), ServingError> {
+    if current != replacement {
+        return Err(ServingError::FormularyMismatch {
+            key: key.as_str().to_string(),
+            what: format!(
+                "shard serves registry digest {current:#018x} but the replacement \
+                 describes {replacement:#018x}"
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// Owns the loaded model shards of a gateway, keyed by [`ModelKey`].
@@ -276,22 +348,42 @@ impl ModelCatalog {
         self.models.keys().collect()
     }
 
-    /// The shard behind a key, when registered.
-    pub fn service(&self, key: &ModelKey) -> Option<&DecisionService> {
-        self.models.get(key).map(|entry| &entry.service)
+    /// The service behind a key, when registered. The returned `Arc` is a
+    /// snapshot: a concurrent [`ModelCatalog::replace`] does not change it.
+    pub fn service(&self, key: &ModelKey) -> Option<Arc<DecisionService>> {
+        self.models.get(key).map(ModelEntry::service)
     }
 
-    /// Registers an in-process service under a key. Each key routes to
-    /// exactly one shard; re-registering is a typed error (a gateway that
-    /// silently swapped a model under a live key would serve two different
-    /// formularies to one client).
+    /// The knowledge base paired with a key, when registered (snapshot
+    /// semantics as for [`ModelCatalog::service`]).
+    pub fn kb(&self, key: &ModelKey) -> Option<Arc<KnowledgeBase>> {
+        self.models.get(key).map(ModelEntry::kb)
+    }
+
+    /// Registers an in-process service under a key, paired with a knowledge
+    /// base seeded from its DDI graph. Each key routes to exactly one
+    /// shard; re-registering is a typed error — replacing a live shard is
+    /// an explicit [`ModelCatalog::replace`], never an accidental insert.
     pub fn insert(&mut self, key: ModelKey, service: DecisionService) -> Result<(), ServingError> {
+        let kb = default_kb(&service)?;
+        self.insert_with_kb(key, service, kb)
+    }
+
+    /// Registers a service under a key with an explicit knowledge base,
+    /// which must grade the service's formulary.
+    pub fn insert_with_kb(
+        &mut self,
+        key: ModelKey,
+        service: DecisionService,
+        kb: KnowledgeBase,
+    ) -> Result<(), ServingError> {
         if self.models.contains_key(&key) {
             return Err(ServingError::DuplicateModel {
                 key: key.as_str().to_string(),
             });
         }
-        self.models.insert(key, ModelEntry::new(service));
+        check_digest(&key, service.registry().digest(), kb.registry_digest())?;
+        self.models.insert(key, ModelEntry::new(service, kb));
         Ok(())
     }
 
@@ -315,6 +407,51 @@ impl ModelCatalog {
         let service = DecisionService::load(path, registry)?;
         self.insert(key, service)
     }
+
+    /// Loads a `DSKB` file as the knowledge base of an already registered
+    /// shard, replacing the seeded (or previously loaded) one.
+    pub fn load_kb_file(&self, key: &ModelKey, path: impl AsRef<Path>) -> Result<(), ServingError> {
+        let kb = KnowledgeBase::load(path).map_err(ServingError::Kb)?;
+        self.replace_kb(key, kb)
+    }
+
+    fn entry(&self, key: &ModelKey) -> Result<&ModelEntry, ServingError> {
+        self.models
+            .get(key)
+            .ok_or_else(|| ServingError::UnknownModel {
+                key: key.as_str().to_string(),
+                available: self.models.keys().map(|k| k.as_str().to_string()).collect(),
+            })
+    }
+
+    /// Hot-swaps the service behind a live key. The replacement must serve
+    /// the same formulary (registry digest) as the shard it replaces; its
+    /// paired knowledge base and the shard's serving counters carry over.
+    /// Requests in flight finish on the service they started with, new
+    /// requests route to the replacement — no connection is dropped.
+    pub fn replace(&self, key: &ModelKey, service: DecisionService) -> Result<(), ServingError> {
+        let entry = self.entry(key)?;
+        check_digest(
+            key,
+            entry.service().registry().digest(),
+            service.registry().digest(),
+        )?;
+        *relock(entry.service.write()) = Arc::new(service);
+        Ok(())
+    }
+
+    /// Hot-swaps the knowledge base paired with a live key. The replacement
+    /// must grade the shard's formulary.
+    pub fn replace_kb(&self, key: &ModelKey, kb: KnowledgeBase) -> Result<(), ServingError> {
+        let entry = self.entry(key)?;
+        check_digest(
+            key,
+            entry.service().registry().digest(),
+            kb.registry_digest(),
+        )?;
+        *relock(entry.kb.write()) = Arc::new(kb);
+        Ok(())
+    }
 }
 
 impl fmt::Debug for ModelCatalog {
@@ -327,7 +464,7 @@ impl fmt::Debug for ModelCatalog {
 
 /// Routes typed requests to the right catalog shard and records per-model
 /// serving statistics. The router is `Sync`: one instance serves all
-/// connection threads of a gateway.
+/// connection threads of a gateway, including the hot-reload operations.
 #[derive(Debug)]
 pub struct Router {
     catalog: ModelCatalog,
@@ -344,35 +481,46 @@ impl Router {
         &self.catalog
     }
 
-    fn entry(&self, key: &ModelKey) -> Result<&ModelEntry, ServingError> {
-        self.catalog
-            .models
-            .get(key)
-            .ok_or_else(|| ServingError::UnknownModel {
-                key: key.as_str().to_string(),
-                available: self
-                    .catalog
-                    .models
-                    .keys()
-                    .map(|k| k.as_str().to_string())
-                    .collect(),
-            })
+    /// Runs one call against a resolved shard entry, recording request
+    /// count and outcome (with its error class); the caller decides where
+    /// the latency sample ends.
+    fn call_entry<T>(
+        entry: &ModelEntry,
+        n_requests: u64,
+        call: impl FnOnce(&DecisionService, &KnowledgeBase) -> Result<T, dssddi_core::CoreError>,
+    ) -> Result<T, ServingError> {
+        let (service, kb) = (entry.service(), entry.kb());
+        let result = call(&service, &kb).map_err(ServingError::Core);
+        entry.record_outcome(n_requests, result.as_ref().err().map(ErrorCode::classify));
+        result
+    }
+
+    /// [`Router::call_entry`] behind a key lookup — no latency sample; the
+    /// caller owns the sample point.
+    fn routed_core<T>(
+        &self,
+        key: &ModelKey,
+        n_requests: u64,
+        call: impl FnOnce(&DecisionService, &KnowledgeBase) -> Result<T, dssddi_core::CoreError>,
+    ) -> Result<T, ServingError> {
+        Self::call_entry(self.catalog.entry(key)?, n_requests, call)
     }
 
     /// Runs one routed call against a shard, recording request count,
-    /// latency and outcome.
+    /// latency and outcome — the in-process entry point. (The network
+    /// server samples latency through [`Router::serve_framed`] instead, so
+    /// the sample also covers response encoding.)
     fn routed<T>(
         &self,
         key: &ModelKey,
         n_requests: u64,
-        call: impl FnOnce(&DecisionService) -> Result<T, dssddi_core::CoreError>,
+        call: impl FnOnce(&DecisionService, &KnowledgeBase) -> Result<T, dssddi_core::CoreError>,
     ) -> Result<T, ServingError> {
-        let entry = self.entry(key)?;
+        let entry = self.catalog.entry(key)?;
         let start = Instant::now();
-        let result = call(&entry.service);
-        let elapsed_micros = start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
-        entry.record(n_requests, elapsed_micros, result.is_ok());
-        result.map_err(ServingError::Core)
+        let result = Self::call_entry(entry, n_requests, call);
+        entry.record_latency(elapsed_micros(start));
+        result
     }
 
     /// Serves one suggestion request on the shard behind `key`.
@@ -381,7 +529,9 @@ impl Router {
         key: &ModelKey,
         request: &SuggestRequest,
     ) -> Result<SuggestResponse, ServingError> {
-        self.routed(key, 1, |service| service.suggest(request))
+        self.routed(key, 1, |service, kb| {
+            service.suggest_with_kb(request, Some(kb))
+        })
     }
 
     /// Serves a batch of suggestion requests on the shard behind `key`
@@ -391,18 +541,67 @@ impl Router {
         key: &ModelKey,
         requests: &[SuggestRequest],
     ) -> Result<Vec<SuggestResponse>, ServingError> {
-        self.routed(key, requests.len() as u64, |service| {
-            service.suggest_batch(requests)
+        self.routed(key, requests.len() as u64, |service, kb| {
+            service.suggest_batch_with_kb(requests, Some(kb))
         })
     }
 
-    /// Critiques a prescription against the shard behind `key`.
+    /// Critiques a prescription against the shard behind `key`, graded by
+    /// the shard's knowledge base and filtered by the request's alert
+    /// policy.
     pub fn check_prescription(
         &self,
         key: &ModelKey,
         request: &CheckPrescriptionRequest,
     ) -> Result<InteractionReport, ServingError> {
-        self.routed(key, 1, |service| service.check_prescription(request))
+        self.routed(key, 1, |service, kb| {
+            service.check_prescription_with_kb(request, Some(kb))
+        })
+    }
+
+    /// Hot-swaps the service behind a live key (see
+    /// [`ModelCatalog::replace`]) and reports the shard's new listing.
+    pub fn reload_model(
+        &self,
+        key: &ModelKey,
+        service: DecisionService,
+    ) -> Result<ModelInfo, ServingError> {
+        self.catalog.replace(key, service)?;
+        Ok(self.catalog.entry(key)?.info(key))
+    }
+
+    /// [`Router::reload_model`] from in-memory `DSSD` container bytes — the
+    /// wire `ReloadModel` entry point.
+    pub fn reload_model_bytes(
+        &self,
+        key: &ModelKey,
+        container: &[u8],
+    ) -> Result<ModelInfo, ServingError> {
+        let service = DecisionService::load_with_embedded_registry_bytes(container)?;
+        self.reload_model(key, service)
+    }
+
+    /// Hot-swaps the knowledge base paired with a live key (see
+    /// [`ModelCatalog::replace_kb`]) and reports the new KB's summary.
+    pub fn reload_kb(&self, key: &ModelKey, kb: KnowledgeBase) -> Result<KbInfo, ServingError> {
+        self.catalog.replace_kb(key, kb)?;
+        Ok(self.catalog.entry(key)?.kb().info())
+    }
+
+    /// [`Router::reload_kb`] from in-memory `DSKB` container bytes — the
+    /// wire `ReloadKb` entry point.
+    pub fn reload_kb_bytes(
+        &self,
+        key: &ModelKey,
+        container: &[u8],
+    ) -> Result<KbInfo, ServingError> {
+        let kb = KnowledgeBase::from_container_bytes(container).map_err(ServingError::Kb)?;
+        self.reload_kb(key, kb)
+    }
+
+    /// The summary of the knowledge base paired with a shard.
+    pub fn kb_info(&self, key: &ModelKey) -> Result<KbInfo, ServingError> {
+        Ok(self.catalog.entry(key)?.kb().info())
     }
 
     /// Advertises every shard, in key order.
@@ -422,6 +621,90 @@ impl Router {
             .map(|(key, entry)| (key.clone(), entry.stats()))
             .collect()
     }
+
+    /// Maps one decoded request to its response, converting routing/service
+    /// errors into typed error frames — request counts and error classes
+    /// recorded, but *no* latency sample: the caller owns the sample point.
+    /// Reload operations are control-plane calls and do not count toward a
+    /// shard's request statistics.
+    fn dispatch_core(&self, request: &Request) -> Response {
+        let result = match request {
+            Request::Suggest { model, request } => self
+                .routed_core(model, 1, |service, kb| {
+                    service.suggest_with_kb(request, Some(kb))
+                })
+                .map(Response::Suggest),
+            Request::SuggestBatch { model, requests } => self
+                .routed_core(model, requests.len() as u64, |service, kb| {
+                    service.suggest_batch_with_kb(requests, Some(kb))
+                })
+                .map(Response::SuggestBatch),
+            Request::CheckPrescription { model, request } => self
+                .routed_core(model, 1, |service, kb| {
+                    service.check_prescription_with_kb(request, Some(kb))
+                })
+                .map(Response::CheckPrescription),
+            Request::ReloadModel { model, container } => self
+                .reload_model_bytes(model, container)
+                .map(Response::ModelReloaded),
+            Request::ReloadKb { model, container } => self
+                .reload_kb_bytes(model, container)
+                .map(Response::KbReloaded),
+            Request::KbInfo { model } => self.kb_info(model).map(Response::KbInfo),
+            Request::ListModels => Ok(Response::ListModels(self.list_models())),
+            Request::Stats => Ok(Response::Stats(self.stats())),
+            Request::Shutdown => Ok(Response::ShuttingDown),
+        };
+        result.unwrap_or_else(|error| wire::error_response(&error))
+    }
+
+    /// Records one latency sample against the shard a data-plane request
+    /// routed to (control-plane messages are not clinical serving latency).
+    fn record_request_latency(&self, request: &Request, start: Instant) {
+        let model = match request {
+            Request::Suggest { model, .. }
+            | Request::SuggestBatch { model, .. }
+            | Request::CheckPrescription { model, .. } => Some(model),
+            Request::ReloadModel { .. }
+            | Request::ReloadKb { .. }
+            | Request::KbInfo { .. }
+            | Request::ListModels
+            | Request::Stats
+            | Request::Shutdown => None,
+        };
+        if let Some(entry) = model.and_then(|key| self.catalog.models.get(key)) {
+            entry.record_latency(elapsed_micros(start));
+        }
+    }
+
+    /// Maps one decoded request to its response, converting routing/service
+    /// errors into typed error frames. Data-plane requests record exactly
+    /// one latency sample covering the routed call.
+    pub fn serve(&self, request: &Request) -> Response {
+        let start = Instant::now();
+        let response = self.dispatch_core(request);
+        self.record_request_latency(request, start);
+        response
+    }
+
+    /// [`Router::serve`] plus response encoding, returning the sealed frame.
+    ///
+    /// This is the network server's entry point, and where the shard's
+    /// latency sample is taken — exactly one per request, covering the
+    /// routed call *and* the wire encode, so the p50/p99 a `Stats` caller
+    /// sees is the time a client actually waits between frames: encoding a
+    /// batch of explanation subgraphs is real serving cost, not free.
+    pub fn serve_framed(&self, request: &Request) -> Vec<u8> {
+        let start = Instant::now();
+        let response = self.dispatch_core(request);
+        let frame = wire::encode_response(&response);
+        self.record_request_latency(request, start);
+        frame
+    }
+}
+
+fn elapsed_micros(start: Instant) -> u64 {
+    start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64
 }
 
 #[cfg(test)]
@@ -469,6 +752,7 @@ mod tests {
         let stats = ModelStats {
             requests: 0,
             errors: 0,
+            errors_by_code: Vec::new(),
             cache_hits: 0,
             cache_misses: 0,
             p50_ms: 0.0,

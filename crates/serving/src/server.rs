@@ -18,7 +18,7 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use crate::router::Router;
-use crate::wire::{self, Request, Response, WireError};
+use crate::wire::{self, Request, WireError};
 use crate::ServingError;
 
 /// A bound, not-yet-running gateway server.
@@ -124,6 +124,14 @@ impl std::fmt::Debug for Server {
 /// connections without disturbing active ones.
 const IDLE_POLL_INTERVAL: std::time::Duration = std::time::Duration::from_millis(250);
 
+/// Consecutive idle-poll expiries tolerated *mid-frame* before the peer is
+/// declared stalled and the connection dropped: 40 polls × 250 ms ≈ 10 s of
+/// total silence. Multi-megabyte `ReloadModel`/`ReloadKb` uploads routinely
+/// cross several poll intervals on real networks; one TCP retransmission
+/// pause must not sever them. (This also bounds the post-shutdown drain
+/// when a peer stalls mid-frame — at most the same ~10 s.)
+const MID_FRAME_STALL_POLLS: u32 = 40;
+
 /// Serves one connection until it closes, fails, or the gateway shuts down.
 fn handle_connection(
     mut stream: TcpStream,
@@ -139,7 +147,7 @@ fn handle_connection(
     // fires mid-frame means the peer stalled and the connection is dropped.
     stream.set_read_timeout(Some(IDLE_POLL_INTERVAL)).ok();
     loop {
-        let payload = match wire::read_frame(&mut stream) {
+        let payload = match wire::read_frame_with_stall_budget(&mut stream, MID_FRAME_STALL_POLLS) {
             Ok(payload) => payload,
             Err(WireError::IdleTimeout) => {
                 if shutdown.load(Ordering::SeqCst) {
@@ -148,7 +156,7 @@ fn handle_connection(
                 continue;
             }
             Err(WireError::ConnectionClosed) => return,
-            Err(WireError::Io { .. }) => return,
+            Err(WireError::Timeout) | Err(WireError::Io { .. }) => return,
             Err(error) => {
                 // Bad magic, version mismatch, truncation, CRC failure or an
                 // oversized length: answer with a typed error, then close —
@@ -174,8 +182,10 @@ fn handle_connection(
             }
         };
         let shutting_down = matches!(request, Request::Shutdown);
-        let response = dispatch(router, &request);
-        if wire::write_frame(&mut stream, &wire::encode_response(&response)).is_err() {
+        // The router encodes the response itself so the per-model latency
+        // sample covers the wire encode — the time a client actually waits.
+        let frame = router.serve_framed(&request);
+        if wire::write_frame(&mut stream, &frame).is_err() {
             return;
         }
         if shutting_down {
@@ -192,24 +202,4 @@ fn handle_connection(
             return;
         }
     }
-}
-
-/// Maps one decoded request to its response, converting routing/service
-/// errors into typed error frames.
-fn dispatch(router: &Router, request: &Request) -> Response {
-    let result = match request {
-        Request::Suggest { model, request } => {
-            router.suggest(model, request).map(Response::Suggest)
-        }
-        Request::SuggestBatch { model, requests } => router
-            .suggest_batch(model, requests)
-            .map(Response::SuggestBatch),
-        Request::CheckPrescription { model, request } => router
-            .check_prescription(model, request)
-            .map(Response::CheckPrescription),
-        Request::ListModels => Ok(Response::ListModels(router.list_models())),
-        Request::Stats => Ok(Response::Stats(router.stats())),
-        Request::Shutdown => Ok(Response::ShuttingDown),
-    };
-    result.unwrap_or_else(|error| wire::error_response(&error))
 }

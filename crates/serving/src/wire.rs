@@ -20,6 +20,21 @@
 //! **bit-identical** after a round trip — a remote client sees exactly the
 //! numbers an in-process caller would.
 //!
+//! The knowledge-base subsystem extended the protocol *within* version 1:
+//! new message tags — `ReloadModel` (8), `ReloadKb` (9) and `KbInfo` (10)
+//! requests with matching responses — plus appended fields in existing
+//! bodies (alert policy on `CheckPrescription` requests; severity grades,
+//! management hints and the KB version on reports; `kb_version` on model
+//! listings; the error breakdown on stats). The tag space grew backwards-
+//! compatibly, but the grown bodies did not: a pre-KB peer exchanging those
+//! messages with a current one sees `Malformed` decode errors, not a
+//! version mismatch — both ends of a deployment must ship the same build,
+//! which is how this workspace's server, client and binary are always
+//! built. A future change that wants true mixed-version interop should
+//! bump `WIRE_VERSION` instead of growing bodies again. Reload requests
+//! ship the complete `DSSD`/`DSKB` container in the frame, so the artifact
+//! the gateway validates is exactly the artifact the operator built.
+//!
 //! Decoding is fully defensive: truncated frames, flipped bits (caught by
 //! the CRC), foreign magic bytes, future protocol versions, unknown message
 //! tags and oversized declared lengths all produce typed [`WireError`]s —
@@ -33,6 +48,7 @@ use dssddi_core::{
     ScoredDrug, SignedEdge, SuggestFilters, SuggestRequest, SuggestResponse,
 };
 use dssddi_graph::{Community, Interaction};
+use dssddi_kb::{AlertPolicy, KbInfo, Severity};
 use dssddi_tensor::serde::{
     open_frame, parse_frame_header, seal_frame, ByteReader, ByteWriter, SerdeError,
     FRAME_HEADER_LEN,
@@ -74,6 +90,11 @@ pub enum WireError {
     /// set a read timeout on the stream; servers use it to poll their
     /// shutdown flag between requests.
     IdleTimeout,
+    /// A read timeout fired *mid-frame*, or while a client was waiting for
+    /// the response to a request it had already sent: the peer stalled.
+    /// Only produced when the caller has set a read timeout on the stream
+    /// (see `Client::connect_timeout` / `Client::set_read_timeout`).
+    Timeout,
     /// A socket read or write failed mid-frame.
     Io {
         /// Description including the underlying error.
@@ -91,6 +112,7 @@ impl fmt::Display for WireError {
             ),
             WireError::ConnectionClosed => write!(f, "connection closed by peer"),
             WireError::IdleTimeout => write!(f, "read timed out with no frame in flight"),
+            WireError::Timeout => write!(f, "peer did not complete a frame within the timeout"),
             WireError::Io { what } => write!(f, "frame i/o error: {what}"),
         }
     }
@@ -127,11 +149,50 @@ pub enum ErrorCode {
     InvalidInput,
     /// The request needs a fitted model and the routed shard has none.
     NotFitted,
+    /// A persisted artifact (`DSSD` model or `DSKB` knowledge base) was
+    /// damaged, version-mismatched or described the wrong formulary — the
+    /// reload failure class.
+    Persistence,
     /// Any other server-side failure.
     Internal,
 }
 
 impl ErrorCode {
+    /// Every error code, in tag order — the stats breakdown iterates this.
+    /// (`Persistence` was added after `Internal` and keeps v1 tag values
+    /// stable, so it sorts last.)
+    pub const ALL: [ErrorCode; 7] = [
+        ErrorCode::Malformed,
+        ErrorCode::UnknownModel,
+        ErrorCode::UnknownDrug,
+        ErrorCode::InvalidInput,
+        ErrorCode::NotFitted,
+        ErrorCode::Internal,
+        ErrorCode::Persistence,
+    ];
+
+    /// Position of this code in [`ErrorCode::ALL`] (dense counter index).
+    pub(crate) fn index(self) -> usize {
+        self.to_u8() as usize - 1
+    }
+
+    /// The error class a [`ServingError`] reports as — what `Error` frames
+    /// carry and what the per-model error breakdown counts.
+    pub fn classify(error: &ServingError) -> ErrorCode {
+        use dssddi_core::CoreError;
+        match error {
+            ServingError::UnknownModel { .. } => ErrorCode::UnknownModel,
+            ServingError::Wire(_) | ServingError::Protocol { .. } => ErrorCode::Malformed,
+            ServingError::Kb(_) | ServingError::FormularyMismatch { .. } => ErrorCode::Persistence,
+            ServingError::Core(CoreError::UnknownDrug { .. }) => ErrorCode::UnknownDrug,
+            ServingError::Core(CoreError::NotFitted { .. }) => ErrorCode::NotFitted,
+            ServingError::Core(CoreError::Persistence { .. }) => ErrorCode::Persistence,
+            ServingError::Core(CoreError::InvalidInput { .. })
+            | ServingError::Core(CoreError::InvalidConfig { .. }) => ErrorCode::InvalidInput,
+            _ => ErrorCode::Internal,
+        }
+    }
+
     fn to_u8(self) -> u8 {
         match self {
             ErrorCode::Malformed => 1,
@@ -140,6 +201,7 @@ impl ErrorCode {
             ErrorCode::InvalidInput => 4,
             ErrorCode::NotFitted => 5,
             ErrorCode::Internal => 6,
+            ErrorCode::Persistence => 7,
         }
     }
 
@@ -151,6 +213,7 @@ impl ErrorCode {
             4 => ErrorCode::InvalidInput,
             5 => ErrorCode::NotFitted,
             6 => ErrorCode::Internal,
+            7 => ErrorCode::Persistence,
             other => {
                 return Err(SerdeError::Corrupt {
                     what: format!("unknown error code {other}"),
@@ -168,6 +231,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::UnknownDrug => "unknown-drug",
             ErrorCode::InvalidInput => "invalid-input",
             ErrorCode::NotFitted => "not-fitted",
+            ErrorCode::Persistence => "persistence",
             ErrorCode::Internal => "internal",
         };
         f.write_str(name)
@@ -200,6 +264,30 @@ pub enum Request {
         /// The typed prescription-check request.
         request: CheckPrescriptionRequest,
     },
+    /// Hot-swap the model behind a live key with a re-trained `DSSD`
+    /// container shipped in the frame. The replacement must serve the same
+    /// formulary; in-flight requests finish on the old model.
+    ReloadModel {
+        /// The shard to swap.
+        model: ModelKey,
+        /// A complete `DSSD` container (as produced by
+        /// `DecisionService::save`).
+        container: Vec<u8>,
+    },
+    /// Hot-swap the knowledge base paired with a live key with a `DSKB`
+    /// container shipped in the frame.
+    ReloadKb {
+        /// The shard whose KB to swap.
+        model: ModelKey,
+        /// A complete `DSKB` container (as produced by
+        /// `KnowledgeBase::save`).
+        container: Vec<u8>,
+    },
+    /// Summary of the knowledge base paired with one shard.
+    KbInfo {
+        /// The shard to describe.
+        model: ModelKey,
+    },
     /// Enumerate the models the gateway serves.
     ListModels,
     /// Per-model serving statistics.
@@ -218,6 +306,12 @@ pub enum Response {
     SuggestBatch(Vec<SuggestResponse>),
     /// Answer to [`Request::CheckPrescription`].
     CheckPrescription(InteractionReport),
+    /// Answer to [`Request::ReloadModel`]: the swapped shard's new listing.
+    ModelReloaded(ModelInfo),
+    /// Answer to [`Request::ReloadKb`]: the new knowledge base's summary.
+    KbReloaded(KbInfo),
+    /// Answer to [`Request::KbInfo`].
+    KbInfo(KbInfo),
     /// Answer to [`Request::ListModels`].
     ListModels(Vec<ModelInfo>),
     /// Answer to [`Request::Stats`].
@@ -260,6 +354,91 @@ fn take_interaction(r: &mut ByteReader<'_>) -> Result<Interaction, SerdeError> {
     })
 }
 
+fn put_severity(w: &mut ByteWriter, severity: Severity) {
+    w.put_u8(severity.to_u8());
+}
+
+fn take_severity(r: &mut ByteReader<'_>) -> Result<Severity, SerdeError> {
+    let tag = r.take_u8("severity")?;
+    Severity::from_u8(tag).ok_or_else(|| SerdeError::Corrupt {
+        what: format!("unknown severity byte {tag}"),
+    })
+}
+
+fn put_alert_policy(w: &mut ByteWriter, policy: &AlertPolicy) {
+    put_severity(w, policy.min_severity);
+    w.put_bool(policy.contraindicated_always_fires);
+}
+
+fn take_alert_policy(r: &mut ByteReader<'_>) -> Result<AlertPolicy, SerdeError> {
+    Ok(AlertPolicy {
+        min_severity: take_severity(r)?,
+        contraindicated_always_fires: r.take_bool("policy.contraindicated_always_fires")?,
+    })
+}
+
+fn put_opt_str(w: &mut ByteWriter, value: Option<&str>) {
+    match value {
+        Some(s) => {
+            w.put_bool(true);
+            w.put_str(s);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn take_opt_str(r: &mut ByteReader<'_>, what: &'static str) -> Result<Option<String>, SerdeError> {
+    if r.take_bool(what)? {
+        Ok(Some(r.take_str(what)?))
+    } else {
+        Ok(None)
+    }
+}
+
+fn put_opt_u64(w: &mut ByteWriter, value: Option<u64>) {
+    match value {
+        Some(v) => {
+            w.put_bool(true);
+            w.put_u64(v);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn take_opt_u64(r: &mut ByteReader<'_>, what: &'static str) -> Result<Option<u64>, SerdeError> {
+    if r.take_bool(what)? {
+        Ok(Some(r.take_u64(what)?))
+    } else {
+        Ok(None)
+    }
+}
+
+fn put_kb_info(w: &mut ByteWriter, info: &KbInfo) {
+    w.put_u64(info.version);
+    w.put_usize(info.n_facts);
+    for count in info.facts_by_severity {
+        w.put_usize(count);
+    }
+    w.put_u64(info.registry_digest);
+    w.put_usize(info.n_drugs);
+}
+
+fn take_kb_info(r: &mut ByteReader<'_>) -> Result<KbInfo, SerdeError> {
+    let version = r.take_u64("kb_info.version")?;
+    let n_facts = r.take_usize("kb_info.n_facts")?;
+    let mut facts_by_severity = [0usize; 4];
+    for count in &mut facts_by_severity {
+        *count = r.take_usize("kb_info.facts_by_severity")?;
+    }
+    Ok(KbInfo {
+        version,
+        n_facts,
+        facts_by_severity,
+        registry_digest: r.take_u64("kb_info.registry_digest")?,
+        n_drugs: r.take_usize("kb_info.n_drugs")?,
+    })
+}
+
 fn put_model_key(w: &mut ByteWriter, key: &ModelKey) {
     w.put_str(key.as_str());
 }
@@ -278,16 +457,24 @@ fn put_suggest_filters(w: &mut ByteWriter, filters: &SuggestFilters) {
         .iter()
         .map(|d| d.index())
         .collect();
+    let contraindicated: Vec<usize> = filters
+        .exclude_contraindicated_with
+        .iter()
+        .map(|d| d.index())
+        .collect();
     w.put_usize_slice(&exclude);
     w.put_usize_slice(&avoid);
+    w.put_usize_slice(&contraindicated);
 }
 
 fn take_suggest_filters(r: &mut ByteReader<'_>) -> Result<SuggestFilters, SerdeError> {
     let exclude = r.take_usize_vec("filters.exclude")?;
     let avoid = r.take_usize_vec("filters.avoid_antagonists_of")?;
+    let contraindicated = r.take_usize_vec("filters.exclude_contraindicated_with")?;
     Ok(SuggestFilters {
         exclude: exclude.into_iter().map(DrugId::new).collect(),
         avoid_antagonists_of: avoid.into_iter().map(DrugId::new).collect(),
+        exclude_contraindicated_with: contraindicated.into_iter().map(DrugId::new).collect(),
     })
 }
 
@@ -441,12 +628,15 @@ fn put_check_request(w: &mut ByteWriter, request: &CheckPrescriptionRequest) {
     put_opt_patient(w, request.patient);
     let drugs: Vec<usize> = request.drugs.iter().map(|d| d.index()).collect();
     w.put_usize_slice(&drugs);
+    put_alert_policy(w, &request.policy);
 }
 
 fn take_check_request(r: &mut ByteReader<'_>) -> Result<CheckPrescriptionRequest, SerdeError> {
     let patient = take_opt_patient(r)?;
     let drugs = r.take_usize_vec("check.drugs")?;
-    let mut request = CheckPrescriptionRequest::new(drugs.into_iter().map(DrugId::new).collect());
+    let policy = take_alert_policy(r)?;
+    let mut request = CheckPrescriptionRequest::new(drugs.into_iter().map(DrugId::new).collect())
+        .with_policy(policy);
     if let Some(p) = patient {
         request = request.for_patient(p);
     }
@@ -459,6 +649,8 @@ fn put_pair(w: &mut ByteWriter, pair: &PairInteraction) {
     w.put_usize(pair.b.index());
     w.put_str(&pair.b_name);
     put_interaction(w, pair.interaction);
+    put_severity(w, pair.severity);
+    put_opt_str(w, pair.management.as_deref());
 }
 
 fn take_pair(r: &mut ByteReader<'_>) -> Result<PairInteraction, SerdeError> {
@@ -468,6 +660,8 @@ fn take_pair(r: &mut ByteReader<'_>) -> Result<PairInteraction, SerdeError> {
         b: DrugId::new(r.take_usize("pair.b")?),
         b_name: r.take_str("pair.b_name")?,
         interaction: take_interaction(r)?,
+        severity: take_severity(r)?,
+        management: take_opt_str(r, "pair.management")?,
     })
 }
 
@@ -494,6 +688,7 @@ fn put_report(w: &mut ByteWriter, report: &InteractionReport) {
     put_pairs(w, &report.synergistic);
     put_explanation(w, &report.explanation);
     w.put_f64(report.suggestion_satisfaction);
+    put_opt_u64(w, report.kb_version);
 }
 
 fn take_report(r: &mut ByteReader<'_>) -> Result<InteractionReport, SerdeError> {
@@ -504,6 +699,7 @@ fn take_report(r: &mut ByteReader<'_>) -> Result<InteractionReport, SerdeError> 
         synergistic: take_pairs(r)?,
         explanation: take_explanation(r)?,
         suggestion_satisfaction: r.take_f64("report.ss")?,
+        kb_version: take_opt_u64(r, "report.kb_version")?,
     })
 }
 
@@ -520,6 +716,7 @@ fn put_model_info(w: &mut ByteWriter, info: &ModelInfo) {
     }
     w.put_u64(info.registry_digest);
     w.put_str(&info.backbone);
+    w.put_u64(info.kb_version);
 }
 
 fn take_model_info(r: &mut ByteReader<'_>) -> Result<ModelInfo, SerdeError> {
@@ -538,12 +735,18 @@ fn take_model_info(r: &mut ByteReader<'_>) -> Result<ModelInfo, SerdeError> {
         n_features,
         registry_digest: r.take_u64("model.registry_digest")?,
         backbone: r.take_str("model.backbone")?,
+        kb_version: r.take_u64("model.kb_version")?,
     })
 }
 
 fn put_model_stats(w: &mut ByteWriter, stats: &ModelStats) {
     w.put_u64(stats.requests);
     w.put_u64(stats.errors);
+    w.put_usize(stats.errors_by_code.len());
+    for &(code, count) in &stats.errors_by_code {
+        w.put_u8(code.to_u8());
+        w.put_u64(count);
+    }
     w.put_u64(stats.cache_hits);
     w.put_u64(stats.cache_misses);
     w.put_f64(stats.p50_ms);
@@ -551,9 +754,19 @@ fn put_model_stats(w: &mut ByteWriter, stats: &ModelStats) {
 }
 
 fn take_model_stats(r: &mut ByteReader<'_>) -> Result<ModelStats, SerdeError> {
+    let requests = r.take_u64("stats.requests")?;
+    let errors = r.take_u64("stats.errors")?;
+    let n_codes = r.take_usize("stats.errors_by_code.len")?;
+    let mut errors_by_code = Vec::new();
+    for _ in 0..n_codes {
+        let code = ErrorCode::from_u8(r.take_u8("stats.error_code")?)?;
+        let count = r.take_u64("stats.error_count")?;
+        errors_by_code.push((code, count));
+    }
     Ok(ModelStats {
-        requests: r.take_u64("stats.requests")?,
-        errors: r.take_u64("stats.errors")?,
+        requests,
+        errors,
+        errors_by_code,
         cache_hits: r.take_u64("stats.cache_hits")?,
         cache_misses: r.take_u64("stats.cache_misses")?,
         p50_ms: r.take_f64("stats.p50_ms")?,
@@ -572,6 +785,16 @@ const TAG_LIST_MODELS: u8 = 4;
 const TAG_STATS: u8 = 5;
 const TAG_SHUTDOWN: u8 = 6;
 const TAG_SHUTTING_DOWN: u8 = 7;
+// Knowledge-base and hot-reload messages, added after protocol version 1
+// shipped: new tags extend the tag space without renumbering the existing
+// messages. (Several existing bodies also grew appended fields — see the
+// module docs for the compatibility caveat.)
+const TAG_RELOAD_MODEL: u8 = 8;
+const TAG_RELOAD_KB: u8 = 9;
+const TAG_KB_INFO: u8 = 10;
+const TAG_MODEL_RELOADED: u8 = 8;
+const TAG_KB_RELOADED: u8 = 9;
+const TAG_KB_INFO_RESPONSE: u8 = 10;
 const TAG_ERROR: u8 = 0;
 
 /// A borrowed view of a [`Request`], so callers holding the pieces (a key,
@@ -601,6 +824,25 @@ pub enum RequestRef<'a> {
         /// The typed prescription-check request.
         request: &'a CheckPrescriptionRequest,
     },
+    /// Borrowed [`Request::ReloadModel`].
+    ReloadModel {
+        /// The shard to swap.
+        model: &'a ModelKey,
+        /// The `DSSD` container bytes.
+        container: &'a [u8],
+    },
+    /// Borrowed [`Request::ReloadKb`].
+    ReloadKb {
+        /// The shard whose KB to swap.
+        model: &'a ModelKey,
+        /// The `DSKB` container bytes.
+        container: &'a [u8],
+    },
+    /// Borrowed [`Request::KbInfo`].
+    KbInfo {
+        /// The shard to describe.
+        model: &'a ModelKey,
+    },
     /// Borrowed [`Request::ListModels`].
     ListModels,
     /// Borrowed [`Request::Stats`].
@@ -620,6 +862,11 @@ impl Request {
             Request::CheckPrescription { model, request } => {
                 RequestRef::CheckPrescription { model, request }
             }
+            Request::ReloadModel { model, container } => {
+                RequestRef::ReloadModel { model, container }
+            }
+            Request::ReloadKb { model, container } => RequestRef::ReloadKb { model, container },
+            Request::KbInfo { model } => RequestRef::KbInfo { model },
             Request::ListModels => RequestRef::ListModels,
             Request::Stats => RequestRef::Stats,
             Request::Shutdown => RequestRef::Shutdown,
@@ -648,6 +895,20 @@ pub fn encode_request_ref(request: RequestRef<'_>) -> Vec<u8> {
             w.put_u8(TAG_CHECK_PRESCRIPTION);
             put_model_key(&mut w, model);
             put_check_request(&mut w, request);
+        }
+        RequestRef::ReloadModel { model, container } => {
+            w.put_u8(TAG_RELOAD_MODEL);
+            put_model_key(&mut w, model);
+            w.put_u8_slice(container);
+        }
+        RequestRef::ReloadKb { model, container } => {
+            w.put_u8(TAG_RELOAD_KB);
+            put_model_key(&mut w, model);
+            w.put_u8_slice(container);
+        }
+        RequestRef::KbInfo { model } => {
+            w.put_u8(TAG_KB_INFO);
+            put_model_key(&mut w, model);
         }
         RequestRef::ListModels => w.put_u8(TAG_LIST_MODELS),
         RequestRef::Stats => w.put_u8(TAG_STATS),
@@ -681,6 +942,17 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, SerdeError> {
         TAG_CHECK_PRESCRIPTION => Request::CheckPrescription {
             model: take_model_key(&mut r)?,
             request: take_check_request(&mut r)?,
+        },
+        TAG_RELOAD_MODEL => Request::ReloadModel {
+            model: take_model_key(&mut r)?,
+            container: r.take_u8_vec("reload.container")?,
+        },
+        TAG_RELOAD_KB => Request::ReloadKb {
+            model: take_model_key(&mut r)?,
+            container: r.take_u8_vec("reload.container")?,
+        },
+        TAG_KB_INFO => Request::KbInfo {
+            model: take_model_key(&mut r)?,
         },
         TAG_LIST_MODELS => Request::ListModels,
         TAG_STATS => Request::Stats,
@@ -733,6 +1005,18 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
                 put_model_stats(&mut w, stats);
             }
         }
+        Response::ModelReloaded(info) => {
+            w.put_u8(TAG_MODEL_RELOADED);
+            put_model_info(&mut w, info);
+        }
+        Response::KbReloaded(info) => {
+            w.put_u8(TAG_KB_RELOADED);
+            put_kb_info(&mut w, info);
+        }
+        Response::KbInfo(info) => {
+            w.put_u8(TAG_KB_INFO_RESPONSE);
+            put_kb_info(&mut w, info);
+        }
         Response::ShuttingDown => w.put_u8(TAG_SHUTTING_DOWN),
         Response::Error { code, message } => {
             w.put_u8(TAG_ERROR);
@@ -775,6 +1059,9 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, SerdeError> {
             }
             Response::Stats(entries)
         }
+        TAG_MODEL_RELOADED => Response::ModelReloaded(take_model_info(&mut r)?),
+        TAG_KB_RELOADED => Response::KbReloaded(take_kb_info(&mut r)?),
+        TAG_KB_INFO_RESPONSE => Response::KbInfo(take_kb_info(&mut r)?),
         TAG_SHUTTING_DOWN => Response::ShuttingDown,
         TAG_ERROR => Response::Error {
             code: ErrorCode::from_u8(r.take_u8("error.code")?)?,
@@ -824,8 +1111,30 @@ pub fn write_frame(stream: &mut impl Write, frame: &[u8]) -> Result<(), WireErro
 /// A clean end-of-stream *between* frames is [`WireError::ConnectionClosed`];
 /// end-of-stream *inside* a frame is a truncation error. The declared
 /// payload length is checked against [`MAX_FRAME_PAYLOAD`] before any
-/// allocation.
+/// allocation. The first read-timeout expiry mid-frame is a typed
+/// [`WireError::Timeout`] — the semantics a client wants, where the armed
+/// timeout *is* the response deadline; servers reading multi-megabyte
+/// reload frames over short idle-poll timeouts pass a larger stall budget
+/// via [`read_frame_with_stall_budget`].
 pub fn read_frame(stream: &mut impl Read) -> Result<Vec<u8>, WireError> {
+    read_frame_with_stall_budget(stream, 1)
+}
+
+/// [`read_frame`] tolerating up to `max_stalls` *consecutive* read-timeout
+/// expiries while a frame is mid-flight (the counter resets whenever bytes
+/// arrive). A timeout before the first frame byte is always
+/// [`WireError::IdleTimeout`] and never counts: idle polling stays cheap.
+///
+/// This exists for servers whose read timeout doubles as a shutdown-poll
+/// interval: a 250 ms poll must not sever a peer mid-way through a
+/// multi-megabyte `ReloadModel` upload just because TCP stalled for one
+/// round of retransmission. `max_stalls` is clamped to at least 1.
+pub fn read_frame_with_stall_budget(
+    stream: &mut impl Read,
+    max_stalls: u32,
+) -> Result<Vec<u8>, WireError> {
+    let max_stalls = max_stalls.max(1);
+    let mut stalls = 0u32;
     let mut header = [0u8; FRAME_HEADER_LEN];
     let mut filled = 0usize;
     while filled < header.len() {
@@ -836,20 +1145,28 @@ pub fn read_frame(stream: &mut impl Read) -> Result<Vec<u8>, WireError> {
                     what: "frame header",
                 }))
             }
-            Ok(n) => filled += n,
+            Ok(n) => {
+                filled += n;
+                stalls = 0;
+            }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             // A read timeout before the first frame byte means the
             // connection is merely idle (WouldBlock on Unix SO_RCVTIMEO,
             // TimedOut on Windows); a timeout mid-frame means the peer
-            // stalled and falls through to the Io arm below.
+            // stalled, tolerated up to the stall budget.
             Err(e)
-                if filled == 0
-                    && matches!(
-                        e.kind(),
-                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                    ) =>
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
             {
-                return Err(WireError::IdleTimeout)
+                if filled == 0 {
+                    return Err(WireError::IdleTimeout);
+                }
+                stalls += 1;
+                if stalls >= max_stalls {
+                    return Err(WireError::Timeout);
+                }
             }
             Err(e) => {
                 return Err(WireError::Io {
@@ -878,8 +1195,22 @@ pub fn read_frame(stream: &mut impl Read) -> Result<Vec<u8>, WireError> {
                     what: "frame payload",
                 }))
             }
-            Ok(n) => pos += n,
+            Ok(n) => {
+                pos += n;
+                stalls = 0;
+            }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                stalls += 1;
+                if stalls >= max_stalls {
+                    return Err(WireError::Timeout);
+                }
+            }
             Err(e) => {
                 return Err(WireError::Io {
                     what: format!("reading frame payload: {e}"),
@@ -894,18 +1225,8 @@ pub fn read_frame(stream: &mut impl Read) -> Result<Vec<u8>, WireError> {
 /// back, so remote callers see the same failure classes in-process callers
 /// match on.
 pub fn error_response(error: &ServingError) -> Response {
-    use dssddi_core::CoreError;
-    let code = match error {
-        ServingError::UnknownModel { .. } => ErrorCode::UnknownModel,
-        ServingError::Wire(_) | ServingError::Protocol { .. } => ErrorCode::Malformed,
-        ServingError::Core(CoreError::UnknownDrug { .. }) => ErrorCode::UnknownDrug,
-        ServingError::Core(CoreError::NotFitted { .. }) => ErrorCode::NotFitted,
-        ServingError::Core(CoreError::InvalidInput { .. })
-        | ServingError::Core(CoreError::InvalidConfig { .. }) => ErrorCode::InvalidInput,
-        _ => ErrorCode::Internal,
-    };
     Response::Error {
-        code,
+        code: ErrorCode::classify(error),
         message: error.to_string(),
     }
 }
@@ -922,6 +1243,7 @@ mod tests {
                 .with_filters(SuggestFilters {
                     exclude: vec![DrugId::new(1)],
                     avoid_antagonists_of: vec![DrugId::new(59)],
+                    exclude_contraindicated_with: vec![DrugId::new(61)],
                 }),
         }
     }
@@ -1064,15 +1386,36 @@ mod tests {
             pos: 0,
         };
         assert!(matches!(read_frame(&mut idle), Err(WireError::IdleTimeout)));
-        // A stall mid-frame is a broken peer, not idleness.
+        // A stall mid-frame is a stalled peer, not idleness: typed Timeout.
         let frame = encode_request(&Request::ListModels);
         let mut stalled = StallAfter {
             prefix: frame[..7].to_vec(),
             pos: 0,
         };
+        assert!(matches!(read_frame(&mut stalled), Err(WireError::Timeout)));
+        // A stall inside the payload (header complete) is a Timeout too.
+        let mut stalled = StallAfter {
+            prefix: frame[..FRAME_HEADER_LEN + 1].to_vec(),
+            pos: 0,
+        };
+        assert!(matches!(read_frame(&mut stalled), Err(WireError::Timeout)));
+        // A stall budget tolerates consecutive expiries mid-frame but still
+        // terminates; before the first byte it is always IdleTimeout.
+        let mut stalled = StallAfter {
+            prefix: frame[..7].to_vec(),
+            pos: 0,
+        };
         assert!(matches!(
-            read_frame(&mut stalled),
-            Err(WireError::Io { .. })
+            read_frame_with_stall_budget(&mut stalled, 5),
+            Err(WireError::Timeout)
+        ));
+        let mut idle = StallAfter {
+            prefix: vec![],
+            pos: 0,
+        };
+        assert!(matches!(
+            read_frame_with_stall_budget(&mut idle, 5),
+            Err(WireError::IdleTimeout)
         ));
     }
 

@@ -115,13 +115,21 @@ fn every_message_type_is_byte_identical_to_in_process_serving() {
     }
 
     // --- CheckPrescription (on both shard kinds) -----------------------
+    // A gateway shard critiques against its knowledge base (seeded from the
+    // shard's DDI graph); the in-process reference attaches the same KB, so
+    // severity-graded findings must be bit-identical under the same policy.
+    let reference_kb =
+        dssddi_serving::KnowledgeBase::from_ddi_graph(reference.ddi_graph(), reference.registry())
+            .expect("reference kb");
     let check = CheckPrescriptionRequest::new(vec![
         DrugId::new(61),
         DrugId::new(59),
         DrugId::new(10),
         DrugId::new(5),
     ]);
-    let local_report = reference.check_prescription(&check).expect("local check");
+    let local_report = reference
+        .check_prescription_with_kb(&check, Some(&reference_kb))
+        .expect("local check");
     let remote_report = client
         .check_prescription(&fitted_key, &check)
         .expect("remote check");
@@ -130,11 +138,42 @@ fn every_message_type_is_byte_identical_to_in_process_serving() {
         local_report.suggestion_satisfaction.to_bits(),
         remote_report.suggestion_satisfaction.to_bits()
     );
+    assert_eq!(remote_report.kb_version, Some(reference_kb.version()));
+    assert!(
+        remote_report
+            .antagonistic
+            .iter()
+            .all(|p| p.severity == dssddi_serving::Severity::Moderate),
+        "graph-seeded antagonistic facts grade Moderate"
+    );
+    // The same request under a Major-and-up policy mutes every graph-seeded
+    // finding — filtered at the source, identically on both ends.
+    let gated = check
+        .clone()
+        .with_policy(dssddi_serving::AlertPolicy::at_least(
+            dssddi_serving::Severity::Major,
+        ));
+    let local_gated = reference
+        .check_prescription_with_kb(&gated, Some(&reference_kb))
+        .expect("local gated check");
+    let remote_gated = client
+        .check_prescription(&fitted_key, &gated)
+        .expect("remote gated check");
+    assert_eq!(local_gated, remote_gated);
+    assert!(remote_gated.antagonistic.is_empty() && remote_gated.synergistic.is_empty());
     // The support-only shard critiques too (no fitted model needed).
     let support_report = client
         .check_prescription(&support_key, &check)
         .expect("support check");
     assert!(!support_report.is_safe());
+
+    // --- KbInfo ---------------------------------------------------------
+    let kb_info = client.kb_info(&fitted_key).expect("kb info");
+    assert_eq!(kb_info.version, reference_kb.version());
+    assert_eq!(kb_info.n_facts, reference_kb.len());
+    assert_eq!(kb_info.registry_digest, reference.registry().digest());
+    let models_again = client.list_models().expect("list models again");
+    assert_eq!(models_again[0].kb_version, kb_info.version);
 
     // --- Typed remote errors for every failure class --------------------
     match client.suggest_batch(&ModelKey::new("nope").expect("key"), &requests) {
@@ -174,6 +213,17 @@ fn every_message_type_is_byte_identical_to_in_process_serving() {
         fitted_stats.requests
     );
     assert!(fitted_stats.errors >= 2);
+    // The error breakdown accounts for every error and names the classes
+    // the probes above triggered.
+    let broken_down: u64 = fitted_stats.errors_by_code.iter().map(|(_, n)| n).sum();
+    assert_eq!(broken_down, fitted_stats.errors);
+    let codes: Vec<ErrorCode> = fitted_stats
+        .errors_by_code
+        .iter()
+        .map(|&(code, _)| code)
+        .collect();
+    assert!(codes.contains(&ErrorCode::UnknownDrug));
+    assert!(codes.contains(&ErrorCode::InvalidInput));
     assert!(fitted_stats.cache_hits + fitted_stats.cache_misses > 0);
     assert!(fitted_stats.p50_ms >= 0.0 && fitted_stats.p99_ms >= fitted_stats.p50_ms);
     let rate = fitted_stats.cache_hit_rate();

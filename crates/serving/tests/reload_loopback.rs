@@ -1,0 +1,331 @@
+//! Hot-reload coverage: a gateway shard's knowledge base and model are
+//! swapped *under live concurrent traffic* with zero dropped or failed
+//! requests, serving counters survive the swap, and foreign or damaged
+//! reload artifacts are typed errors that leave the shard serving.
+//!
+//! This closes the ROADMAP's "hot model reload/swap under a live key"
+//! follow-up: the loopback test below reloads mid-traffic and asserts no
+//! request errors on any connection.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dssddi_core::{CheckPrescriptionRequest, DrugId, ServiceBuilder};
+use dssddi_kb::{EvidenceLevel, KbFact, KnowledgeBase, Severity};
+use dssddi_serving::demo::{demo_catalog, demo_requests, DemoWorld, DEMO_SEED};
+use dssddi_serving::{
+    Client, ErrorCode, ModelCatalog, ModelKey, Router, Server, ServingError, WireError,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn spawn_server(
+    catalog: ModelCatalog,
+) -> (
+    SocketAddr,
+    std::thread::JoinHandle<Result<(), ServingError>>,
+) {
+    let server = Server::bind("127.0.0.1:0", Router::new(catalog)).expect("bind ephemeral port");
+    let addr = server.local_addr().expect("local addr");
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+/// Trains a second fitted service over the same demo world (same formulary,
+/// different training seed) — the "re-trained model" a reload ships.
+fn retrained_service_bytes(world: &DemoWorld) -> Vec<u8> {
+    let observed: Vec<usize> = (0..55).collect();
+    let mut rng = StdRng::seed_from_u64(DEMO_SEED ^ 0xdead);
+    let retrained = ServiceBuilder::fast()
+        .hidden_dim(16)
+        .epochs(25, 30)
+        .fit_chronic(
+            &world.cohort,
+            &observed,
+            &world.drug_features,
+            &world.ddi,
+            &mut rng,
+        )
+        .expect("retrain");
+    let dir = std::env::temp_dir().join("dssddi-reload-tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let path = dir.join(format!("retrained-{}.dssd", std::process::id()));
+    retrained.save(&path).expect("save retrained");
+    let bytes = std::fs::read(&path).expect("read retrained");
+    std::fs::remove_file(&path).ok();
+    bytes
+}
+
+#[test]
+fn kb_and_model_hot_reload_under_concurrent_traffic() {
+    let (catalog, world) = demo_catalog(DEMO_SEED).expect("demo catalog");
+    let key = ModelKey::new("chronic").expect("key");
+    let retrained_bytes = retrained_service_bytes(&world);
+
+    // The updated KB an operator ships: the Fig. 8 pair becomes a
+    // contraindication with a management hint.
+    let mut new_kb =
+        KnowledgeBase::from_ddi_graph(&world.ddi, &world.registry).expect("kb from graph");
+    new_kb
+        .upsert(
+            61,
+            59,
+            KbFact {
+                severity: Severity::Contraindicated,
+                evidence: EvidenceLevel::Established,
+                mechanism: "nitrate potentiation".to_string(),
+                management: "do not combine".to_string(),
+            },
+        )
+        .expect("upsert");
+    let new_kb_bytes = new_kb.to_container_bytes();
+    let old_kb_version = 1; // graph-seeded KB
+
+    let (addr, handle) = spawn_server(catalog);
+
+    // Concurrent clinical traffic: every worker alternates suggestions and
+    // prescription checks on its own connection until told to stop, and
+    // fails the test on the first error it sees.
+    let stop = Arc::new(AtomicBool::new(false));
+    let requests = demo_requests(&world, 4, 3);
+    let check = CheckPrescriptionRequest::new(vec![DrugId::new(61), DrugId::new(59)]);
+    let workers: Vec<_> = (0..3)
+        .map(|_| {
+            let stop = Arc::clone(&stop);
+            let key = key.clone();
+            let requests = requests.clone();
+            let check = check.clone();
+            std::thread::spawn(move || -> Result<u64, String> {
+                let mut client = Client::connect(addr).map_err(|e| e.to_string())?;
+                let mut served = 0u64;
+                while !stop.load(Ordering::SeqCst) {
+                    client
+                        .suggest_batch(&key, &requests)
+                        .map_err(|e| format!("suggest_batch during reload: {e}"))?;
+                    client
+                        .check_prescription(&key, &check)
+                        .map_err(|e| format!("check_prescription during reload: {e}"))?;
+                    served += requests.len() as u64 + 1;
+                }
+                Ok(served)
+            })
+        })
+        .collect();
+
+    let mut ops = Client::connect(addr).expect("ops client");
+    // Let traffic flow before the first swap.
+    std::thread::sleep(Duration::from_millis(150));
+    let stats_before = ops.stats().expect("stats before reload");
+    let before = &stats_before
+        .iter()
+        .find(|(k, _)| k == &key)
+        .expect("chronic stats")
+        .1;
+    assert!(before.requests > 0, "traffic must be flowing before reload");
+
+    // --- KB hot reload mid-traffic --------------------------------------
+    let kb_info = ops.reload_kb(&key, &new_kb_bytes).expect("reload kb");
+    assert_eq!(kb_info.version, new_kb.version());
+    assert!(kb_info.version > old_kb_version);
+    assert_eq!(
+        kb_info.facts_by_severity[Severity::Contraindicated.to_u8() as usize],
+        1
+    );
+
+    // New critiques immediately see the upgraded grade and hint.
+    let graded = ops.check_prescription(&key, &check).expect("graded check");
+    assert_eq!(graded.kb_version, Some(new_kb.version()));
+    assert!(graded.has_contraindicated());
+    assert_eq!(
+        graded.antagonistic[0].management.as_deref(),
+        Some("do not combine")
+    );
+
+    // --- Model hot swap mid-traffic -------------------------------------
+    std::thread::sleep(Duration::from_millis(100));
+    let info = ops
+        .reload_model(&key, &retrained_bytes)
+        .expect("reload model");
+    assert!(info.fitted);
+    assert_eq!(info.registry_digest, world.registry.digest());
+    assert_eq!(
+        info.kb_version,
+        new_kb.version(),
+        "the paired KB survives a model swap"
+    );
+
+    // The swapped-in model serves bit-identically to loading the same
+    // artifact in-process.
+    let reloaded_reference =
+        dssddi_core::DecisionService::load_with_embedded_registry_bytes(&retrained_bytes)
+            .expect("reference reload");
+    let local = reloaded_reference
+        .suggest_batch(&requests)
+        .expect("local batch");
+    let remote = ops.suggest_batch(&key, &requests).expect("remote batch");
+    assert_eq!(local.len(), remote.len());
+    for (a, b) in local.iter().zip(&remote) {
+        assert_eq!(a, b, "post-swap responses differ from the artifact");
+        for (da, db) in a.drugs.iter().zip(&b.drugs) {
+            assert_eq!(da.score.to_bits(), db.score.to_bits());
+        }
+    }
+
+    // Let the workers hammer the swapped shard a little longer, then stop.
+    std::thread::sleep(Duration::from_millis(150));
+    stop.store(true, Ordering::SeqCst);
+    let mut total_served = 0u64;
+    for worker in workers {
+        total_served += worker
+            .join()
+            .expect("worker must not panic")
+            .expect("zero failed requests across both reloads");
+    }
+    assert!(
+        total_served > 0,
+        "workers must actually have served traffic"
+    );
+
+    // Serving counters survived both swaps: the totals kept growing and
+    // no error was recorded for the clinical traffic.
+    let stats_after = ops.stats().expect("stats after reload");
+    let after = &stats_after
+        .iter()
+        .find(|(k, _)| k == &key)
+        .expect("chronic stats")
+        .1;
+    assert!(
+        after.requests > before.requests,
+        "stats reset across reload: {} -> {}",
+        before.requests,
+        after.requests
+    );
+    assert_eq!(after.errors, 0, "breakdown: {:?}", after.errors_by_code);
+
+    ops.shutdown().expect("clean shutdown");
+    handle.join().expect("no panic").expect("clean exit");
+}
+
+#[test]
+fn foreign_or_damaged_reload_artifacts_are_typed_errors() {
+    let (catalog, world) = demo_catalog(DEMO_SEED).expect("demo catalog");
+    let key = ModelKey::new("chronic").expect("key");
+    let (addr, handle) = spawn_server(catalog);
+    let mut client = Client::connect(addr).expect("connect");
+
+    // Damaged DSKB bytes: typed Persistence error.
+    match client.reload_kb(&key, b"not a DSKB container") {
+        Err(ServingError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Persistence),
+        other => panic!("expected Remote Persistence, got {other:?}"),
+    }
+    // A KB over a foreign formulary: typed Persistence error.
+    let foreign_registry =
+        dssddi_data::DrugRegistry::from_names(vec!["A".to_string(), "B".to_string()])
+            .expect("registry");
+    let foreign_kb = KnowledgeBase::new(&foreign_registry);
+    match client.reload_kb(&key, &foreign_kb.to_container_bytes()) {
+        Err(ServingError::Remote { code, message }) => {
+            assert_eq!(code, ErrorCode::Persistence);
+            assert!(message.contains("digest"), "got: {message}");
+        }
+        other => panic!("expected Remote Persistence, got {other:?}"),
+    }
+    // Damaged DSSD bytes: typed Persistence error.
+    match client.reload_model(&key, b"not a DSSD container") {
+        Err(ServingError::Remote { code, .. }) => assert_eq!(code, ErrorCode::Persistence),
+        other => panic!("expected Remote Persistence, got {other:?}"),
+    }
+    // Unknown shard: typed UnknownModel error.
+    match client.kb_info(&ModelKey::new("nope").expect("key")) {
+        Err(ServingError::Remote { code, .. }) => assert_eq!(code, ErrorCode::UnknownModel),
+        other => panic!("expected Remote UnknownModel, got {other:?}"),
+    }
+
+    // After all the rejected reloads the shard still serves, on the KB it
+    // started with.
+    let report = client
+        .check_prescription(
+            &key,
+            &CheckPrescriptionRequest::new(vec![DrugId::new(61), DrugId::new(59)]),
+        )
+        .expect("shard still serves");
+    assert_eq!(report.kb_version, Some(1));
+    drop(world);
+
+    client.shutdown().expect("clean shutdown");
+    handle.join().expect("no panic").expect("clean exit");
+}
+
+#[test]
+fn in_process_replace_validates_keys_and_formularies() {
+    let (catalog, world) = demo_catalog(DEMO_SEED).expect("demo catalog");
+    let key = ModelKey::new("chronic").expect("key");
+    let missing = ModelKey::new("missing").expect("key");
+
+    // Unknown keys are typed errors.
+    let kb = KnowledgeBase::from_ddi_graph(&world.ddi, &world.registry).expect("kb");
+    assert!(matches!(
+        catalog.replace_kb(&missing, kb.clone()),
+        Err(ServingError::UnknownModel { .. })
+    ));
+    // A foreign formulary is refused with a typed mismatch.
+    let foreign_registry =
+        dssddi_data::DrugRegistry::from_names(vec!["A".to_string(), "B".to_string()])
+            .expect("registry");
+    assert!(matches!(
+        catalog.replace_kb(&key, KnowledgeBase::new(&foreign_registry)),
+        Err(ServingError::FormularyMismatch { .. })
+    ));
+    // A matching KB swaps in (replace is `&self`: no exclusive catalog
+    // access needed, which is what lets the gateway do this live).
+    catalog.replace_kb(&key, kb).expect("swap kb");
+    assert_eq!(catalog.kb(&key).expect("kb").version(), 1);
+}
+
+#[test]
+fn client_timeouts_turn_a_hung_server_into_typed_errors() {
+    // A listener that accepts connections and never answers: without
+    // timeouts every call would block forever.
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("addr");
+    let hold = std::thread::spawn(move || {
+        // Keep accepted sockets alive (but silent) until the test ends.
+        let mut streams = Vec::new();
+        for stream in listener.incoming() {
+            match stream {
+                Ok(stream) => streams.push(stream),
+                Err(_) => break,
+            }
+        }
+    });
+
+    let timeout = Duration::from_millis(200);
+    let mut client = Client::connect_timeout(addr, timeout).expect("connects fine");
+    let start = std::time::Instant::now();
+    match client.list_models() {
+        Err(ServingError::Wire(WireError::Timeout)) => {}
+        other => panic!("expected Wire Timeout, got {other:?}"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "timeout must fire promptly, took {:?}",
+        start.elapsed()
+    );
+    // The timed-out response may still be in flight, so the connection is
+    // poisoned: the next call fails fast with a typed error instead of
+    // risking a stale frame being delivered as the wrong request's answer.
+    match client.stats() {
+        Err(ServingError::Protocol { what }) => {
+            assert!(what.contains("poisoned"), "got: {what}")
+        }
+        other => panic!("expected a poisoned-connection error, got {other:?}"),
+    }
+    drop(client);
+
+    // A typed *remote error frame* does not poison: the stream stays
+    // frame-aligned, so the connection keeps working (the gateway tests
+    // exercise this continuously); only transport failures poison.
+    drop(hold); // detached; the OS reclaims the listener with the process
+}

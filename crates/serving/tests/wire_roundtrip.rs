@@ -9,6 +9,7 @@ use dssddi_core::{
     ScoredDrug, SignedEdge, SuggestFilters, SuggestRequest, SuggestResponse,
 };
 use dssddi_graph::{Community, Interaction};
+use dssddi_kb::{AlertPolicy, KbInfo, Severity};
 use dssddi_serving::wire::{
     decode_request, decode_response, encode_request, encode_response, open_wire_frame, WireError,
 };
@@ -55,13 +56,52 @@ fn arb_suggest_request() -> impl Strategy<Value = SuggestRequest> {
         0usize..10,
         arb_drug_ids(),
         arb_drug_ids(),
+        arb_drug_ids(),
     )
-        .prop_map(|(patient, features, k, exclude, avoid)| {
+        .prop_map(|(patient, features, k, exclude, avoid, contraindicated)| {
             SuggestRequest::new(PatientId::new(patient), features, k).with_filters(SuggestFilters {
                 exclude,
                 avoid_antagonists_of: avoid,
+                exclude_contraindicated_with: contraindicated,
             })
         })
+}
+
+fn arb_severity() -> impl Strategy<Value = Severity> {
+    (0u8..4).prop_map(|t| Severity::from_u8(t).expect("tags 0..4 are valid"))
+}
+
+fn arb_alert_policy() -> impl Strategy<Value = AlertPolicy> {
+    (arb_severity(), any::<bool>()).prop_map(|(min_severity, contraindicated_always_fires)| {
+        AlertPolicy {
+            min_severity,
+            contraindicated_always_fires,
+        }
+    })
+}
+
+fn arb_kb_info() -> impl Strategy<Value = KbInfo> {
+    (
+        any::<u64>(),
+        0usize..100_000,
+        proptest::collection::vec(0usize..1000, 4),
+        any::<u64>(),
+        0usize..10_000,
+    )
+        .prop_map(
+            |(version, n_facts, by_severity, registry_digest, n_drugs)| KbInfo {
+                version,
+                n_facts,
+                facts_by_severity: [
+                    by_severity[0],
+                    by_severity[1],
+                    by_severity[2],
+                    by_severity[3],
+                ],
+                registry_digest,
+                n_drugs,
+            },
+        )
 }
 
 fn arb_interaction() -> impl Strategy<Value = Interaction> {
@@ -129,13 +169,24 @@ fn arb_suggest_response() -> impl Strategy<Value = SuggestResponse> {
 }
 
 fn arb_pair() -> impl Strategy<Value = PairInteraction> {
-    (0usize..200, 0usize..200, arb_interaction()).prop_map(|(a, b, interaction)| PairInteraction {
-        a: DrugId::new(a),
-        a_name: format!("drug-{a}"),
-        b: DrugId::new(b),
-        b_name: format!("drug-{b}"),
-        interaction,
-    })
+    (
+        0usize..200,
+        0usize..200,
+        arb_interaction(),
+        arb_severity(),
+        (any::<bool>(), 0usize..20),
+    )
+        .prop_map(
+            |(a, b, interaction, severity, (has_hint, hint_len))| PairInteraction {
+                a: DrugId::new(a),
+                a_name: format!("drug-{a}"),
+                b: DrugId::new(b),
+                b_name: format!("drug-{b}"),
+                interaction,
+                severity,
+                management: has_hint.then(|| "hint-".chars().cycle().take(hint_len).collect()),
+            },
+        )
 }
 
 fn arb_report() -> impl Strategy<Value = InteractionReport> {
@@ -147,9 +198,19 @@ fn arb_report() -> impl Strategy<Value = InteractionReport> {
         proptest::collection::vec(arb_pair(), 0..4),
         arb_explanation(),
         arb_f64_bits(),
+        (any::<bool>(), any::<u64>()),
     )
         .prop_map(
-            |(has_patient, patient, drugs, antagonistic, synergistic, explanation, ss)| {
+            |(
+                has_patient,
+                patient,
+                drugs,
+                antagonistic,
+                synergistic,
+                explanation,
+                ss,
+                (has_kb, kb_version),
+            )| {
                 InteractionReport {
                     patient: has_patient.then_some(PatientId::new(patient)),
                     drugs,
@@ -157,6 +218,7 @@ fn arb_report() -> impl Strategy<Value = InteractionReport> {
                     synergistic,
                     explanation,
                     suggestion_satisfaction: ss,
+                    kb_version: has_kb.then_some(kb_version),
                 }
             },
         )
@@ -164,20 +226,30 @@ fn arb_report() -> impl Strategy<Value = InteractionReport> {
 
 fn arb_request() -> impl Strategy<Value = Request> {
     (
-        0u8..6,
+        0u8..9,
         arb_model_key(),
         arb_suggest_request(),
         proptest::collection::vec(arb_suggest_request(), 0..4),
-        any::<bool>(),
-        0usize..10_000,
+        (any::<bool>(), 0usize..10_000),
         arb_drug_ids(),
+        arb_alert_policy(),
+        proptest::collection::vec((0u32..256).prop_map(|v| v as u8), 0..64),
     )
         .prop_map(
-            |(variant, model, request, requests, has_patient, patient, drugs)| match variant {
+            |(
+                variant,
+                model,
+                request,
+                requests,
+                (has_patient, patient),
+                drugs,
+                policy,
+                container,
+            )| match variant {
                 0 => Request::Suggest { model, request },
                 1 => Request::SuggestBatch { model, requests },
                 2 => {
-                    let mut check = CheckPrescriptionRequest::new(drugs);
+                    let mut check = CheckPrescriptionRequest::new(drugs).with_policy(policy);
                     if has_patient {
                         check = check.for_patient(PatientId::new(patient));
                     }
@@ -186,75 +258,97 @@ fn arb_request() -> impl Strategy<Value = Request> {
                         request: check,
                     }
                 }
-                3 => Request::ListModels,
-                4 => Request::Stats,
+                3 => Request::ReloadModel { model, container },
+                4 => Request::ReloadKb { model, container },
+                5 => Request::KbInfo { model },
+                6 => Request::ListModels,
+                7 => Request::Stats,
                 _ => Request::Shutdown,
             },
         )
+}
+
+fn arb_error_code() -> impl Strategy<Value = ErrorCode> {
+    (0usize..ErrorCode::ALL.len()).prop_map(|i| ErrorCode::ALL[i])
 }
 
 fn arb_model_stats() -> impl Strategy<Value = ModelStats> {
     (
         any::<u64>(),
         any::<u64>(),
+        proptest::collection::vec((arb_error_code(), any::<u64>()), 0..4),
         any::<u64>(),
         any::<u64>(),
         arb_f64_bits(),
         arb_f64_bits(),
     )
         .prop_map(
-            |(requests, errors, cache_hits, cache_misses, p50_ms, p99_ms)| ModelStats {
-                requests,
-                errors,
-                cache_hits,
-                cache_misses,
-                p50_ms,
-                p99_ms,
+            |(requests, errors, errors_by_code, cache_hits, cache_misses, p50_ms, p99_ms)| {
+                ModelStats {
+                    requests,
+                    errors,
+                    errors_by_code,
+                    cache_hits,
+                    cache_misses,
+                    p50_ms,
+                    p99_ms,
+                }
             },
         )
 }
 
+fn arb_model_info() -> impl Strategy<Value = dssddi_serving::ModelInfo> {
+    (arb_model_key(), arb_model_stats(), any::<u64>()).prop_map(|(key, s, kb_version)| {
+        dssddi_serving::ModelInfo {
+            key,
+            fitted: s.requests % 2 == 0,
+            n_drugs: (s.errors % 100) as usize,
+            n_features: (s.cache_hits % 2 == 0).then_some((s.cache_hits % 50) as usize),
+            registry_digest: s.cache_misses,
+            backbone: "SGCN".to_string(),
+            kb_version,
+        }
+    })
+}
+
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        0u8..7,
+        0u8..10,
         arb_suggest_response(),
         proptest::collection::vec(arb_suggest_response(), 0..3),
         arb_report(),
         proptest::collection::vec((arb_model_key(), arb_model_stats()), 0..4),
-        (0u8..6, 0usize..40),
+        proptest::collection::vec(arb_model_info(), 0..4),
+        arb_kb_info(),
+        (arb_error_code(), 0usize..40),
     )
         .prop_map(
-            |(variant, response, responses, report, stats, (code, msg_len))| match variant {
-                0 => Response::Suggest(response),
-                1 => Response::SuggestBatch(responses),
-                2 => Response::CheckPrescription(report),
-                3 => Response::ListModels(
-                    stats
-                        .iter()
-                        .map(|(key, s)| dssddi_serving::ModelInfo {
-                            key: key.clone(),
-                            fitted: s.requests % 2 == 0,
-                            n_drugs: (s.errors % 100) as usize,
-                            n_features: (s.cache_hits % 2 == 0)
-                                .then_some((s.cache_hits % 50) as usize),
-                            registry_digest: s.cache_misses,
+            |(variant, response, responses, report, stats, models, kb_info, (code, msg_len))| {
+                match variant {
+                    0 => Response::Suggest(response),
+                    1 => Response::SuggestBatch(responses),
+                    2 => Response::CheckPrescription(report),
+                    3 => Response::ListModels(models),
+                    4 => Response::Stats(stats),
+                    5 => Response::ModelReloaded(models.into_iter().next().unwrap_or_else(|| {
+                        dssddi_serving::ModelInfo {
+                            key: ModelKey::new("m").expect("valid key"),
+                            fitted: true,
+                            n_drugs: 1,
+                            n_features: None,
+                            registry_digest: 0,
                             backbone: "SGCN".to_string(),
-                        })
-                        .collect(),
-                ),
-                4 => Response::Stats(stats),
-                5 => Response::ShuttingDown,
-                _ => Response::Error {
-                    code: match code {
-                        0 => ErrorCode::Malformed,
-                        1 => ErrorCode::UnknownModel,
-                        2 => ErrorCode::UnknownDrug,
-                        3 => ErrorCode::InvalidInput,
-                        4 => ErrorCode::NotFitted,
-                        _ => ErrorCode::Internal,
+                            kb_version: 0,
+                        }
+                    })),
+                    6 => Response::KbReloaded(kb_info),
+                    7 => Response::KbInfo(kb_info),
+                    8 => Response::ShuttingDown,
+                    _ => Response::Error {
+                        code,
+                        message: "e".repeat(msg_len),
                     },
-                    message: "e".repeat(msg_len),
-                },
+                }
             },
         )
 }

@@ -173,6 +173,12 @@ impl ByteWriter {
         self.buf.extend_from_slice(s.as_bytes());
     }
 
+    /// Writes a length-prefixed raw byte slice.
+    pub fn put_u8_slice(&mut self, bytes: &[u8]) {
+        self.put_usize(bytes.len());
+        self.buf.extend_from_slice(bytes);
+    }
+
     /// Writes a length-prefixed `f32` slice.
     pub fn put_f32_slice(&mut self, values: &[f32]) {
         self.put_usize(values.len());
@@ -337,6 +343,14 @@ impl<'a> ByteReader<'a> {
         String::from_utf8(bytes.to_vec()).map_err(|_| SerdeError::Corrupt {
             what: format!("{what}: string is not valid UTF-8"),
         })
+    }
+
+    /// Reads a length-prefixed raw byte slice written by
+    /// [`ByteWriter::put_u8_slice`].
+    pub fn take_u8_vec(&mut self, what: &'static str) -> Result<Vec<u8>, SerdeError> {
+        let len = self.take_usize(what)?;
+        self.checked_len(len, 1, what)?;
+        Ok(self.take(len, what)?.to_vec())
     }
 
     /// Reads a length-prefixed `f32` slice.

@@ -15,6 +15,9 @@
 //! * [`ml`] — k-means, logistic regression, SVMs, classifier chains and
 //!   ranking metrics,
 //! * [`gnn`] — GIN / SGCN / SiGAT / SNEA / LightGCN building blocks,
+//! * [`kb`] — the clinical knowledge base: severity-graded DDI facts
+//!   (`Minor`..`Contraindicated`), evidence levels, alert policies, TSV
+//!   ingestion, the versioned `DSKB` container and typed KB diffs,
 //! * [`core`] — the DSSDDI system itself (DDI, Medical Decision and Medical
 //!   Support modules) and the clinical [`DecisionService`](core::DecisionService) API,
 //! * [`serving`] — the multi-tenant network gateway: a
@@ -112,6 +115,57 @@
 //! (magic `DSWR`, version, payload length, CRC-32) and the
 //! `serve_client` example for the full network round trip.
 //!
+//! ## Clinical knowledge base (`DSKB` files, severity-graded critique)
+//!
+//! Interaction *edges* say two drugs interact; the [`kb`] subsystem says how
+//! badly and what to do about it. The workflow is *ingest → save → serve →
+//! reload*:
+//!
+//! ```no_run
+//! use dssddi::prelude::*;
+//!
+//! # let registry = DrugRegistry::standard();
+//! # let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(7);
+//! # let ddi = generate_ddi_graph(&registry, &DdiConfig::default(), &mut rng).unwrap();
+//! # let service = ServiceBuilder::fast().build_support(&ddi).unwrap();
+//! // Ingest: seed every DDI edge with its sign default (antagonistic edges
+//! // of unknown severity grade Moderate), then overlay curated TSV facts
+//! // (drug_a  drug_b  severity  evidence  mechanism  management).
+//! let mut kb = KnowledgeBase::from_ddi_graph(&ddi, &registry)?;
+//! kb.ingest_tsv(&std::fs::read_to_string("examples/data/ddi_kb.tsv").unwrap(), &registry)?;
+//!
+//! // Critique with clinical grades; the AlertPolicy filters findings at
+//! // the source (min severity; Contraindicated always fires).
+//! let request = CheckPrescriptionRequest::new(vec![
+//!     service.resolve_drug("Gabapentin").unwrap(),
+//!     service.resolve_drug("Isosorbide Mononitrate").unwrap(),
+//! ])
+//! .with_policy(AlertPolicy::at_least(Severity::Major));
+//! let report = service.check_prescription_with_kb(&request, Some(&kb)).unwrap();
+//! for pair in &report.antagonistic {
+//!     println!("[{}] {} + {}: {:?}", pair.severity, pair.a_name, pair.b_name, pair.management);
+//! }
+//!
+//! // Persist to the CRC-framed DSKB container (same frame shape as DSSD
+//! // model files, own magic) and ship it to a serving host; versions are
+//! // monotone and `KnowledgeBase::diff` reviews an update before shipping.
+//! kb.save("clinic.dskb")?;
+//! # Ok::<(), dssddi::kb::KbError>(())
+//! ```
+//!
+//! In the gateway every shard pairs its service with a knowledge base
+//! (seeded from the shard's DDI graph unless `dssddi-serve` was given
+//! `--kb KEY=PATH.dskb`), and both halves hot-reload *under a live key with
+//! zero dropped requests*: `Client::reload_kb` / `Client::reload_model`
+//! ship the new `DSKB`/`DSSD` container over the wire, in-flight requests
+//! finish on the artifact they started with, and the shard's serving
+//! counters survive the swap. `Client::kb_info` reports the live KB
+//! version. Suggestion filters can also consult the KB:
+//! [`SuggestFilters::exclude_contraindicated_with`](core::SuggestFilters)
+//! drops candidates whose interaction with a drug the patient already takes
+//! is graded `Contraindicated`. See `examples/kb_critique.rs` for the whole
+//! workflow.
+//!
 //! ## Persistence (`DSSD` files)
 //!
 //! A fitted [`DecisionService`](core::DecisionService) (or engine-level
@@ -190,6 +244,7 @@ pub use dssddi_core as core;
 pub use dssddi_data as data;
 pub use dssddi_gnn as gnn;
 pub use dssddi_graph as graph;
+pub use dssddi_kb as kb;
 pub use dssddi_ml as ml;
 pub use dssddi_serving as serving;
 pub use dssddi_tensor as tensor;
@@ -212,6 +267,9 @@ pub mod prelude {
         Disease, DrkgConfig, DrugRegistry, MimicConfig, Split,
     };
     pub use dssddi_graph::{BipartiteGraph, Interaction, SignedGraph};
+    pub use dssddi_kb::{
+        AlertPolicy, EvidenceLevel, KbDiff, KbError, KbFact, KbInfo, KnowledgeBase, Severity,
+    };
     pub use dssddi_ml::{ndcg_at_k, precision_at_k, ranking_metrics, recall_at_k, top_k_indices};
     pub use dssddi_serving::{
         Client, ModelCatalog, ModelInfo, ModelKey, ModelStats, Router, Server, ServingError,
