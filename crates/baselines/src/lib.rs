@@ -24,7 +24,7 @@ pub mod usersim;
 pub use classical::{EccRecommender, SvmRecommender};
 pub use graph_models::{BiparGcnRecommender, GcmcRecommender, LightGcnRecommender};
 pub use neural::{CauseRecRecommender, SafeDrugRecommender};
-pub use usersim::UserSim;
+pub use usersim::{ConditionMix, PopulationIter, PopulationSpec, SimPatient, UserSim};
 
 use dssddi_core::CoreError;
 use dssddi_tensor::Matrix;

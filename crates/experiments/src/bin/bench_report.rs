@@ -16,14 +16,17 @@
 //! percentiles over the recorded batch latencies and `throughput_rps` is
 //! total requests served divided by total serving time.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use dssddi_bench::BenchWorld;
 use dssddi_core::{CheckPrescriptionRequest, DecisionService, DrugId};
+use dssddi_loadgen::LoadgenConfig;
 use dssddi_serving::wire::{
     decode_request, decode_response, encode_request, encode_response, open_wire_frame,
 };
-use dssddi_serving::{Client, ModelCatalog, ModelKey, Request, Router, Server};
+use dssddi_serving::{
+    AdmissionConfig, Client, ModelCatalog, ModelKey, RateLimit, Request, Router, Server,
+};
 
 struct Workload {
     n_patients: usize,
@@ -32,6 +35,11 @@ struct Workload {
     /// Batch sizes for the network-path benches (wire codec + loopback
     /// gateway end-to-end).
     gateway_batch_sizes: Vec<usize>,
+    /// Connection counts for the open-loop traffic sweep against an
+    /// admission-enabled gateway.
+    loadgen_connections: Vec<usize>,
+    /// Length of each open-loop run.
+    loadgen_duration: Duration,
     /// Timed repetitions per batch size.
     iterations: usize,
     seed: u64,
@@ -123,9 +131,18 @@ fn write_report(path: &str, workload: &Workload, results: &[BenchResult]) {
             .join(", ")
     ));
     out.push_str(&format!(
-        "    \"gateway_batch_sizes\": [{}]\n",
+        "    \"gateway_batch_sizes\": [{}],\n",
         workload
             .gateway_batch_sizes
+            .iter()
+            .map(|b| b.to_string())
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    out.push_str(&format!(
+        "    \"loadgen_connections\": [{}]\n",
+        workload
+            .loadgen_connections
             .iter()
             .map(|b| b.to_string())
             .collect::<Vec<_>>()
@@ -406,6 +423,92 @@ fn gateway_results(world: &BenchWorld, w: &Workload) -> Vec<BenchResult> {
     results
 }
 
+/// Open-loop traffic results: `dssddi-loadgen` drives an
+/// admission-enabled gateway at roughly 2x its configured rate capacity,
+/// per connection count. Each `loadgen_c{N}` entry records what the
+/// gateway actually *delivered* while shedding the excess with typed
+/// `Overloaded` frames — answered-request throughput and admitted-frame
+/// latency percentiles measured from scheduled (not actual) send times,
+/// so server-side queueing cannot hide in generator back-pressure.
+fn loadgen_results(world: &BenchWorld, w: &Workload) -> Vec<BenchResult> {
+    let mut catalog = ModelCatalog::new();
+    let fitted_key = match ModelKey::new("chronic") {
+        Ok(key) => key,
+        Err(e) => panic!("model key: {e}"),
+    };
+    let support_key = match ModelKey::new("critique") {
+        Ok(key) => key,
+        Err(e) => panic!("model key: {e}"),
+    };
+    catalog
+        .insert(fitted_key, world.fitted_service(w.n_observed, w.seed + 2))
+        .unwrap_or_else(|e| panic!("catalog insert: {e}"));
+    let support = dssddi_core::ServiceBuilder::fast()
+        .build_support(&world.ddi)
+        .unwrap_or_else(|e| panic!("support shard: {e}"));
+    catalog
+        .insert(support_key, support)
+        .unwrap_or_else(|e| panic!("catalog insert: {e}"));
+
+    // Capacity 400 requests/s (burst 100) against an offered 800
+    // frames/s: a sustained ~2x overload, so the entries document
+    // load-shed-before-collapse, not a clear-sky benchmark.
+    let admission = AdmissionConfig {
+        default_rate: Some(RateLimit::new(400.0, 100.0).unwrap_or_else(|e| panic!("rate: {e}"))),
+        ..AdmissionConfig::default()
+    };
+    let server = Server::bind("127.0.0.1:0", Router::with_admission(catalog, admission))
+        .unwrap_or_else(|e| panic!("bind gateway: {e}"));
+    let addr = server
+        .local_addr()
+        .unwrap_or_else(|e| panic!("gateway addr: {e}"));
+    let server_thread = std::thread::spawn(move || server.run());
+
+    let mut results = Vec::new();
+    // The gateway's counters are cumulative across the sweep, so the
+    // shed cross-check accumulates the client-side tallies.
+    let mut expected_shed = 0u64;
+    for &connections in &w.loadgen_connections {
+        let mut config = LoadgenConfig::new(addr.to_string());
+        config.connections = connections;
+        config.rate = 800.0;
+        config.duration = w.loadgen_duration;
+        config.seed = w.seed;
+        let report = dssddi_loadgen::run(&config)
+            .unwrap_or_else(|e| panic!("loadgen run ({connections} connections): {e}"));
+        expected_shed += report.shed_requests;
+        assert_eq!(
+            report.server_shed_requests, expected_shed,
+            "gateway shed accounting must match the client tally"
+        );
+        eprintln!(
+            "bench_report: loadgen {} connection(s): {} ok / {} shed, p99 {:.2} ms",
+            connections,
+            report.ok_requests,
+            report.shed_requests,
+            report.p99_ms()
+        );
+        results.push(BenchResult {
+            name: format!("loadgen_c{connections}"),
+            batch_size: connections,
+            iterations: report.frames as usize,
+            throughput_rps: report.achieved_rps(),
+            p50_ms: report.p50_ms(),
+            p99_ms: report.p99_ms(),
+        });
+    }
+
+    let client = Client::connect(addr).unwrap_or_else(|e| panic!("connect gateway: {e}"));
+    client
+        .shutdown()
+        .unwrap_or_else(|e| panic!("gateway shutdown: {e}"));
+    match server_thread.join() {
+        Ok(result) => result.unwrap_or_else(|e| panic!("gateway run loop: {e}")),
+        Err(_) => panic!("gateway run loop panicked"),
+    }
+    results
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut smoke = false;
@@ -438,6 +541,8 @@ fn main() {
             n_observed: 45,
             batch_sizes: vec![1, 8],
             gateway_batch_sizes: vec![1, 16],
+            loadgen_connections: vec![1, 4],
+            loadgen_duration: Duration::from_secs(1),
             iterations: 2,
             seed,
             smoke,
@@ -448,6 +553,8 @@ fn main() {
             n_observed: n_patients * 3 / 5,
             batch_sizes: vec![1, 8, 64],
             gateway_batch_sizes: vec![1, 16, 64],
+            loadgen_connections: vec![1, 64, 256],
+            loadgen_duration: Duration::from_secs(2),
             iterations: 10,
             seed,
             smoke,
@@ -465,6 +572,8 @@ fn main() {
     let mut results = serving_results(&world, &service, &workload);
     eprintln!("bench_report: running gateway/network workload ...");
     results.extend(gateway_results(&world, &workload));
+    eprintln!("bench_report: running open-loop overload traffic (dssddi-loadgen) ...");
+    results.extend(loadgen_results(&world, &workload));
     write_report(&out_path, &workload, &results);
     for r in &results {
         println!(

@@ -1,0 +1,231 @@
+//! `dssddi-loadgen` — open-loop traffic generator for a live DSSDDI
+//! gateway.
+//!
+//! Sweeps one or more connection counts against the gateway, each run
+//! offering a fixed Poisson arrival rate of mixed clinical traffic with
+//! Zipf hot-shard skew, and prints an achieved-throughput-vs-SLO report.
+//! With `--append` the `loadgen_c{N}` results are spliced into an
+//! existing `BENCH_serving.json`.
+//!
+//! ```text
+//! dssddi-serve --listen 127.0.0.1:4547 --demo &
+//! dssddi-loadgen --addr 127.0.0.1:4547 --connections 1,64,256 \
+//!     --rate 800 --duration-s 5 --append BENCH_serving.json
+//! ```
+
+use std::time::Duration;
+
+use dssddi_loadgen::{append_results, BenchEntry, LoadgenConfig, WorkloadMix};
+
+fn usage() -> String {
+    "usage: dssddi-loadgen --addr HOST:PORT [options]\n\
+     \n\
+     options:\n\
+     \x20 --addr HOST:PORT     gateway to drive (required)\n\
+     \x20 --connections LIST   comma-separated sweep of connection counts (default 4)\n\
+     \x20 --rate RPS           offered frame rate across all connections (default 200)\n\
+     \x20 --duration-s SECS    length of each run (default 5)\n\
+     \x20 --seed N             master seed for reproducible traffic (default 17)\n\
+     \x20 --zipf EXP           hot-shard skew exponent, 0 = uniform (default 1.1)\n\
+     \x20 --batch N            requests per SuggestBatch frame (default 16)\n\
+     \x20 --mix S:B:C:R        weights for suggest:batch:check:reload (default 55:20:24:1)\n\
+     \x20 --slo-p99-ms MS      p99 objective for the SLO verdict (default 50)\n\
+     \x20 --append PATH        splice loadgen_* results into an existing BENCH_serving.json\n\
+     \x20 --smoke              CI preset: 2 s runs over 1,4 connections\n\
+     \x20 --shutdown           ask the gateway to exit after the sweep\n"
+        .to_string()
+}
+
+struct Args {
+    config: LoadgenConfig,
+    connections: Vec<usize>,
+    append: Option<String>,
+    shutdown: bool,
+}
+
+fn parse_connections(spec: &str) -> Result<Vec<usize>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',') {
+        let n: usize = part
+            .trim()
+            .parse()
+            .map_err(|e| format!("bad connection count {part:?}: {e}"))?;
+        if n == 0 {
+            return Err("connection counts must be at least 1".to_string());
+        }
+        out.push(n);
+    }
+    if out.is_empty() {
+        return Err("empty connection sweep".to_string());
+    }
+    Ok(out)
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut addr: Option<String> = None;
+    let mut connections = vec![4usize];
+    let mut rate = 200.0f64;
+    let mut duration_s = 5.0f64;
+    let mut seed = 17u64;
+    let mut zipf = 1.1f64;
+    let mut batch = 16usize;
+    let mut mix = WorkloadMix::default();
+    let mut slo_p99_ms = 50.0f64;
+    let mut append = None;
+    let mut smoke = false;
+    let mut shutdown = false;
+
+    let mut i = 0;
+    while i < argv.len() {
+        let arg = argv[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            argv.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg {
+            "--addr" => addr = Some(value("--addr")?),
+            "--connections" => connections = parse_connections(&value("--connections")?)?,
+            "--rate" => {
+                rate = value("--rate")?
+                    .parse()
+                    .map_err(|e| format!("bad --rate: {e}"))?;
+            }
+            "--duration-s" => {
+                duration_s = value("--duration-s")?
+                    .parse()
+                    .map_err(|e| format!("bad --duration-s: {e}"))?;
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--zipf" => {
+                zipf = value("--zipf")?
+                    .parse()
+                    .map_err(|e| format!("bad --zipf: {e}"))?;
+            }
+            "--batch" => {
+                batch = value("--batch")?
+                    .parse()
+                    .map_err(|e| format!("bad --batch: {e}"))?;
+            }
+            "--mix" => mix = WorkloadMix::parse(&value("--mix")?)?,
+            "--slo-p99-ms" => {
+                slo_p99_ms = value("--slo-p99-ms")?
+                    .parse()
+                    .map_err(|e| format!("bad --slo-p99-ms: {e}"))?;
+            }
+            "--append" => append = Some(value("--append")?),
+            "--smoke" => smoke = true,
+            "--shutdown" => shutdown = true,
+            "--help" | "-h" => return Err(usage()),
+            other => return Err(format!("unknown argument {other:?}\n\n{}", usage())),
+        }
+        i += 1;
+    }
+    let addr = addr.ok_or_else(|| format!("--addr is required\n\n{}", usage()))?;
+    if smoke {
+        connections = vec![1, 4];
+        duration_s = 2.0;
+    }
+    if !(duration_s.is_finite() && duration_s > 0.0) {
+        return Err(format!("--duration-s must be positive, got {duration_s}"));
+    }
+    let mut config = LoadgenConfig::new(addr);
+    config.rate = rate;
+    config.duration = Duration::from_secs_f64(duration_s);
+    config.seed = seed;
+    config.zipf_exponent = zipf;
+    config.batch_size = batch;
+    config.mix = mix;
+    config.slo_p99_ms = slo_p99_ms;
+    Ok(Args {
+        config,
+        connections,
+        append,
+        shutdown,
+    })
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut entries = Vec::new();
+    let mut all_slos_met = true;
+    for &connections in &args.connections {
+        let mut config = args.config.clone();
+        config.connections = connections;
+        eprintln!(
+            "dssddi-loadgen: driving {} with {} connection(s) at {} frames/s for {:.1}s ...",
+            config.addr,
+            connections,
+            config.rate,
+            config.duration.as_secs_f64()
+        );
+        let report = match dssddi_loadgen::run(&config) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("dssddi-loadgen: run failed: {e}");
+                std::process::exit(1);
+            }
+        };
+        print!("{}", report.render());
+        all_slos_met &= report.slo_met();
+        entries.push(BenchEntry::from_report(
+            format!("loadgen_c{connections}"),
+            &report,
+        ));
+    }
+
+    if let Some(path) = &args.append {
+        let doc = match std::fs::read_to_string(path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("dssddi-loadgen: cannot read {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let spliced = match append_results(&doc, &entries) {
+            Ok(spliced) => spliced,
+            Err(e) => {
+                eprintln!("dssddi-loadgen: cannot append to {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        if let Err(e) = std::fs::write(path, spliced) {
+            eprintln!("dssddi-loadgen: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("appended {} loadgen result(s) to {path}", entries.len());
+    }
+
+    if args.shutdown {
+        match dssddi_serving::Client::connect(args.config.addr.as_str()) {
+            Ok(client) => {
+                if let Err(e) = client.shutdown() {
+                    eprintln!("dssddi-loadgen: shutdown request failed: {e}");
+                    std::process::exit(1);
+                }
+                println!("gateway acknowledged shutdown");
+            }
+            Err(e) => {
+                eprintln!("dssddi-loadgen: cannot reconnect for shutdown: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if !all_slos_met {
+        eprintln!("dssddi-loadgen: at least one run missed its SLO");
+    }
+}

@@ -1,0 +1,41 @@
+//! # dssddi-loadgen
+//!
+//! Open-loop traffic generator for the DSSDDI serving gateway — the
+//! measurement side of the admission-control story. It replays synthetic
+//! chronic-disease patient populations
+//! ([`PopulationSpec`](dssddi_baselines::PopulationSpec)) against a live
+//! gateway over the `DSWR` wire protocol and reports what the gateway
+//! actually delivered against a latency SLO.
+//!
+//! What makes it a *traffic simulator* rather than a benchmark loop:
+//!
+//! * **Open loop.** Arrivals are a Poisson process at a configured rate,
+//!   scheduled in absolute time before the run. Latency is measured from
+//!   each request's *scheduled* start, so server-side queueing cannot
+//!   hide in the generator's own back-pressure (coordinated omission).
+//! * **Hot-shard skew.** Shard choice is Zipf-distributed ([`Zipf`]):
+//!   a configurable head of the model catalog receives most traffic,
+//!   exercising per-shard rate limits and quotas unevenly.
+//! * **Mixed clinical workload.** Single suggestions, batched
+//!   suggestions, prescription critiques and rare knowledge-base reloads,
+//!   in configurable proportions ([`WorkloadMix`]).
+//! * **Typed shed accounting.** `Overloaded` rejections are tallied
+//!   separately from successes and from unexpected errors, and
+//!   cross-checked against the gateway's own `Stats` counters.
+//!
+//! The `dssddi-loadgen` binary drives connection-count sweeps and can
+//! splice `loadgen_*` entries into `BENCH_serving.json`
+//! ([`append_results`]); [`run`] is the library entry point the
+//! experiment harness calls directly.
+
+#![warn(missing_docs)]
+
+pub mod histogram;
+pub mod report;
+pub mod runner;
+pub mod workload;
+
+pub use histogram::Histogram;
+pub use report::{append_results, BenchEntry};
+pub use runner::{run, KindTally, LoadgenConfig, LoadgenReport};
+pub use workload::{OpKind, WorkloadMix, Zipf};

@@ -1,0 +1,180 @@
+//! Bench-report integration: turns a [`LoadgenReport`](crate::LoadgenReport)
+//! into a result entry under the `BENCH_serving.json` schema
+//! (`schema_version` 1: `name`, `batch_size`, `iterations`,
+//! `throughput_rps`, `p50_ms`, `p99_ms`) and splices entries into an
+//! existing report file without disturbing the rest of the document.
+//!
+//! For loadgen entries the schema fields are mapped as: `batch_size` is
+//! the **connection count** of the run, `iterations` the frames sent,
+//! `throughput_rps` the answered-request throughput and the percentiles
+//! the admitted-frame latency.
+
+use crate::runner::LoadgenReport;
+
+/// One entry of the `results` array of `BENCH_serving.json`.
+#[derive(Clone, Debug)]
+pub struct BenchEntry {
+    /// Result name; loadgen entries use `loadgen_c{connections}`.
+    pub name: String,
+    /// Connection count of the run (the schema's `batch_size` slot).
+    pub batch_size: usize,
+    /// Frames sent during the run.
+    pub iterations: usize,
+    /// Answered-request throughput.
+    pub throughput_rps: f64,
+    /// Admitted-frame p50 latency, milliseconds.
+    pub p50_ms: f64,
+    /// Admitted-frame p99 latency, milliseconds.
+    pub p99_ms: f64,
+}
+
+impl BenchEntry {
+    /// Maps a finished run into the bench schema under `name`.
+    pub fn from_report(name: impl Into<String>, report: &LoadgenReport) -> Self {
+        BenchEntry {
+            name: name.into(),
+            batch_size: report.connections,
+            iterations: report.frames as usize,
+            throughput_rps: report.achieved_rps(),
+            p50_ms: report.p50_ms(),
+            p99_ms: report.p99_ms(),
+        }
+    }
+
+    fn render(&self, indent: &str) -> String {
+        let name = self.name.replace('\\', "\\\\").replace('"', "\\\"");
+        format!(
+            "{indent}{{\n\
+             {indent}  \"name\": \"{name}\",\n\
+             {indent}  \"batch_size\": {},\n\
+             {indent}  \"iterations\": {},\n\
+             {indent}  \"throughput_rps\": {:.2},\n\
+             {indent}  \"p50_ms\": {:.4},\n\
+             {indent}  \"p99_ms\": {:.4}\n\
+             {indent}}}",
+            self.batch_size, self.iterations, self.throughput_rps, self.p50_ms, self.p99_ms
+        )
+    }
+}
+
+/// Finds the closing bracket of the `"results": [` array, skipping string
+/// literals (with escapes) and nested brackets.
+fn results_array_end(doc: &str) -> Result<(usize, usize), String> {
+    let marker = "\"results\":";
+    let at = doc
+        .find(marker)
+        .ok_or_else(|| "no \"results\" array in document".to_string())?;
+    let after = &doc[at + marker.len()..];
+    let open_rel = after
+        .find('[')
+        .ok_or_else(|| "\"results\" is not an array".to_string())?;
+    let open = at + marker.len() + open_rel;
+    let bytes = doc.as_bytes();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, &b) in bytes.iter().enumerate().skip(open) {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'[' | b'{' => depth += 1,
+            b']' | b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Ok((open, i));
+                }
+            }
+            _ => {}
+        }
+    }
+    Err("unterminated \"results\" array".to_string())
+}
+
+/// Returns `doc` with `entries` appended to its `"results"` array,
+/// preserving everything else byte-for-byte. Works on any
+/// `schema_version` 1 report, including one whose array is empty.
+pub fn append_results(doc: &str, entries: &[BenchEntry]) -> Result<String, String> {
+    if entries.is_empty() {
+        return Ok(doc.to_string());
+    }
+    let (open, close) = results_array_end(doc)?;
+    let body = &doc[open + 1..close];
+    let has_entries = body.chars().any(|c| !c.is_whitespace());
+    let rendered: Vec<String> = entries.iter().map(|e| e.render("    ")).collect();
+    let mut insert = String::new();
+    if has_entries {
+        // Re-terminate the current last entry with a comma, keeping its
+        // trailing newline/indentation intact.
+        let trimmed_len = body.trim_end().len();
+        let (kept, tail) = body.split_at(trimmed_len);
+        insert.push_str(kept);
+        insert.push_str(",\n");
+        insert.push_str(&rendered.join(",\n"));
+        insert.push_str(tail);
+    } else {
+        insert.push('\n');
+        insert.push_str(&rendered.join(",\n"));
+        insert.push_str("\n  ");
+    }
+    Ok(format!("{}{}{}", &doc[..=open], insert, &doc[close..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(name: &str) -> BenchEntry {
+        BenchEntry {
+            name: name.to_string(),
+            batch_size: 64,
+            iterations: 1200,
+            throughput_rps: 812.5,
+            p50_ms: 1.25,
+            p99_ms: 9.875,
+        }
+    }
+
+    #[test]
+    fn appends_to_a_populated_results_array() {
+        let doc = "{\n  \"schema_version\": 1,\n  \"results\": [\n    {\n      \"name\": \"a[b]\",\n      \"p99_ms\": 1.0\n    }\n  ]\n}\n";
+        let out = append_results(doc, &[entry("loadgen_c64")]).expect("append");
+        assert!(out.contains("\"p99_ms\": 1.0\n    },\n    {\n      \"name\": \"loadgen_c64\""));
+        assert!(out.contains("\"throughput_rps\": 812.50"));
+        assert!(out.ends_with("  ]\n}\n"));
+        // Both entries now live in the array; the document stays balanced.
+        assert_eq!(out.matches("\"name\"").count(), 2);
+        assert_eq!(
+            out.matches('{').count(),
+            out.matches('}').count(),
+            "braces balanced"
+        );
+    }
+
+    #[test]
+    fn appends_to_an_empty_results_array() {
+        let doc = "{\n  \"results\": []\n}\n";
+        let out =
+            append_results(doc, &[entry("loadgen_c1"), entry("loadgen_c256")]).expect("append");
+        assert!(out.contains("loadgen_c1"));
+        assert!(out.contains("loadgen_c256"));
+        assert!(out.contains("},\n    {"), "entries separated by commas");
+        assert_eq!(out.matches('{').count(), out.matches('}').count());
+    }
+
+    #[test]
+    fn rejects_documents_without_results() {
+        assert!(append_results("{}", &[entry("x")]).is_err());
+        assert!(append_results("{\"results\": [", &[entry("x")]).is_err());
+        // No entries: the document passes through untouched.
+        assert_eq!(append_results("{}", &[]).expect("noop"), "{}");
+    }
+}

@@ -1,0 +1,657 @@
+//! The open-loop run engine.
+//!
+//! Each connection is driven by its own worker thread with a Poisson
+//! arrival process: inter-arrival gaps are drawn from the exponential
+//! distribution via inverse-CDF (`-ln(1-u)/λ`), accumulated into an
+//! *absolute* schedule, and every request's latency is measured from its
+//! **scheduled** start — not from when the worker got around to sending
+//! it. A closed-loop generator silently stops offering load exactly when
+//! the server slows down (coordinated omission); anchoring the schedule
+//! before the run makes queueing delay show up in the recorded
+//! percentiles instead of disappearing.
+//!
+//! Workers never panic on rejections: a typed `Overloaded` frame is the
+//! admission-control contract working as designed and is tallied as a
+//! shed. Any transport-level failure (dropped connection, protocol error)
+//! aborts the run with an error — a gateway under test must never degrade
+//! that way.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dssddi_core::{CheckPrescriptionRequest, DrugId, PatientId, SuggestRequest};
+use dssddi_serving::demo::demo_world;
+use dssddi_serving::{Client, ErrorCode, ModelKey, ServingError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::histogram::Histogram;
+use crate::workload::{OpKind, WorkloadMix, Zipf};
+
+/// Everything one load-generation run needs to know.
+#[derive(Clone, Debug)]
+pub struct LoadgenConfig {
+    /// Gateway address, `HOST:PORT`.
+    pub addr: String,
+    /// Number of concurrent client connections (one worker thread each).
+    pub connections: usize,
+    /// Total offered frame rate across all connections, frames/second.
+    /// (A `SuggestBatch` frame carries `batch_size` requests.)
+    pub rate: f64,
+    /// Length of the run.
+    pub duration: Duration,
+    /// Master seed; every worker derives its own stream from it, so runs
+    /// are reproducible per (seed, connections).
+    pub seed: u64,
+    /// Hot-shard skew exponent for shard choice (0 = uniform).
+    pub zipf_exponent: f64,
+    /// Requests per `SuggestBatch` frame.
+    pub batch_size: usize,
+    /// Operation mix of the generated traffic.
+    pub mix: WorkloadMix,
+    /// The p99 latency objective (milliseconds) the report's SLO verdict
+    /// is judged against.
+    pub slo_p99_ms: f64,
+    /// Seed of the demo world whose knowledge base `ReloadKb` frames
+    /// ship. Only shards whose `registry_digest` matches that formulary
+    /// receive reloads.
+    pub reload_seed: u64,
+}
+
+impl LoadgenConfig {
+    /// A moderate default workload against `addr`: 4 connections offering
+    /// 200 frames/s for 5 seconds.
+    pub fn new(addr: impl Into<String>) -> Self {
+        LoadgenConfig {
+            addr: addr.into(),
+            connections: 4,
+            rate: 200.0,
+            duration: Duration::from_secs(5),
+            seed: 17,
+            zipf_exponent: 1.1,
+            batch_size: 16,
+            mix: WorkloadMix::default(),
+            slo_p99_ms: 50.0,
+            reload_seed: dssddi_serving::demo::DEMO_SEED,
+        }
+    }
+
+    fn validate(&self) -> Result<(), String> {
+        if self.connections == 0 {
+            return Err("need at least one connection".to_string());
+        }
+        if !self.rate.is_finite() || self.rate <= 0.0 {
+            return Err(format!("rate must be finite and > 0, got {}", self.rate));
+        }
+        if self.duration.is_zero() {
+            return Err("duration must be positive".to_string());
+        }
+        if self.batch_size == 0 {
+            return Err("batch size must be at least 1".to_string());
+        }
+        if !self.slo_p99_ms.is_finite() || self.slo_p99_ms <= 0.0 {
+            return Err(format!(
+                "SLO must be finite and > 0 ms, got {}",
+                self.slo_p99_ms
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Per-operation-kind outcome counts.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct KindTally {
+    /// Frames sent.
+    pub frames: u64,
+    /// Frames answered normally.
+    pub ok: u64,
+    /// Frames rejected with a typed `Overloaded` error.
+    pub shed: u64,
+    /// Frames answered with any other typed error.
+    pub errors: u64,
+}
+
+/// The merged outcome of one run.
+#[derive(Clone, Debug)]
+pub struct LoadgenReport {
+    /// Connections driven.
+    pub connections: usize,
+    /// Configured offered frame rate (frames/second, all connections).
+    pub offered_rps: f64,
+    /// Configured run length, seconds.
+    pub duration_s: f64,
+    /// Actual wall-clock from first schedule to last worker exit.
+    pub elapsed_s: f64,
+    /// Frames sent (one wire exchange each).
+    pub frames: u64,
+    /// Requests sent; a `SuggestBatch` frame counts its batch size, which
+    /// is also how the gateway's admission control charges it.
+    pub requests: u64,
+    /// Requests answered normally.
+    pub ok_requests: u64,
+    /// Requests rejected with typed `Overloaded` frames.
+    pub shed_requests: u64,
+    /// Requests answered with any other typed error.
+    pub error_requests: u64,
+    /// Outcomes by operation kind, indexed by [`OpKind::index`].
+    pub by_kind: [KindTally; 4],
+    /// Latency of normally-answered frames, **microseconds**, measured
+    /// from each frame's scheduled start (coordinated-omission safe).
+    pub latency: Histogram,
+    /// The p99 objective the run was judged against, milliseconds.
+    pub slo_p99_ms: f64,
+    /// `shed_requests` summed over the gateway's own `Stats` counters
+    /// after the run — cross-checks the client-side tally.
+    pub server_shed_requests: u64,
+    /// `requests` summed over the gateway's `Stats` after the run.
+    pub server_requests: u64,
+}
+
+impl LoadgenReport {
+    /// Answered throughput: normally-answered requests per second of
+    /// actual run time.
+    pub fn achieved_rps(&self) -> f64 {
+        if self.elapsed_s <= 0.0 {
+            0.0
+        } else {
+            self.ok_requests as f64 / self.elapsed_s
+        }
+    }
+
+    /// p50 of admitted-frame latency, milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.latency.value_at_quantile(0.50) as f64 / 1e3
+    }
+
+    /// p90 of admitted-frame latency, milliseconds.
+    pub fn p90_ms(&self) -> f64 {
+        self.latency.value_at_quantile(0.90) as f64 / 1e3
+    }
+
+    /// p99 of admitted-frame latency, milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.latency.value_at_quantile(0.99) as f64 / 1e3
+    }
+
+    /// Worst admitted-frame latency, milliseconds.
+    pub fn max_ms(&self) -> f64 {
+        self.latency.max() as f64 / 1e3
+    }
+
+    /// The SLO verdict: admitted traffic met the p99 objective, nothing
+    /// failed with unexpected errors, and something was actually served.
+    pub fn slo_met(&self) -> bool {
+        self.ok_requests > 0 && self.error_requests == 0 && self.p99_ms() <= self.slo_p99_ms
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "connections {:>4}  offered {:>9.1} frames/s  ran {:.2}s\n",
+            self.connections, self.offered_rps, self.elapsed_s
+        ));
+        out.push_str(&format!(
+            "  sent {} frames / {} requests: {} ok, {} shed, {} errors\n",
+            self.frames, self.requests, self.ok_requests, self.shed_requests, self.error_requests
+        ));
+        for kind in OpKind::ALL {
+            let t = &self.by_kind[kind.index()];
+            if t.frames > 0 {
+                out.push_str(&format!(
+                    "    {:<20} {:>7} frames  {:>7} ok  {:>7} shed\n",
+                    kind.name(),
+                    t.frames,
+                    t.ok,
+                    t.shed
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "  achieved {:.1} req/s  p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  max {:.3} ms\n",
+            self.achieved_rps(),
+            self.p50_ms(),
+            self.p90_ms(),
+            self.p99_ms(),
+            self.max_ms()
+        ));
+        out.push_str(&format!(
+            "  gateway accounting: {} requests, {} shed\n",
+            self.server_requests, self.server_shed_requests
+        ));
+        out.push_str(&format!(
+            "  SLO p99 <= {:.1} ms: {}\n",
+            self.slo_p99_ms,
+            if self.slo_met() { "MET" } else { "MISSED" }
+        ));
+        out
+    }
+}
+
+/// One routable shard, as discovered from `ListModels`.
+#[derive(Clone, Debug)]
+struct TargetPlan {
+    key: ModelKey,
+    n_drugs: usize,
+    /// `Some` for fitted shards (suggestion-capable).
+    n_features: Option<usize>,
+}
+
+/// Immutable run state shared by every worker.
+struct SharedPlan {
+    plans: Vec<TargetPlan>,
+    /// Indices into `plans` of suggestion-capable shards.
+    fitted: Vec<usize>,
+    /// Indices into `plans` of shards accepting the prepared KB reload.
+    reloadable: Vec<usize>,
+    zipf_all: Zipf,
+    zipf_fitted: Option<Zipf>,
+    zipf_reload: Option<Zipf>,
+    mix: WorkloadMix,
+    /// Pre-generated synthetic patients, one pool per distinct feature
+    /// width the fitted shards expect.
+    pools: Vec<(usize, Vec<dssddi_baselines::SimPatient>)>,
+    /// The DSKB container `ReloadKb` frames ship.
+    reload_bytes: Vec<u8>,
+    batch_size: usize,
+}
+
+/// Patients pre-generated per feature width — enough that per-worker
+/// cursors starting at different offsets do not all replay one patient.
+const POOL_PATIENTS: usize = 128;
+
+enum CallOutcome {
+    Ok,
+    Shed,
+    RemoteError,
+}
+
+fn classify<T>(result: Result<T, ServingError>) -> Result<CallOutcome, String> {
+    match result {
+        Ok(_) => Ok(CallOutcome::Ok),
+        Err(ServingError::Remote {
+            code: ErrorCode::Overloaded,
+            ..
+        }) => Ok(CallOutcome::Shed),
+        Err(ServingError::Remote { .. }) => Ok(CallOutcome::RemoteError),
+        Err(other) => Err(format!("connection degraded: {other}")),
+    }
+}
+
+struct WorkerTally {
+    frames: u64,
+    requests: u64,
+    ok_requests: u64,
+    shed_requests: u64,
+    error_requests: u64,
+    by_kind: [KindTally; 4],
+    hist: Histogram,
+}
+
+fn worker_run(
+    config: &LoadgenConfig,
+    plan: &SharedPlan,
+    worker: usize,
+) -> Result<WorkerTally, String> {
+    let mut client = Client::connect(config.addr.as_str())
+        .map_err(|e| format!("worker {worker}: connect {}: {e}", config.addr))?;
+    let mut rng = StdRng::seed_from_u64(
+        config.seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA076_1D64_78BD_642F,
+    );
+    let per_worker_rate = config.rate / config.connections as f64;
+    let mut tally = WorkerTally {
+        frames: 0,
+        requests: 0,
+        ok_requests: 0,
+        shed_requests: 0,
+        error_requests: 0,
+        by_kind: [KindTally::default(); 4],
+        hist: Histogram::new(),
+    };
+    // Per-pool cursors, offset per worker so the workers replay different
+    // slices of the shared populations.
+    let mut cursors: Vec<usize> = plan.pools.iter().map(|_| worker * 7).collect();
+
+    let start = Instant::now();
+    let mut next = Duration::ZERO;
+    loop {
+        // Poisson arrivals: exponential gap via inverse CDF. The vendored
+        // rand has no Exp distribution; -ln(1-u)/λ needs only a uniform.
+        let u: f64 = rng.gen();
+        let gap = -(1.0 - u).ln() / per_worker_rate;
+        next += Duration::from_secs_f64(gap.max(0.0));
+        if next >= config.duration {
+            break;
+        }
+        let now = start.elapsed();
+        if next > now {
+            std::thread::sleep(next - now);
+        }
+        let kind = plan.mix.sample(&mut rng);
+        let n_requests = if kind == OpKind::SuggestBatch {
+            plan.batch_size as u64
+        } else {
+            1
+        };
+        let outcome = issue(&mut client, plan, kind, &mut rng, &mut cursors)
+            .map_err(|e| format!("worker {worker}: {e}"))?;
+        let latency = start.elapsed().saturating_sub(next);
+        tally.frames += 1;
+        tally.requests += n_requests;
+        let per_kind = &mut tally.by_kind[kind.index()];
+        per_kind.frames += 1;
+        match outcome {
+            CallOutcome::Ok => {
+                tally.ok_requests += n_requests;
+                per_kind.ok += 1;
+                tally
+                    .hist
+                    .record(latency.as_micros().min(u128::from(u64::MAX)) as u64);
+            }
+            CallOutcome::Shed => {
+                tally.shed_requests += n_requests;
+                per_kind.shed += 1;
+            }
+            CallOutcome::RemoteError => {
+                tally.error_requests += n_requests;
+                per_kind.errors += 1;
+            }
+        }
+    }
+    Ok(tally)
+}
+
+fn issue(
+    client: &mut Client,
+    plan: &SharedPlan,
+    kind: OpKind,
+    rng: &mut StdRng,
+    cursors: &mut [usize],
+) -> Result<CallOutcome, String> {
+    match kind {
+        OpKind::Suggest | OpKind::SuggestBatch => {
+            let (zipf, shards) = match (&plan.zipf_fitted, &plan.fitted) {
+                (Some(zipf), shards) if !shards.is_empty() => (zipf, shards),
+                _ => return Err("suggest sampled with no fitted shard".to_string()),
+            };
+            let target = &plan.plans[shards[zipf.sample(rng)]];
+            let width = target.n_features.unwrap_or(0);
+            let (pool_idx, pool) = plan
+                .pools
+                .iter()
+                .enumerate()
+                .find(|(_, (w, _))| *w == width)
+                .map(|(i, (_, p))| (i, p.as_slice()))
+                .ok_or_else(|| format!("no patient pool for {width} features"))?;
+            let n = if kind == OpKind::SuggestBatch {
+                plan.batch_size
+            } else {
+                1
+            };
+            let mut requests = Vec::with_capacity(n);
+            for _ in 0..n {
+                let patient = &pool[cursors[pool_idx] % pool.len()];
+                cursors[pool_idx] += 1;
+                requests.push(SuggestRequest::new(
+                    PatientId::new(patient.id as usize),
+                    patient.features.clone(),
+                    rng.gen_range(1usize..=5),
+                ));
+            }
+            if kind == OpKind::SuggestBatch {
+                classify(client.suggest_batch(&target.key, &requests))
+            } else {
+                classify(client.suggest(&target.key, &requests[0]))
+            }
+        }
+        OpKind::CheckPrescription => {
+            let target = &plan.plans[plan.zipf_all.sample(rng)];
+            let n_drugs = target.n_drugs.max(2);
+            let want = rng.gen_range(2usize..=4).min(n_drugs);
+            let mut drugs: Vec<DrugId> = Vec::with_capacity(want);
+            while drugs.len() < want {
+                let id = DrugId::new(rng.gen_range(0usize..n_drugs));
+                if !drugs.contains(&id) {
+                    drugs.push(id);
+                }
+            }
+            classify(client.check_prescription(&target.key, &CheckPrescriptionRequest::new(drugs)))
+        }
+        OpKind::ReloadKb => {
+            let (zipf, shards) = match (&plan.zipf_reload, &plan.reloadable) {
+                (Some(zipf), shards) if !shards.is_empty() => (zipf, shards),
+                _ => return Err("reload sampled with no reloadable shard".to_string()),
+            };
+            let target = &plan.plans[shards[zipf.sample(rng)]];
+            classify(client.reload_kb(&target.key, &plan.reload_bytes))
+        }
+    }
+}
+
+/// Runs one open-loop load generation against a live gateway and returns
+/// the merged report. Discovers shards via `ListModels`, degrades the mix
+/// when the gateway cannot serve a kind (no fitted shard, no
+/// formulary-compatible reload target), and cross-checks the gateway's
+/// own shed accounting afterwards.
+pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
+    config.validate()?;
+    let mut probe = Client::connect(config.addr.as_str())
+        .map_err(|e| format!("connect {}: {e}", config.addr))?;
+    let mut models = probe
+        .list_models()
+        .map_err(|e| format!("list models: {e}"))?;
+    if models.is_empty() {
+        return Err("gateway serves no models".to_string());
+    }
+    // Popularity rank = lexicographic key order: deterministic across
+    // runs and across gateways regardless of listing order.
+    models.sort_by(|a, b| a.key.as_str().cmp(b.key.as_str()));
+
+    let plans: Vec<TargetPlan> = models
+        .iter()
+        .map(|info| TargetPlan {
+            key: info.key.clone(),
+            n_drugs: info.n_drugs,
+            n_features: if info.fitted { info.n_features } else { None },
+        })
+        .collect();
+    let fitted: Vec<usize> = plans
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| p.n_features.is_some())
+        .map(|(i, _)| i)
+        .collect();
+
+    let mut mix = config.mix.clone();
+    if fitted.is_empty() {
+        mix.fold_into_check(OpKind::Suggest);
+        mix.fold_into_check(OpKind::SuggestBatch);
+    }
+
+    // Prepare the ReloadKb payload and find shards whose formulary digest
+    // accepts it; skip reload traffic (with the rate folded into
+    // critiques) when none match.
+    let mut reloadable = Vec::new();
+    let mut reload_bytes = Vec::new();
+    if mix.weight(OpKind::ReloadKb) > 0.0 {
+        let world =
+            demo_world(config.reload_seed).map_err(|e| format!("build reload world: {e}"))?;
+        let kb = dssddi_kb::KnowledgeBase::from_ddi_graph(&world.ddi, &world.registry)
+            .map_err(|e| format!("build reload KB: {e}"))?;
+        let digest = kb.registry_digest();
+        reloadable = models
+            .iter()
+            .enumerate()
+            .filter(|(_, info)| info.registry_digest == digest)
+            .map(|(i, _)| i)
+            .collect();
+        if reloadable.is_empty() {
+            mix.fold_into_check(OpKind::ReloadKb);
+        } else {
+            reload_bytes = kb.to_container_bytes();
+        }
+    }
+
+    // Synthetic patient pools, one per distinct feature width.
+    let mut widths: Vec<usize> = fitted.iter().filter_map(|&i| plans[i].n_features).collect();
+    widths.sort_unstable();
+    widths.dedup();
+    let pools: Vec<(usize, Vec<dssddi_baselines::SimPatient>)> = widths
+        .into_iter()
+        .map(|width| {
+            let spec = dssddi_baselines::PopulationSpec::new(config.seed, width);
+            (width, spec.patients().take(POOL_PATIENTS).collect())
+        })
+        .collect();
+
+    let shared = Arc::new(SharedPlan {
+        zipf_all: Zipf::new(plans.len(), config.zipf_exponent)?,
+        zipf_fitted: if fitted.is_empty() {
+            None
+        } else {
+            Some(Zipf::new(fitted.len(), config.zipf_exponent)?)
+        },
+        zipf_reload: if reloadable.is_empty() {
+            None
+        } else {
+            Some(Zipf::new(reloadable.len(), config.zipf_exponent)?)
+        },
+        plans,
+        fitted,
+        reloadable,
+        mix,
+        pools,
+        reload_bytes,
+        batch_size: config.batch_size,
+    });
+
+    let started = Instant::now();
+    let workers: Vec<_> = (0..config.connections)
+        .map(|worker| {
+            let config = config.clone();
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || worker_run(&config, &shared, worker))
+        })
+        .collect();
+
+    let mut frames = 0u64;
+    let mut requests = 0u64;
+    let mut ok_requests = 0u64;
+    let mut shed_requests = 0u64;
+    let mut error_requests = 0u64;
+    let mut by_kind = [KindTally::default(); 4];
+    let mut latency = Histogram::new();
+    let mut failure: Option<String> = None;
+    for handle in workers {
+        match handle.join() {
+            Ok(Ok(tally)) => {
+                frames += tally.frames;
+                requests += tally.requests;
+                ok_requests += tally.ok_requests;
+                shed_requests += tally.shed_requests;
+                error_requests += tally.error_requests;
+                for (merged, kind) in by_kind.iter_mut().zip(tally.by_kind) {
+                    merged.frames += kind.frames;
+                    merged.ok += kind.ok;
+                    merged.shed += kind.shed;
+                    merged.errors += kind.errors;
+                }
+                latency.merge(&tally.hist);
+            }
+            Ok(Err(e)) => failure = failure.or(Some(e)),
+            Err(_) => failure = failure.or_else(|| Some("worker thread panicked".to_string())),
+        }
+    }
+    let elapsed_s = started.elapsed().as_secs_f64();
+    if let Some(e) = failure {
+        return Err(e);
+    }
+
+    let stats = probe.stats().map_err(|e| format!("final stats: {e}"))?;
+    let server_shed_requests = stats.iter().map(|(_, s)| s.shed_requests).sum();
+    let server_requests = stats.iter().map(|(_, s)| s.requests).sum();
+
+    Ok(LoadgenReport {
+        connections: config.connections,
+        offered_rps: config.rate,
+        duration_s: config.duration.as_secs_f64(),
+        elapsed_s,
+        frames,
+        requests,
+        ok_requests,
+        shed_requests,
+        error_requests,
+        by_kind,
+        latency,
+        slo_p99_ms: config.slo_p99_ms,
+        server_shed_requests,
+        server_requests,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validates() {
+        let good = LoadgenConfig::new("127.0.0.1:1");
+        assert!(good.validate().is_ok());
+        let mut bad = good.clone();
+        bad.connections = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.rate = 0.0;
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.duration = Duration::ZERO;
+        assert!(bad.validate().is_err());
+        let mut bad = good.clone();
+        bad.batch_size = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = good;
+        bad.slo_p99_ms = f64::NAN;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn run_refuses_unreachable_gateway() {
+        // A port from the discard range that nothing listens on: the run
+        // reports a connection error instead of hanging or panicking.
+        let mut config = LoadgenConfig::new("127.0.0.1:9");
+        config.duration = Duration::from_millis(50);
+        assert!(run(&config).is_err());
+    }
+
+    #[test]
+    fn report_math_is_consistent() {
+        let mut latency = Histogram::new();
+        for micros in [500u64, 1_000, 2_000, 40_000] {
+            latency.record(micros);
+        }
+        let report = LoadgenReport {
+            connections: 2,
+            offered_rps: 100.0,
+            duration_s: 1.0,
+            elapsed_s: 2.0,
+            frames: 6,
+            requests: 10,
+            ok_requests: 4,
+            shed_requests: 6,
+            error_requests: 0,
+            by_kind: [KindTally::default(); 4],
+            latency,
+            slo_p99_ms: 50.0,
+            server_shed_requests: 6,
+            server_requests: 4,
+        };
+        assert_eq!(report.achieved_rps(), 2.0);
+        assert!(report.p99_ms() >= report.p50_ms());
+        assert!(report.max_ms() >= report.p99_ms());
+        assert!(report.slo_met(), "41 ms max is inside the 50 ms SLO");
+        let rendered = report.render();
+        assert!(rendered.contains("MET"));
+        assert!(rendered.contains("6 shed"));
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end runs of the open-loop generator against live loopback
+//! gateways: discovery, mix degradation, shed accounting and the SLO
+//! report all exercised over real sockets.
+
+use std::time::Duration;
+
+use dssddi_loadgen::{LoadgenConfig, OpKind, WorkloadMix};
+use dssddi_serving::demo::{demo_catalog, demo_world, DEMO_SEED};
+use dssddi_serving::{AdmissionConfig, Client, ModelCatalog, ModelKey, RateLimit, Router, Server};
+
+/// A cheap support-only catalog under the key `critique` (no fitted
+/// model, so the generator must fold suggestion traffic into critiques).
+fn support_catalog() -> ModelCatalog {
+    let world = demo_world(DEMO_SEED).expect("demo world");
+    let support = dssddi_core::ServiceBuilder::fast()
+        .build_support(&world.ddi)
+        .expect("support shard");
+    let mut catalog = ModelCatalog::new();
+    catalog
+        .insert(ModelKey::new("critique").expect("key"), support)
+        .expect("insert");
+    catalog
+}
+
+fn quick_config(addr: std::net::SocketAddr) -> LoadgenConfig {
+    let mut config = LoadgenConfig::new(addr.to_string());
+    config.connections = 3;
+    config.rate = 300.0;
+    config.duration = Duration::from_millis(600);
+    config.batch_size = 4;
+    config
+}
+
+#[test]
+fn generator_degrades_mix_on_a_support_only_gateway() {
+    let server = Server::bind("127.0.0.1:0", Router::new(support_catalog())).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run());
+
+    let config = quick_config(addr);
+    let report = dssddi_loadgen::run(&config).expect("run");
+
+    assert!(report.frames > 0, "an open loop at 300/s must send frames");
+    assert_eq!(report.error_requests, 0, "no unexpected typed errors");
+    assert_eq!(report.shed_requests, 0, "no admission control configured");
+    // No fitted shard: suggestion weight folded into critiques; the
+    // formulary digest matches the demo world, so reloads still flow.
+    let suggest = &report.by_kind[OpKind::Suggest.index()];
+    let batch = &report.by_kind[OpKind::SuggestBatch.index()];
+    let check = &report.by_kind[OpKind::CheckPrescription.index()];
+    assert_eq!(suggest.frames + batch.frames, 0);
+    assert!(check.ok > 0, "critiques must be served");
+    // Gateway-side accounting: only data-plane calls count as shard
+    // requests; KB reloads are control-plane.
+    let reload_ok = report.by_kind[OpKind::ReloadKb.index()].ok;
+    assert_eq!(report.server_requests, report.ok_requests - reload_ok);
+    assert!(report.latency.count() > 0, "admitted latencies recorded");
+    assert!(report.p99_ms() >= report.p50_ms());
+
+    let observer = Client::connect(addr).expect("observer");
+    observer.shutdown().expect("clean shutdown");
+    handle.join().expect("no panic").expect("clean exit");
+}
+
+#[test]
+fn generator_tallies_sheds_that_match_gateway_accounting() {
+    // 20 frames/s with a 5-token burst against an offered 300/s: most of
+    // the run is shed, every shed typed, and the gateway's own counters
+    // agree with the client-side tally.
+    let admission = AdmissionConfig {
+        default_rate: Some(RateLimit::new(20.0, 5.0).expect("limit")),
+        ..AdmissionConfig::default()
+    };
+    let server = Server::bind(
+        "127.0.0.1:0",
+        Router::with_admission(support_catalog(), admission),
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut config = quick_config(addr);
+    // Pure critiques: every frame passes through admission (reloads are
+    // control-plane and would never shed).
+    config.mix = WorkloadMix::new(0.0, 0.0, 1.0, 0.0).expect("mix");
+    let report = dssddi_loadgen::run(&config).expect("run");
+
+    assert!(report.shed_requests > 0, "overload must shed");
+    assert!(report.ok_requests > 0, "the burst is still admitted");
+    assert_eq!(report.error_requests, 0, "sheds are typed, not errors");
+    assert_eq!(
+        report.server_shed_requests, report.shed_requests,
+        "gateway shed accounting must match the client tally"
+    );
+    assert_eq!(report.server_requests, report.ok_requests);
+
+    let observer = Client::connect(addr).expect("observer");
+    observer.shutdown().expect("clean shutdown");
+    handle.join().expect("no panic").expect("clean exit");
+}
+
+#[test]
+fn generator_reaches_every_kind_on_the_demo_catalog() {
+    // The full demo catalog (fitted `chronic` + support `critique`): all
+    // four operation kinds flow and none produce unexpected errors.
+    let (catalog, _world) = demo_catalog(DEMO_SEED).expect("demo catalog");
+    let server = Server::bind("127.0.0.1:0", Router::new(catalog)).expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut config = quick_config(addr);
+    config.duration = Duration::from_millis(900);
+    // Weight reloads up so the short run reliably samples them.
+    config.mix = WorkloadMix::new(40.0, 20.0, 30.0, 10.0).expect("mix");
+    let report = dssddi_loadgen::run(&config).expect("run");
+
+    assert_eq!(report.error_requests, 0, "no unexpected typed errors");
+    for kind in OpKind::ALL {
+        let tally = &report.by_kind[kind.index()];
+        assert!(
+            tally.ok > 0,
+            "{} must be exercised (frames {})",
+            kind.name(),
+            tally.frames
+        );
+    }
+    // Batched frames count their whole batch as requests.
+    let batch = &report.by_kind[OpKind::SuggestBatch.index()];
+    assert!(
+        report.requests >= report.frames + batch.frames * (config.batch_size as u64 - 1),
+        "batch frames must be charged batch_size requests"
+    );
+
+    let observer = Client::connect(addr).expect("observer");
+    observer.shutdown().expect("clean shutdown");
+    handle.join().expect("no panic").expect("clean exit");
+}

@@ -6,7 +6,9 @@
 //!
 //! ```text
 //! dssddi-serve [--listen ADDR] [--demo] [--seed S] [--kb KEY=PATH.dskb ...]
-//!              [KEY=PATH.dssd ...]
+//!              [--max-in-flight N] [--queue-depth N] [--queue-wait-ms MS]
+//!              [--rate-default RPS[:BURST]] [--rate KEY=RPS[:BURST] ...]
+//!              [--quota KEY=N ...] [KEY=PATH.dssd ...]
 //!
 //!   --listen ADDR   address to bind (default 127.0.0.1:7878; port 0 picks
 //!                   an ephemeral port, printed on startup)
@@ -20,6 +22,22 @@
 //!                   their own DDI graph (severity defaults by sign).
 //!   KEY=PATH        load PATH (a DecisionService::save file) under the
 //!                   routing key KEY; repeatable
+//!
+//! Admission control (all opt-in; excess load is shed with typed
+//! `Overloaded` error frames instead of stalling or collapsing):
+//!
+//!   --max-in-flight N       at most N routed calls execute concurrently
+//!                           across the gateway
+//!   --queue-depth N         callers allowed to wait for a free slot when
+//!                           all are busy (default 0: shed immediately)
+//!   --queue-wait-ms MS      longest a queued caller waits before it is
+//!                           shed (default 100 ms)
+//!   --rate-default RPS[:BURST]  token-bucket rate limit for every shard
+//!                           without an explicit --rate (BURST defaults to
+//!                           one second of RPS)
+//!   --rate KEY=RPS[:BURST]  per-shard rate limit; repeatable
+//!   --quota KEY=N           at most N routed calls in flight for one
+//!                           shard; repeatable
 //! ```
 //!
 //! On startup the gateway prints exactly one line
@@ -28,9 +46,10 @@
 //! `Shutdown` message.
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use dssddi_serving::demo::{demo_catalog, DEMO_SEED};
-use dssddi_serving::{ModelCatalog, ModelKey, Router, Server};
+use dssddi_serving::{AdmissionConfig, ModelCatalog, ModelKey, RateLimit, Router, Server};
 
 struct Args {
     listen: String,
@@ -38,14 +57,39 @@ struct Args {
     seed: u64,
     models: Vec<(String, String)>,
     kbs: Vec<(String, String)>,
+    admission: AdmissionConfig,
 }
 
 fn usage() -> &'static str {
     "usage: dssddi-serve [--listen ADDR] [--demo] [--seed S] \
-     [--kb KEY=PATH.dskb ...] [KEY=PATH.dssd ...]\n\
+     [--kb KEY=PATH.dskb ...] [--max-in-flight N] [--queue-depth N] \
+     [--queue-wait-ms MS] [--rate-default RPS[:BURST]] \
+     [--rate KEY=RPS[:BURST] ...] [--quota KEY=N ...] [KEY=PATH.dssd ...]\n\
      serve trained DSSD model files (or the --demo catalog) over TCP, each \
      paired with a clinical knowledge base (--kb, or seeded from the \
-     shard's DDI graph)"
+     shard's DDI graph); admission flags shed excess load with typed \
+     Overloaded errors instead of stalling"
+}
+
+/// Parses `RPS` or `RPS:BURST` into a validated rate limit (burst defaults
+/// to one second of the rate).
+fn parse_rate(spec: &str) -> Result<RateLimit, String> {
+    let (rate, burst) = match spec.split_once(':') {
+        Some((rate, burst)) => (
+            rate.parse::<f64>()
+                .map_err(|e| format!("invalid rate {rate:?}: {e}"))?,
+            burst
+                .parse::<f64>()
+                .map_err(|e| format!("invalid burst {burst:?}: {e}"))?,
+        ),
+        None => {
+            let rate = spec
+                .parse::<f64>()
+                .map_err(|e| format!("invalid rate {spec:?}: {e}"))?;
+            (rate, rate)
+        }
+    };
+    RateLimit::new(rate, burst).map_err(|e| e.to_string())
 }
 
 fn parse_args(args: &[String]) -> Result<Args, String> {
@@ -55,6 +99,10 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         seed: DEMO_SEED,
         models: Vec::new(),
         kbs: Vec::new(),
+        admission: AdmissionConfig {
+            queue_wait: Duration::from_millis(100),
+            ..AdmissionConfig::default()
+        },
     };
     let mut i = 0;
     while i < args.len() {
@@ -82,6 +130,68 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     .ok_or("--seed needs a number argument")?
                     .parse()
                     .map_err(|e| format!("invalid --seed: {e}"))?;
+            }
+            "--max-in-flight" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .ok_or("--max-in-flight needs a number argument")?
+                    .parse()
+                    .map_err(|e| format!("invalid --max-in-flight: {e}"))?;
+                if n == 0 {
+                    return Err("--max-in-flight must be at least 1".to_string());
+                }
+                parsed.admission.max_in_flight = Some(n);
+            }
+            "--queue-depth" => {
+                i += 1;
+                parsed.admission.max_queue_depth = args
+                    .get(i)
+                    .ok_or("--queue-depth needs a number argument")?
+                    .parse()
+                    .map_err(|e| format!("invalid --queue-depth: {e}"))?;
+            }
+            "--queue-wait-ms" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .ok_or("--queue-wait-ms needs a number argument")?
+                    .parse()
+                    .map_err(|e| format!("invalid --queue-wait-ms: {e}"))?;
+                parsed.admission.queue_wait = Duration::from_millis(ms);
+            }
+            "--rate-default" => {
+                i += 1;
+                let spec = args
+                    .get(i)
+                    .ok_or("--rate-default needs an RPS[:BURST] argument")?;
+                parsed.admission.default_rate = Some(parse_rate(spec)?);
+            }
+            "--rate" => {
+                i += 1;
+                let spec = args
+                    .get(i)
+                    .ok_or("--rate needs a KEY=RPS[:BURST] argument")?;
+                let (key, rate) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("invalid --rate {spec:?} (expected KEY=RPS[:BURST])"))?;
+                let key = ModelKey::new(key).map_err(|e| e.to_string())?;
+                parsed.admission.rates.push((key, parse_rate(rate)?));
+            }
+            "--quota" => {
+                i += 1;
+                let spec = args.get(i).ok_or("--quota needs a KEY=N argument")?;
+                let (key, quota) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("invalid --quota {spec:?} (expected KEY=N)"))?;
+                let key = ModelKey::new(key).map_err(|e| e.to_string())?;
+                let quota: u64 = quota
+                    .parse()
+                    .map_err(|e| format!("invalid --quota count: {e}"))?;
+                if quota == 0 {
+                    return Err("--quota must be at least 1".to_string());
+                }
+                parsed.admission.quotas.push((key, quota));
             }
             "--help" | "-h" => return Err(usage().to_string()),
             other => {
@@ -145,7 +255,20 @@ fn main() -> ExitCode {
         }
     };
     let keys: Vec<String> = catalog.keys().iter().map(|k| k.to_string()).collect();
-    let server = match Server::bind(args.listen.as_str(), Router::new(catalog)) {
+    if !args.admission.is_unlimited() {
+        eprintln!(
+            "dssddi-serve: admission control armed (max in flight {:?}, queue depth {}, \
+             queue wait {:?}, default rate {:?}, {} per-shard rates, {} quotas)",
+            args.admission.max_in_flight,
+            args.admission.max_queue_depth,
+            args.admission.queue_wait,
+            args.admission.default_rate,
+            args.admission.rates.len(),
+            args.admission.quotas.len(),
+        );
+    }
+    let router = Router::with_admission(catalog, args.admission.clone());
+    let server = match Server::bind(args.listen.as_str(), router) {
         Ok(server) => server,
         Err(error) => {
             eprintln!("dssddi-serve: cannot bind {}: {error}", args.listen);

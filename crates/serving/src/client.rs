@@ -10,16 +10,71 @@
 //! machine-readable [`crate::ErrorCode`], so callers can branch on the
 //! failure class (`UnknownModel` vs `InvalidInput` vs `NotFitted` ...)
 //! without parsing messages.
+//!
+//! ## Retrying shed requests
+//!
+//! A gateway under admission control answers excess load with typed
+//! [`ErrorCode::Overloaded`] frames. Those requests never executed, so
+//! retrying is safe — and because the error arrives as a well-formed frame
+//! the connection stays aligned, so the retry reuses the same socket. A
+//! client opts in with [`Client::set_retry_policy`]; retries back off
+//! exponentially with jitter (so a fleet of rejected clients does not
+//! return in lock-step) and give up after a bounded number of attempts.
+//! Only `Overloaded` is retried: every other failure class is either a
+//! caller bug (`InvalidInput`), a deployment problem (`UnknownModel`) or a
+//! transport failure where the request may have executed.
 
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use dssddi_core::{CheckPrescriptionRequest, InteractionReport, SuggestRequest, SuggestResponse};
 use dssddi_kb::KbInfo;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use crate::router::{ModelInfo, ModelKey, ModelStats};
-use crate::wire::{self, RequestRef, Response, WireError};
+use crate::wire::{self, ErrorCode, RequestRef, Response, WireError};
 use crate::ServingError;
+
+/// Bounded, jittered exponential backoff for retrying `Overloaded`
+/// rejections (opt-in via [`Client::set_retry_policy`]).
+///
+/// Attempt `k` (1-based) sleeps `min(max_delay, base_delay * 2^(k-1))`
+/// scaled by a uniform jitter factor in `[0.5, 1.0)` before retrying.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RetryPolicy {
+    /// Total attempts including the first (so `1` disables retrying;
+    /// clamped to at least 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry (pre-jitter).
+    pub base_delay: Duration,
+    /// Upper bound on any single backoff (pre-jitter).
+    pub max_delay: Duration,
+}
+
+impl RetryPolicy {
+    /// A policy with the given bounds (`max_attempts` counts the first
+    /// attempt and is clamped to at least 1).
+    pub fn new(max_attempts: u32, base_delay: Duration, max_delay: Duration) -> Self {
+        Self {
+            max_attempts: max_attempts.max(1),
+            base_delay,
+            max_delay,
+        }
+    }
+
+    /// The jittered backoff before retry number `attempt` (1-based: the
+    /// retry after the first failed attempt is `attempt == 1`).
+    fn backoff(&self, attempt: u32, rng: &mut StdRng) -> Duration {
+        let exp = attempt.saturating_sub(1).min(32);
+        let uncapped = self
+            .base_delay
+            .saturating_mul(2u32.saturating_pow(exp))
+            .min(self.max_delay);
+        let jitter = rng.gen_range(0.5f64..1.0);
+        Duration::from_secs_f64(uncapped.as_secs_f64() * jitter)
+    }
+}
 
 /// A blocking connection to a `dssddi-serve` gateway.
 #[derive(Debug)]
@@ -30,6 +85,9 @@ pub struct Client {
     /// reading the *next* frame could deliver a stale answer to the wrong
     /// request — every later call fails fast instead of risking that.
     poisoned: bool,
+    /// Retry policy for `Overloaded` rejections plus the jitter RNG
+    /// (`None` = fail fast, the default).
+    retry: Option<(RetryPolicy, StdRng)>,
 }
 
 impl Client {
@@ -45,6 +103,7 @@ impl Client {
         Ok(Self {
             stream,
             poisoned: false,
+            retry: None,
         })
     }
 
@@ -98,6 +157,7 @@ impl Client {
         let client = Self {
             stream,
             poisoned: false,
+            retry: None,
         };
         client.set_read_timeout(Some(timeout))?;
         Ok(client)
@@ -115,6 +175,14 @@ impl Client {
             })
     }
 
+    /// Arms (or with `None` disarms) retrying of `Overloaded` rejections
+    /// with jittered exponential backoff. `seed` drives the jitter: fixed
+    /// in tests for reproducible schedules, distinct per client in a fleet
+    /// so rejected clients do not retry in lock-step.
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>, seed: u64) {
+        self.retry = policy.map(|p| (p, StdRng::seed_from_u64(seed)));
+    }
+
     /// One request/response exchange; remote error frames become
     /// [`ServingError::Remote`]. The borrowed view means no request payload
     /// (feature vectors included) is ever cloned just to be encoded.
@@ -124,6 +192,10 @@ impl Client {
     /// the *next* request would silently return wrong clinical results.
     /// (Typed `Remote` error frames keep the stream aligned and do not
     /// poison.) A poisoned client fails every call; reconnect to recover.
+    ///
+    /// With a [`RetryPolicy`] armed, `Overloaded` rejections are retried
+    /// on the same connection (the error frame kept the stream aligned and
+    /// the request never executed) up to the policy's attempt budget.
     fn call(&mut self, request: RequestRef<'_>) -> Result<Response, ServingError> {
         if self.poisoned {
             return Err(ServingError::Protocol {
@@ -132,14 +204,31 @@ impl Client {
                     .to_string(),
             });
         }
-        let result = self.exchange(request);
-        if matches!(
-            result,
-            Err(ServingError::Wire(_)) | Err(ServingError::Io { .. })
-        ) {
-            self.poisoned = true;
+        let mut attempt = 0u32;
+        loop {
+            attempt += 1;
+            let result = self.exchange(request);
+            if matches!(
+                result,
+                Err(ServingError::Wire(_)) | Err(ServingError::Io { .. })
+            ) {
+                self.poisoned = true;
+            }
+            let overloaded = matches!(
+                result,
+                Err(ServingError::Remote {
+                    code: ErrorCode::Overloaded,
+                    ..
+                })
+            );
+            match self.retry.as_mut() {
+                Some((policy, rng)) if overloaded && attempt < policy.max_attempts => {
+                    let backoff = policy.backoff(attempt, rng);
+                    std::thread::sleep(backoff);
+                }
+                _ => return result,
+            }
         }
-        result
     }
 
     fn exchange(&mut self, request: RequestRef<'_>) -> Result<Response, ServingError> {

@@ -66,13 +66,15 @@ use std::fmt;
 use dssddi_core::CoreError;
 use dssddi_kb::KbError;
 
+pub mod admission;
 pub mod client;
 pub mod demo;
 pub mod router;
 pub mod server;
 pub mod wire;
 
-pub use client::Client;
+pub use admission::{AdmissionConfig, RateLimit, TokenBucket};
+pub use client::{Client, RetryPolicy};
 pub use dssddi_kb::{AlertPolicy, KbInfo, KnowledgeBase, Severity};
 pub use router::{ModelCatalog, ModelInfo, ModelKey, ModelStats, Router};
 pub use server::Server;
@@ -115,6 +117,16 @@ pub enum ServingError {
     Core(CoreError),
     /// A wire frame could not be written, read or decoded.
     Wire(WireError),
+    /// Admission control shed the request before it reached a model: the
+    /// shard's token bucket or quota was exhausted, or the gateway's
+    /// bounded request queue was full. The request never executed, so
+    /// retrying after a backoff is safe (see [`client::RetryPolicy`]).
+    Overloaded {
+        /// The shard the request targeted ("*" for the global queue).
+        key: String,
+        /// Which limit shed the request.
+        what: String,
+    },
     /// A socket-level failure outside frame I/O (bind, connect, accept).
     Io {
         /// Description including the underlying error.
@@ -157,6 +169,9 @@ impl fmt::Display for ServingError {
             ServingError::Kb(e) => write!(f, "knowledge base error: {e}"),
             ServingError::Core(e) => write!(f, "service error: {e}"),
             ServingError::Wire(e) => write!(f, "wire protocol error: {e}"),
+            ServingError::Overloaded { key, what } => {
+                write!(f, "overloaded: request for model {key:?} shed ({what})")
+            }
             ServingError::Io { what } => write!(f, "i/o error: {what}"),
             ServingError::Remote { code, message } => {
                 write!(f, "server error ({code}): {message}")

@@ -36,6 +36,7 @@ use dssddi_core::{
 use dssddi_data::DrugRegistry;
 use dssddi_kb::{KbInfo, KnowledgeBase};
 
+use crate::admission::{AdmissionConfig, GlobalQueue, TokenBucket};
 use crate::wire::{self, ErrorCode, Request, Response};
 use crate::ServingError;
 
@@ -151,6 +152,17 @@ pub struct ModelStats {
     pub p50_ms: f64,
     /// 99th-percentile routed-call latency in milliseconds over the window.
     pub p99_ms: f64,
+    /// Individual requests shed by admission control (rate limit, in-flight
+    /// quota or full gateway queue) before reaching the model. Shed
+    /// requests never executed, so they count neither as `requests` nor as
+    /// `errors`.
+    pub shed_requests: u64,
+    /// Routed calls currently executing (or queued) against this shard — a
+    /// gauge, not a counter.
+    pub in_flight: u64,
+    /// Most callers ever observed waiting in the gateway's bounded request
+    /// queue when a call for this shard was admitted.
+    pub queue_depth_hwm: u64,
 }
 
 impl ModelStats {
@@ -223,6 +235,19 @@ struct ModelEntry {
     errors: AtomicU64,
     errors_by_code: [AtomicU64; ErrorCode::ALL.len()],
     latencies: Mutex<LatencyWindow>,
+    /// Individual requests shed by admission control before execution.
+    shed: AtomicU64,
+    /// Routed calls currently executing (or queued) against this shard.
+    in_flight: AtomicU64,
+    /// High-water mark of the gateway queue depth observed by this shard's
+    /// admitted calls.
+    queue_hwm: AtomicU64,
+    /// Token bucket of the shard's rate limit (`None` = unlimited),
+    /// configured by [`Router::with_admission`].
+    bucket: Mutex<Option<TokenBucket>>,
+    /// In-flight quota of the shard (`None` = unlimited), configured by
+    /// [`Router::with_admission`].
+    quota: Option<u64>,
 }
 
 impl ModelEntry {
@@ -234,6 +259,11 @@ impl ModelEntry {
             errors: AtomicU64::new(0),
             errors_by_code: std::array::from_fn(|_| AtomicU64::new(0)),
             latencies: Mutex::new(LatencyWindow::new()),
+            shed: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            queue_hwm: AtomicU64::new(0),
+            bucket: Mutex::new(None),
+            quota: None,
         }
     }
 
@@ -281,6 +311,9 @@ impl ModelEntry {
             cache_misses: cache_misses as u64,
             p50_ms,
             p99_ms,
+            shed_requests: self.shed.load(Ordering::Relaxed),
+            in_flight: self.in_flight.load(Ordering::Relaxed),
+            queue_depth_hwm: self.queue_hwm.load(Ordering::Relaxed),
         }
     }
 
@@ -462,23 +495,123 @@ impl fmt::Debug for ModelCatalog {
     }
 }
 
+/// Releases a routed call's admission state when the call finishes (or the
+/// calling thread unwinds): decrements the shard's in-flight gauge and
+/// frees the gateway queue slot the call held.
+struct AdmissionGuard<'a> {
+    entry: &'a ModelEntry,
+    queue: Option<&'a GlobalQueue>,
+}
+
+impl Drop for AdmissionGuard<'_> {
+    fn drop(&mut self) {
+        self.entry.in_flight.fetch_sub(1, Ordering::Relaxed);
+        if let Some(queue) = self.queue {
+            queue.release();
+        }
+    }
+}
+
 /// Routes typed requests to the right catalog shard and records per-model
 /// serving statistics. The router is `Sync`: one instance serves all
 /// connection threads of a gateway, including the hot-reload operations.
+///
+/// Admission control (see [`crate::admission`]) is opt-in through
+/// [`Router::with_admission`]: data-plane requests (`Suggest`,
+/// `SuggestBatch`, `CheckPrescription`) pass the shard's token bucket, the
+/// shard's in-flight quota and the gateway's bounded request queue before
+/// they execute, and are shed with a typed
+/// [`ServingError::Overloaded`] otherwise. Control-plane messages
+/// (`ListModels`, `Stats`, reloads, `KbInfo`, `Shutdown`) bypass admission
+/// so operators can always observe and repair an overloaded gateway.
 #[derive(Debug)]
 pub struct Router {
     catalog: ModelCatalog,
+    /// Bounded gateway-wide request queue (`None` = unbounded).
+    queue: Option<GlobalQueue>,
+    /// Epoch of the token buckets' timestamps.
+    origin: Instant,
 }
 
 impl Router {
-    /// A router over a catalog.
+    /// A router over a catalog with no admission limits (every request is
+    /// admitted; the in-flight gauge is still maintained).
     pub fn new(catalog: ModelCatalog) -> Self {
-        Self { catalog }
+        Self::with_admission(catalog, AdmissionConfig::default())
+    }
+
+    /// A router over a catalog with admission control: per-model token
+    /// buckets and in-flight quotas from `config`, plus the bounded global
+    /// request queue when `config.max_in_flight` is set.
+    pub fn with_admission(mut catalog: ModelCatalog, config: AdmissionConfig) -> Self {
+        for (key, entry) in catalog.models.iter_mut() {
+            entry.bucket = Mutex::new(config.rate_for(key).map(|limit| TokenBucket::new(limit, 0)));
+            entry.quota = config.quota_for(key);
+        }
+        let queue = config
+            .max_in_flight
+            .map(|slots| GlobalQueue::new(slots, config.max_queue_depth, config.queue_wait));
+        Self {
+            catalog,
+            queue,
+            origin: Instant::now(),
+        }
     }
 
     /// The catalog behind the router.
     pub fn catalog(&self) -> &ModelCatalog {
         &self.catalog
+    }
+
+    /// Nanoseconds since the router's construction — the timestamp domain
+    /// of its token buckets.
+    fn origin_nanos(&self) -> u64 {
+        self.origin.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64
+    }
+
+    /// Admits (or sheds) one routed call of `n_requests` individual
+    /// requests against a shard. On admission the returned guard holds the
+    /// shard's in-flight slot and the gateway queue slot until dropped; on
+    /// shed the shard's `shed_requests` counter grows by `n_requests` and
+    /// the caller gets a typed [`ServingError::Overloaded`].
+    fn admit<'a>(
+        &'a self,
+        key: &ModelKey,
+        entry: &'a ModelEntry,
+        n_requests: u64,
+    ) -> Result<AdmissionGuard<'a>, ServingError> {
+        let shed = |what: &str| {
+            entry.shed.fetch_add(n_requests, Ordering::Relaxed);
+            Err(ServingError::Overloaded {
+                key: key.as_str().to_string(),
+                what: what.to_string(),
+            })
+        };
+        if let Some(bucket) = relock(entry.bucket.lock()).as_mut() {
+            if !bucket.try_acquire_at(n_requests as f64, self.origin_nanos()) {
+                return shed("per-model rate limit exhausted");
+            }
+        }
+        let prior = entry.in_flight.fetch_add(1, Ordering::Relaxed);
+        if entry.quota.is_some_and(|quota| prior >= quota) {
+            entry.in_flight.fetch_sub(1, Ordering::Relaxed);
+            return shed("per-model in-flight quota exhausted");
+        }
+        if let Some(queue) = &self.queue {
+            match queue.acquire() {
+                Ok(depth) => {
+                    entry.queue_hwm.fetch_max(depth as u64, Ordering::Relaxed);
+                }
+                Err(()) => {
+                    entry.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    return shed("gateway request queue full");
+                }
+            }
+        }
+        Ok(AdmissionGuard {
+            entry,
+            queue: self.queue.as_ref(),
+        })
     }
 
     /// Runs one call against a resolved shard entry, recording request
@@ -495,15 +628,18 @@ impl Router {
         result
     }
 
-    /// [`Router::call_entry`] behind a key lookup — no latency sample; the
-    /// caller owns the sample point.
+    /// [`Router::call_entry`] behind a key lookup and admission control —
+    /// no latency sample; the caller owns the sample point. Shed calls
+    /// never reach the shard and record neither requests nor latency.
     fn routed_core<T>(
         &self,
         key: &ModelKey,
         n_requests: u64,
         call: impl FnOnce(&DecisionService, &KnowledgeBase) -> Result<T, dssddi_core::CoreError>,
     ) -> Result<T, ServingError> {
-        Self::call_entry(self.catalog.entry(key)?, n_requests, call)
+        let entry = self.catalog.entry(key)?;
+        let _guard = self.admit(key, entry, n_requests)?;
+        Self::call_entry(entry, n_requests, call)
     }
 
     /// Runs one routed call against a shard, recording request count,
@@ -517,6 +653,7 @@ impl Router {
         call: impl FnOnce(&DecisionService, &KnowledgeBase) -> Result<T, dssddi_core::CoreError>,
     ) -> Result<T, ServingError> {
         let entry = self.catalog.entry(key)?;
+        let _guard = self.admit(key, entry, n_requests)?;
         let start = Instant::now();
         let result = Self::call_entry(entry, n_requests, call);
         entry.record_latency(elapsed_micros(start));
@@ -757,6 +894,9 @@ mod tests {
             cache_misses: 0,
             p50_ms: 0.0,
             p99_ms: 0.0,
+            shed_requests: 0,
+            in_flight: 0,
+            queue_depth_hwm: 0,
         };
         assert_eq!(stats.cache_hit_rate(), 0.0);
         let stats = ModelStats {

@@ -35,6 +35,14 @@
 //! ship the complete `DSSD`/`DSKB` container in the frame, so the artifact
 //! the gateway validates is exactly the artifact the operator built.
 //!
+//! The admission-control subsystem extended the protocol the same way:
+//! a new error code `Overloaded` (8) — the typed load-shed reply a gateway
+//! under its configured rate limits, quotas or queue bound sends instead of
+//! stalling or dropping the connection (the request was never executed, so
+//! a backoff-and-retry is always safe) — and three appended fields in the
+//! `Stats` body (`shed_requests`, `in_flight`, `queue_depth_hwm`). The
+//! same single-build compatibility caveat applies.
+//!
 //! Decoding is fully defensive: truncated frames, flipped bits (caught by
 //! the CRC), foreign magic bytes, future protocol versions, unknown message
 //! tags and oversized declared lengths all produce typed [`WireError`]s —
@@ -153,15 +161,20 @@ pub enum ErrorCode {
     /// damaged, version-mismatched or described the wrong formulary — the
     /// reload failure class.
     Persistence,
+    /// Admission control shed the request: the gateway (or the routed
+    /// shard) is at its configured rate limit, quota or queue bound. The
+    /// request was never executed — retrying after a backoff is safe and is
+    /// what `Client`'s opt-in retry policy does.
+    Overloaded,
     /// Any other server-side failure.
     Internal,
 }
 
 impl ErrorCode {
     /// Every error code, in tag order — the stats breakdown iterates this.
-    /// (`Persistence` was added after `Internal` and keeps v1 tag values
-    /// stable, so it sorts last.)
-    pub const ALL: [ErrorCode; 7] = [
+    /// (`Persistence` and `Overloaded` were added after `Internal` and keep
+    /// earlier tag values stable, so they sort last.)
+    pub const ALL: [ErrorCode; 8] = [
         ErrorCode::Malformed,
         ErrorCode::UnknownModel,
         ErrorCode::UnknownDrug,
@@ -169,6 +182,7 @@ impl ErrorCode {
         ErrorCode::NotFitted,
         ErrorCode::Internal,
         ErrorCode::Persistence,
+        ErrorCode::Overloaded,
     ];
 
     /// Position of this code in [`ErrorCode::ALL`] (dense counter index).
@@ -184,6 +198,7 @@ impl ErrorCode {
             ServingError::UnknownModel { .. } => ErrorCode::UnknownModel,
             ServingError::Wire(_) | ServingError::Protocol { .. } => ErrorCode::Malformed,
             ServingError::Kb(_) | ServingError::FormularyMismatch { .. } => ErrorCode::Persistence,
+            ServingError::Overloaded { .. } => ErrorCode::Overloaded,
             ServingError::Core(CoreError::UnknownDrug { .. }) => ErrorCode::UnknownDrug,
             ServingError::Core(CoreError::NotFitted { .. }) => ErrorCode::NotFitted,
             ServingError::Core(CoreError::Persistence { .. }) => ErrorCode::Persistence,
@@ -202,6 +217,7 @@ impl ErrorCode {
             ErrorCode::NotFitted => 5,
             ErrorCode::Internal => 6,
             ErrorCode::Persistence => 7,
+            ErrorCode::Overloaded => 8,
         }
     }
 
@@ -214,6 +230,7 @@ impl ErrorCode {
             5 => ErrorCode::NotFitted,
             6 => ErrorCode::Internal,
             7 => ErrorCode::Persistence,
+            8 => ErrorCode::Overloaded,
             other => {
                 return Err(SerdeError::Corrupt {
                     what: format!("unknown error code {other}"),
@@ -232,6 +249,7 @@ impl fmt::Display for ErrorCode {
             ErrorCode::InvalidInput => "invalid-input",
             ErrorCode::NotFitted => "not-fitted",
             ErrorCode::Persistence => "persistence",
+            ErrorCode::Overloaded => "overloaded",
             ErrorCode::Internal => "internal",
         };
         f.write_str(name)
@@ -751,6 +769,9 @@ fn put_model_stats(w: &mut ByteWriter, stats: &ModelStats) {
     w.put_u64(stats.cache_misses);
     w.put_f64(stats.p50_ms);
     w.put_f64(stats.p99_ms);
+    w.put_u64(stats.shed_requests);
+    w.put_u64(stats.in_flight);
+    w.put_u64(stats.queue_depth_hwm);
 }
 
 fn take_model_stats(r: &mut ByteReader<'_>) -> Result<ModelStats, SerdeError> {
@@ -771,6 +792,9 @@ fn take_model_stats(r: &mut ByteReader<'_>) -> Result<ModelStats, SerdeError> {
         cache_misses: r.take_u64("stats.cache_misses")?,
         p50_ms: r.take_f64("stats.p50_ms")?,
         p99_ms: r.take_f64("stats.p99_ms")?,
+        shed_requests: r.take_u64("stats.shed_requests")?,
+        in_flight: r.take_u64("stats.in_flight")?,
+        queue_depth_hwm: r.take_u64("stats.queue_depth_hwm")?,
     })
 }
 

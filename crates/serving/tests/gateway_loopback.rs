@@ -228,6 +228,12 @@ fn every_message_type_is_byte_identical_to_in_process_serving() {
     assert!(fitted_stats.p50_ms >= 0.0 && fitted_stats.p99_ms >= fitted_stats.p50_ms);
     let rate = fitted_stats.cache_hit_rate();
     assert!((0.0..=1.0).contains(&rate));
+    // Admission-control fields: no limits are configured on this gateway,
+    // so nothing was shed and no queueing happened — and with this client
+    // idle, nothing is in flight when Stats is served.
+    assert_eq!(fitted_stats.shed_requests, 0);
+    assert_eq!(fitted_stats.in_flight, 0);
+    assert_eq!(fitted_stats.queue_depth_hwm, 0);
 
     // --- Clean shutdown -------------------------------------------------
     client.shutdown().expect("clean shutdown");

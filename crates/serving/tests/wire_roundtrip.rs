@@ -281,9 +281,19 @@ fn arb_model_stats() -> impl Strategy<Value = ModelStats> {
         any::<u64>(),
         arb_f64_bits(),
         arb_f64_bits(),
+        (any::<u64>(), any::<u64>(), any::<u64>()),
     )
         .prop_map(
-            |(requests, errors, errors_by_code, cache_hits, cache_misses, p50_ms, p99_ms)| {
+            |(
+                requests,
+                errors,
+                errors_by_code,
+                cache_hits,
+                cache_misses,
+                p50_ms,
+                p99_ms,
+                (shed_requests, in_flight, queue_depth_hwm),
+            )| {
                 ModelStats {
                     requests,
                     errors,
@@ -292,6 +302,9 @@ fn arb_model_stats() -> impl Strategy<Value = ModelStats> {
                     cache_misses,
                     p50_ms,
                     p99_ms,
+                    shed_requests,
+                    in_flight,
+                    queue_depth_hwm,
                 }
             },
         )

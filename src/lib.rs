@@ -24,6 +24,10 @@
 //!   [`ModelCatalog`](serving::ModelCatalog)/[`Router`](serving::Router) over
 //!   several fitted services, a versioned binary wire protocol, the
 //!   `dssddi-serve` server binary and a blocking [`Client`](serving::Client),
+//! * [`loadgen`] — the open-loop traffic generator (`dssddi-loadgen`
+//!   binary): Poisson arrivals of mixed clinical traffic with Zipf
+//!   hot-shard skew, replayed against a live gateway with an
+//!   achieved-throughput-vs-SLO report,
 //! * [`baselines`] — the comparison methods of the paper's evaluation.
 //!
 //! ## Quickstart
@@ -114,6 +118,46 @@
 //! see the [`serving`] crate docs for the wire protocol's frame layout
 //! (magic `DSWR`, version, payload length, CRC-32) and the
 //! `serve_client` example for the full network round trip.
+//!
+//! ## Admission control and traffic simulation
+//!
+//! A gateway facing open-loop traffic (arrivals that do not slow down
+//! when the server does) must shed load *before* its queues collapse.
+//! `dssddi-serve` arms admission control with
+//! [`AdmissionConfig`](serving::AdmissionConfig)-backed flags — per-model
+//! token-bucket rate limits (`--rate-default RPS[:BURST]`,
+//! `--rate KEY=RPS[:BURST]`), per-model in-flight quotas
+//! (`--quota KEY=N`) and a bounded gateway-wide execution queue
+//! (`--max-in-flight N`, `--queue-depth N`, `--queue-wait-ms MS`).
+//! Rejected requests fail fast with the typed
+//! [`ErrorCode::Overloaded`](serving::ErrorCode) wire error — the
+//! connection survives, admitted traffic keeps its latency, and every
+//! shed is counted in [`ModelStats`](serving::ModelStats)
+//! (`shed_requests`, alongside the `in_flight` gauge and
+//! `queue_depth_hwm` high-water mark). Clients opt into bounded,
+//! jitter-backed retries with
+//! [`Client::set_retry_policy`](serving::Client::set_retry_policy)
+//! ([`RetryPolicy`](serving::RetryPolicy)); only `Overloaded` rejections
+//! are retried — the request never executed, so a retry is safe.
+//!
+//! The other half is measurement: `dssddi-loadgen` (the [`loadgen`]
+//! crate) drives a live gateway with an open-loop Poisson schedule —
+//! latency measured from each request's *scheduled* start so
+//! coordinated omission cannot hide queueing — over a mixed workload
+//! (suggestions, batches, critiques, rare KB reloads) with Zipf
+//! hot-shard skew across the catalog:
+//!
+//! ```text
+//! dssddi-serve --listen 127.0.0.1:4547 --demo --rate-default 400:100 &
+//! dssddi-loadgen --addr 127.0.0.1:4547 --connections 1,64,256 \
+//!     --rate 800 --duration-s 5 --slo-p99-ms 50 --append BENCH_serving.json
+//! ```
+//!
+//! Each run prints the shed/ok accounting per operation kind
+//! (cross-checked against the gateway's own `Stats` counters), the
+//! admitted-frame percentiles from a log-bucketed histogram, and an
+//! SLO verdict; `--append` splices `loadgen_c{N}` entries into
+//! `BENCH_serving.json` under the existing schema.
 //!
 //! ## Clinical knowledge base (`DSKB` files, severity-graded critique)
 //!
@@ -220,7 +264,11 @@
 //! (explanation cache cleared before every batch) against
 //! `suggest_batch_memoized` (steady state), and `predict_scores_taped`
 //! against `predict_scores_tape_free` for the pure model-inference
-//! speedup. Criterion benches covering the same paths live in
+//! speedup. The `loadgen_c{N}` entries are different in kind: produced
+//! by the open-loop generator against an admission-limited gateway at
+//! ~2x capacity, they record *delivered* throughput and admitted-frame
+//! percentiles while the excess is shed with typed `Overloaded`
+//! rejections. Criterion benches covering the same paths live in
 //! `crates/bench/benches/service_serving.rs`
 //! (`cargo bench -p dssddi-bench`); CI smoke-runs them with
 //! `cargo bench -- --test`.
@@ -245,6 +293,7 @@ pub use dssddi_data as data;
 pub use dssddi_gnn as gnn;
 pub use dssddi_graph as graph;
 pub use dssddi_kb as kb;
+pub use dssddi_loadgen as loadgen;
 pub use dssddi_ml as ml;
 pub use dssddi_serving as serving;
 pub use dssddi_tensor as tensor;
@@ -270,9 +319,11 @@ pub mod prelude {
     pub use dssddi_kb::{
         AlertPolicy, EvidenceLevel, KbDiff, KbError, KbFact, KbInfo, KnowledgeBase, Severity,
     };
+    pub use dssddi_loadgen::{LoadgenConfig, LoadgenReport, WorkloadMix};
     pub use dssddi_ml::{ndcg_at_k, precision_at_k, ranking_metrics, recall_at_k, top_k_indices};
     pub use dssddi_serving::{
-        Client, ModelCatalog, ModelInfo, ModelKey, ModelStats, Router, Server, ServingError,
+        AdmissionConfig, Client, ModelCatalog, ModelInfo, ModelKey, ModelStats, RateLimit,
+        RetryPolicy, Router, Server, ServingError,
     };
     pub use dssddi_tensor::Matrix;
 }
