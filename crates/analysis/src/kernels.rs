@@ -1,0 +1,215 @@
+//! Pass 4: the scratch-pool kernel convention check.
+//!
+//! Every `*_into` kernel in `crates/tensor` and `crates/gnn` writes into a
+//! caller-provided buffer (usually scratch from
+//! `dssddi_tensor::ScratchPool`). Two conventions make that safe at scale:
+//! the output buffer is the **first** non-`self` parameter (KERNEL001), and
+//! the doc comment carries the literal `fully overwrites` marker promising
+//! the caller need not zero the buffer (KERNEL002).
+//!
+//! A `*_into` function only counts as a kernel when it takes a `&mut`
+//! parameter of a buffer type (`Matrix`, `Vec`, `[f32]`/`[f64]` slices).
+//! Serialization helpers like `write_into(&mut ByteWriter)` are therefore
+//! out of scope by construction.
+
+use crate::findings::{Finding, FindingCode};
+use crate::lexer::{in_regions, test_regions, Comment, Token};
+use crate::workspace::SourceTree;
+
+/// Buffer type names that mark a parameter as a kernel output candidate.
+const BUFFER_TYPES: [&str; 4] = ["Matrix", "Vec", "f32", "f64"];
+
+/// Default path prefixes the pass scans.
+pub const DEFAULT_PREFIXES: [&str; 2] = ["crates/tensor/src/", "crates/gnn/src/"];
+
+/// Runs the kernel-convention pass over files under `DEFAULT_PREFIXES`.
+pub fn check(tree: &SourceTree) -> Vec<Finding> {
+    check_with_prefixes(tree, &DEFAULT_PREFIXES)
+}
+
+/// Runs the pass over files under the given path prefixes (fixture tests
+/// pass their own).
+pub fn check_with_prefixes(tree: &SourceTree, prefixes: &[&str]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    for file in tree.with_prefixes(prefixes) {
+        let tokens = &file.lexed.tokens;
+        let skip = test_regions(tokens);
+        for span in crate::lexer::function_spans(tokens) {
+            if !span.name.ends_with("_into") || in_regions(&skip, span.fn_tok) {
+                continue;
+            }
+            let params = split_params(tokens, span.params_open, span.params_close);
+            // Which params are `&mut <buffer type>`?
+            let buffer_flags: Vec<bool> = params
+                .iter()
+                .map(|p| is_mut_buffer_param(tokens, p))
+                .collect();
+            if !buffer_flags.iter().any(|&b| b) {
+                // Not a scratch-buffer kernel (e.g. write_into(&mut ByteWriter)).
+                continue;
+            }
+            // First non-self parameter must be the (first) buffer param.
+            let first_non_self = params
+                .iter()
+                .position(|p| !is_self_param(tokens, p))
+                .unwrap_or(params.len());
+            let first_buffer = buffer_flags.iter().position(|&b| b).unwrap_or(params.len());
+            if first_buffer != first_non_self {
+                findings.push(Finding::new(
+                    FindingCode::Kernel001,
+                    &file.rel,
+                    span.line,
+                    format!(
+                        "`{}` takes its output buffer at position {} (expected first non-self parameter)",
+                        span.name,
+                        first_buffer + 1
+                    ),
+                ));
+            }
+            // Doc marker: the `///` block immediately above the fn must say
+            // "fully overwrites".
+            let doc = doc_block_above(&file.lexed.comments, span.line);
+            if !doc.contains("fully overwrites") {
+                findings.push(Finding::new(
+                    FindingCode::Kernel002,
+                    &file.rel,
+                    span.line,
+                    format!(
+                        "`{}` doc comment lacks the `fully overwrites` marker",
+                        span.name
+                    ),
+                ));
+            }
+        }
+    }
+    findings
+}
+
+/// Splits the parameter list into per-parameter token ranges (indices into
+/// `tokens`, exclusive end), honoring nested `()`/`[]`/`<>`.
+fn split_params(tokens: &[Token], open: usize, close: usize) -> Vec<(usize, usize)> {
+    let mut params = Vec::new();
+    let mut depth = 0i64;
+    let mut start = open + 1;
+    for i in open + 1..close {
+        let t = &tokens[i];
+        if t.is_punct('(') || t.is_punct('[') || t.is_punct('<') {
+            depth += 1;
+        } else if t.is_punct(')')
+            || t.is_punct(']')
+            || (t.is_punct('>') && !tokens.get(i - 1).is_some_and(|p| p.is_punct('-')))
+        {
+            depth -= 1;
+        } else if t.is_punct(',') && depth == 0 {
+            if i > start {
+                params.push((start, i));
+            }
+            start = i + 1;
+        }
+    }
+    if close > start {
+        params.push((start, close));
+    }
+    params
+}
+
+/// True when the parameter range is a `self` receiver (`self`, `&self`,
+/// `&mut self`, `&'a self`).
+fn is_self_param(tokens: &[Token], range: &(usize, usize)) -> bool {
+    tokens[range.0..range.1].iter().any(|t| t.is_ident("self"))
+}
+
+/// True when the parameter is `&mut` of a buffer type.
+fn is_mut_buffer_param(tokens: &[Token], range: &(usize, usize)) -> bool {
+    let toks = &tokens[range.0..range.1];
+    if is_self_param(tokens, range) {
+        return false;
+    }
+    let has_amp_mut = toks
+        .windows(2)
+        .any(|w| w[0].is_punct('&') && w[1].is_ident("mut"));
+    if !has_amp_mut {
+        return false;
+    }
+    toks.iter()
+        .any(|t| BUFFER_TYPES.iter().any(|b| t.is_ident(b)))
+}
+
+/// Joins the contiguous `///` doc-comment block whose last line sits
+/// directly above `fn_line` (attributes between doc and fn are tolerated
+/// by allowing a small gap).
+fn doc_block_above(comments: &[Comment], fn_line: u32) -> String {
+    let mut block: Vec<&str> = Vec::new();
+    let mut expect_line = fn_line;
+    for c in comments.iter().rev() {
+        if !c.doc || c.inner {
+            continue;
+        }
+        if (c.line < expect_line && expect_line - c.line <= 3)
+            || (block.is_empty() && c.line < fn_line && fn_line - c.line <= 3)
+        {
+            block.push(&c.text);
+            expect_line = c.line;
+        }
+    }
+    block.reverse();
+    block.join("\n")
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_last_kernel_is_flagged() {
+        let src = r#"
+/// Computes things and fully overwrites the output.
+pub fn scale_into(x: &Matrix, out: &mut Matrix) {
+    let _ = (x, out);
+}
+"#;
+        let tree = SourceTree::from_parts(&[("crates/tensor/src/k.rs", src)]);
+        let findings = check(&tree);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, FindingCode::Kernel001);
+    }
+
+    #[test]
+    fn missing_marker_is_flagged() {
+        let src = r#"
+/// Writes the scaled matrix into `out`.
+pub fn scale_into(out: &mut Matrix, x: &Matrix) {
+    let _ = (x, out);
+}
+"#;
+        let tree = SourceTree::from_parts(&[("crates/tensor/src/k.rs", src)]);
+        let findings = check(&tree);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, FindingCode::Kernel002);
+    }
+
+    #[test]
+    fn conforming_kernel_and_serialization_helper_pass() {
+        let src = r#"
+/// Scales `x` into `out`. Like every `*_into` kernel, it takes its output
+/// buffer as the first argument and fully overwrites it.
+pub fn scale_into(out: &mut Matrix, x: &Matrix) {
+    let _ = (x, out);
+}
+
+/// Serializes self; not a scratch kernel despite the name.
+pub fn write_into(&self, w: &mut ByteWriter) {
+    let _ = w;
+}
+
+/// Method kernel: self receiver then output; fully overwrites `out`.
+pub fn matmul_into(&self, out: &mut Matrix, rhs: &Matrix) {
+    let _ = (out, rhs);
+}
+"#;
+        let tree = SourceTree::from_parts(&[("crates/tensor/src/k.rs", src)]);
+        let findings = check(&tree);
+        assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+    }
+}

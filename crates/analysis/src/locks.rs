@@ -1,0 +1,860 @@
+//! Pass 1: inter-procedural lock-order analysis.
+//!
+//! The serving path nests a handful of `RwLock`/`Mutex` fields (model
+//! catalog entries, the explanation cache, token buckets, the global
+//! admission queue). Deadlock needs only two call paths that nest the same
+//! two locks in opposite orders — and nothing in the type system stops the
+//! second path from being written. This pass re-derives the nesting
+//! relation from the token stream and enforces the canonical order
+//! documented in the `LOCK ORDER:` comment block in
+//! `crates/serving/src/router.rs`.
+//!
+//! ## The model
+//!
+//! An *acquisition* is a `.field.read()`/`.field.write()`/`.field.lock()`
+//! call where `field` is a declared `RwLock`/`Mutex` struct field in the
+//! scanned crates and the method agrees with the field's kind. How long the
+//! guard is *held* follows three syntactic rules (matching std's temporary
+//! semantics closely enough for linting):
+//!
+//! - let-bound guard (`let g = wrap(x.lock());` — nothing after the final
+//!   closing parens): held to the end of the enclosing block;
+//! - acquisition in an `if let`/`while let`/`match` header: held to the end
+//!   of the construct's first block;
+//! - anything else (temporaries, chained calls): held to the end of the
+//!   statement.
+//!
+//! While a guard on `A` is held, a direct acquisition of `B` adds the edge
+//! `A -> B`, and a call to a workspace function `g` adds `A -> L` for every
+//! lock `L` in `g`'s transitive acquisition closure (callees are resolved
+//! by simple name; same-named functions are unioned, which over-approximates
+//! but never misses). Guards held by a callee are considered released when
+//! it returns — functions that *return* guards are outside the model and
+//! must keep their nesting local.
+//!
+//! Findings: cycles (LOCK001), same-scope read→write upgrades (LOCK002),
+//! undocumented locks (LOCK003), stale doc entries (LOCK004), edges against
+//! the canonical order (LOCK005) and ambiguous field names (LOCK006).
+//! `Condvar` fields are exempt — they are waited on, not held.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::findings::{Finding, FindingCode};
+use crate::lexer::{
+    brace_depths, function_spans, in_regions, matching_brace, struct_fields, test_regions, TokKind,
+    Token,
+};
+use crate::workspace::{SourceFile, SourceTree};
+
+/// Default path prefixes the pass scans.
+pub const DEFAULT_PREFIXES: [&str; 2] = ["crates/serving/src/", "crates/core/src/"];
+
+/// How a lock is taken.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    Read,
+    Write,
+    Lock,
+}
+
+/// One acquisition site inside a function body.
+#[derive(Debug, Clone)]
+struct Acquisition {
+    /// The lock field name.
+    field: String,
+    /// Read/write/lock.
+    mode: Mode,
+    /// Token index of the field identifier.
+    tok: usize,
+    /// Token index of the `)` closing the acquisition call.
+    call_close: usize,
+    /// Token index the guard is held to (inclusive).
+    hold_end: usize,
+    /// Source line.
+    line: u32,
+}
+
+/// One declared lock field.
+#[derive(Debug, Clone)]
+struct LockField {
+    struct_name: String,
+    field_name: String,
+    /// `RwLock` or `Mutex`.
+    kind: String,
+    file: String,
+    line: u32,
+}
+
+/// Runs the lock pass over files under `DEFAULT_PREFIXES`.
+pub fn check(tree: &SourceTree) -> Vec<Finding> {
+    check_with_prefixes(tree, &DEFAULT_PREFIXES)
+}
+
+/// Runs the pass over files under the given path prefixes.
+pub fn check_with_prefixes(tree: &SourceTree, prefixes: &[&str]) -> Vec<Finding> {
+    let mut findings = Vec::new();
+    let files: Vec<&SourceFile> = tree.with_prefixes(prefixes).collect();
+
+    // 1. Declared lock fields (outside test regions).
+    let mut locks: Vec<LockField> = Vec::new();
+    for file in &files {
+        let tokens = &file.lexed.tokens;
+        let skip_lines = test_region_lines(tokens);
+        for f in struct_fields(tokens) {
+            if matches!(f.outer_type.as_str(), "RwLock" | "Mutex")
+                && !line_in_regions(&skip_lines, f.line)
+            {
+                locks.push(LockField {
+                    struct_name: f.struct_name,
+                    field_name: f.field_name,
+                    kind: f.outer_type,
+                    file: file.rel.clone(),
+                    line: f.line,
+                });
+            }
+        }
+    }
+    locks.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+
+    // 2. LOCK006: field-name collisions break name-based attribution.
+    let mut by_name: BTreeMap<&str, Vec<&LockField>> = BTreeMap::new();
+    for l in &locks {
+        by_name.entry(l.field_name.as_str()).or_default().push(l);
+    }
+    for (name, owners) in &by_name {
+        if owners.len() > 1 {
+            let structs: Vec<String> = owners
+                .iter()
+                .map(|l| format!("{}.{}", l.struct_name, name))
+                .collect();
+            findings.push(Finding::new(
+                FindingCode::Lock006,
+                &owners[1].file,
+                owners[1].line,
+                format!(
+                    "lock field name `{name}` declared by {}",
+                    structs.join(" and ")
+                ),
+            ));
+        }
+    }
+
+    // 3. The documented canonical order.
+    let mut order: Vec<(String, String, String, u32)> = Vec::new(); // (struct, field, file, line)
+    for file in &files {
+        parse_lock_order_blocks(file, &mut order);
+    }
+    let order_pos: BTreeMap<&str, usize> = order
+        .iter()
+        .enumerate()
+        .map(|(i, (_, field, _, _))| (field.as_str(), i))
+        .collect();
+
+    // LOCK003: every lock field appears in the order block.
+    for l in &locks {
+        if !order
+            .iter()
+            .any(|(s, f, _, _)| s == &l.struct_name && f == &l.field_name)
+        {
+            findings.push(Finding::new(
+                FindingCode::Lock003,
+                &l.file,
+                l.line,
+                format!(
+                    "{} field `{}.{}` is missing from the LOCK ORDER block",
+                    l.kind, l.struct_name, l.field_name
+                ),
+            ));
+        }
+    }
+    // LOCK004: every order entry names a real lock field.
+    for (s, f, file, line) in &order {
+        if !locks
+            .iter()
+            .any(|l| &l.struct_name == s && &l.field_name == f)
+        {
+            findings.push(Finding::new(
+                FindingCode::Lock004,
+                file,
+                *line,
+                format!("LOCK ORDER entry `{s}.{f}` names no existing lock field"),
+            ));
+        }
+    }
+
+    // 4. Per-function acquisitions, direct edges and upgrades.
+    let lock_kinds: BTreeMap<&str, &str> = locks
+        .iter()
+        .map(|l| (l.field_name.as_str(), l.kind.as_str()))
+        .collect();
+
+    // fn name -> (direct acquisitions' fields, callee names)
+    let mut fn_acquires: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    let mut fn_calls: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    // Edges with a witness: (from, to) -> (file, line).
+    let mut edges: BTreeMap<(String, String), (String, u32)> = BTreeMap::new();
+    // Deferred call-edge resolution: (holder, callee, file, line).
+    let mut call_edges: Vec<(String, String, String, u32)> = Vec::new();
+
+    for file in &files {
+        let tokens = &file.lexed.tokens;
+        let depths = brace_depths(tokens);
+        let skip = test_regions(tokens);
+        for span in function_spans(tokens) {
+            let (Some(open), Some(close)) = (span.body_open, span.body_close) else {
+                continue;
+            };
+            if in_regions(&skip, span.fn_tok) {
+                continue;
+            }
+            let acqs = find_acquisitions(tokens, &depths, open, close, &lock_kinds);
+            let calls = find_calls(tokens, open, close);
+
+            let entry = fn_acquires.entry(span.name.clone()).or_default();
+            for a in &acqs {
+                entry.insert(a.field.clone());
+            }
+            let centry = fn_calls.entry(span.name.clone()).or_default();
+            for (name, _, _) in &calls {
+                centry.insert(name.clone());
+            }
+
+            // Edges while holding.
+            for a in &acqs {
+                for b in &acqs {
+                    if b.tok > a.call_close && b.tok <= a.hold_end {
+                        if a.field == b.field {
+                            if a.mode == Mode::Read && b.mode == Mode::Write {
+                                findings.push(Finding::new(
+                                    FindingCode::Lock002,
+                                    &file.rel,
+                                    b.line,
+                                    format!(
+                                        "`{}` is read-locked on line {} and write-locked while the read guard is held",
+                                        a.field, a.line
+                                    ),
+                                ));
+                            } else {
+                                // Re-acquiring the same lock in scope:
+                                // a self-edge, reported via LOCK001.
+                                edges
+                                    .entry((a.field.clone(), b.field.clone()))
+                                    .or_insert((file.rel.clone(), b.line));
+                            }
+                        } else {
+                            edges
+                                .entry((a.field.clone(), b.field.clone()))
+                                .or_insert((file.rel.clone(), b.line));
+                        }
+                    }
+                }
+                for (callee, ctok, cline) in &calls {
+                    if *ctok > a.call_close && *ctok <= a.hold_end {
+                        call_edges.push((
+                            a.field.clone(),
+                            callee.clone(),
+                            file.rel.clone(),
+                            *cline,
+                        ));
+                    }
+                }
+            }
+        }
+    }
+
+    // 5. Transitive acquisition closure per function name.
+    let closures = acquisition_closures(&fn_acquires, &fn_calls);
+    for (holder, callee, file, line) in &call_edges {
+        if let Some(acquired) = closures.get(callee.as_str()) {
+            for lock in acquired {
+                edges
+                    .entry((holder.clone(), lock.clone()))
+                    .or_insert((file.clone(), *line));
+            }
+        }
+    }
+
+    // 6. LOCK005: edges against the canonical order.
+    for ((from, to), (file, line)) in &edges {
+        if from == to {
+            continue; // self-edges are reported as cycles
+        }
+        if let (Some(&pf), Some(&pt)) = (order_pos.get(from.as_str()), order_pos.get(to.as_str())) {
+            if pf > pt {
+                findings.push(Finding::new(
+                    FindingCode::Lock005,
+                    file,
+                    *line,
+                    format!(
+                        "`{to}` acquired while holding `{from}`, against the documented order ({to} < {from})"
+                    ),
+                ));
+            }
+        }
+    }
+
+    // 7. LOCK001: cycles in the edge graph.
+    for cycle in find_cycles(&edges) {
+        let witness = edges
+            .get(&(cycle[0].clone(), cycle[1 % cycle.len()].clone()))
+            .cloned()
+            .unwrap_or_default();
+        let mut path = cycle.clone();
+        path.push(cycle[0].clone());
+        findings.push(Finding::new(
+            FindingCode::Lock001,
+            &witness.0,
+            witness.1,
+            format!("lock-acquisition cycle: {}", path.join(" -> ")),
+        ));
+    }
+
+    findings
+}
+
+/// Token ranges of test regions, as line ranges.
+fn test_region_lines(tokens: &[Token]) -> Vec<(u32, u32)> {
+    test_regions(tokens)
+        .into_iter()
+        .filter_map(|(s, e)| {
+            let a = tokens.get(s)?.line;
+            let b = tokens.get(e)?.line;
+            Some((a, b))
+        })
+        .collect()
+}
+
+fn line_in_regions(regions: &[(u32, u32)], line: u32) -> bool {
+    regions.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+/// Finds every acquisition in a function body and computes its hold range.
+fn find_acquisitions(
+    tokens: &[Token],
+    depths: &[u32],
+    open: usize,
+    close: usize,
+    lock_kinds: &BTreeMap<&str, &str>,
+) -> Vec<Acquisition> {
+    let mut out = Vec::new();
+    for f in open + 1..close.saturating_sub(3) {
+        // `. field . method ( )`
+        let dot1 = f.checked_sub(1).map(|p| &tokens[p]);
+        if !dot1.is_some_and(|t| t.is_punct('.')) {
+            continue;
+        }
+        let field_tok = &tokens[f];
+        if field_tok.kind != TokKind::Ident {
+            continue;
+        }
+        let Some(&kind) = lock_kinds.get(field_tok.text.as_str()) else {
+            continue;
+        };
+        if !tokens[f + 1].is_punct('.') || tokens[f + 2].kind != TokKind::Ident {
+            continue;
+        }
+        let method = tokens[f + 2].text.as_str();
+        let mode = match (kind, method) {
+            ("RwLock", "read") => Mode::Read,
+            ("RwLock", "write") => Mode::Write,
+            ("Mutex", "lock") => Mode::Lock,
+            _ => continue,
+        };
+        if !tokens.get(f + 3).is_some_and(|t| t.is_punct('('))
+            || !tokens.get(f + 4).is_some_and(|t| t.is_punct(')'))
+        {
+            continue;
+        }
+        let call_close = f + 4;
+        let hold_end = hold_range_end(tokens, depths, f, call_close, close);
+        out.push(Acquisition {
+            field: field_tok.text.clone(),
+            mode,
+            tok: f,
+            call_close,
+            hold_end,
+            line: field_tok.line,
+        });
+    }
+    out
+}
+
+/// Computes the token index (inclusive) a guard acquired at `field_tok`
+/// (call closing at `call_close`) is held to. See the module docs for the
+/// three rules.
+fn hold_range_end(
+    tokens: &[Token],
+    depths: &[u32],
+    field_tok: usize,
+    call_close: usize,
+    body_close: usize,
+) -> usize {
+    let d = depths[field_tok];
+
+    // Statement start: walk back to the nearest `;`, `{` or `}`.
+    let mut s = field_tok;
+    while s > 0 {
+        let t = &tokens[s - 1];
+        if t.is_punct(';') || t.is_punct('{') || t.is_punct('}') {
+            break;
+        }
+        s -= 1;
+    }
+    let head = &tokens[s..field_tok];
+
+    // `if let` / `while let` / `match` header: held through the construct's
+    // first block.
+    let header = head.iter().any(|t| t.is_ident("match"))
+        || head
+            .windows(2)
+            .any(|w| (w[0].is_ident("if") || w[0].is_ident("while")) && w[1].is_ident("let"));
+    if header {
+        for k in call_close + 1..=body_close {
+            if tokens[k].is_punct('{') && depths[k] == d {
+                return matching_brace(tokens, k).unwrap_or(body_close);
+            }
+        }
+        return body_close;
+    }
+
+    // Statement end: the next `;` at the acquisition's depth.
+    let mut stmt_end = None;
+    for (k, tok) in tokens
+        .iter()
+        .enumerate()
+        .take(body_close + 1)
+        .skip(call_close + 1)
+    {
+        if depths[k] < d {
+            break; // enclosing block closed first (expression tail)
+        }
+        if tok.is_punct(';') && depths[k] == d {
+            stmt_end = Some(k);
+            break;
+        }
+    }
+
+    // let-bound guard: `let g = wrap(... .lock() ... );` with only `)`
+    // between the call's close and the statement's `;` — held to the end of
+    // the enclosing block. A `*`/`&` in the head means the binding takes a
+    // projection of a *temporary* guard (`let v = *x.lock();`), which dies
+    // at the semicolon.
+    let is_let = head.first().is_some_and(|t| t.is_ident("let"))
+        && !head.iter().any(|t| t.is_punct('*') || t.is_punct('&'));
+    if let (true, Some(end)) = (is_let, stmt_end) {
+        let only_closes = tokens[call_close + 1..end].iter().all(|t| t.is_punct(')'));
+        if only_closes {
+            // The bound guard name: `let [mut] g = ...`.
+            let bound = head
+                .iter()
+                .skip(1)
+                .find(|t| t.kind == TokKind::Ident && !t.is_ident("mut"))
+                .map(|t| t.text.clone());
+            for (k, tok) in tokens.iter().enumerate().take(body_close + 1).skip(end) {
+                if depths[k] < d {
+                    return k;
+                }
+                // An explicit `drop(g)` releases the guard early.
+                if let Some(name) = &bound {
+                    if tok.is_ident("drop")
+                        && tokens.get(k + 1).is_some_and(|t| t.is_punct('('))
+                        && tokens.get(k + 2).is_some_and(|t| t.is_ident(name))
+                        && tokens.get(k + 3).is_some_and(|t| t.is_punct(')'))
+                    {
+                        return k;
+                    }
+                }
+            }
+            return body_close;
+        }
+    }
+
+    match stmt_end {
+        Some(end) => end,
+        None => {
+            // Expression tail: held to the enclosing block's `}`.
+            for (k, _) in tokens
+                .iter()
+                .enumerate()
+                .take(body_close + 1)
+                .skip(call_close + 1)
+            {
+                if depths[k] < d {
+                    return k;
+                }
+            }
+            body_close
+        }
+    }
+}
+
+/// Finds call sites in a body: `.name(` method calls and bare `name(`
+/// calls. `::`-qualified calls are skipped (overwhelmingly constructors
+/// and std paths; workspace lock-taking functions are invoked as methods),
+/// as are the acquisition methods themselves.
+fn find_calls(tokens: &[Token], open: usize, close: usize) -> Vec<(String, usize, u32)> {
+    let mut out = Vec::new();
+    for i in open + 1..close {
+        let t = &tokens[i];
+        if t.kind != TokKind::Ident || !tokens.get(i + 1).is_some_and(|n| n.is_punct('(')) {
+            continue;
+        }
+        if matches!(t.text.as_str(), "read" | "write" | "lock" | "drop") {
+            // read/write/lock are the acquisition methods; `drop` is
+            // std::mem::drop (a `Drop` impl's `fn drop` is never called
+            // explicitly, so matching it by name would only create false
+            // closure edges).
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| &tokens[p]);
+        // Skip `fn name(`, `::name(` and macro-ish `name!(`.
+        if prev.is_some_and(|p| p.is_ident("fn") || p.is_punct(':')) {
+            continue;
+        }
+        out.push((t.text.clone(), i, t.line));
+    }
+    out
+}
+
+/// Fixpoint: for every function name, the set of lock fields it (or any
+/// transitive callee) acquires.
+fn acquisition_closures(
+    fn_acquires: &BTreeMap<String, BTreeSet<String>>,
+    fn_calls: &BTreeMap<String, BTreeSet<String>>,
+) -> BTreeMap<String, BTreeSet<String>> {
+    let mut closures = fn_acquires.clone();
+    loop {
+        let mut changed = false;
+        for (name, callees) in fn_calls {
+            let mut add: BTreeSet<String> = BTreeSet::new();
+            for callee in callees {
+                if callee == name {
+                    continue;
+                }
+                if let Some(acq) = closures.get(callee) {
+                    add.extend(acq.iter().cloned());
+                }
+            }
+            let entry = closures.entry(name.clone()).or_default();
+            let before = entry.len();
+            entry.extend(add);
+            if entry.len() != before {
+                changed = true;
+            }
+        }
+        if !changed {
+            return closures;
+        }
+    }
+}
+
+/// Finds elementary cycles in the edge graph (including self-loops).
+/// Returns each cycle once, rotated so its lexicographically smallest node
+/// comes first, sorted for stable output.
+fn find_cycles(edges: &BTreeMap<(String, String), (String, u32)>) -> Vec<Vec<String>> {
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from.as_str()).or_default().push(to.as_str());
+        nodes.insert(from.as_str());
+        nodes.insert(to.as_str());
+    }
+    let mut cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    // DFS from every node with an explicit stack; path-based cycle capture.
+    for &start in &nodes {
+        let mut path: Vec<&str> = Vec::new();
+        let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+        while let Some((node, next_idx)) = stack.pop() {
+            if next_idx == 0 {
+                path.push(node);
+            }
+            let neighbors = adj.get(node).map(|v| v.as_slice()).unwrap_or(&[]);
+            if next_idx < neighbors.len() {
+                stack.push((node, next_idx + 1));
+                let n = neighbors[next_idx];
+                if let Some(pos) = path.iter().position(|&p| p == n) {
+                    // Found a cycle: path[pos..] + n.
+                    let cycle: Vec<String> = path[pos..].iter().map(|s| s.to_string()).collect();
+                    cycles.insert(canonical_rotation(cycle));
+                } else if path.len() < 32 {
+                    stack.push((n, 0));
+                }
+            } else {
+                path.pop();
+            }
+        }
+    }
+    cycles.into_iter().collect()
+}
+
+/// Rotates a cycle so its smallest node comes first.
+fn canonical_rotation(cycle: Vec<String>) -> Vec<String> {
+    let Some(min_idx) = cycle
+        .iter()
+        .enumerate()
+        .min_by_key(|(_, s)| s.as_str())
+        .map(|(i, _)| i)
+    else {
+        return cycle;
+    };
+    let mut rotated = Vec::with_capacity(cycle.len());
+    rotated.extend_from_slice(&cycle[min_idx..]);
+    rotated.extend_from_slice(&cycle[..min_idx]);
+    rotated
+}
+
+/// Parses `LOCK ORDER:` blocks out of a file's comments into ordered
+/// `(struct, field, file, line)` entries.
+fn parse_lock_order_blocks(file: &SourceFile, order: &mut Vec<(String, String, String, u32)>) {
+    let comments = &file.lexed.comments;
+    let mut i = 0usize;
+    while i < comments.len() {
+        if comments[i].text.contains("LOCK ORDER") {
+            let mut expect = comments[i].line + 1;
+            let mut j = i + 1;
+            while j < comments.len() && comments[j].line <= expect {
+                expect = comments[j].line + 1;
+                if let Some((s, f)) = parse_order_entry(&comments[j].text) {
+                    order.push((s, f, file.rel.clone(), comments[j].line));
+                }
+                j += 1;
+            }
+            i = j;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Parses one order entry line: `1. Struct.field`, `- Struct.field` or
+/// `Struct.field`, with optional trailing prose after whitespace.
+fn parse_order_entry(text: &str) -> Option<(String, String)> {
+    let t = text
+        .trim()
+        .trim_start_matches(|c: char| c.is_ascii_digit())
+        .trim_start_matches(['.', ')', '-'])
+        .trim_start();
+    let entry = t.split_whitespace().next()?;
+    let (s, f) = entry.split_once('.')?;
+    let is_ident =
+        |x: &str| !x.is_empty() && x.chars().all(|c| c == '_' || c.is_ascii_alphanumeric());
+    if is_ident(s) && is_ident(f) && s.starts_with(|c: char| c.is_ascii_uppercase()) {
+        Some((s.to_string(), f.to_string()))
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+
+    fn run(files: &[(&str, &str)]) -> Vec<Finding> {
+        let tree = SourceTree::from_parts(files);
+        check_with_prefixes(&tree, &["crates/"])
+    }
+
+    const HEADER: &str = r#"
+// LOCK ORDER: outermost first.
+//   1. S.a
+//   2. S.b
+pub struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+"#;
+
+    #[test]
+    fn conforming_nesting_is_clean() {
+        let body = r#"
+impl S {
+    fn ok(&self) {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        drop(h);
+        drop(g);
+    }
+}
+"#;
+        let src = format!("{HEADER}{body}");
+        let findings = run(&[("crates/x/src/lib.rs", &src)]);
+        assert!(findings.is_empty(), "unexpected: {findings:?}");
+    }
+
+    #[test]
+    fn reversed_nesting_violates_order() {
+        let body = r#"
+impl S {
+    fn bad(&self) {
+        let g = self.b.lock();
+        let h = self.a.lock();
+        drop(h);
+        drop(g);
+    }
+}
+"#;
+        let src = format!("{HEADER}{body}");
+        let findings = run(&[("crates/x/src/lib.rs", &src)]);
+        assert!(findings.iter().any(|f| f.code == FindingCode::Lock005));
+    }
+
+    #[test]
+    fn opposite_orders_in_two_fns_form_a_cycle() {
+        let body = r#"
+impl S {
+    fn one(&self) {
+        let g = self.a.lock();
+        let h = self.b.lock();
+        drop(h);
+        drop(g);
+    }
+    fn two(&self) {
+        let g = self.b.lock();
+        let h = self.a.lock();
+        drop(h);
+        drop(g);
+    }
+}
+"#;
+        let src = format!("{HEADER}{body}");
+        let findings = run(&[("crates/x/src/lib.rs", &src)]);
+        let cycle = findings
+            .iter()
+            .find(|f| f.code == FindingCode::Lock001)
+            .expect("cycle finding");
+        assert!(cycle.message.contains("a -> b -> a"), "{}", cycle.message);
+    }
+
+    #[test]
+    fn interprocedural_edge_through_call() {
+        let body = r#"
+impl S {
+    fn leaf(&self) -> u32 {
+        *self.b.lock()
+    }
+    fn holder(&self) {
+        let g = self.a.lock();
+        let v = self.leaf();
+        drop(g);
+        let _ = v;
+    }
+}
+"#;
+        let src = format!("{HEADER}{body}");
+        let findings = run(&[("crates/x/src/lib.rs", &src)]);
+        // a -> b agrees with the documented order: clean.
+        assert!(findings.is_empty(), "unexpected: {findings:?}");
+
+        let body_rev = r#"
+impl S {
+    fn leaf(&self) -> u32 {
+        *self.a.lock()
+    }
+    fn holder(&self) {
+        let g = self.b.lock();
+        let v = self.leaf();
+        drop(g);
+        let _ = v;
+    }
+}
+"#;
+        let src = format!("{HEADER}{body_rev}");
+        let findings = run(&[("crates/x/src/lib.rs", &src)]);
+        assert!(
+            findings.iter().any(|f| f.code == FindingCode::Lock005),
+            "call-derived edge b -> a must violate the order: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn read_to_write_upgrade_is_flagged() {
+        let src = r#"
+// LOCK ORDER:
+//   1. S.c
+pub struct S {
+    c: RwLock<u32>,
+}
+impl S {
+    fn upgrade(&self) {
+        let g = self.c.read();
+        let w = self.c.write();
+        drop(w);
+        drop(g);
+    }
+}
+"#;
+        let findings = run(&[("crates/x/src/lib.rs", src)]);
+        assert!(findings.iter().any(|f| f.code == FindingCode::Lock002));
+    }
+
+    #[test]
+    fn temporary_guard_does_not_hold_past_statement() {
+        let body = r#"
+impl S {
+    fn temp(&self) {
+        let v = *self.b.lock();
+        let g = self.a.lock();
+        drop(g);
+        let _ = v;
+    }
+}
+"#;
+        // `*self.b.lock()` dereferences the temporary: the guard dies at the
+        // `;`, so no b -> a edge exists and the order is respected.
+        let src = format!("{HEADER}{body}");
+        let findings = run(&[("crates/x/src/lib.rs", &src)]);
+        assert!(findings.is_empty(), "unexpected: {findings:?}");
+    }
+
+    #[test]
+    fn undocumented_and_stale_entries() {
+        let src = r#"
+// LOCK ORDER:
+//   1. S.a
+//   2. S.gone
+pub struct S {
+    a: Mutex<u32>,
+    extra: Mutex<u32>,
+}
+"#;
+        let findings = run(&[("crates/x/src/lib.rs", src)]);
+        assert!(findings.iter().any(|f| f.code == FindingCode::Lock003));
+        assert!(findings.iter().any(|f| f.code == FindingCode::Lock004));
+    }
+
+    const IF_LET_BODY: &str = r#"
+pub struct S {
+    a: Mutex<u32>,
+    b: Mutex<Option<u32>>,
+}
+impl S {
+    fn admit(&self) -> u32 {
+        if let Some(v) = *self.b.lock() {
+            let g = self.a.lock();
+            drop(g);
+            v
+        } else {
+            0
+        }
+    }
+}
+"#;
+
+    #[test]
+    fn if_let_header_guard_holds_through_block() {
+        // Documented order says b < a, and the header guard holds b while a
+        // is taken: clean.
+        let src = format!("// LOCK ORDER:\n//   1. S.b\n//   2. S.a\n{IF_LET_BODY}");
+        let findings = run(&[("crates/x/src/lib.rs", &src)]);
+        assert!(findings.is_empty(), "unexpected: {findings:?}");
+
+        // Flip the documented order and the same code must violate it.
+        let src = format!("// LOCK ORDER:\n//   1. S.a\n//   2. S.b\n{IF_LET_BODY}");
+        let findings = run(&[("crates/x/src/lib.rs", &src)]);
+        assert!(
+            findings.iter().any(|f| f.code == FindingCode::Lock005),
+            "header-held guard must create the b -> a edge: {findings:?}"
+        );
+    }
+}

@@ -126,7 +126,7 @@ fn bench_tensor_kernels(c: &mut Criterion) {
     group.bench_function("matmul_256", |b2| b2.iter(|| a.matmul(&b).unwrap()));
     let mut out = Matrix::zeros(256, 256);
     group.bench_function("matmul_into_256", |b2| {
-        b2.iter(|| a.matmul_into(&b, &mut out).unwrap())
+        b2.iter(|| a.matmul_into(&mut out, &b).unwrap())
     });
     group.bench_function("transpose_256", |b2| b2.iter(|| a.transpose()));
     group.finish();

@@ -233,6 +233,7 @@ fn nearest_within(features: &Matrix, threshold: f32, max_candidates: usize) -> V
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
     use dssddi_ml::fit_kmeans;

@@ -444,11 +444,11 @@ impl MdModule {
         let hidden = self.params.get(self.patient_w).cols();
         let mut out = Matrix::zeros(features.rows(), hidden);
         fused_linear_into(
+            &mut out,
             features,
             self.params.get(self.patient_w),
             self.params.get(self.patient_b),
             ActivationKind::LeakyRelu(0.01),
-            &mut out,
         )?;
         Ok(out)
     }
@@ -650,6 +650,7 @@ fn decode_pairs(
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
     use dssddi_graph::Interaction;

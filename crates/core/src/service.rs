@@ -45,9 +45,10 @@
 //! ```
 
 // The serving path must degrade into typed errors, never panics: a malformed
-// request or file is routine input for a long-lived service. Vetted
-// invariants may be locally allowed with a justification.
-#![deny(clippy::unwrap_used, clippy::expect_used)]
+// request or file is routine input for a long-lived service. The
+// `unwrap_used`/`expect_used` denies live in `[workspace.lints]` (every
+// serving-path crate inherits them); vetted invariants may be locally
+// allowed with a justification.
 
 use std::fmt;
 use std::path::Path;

@@ -8,8 +8,8 @@
 //! Satisfaction score.
 
 // Like the service layer, the engine's serving path returns typed errors
-// instead of panicking; see `service.rs` for the rationale.
-#![deny(clippy::unwrap_used, clippy::expect_used)]
+// instead of panicking; see `service.rs` for the rationale. The panic-policy
+// denies are inherited from `[workspace.lints]`.
 
 use std::path::Path;
 

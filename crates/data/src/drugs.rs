@@ -114,11 +114,12 @@ impl Disease {
     }
 
     /// Index of the disease inside [`Disease::ALL`].
+    ///
+    /// `ALL` lists the variants in declaration order, so the discriminant
+    /// *is* the index — `all_lists_declaration_order` in the tests below
+    /// keeps the two in sync.
     pub fn index(self) -> usize {
-        Disease::ALL
-            .iter()
-            .position(|&d| d == self)
-            .expect("disease present in ALL")
+        self as usize
     }
 }
 
@@ -620,6 +621,14 @@ impl Default for DrugRegistry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn all_lists_declaration_order() {
+        // `Disease::index` relies on `ALL` matching declaration order.
+        for (i, &d) in Disease::ALL.iter().enumerate() {
+            assert_eq!(d.index(), i, "{d:?} out of declaration order in ALL");
+        }
+    }
 
     #[test]
     fn registry_has_exactly_86_drugs() {

@@ -220,10 +220,11 @@ impl SneaLayer {
         let alpha = tape.segment_softmax(logits, &ctx.edge_segments)?;
         // The edge sign modulates the attention weight: antagonistic
         // neighbours contribute negatively.
-        let signs = tape.constant(
-            Matrix::from_vec(ctx.edge_signs.len(), 1, ctx.edge_signs.clone())
-                .expect("edge sign vector length"),
-        );
+        let signs = tape.constant(Matrix::from_vec(
+            ctx.edge_signs.len(),
+            1,
+            ctx.edge_signs.clone(),
+        )?);
         let signed_alpha = tape.mul(alpha, signs)?;
         let aggregated = tape.spmm_edge_weighted(&ctx.directed_edges, signed_alpha, h, ctx.n)?;
         Ok(tape.tanh(aggregated))

@@ -52,8 +52,9 @@ pub fn activation_kind(activation: Activation) -> ActivationKind {
 
 /// Writes `[a | b | c]` into `out` row by row (shapes are the caller's
 /// responsibility; this is the tape-free counterpart of two chained
-/// `Tape::concat_cols` calls).
-fn concat3_into(a: &Matrix, b: &Matrix, c: &Matrix, out: &mut Matrix) {
+/// `Tape::concat_cols` calls). Like every `*_into` kernel, it takes its
+/// output buffer as the first argument and fully overwrites it.
+fn concat3_into(out: &mut Matrix, a: &Matrix, b: &Matrix, c: &Matrix) {
     debug_assert_eq!(out.rows(), a.rows());
     debug_assert_eq!(out.cols(), a.cols() + b.cols() + c.cols());
     let (da, db) = (a.cols(), b.cols());
@@ -88,11 +89,11 @@ impl Mlp {
             let input = cur.as_ref().unwrap_or(x);
             let mut out = pool.take(input.rows(), self.dims[i + 1]);
             fused_linear_into(
+                &mut out,
                 input,
                 params.get(w),
                 params.get(b),
                 activation_kind(act),
-                &mut out,
             )?;
             if let Some(prev) = cur.replace(out) {
                 pool.recycle(prev);
@@ -114,14 +115,14 @@ impl GcnLayer {
         pool: &mut ScratchPool,
     ) -> Result<Matrix, TensorError> {
         let mut propagated = pool.take(adjacency.rows(), x.cols());
-        adjacency.matmul_dense_into(x, &mut propagated)?;
+        adjacency.matmul_dense_into(&mut propagated, x)?;
         let mut out = pool.take(propagated.rows(), self.out_dim);
         fused_linear_into(
+            &mut out,
             &propagated,
             params.get(self.w),
             params.get(self.b),
             activation_kind(self.activation),
-            &mut out,
         )?;
         pool.recycle(propagated);
         Ok(out)
@@ -147,34 +148,34 @@ impl SgcnLayer {
         // neighbours' unbalanced + own balanced state (Eq. 2).
         let mut pos_agg = pool.take(n, d);
         ctx.positive_mean_adjacency
-            .matmul_dense_into(h_balanced, &mut pos_agg)?;
+            .matmul_dense_into(&mut pos_agg, h_balanced)?;
         let mut neg_agg = pool.take(n, d);
         ctx.negative_mean_adjacency
-            .matmul_dense_into(h_unbalanced, &mut neg_agg)?;
+            .matmul_dense_into(&mut neg_agg, h_unbalanced)?;
         let mut cat = pool.take(n, 3 * d);
-        concat3_into(&pos_agg, &neg_agg, h_balanced, &mut cat);
+        concat3_into(&mut cat, &pos_agg, &neg_agg, h_balanced);
         let mut new_balanced = pool.take(n, self.out_dim);
         fused_linear_into(
+            &mut new_balanced,
             &cat,
             params.get(self.w_balanced),
             params.get(self.b_balanced),
             ActivationKind::Tanh,
-            &mut new_balanced,
         )?;
 
         // Unbalanced update (Eq. 3), reusing the aggregation buffers.
         ctx.positive_mean_adjacency
-            .matmul_dense_into(h_unbalanced, &mut pos_agg)?;
+            .matmul_dense_into(&mut pos_agg, h_unbalanced)?;
         ctx.negative_mean_adjacency
-            .matmul_dense_into(h_balanced, &mut neg_agg)?;
-        concat3_into(&pos_agg, &neg_agg, h_unbalanced, &mut cat);
+            .matmul_dense_into(&mut neg_agg, h_balanced)?;
+        concat3_into(&mut cat, &pos_agg, &neg_agg, h_unbalanced);
         let mut new_unbalanced = pool.take(n, self.out_dim);
         fused_linear_into(
+            &mut new_unbalanced,
             &cat,
             params.get(self.w_unbalanced),
             params.get(self.b_unbalanced),
             ActivationKind::Tanh,
-            &mut new_unbalanced,
         )?;
 
         pool.recycle(pos_agg);

@@ -98,7 +98,7 @@ impl Mlp {
 
     /// Output dimension.
     pub fn output_dim(&self) -> usize {
-        *self.dims.last().expect("dims nonempty")
+        self.dims.last().copied().unwrap_or(0)
     }
 
     /// Number of linear layers.

@@ -47,8 +47,8 @@
 
 #![warn(missing_docs)]
 // The KB is serving-path input: damaged containers, malformed TSV and
-// foreign registries are routine and must come back as typed errors.
-#![deny(clippy::unwrap_used, clippy::expect_used)]
+// foreign registries are routine and must come back as typed errors. The
+// `unwrap_used`/`expect_used` denies are inherited from `[workspace.lints]`.
 
 use std::fmt;
 

@@ -3,6 +3,10 @@
 //! round-trip bit-exactly and reject truncation/bit-flips, and the severity
 //! ordering is total.
 
+// Tests and examples may panic freely; the workspace-level panic-policy
+// denies target library and binary code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dssddi_data::DrugRegistry;
 use dssddi_kb::{EvidenceLevel, KbError, KbFact, KnowledgeBase, Severity};
 use proptest::prelude::*;

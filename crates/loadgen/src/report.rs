@@ -129,6 +129,7 @@ pub fn append_results(doc: &str, entries: &[BenchEntry]) -> Result<String, Strin
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
 

@@ -591,6 +591,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
 

@@ -197,6 +197,7 @@ impl Zipf {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
 mod tests {
     use super::*;
     use rand::SeedableRng;

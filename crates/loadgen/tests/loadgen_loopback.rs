@@ -2,6 +2,10 @@
 //! gateways: discovery, mix degradation, shed accounting and the SLO
 //! report all exercised over real sockets.
 
+// Tests and examples may panic freely; the workspace-level panic-policy
+// denies target library and binary code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::time::Duration;
 
 use dssddi_loadgen::{LoadgenConfig, OpKind, WorkloadMix};

@@ -16,6 +16,10 @@
 //! With `--shutdown` the example asks the gateway to exit cleanly after the
 //! queries — that is what the CI loopback smoke test does.
 
+// Tests and examples may panic freely; the workspace-level panic-policy
+// denies target library and binary code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dssddi_core::{CheckPrescriptionRequest, DrugId, SuggestRequest};
 use dssddi_serving::demo::{demo_requests, demo_world, DEMO_SEED};
 use dssddi_serving::{Client, ServingError};

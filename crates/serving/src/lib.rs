@@ -58,8 +58,8 @@
 #![warn(missing_docs)]
 // The serving path must degrade into typed errors, never panics: malformed
 // frames, unknown models and damaged files are routine input for a
-// long-lived gateway.
-#![deny(clippy::unwrap_used, clippy::expect_used)]
+// long-lived gateway. The `unwrap_used`/`expect_used` denies are inherited
+// from `[workspace.lints]`.
 
 use std::fmt;
 

@@ -224,6 +224,21 @@ fn relock<T>(result: Result<T, std::sync::PoisonError<T>>) -> T {
     result.unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
+// LOCK ORDER: the canonical nesting order for every lock on the serving
+// path, outermost first. A lock may only be acquired while holding locks
+// that appear EARLIER in this list. `dssddi-analyze` re-derives the
+// acquisition graph from source and enforces this block: LOCK005 flags an
+// edge against the order, LOCK003 a lock missing from the list, LOCK004 a
+// stale entry. (The `GlobalQueue.freed` condvar is exempt: waiting on it
+// atomically releases `GlobalQueue.state`.)
+//
+//   1. ModelEntry.latencies          stats() reads the window, then the service
+//   2. ModelEntry.service            hot-swap slot, guards are short-lived clones
+//   3. ModelEntry.kb                 hot-swap slot, taken after service in info()
+//   4. DecisionService.explanations  explanation memo, leaf on the request path
+//   5. ModelEntry.bucket             rate-limit check entering admission
+//   6. GlobalQueue.state             global queue slots, innermost lock
+//
 /// One shard: the service, its paired knowledge base and its serving
 /// counters. Service and KB each sit behind `RwLock<Arc<...>>` so hot
 /// reload swaps the `Arc` while requests in flight finish on the one they

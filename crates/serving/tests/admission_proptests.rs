@@ -12,6 +12,10 @@
 //! 3. Available tokens never exceed the capacity, and the capacity equals
 //!    the (clamped) configured burst.
 
+// Tests and examples may panic freely; the workspace-level panic-policy
+// denies target library and binary code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dssddi_serving::{RateLimit, TokenBucket};
 use proptest::prelude::*;
 

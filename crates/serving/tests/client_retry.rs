@@ -3,6 +3,10 @@
 //! pre-programmed list of responses, so the test controls exactly how many
 //! rejections a call sees before it succeeds.
 
+// Tests and examples may panic freely; the workspace-level panic-policy
+// denies target library and binary code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::net::{SocketAddr, TcpListener};
 use std::time::{Duration, Instant};
 

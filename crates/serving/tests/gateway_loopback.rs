@@ -7,6 +7,10 @@
 //! version-mismatched frames must produce typed errors on both ends while
 //! the server stays up; and shutdown must be clean.
 
+// Tests and examples may panic freely; the workspace-level panic-policy
+// denies target library and binary code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::path::PathBuf;

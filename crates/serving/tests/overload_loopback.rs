@@ -10,6 +10,10 @@
 //!   the rejections clients observed), and
 //! * return to a quiet state afterwards (`in_flight` back to zero).
 
+// Tests and examples may panic freely; the workspace-level panic-policy
+// denies target library and binary code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 

@@ -7,6 +7,10 @@
 //! follow-up: the loopback test below reloads mid-traffic and asserts no
 //! request errors on any connection.
 
+// Tests and examples may panic freely; the workspace-level panic-policy
+// denies target library and binary code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;

@@ -4,6 +4,10 @@
 //! panics, never a wrong-but-accepted message (the CRC catches payload
 //! damage; the header checks catch the rest).
 
+// Tests and examples may panic freely; the workspace-level panic-policy
+// denies target library and binary code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use dssddi_core::{
     CheckPrescriptionRequest, DrugId, Explanation, InteractionReport, PairInteraction, PatientId,
     ScoredDrug, SignedEdge, SuggestFilters, SuggestRequest, SuggestResponse,

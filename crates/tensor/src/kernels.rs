@@ -56,20 +56,22 @@ impl ActivationKind {
 }
 
 /// One fused dense layer: `out = act(x · w + bias)`, written into a
-/// caller-provided buffer.
+/// caller-provided buffer. Like every `*_into` kernel, it takes its output
+/// buffer as the first argument and fully overwrites it.
 ///
 /// `bias` must be a `1 x w.cols()` row (the layout MLP and GCN layers store
 /// their biases in); `out` must already have shape `(x.rows(), w.cols())`
-/// and is overwritten. Fusing the bias addition and activation into the
-/// matmul's output pass removes two full intermediate matrices per layer
-/// compared to the taped `matmul → add_broadcast_row → activation` chain,
-/// while producing bit-identical values (see the module docs).
+/// and the kernel fully overwrites it. Fusing the bias addition and
+/// activation into the matmul's output pass removes two full intermediate
+/// matrices per layer compared to the taped
+/// `matmul → add_broadcast_row → activation` chain, while producing
+/// bit-identical values (see the module docs).
 pub fn fused_linear_into(
+    out: &mut Matrix,
     x: &Matrix,
     w: &Matrix,
     bias: &Matrix,
     activation: ActivationKind,
-    out: &mut Matrix,
 ) -> Result<(), TensorError> {
     if bias.shape() != (1, w.cols()) {
         return Err(TensorError::ShapeMismatch {
@@ -78,7 +80,7 @@ pub fn fused_linear_into(
             op: "fused_linear (bias)",
         });
     }
-    x.matmul_into(w, out)?;
+    x.matmul_into(out, w)?;
     let b = bias.data();
     for r in 0..out.rows() {
         for (o, &bj) in out.row_mut(r).iter_mut().zip(b) {
@@ -109,7 +111,7 @@ mod tests {
             let bias = Matrix::rand_uniform(1, 3, -0.5, 0.5, &mut rng);
 
             let mut fused = Matrix::zeros(7, 3);
-            fused_linear_into(&x, &w, &bias, act, &mut fused).unwrap();
+            fused_linear_into(&mut fused, &x, &w, &bias, act).unwrap();
 
             let mut unfused = x.matmul(&w).unwrap();
             for r in 0..unfused.rows() {
@@ -128,10 +130,10 @@ mod tests {
         let w = Matrix::zeros(3, 4);
         let bad_bias = Matrix::zeros(1, 3);
         let mut out = Matrix::zeros(2, 4);
-        assert!(fused_linear_into(&x, &w, &bad_bias, ActivationKind::Identity, &mut out).is_err());
+        assert!(fused_linear_into(&mut out, &x, &w, &bad_bias, ActivationKind::Identity).is_err());
         let bias = Matrix::zeros(1, 4);
         let mut bad_out = Matrix::zeros(2, 3);
-        assert!(fused_linear_into(&x, &w, &bias, ActivationKind::Identity, &mut bad_out).is_err());
-        assert!(fused_linear_into(&x, &w, &bias, ActivationKind::Identity, &mut out).is_ok());
+        assert!(fused_linear_into(&mut bad_out, &x, &w, &bias, ActivationKind::Identity).is_err());
+        assert!(fused_linear_into(&mut out, &x, &w, &bias, ActivationKind::Identity).is_ok());
     }
 }

@@ -259,23 +259,25 @@ impl Matrix {
     /// Returns an error when the inner dimensions do not agree.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix, TensorError> {
         let mut out = Matrix::zeros(self.rows, rhs.cols);
-        self.matmul_into(rhs, &mut out)?;
+        self.matmul_into(&mut out, rhs)?;
         Ok(out)
     }
 
     /// Matrix product `self * rhs` written into a caller-provided buffer
     /// (typically from a [`crate::ScratchPool`]) — the allocation-free kernel
-    /// behind [`Matrix::matmul`].
+    /// behind [`Matrix::matmul`]. Like every `*_into` kernel, it takes its
+    /// output buffer as the first argument and fully overwrites it.
     ///
-    /// `out` must already have shape `(self.rows, rhs.cols)`; its previous
-    /// contents are overwritten. The kernel is cache-blocked (panels of
+    /// `out` must already have shape `(self.rows, rhs.cols)`; the kernel
+    /// fully overwrites it, so recycled scratch buffers need no prior
+    /// zeroing. The kernel is cache-blocked (panels of
     /// `MATMUL_I_BLOCK` output rows against `MATMUL_K_BLOCK` `rhs` rows)
     /// with a branch-free inner loop over contiguous slices that the
     /// compiler can autovectorize. Because blocks are visited in ascending
     /// order, every output element accumulates its `k` terms in plain
     /// ascending order: results are deterministic and independent of the
     /// block sizes.
-    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) -> Result<(), TensorError> {
+    pub fn matmul_into(&self, out: &mut Matrix, rhs: &Matrix) -> Result<(), TensorError> {
         if self.cols != rhs.rows {
             return Err(TensorError::ShapeMismatch {
                 expected: (self.cols, self.cols),

@@ -113,7 +113,7 @@ mod tests {
         let a = Matrix::identity(4);
         let b = Matrix::full(4, 4, 2.0);
         let mut out = pool.take(4, 4);
-        a.matmul_into(&b, &mut out).unwrap();
+        a.matmul_into(&mut out, &b).unwrap();
         assert_eq!(out, b, "matmul_into must overwrite stale contents");
     }
 }

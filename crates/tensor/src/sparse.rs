@@ -102,21 +102,23 @@ impl CsrMatrix {
     /// Sparse–dense product `self * dense`.
     pub fn matmul_dense(&self, dense: &Matrix) -> Result<Matrix, TensorError> {
         let mut out = Matrix::zeros(self.rows, dense.cols());
-        self.matmul_dense_into(dense, &mut out)?;
+        self.matmul_dense_into(&mut out, dense)?;
         Ok(out)
     }
 
     /// Sparse–dense product `self * dense` written into a caller-provided
-    /// buffer (typically from a [`crate::ScratchPool`]).
+    /// buffer (typically from a [`crate::ScratchPool`]). Like every `*_into`
+    /// kernel, it takes its output buffer as the first argument and fully
+    /// overwrites it.
     ///
-    /// `out` must already have shape `(self.rows, dense.cols())`; its
-    /// previous contents are overwritten. Rows of the output are
+    /// `out` must already have shape `(self.rows, dense.cols())`; the
+    /// kernel fully overwrites it. Rows of the output are
     /// independent, so when the total work (`nnz * dense_cols`) is large
     /// enough the row range is sharded across scoped threads; each row is
     /// still accumulated by exactly one thread in the same entry order as
     /// the serial loop, so results are bit-identical regardless of the
     /// thread count.
-    pub fn matmul_dense_into(&self, dense: &Matrix, out: &mut Matrix) -> Result<(), TensorError> {
+    pub fn matmul_dense_into(&self, out: &mut Matrix, dense: &Matrix) -> Result<(), TensorError> {
         if self.cols != dense.rows() {
             return Err(TensorError::ShapeMismatch {
                 expected: (self.cols, dense.cols()),

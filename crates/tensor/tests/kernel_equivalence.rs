@@ -47,7 +47,7 @@ proptest! {
         let mut pool = ScratchPool::new();
         let mut dirty = pool.take(m, n);
         dirty.data_mut().fill(f32::NAN);
-        a.matmul_into(&b, &mut dirty).unwrap();
+        a.matmul_into(&mut dirty, &b).unwrap();
         prop_assert_eq!(bits(&dirty), bits(&blocked));
     }
 
@@ -90,7 +90,7 @@ proptest! {
         let bias = Matrix::rand_uniform(1, d_out, -0.5, 0.5, &mut rng);
 
         let mut fused = Matrix::zeros(n, d_out);
-        fused_linear_into(&x, &w, &bias, act, &mut fused).unwrap();
+        fused_linear_into(&mut fused, &x, &w, &bias, act).unwrap();
 
         let mut unfused = x.matmul(&w).unwrap();
         for r in 0..n {

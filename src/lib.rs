@@ -273,6 +273,29 @@
 //! (`cargo bench -p dssddi-bench`); CI smoke-runs them with
 //! `cargo bench -- --test`.
 //!
+//! ## Static analysis
+//!
+//! The workspace ships its own analysis gate, [`analysis`]
+//! (`dssddi-analyze`), run by CI on every push:
+//!
+//! ```text
+//! cargo run --release -p dssddi-analyze --bin dssddi-analyze -- --deny-new --deny-stale
+//! ```
+//!
+//! It walks the workspace sources with a dependency-free lexer and
+//! enforces four invariant families no compiler checks: the canonical lock
+//! nesting order of the serving path (`LOCK00x` — acquisition-graph cycles,
+//! read→write upgrades, drift against the `LOCK ORDER:` block in
+//! `crates/serving/src/router.rs`), wire/container registry consistency
+//! (`WIRE00x` — duplicate or resurrected `DSWR` tags, encode/decode arm
+//! coverage, doc-table agreement, `ErrorCode` bijection), the panic policy
+//! (`PANIC00x` — `unwrap`/`expect`/`panic!`/indexing outside tests,
+//! ratcheted per file in `analysis/baseline.toml`), and the scratch-pool
+//! kernel convention (`KERNEL00x` — `*_into` kernels take their output
+//! first and declare `fully overwrites`). `dssddi-analyze --list`
+//! enumerates the codes; `--explain CODE` prints the rationale and the fix;
+//! `--update-baseline` tightens the ratchet after cleanups.
+//!
 //! ## Migrating from the research facade
 //!
 //! The pre-service entry points still compile but are deprecated:
@@ -287,6 +310,7 @@
 
 #![warn(missing_docs)]
 
+pub use dssddi_analyze as analysis;
 pub use dssddi_baselines as baselines;
 pub use dssddi_core as core;
 pub use dssddi_data as data;
