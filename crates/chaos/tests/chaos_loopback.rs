@@ -1,0 +1,316 @@
+//! End-to-end fault injection against a live gateway.
+//!
+//! Every fault kind the chaos proxy can inject is driven against a real
+//! `dssddi-serving` gateway over loopback TCP. The acceptance bar on both
+//! ends: **typed errors, never panics** — the client surfaces each fault
+//! as `ServingError::Wire`/`Io`, the gateway keeps serving direct traffic
+//! afterwards, slow-loris peers are reaped and counted, the connection
+//! bound sheds with a typed `Overloaded`, shutdown drains cleanly under
+//! live traffic, and a two-endpoint client rides out a black-holed
+//! gateway with ≥99% call success.
+
+// Tests may panic freely; the workspace-level panic policy denies library
+// and binary code only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use dssddi_chaos::{ChaosHandle, ChaosProxy, Fault, FaultPlan, FaultSpec};
+use dssddi_serving::demo::{demo_catalog, DEMO_SEED};
+use dssddi_serving::{Client, ErrorCode, RetryPolicy, Router, Server, ServerConfig, ServingError};
+
+fn spawn_gateway(
+    config: ServerConfig,
+) -> (
+    SocketAddr,
+    std::thread::JoinHandle<Result<(), ServingError>>,
+) {
+    let (catalog, _world) = demo_catalog(DEMO_SEED).expect("demo catalog");
+    let server =
+        Server::bind_with_config("127.0.0.1:0", Router::new(catalog), config).expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn spawn_proxy(upstream: SocketAddr, plan: FaultPlan) -> ChaosHandle {
+    let listen: SocketAddr = "127.0.0.1:0".parse().expect("listen addr");
+    ChaosProxy::bind(listen, upstream, plan)
+        .expect("bind proxy")
+        .spawn()
+        .expect("spawn proxy")
+}
+
+fn stop_gateway(addr: SocketAddr, server: std::thread::JoinHandle<Result<(), ServingError>>) {
+    Client::connect(addr)
+        .expect("shutdown client")
+        .shutdown()
+        .expect("shutdown ack");
+    server.join().expect("server thread").expect("clean run");
+}
+
+#[test]
+fn every_fault_kind_is_a_typed_error_and_the_gateway_survives() {
+    let (addr, server) = spawn_gateway(ServerConfig::default());
+
+    struct Case {
+        name: &'static str,
+        spec: FaultSpec,
+        expect_ok: bool,
+        fired: fn(&dssddi_chaos::FaultCounts) -> u64,
+    }
+    let cases = [
+        Case {
+            // A bounded delay inside the client's timeout is survivable.
+            name: "delay",
+            spec: FaultSpec::response(Fault::Delay {
+                ms: 30,
+                jitter_ms: 20,
+            }),
+            expect_ok: true,
+            fired: |c| c.delays,
+        },
+        Case {
+            name: "truncate response",
+            spec: FaultSpec::response(Fault::Truncate { after: 30 }),
+            expect_ok: false,
+            fired: |c| c.truncations,
+        },
+        Case {
+            name: "corrupt byte (CRC)",
+            spec: FaultSpec::response(Fault::CorruptByte { at: 25 }),
+            expect_ok: false,
+            fired: |c| c.corruptions,
+        },
+        Case {
+            name: "reset",
+            spec: FaultSpec::response(Fault::Reset),
+            expect_ok: false,
+            fired: |c| c.resets,
+        },
+        Case {
+            // Each pause exceeds the client's read timeout, so the stall
+            // surfaces as a mid-frame timeout. (A trickle *faster* than
+            // the read timeout is the server-side slow-loris case, covered
+            // by `slow_loris_request_is_reaped_with_typed_timeout_and_counted`.)
+            name: "stall (slow loris)",
+            spec: FaultSpec::response(Fault::Stall {
+                first: 10,
+                pause_ms: 1_500,
+            }),
+            expect_ok: false,
+            fired: |c| c.stalls,
+        },
+        Case {
+            name: "black hole",
+            spec: FaultSpec::response(Fault::BlackHole),
+            expect_ok: false,
+            fired: |c| c.black_holes,
+        },
+        Case {
+            name: "truncate request",
+            spec: FaultSpec::request(Fault::Truncate { after: 10 }),
+            expect_ok: false,
+            fired: |c| c.truncations,
+        },
+    ];
+
+    for case in cases {
+        let handle = spawn_proxy(addr, FaultPlan::new(7, vec![case.spec]));
+        let mut client = Client::connect_timeout(handle.addr(), Duration::from_millis(700))
+            .expect("connect through proxy");
+        let result = client.list_models();
+        if case.expect_ok {
+            assert!(
+                result.is_ok(),
+                "{}: expected success, got {result:?}",
+                case.name
+            );
+        } else {
+            let err = result.expect_err(case.name);
+            assert!(
+                matches!(err, ServingError::Wire(_) | ServingError::Io { .. }),
+                "{}: fault must surface as a typed transport error, got {err:?}",
+                case.name
+            );
+        }
+        let counts = handle.counts();
+        assert!(
+            (case.fired)(&counts) >= 1,
+            "{}: fault must be counted, got {counts:?}",
+            case.name
+        );
+        handle.shutdown();
+
+        // The gateway itself never degrades: direct traffic still works.
+        let mut direct = Client::connect(addr).expect("direct connect");
+        assert!(
+            direct.list_models().is_ok(),
+            "{}: gateway must survive the faulted connection",
+            case.name
+        );
+    }
+    stop_gateway(addr, server);
+}
+
+#[test]
+fn slow_loris_request_is_reaped_with_typed_timeout_and_counted() {
+    let (addr, server) = spawn_gateway(ServerConfig {
+        max_connections: None,
+        frame_deadline: Duration::from_millis(400),
+    });
+    // Trickle the *request* to the server: 6 bytes up front (enough to
+    // start the frame and arm the per-frame deadline), then one byte per
+    // 300 ms — each byte arrives inside the server's stall-poll budget,
+    // which is exactly the attack the wall-clock deadline exists for.
+    let handle = spawn_proxy(
+        addr,
+        FaultPlan::new(
+            5,
+            vec![FaultSpec::request(Fault::Stall {
+                first: 6,
+                pause_ms: 300,
+            })],
+        ),
+    );
+    let mut client =
+        Client::connect_timeout(handle.addr(), Duration::from_secs(3)).expect("connect");
+    let err = client.list_models().expect_err("stalled request must fail");
+    assert!(
+        matches!(err, ServingError::Wire(_) | ServingError::Io { .. }),
+        "reap must surface as a typed transport error, got {err:?}"
+    );
+    handle.shutdown();
+
+    let mut direct = Client::connect(addr).expect("direct connect");
+    let report = direct.stats_report().expect("stats report");
+    assert!(
+        report.gateway.stalled_reaped >= 1,
+        "the reaped slow-loris connection must be counted: {report:?}"
+    );
+    drop(direct);
+    stop_gateway(addr, server);
+}
+
+#[test]
+fn connection_bound_sheds_with_typed_overloaded() {
+    let (addr, server) = spawn_gateway(ServerConfig {
+        max_connections: Some(1),
+        frame_deadline: Duration::from_secs(10),
+    });
+    let mut first = Client::connect(addr).expect("first connection");
+    assert!(first.list_models().is_ok());
+
+    let mut second = Client::connect_timeout(addr, Duration::from_secs(2))
+        .expect("TCP connect succeeds even at the bound");
+    let err = second.list_models().expect_err("second connection is shed");
+    match err {
+        ServingError::Remote {
+            code: ErrorCode::Overloaded,
+            ..
+        } => {}
+        other => panic!("shed must be a typed Overloaded, got {other:?}"),
+    }
+    drop(second);
+
+    let report = first.stats_report().expect("stats report");
+    assert!(
+        report.gateway.connections_shed >= 1,
+        "shed must be counted: {report:?}"
+    );
+    assert!(report.gateway.connections_accepted >= 2);
+    first.shutdown().expect("shutdown ack");
+    server.join().expect("server thread").expect("clean run");
+}
+
+#[test]
+fn graceful_drain_under_live_traffic() {
+    let (addr, server) = spawn_gateway(ServerConfig::default());
+    let stop = Arc::new(AtomicBool::new(false));
+    let workers: Vec<_> = (0..4)
+        .map(|worker| {
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || -> Result<u64, String> {
+                let mut served = 0u64;
+                let mut client =
+                    Client::connect(addr).map_err(|e| format!("worker {worker}: connect: {e}"))?;
+                while !stop.load(Ordering::Relaxed) {
+                    match client.list_models() {
+                        Ok(_) => served += 1,
+                        // The drain closing this connection is the clean
+                        // outcome; anything else (a panic would poison the
+                        // join instead) is a failure.
+                        Err(ServingError::Wire(_)) | Err(ServingError::Io { .. }) => break,
+                        Err(other) => {
+                            return Err(format!("worker {worker}: unexpected error: {other}"))
+                        }
+                    }
+                }
+                Ok(served)
+            })
+        })
+        .collect();
+
+    // Let real traffic flow, then shut down *under* it.
+    std::thread::sleep(Duration::from_millis(150));
+    Client::connect(addr)
+        .expect("shutdown client")
+        .shutdown()
+        .expect("shutdown acknowledged under live traffic");
+    let run_result = server.join().expect("server thread must not panic");
+    assert!(run_result.is_ok(), "drain must be clean: {run_result:?}");
+    stop.store(true, Ordering::Relaxed);
+    for worker in workers {
+        let served = worker
+            .join()
+            .expect("worker thread must not panic")
+            .expect("workers see only typed errors");
+        assert!(
+            served > 0,
+            "every worker must have been served before drain"
+        );
+    }
+}
+
+#[test]
+fn failover_sustains_client_success_when_one_endpoint_black_holes() {
+    let (addr, server) = spawn_gateway(ServerConfig::default());
+    // Two proxy endpoints in front of the same gateway stand in for a
+    // two-gateway replica set; black-holing one mid-run kills its live
+    // connections and eats its new ones.
+    let a = spawn_proxy(addr, FaultPlan::clean(1));
+    let b = spawn_proxy(addr, FaultPlan::clean(2));
+
+    let mut client = Client::connect_any(&[a.addr(), b.addr()], Duration::from_millis(400))
+        .expect("connect_any");
+    client.set_retry_policy(
+        Some(
+            RetryPolicy::new(4, Duration::from_millis(10), Duration::from_millis(50))
+                .retry_connection_faults(true),
+        ),
+        9,
+    );
+
+    let total = 200u32;
+    let mut ok = 0u32;
+    for i in 0..total {
+        if i == 50 {
+            // Kill the first endpoint mid-run: in-flight and future
+            // traffic through it goes dark.
+            a.set_black_hole(true);
+        }
+        if client.list_models().is_ok() {
+            ok += 1;
+        }
+    }
+    assert!(
+        ok * 100 >= total * 99,
+        "failover must sustain >=99% success, got {ok}/{total}"
+    );
+
+    a.shutdown();
+    b.shutdown();
+    stop_gateway(addr, server);
+}

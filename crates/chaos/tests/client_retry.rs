@@ -1,0 +1,157 @@
+//! Connection-fault retry semantics of the serving client.
+//!
+//! Driven through the chaos proxy so the faults are real socket-level
+//! events, not mocks: a reset on the first connection must be retried
+//! transparently for idempotent requests when the policy arms
+//! connection-fault retries; a transport fault without that arming must
+//! poison the connection (the historical contract); and a non-idempotent
+//! reload must **never** be retried across a transport fault — the first
+//! send may have executed.
+
+// Tests may panic freely; the workspace-level panic policy denies library
+// and binary code only.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use dssddi_chaos::{ChaosHandle, ChaosProxy, Fault, FaultPlan, FaultSpec};
+use dssddi_serving::demo::{demo_catalog, demo_world, DEMO_SEED};
+use dssddi_serving::{Client, ModelKey, RetryPolicy, Router, Server, ServerConfig, ServingError};
+
+fn spawn_gateway() -> (
+    SocketAddr,
+    std::thread::JoinHandle<Result<(), ServingError>>,
+) {
+    let (catalog, _world) = demo_catalog(DEMO_SEED).expect("demo catalog");
+    let server =
+        Server::bind_with_config("127.0.0.1:0", Router::new(catalog), ServerConfig::default())
+            .expect("bind");
+    let addr = server.local_addr().expect("local addr");
+    (addr, std::thread::spawn(move || server.run()))
+}
+
+fn spawn_proxy(upstream: SocketAddr, plan: FaultPlan) -> ChaosHandle {
+    let listen: SocketAddr = "127.0.0.1:0".parse().expect("listen addr");
+    ChaosProxy::bind(listen, upstream, plan)
+        .expect("bind proxy")
+        .spawn()
+        .expect("spawn proxy")
+}
+
+fn stop_gateway(addr: SocketAddr, server: std::thread::JoinHandle<Result<(), ServingError>>) {
+    Client::connect(addr)
+        .expect("shutdown client")
+        .shutdown()
+        .expect("shutdown ack");
+    server.join().expect("server thread").expect("clean run");
+}
+
+/// Connection 0 resets, connection 1 is clean: an armed client retries an
+/// idempotent call onto the fresh connection and the caller never sees
+/// the fault.
+#[test]
+fn idempotent_calls_retry_through_connection_faults() {
+    let (addr, server) = spawn_gateway();
+    let handle = spawn_proxy(
+        addr,
+        FaultPlan::new(
+            3,
+            vec![
+                FaultSpec::response(Fault::Reset),
+                FaultSpec::response(Fault::None),
+            ],
+        ),
+    );
+    let mut client =
+        Client::connect_timeout(handle.addr(), Duration::from_secs(2)).expect("connect");
+    client.set_retry_policy(
+        Some(
+            RetryPolicy::new(3, Duration::from_millis(5), Duration::from_millis(20))
+                .retry_connection_faults(true),
+        ),
+        11,
+    );
+    let models = client
+        .list_models()
+        .expect("the reset is retried onto a fresh connection");
+    assert!(!models.is_empty());
+    assert!(handle.counts().resets >= 1, "the reset must have fired");
+    handle.shutdown();
+    stop_gateway(addr, server);
+}
+
+/// Without connection-fault retries armed, a transport fault keeps the
+/// historical contract: typed error now, poisoned fail-fast afterwards.
+#[test]
+fn transport_fault_without_armed_retry_poisons_the_connection() {
+    let (addr, server) = spawn_gateway();
+    let handle = spawn_proxy(
+        addr,
+        FaultPlan::new(3, vec![FaultSpec::response(Fault::Reset)]),
+    );
+    let mut client =
+        Client::connect_timeout(handle.addr(), Duration::from_secs(2)).expect("connect");
+    let err = client.list_models().expect_err("the reset must surface");
+    assert!(
+        matches!(err, ServingError::Wire(_) | ServingError::Io { .. }),
+        "expected a typed transport error, got {err:?}"
+    );
+    let err = client.list_models().expect_err("the client is poisoned");
+    assert!(
+        matches!(err, ServingError::Protocol { .. }),
+        "poisoned clients fail fast with a protocol error, got {err:?}"
+    );
+    handle.shutdown();
+    stop_gateway(addr, server);
+}
+
+/// Connection 0 truncates the response, connection 1 is clean. If the
+/// client (incorrectly) retried the reload, the retry would land on the
+/// clean connection and succeed — so an error here proves the reload was
+/// sent exactly once. The client stays usable for idempotent traffic
+/// afterwards: the dead socket was dropped, not poisoned.
+#[test]
+fn reloads_are_never_retried_across_transport_faults() {
+    let (addr, server) = spawn_gateway();
+    let handle = spawn_proxy(
+        addr,
+        FaultPlan::new(
+            3,
+            vec![
+                FaultSpec::response(Fault::Truncate { after: 30 }),
+                FaultSpec::response(Fault::None),
+            ],
+        ),
+    );
+    let world = demo_world(DEMO_SEED).expect("demo world");
+    let kb = dssddi_serving::KnowledgeBase::from_ddi_graph(&world.ddi, &world.registry)
+        .expect("build kb");
+    let container = kb.to_container_bytes();
+    let key = ModelKey::new("chronic").expect("key");
+
+    let mut client =
+        Client::connect_timeout(handle.addr(), Duration::from_secs(2)).expect("connect");
+    client.set_retry_policy(
+        Some(
+            RetryPolicy::new(3, Duration::from_millis(5), Duration::from_millis(20))
+                .retry_connection_faults(true),
+        ),
+        13,
+    );
+    let err = client
+        .reload_kb(&key, &container)
+        .expect_err("a reload is never retried across a transport fault");
+    assert!(
+        matches!(err, ServingError::Wire(_) | ServingError::Io { .. }),
+        "expected a typed transport error, got {err:?}"
+    );
+    // The fault dropped the stream instead of poisoning: idempotent
+    // traffic reconnects (onto the clean connection 1) and succeeds.
+    assert!(
+        client.list_models().is_ok(),
+        "idempotent traffic must recover on a fresh connection"
+    );
+    handle.shutdown();
+    stop_gateway(addr, server);
+}

@@ -73,35 +73,35 @@ fn measure(
     batch_size: usize,
     iterations: usize,
     mut setup: impl FnMut(),
-    mut routine: impl FnMut(),
-) -> BenchResult {
+    mut routine: impl FnMut() -> Result<(), String>,
+) -> Result<BenchResult, String> {
     let mut latencies_ms = Vec::with_capacity(iterations);
     let mut total_s = 0.0f64;
     for _ in 0..iterations {
         setup();
         let start = Instant::now();
-        routine();
+        routine().map_err(|e| format!("{name}: {e}"))?;
         let elapsed = start.elapsed().as_secs_f64();
         total_s += elapsed;
         latencies_ms.push(elapsed * 1e3);
     }
     let mut sorted = latencies_ms.clone();
     sorted.sort_by(|a, b| a.total_cmp(b));
-    BenchResult {
+    Ok(BenchResult {
         name: name.to_string(),
         batch_size,
         iterations,
         throughput_rps: (batch_size * iterations) as f64 / total_s.max(1e-9),
         p50_ms: percentile(&sorted, 50.0),
         p99_ms: percentile(&sorted, 99.0),
-    }
+    })
 }
 
 fn json_escape(s: &str) -> String {
     s.replace('\\', "\\\\").replace('"', "\\\"")
 }
 
-fn write_report(path: &str, workload: &Workload, results: &[BenchResult]) {
+fn write_report(path: &str, workload: &Workload, results: &[BenchResult]) -> Result<(), String> {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"generated_by\": \"bench_report (dssddi-experiments)\",\n");
@@ -168,16 +168,18 @@ fn write_report(path: &str, workload: &Workload, results: &[BenchResult]) {
         });
     }
     out.push_str("  ]\n}\n");
-    std::fs::write(path, &out).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    std::fs::write(path, &out).map_err(|e| format!("cannot write {path}: {e}"))
 }
 
 fn serving_results(
     world: &BenchWorld,
     service: &DecisionService,
     w: &Workload,
-) -> Vec<BenchResult> {
+) -> Result<Vec<BenchResult>, String> {
     let mut results = Vec::new();
-    let engine = service.engine().expect("fitted service has an engine");
+    let engine = service
+        .engine()
+        .ok_or_else(|| "fitted service must have an engine".to_string())?;
     let held_out_pool: Vec<usize> = (w.n_observed..w.n_patients).collect();
 
     for &batch in &w.batch_sizes {
@@ -194,9 +196,12 @@ fn serving_results(
             w.iterations,
             || service.clear_explanation_cache(),
             || {
-                service.suggest_batch(&requests).expect("suggest_batch");
+                service
+                    .suggest_batch(&requests)
+                    .map(|_| ())
+                    .map_err(|e| format!("suggest_batch: {e}"))
             },
-        ));
+        )?);
         // Pre-PR execution shape: one thread, cold explanations.
         results.push(measure(
             "suggest_batch_cold_serial_1shard",
@@ -206,20 +211,26 @@ fn serving_results(
             || {
                 service
                     .suggest_batch_sharded(&requests, 1)
-                    .expect("suggest_batch_sharded");
+                    .map(|_| ())
+                    .map_err(|e| format!("suggest_batch_sharded: {e}"))
             },
-        ));
+        )?);
         // Warm memo: the steady state of a homogeneous cohort.
-        service.suggest_batch(&requests).expect("warm-up");
+        service
+            .suggest_batch(&requests)
+            .map_err(|e| format!("warm-up: {e}"))?;
         results.push(measure(
             "suggest_batch_memoized",
             batch,
             w.iterations,
             || {},
             || {
-                service.suggest_batch(&requests).expect("suggest_batch");
+                service
+                    .suggest_batch(&requests)
+                    .map(|_| ())
+                    .map_err(|e| format!("suggest_batch: {e}"))
             },
-        ));
+        )?);
         // Score prediction alone: taped reference vs tape-free fast path.
         results.push(measure(
             "predict_scores_taped",
@@ -229,18 +240,22 @@ fn serving_results(
             || {
                 engine
                     .predict_scores_taped(&features)
-                    .expect("predict_scores_taped");
+                    .map(|_| ())
+                    .map_err(|e| format!("predict_scores_taped: {e}"))
             },
-        ));
+        )?);
         results.push(measure(
             "predict_scores_tape_free",
             batch,
             w.iterations,
             || {},
             || {
-                engine.predict_scores(&features).expect("predict_scores");
+                engine
+                    .predict_scores(&features)
+                    .map(|_| ())
+                    .map_err(|e| format!("predict_scores: {e}"))
             },
-        ));
+        )?);
     }
 
     // Prescription critique (model-free serving path).
@@ -256,15 +271,18 @@ fn serving_results(
         w.iterations,
         || {},
         || {
-            service.check_prescription(&check).expect("check");
+            service
+                .check_prescription(&check)
+                .map(|_| ())
+                .map_err(|e| format!("check: {e}"))
         },
-    ));
+    )?);
 
     // Knowledge-base lookups: the per-pair cost the severity-graded
     // critique path adds on top of the graph walk. One "request" here is a
     // full sweep over every drug pair of the formulary.
     let kb = dssddi_kb::KnowledgeBase::from_ddi_graph(&world.ddi, &world.registry)
-        .expect("kb from ddi graph");
+        .map_err(|e| format!("kb from ddi graph: {e}"))?;
     let n_drugs = world.registry.len();
     results.push(measure(
         "kb_lookup",
@@ -280,23 +298,28 @@ fn serving_results(
                     }
                 }
             }
-            assert_eq!(graded, kb.len());
+            if graded == kb.len() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "kb sweep graded {graded} pairs, expected {}",
+                    kb.len()
+                ))
+            }
         },
-    ));
+    )?);
 
     // Persistence throughput.
     let dir = std::env::temp_dir().join("dssddi_bench_report");
-    std::fs::create_dir_all(&dir).expect("temp dir");
+    std::fs::create_dir_all(&dir).map_err(|e| format!("temp dir: {e}"))?;
     let path = dir.join("service.dssd");
     results.push(measure(
         "save_fitted_service",
         1,
         w.iterations,
         || {},
-        || {
-            service.save(&path).expect("save");
-        },
-    ));
+        || service.save(&path).map_err(|e| format!("save: {e}")),
+    )?);
     let registry = world.registry.clone();
     results.push(measure(
         "load_fitted_service",
@@ -304,37 +327,36 @@ fn serving_results(
         w.iterations,
         || {},
         || {
-            DecisionService::load(&path, registry.clone()).expect("load");
+            DecisionService::load(&path, registry.clone())
+                .map(|_| ())
+                .map_err(|e| format!("load: {e}"))
         },
-    ));
+    )?);
     let _ = std::fs::remove_file(&path);
-    results
+    Ok(results)
 }
 
 /// Network-path results: wire-protocol encode/decode round-trip cost and
 /// end-to-end gateway throughput over loopback TCP, per batch size —
 /// `BENCH_serving.json` tracks the serving trajectory *including* the
 /// network layer, not just the in-process core.
-fn gateway_results(world: &BenchWorld, w: &Workload) -> Vec<BenchResult> {
+fn gateway_results(world: &BenchWorld, w: &Workload) -> Result<Vec<BenchResult>, String> {
     let mut results = Vec::new();
-    let key = match ModelKey::new("chronic") {
-        Ok(key) => key,
-        Err(e) => panic!("model key: {e}"),
-    };
+    let key = ModelKey::new("chronic").map_err(|e| format!("model key: {e}"))?;
     let held_out_pool: Vec<usize> = (w.n_observed..w.n_patients).collect();
 
     // A gateway-owned service, fitted exactly like the in-process one.
     let mut catalog = ModelCatalog::new();
     catalog
         .insert(key.clone(), world.fitted_service(w.n_observed, w.seed + 2))
-        .unwrap_or_else(|e| panic!("catalog insert: {e}"));
+        .map_err(|e| format!("catalog insert: {e}"))?;
     let server = Server::bind("127.0.0.1:0", Router::new(catalog))
-        .unwrap_or_else(|e| panic!("bind gateway: {e}"));
+        .map_err(|e| format!("bind gateway: {e}"))?;
     let addr = server
         .local_addr()
-        .unwrap_or_else(|e| panic!("gateway addr: {e}"));
+        .map_err(|e| format!("gateway addr: {e}"))?;
     let server_thread = std::thread::spawn(move || server.run());
-    let mut client = Client::connect(addr).unwrap_or_else(|e| panic!("connect gateway: {e}"));
+    let mut client = Client::connect(addr).map_err(|e| format!("connect gateway: {e}"))?;
 
     for &batch in &w.gateway_batch_sizes {
         let patients: Vec<usize> = (0..batch)
@@ -355,16 +377,19 @@ fn gateway_results(world: &BenchWorld, w: &Workload) -> Vec<BenchResult> {
             || {},
             || {
                 let frame = encode_request(&wire_request);
-                let payload = open_wire_frame(&frame).expect("frame validates");
-                decode_request(payload).expect("payload decodes");
+                let payload =
+                    open_wire_frame(&frame).map_err(|e| format!("frame validates: {e}"))?;
+                decode_request(payload)
+                    .map(|_| ())
+                    .map_err(|e| format!("payload decodes: {e}"))
             },
-        ));
+        )?);
         // Response frames are much larger (explanation subgraphs); measure
         // them separately from a real served response.
         let response_frame = {
             let responses = client
                 .suggest_batch(&key, &requests)
-                .unwrap_or_else(|e| panic!("gateway warm-up: {e}"));
+                .map_err(|e| format!("gateway warm-up: {e}"))?;
             encode_response(&dssddi_serving::Response::SuggestBatch(responses))
         };
         results.push(measure(
@@ -373,10 +398,13 @@ fn gateway_results(world: &BenchWorld, w: &Workload) -> Vec<BenchResult> {
             w.iterations,
             || {},
             || {
-                let payload = open_wire_frame(&response_frame).expect("frame validates");
-                decode_response(payload).expect("payload decodes");
+                let payload = open_wire_frame(&response_frame)
+                    .map_err(|e| format!("frame validates: {e}"))?;
+                decode_response(payload)
+                    .map(|_| ())
+                    .map_err(|e| format!("payload decodes: {e}"))
             },
-        ));
+        )?);
         // End-to-end: client → loopback TCP → router → sharded
         // suggest_batch → response frame → client (warm explanation memo,
         // the steady state of a homogeneous cohort).
@@ -388,9 +416,10 @@ fn gateway_results(world: &BenchWorld, w: &Workload) -> Vec<BenchResult> {
             || {
                 client
                     .suggest_batch(&key, &requests)
-                    .unwrap_or_else(|e| panic!("gateway suggest_batch: {e}"));
+                    .map(|_| ())
+                    .map_err(|e| format!("gateway suggest_batch: {e}"))
             },
-        ));
+        )?);
     }
 
     // End-to-end severity-graded critique over the wire: client → loopback
@@ -409,18 +438,19 @@ fn gateway_results(world: &BenchWorld, w: &Workload) -> Vec<BenchResult> {
         || {
             client
                 .check_prescription(&key, &check)
-                .unwrap_or_else(|e| panic!("gateway check_prescription: {e}"));
+                .map(|_| ())
+                .map_err(|e| format!("gateway check_prescription: {e}"))
         },
-    ));
+    )?);
 
     client
         .shutdown()
-        .unwrap_or_else(|e| panic!("gateway shutdown: {e}"));
-    match server_thread.join() {
-        Ok(result) => result.unwrap_or_else(|e| panic!("gateway run loop: {e}")),
-        Err(_) => panic!("gateway run loop panicked"),
-    }
-    results
+        .map_err(|e| format!("gateway shutdown: {e}"))?;
+    server_thread
+        .join()
+        .map_err(|_| "gateway run loop panicked".to_string())?
+        .map_err(|e| format!("gateway run loop: {e}"))?;
+    Ok(results)
 }
 
 /// Open-loop traffic results: `dssddi-loadgen` drives an
@@ -430,38 +460,32 @@ fn gateway_results(world: &BenchWorld, w: &Workload) -> Vec<BenchResult> {
 /// `Overloaded` frames — answered-request throughput and admitted-frame
 /// latency percentiles measured from scheduled (not actual) send times,
 /// so server-side queueing cannot hide in generator back-pressure.
-fn loadgen_results(world: &BenchWorld, w: &Workload) -> Vec<BenchResult> {
+fn loadgen_results(world: &BenchWorld, w: &Workload) -> Result<Vec<BenchResult>, String> {
     let mut catalog = ModelCatalog::new();
-    let fitted_key = match ModelKey::new("chronic") {
-        Ok(key) => key,
-        Err(e) => panic!("model key: {e}"),
-    };
-    let support_key = match ModelKey::new("critique") {
-        Ok(key) => key,
-        Err(e) => panic!("model key: {e}"),
-    };
+    let fitted_key = ModelKey::new("chronic").map_err(|e| format!("model key: {e}"))?;
+    let support_key = ModelKey::new("critique").map_err(|e| format!("model key: {e}"))?;
     catalog
         .insert(fitted_key, world.fitted_service(w.n_observed, w.seed + 2))
-        .unwrap_or_else(|e| panic!("catalog insert: {e}"));
+        .map_err(|e| format!("catalog insert: {e}"))?;
     let support = dssddi_core::ServiceBuilder::fast()
         .build_support(&world.ddi)
-        .unwrap_or_else(|e| panic!("support shard: {e}"));
+        .map_err(|e| format!("support shard: {e}"))?;
     catalog
         .insert(support_key, support)
-        .unwrap_or_else(|e| panic!("catalog insert: {e}"));
+        .map_err(|e| format!("catalog insert: {e}"))?;
 
     // Capacity 400 requests/s (burst 100) against an offered 800
     // frames/s: a sustained ~2x overload, so the entries document
     // load-shed-before-collapse, not a clear-sky benchmark.
     let admission = AdmissionConfig {
-        default_rate: Some(RateLimit::new(400.0, 100.0).unwrap_or_else(|e| panic!("rate: {e}"))),
+        default_rate: Some(RateLimit::new(400.0, 100.0).map_err(|e| format!("rate: {e}"))?),
         ..AdmissionConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", Router::with_admission(catalog, admission))
-        .unwrap_or_else(|e| panic!("bind gateway: {e}"));
+        .map_err(|e| format!("bind gateway: {e}"))?;
     let addr = server
         .local_addr()
-        .unwrap_or_else(|e| panic!("gateway addr: {e}"));
+        .map_err(|e| format!("gateway addr: {e}"))?;
     let server_thread = std::thread::spawn(move || server.run());
 
     let mut results = Vec::new();
@@ -475,12 +499,15 @@ fn loadgen_results(world: &BenchWorld, w: &Workload) -> Vec<BenchResult> {
         config.duration = w.loadgen_duration;
         config.seed = w.seed;
         let report = dssddi_loadgen::run(&config)
-            .unwrap_or_else(|e| panic!("loadgen run ({connections} connections): {e}"));
+            .map_err(|e| format!("loadgen run ({connections} connections): {e}"))?;
         expected_shed += report.shed_requests;
-        assert_eq!(
-            report.server_shed_requests, expected_shed,
-            "gateway shed accounting must match the client tally"
-        );
+        if report.server_shed_requests != expected_shed {
+            return Err(format!(
+                "gateway shed accounting must match the client tally: \
+                 server says {}, clients tallied {expected_shed}",
+                report.server_shed_requests
+            ));
+        }
         eprintln!(
             "bench_report: loadgen {} connection(s): {} ok / {} shed, p99 {:.2} ms",
             connections,
@@ -498,18 +525,25 @@ fn loadgen_results(world: &BenchWorld, w: &Workload) -> Vec<BenchResult> {
         });
     }
 
-    let client = Client::connect(addr).unwrap_or_else(|e| panic!("connect gateway: {e}"));
+    let client = Client::connect(addr).map_err(|e| format!("connect gateway: {e}"))?;
     client
         .shutdown()
-        .unwrap_or_else(|e| panic!("gateway shutdown: {e}"));
-    match server_thread.join() {
-        Ok(result) => result.unwrap_or_else(|e| panic!("gateway run loop: {e}")),
-        Err(_) => panic!("gateway run loop panicked"),
-    }
-    results
+        .map_err(|e| format!("gateway shutdown: {e}"))?;
+    server_thread
+        .join()
+        .map_err(|_| "gateway run loop panicked".to_string())?
+        .map_err(|e| format!("gateway run loop: {e}"))?;
+    Ok(results)
 }
 
 fn main() {
+    if let Err(message) = run() {
+        eprintln!("bench_report: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().collect();
     let mut smoke = false;
     let mut out_path = "BENCH_serving.json".to_string();
@@ -569,12 +603,12 @@ fn main() {
     let service = world.fitted_service(workload.n_observed, workload.seed + 2);
 
     eprintln!("bench_report: running serving workload ...");
-    let mut results = serving_results(&world, &service, &workload);
+    let mut results = serving_results(&world, &service, &workload)?;
     eprintln!("bench_report: running gateway/network workload ...");
-    results.extend(gateway_results(&world, &workload));
+    results.extend(gateway_results(&world, &workload)?);
     eprintln!("bench_report: running open-loop overload traffic (dssddi-loadgen) ...");
-    results.extend(loadgen_results(&world, &workload));
-    write_report(&out_path, &workload, &results);
+    results.extend(loadgen_results(&world, &workload)?);
+    write_report(&out_path, &workload, &results)?;
     for r in &results {
         println!(
             "{:<34} batch {:>3}  {:>12.1} req/s  p50 {:>9.3} ms  p99 {:>9.3} ms",
@@ -582,4 +616,5 @@ fn main() {
         );
     }
     println!("wrote {out_path}");
+    Ok(())
 }

@@ -15,6 +15,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    if let Err(message) = run() {
+        eprintln!("table4_mimic: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run() -> Result<(), String> {
     let opts = RunOptions::from_args();
     let n_patients = if opts.full {
         6350
@@ -35,9 +42,9 @@ fn main() {
         },
         &mut rng,
     )
-    .expect("MIMIC-like generation");
-    let split =
-        dssddi_data::split_patients(mimic.n_patients(), (5, 3, 2), &mut rng).expect("split");
+    .map_err(|e| format!("MIMIC-like generation: {e}"))?;
+    let split = dssddi_data::split_patients(mimic.n_patients(), (5, 3, 2), &mut rng)
+        .map_err(|e| format!("split: {e}"))?;
 
     let train_x = mimic.features().select_rows(&split.train);
     let train_y = mimic.labels().select_rows(&split.train);
@@ -54,7 +61,7 @@ fn main() {
         })
         .collect();
     let train_graph = BipartiteGraph::from_pairs(split.train.len(), mimic.n_drugs(), &train_pairs)
-        .expect("train graph");
+        .map_err(|e| format!("train graph: {e}"))?;
 
     let epochs = if opts.full { 300 } else { 100 };
     let graph_cfg = dssddi_baselines::graph_models::GraphBaselineConfig {
@@ -69,10 +76,12 @@ fn main() {
     };
 
     let mut methods: Vec<MethodScores> = Vec::new();
-    let usersim = UserSim::fit(&train_x, &train_y).expect("UserSim");
+    let usersim = UserSim::fit(&train_x, &train_y).map_err(|e| format!("UserSim fit: {e}"))?;
     methods.push(MethodScores {
         name: "UserSim".into(),
-        scores: usersim.predict_scores(&test_x).unwrap(),
+        scores: usersim
+            .predict_scores(&test_x)
+            .map_err(|e| format!("UserSim predict: {e}"))?,
     });
     let ecc = EccRecommender::fit(
         &train_x,
@@ -83,10 +92,12 @@ fn main() {
         },
         &mut rng,
     )
-    .expect("ECC");
+    .map_err(|e| format!("ECC fit: {e}"))?;
     methods.push(MethodScores {
         name: "ECC".into(),
-        scores: ecc.predict_scores(&test_x).unwrap(),
+        scores: ecc
+            .predict_scores(&test_x)
+            .map_err(|e| format!("ECC predict: {e}"))?,
     });
     let svm = SvmRecommender::fit(
         &train_x,
@@ -96,40 +107,53 @@ fn main() {
             ..Default::default()
         },
     )
-    .expect("SVM");
+    .map_err(|e| format!("SVM fit: {e}"))?;
     methods.push(MethodScores {
         name: "SVM".into(),
-        scores: svm.predict_scores(&test_x).unwrap(),
+        scores: svm
+            .predict_scores(&test_x)
+            .map_err(|e| format!("SVM predict: {e}"))?,
     });
-    let gcmc = GcmcRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).expect("GCMC");
+    let gcmc = GcmcRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng)
+        .map_err(|e| format!("GCMC fit: {e}"))?;
     methods.push(MethodScores {
         name: "GCMC".into(),
-        scores: gcmc.predict_scores(&test_x).unwrap(),
+        scores: gcmc
+            .predict_scores(&test_x)
+            .map_err(|e| format!("GCMC predict: {e}"))?,
     });
-    let lightgcn =
-        LightGcnRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).expect("LightGCN");
+    let lightgcn = LightGcnRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng)
+        .map_err(|e| format!("LightGCN fit: {e}"))?;
     methods.push(MethodScores {
         name: "LightGCN".into(),
-        scores: lightgcn.predict_scores(&test_x).unwrap(),
+        scores: lightgcn
+            .predict_scores(&test_x)
+            .map_err(|e| format!("LightGCN predict: {e}"))?,
     });
     let safedrug =
         SafeDrugRecommender::fit(&train_x, &train_y, mimic.ddi(), 0.05, &neural_cfg, &mut rng)
-            .expect("SafeDrug");
+            .map_err(|e| format!("SafeDrug fit: {e}"))?;
     methods.push(MethodScores {
         name: "SafeDrug".into(),
-        scores: safedrug.predict_scores(&test_x).unwrap(),
+        scores: safedrug
+            .predict_scores(&test_x)
+            .map_err(|e| format!("SafeDrug predict: {e}"))?,
     });
-    let bipar =
-        BiparGcnRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).expect("Bipar-GCN");
+    let bipar = BiparGcnRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng)
+        .map_err(|e| format!("Bipar-GCN fit: {e}"))?;
     methods.push(MethodScores {
         name: "Bipar-GCN".into(),
-        scores: bipar.predict_scores(&test_x).unwrap(),
+        scores: bipar
+            .predict_scores(&test_x)
+            .map_err(|e| format!("Bipar-GCN predict: {e}"))?,
     });
-    let causerec =
-        CauseRecRecommender::fit(&train_x, &train_y, 0.2, &neural_cfg, &mut rng).expect("CauseRec");
+    let causerec = CauseRecRecommender::fit(&train_x, &train_y, 0.2, &neural_cfg, &mut rng)
+        .map_err(|e| format!("CauseRec fit: {e}"))?;
     methods.push(MethodScores {
         name: "CauseRec".into(),
-        scores: causerec.predict_scores(&test_x).unwrap(),
+        scores: causerec
+            .predict_scores(&test_x)
+            .map_err(|e| format!("CauseRec predict: {e}"))?,
     });
 
     // DSSDDI(GIN): antagonism-only DDI graph, one-hot drug features.
@@ -145,13 +169,16 @@ fn main() {
         &config,
         &mut rng,
     )
-    .expect("DSSDDI(GIN) on MIMIC");
+    .map_err(|e| format!("DSSDDI(GIN) fit on MIMIC: {e}"))?;
     methods.push(MethodScores {
         name: "DSSDDI(GIN)".into(),
-        scores: system.predict_scores(&test_x).unwrap(),
+        scores: system
+            .predict_scores(&test_x)
+            .map_err(|e| format!("DSSDDI(GIN) predict: {e}"))?,
     });
 
     print_metric_table("Table IV (k = 4, 6, 8)", &methods, &test_y, &[4, 6, 8]);
     println!("\nPaper reference: all methods score much higher than on the chronic data");
     println!("(8-15 drugs per patient); DSSDDI(GIN) is best, LightGCN/SafeDrug follow.");
+    Ok(())
 }

@@ -551,11 +551,15 @@ impl KnowledgeBase {
         })
     }
 
-    /// Writes the `DSKB` container to a file.
+    /// Writes the `DSKB` container to a file crash-safely: the bytes are
+    /// staged in a temporary sibling and renamed into place atomically
+    /// (see [`dssddi_tensor::serde::atomic_write`]), so a writer killed
+    /// mid-save leaves the previous knowledge base intact — never a torn
+    /// container.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), KbError> {
-        let path = path.as_ref();
-        std::fs::write(path, self.to_container_bytes()).map_err(|e| KbError::Io {
-            what: format!("writing {}: {e}", path.display()),
+        dssddi_tensor::serde::atomic_write(path, &self.to_container_bytes()).map_err(|e| match e {
+            SerdeError::Io { what } => KbError::Io { what },
+            other => KbError::Serde(other),
         })
     }
 

@@ -31,6 +31,10 @@ fn usage() -> String {
      \x20 --mix S:B:C:R        weights for suggest:batch:check:reload (default 55:20:24:1)\n\
      \x20 --slo-p99-ms MS      p99 objective for the SLO verdict (default 50)\n\
      \x20 --append PATH        splice loadgen_* results into an existing BENCH_serving.json\n\
+     \x20 --chaos SEED:SPEC    interpose a deterministic fault-injecting proxy in front of\n\
+     \x20                      --addr and tolerate the injected faults; SPEC is a comma list\n\
+     \x20                      of none|reset|blackhole|delay:MS[:JIT]|trunc:N|corrupt:N|\n\
+     \x20                      stall[:N:MS]|mixed, each optionally @req/@resp/@both\n\
      \x20 --smoke              CI preset: 2 s runs over 1,4 connections\n\
      \x20 --shutdown           ask the gateway to exit after the sweep\n"
         .to_string()
@@ -40,6 +44,7 @@ struct Args {
     config: LoadgenConfig,
     connections: Vec<usize>,
     append: Option<String>,
+    chaos: Option<dssddi_chaos::FaultPlan>,
     shutdown: bool,
 }
 
@@ -72,6 +77,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut mix = WorkloadMix::default();
     let mut slo_p99_ms = 50.0f64;
     let mut append = None;
+    let mut chaos = None;
     let mut smoke = false;
     let mut shutdown = false;
 
@@ -119,6 +125,12 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .map_err(|e| format!("bad --slo-p99-ms: {e}"))?;
             }
             "--append" => append = Some(value("--append")?),
+            "--chaos" => {
+                chaos = Some(
+                    dssddi_chaos::FaultPlan::parse(&value("--chaos")?)
+                        .map_err(|e| format!("bad --chaos: {e}"))?,
+                );
+            }
             "--smoke" => smoke = true,
             "--shutdown" => shutdown = true,
             "--help" | "-h" => return Err(usage()),
@@ -142,22 +154,70 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     config.batch_size = batch;
     config.mix = mix;
     config.slo_p99_ms = slo_p99_ms;
+    config.fault_tolerant = chaos.is_some();
     Ok(Args {
         config,
         connections,
         append,
+        chaos,
         shutdown,
     })
 }
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let args = match parse_args(&argv) {
+    let mut args = match parse_args(&argv) {
         Ok(args) => args,
         Err(message) => {
             eprintln!("{message}");
             std::process::exit(2);
         }
+    };
+
+    // The gateway's real address — kept for --shutdown so the request
+    // does not go through the chaos proxy (which might corrupt it).
+    let direct_addr = args.config.addr.clone();
+    let chaos_handle = match args.chaos.take() {
+        Some(plan) => {
+            use std::net::ToSocketAddrs;
+            let upstream = match direct_addr
+                .to_socket_addrs()
+                .ok()
+                .and_then(|mut addrs| addrs.next())
+            {
+                Some(addr) => addr,
+                None => {
+                    eprintln!("dssddi-loadgen: cannot resolve --addr {direct_addr}");
+                    std::process::exit(2);
+                }
+            };
+            let listen = match "127.0.0.1:0".parse() {
+                Ok(listen) => listen,
+                Err(e) => {
+                    eprintln!("dssddi-loadgen: internal listen address: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let seed = plan.seed();
+            let handle = dssddi_chaos::ChaosProxy::bind(listen, upstream, plan)
+                .and_then(dssddi_chaos::ChaosProxy::spawn);
+            match handle {
+                Ok(handle) => {
+                    eprintln!(
+                        "dssddi-loadgen: chaos proxy {} -> {} (seed {seed})",
+                        handle.addr(),
+                        upstream
+                    );
+                    args.config.addr = handle.addr().to_string();
+                    Some(handle)
+                }
+                Err(e) => {
+                    eprintln!("dssddi-loadgen: cannot start chaos proxy: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        None => None,
     };
 
     let mut entries = Vec::new();
@@ -209,8 +269,26 @@ fn main() {
         println!("appended {} loadgen result(s) to {path}", entries.len());
     }
 
+    if let Some(handle) = chaos_handle {
+        let counts = handle.counts();
+        println!(
+            "chaos proxy: {} connection(s), {} delays, {} truncations, {} corruptions, \
+             {} resets, {} stalls, {} black-holed, {} upstream failures, {} bytes forwarded",
+            counts.connections,
+            counts.delays,
+            counts.truncations,
+            counts.corruptions,
+            counts.resets,
+            counts.stalls,
+            counts.black_holes,
+            counts.upstream_failures,
+            counts.bytes_forwarded
+        );
+        handle.shutdown();
+    }
+
     if args.shutdown {
-        match dssddi_serving::Client::connect(args.config.addr.as_str()) {
+        match dssddi_serving::Client::connect(direct_addr.as_str()) {
             Ok(client) => {
                 if let Err(e) = client.shutdown() {
                     eprintln!("dssddi-loadgen: shutdown request failed: {e}");

@@ -37,5 +37,5 @@ pub mod workload;
 
 pub use histogram::Histogram;
 pub use report::{append_results, BenchEntry};
-pub use runner::{run, KindTally, LoadgenConfig, LoadgenReport};
+pub use runner::{run, ConnFaults, KindTally, LoadgenConfig, LoadgenReport};
 pub use workload::{OpKind, WorkloadMix, Zipf};

@@ -12,16 +12,20 @@
 //!
 //! Workers never panic on rejections: a typed `Overloaded` frame is the
 //! admission-control contract working as designed and is tallied as a
-//! shed. Any transport-level failure (dropped connection, protocol error)
-//! aborts the run with an error — a gateway under test must never degrade
-//! that way.
+//! shed. By default any transport-level failure (dropped connection,
+//! protocol error) aborts the run with an error — a gateway under test
+//! must never degrade that way. In fault-tolerant mode
+//! ([`LoadgenConfig::fault_tolerant`], used by chaos runs where faults
+//! are *injected* on purpose) connection faults are instead tallied per
+//! kind — resets, timeouts, short reads, corrupt frames, all distinct
+//! from sheds — and the worker reconnects and keeps its schedule.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use dssddi_core::{CheckPrescriptionRequest, DrugId, PatientId, SuggestRequest};
 use dssddi_serving::demo::demo_world;
-use dssddi_serving::{Client, ErrorCode, ModelKey, ServingError};
+use dssddi_serving::{Client, ErrorCode, ModelKey, RetryPolicy, ServingError, WireError};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -56,6 +60,15 @@ pub struct LoadgenConfig {
     /// ship. Only shards whose `registry_digest` matches that formulary
     /// receive reloads.
     pub reload_seed: u64,
+    /// Tolerate connection-level faults instead of aborting the run:
+    /// resets, response timeouts, short reads and corrupt frames are
+    /// tallied per kind in [`LoadgenReport::conn_faults`] (distinct from
+    /// typed `Overloaded` sheds) and the worker reconnects and carries
+    /// on. This is the mode chaos runs (`dssddi-loadgen --chaos`) use; a
+    /// plain benchmark keeps the default `false`, where any transport
+    /// fault still fails the run — a gateway under test must never
+    /// degrade that way on its own.
+    pub fault_tolerant: bool,
 }
 
 impl LoadgenConfig {
@@ -73,6 +86,7 @@ impl LoadgenConfig {
             mix: WorkloadMix::default(),
             slo_p99_ms: 50.0,
             reload_seed: dssddi_serving::demo::DEMO_SEED,
+            fault_tolerant: false,
         }
     }
 
@@ -110,6 +124,75 @@ pub struct KindTally {
     pub shed: u64,
     /// Frames answered with any other typed error.
     pub errors: u64,
+    /// Frames lost to a connection-level fault (fault-tolerant runs).
+    pub faults: u64,
+}
+
+/// Connection-level fault counts, by kind — kept strictly separate from
+/// typed `Overloaded` sheds, which are the admission-control contract
+/// working as designed, not a fault.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ConnFaults {
+    /// Sockets torn by the peer or the path (reset, broken pipe, refused
+    /// reconnect) — any I/O-level failure that is not one of the more
+    /// specific kinds below.
+    pub resets: u64,
+    /// Responses that never arrived inside the armed read timeout.
+    pub timeouts: u64,
+    /// Connections the peer closed cleanly while a response was owed.
+    pub short_reads: u64,
+    /// Frames that arrived but failed validation (bad magic, CRC
+    /// mismatch, truncated payload, oversized declaration).
+    pub corrupt_frames: u64,
+}
+
+impl ConnFaults {
+    /// Total faults across all kinds.
+    pub fn total(&self) -> u64 {
+        self.resets + self.timeouts + self.short_reads + self.corrupt_frames
+    }
+
+    fn merge(&mut self, other: &ConnFaults) {
+        self.resets += other.resets;
+        self.timeouts += other.timeouts;
+        self.short_reads += other.short_reads;
+        self.corrupt_frames += other.corrupt_frames;
+    }
+
+    fn record(&mut self, kind: ConnFaultKind) {
+        match kind {
+            ConnFaultKind::Reset => self.resets += 1,
+            ConnFaultKind::Timeout => self.timeouts += 1,
+            ConnFaultKind::ShortRead => self.short_reads += 1,
+            ConnFaultKind::Corrupt => self.corrupt_frames += 1,
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ConnFaultKind {
+    Reset,
+    Timeout,
+    ShortRead,
+    Corrupt,
+}
+
+/// Classifies a transport-level failure into its fault kind; `None` for
+/// failures that are not connection faults (routing errors, protocol
+/// violations) — those always abort the run.
+fn conn_fault_kind(error: &ServingError) -> Option<ConnFaultKind> {
+    match error {
+        ServingError::Wire(WireError::Timeout) | ServingError::Wire(WireError::IdleTimeout) => {
+            Some(ConnFaultKind::Timeout)
+        }
+        ServingError::Wire(WireError::ConnectionClosed) => Some(ConnFaultKind::ShortRead),
+        ServingError::Wire(WireError::Decode(_))
+        | ServingError::Wire(WireError::Oversized { .. }) => Some(ConnFaultKind::Corrupt),
+        ServingError::Wire(WireError::Io { .. }) | ServingError::Io { .. } => {
+            Some(ConnFaultKind::Reset)
+        }
+        _ => None,
+    }
 }
 
 /// The merged outcome of one run.
@@ -134,6 +217,12 @@ pub struct LoadgenReport {
     pub shed_requests: u64,
     /// Requests answered with any other typed error.
     pub error_requests: u64,
+    /// Requests lost to connection-level faults (fault-tolerant runs
+    /// only; plain runs abort on the first such fault).
+    pub fault_requests: u64,
+    /// Connection-fault breakdown by kind — resets, timeouts, short
+    /// reads and corrupt frames, all distinct from `shed_requests`.
+    pub conn_faults: ConnFaults,
     /// Outcomes by operation kind, indexed by [`OpKind::index`].
     pub by_kind: [KindTally; 4],
     /// Latency of normally-answered frames, **microseconds**, measured
@@ -193,8 +282,13 @@ impl LoadgenReport {
             self.connections, self.offered_rps, self.elapsed_s
         ));
         out.push_str(&format!(
-            "  sent {} frames / {} requests: {} ok, {} shed, {} errors\n",
-            self.frames, self.requests, self.ok_requests, self.shed_requests, self.error_requests
+            "  sent {} frames / {} requests: {} ok, {} shed, {} errors, {} conn faults\n",
+            self.frames,
+            self.requests,
+            self.ok_requests,
+            self.shed_requests,
+            self.error_requests,
+            self.fault_requests
         ));
         for kind in OpKind::ALL {
             let t = &self.by_kind[kind.index()];
@@ -207,6 +301,15 @@ impl LoadgenReport {
                     t.shed
                 ));
             }
+        }
+        if self.conn_faults.total() > 0 {
+            out.push_str(&format!(
+                "  conn faults: {} resets, {} timeouts, {} short reads, {} corrupt frames\n",
+                self.conn_faults.resets,
+                self.conn_faults.timeouts,
+                self.conn_faults.short_reads,
+                self.conn_faults.corrupt_frames
+            ));
         }
         out.push_str(&format!(
             "  achieved {:.1} req/s  p50 {:.3} ms  p90 {:.3} ms  p99 {:.3} ms  max {:.3} ms\n",
@@ -265,9 +368,13 @@ enum CallOutcome {
     Ok,
     Shed,
     RemoteError,
+    ConnFault(ConnFaultKind),
 }
 
-fn classify<T>(result: Result<T, ServingError>) -> Result<CallOutcome, String> {
+fn classify<T>(
+    result: Result<T, ServingError>,
+    fault_tolerant: bool,
+) -> Result<CallOutcome, String> {
     match result {
         Ok(_) => Ok(CallOutcome::Ok),
         Err(ServingError::Remote {
@@ -275,7 +382,10 @@ fn classify<T>(result: Result<T, ServingError>) -> Result<CallOutcome, String> {
             ..
         }) => Ok(CallOutcome::Shed),
         Err(ServingError::Remote { .. }) => Ok(CallOutcome::RemoteError),
-        Err(other) => Err(format!("connection degraded: {other}")),
+        Err(other) => match conn_fault_kind(&other) {
+            Some(kind) if fault_tolerant => Ok(CallOutcome::ConnFault(kind)),
+            _ => Err(format!("connection degraded: {other}")),
+        },
     }
 }
 
@@ -285,6 +395,8 @@ struct WorkerTally {
     ok_requests: u64,
     shed_requests: u64,
     error_requests: u64,
+    fault_requests: u64,
+    conn_faults: ConnFaults,
     by_kind: [KindTally; 4],
     hist: Histogram,
 }
@@ -296,6 +408,22 @@ fn worker_run(
 ) -> Result<WorkerTally, String> {
     let mut client = Client::connect(config.addr.as_str())
         .map_err(|e| format!("worker {worker}: connect {}: {e}", config.addr))?;
+    if config.fault_tolerant {
+        // One attempt (no in-client retries — the run wants to *observe*
+        // every fault), but with connection-fault handling armed: a
+        // transport fault drops the dead socket instead of poisoning the
+        // client, so the next scheduled frame reconnects transparently.
+        client.set_retry_policy(
+            Some(
+                RetryPolicy::new(1, Duration::from_millis(1), Duration::from_millis(1))
+                    .retry_connection_faults(true),
+            ),
+            config.seed ^ worker as u64,
+        );
+        client
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .map_err(|e| format!("worker {worker}: arm read timeout: {e}"))?;
+    }
     let mut rng = StdRng::seed_from_u64(
         config.seed ^ (worker as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0xA076_1D64_78BD_642F,
     );
@@ -306,6 +434,8 @@ fn worker_run(
         ok_requests: 0,
         shed_requests: 0,
         error_requests: 0,
+        fault_requests: 0,
+        conn_faults: ConnFaults::default(),
         by_kind: [KindTally::default(); 4],
         hist: Histogram::new(),
     };
@@ -334,8 +464,15 @@ fn worker_run(
         } else {
             1
         };
-        let outcome = issue(&mut client, plan, kind, &mut rng, &mut cursors)
-            .map_err(|e| format!("worker {worker}: {e}"))?;
+        let outcome = issue(
+            &mut client,
+            plan,
+            kind,
+            &mut rng,
+            &mut cursors,
+            config.fault_tolerant,
+        )
+        .map_err(|e| format!("worker {worker}: {e}"))?;
         let latency = start.elapsed().saturating_sub(next);
         tally.frames += 1;
         tally.requests += n_requests;
@@ -357,6 +494,11 @@ fn worker_run(
                 tally.error_requests += n_requests;
                 per_kind.errors += 1;
             }
+            CallOutcome::ConnFault(kind) => {
+                tally.fault_requests += n_requests;
+                tally.conn_faults.record(kind);
+                per_kind.faults += 1;
+            }
         }
     }
     Ok(tally)
@@ -368,6 +510,7 @@ fn issue(
     kind: OpKind,
     rng: &mut StdRng,
     cursors: &mut [usize],
+    fault_tolerant: bool,
 ) -> Result<CallOutcome, String> {
     match kind {
         OpKind::Suggest | OpKind::SuggestBatch => {
@@ -400,9 +543,9 @@ fn issue(
                 ));
             }
             if kind == OpKind::SuggestBatch {
-                classify(client.suggest_batch(&target.key, &requests))
+                classify(client.suggest_batch(&target.key, &requests), fault_tolerant)
             } else {
-                classify(client.suggest(&target.key, &requests[0]))
+                classify(client.suggest(&target.key, &requests[0]), fault_tolerant)
             }
         }
         OpKind::CheckPrescription => {
@@ -416,7 +559,10 @@ fn issue(
                     drugs.push(id);
                 }
             }
-            classify(client.check_prescription(&target.key, &CheckPrescriptionRequest::new(drugs)))
+            classify(
+                client.check_prescription(&target.key, &CheckPrescriptionRequest::new(drugs)),
+                fault_tolerant,
+            )
         }
         OpKind::ReloadKb => {
             let (zipf, shards) = match (&plan.zipf_reload, &plan.reloadable) {
@@ -424,7 +570,10 @@ fn issue(
                 _ => return Err("reload sampled with no reloadable shard".to_string()),
             };
             let target = &plan.plans[shards[zipf.sample(rng)]];
-            classify(client.reload_kb(&target.key, &plan.reload_bytes))
+            classify(
+                client.reload_kb(&target.key, &plan.reload_bytes),
+                fault_tolerant,
+            )
         }
     }
 }
@@ -438,6 +587,20 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     config.validate()?;
     let mut probe = Client::connect(config.addr.as_str())
         .map_err(|e| format!("connect {}: {e}", config.addr))?;
+    if config.fault_tolerant {
+        // The probe's discovery and final stats calls must survive
+        // injected faults too: retry with reconnect-and-failover armed.
+        probe.set_retry_policy(
+            Some(
+                RetryPolicy::new(6, Duration::from_millis(20), Duration::from_millis(200))
+                    .retry_connection_faults(true),
+            ),
+            config.seed ^ 0x70B3,
+        );
+        probe
+            .set_read_timeout(Some(Duration::from_secs(2)))
+            .map_err(|e| format!("arm probe read timeout: {e}"))?;
+    }
     let mut models = probe
         .list_models()
         .map_err(|e| format!("list models: {e}"))?;
@@ -540,6 +703,8 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let mut ok_requests = 0u64;
     let mut shed_requests = 0u64;
     let mut error_requests = 0u64;
+    let mut fault_requests = 0u64;
+    let mut conn_faults = ConnFaults::default();
     let mut by_kind = [KindTally::default(); 4];
     let mut latency = Histogram::new();
     let mut failure: Option<String> = None;
@@ -551,11 +716,14 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
                 ok_requests += tally.ok_requests;
                 shed_requests += tally.shed_requests;
                 error_requests += tally.error_requests;
+                fault_requests += tally.fault_requests;
+                conn_faults.merge(&tally.conn_faults);
                 for (merged, kind) in by_kind.iter_mut().zip(tally.by_kind) {
                     merged.frames += kind.frames;
                     merged.ok += kind.ok;
                     merged.shed += kind.shed;
                     merged.errors += kind.errors;
+                    merged.faults += kind.faults;
                 }
                 latency.merge(&tally.hist);
             }
@@ -582,6 +750,8 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         ok_requests,
         shed_requests,
         error_requests,
+        fault_requests,
+        conn_faults,
         by_kind,
         latency,
         slo_p99_ms: config.slo_p99_ms,
@@ -641,6 +811,8 @@ mod tests {
             ok_requests: 4,
             shed_requests: 6,
             error_requests: 0,
+            fault_requests: 0,
+            conn_faults: ConnFaults::default(),
             by_kind: [KindTally::default(); 4],
             latency,
             slo_p99_ms: 50.0,

@@ -20,24 +20,55 @@
 //! client opts in with [`Client::set_retry_policy`]; retries back off
 //! exponentially with jitter (so a fleet of rejected clients does not
 //! return in lock-step) and give up after a bounded number of attempts.
-//! Only `Overloaded` is retried: every other failure class is either a
-//! caller bug (`InvalidInput`), a deployment problem (`UnknownModel`) or a
-//! transport failure where the request may have executed.
+//!
+//! ## Retrying connection faults, and failing over
+//!
+//! With [`RetryPolicy::retry_connection_faults`] armed, transport-level
+//! failures — a reset, a response timeout, a torn or corrupt frame — are
+//! also retried, but **only for idempotent requests** (suggestions,
+//! critiques, listings, stats, pings: read-only, so a duplicate execution
+//! is harmless). Non-idempotent messages (`ReloadModel`, `ReloadKb`,
+//! `Shutdown`) are never retried on a transport fault: the first send may
+//! have executed before the connection died, and re-applying a reload is
+//! not the client's call to make. The failed socket is always discarded
+//! before a retry — a fresh connection can never deliver a stale response
+//! to the wrong request.
+//!
+//! A client built with [`Client::connect_any`] holds several gateway
+//! endpoints with per-endpoint health memory: an endpoint that keeps
+//! failing enters an exponentially growing cooldown and reconnects prefer
+//! the healthiest endpoint, so when one gateway of a replica set dies
+//! mid-run, armed retries land on a live one and the caller sees nothing
+//! but a slower call.
+//!
+//! Without connection-fault retries armed, a transport failure poisons the
+//! connection (the historical behavior): a late response could answer the
+//! wrong request, so every later call fails fast until the caller
+//! reconnects.
 
-use std::net::{TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
 
 use dssddi_core::{CheckPrescriptionRequest, InteractionReport, SuggestRequest, SuggestResponse};
 use dssddi_kb::KbInfo;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::router::{ModelInfo, ModelKey, ModelStats};
+use crate::router::{ModelInfo, ModelKey, ModelStats, StatsReport};
 use crate::wire::{self, ErrorCode, RequestRef, Response, WireError};
 use crate::ServingError;
 
+/// First cooldown after an endpoint failure; doubles per consecutive
+/// failure up to [`ENDPOINT_COOLDOWN_MAX`].
+const ENDPOINT_COOLDOWN_BASE: Duration = Duration::from_millis(250);
+
+/// Upper bound on an endpoint's failure cooldown.
+const ENDPOINT_COOLDOWN_MAX: Duration = Duration::from_secs(8);
+
 /// Bounded, jittered exponential backoff for retrying `Overloaded`
-/// rejections (opt-in via [`Client::set_retry_policy`]).
+/// rejections — and, when [`RetryPolicy::retry_connection_faults`] is
+/// armed, idempotent requests hit by connection-level faults (opt-in via
+/// [`Client::set_retry_policy`]).
 ///
 /// Attempt `k` (1-based) sleeps `min(max_delay, base_delay * 2^(k-1))`
 /// scaled by a uniform jitter factor in `[0.5, 1.0)` before retrying.
@@ -50,17 +81,32 @@ pub struct RetryPolicy {
     pub base_delay: Duration,
     /// Upper bound on any single backoff (pre-jitter).
     pub max_delay: Duration,
+    /// Whether transport-level faults (reset, timeout, short read) are
+    /// retried too — idempotent requests only; see the module docs.
+    pub connection_faults: bool,
 }
 
 impl RetryPolicy {
     /// A policy with the given bounds (`max_attempts` counts the first
-    /// attempt and is clamped to at least 1).
+    /// attempt and is clamped to at least 1). Retries `Overloaded`
+    /// rejections only; extend to transport faults with
+    /// [`RetryPolicy::retry_connection_faults`].
     pub fn new(max_attempts: u32, base_delay: Duration, max_delay: Duration) -> Self {
         Self {
             max_attempts: max_attempts.max(1),
             base_delay,
             max_delay,
+            connection_faults: false,
         }
+    }
+
+    /// Extends (or restricts) this policy to also retry connection-level
+    /// faults — resets, response timeouts and short reads — for idempotent
+    /// requests, reconnecting (and failing over, with
+    /// [`Client::connect_any`]) before each retry.
+    pub fn retry_connection_faults(mut self, on: bool) -> Self {
+        self.connection_faults = on;
+        self
     }
 
     /// The jittered backoff before retry number `attempt` (1-based: the
@@ -76,17 +122,69 @@ impl RetryPolicy {
     }
 }
 
-/// A blocking connection to a `dssddi-serve` gateway.
+/// One gateway address plus its health memory.
+#[derive(Debug, Clone)]
+struct Endpoint {
+    addr: SocketAddr,
+    /// Consecutive failures since the last success on this endpoint.
+    failures: u32,
+    /// Reconnects avoid this endpoint until the cooldown passes (unless
+    /// every endpoint is cooling down — then the least-recently-failed one
+    /// is tried anyway: a client with work to do never refuses to try).
+    cooldown_until: Option<Instant>,
+}
+
+impl Endpoint {
+    fn new(addr: SocketAddr) -> Self {
+        Self {
+            addr,
+            failures: 0,
+            cooldown_until: None,
+        }
+    }
+
+    fn cooling_down(&self, now: Instant) -> bool {
+        self.cooldown_until.is_some_and(|until| until > now)
+    }
+
+    fn note_failure(&mut self, now: Instant) {
+        self.failures = self.failures.saturating_add(1);
+        let exp = self.failures.saturating_sub(1).min(16);
+        let cooldown = ENDPOINT_COOLDOWN_BASE
+            .saturating_mul(2u32.saturating_pow(exp))
+            .min(ENDPOINT_COOLDOWN_MAX);
+        self.cooldown_until = Some(now + cooldown);
+    }
+
+    fn note_success(&mut self) {
+        self.failures = 0;
+        self.cooldown_until = None;
+    }
+}
+
+/// A blocking connection to a `dssddi-serve` gateway (or, with
+/// [`Client::connect_any`], to the healthiest of several).
 #[derive(Debug)]
 pub struct Client {
-    stream: TcpStream,
-    /// Set after a transport-level failure (timeout, I/O error, undecodable
-    /// frame). The stream may then hold a late or partial response, so
-    /// reading the *next* frame could deliver a stale answer to the wrong
-    /// request — every later call fails fast instead of risking that.
+    /// The live connection; `None` after a transport fault dropped it (a
+    /// later call reconnects when connection-fault retries are armed).
+    stream: Option<TcpStream>,
+    /// Known gateway endpoints with health memory; never empty.
+    endpoints: Vec<Endpoint>,
+    /// Index into `endpoints` of the connection currently (or last) held.
+    current: usize,
+    /// Deadline for (re)connect attempts (`None` = the OS default).
+    connect_timeout: Option<Duration>,
+    /// Armed response timeout, re-applied on every reconnect.
+    read_timeout: Option<Duration>,
+    /// Set after a transport-level failure when connection-fault retries
+    /// are NOT armed. The stream may then hold a late or partial response,
+    /// so reading the *next* frame could deliver a stale answer to the
+    /// wrong request — every later call fails fast instead of risking
+    /// that. (With retries armed the stream is dropped instead, which
+    /// removes the hazard without poisoning.)
     poisoned: bool,
-    /// Retry policy for `Overloaded` rejections plus the jitter RNG
-    /// (`None` = fail fast, the default).
+    /// Retry policy plus the jitter RNG (`None` = fail fast, the default).
     retry: Option<(RetryPolicy, StdRng)>,
 }
 
@@ -96,15 +194,15 @@ impl Client {
     /// [`Client::connect_timeout`] anywhere a human or a request deadline
     /// is waiting.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServingError> {
-        let stream = TcpStream::connect(addr).map_err(|e| ServingError::Io {
-            what: format!("connecting to gateway: {e}"),
-        })?;
-        stream.set_nodelay(true).ok();
-        Ok(Self {
-            stream,
-            poisoned: false,
-            retry: None,
-        })
+        let addrs: Vec<SocketAddr> = addr
+            .to_socket_addrs()
+            .map_err(|e| ServingError::Io {
+                what: format!("resolving gateway address: {e}"),
+            })?
+            .collect();
+        let mut client = Self::from_endpoints(&addrs, None, None)?;
+        client.ensure_connected()?;
+        Ok(client)
     }
 
     /// Connects to a gateway with an overall connect deadline (shared by
@@ -124,78 +222,180 @@ impl Client {
         addr: impl ToSocketAddrs,
         timeout: Duration,
     ) -> Result<Self, ServingError> {
-        let addrs: Vec<_> = addr
+        let addrs: Vec<SocketAddr> = addr
             .to_socket_addrs()
             .map_err(|e| ServingError::Io {
                 what: format!("resolving gateway address: {e}"),
             })?
             .collect();
-        let deadline = std::time::Instant::now() + timeout;
-        let mut last_error: Option<std::io::Error> = None;
-        let stream = addrs
-            .iter()
-            .find_map(|addr| {
-                let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-                if remaining.is_zero() {
-                    return None;
-                }
-                match TcpStream::connect_timeout(addr, remaining) {
-                    Ok(stream) => Some(stream),
-                    Err(e) => {
-                        last_error = Some(e);
-                        None
-                    }
-                }
-            })
-            .ok_or_else(|| ServingError::Io {
-                what: match last_error {
-                    Some(e) => format!("connecting to gateway within {timeout:?}: {e}"),
-                    None => "gateway address resolved to no socket addresses".to_string(),
-                },
-            })?;
-        stream.set_nodelay(true).ok();
-        let client = Self {
-            stream,
+        let mut client = Self::from_endpoints(&addrs, Some(timeout), Some(timeout))?;
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    /// Connects to the first healthy endpoint of a replica set, remembering
+    /// all of them: every later reconnect — including the automatic ones a
+    /// connection-fault [`RetryPolicy`] performs — prefers the endpoint
+    /// with the best health record, so a dead or black-holed gateway is
+    /// routed around after its first failure. `timeout` bounds each
+    /// connect attempt and arms the per-call response timeout, exactly as
+    /// [`Client::connect_timeout`] does.
+    pub fn connect_any(addrs: &[SocketAddr], timeout: Duration) -> Result<Self, ServingError> {
+        let mut client = Self::from_endpoints(addrs, Some(timeout), Some(timeout))?;
+        client.ensure_connected()?;
+        Ok(client)
+    }
+
+    fn from_endpoints(
+        addrs: &[SocketAddr],
+        connect_timeout: Option<Duration>,
+        read_timeout: Option<Duration>,
+    ) -> Result<Self, ServingError> {
+        if addrs.is_empty() {
+            return Err(ServingError::Io {
+                what: "gateway address resolved to no socket addresses".to_string(),
+            });
+        }
+        Ok(Self {
+            stream: None,
+            endpoints: addrs.iter().copied().map(Endpoint::new).collect(),
+            current: 0,
+            connect_timeout,
+            read_timeout,
             poisoned: false,
             retry: None,
-        };
-        client.set_read_timeout(Some(timeout))?;
-        Ok(client)
+        })
+    }
+
+    /// Endpoint indices in the order a reconnect should try them: healthy
+    /// endpoints first (fewest consecutive failures), then cooling-down
+    /// ones by soonest cooldown expiry — a client with work to do never
+    /// refuses to try every address it knows.
+    fn endpoint_order(&self, now: Instant) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.endpoints.len()).collect();
+        order.sort_by_key(|&i| {
+            self.endpoints
+                .get(i)
+                .map(|e| {
+                    let cooling = e.cooling_down(now);
+                    let expiry = e
+                        .cooldown_until
+                        .map(|until| until.saturating_duration_since(now))
+                        .unwrap_or(Duration::ZERO);
+                    (cooling, e.failures, expiry)
+                })
+                .unwrap_or((true, u32::MAX, Duration::MAX))
+        });
+        order
+    }
+
+    /// Establishes a connection if none is held, trying endpoints in
+    /// health order and recording per-endpoint outcomes.
+    fn ensure_connected(&mut self) -> Result<(), ServingError> {
+        if self.stream.is_some() {
+            return Ok(());
+        }
+        let now = Instant::now();
+        let mut last_error: Option<String> = None;
+        for index in self.endpoint_order(now) {
+            let Some(endpoint) = self.endpoints.get(index) else {
+                continue;
+            };
+            let addr = endpoint.addr;
+            let attempt = match self.connect_timeout {
+                Some(timeout) => TcpStream::connect_timeout(&addr, timeout),
+                None => TcpStream::connect(addr),
+            };
+            match attempt {
+                Ok(stream) => {
+                    stream.set_nodelay(true).ok();
+                    stream.set_read_timeout(self.read_timeout).ok();
+                    self.stream = Some(stream);
+                    self.current = index;
+                    return Ok(());
+                }
+                Err(e) => {
+                    last_error = Some(format!("{addr}: {e}"));
+                    if let Some(endpoint) = self.endpoints.get_mut(index) {
+                        endpoint.note_failure(Instant::now());
+                    }
+                }
+            }
+        }
+        Err(ServingError::Io {
+            what: match last_error {
+                Some(e) => format!("connecting to gateway: {e}"),
+                None => "no gateway endpoint to connect to".to_string(),
+            },
+        })
     }
 
     /// Arms (or with `None` disarms) the response timeout: a call whose
     /// response does not arrive in time fails with
     /// [`WireError::Timeout`] instead of blocking forever. `Some(0)` is
-    /// rejected by the OS; pass `None` to disable.
-    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> Result<(), ServingError> {
-        self.stream
-            .set_read_timeout(timeout)
-            .map_err(|e| ServingError::Io {
-                what: format!("arming read timeout: {e}"),
-            })
+    /// rejected by the OS; pass `None` to disable. The setting survives
+    /// reconnects.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> Result<(), ServingError> {
+        self.read_timeout = timeout;
+        match &self.stream {
+            Some(stream) => stream
+                .set_read_timeout(timeout)
+                .map_err(|e| ServingError::Io {
+                    what: format!("arming read timeout: {e}"),
+                }),
+            None => Ok(()),
+        }
     }
 
-    /// Arms (or with `None` disarms) retrying of `Overloaded` rejections
-    /// with jittered exponential backoff. `seed` drives the jitter: fixed
-    /// in tests for reproducible schedules, distinct per client in a fleet
-    /// so rejected clients do not retry in lock-step.
+    /// Arms (or with `None` disarms) retrying with jittered exponential
+    /// backoff: `Overloaded` rejections always, connection-level faults
+    /// too when the policy says so (see
+    /// [`RetryPolicy::retry_connection_faults`]). `seed` drives the
+    /// jitter: fixed in tests for reproducible schedules, distinct per
+    /// client in a fleet so rejected clients do not retry in lock-step.
     pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>, seed: u64) {
         self.retry = policy.map(|p| (p, StdRng::seed_from_u64(seed)));
+    }
+
+    /// Whether the armed policy retries transport faults.
+    fn connection_faults_armed(&self) -> bool {
+        self.retry
+            .as_ref()
+            .is_some_and(|(policy, _)| policy.connection_faults)
+    }
+
+    /// Records the current endpoint's outcome in its health memory.
+    fn note_endpoint(&mut self, ok: bool) {
+        if let Some(endpoint) = self.endpoints.get_mut(self.current) {
+            if ok {
+                endpoint.note_success();
+            } else {
+                endpoint.note_failure(Instant::now());
+            }
+        }
     }
 
     /// One request/response exchange; remote error frames become
     /// [`ServingError::Remote`]. The borrowed view means no request payload
     /// (feature vectors included) is ever cloned just to be encoded.
     ///
-    /// Any transport-level failure poisons the connection: a timed-out
-    /// response may still arrive later, and delivering it as the answer to
-    /// the *next* request would silently return wrong clinical results.
-    /// (Typed `Remote` error frames keep the stream aligned and do not
-    /// poison.) A poisoned client fails every call; reconnect to recover.
+    /// Transport-fault handling depends on the armed [`RetryPolicy`]:
     ///
-    /// With a [`RetryPolicy`] armed, `Overloaded` rejections are retried
-    /// on the same connection (the error frame kept the stream aligned and
-    /// the request never executed) up to the policy's attempt budget.
+    /// - Policy retries connection faults: the dead socket is dropped (so
+    ///   no stale response can ever be read), the endpoint's health memory
+    ///   is charged, and — for idempotent requests within the attempt
+    ///   budget — the call reconnects (failing over under
+    ///   [`Client::connect_any`]) and retries after a jittered backoff.
+    ///   Non-idempotent requests (`ReloadModel`, `ReloadKb`, `Shutdown`)
+    ///   are **never** retried: the first send may have executed.
+    /// - Otherwise: the connection is poisoned — a timed-out response may
+    ///   still arrive later, and delivering it as the answer to the *next*
+    ///   request would silently return wrong clinical results. A poisoned
+    ///   client fails every call; reconnect to recover.
+    ///
+    /// `Overloaded` rejections are retried on the same connection whenever
+    /// a policy is armed (the typed error frame kept the stream aligned
+    /// and the request never executed).
     fn call(&mut self, request: RequestRef<'_>) -> Result<Response, ServingError> {
         if self.poisoned {
             return Err(ServingError::Protocol {
@@ -207,12 +407,22 @@ impl Client {
         let mut attempt = 0u32;
         loop {
             attempt += 1;
-            let result = self.exchange(request);
-            if matches!(
+            let (result, exchanged) = match self.ensure_connected() {
+                Ok(()) => (self.exchange(request), true),
+                Err(e) => (Err(e), false),
+            };
+            let transport_fault = matches!(
                 result,
                 Err(ServingError::Wire(_)) | Err(ServingError::Io { .. })
-            ) {
-                self.poisoned = true;
+            );
+            if transport_fault && exchanged {
+                // Never reuse a stream a fault tore mid-exchange.
+                self.stream = None;
+                self.note_endpoint(false);
+            } else if !transport_fault {
+                // Any well-formed answer (including typed Remote errors)
+                // proves the endpoint healthy.
+                self.note_endpoint(true);
             }
             let overloaded = matches!(
                 result,
@@ -221,23 +431,45 @@ impl Client {
                     ..
                 })
             );
+            let retry_transport =
+                transport_fault && request.is_idempotent() && self.connection_faults_armed();
             match self.retry.as_mut() {
-                Some((policy, rng)) if overloaded && attempt < policy.max_attempts => {
+                Some((policy, rng))
+                    if (overloaded || retry_transport) && attempt < policy.max_attempts =>
+                {
                     let backoff = policy.backoff(attempt, rng);
                     std::thread::sleep(backoff);
                 }
-                _ => return result,
+                _ => {
+                    if transport_fault && !self.connection_faults_armed() {
+                        self.poisoned = true;
+                    }
+                    return result;
+                }
             }
         }
     }
 
     fn exchange(&mut self, request: RequestRef<'_>) -> Result<Response, ServingError> {
-        wire::write_frame(&mut self.stream, &wire::encode_request_ref(request))?;
-        let payload = wire::read_frame(&mut self.stream).map_err(|e| match e {
-            // For a client a frame is always in flight once the request is
-            // written, so "idle" timeouts are the server failing to answer.
-            WireError::IdleTimeout => WireError::Timeout,
-            other => other,
+        // The armed read timeout doubles as a wall-clock deadline for the
+        // whole response frame: a peer trickling bytes faster than the
+        // socket timeout but never completing the frame (slow loris) must
+        // still fail with a typed timeout, not block the caller forever.
+        let frame_deadline = self.read_timeout;
+        let Some(stream) = self.stream.as_mut() else {
+            return Err(ServingError::Io {
+                what: "no gateway connection".to_string(),
+            });
+        };
+        wire::write_frame(stream, &wire::encode_request_ref(request))?;
+        let payload = wire::read_frame_with_limits(stream, 1, frame_deadline).map_err(|e| {
+            match e {
+                // For a client a frame is always in flight once the request
+                // is written, so "idle" timeouts are the server failing to
+                // answer.
+                WireError::IdleTimeout => WireError::Timeout,
+                other => other,
+            }
         })?;
         let response = wire::decode_response(&payload).map_err(WireError::Decode)?;
         match response {
@@ -305,7 +537,7 @@ impl Client {
     /// listing. The artifact must serve the shard's formulary and fit in
     /// one wire frame ([`wire::MAX_FRAME_PAYLOAD`], 16 MiB) — larger
     /// artifacts reach the gateway as files (`dssddi-serve` arguments /
-    /// `ModelCatalog::load_file`).
+    /// `ModelCatalog::load_file`). Never retried on transport faults.
     pub fn reload_model(
         &mut self,
         model: &ModelKey,
@@ -322,7 +554,8 @@ impl Client {
     /// base paired with a live key; returns the new KB's summary. The
     /// artifact must fit in one wire frame ([`wire::MAX_FRAME_PAYLOAD`],
     /// 16 MiB) — larger knowledge bases reach the gateway as files
-    /// (`dssddi-serve --kb` / `ModelCatalog::load_kb_file`).
+    /// (`dssddi-serve --kb` / `ModelCatalog::load_kb_file`). Never retried
+    /// on transport faults.
     pub fn reload_kb(
         &mut self,
         model: &ModelKey,
@@ -351,16 +584,35 @@ impl Client {
         }
     }
 
-    /// Fetches per-model serving statistics.
+    /// Fetches per-model serving statistics (the per-model half of
+    /// [`Client::stats_report`]).
     pub fn stats(&mut self) -> Result<Vec<(ModelKey, ModelStats)>, ServingError> {
+        Ok(self.stats_report()?.models)
+    }
+
+    /// Fetches the full statistics report: per-model serving statistics
+    /// plus the gateway's transport counters (connections accepted /
+    /// active / shed, stalled peers reaped).
+    pub fn stats_report(&mut self) -> Result<StatsReport, ServingError> {
         match self.call(RequestRef::Stats)? {
-            Response::Stats(entries) => Ok(entries),
+            Response::Stats(report) => Ok(report),
             other => Err(unexpected("Stats", &other)),
         }
     }
 
+    /// Control-plane liveness check: sends a `Ping` frame and returns the
+    /// round-trip time. Pings bypass admission control on the gateway, so
+    /// health probes keep answering while the data plane sheds load.
+    pub fn ping(&mut self) -> Result<Duration, ServingError> {
+        let start = Instant::now();
+        match self.call(RequestRef::Ping)? {
+            Response::Pong => Ok(start.elapsed()),
+            other => Err(unexpected("Ping", &other)),
+        }
+    }
+
     /// Asks the gateway to shut down cleanly, consuming the client. Returns
-    /// once the server has acknowledged.
+    /// once the server has acknowledged. Never retried on transport faults.
     pub fn shutdown(mut self) -> Result<(), ServingError> {
         match self.call(RequestRef::Shutdown)? {
             Response::ShuttingDown => Ok(()),
@@ -380,6 +632,7 @@ fn unexpected(asked: &str, got: &Response) -> ServingError {
         Response::KbInfo(_) => "KbInfo",
         Response::ListModels(_) => "ListModels",
         Response::Stats(_) => "Stats",
+        Response::Pong => "Pong",
         Response::ShuttingDown => "ShuttingDown",
         Response::Error { .. } => "Error",
     };

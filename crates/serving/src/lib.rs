@@ -76,8 +76,10 @@ pub mod wire;
 pub use admission::{AdmissionConfig, RateLimit, TokenBucket};
 pub use client::{Client, RetryPolicy};
 pub use dssddi_kb::{AlertPolicy, KbInfo, KnowledgeBase, Severity};
-pub use router::{ModelCatalog, ModelInfo, ModelKey, ModelStats, Router};
-pub use server::Server;
+pub use router::{
+    GatewayStats, ModelCatalog, ModelInfo, ModelKey, ModelStats, Router, StatsReport,
+};
+pub use server::{Server, ServerConfig, TransportStats};
 pub use wire::{ErrorCode, Request, Response, WireError};
 
 /// The single error type of the serving gateway, covering routing, wire

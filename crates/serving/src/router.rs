@@ -178,6 +178,34 @@ impl ModelStats {
     }
 }
 
+/// Gateway-wide transport statistics — connection-level accounting the
+/// per-model counters cannot see. Served in `Stats` responses next to the
+/// per-model entries; an in-process router with no network server attached
+/// reports zeros.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct GatewayStats {
+    /// Connections the server ever accepted.
+    pub connections_accepted: u64,
+    /// Connections currently being served — a gauge, not a counter.
+    pub connections_active: u64,
+    /// Connections refused at accept because the server's connection bound
+    /// was reached (each got a typed `Overloaded` error frame, then close).
+    pub connections_shed: u64,
+    /// Connections reaped because a peer stalled mid-frame past the
+    /// server's per-frame deadline — the slow-loris defense.
+    pub stalled_reaped: u64,
+}
+
+/// Everything a `Stats` request reports: per-model serving statistics plus
+/// the gateway's transport-level counters.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct StatsReport {
+    /// Per-model statistics, in key order.
+    pub models: Vec<(ModelKey, ModelStats)>,
+    /// Gateway-wide transport counters (zeros for in-process routers).
+    pub gateway: GatewayStats,
+}
+
 /// Sliding window of routed-call latencies (microseconds).
 struct LatencyWindow {
     samples: Vec<u64>,
@@ -546,6 +574,10 @@ pub struct Router {
     queue: Option<GlobalQueue>,
     /// Epoch of the token buckets' timestamps.
     origin: Instant,
+    /// Transport counters of the network server fronting this router,
+    /// attached by `Server::bind` before the router is shared. In-process
+    /// routers have none and report zeroed [`GatewayStats`].
+    transport: Option<Arc<crate::server::TransportStats>>,
 }
 
 impl Router {
@@ -570,7 +602,15 @@ impl Router {
             catalog,
             queue,
             origin: Instant::now(),
+            transport: None,
         }
+    }
+
+    /// Attaches the network server's transport counters so `Stats`
+    /// responses carry them. Called by `Server::bind` while it still owns
+    /// the router exclusively.
+    pub(crate) fn attach_transport(&mut self, transport: Arc<crate::server::TransportStats>) {
+        self.transport = Some(transport);
     }
 
     /// The catalog behind the router.
@@ -774,6 +814,24 @@ impl Router {
             .collect()
     }
 
+    /// The gateway's transport-level counters (zeros when no network
+    /// server is attached to this router).
+    pub fn gateway_stats(&self) -> GatewayStats {
+        self.transport
+            .as_deref()
+            .map(crate::server::TransportStats::snapshot)
+            .unwrap_or_default()
+    }
+
+    /// The full statistics report a wire `Stats` request answers with:
+    /// per-model entries plus the gateway transport counters.
+    pub fn stats_report(&self) -> StatsReport {
+        StatsReport {
+            models: self.stats(),
+            gateway: self.gateway_stats(),
+        }
+    }
+
     /// Maps one decoded request to its response, converting routing/service
     /// errors into typed error frames — request counts and error classes
     /// recorded, but *no* latency sample: the caller owns the sample point.
@@ -804,7 +862,11 @@ impl Router {
                 .map(Response::KbReloaded),
             Request::KbInfo { model } => self.kb_info(model).map(Response::KbInfo),
             Request::ListModels => Ok(Response::ListModels(self.list_models())),
-            Request::Stats => Ok(Response::Stats(self.stats())),
+            Request::Stats => Ok(Response::Stats(self.stats_report())),
+            // Ping is pure control-plane liveness: it touches no shard and
+            // bypasses admission, so health checks keep answering while the
+            // data plane sheds load.
+            Request::Ping => Ok(Response::Pong),
             Request::Shutdown => Ok(Response::ShuttingDown),
         };
         result.unwrap_or_else(|error| wire::error_response(&error))
@@ -822,6 +884,7 @@ impl Router {
             | Request::KbInfo { .. }
             | Request::ListModels
             | Request::Stats
+            | Request::Ping
             | Request::Shutdown => None,
         };
         if let Some(entry) = model.and_then(|key| self.catalog.models.get(key)) {

@@ -10,35 +10,109 @@
 //! Failure containment is the design center: a malformed or corrupt frame
 //! produces a typed [`Response::Error`] on that connection — or, when the
 //! stream can no longer be trusted to be frame-aligned, closes *that*
-//! connection — and never takes the gateway down. Only an explicit
-//! `Shutdown` message ends the accept loop.
+//! connection — and never takes the gateway down. A peer that stalls
+//! mid-frame (including a slow-loris trickling bytes just under the idle
+//! timeout) is reaped by the per-frame deadline and counted in
+//! [`TransportStats`]; a configured connection bound sheds excess
+//! connections with a typed `Overloaded` frame instead of letting handler
+//! threads grow without limit. Only an explicit `Shutdown` message ends
+//! the accept loop, and the drain then finishes every in-flight request
+//! before `run` returns.
 
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
-use crate::router::Router;
+use crate::router::{GatewayStats, Router};
 use crate::wire::{self, Request, WireError};
 use crate::ServingError;
+
+/// Gateway-wide transport counters, shared between the accept loop, every
+/// handler thread and the router (which serves them in `Stats` responses
+/// as [`GatewayStats`]). All atomics — no locks on the serving path.
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    accepted: AtomicU64,
+    active: AtomicU64,
+    shed: AtomicU64,
+    stalled: AtomicU64,
+}
+
+impl TransportStats {
+    /// A point-in-time copy of the counters.
+    pub fn snapshot(&self) -> GatewayStats {
+        GatewayStats {
+            connections_accepted: self.accepted.load(Ordering::Relaxed),
+            connections_active: self.active.load(Ordering::Relaxed),
+            connections_shed: self.shed.load(Ordering::Relaxed),
+            stalled_reaped: self.stalled.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Tuning knobs of a [`Server`], with production defaults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Upper bound on concurrently served connections. At the bound, new
+    /// connections are answered with one typed `Overloaded` error frame
+    /// and closed (a typed shed, counted in [`GatewayStats`]) — handler
+    /// threads can never grow without limit. `None` = unbounded.
+    pub max_connections: Option<usize>,
+    /// Wall-clock deadline for receiving one complete frame, measured from
+    /// its first byte. A peer that has not completed a frame in time —
+    /// stalled silent *or* trickling slow-loris bytes — is reaped with a
+    /// typed timeout. Generous by default: multi-megabyte reload uploads
+    /// are legitimate slow frames.
+    pub frame_deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            max_connections: None,
+            frame_deadline: FRAME_DEADLINE,
+        }
+    }
+}
 
 /// A bound, not-yet-running gateway server.
 pub struct Server {
     listener: TcpListener,
     router: Arc<Router>,
     shutdown: Arc<AtomicBool>,
+    transport: Arc<TransportStats>,
+    config: ServerConfig,
 }
 
 impl Server {
-    /// Binds the gateway to an address. Use port `0` for an ephemeral port
-    /// and read the actual one back with [`Server::local_addr`].
+    /// Binds the gateway to an address with default [`ServerConfig`]. Use
+    /// port `0` for an ephemeral port and read the actual one back with
+    /// [`Server::local_addr`].
     pub fn bind(addr: impl ToSocketAddrs, router: Router) -> Result<Self, ServingError> {
+        Self::bind_with_config(addr, router, ServerConfig::default())
+    }
+
+    /// [`Server::bind`] with explicit limits (connection bound, per-frame
+    /// deadline).
+    pub fn bind_with_config(
+        addr: impl ToSocketAddrs,
+        mut router: Router,
+        config: ServerConfig,
+    ) -> Result<Self, ServingError> {
         let listener = TcpListener::bind(addr).map_err(|e| ServingError::Io {
             what: format!("binding listener: {e}"),
         })?;
+        let transport = Arc::new(TransportStats::default());
+        // Attach while the router is still exclusively ours, so `Stats`
+        // responses report these counters without any lock.
+        router.attach_transport(Arc::clone(&transport));
         Ok(Self {
             listener,
             router: Arc::new(router),
             shutdown: Arc::new(AtomicBool::new(false)),
+            transport,
+            config,
         })
     }
 
@@ -81,13 +155,34 @@ impl Server {
             }
             match stream {
                 Ok(stream) => {
+                    self.transport.accepted.fetch_add(1, Ordering::Relaxed);
                     // Reap finished handlers so the list tracks live
                     // connections, not connection history.
                     handlers.retain(|handle| !handle.is_finished());
+                    // Bounded connection count: at the cap, shed with one
+                    // typed error frame instead of spawning a handler. The
+                    // active gauge is incremented *here*, before the spawn,
+                    // so a burst of accepts cannot overshoot the bound.
+                    let active = self.transport.active.fetch_add(1, Ordering::SeqCst);
+                    if self
+                        .config
+                        .max_connections
+                        .is_some_and(|cap| active as usize >= cap)
+                    {
+                        self.transport.active.fetch_sub(1, Ordering::SeqCst);
+                        self.transport.shed.fetch_add(1, Ordering::Relaxed);
+                        shed_connection(stream, self.config.max_connections.unwrap_or(0));
+                        continue;
+                    }
                     let router = Arc::clone(&self.router);
                     let shutdown = Arc::clone(&self.shutdown);
+                    let transport = Arc::clone(&self.transport);
+                    let deadline = self.config.frame_deadline;
                     handlers.push(std::thread::spawn(move || {
-                        handle_connection(stream, &router, &shutdown, wake);
+                        // Balance the increment above whatever way the
+                        // handler exits.
+                        let _active = ActiveGuard(&transport);
+                        handle_connection(stream, &router, &shutdown, wake, &transport, deadline);
                     }));
                 }
                 // A failed accept with the peer gone mid-handshake is
@@ -110,11 +205,33 @@ impl Server {
     }
 }
 
+/// Decrements the active-connection gauge when a handler exits, however it
+/// exits.
+struct ActiveGuard<'a>(&'a TransportStats);
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Answers a connection shed at the bound with one typed `Overloaded`
+/// frame, then closes it. Best-effort: the peer may already be gone.
+fn shed_connection(mut stream: TcpStream, cap: usize) {
+    let error = ServingError::Overloaded {
+        key: "gateway".to_string(),
+        what: format!("connection limit of {cap} reached"),
+    };
+    let response = wire::error_response(&error);
+    let _ = wire::write_frame(&mut stream, &wire::encode_response(&response));
+}
+
 impl std::fmt::Debug for Server {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Server")
             .field("addr", &self.listener.local_addr().ok())
             .field("models", &self.router.catalog().keys())
+            .field("config", &self.config)
             .finish()
     }
 }
@@ -132,12 +249,20 @@ const IDLE_POLL_INTERVAL: std::time::Duration = std::time::Duration::from_millis
 /// when a peer stalls mid-frame — at most the same ~10 s.)
 const MID_FRAME_STALL_POLLS: u32 = 40;
 
+/// Default wall-clock deadline for one complete frame, from its first byte
+/// (see [`ServerConfig::frame_deadline`]). Matches the silent-stall bound:
+/// 40 polls × 250 ms. Unlike the consecutive-stall budget, this also reaps
+/// slow-loris peers whose trickle keeps resetting that counter.
+const FRAME_DEADLINE: Duration = Duration::from_secs(10);
+
 /// Serves one connection until it closes, fails, or the gateway shuts down.
 fn handle_connection(
     mut stream: TcpStream,
     router: &Router,
     shutdown: &AtomicBool,
     wake: SocketAddr,
+    transport: &TransportStats,
+    frame_deadline: Duration,
 ) {
     // Frames are written in one piece; waiting for coalescing only adds
     // latency on the small request/response frames exchanged here.
@@ -147,7 +272,11 @@ fn handle_connection(
     // fires mid-frame means the peer stalled and the connection is dropped.
     stream.set_read_timeout(Some(IDLE_POLL_INTERVAL)).ok();
     loop {
-        let payload = match wire::read_frame_with_stall_budget(&mut stream, MID_FRAME_STALL_POLLS) {
+        let payload = match wire::read_frame_with_limits(
+            &mut stream,
+            MID_FRAME_STALL_POLLS,
+            Some(frame_deadline),
+        ) {
             Ok(payload) => payload,
             Err(WireError::IdleTimeout) => {
                 if shutdown.load(Ordering::SeqCst) {
@@ -156,7 +285,13 @@ fn handle_connection(
                 continue;
             }
             Err(WireError::ConnectionClosed) => return,
-            Err(WireError::Timeout) | Err(WireError::Io { .. }) => return,
+            Err(WireError::Timeout) => {
+                // The peer stalled mid-frame past the deadline (silent, or
+                // a slow-loris trickle): reap the connection and count it.
+                transport.stalled.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+            Err(WireError::Io { .. }) => return,
             Err(error) => {
                 // Bad magic, version mismatch, truncation, CRC failure or an
                 // oversized length: answer with a typed error, then close —

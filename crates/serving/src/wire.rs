@@ -43,6 +43,18 @@
 //! `Stats` body (`shed_requests`, `in_flight`, `queue_depth_hwm`). The
 //! same single-build compatibility caveat applies.
 //!
+//! The resilience subsystem extended the protocol once more: a `Ping` (11)
+//! request with a matching `Pong` (11) response — the control-plane health
+//! check behind `Client::ping`, which bypasses admission control so
+//! liveness probes answer even while the data plane sheds load — plus the
+//! gateway transport counters appended to the `Stats` body (connections
+//! accepted/active/shed and mid-frame stall reaps). Mid-frame timeout
+//! semantics also hardened: a server read deadline now applies *per frame*
+//! ([`read_frame_with_limits`]), so a slow-loris peer trickling bytes just
+//! under the idle timeout is reaped with a typed [`WireError::Timeout`]
+//! once the whole frame overstays its deadline, instead of holding a
+//! handler thread forever. The same single-build caveat applies.
+//!
 //! Decoding is fully defensive: truncated frames, flipped bits (caught by
 //! the CRC), foreign magic bytes, future protocol versions, unknown message
 //! tags and oversized declared lengths all produce typed [`WireError`]s —
@@ -62,7 +74,7 @@ use dssddi_tensor::serde::{
     FRAME_HEADER_LEN,
 };
 
-use crate::router::{ModelInfo, ModelKey, ModelStats};
+use crate::router::{GatewayStats, ModelInfo, ModelKey, ModelStats, StatsReport};
 use crate::ServingError;
 
 /// Magic bytes opening every wire frame ("DSsddi WiRe").
@@ -310,6 +322,9 @@ pub enum Request {
     ListModels,
     /// Per-model serving statistics.
     Stats,
+    /// Control-plane liveness check: answered with [`Response::Pong`]
+    /// without touching any shard and without passing admission control.
+    Ping,
     /// Ask the server to stop accepting connections and exit its run loop.
     Shutdown,
 }
@@ -333,7 +348,9 @@ pub enum Response {
     /// Answer to [`Request::ListModels`].
     ListModels(Vec<ModelInfo>),
     /// Answer to [`Request::Stats`].
-    Stats(Vec<(ModelKey, ModelStats)>),
+    Stats(StatsReport),
+    /// Answer to [`Request::Ping`].
+    Pong,
     /// Acknowledgement of [`Request::Shutdown`].
     ShuttingDown,
     /// A typed server-side failure.
@@ -798,6 +815,22 @@ fn take_model_stats(r: &mut ByteReader<'_>) -> Result<ModelStats, SerdeError> {
     })
 }
 
+fn put_gateway_stats(w: &mut ByteWriter, gateway: &GatewayStats) {
+    w.put_u64(gateway.connections_accepted);
+    w.put_u64(gateway.connections_active);
+    w.put_u64(gateway.connections_shed);
+    w.put_u64(gateway.stalled_reaped);
+}
+
+fn take_gateway_stats(r: &mut ByteReader<'_>) -> Result<GatewayStats, SerdeError> {
+    Ok(GatewayStats {
+        connections_accepted: r.take_u64("gateway.connections_accepted")?,
+        connections_active: r.take_u64("gateway.connections_active")?,
+        connections_shed: r.take_u64("gateway.connections_shed")?,
+        stalled_reaped: r.take_u64("gateway.stalled_reaped")?,
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Message codecs.
 // ---------------------------------------------------------------------------
@@ -819,6 +852,10 @@ const TAG_KB_INFO: u8 = 10;
 const TAG_MODEL_RELOADED: u8 = 8;
 const TAG_KB_RELOADED: u8 = 9;
 const TAG_KB_INFO_RESPONSE: u8 = 10;
+// Resilience messages: the control-plane liveness check (request and
+// response share tag 11, like every paired message above).
+const TAG_PING: u8 = 11;
+const TAG_PONG: u8 = 11;
 const TAG_ERROR: u8 = 0;
 
 /// A borrowed view of a [`Request`], so callers holding the pieces (a key,
@@ -871,8 +908,32 @@ pub enum RequestRef<'a> {
     ListModels,
     /// Borrowed [`Request::Stats`].
     Stats,
+    /// Borrowed [`Request::Ping`].
+    Ping,
     /// Borrowed [`Request::Shutdown`].
     Shutdown,
+}
+
+impl RequestRef<'_> {
+    /// Whether re-sending this request after a transport fault is safe:
+    /// read-only requests never change gateway state, so a duplicate
+    /// execution is harmless. Reloads swap live artifacts and `Shutdown`
+    /// stops the gateway — a client must never retry those on its own,
+    /// because the first send may have executed before the fault.
+    pub fn is_idempotent(&self) -> bool {
+        match self {
+            RequestRef::Suggest { .. }
+            | RequestRef::SuggestBatch { .. }
+            | RequestRef::CheckPrescription { .. }
+            | RequestRef::KbInfo { .. }
+            | RequestRef::ListModels
+            | RequestRef::Stats
+            | RequestRef::Ping => true,
+            RequestRef::ReloadModel { .. } | RequestRef::ReloadKb { .. } | RequestRef::Shutdown => {
+                false
+            }
+        }
+    }
 }
 
 impl Request {
@@ -893,6 +954,7 @@ impl Request {
             Request::KbInfo { model } => RequestRef::KbInfo { model },
             Request::ListModels => RequestRef::ListModels,
             Request::Stats => RequestRef::Stats,
+            Request::Ping => RequestRef::Ping,
             Request::Shutdown => RequestRef::Shutdown,
         }
     }
@@ -936,6 +998,7 @@ pub fn encode_request_ref(request: RequestRef<'_>) -> Vec<u8> {
         }
         RequestRef::ListModels => w.put_u8(TAG_LIST_MODELS),
         RequestRef::Stats => w.put_u8(TAG_STATS),
+        RequestRef::Ping => w.put_u8(TAG_PING),
         RequestRef::Shutdown => w.put_u8(TAG_SHUTDOWN),
     }
     seal_frame(WIRE_MAGIC, WIRE_VERSION, w.as_bytes())
@@ -980,6 +1043,7 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, SerdeError> {
         },
         TAG_LIST_MODELS => Request::ListModels,
         TAG_STATS => Request::Stats,
+        TAG_PING => Request::Ping,
         TAG_SHUTDOWN => Request::Shutdown,
         other => {
             return Err(SerdeError::Corrupt {
@@ -1021,13 +1085,17 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
                 put_model_info(&mut w, info);
             }
         }
-        Response::Stats(entries) => {
+        Response::Stats(report) => {
             w.put_u8(TAG_STATS);
-            w.put_usize(entries.len());
-            for (key, stats) in entries {
+            w.put_usize(report.models.len());
+            for (key, stats) in &report.models {
                 put_model_key(&mut w, key);
                 put_model_stats(&mut w, stats);
             }
+            // Gateway transport counters, appended after the per-model
+            // entries when the resilience work landed (same single-build
+            // compatibility caveat as every other grown body).
+            put_gateway_stats(&mut w, &report.gateway);
         }
         Response::ModelReloaded(info) => {
             w.put_u8(TAG_MODEL_RELOADED);
@@ -1041,6 +1109,7 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             w.put_u8(TAG_KB_INFO_RESPONSE);
             put_kb_info(&mut w, info);
         }
+        Response::Pong => w.put_u8(TAG_PONG),
         Response::ShuttingDown => w.put_u8(TAG_SHUTTING_DOWN),
         Response::Error { code, message } => {
             w.put_u8(TAG_ERROR);
@@ -1075,17 +1144,21 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, SerdeError> {
         }
         TAG_STATS => {
             let len = r.take_usize("stats.len")?;
-            let mut entries = Vec::new();
+            let mut models = Vec::new();
             for _ in 0..len {
                 let key = take_model_key(&mut r)?;
                 let stats = take_model_stats(&mut r)?;
-                entries.push((key, stats));
+                models.push((key, stats));
             }
-            Response::Stats(entries)
+            Response::Stats(StatsReport {
+                models,
+                gateway: take_gateway_stats(&mut r)?,
+            })
         }
         TAG_MODEL_RELOADED => Response::ModelReloaded(take_model_info(&mut r)?),
         TAG_KB_RELOADED => Response::KbReloaded(take_kb_info(&mut r)?),
         TAG_KB_INFO_RESPONSE => Response::KbInfo(take_kb_info(&mut r)?),
+        TAG_PONG => Response::Pong,
         TAG_SHUTTING_DOWN => Response::ShuttingDown,
         TAG_ERROR => Response::Error {
             code: ErrorCode::from_u8(r.take_u8("error.code")?)?,
@@ -1153,12 +1226,40 @@ pub fn read_frame(stream: &mut impl Read) -> Result<Vec<u8>, WireError> {
 /// interval: a 250 ms poll must not sever a peer mid-way through a
 /// multi-megabyte `ReloadModel` upload just because TCP stalled for one
 /// round of retransmission. `max_stalls` is clamped to at least 1.
+///
+/// The consecutive-stall budget alone cannot stop a slow-loris peer that
+/// trickles one byte per poll interval — every arrival resets the counter,
+/// so the frame never completes and the reader never times out. Servers
+/// therefore layer a wall-clock per-frame deadline on top via
+/// [`read_frame_with_limits`].
 pub fn read_frame_with_stall_budget(
     stream: &mut impl Read,
     max_stalls: u32,
 ) -> Result<Vec<u8>, WireError> {
+    read_frame_with_limits(stream, max_stalls, None)
+}
+
+/// [`read_frame_with_stall_budget`] plus an optional wall-clock *per-frame
+/// deadline*: the clock starts when the first header byte arrives, and a
+/// frame still incomplete when the deadline passes fails with a typed
+/// [`WireError::Timeout`] — even if bytes are still trickling in. This is
+/// the slow-loris defense: progress that never finishes a frame is not
+/// progress. Idle waits before the first byte are unaffected and still
+/// surface as [`WireError::IdleTimeout`].
+pub fn read_frame_with_limits(
+    stream: &mut impl Read,
+    max_stalls: u32,
+    frame_deadline: Option<std::time::Duration>,
+) -> Result<Vec<u8>, WireError> {
     let max_stalls = max_stalls.max(1);
     let mut stalls = 0u32;
+    let mut deadline: Option<std::time::Instant> = None;
+    let check_deadline = |deadline: &Option<std::time::Instant>| -> Result<(), WireError> {
+        match deadline {
+            Some(at) if std::time::Instant::now() >= *at => Err(WireError::Timeout),
+            _ => Ok(()),
+        }
+    };
     let mut header = [0u8; FRAME_HEADER_LEN];
     let mut filled = 0usize;
     while filled < header.len() {
@@ -1170,8 +1271,14 @@ pub fn read_frame_with_stall_budget(
                 }))
             }
             Ok(n) => {
+                if filled == 0 {
+                    deadline = frame_deadline.map(|d| std::time::Instant::now() + d);
+                }
                 filled += n;
                 stalls = 0;
+                if filled < header.len() {
+                    check_deadline(&deadline)?;
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             // A read timeout before the first frame byte means the
@@ -1187,6 +1294,7 @@ pub fn read_frame_with_stall_budget(
                 if filled == 0 {
                     return Err(WireError::IdleTimeout);
                 }
+                check_deadline(&deadline)?;
                 stalls += 1;
                 if stalls >= max_stalls {
                     return Err(WireError::Timeout);
@@ -1222,6 +1330,9 @@ pub fn read_frame_with_stall_budget(
             Ok(n) => {
                 pos += n;
                 stalls = 0;
+                if pos < frame.len() {
+                    check_deadline(&deadline)?;
+                }
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
             Err(e)
@@ -1230,6 +1341,7 @@ pub fn read_frame_with_stall_budget(
                     std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
                 ) =>
             {
+                check_deadline(&deadline)?;
                 stalls += 1;
                 if stalls >= max_stalls {
                     return Err(WireError::Timeout);
@@ -1303,7 +1415,12 @@ mod tests {
 
     #[test]
     fn control_messages_round_trip() {
-        for request in [Request::ListModels, Request::Stats, Request::Shutdown] {
+        for request in [
+            Request::ListModels,
+            Request::Stats,
+            Request::Ping,
+            Request::Shutdown,
+        ] {
             let frame = encode_request(&request);
             let payload = open_wire_frame(&frame).unwrap();
             assert_eq!(decode_request(payload).unwrap(), request);
@@ -1315,7 +1432,8 @@ mod tests {
                 message: "no such shard".into(),
             },
             Response::ListModels(vec![]),
-            Response::Stats(vec![]),
+            Response::Stats(StatsReport::default()),
+            Response::Pong,
         ] {
             let frame = encode_response(&response);
             let payload = open_wire_frame(&frame).unwrap();

@@ -337,16 +337,36 @@ fn arb_response() -> impl Strategy<Value = Response> {
         proptest::collection::vec((arb_model_key(), arb_model_stats()), 0..4),
         proptest::collection::vec(arb_model_info(), 0..4),
         arb_kb_info(),
-        (arb_error_code(), 0usize..40),
+        (
+            (arb_error_code(), 0usize..40),
+            (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
+        ),
     )
         .prop_map(
-            |(variant, response, responses, report, stats, models, kb_info, (code, msg_len))| {
+            |(
+                variant,
+                response,
+                responses,
+                report,
+                stats,
+                models,
+                kb_info,
+                ((code, msg_len), gateway),
+            )| {
                 match variant {
                     0 => Response::Suggest(response),
                     1 => Response::SuggestBatch(responses),
                     2 => Response::CheckPrescription(report),
                     3 => Response::ListModels(models),
-                    4 => Response::Stats(stats),
+                    4 => Response::Stats(dssddi_serving::StatsReport {
+                        models: stats,
+                        gateway: dssddi_serving::GatewayStats {
+                            connections_accepted: gateway.0,
+                            connections_active: gateway.1,
+                            connections_shed: gateway.2,
+                            stalled_reaped: gateway.3,
+                        },
+                    }),
                     5 => Response::ModelReloaded(models.into_iter().next().unwrap_or_else(|| {
                         dssddi_serving::ModelInfo {
                             key: ModelKey::new("m").expect("valid key"),

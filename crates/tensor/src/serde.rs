@@ -550,12 +550,42 @@ pub fn open_container(bytes: &[u8]) -> Result<&[u8], SerdeError> {
     open_frame(MAGIC, FORMAT_VERSION, bytes)
 }
 
-/// Seals `payload` into a container and writes it to `path`.
-pub fn save_container(path: impl AsRef<Path>, payload: &[u8]) -> Result<(), SerdeError> {
+/// Writes `bytes` to `path` crash-safely: the bytes land in a temporary
+/// sibling file first (same directory, so the rename never crosses a
+/// filesystem) and replace `path` in one atomic `rename`. A writer killed
+/// at any instant leaves either the previous artifact intact or no
+/// artifact at all — never a torn container that would fail its CRC on the
+/// next load. The temporary name carries the process id, so concurrent
+/// savers from different processes cannot tear each other's staging file;
+/// last rename wins, each rename installs a complete container.
+pub fn atomic_write(path: impl AsRef<Path>, bytes: &[u8]) -> Result<(), SerdeError> {
     let path = path.as_ref();
-    std::fs::write(path, seal_container(payload)).map_err(|e| SerdeError::Io {
-        what: format!("writing {}: {e}", path.display()),
-    })
+    let mut tmp = path.as_os_str().to_owned();
+    tmp.push(format!(".tmp.{}", std::process::id()));
+    let tmp = std::path::PathBuf::from(tmp);
+    std::fs::write(&tmp, bytes).map_err(|e| SerdeError::Io {
+        what: format!("writing {}: {e}", tmp.display()),
+    })?;
+    match std::fs::rename(&tmp, path) {
+        Ok(()) => Ok(()),
+        Err(e) => {
+            // Do not leave the staging file behind on failure.
+            std::fs::remove_file(&tmp).ok();
+            Err(SerdeError::Io {
+                what: format!(
+                    "renaming {} into place as {}: {e}",
+                    tmp.display(),
+                    path.display()
+                ),
+            })
+        }
+    }
+}
+
+/// Seals `payload` into a container and writes it to `path` via
+/// [`atomic_write`]: a crash mid-save can never leave a torn container.
+pub fn save_container(path: impl AsRef<Path>, payload: &[u8]) -> Result<(), SerdeError> {
+    atomic_write(path, &seal_container(payload))
 }
 
 /// Reads a container from `path`, validates it and returns the payload.
@@ -770,5 +800,57 @@ mod tests {
             load_container(dir.join("missing.dssd")),
             Err(SerdeError::Io { .. })
         ));
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_leaves_no_staging_file() {
+        let dir = std::env::temp_dir().join("dssddi-serde-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("atomic.bin");
+        atomic_write(&path, b"first").unwrap();
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        let staging = dir
+            .read_dir()
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().contains("atomic.bin.tmp"))
+            .count();
+        assert_eq!(staging, 0, "staging files must not survive a save");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn killed_writer_never_leaves_a_torn_container() {
+        let dir = std::env::temp_dir().join("dssddi-serde-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("crash.dssd");
+        save_container(&path, b"old payload").unwrap();
+
+        // A save dies only in the window where bytes are on disk but the
+        // rename has not happened: simulate every possible cut point of
+        // the staged write and check the live artifact is untouched.
+        let staged = seal_container(b"new payload");
+        let tmp = format!("{}.tmp.{}", path.display(), std::process::id());
+        for cut in 0..staged.len() {
+            std::fs::write(&tmp, &staged[..cut]).unwrap();
+            assert_eq!(
+                load_container(&path).unwrap(),
+                b"old payload",
+                "a dead writer (cut at byte {cut}) must leave the old artifact intact"
+            );
+        }
+        // A later save succeeds despite the stale staging file.
+        save_container(&path, b"new payload").unwrap();
+        assert_eq!(load_container(&path).unwrap(), b"new payload");
+
+        // First-ever save dying pre-rename: no artifact, typed error.
+        let fresh = dir.join("never-written.dssd");
+        let fresh_tmp = format!("{}.tmp.{}", fresh.display(), std::process::id());
+        std::fs::write(&fresh_tmp, &staged[..4]).unwrap();
+        assert!(matches!(load_container(&fresh), Err(SerdeError::Io { .. })));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&tmp).ok();
+        std::fs::remove_file(&fresh_tmp).ok();
     }
 }

@@ -159,6 +159,44 @@
 //! SLO verdict; `--append` splices `loadgen_c{N}` entries into
 //! `BENCH_serving.json` under the existing schema.
 //!
+//! ## Resilience and fault injection
+//!
+//! Networks fail in more ways than "overloaded", and a clinical gateway
+//! has to degrade into *typed errors*, never panics or silent hangs. The
+//! [`chaos`] crate ships a deterministic, dependency-free fault-injecting
+//! TCP proxy ([`ChaosProxy`](chaos::ChaosProxy)): a seeded
+//! [`FaultPlan`](chaos::FaultPlan) assigns each accepted connection a
+//! scheduled fault — delay (fixed or jittered), truncate-after-N-bytes,
+//! corrupt-byte (breaks the CRC), reset, slow-loris stall, black-hole —
+//! with typed per-fault counters, so every failure mode is reproducible
+//! from a seed.
+//!
+//! Both ends are hardened against what the proxy injects. The gateway
+//! enforces a wall-clock per-frame deadline
+//! ([`ServerConfig::frame_deadline`](serving::ServerConfig)) that reaps
+//! stalled *and* byte-trickling peers with a typed timeout (counted in
+//! [`GatewayStats`](serving::GatewayStats), reported through `Stats`),
+//! bounds its concurrent connections
+//! ([`ServerConfig::max_connections`](serving::ServerConfig)) with a
+//! typed `Overloaded` shed, and drains cleanly on `Shutdown` under live
+//! traffic. The client fails over across gateway replicas
+//! ([`Client::connect_any`](serving::Client::connect_any)) with
+//! per-endpoint health memory and cooldowns, answers `Ping` liveness
+//! probes that bypass admission control
+//! ([`Client::ping`](serving::Client::ping)), and — with
+//! [`RetryPolicy::retry_connection_faults`](serving::RetryPolicy::retry_connection_faults)
+//! armed — retries resets, timeouts and short reads with jittered
+//! backoff for **idempotent requests only**; a reload is never resent
+//! across a transport fault, because the first send may have executed.
+//! Model and knowledge-base saves are crash-safe (temp file + atomic
+//! rename), so a writer killed mid-save can never leave a torn artifact.
+//!
+//! ```text
+//! # drive a live gateway through a deterministic fault schedule and
+//! # report resets/timeouts/short-reads distinct from admission sheds
+//! dssddi-loadgen --addr 127.0.0.1:4547 --chaos 7:mixed --smoke
+//! ```
+//!
 //! ## Clinical knowledge base (`DSKB` files, severity-graded critique)
 //!
 //! Interaction *edges* say two drugs interact; the [`kb`] subsystem says how
@@ -312,6 +350,7 @@
 
 pub use dssddi_analyze as analysis;
 pub use dssddi_baselines as baselines;
+pub use dssddi_chaos as chaos;
 pub use dssddi_core as core;
 pub use dssddi_data as data;
 pub use dssddi_gnn as gnn;
@@ -328,6 +367,7 @@ pub mod prelude {
         BiparGcnRecommender, CauseRecRecommender, EccRecommender, GcmcRecommender,
         LightGcnRecommender, Recommender, SafeDrugRecommender, SvmRecommender, UserSim,
     };
+    pub use dssddi_chaos::{ChaosProxy, FaultPlan};
     pub use dssddi_core::{
         Backbone, CheckPrescriptionRequest, CoreError, DecisionService, DrugId, Dssddi,
         DssddiConfig, Explanation, InteractionReport, MdModuleConfig, MsModuleConfig,
@@ -346,8 +386,8 @@ pub mod prelude {
     pub use dssddi_loadgen::{LoadgenConfig, LoadgenReport, WorkloadMix};
     pub use dssddi_ml::{ndcg_at_k, precision_at_k, ranking_metrics, recall_at_k, top_k_indices};
     pub use dssddi_serving::{
-        AdmissionConfig, Client, ModelCatalog, ModelInfo, ModelKey, ModelStats, RateLimit,
-        RetryPolicy, Router, Server, ServingError,
+        AdmissionConfig, Client, GatewayStats, ModelCatalog, ModelInfo, ModelKey, ModelStats,
+        RateLimit, RetryPolicy, Router, Server, ServerConfig, ServingError, StatsReport,
     };
     pub use dssddi_tensor::Matrix;
 }
