@@ -647,6 +647,13 @@ impl DecisionService {
     /// byte-identical suggestions. See [`dssddi_tensor::serde`] for the
     /// on-disk format (magic bytes, version, CRC-32 checksum).
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CoreError> {
+        let payload = self.container_payload();
+        tserde::save_container(path, &payload)?;
+        Ok(())
+    }
+
+    /// Builds the `DSSD` container payload (the bytes inside the frame).
+    fn container_payload(&self) -> Vec<u8> {
         let mut w = ByteWriter::new();
         persist::put_section(&mut w, section::SERVICE);
         // Registry identity: digest plus the DID-ordered names, so a
@@ -669,8 +676,18 @@ impl DecisionService {
                 persist::write_config(&mut w, config);
             }
         }
-        tserde::save_container(path, w.as_bytes())?;
-        Ok(())
+        w.into_bytes()
+    }
+
+    /// Serializes the service to an in-memory `DSSD` container — the exact
+    /// bytes [`DecisionService::save`] would write to disk, sealed with the
+    /// same magic, format version and CRC-32 frame. The inverse of
+    /// [`DecisionService::load_with_embedded_registry_bytes`]; replication
+    /// uses this to ship a live shard's model peer-to-peer without touching
+    /// the filesystem.
+    pub fn to_container_bytes(&self) -> Vec<u8> {
+        let payload = self.container_payload();
+        tserde::seal_frame(tserde::MAGIC, tserde::FORMAT_VERSION, &payload)
     }
 
     /// Loads a service saved by [`DecisionService::save`], reattaching the

@@ -20,7 +20,7 @@ use std::time::{Duration, Instant};
 
 use dssddi_bench::BenchWorld;
 use dssddi_core::{CheckPrescriptionRequest, DecisionService, DrugId};
-use dssddi_loadgen::LoadgenConfig;
+use dssddi_loadgen::{LoadgenConfig, WorkloadMix};
 use dssddi_serving::wire::{
     decode_request, decode_response, encode_request, encode_response, open_wire_frame,
 };
@@ -536,6 +536,128 @@ fn loadgen_results(world: &BenchWorld, w: &Workload) -> Result<Vec<BenchResult>,
     Ok(results)
 }
 
+/// Read fan-out results: the same open-loop, read-only clinical mix
+/// against a single replica and against a three-replica group whose
+/// anti-entropy agents gossip in the background. The `replica_fanout_r1`
+/// vs `replica_fanout_r3` pair documents what adding replicas buys reads
+/// (workers spread round-robin across the group) and what the sync loop
+/// costs; the largest anti-entropy lag any replica observed during the
+/// run is reported on stderr and must stay bounded.
+fn replica_fanout_results(world: &BenchWorld, w: &Workload) -> Result<Vec<BenchResult>, String> {
+    use dssddi_replica::{ReplicaAgent, ReplicaGroup, ReplicaState};
+    use std::sync::Arc;
+
+    let mut results = Vec::new();
+    for replicas in [1usize, 3] {
+        // Each replica gets its own identically-built catalog — separate
+        // processes in production, separate routers here.
+        let mut servers = Vec::new();
+        for _ in 0..replicas {
+            let mut catalog = ModelCatalog::new();
+            let fitted_key = ModelKey::new("chronic").map_err(|e| format!("model key: {e}"))?;
+            let support_key = ModelKey::new("critique").map_err(|e| format!("model key: {e}"))?;
+            catalog
+                .insert(fitted_key, world.fitted_service(w.n_observed, w.seed + 2))
+                .map_err(|e| format!("catalog insert: {e}"))?;
+            let support = dssddi_core::ServiceBuilder::fast()
+                .build_support(&world.ddi)
+                .map_err(|e| format!("support shard: {e}"))?;
+            catalog
+                .insert(support_key, support)
+                .map_err(|e| format!("catalog insert: {e}"))?;
+            let mut router = Router::new(catalog);
+            let state = Arc::new(ReplicaState::default());
+            router.attach_replica(Arc::clone(&state));
+            let server =
+                Server::bind("127.0.0.1:0", router).map_err(|e| format!("bind replica: {e}"))?;
+            let addr = server
+                .local_addr()
+                .map_err(|e| format!("replica addr: {e}"))?;
+            let router = server.router_arc();
+            let thread = std::thread::spawn(move || server.run());
+            servers.push((addr, router, state, thread));
+        }
+        let addrs: Vec<_> = servers.iter().map(|(addr, ..)| *addr).collect();
+
+        // Arm one anti-entropy agent per replica (a single replica runs
+        // none — there is no peer to gossip with).
+        let mut agents = Vec::new();
+        for (index, (_, router, state, _)) in servers.iter().enumerate() {
+            let peers: Vec<_> = addrs
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != index)
+                .map(|(_, addr)| *addr)
+                .collect();
+            if peers.is_empty() {
+                continue;
+            }
+            let group = ReplicaGroup::new(peers)
+                .with_sync_interval(Duration::from_millis(100))
+                .with_seed(w.seed ^ index as u64);
+            agents.push(ReplicaAgent::new(group, Arc::clone(router), Arc::clone(state)).spawn());
+        }
+
+        let first = addrs
+            .first()
+            .ok_or_else(|| "no replicas bound".to_string())?;
+        let mut config = LoadgenConfig::new(first.to_string());
+        config.targets = addrs.iter().map(ToString::to_string).collect();
+        config.connections = if w.smoke { 2 } else { 12 };
+        config.rate = 800.0;
+        config.duration = w.loadgen_duration;
+        config.seed = w.seed;
+        // Reads only: fan-out is a read property, writes forward to one
+        // replica and would measure anti-entropy instead.
+        config.mix = WorkloadMix::new(55.0, 20.0, 25.0, 0.0)?;
+        let report = dssddi_loadgen::run(&config)
+            .map_err(|e| format!("replica fan-out run (r{replicas}): {e}"))?;
+
+        // The largest per-key version gap any replica sat behind a peer
+        // during the run — reads stay fast because this stays near zero.
+        let mut max_lag = 0u64;
+        for (addr, ..) in &servers {
+            let mut client = Client::connect(*addr).map_err(|e| format!("connect replica: {e}"))?;
+            let stats = client
+                .stats_report()
+                .map_err(|e| format!("replica stats: {e}"))?;
+            if let Some(replica) = stats.replica {
+                max_lag = max_lag.max(replica.max_lag);
+            }
+        }
+        for agent in agents {
+            agent.stop();
+        }
+        eprintln!(
+            "bench_report: replica fan-out r{replicas}: {} ok / {} frames, p99 {:.2} ms, \
+             max sync lag {max_lag}",
+            report.ok_requests,
+            report.frames,
+            report.p99_ms()
+        );
+        results.push(BenchResult {
+            name: format!("replica_fanout_r{replicas}"),
+            batch_size: replicas,
+            iterations: report.frames as usize,
+            throughput_rps: report.achieved_rps(),
+            p50_ms: report.p50_ms(),
+            p99_ms: report.p99_ms(),
+        });
+
+        for (addr, _, _, thread) in servers {
+            let client = Client::connect(addr).map_err(|e| format!("connect replica: {e}"))?;
+            client
+                .shutdown()
+                .map_err(|e| format!("replica shutdown: {e}"))?;
+            thread
+                .join()
+                .map_err(|_| "replica run loop panicked".to_string())?
+                .map_err(|e| format!("replica run loop: {e}"))?;
+        }
+    }
+    Ok(results)
+}
+
 fn main() {
     if let Err(message) = run() {
         eprintln!("bench_report: {message}");
@@ -608,6 +730,8 @@ fn run() -> Result<(), String> {
     results.extend(gateway_results(&world, &workload)?);
     eprintln!("bench_report: running open-loop overload traffic (dssddi-loadgen) ...");
     results.extend(loadgen_results(&world, &workload)?);
+    eprintln!("bench_report: running replica fan-out (1 vs 3 replicas) ...");
+    results.extend(replica_fanout_results(&world, &workload)?);
     write_report(&out_path, &workload, &results)?;
     for r in &results {
         println!(

@@ -19,9 +19,17 @@ use dssddi_loadgen::{append_results, BenchEntry, LoadgenConfig, WorkloadMix};
 
 fn usage() -> String {
     "usage: dssddi-loadgen --addr HOST:PORT [options]\n\
+     \x20      dssddi-loadgen --target HOST:PORT[,HOST:PORT...] [options]\n\
      \n\
      options:\n\
-     \x20 --addr HOST:PORT     gateway to drive (required)\n\
+     \x20 --addr HOST:PORT     gateway to drive (this or --target is required)\n\
+     \x20 --target LIST        comma-separated replica endpoints to drive as one\n\
+     \x20                      deployment: workers spread round-robin, fail over on\n\
+     \x20                      reconnect, and the report breaks outcomes down per\n\
+     \x20                      endpoint (incompatible with --chaos)\n\
+     \x20 --fault-tolerant     tolerate connection-level faults (tallied per kind)\n\
+     \x20                      instead of aborting — for runs that kill a replica\n\
+     \x20                      on purpose; implied by --chaos\n\
      \x20 --connections LIST   comma-separated sweep of connection counts (default 4)\n\
      \x20 --rate RPS           offered frame rate across all connections (default 200)\n\
      \x20 --duration-s SECS    length of each run (default 5)\n\
@@ -66,8 +74,23 @@ fn parse_connections(spec: &str) -> Result<Vec<usize>, String> {
     Ok(out)
 }
 
+fn parse_targets(spec: &str) -> Result<Vec<String>, String> {
+    let out: Vec<String> = spec
+        .split(',')
+        .map(|part| part.trim().to_string())
+        .collect();
+    if out.is_empty() || out.iter().any(|t| t.is_empty()) {
+        return Err(format!(
+            "bad --target {spec:?}: expected a comma-separated list of HOST:PORT"
+        ));
+    }
+    Ok(out)
+}
+
 fn parse_args(argv: &[String]) -> Result<Args, String> {
     let mut addr: Option<String> = None;
+    let mut targets: Option<Vec<String>> = None;
+    let mut fault_tolerant = false;
     let mut connections = vec![4usize];
     let mut rate = 200.0f64;
     let mut duration_s = 5.0f64;
@@ -92,6 +115,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         };
         match arg {
             "--addr" => addr = Some(value("--addr")?),
+            "--target" => targets = Some(parse_targets(&value("--target")?)?),
+            "--fault-tolerant" => fault_tolerant = true,
             "--connections" => connections = parse_connections(&value("--connections")?)?,
             "--rate" => {
                 rate = value("--rate")?
@@ -138,7 +163,24 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         }
         i += 1;
     }
-    let addr = addr.ok_or_else(|| format!("--addr is required\n\n{}", usage()))?;
+    let targets = match (addr, targets) {
+        (Some(_), Some(_)) => {
+            return Err(format!(
+                "--addr and --target are mutually exclusive\n\n{}",
+                usage()
+            ))
+        }
+        (Some(addr), None) => vec![addr],
+        (None, Some(targets)) => targets,
+        (None, None) => return Err(format!("--addr or --target is required\n\n{}", usage())),
+    };
+    if chaos.is_some() && targets.len() > 1 {
+        return Err(
+            "--chaos interposes one proxy in front of one gateway; it cannot fan out \
+             over a --target list"
+                .to_string(),
+        );
+    }
     if smoke {
         connections = vec![1, 4];
         duration_s = 2.0;
@@ -146,7 +188,8 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if !(duration_s.is_finite() && duration_s > 0.0) {
         return Err(format!("--duration-s must be positive, got {duration_s}"));
     }
-    let mut config = LoadgenConfig::new(addr);
+    let mut config = LoadgenConfig::new(String::new());
+    config.targets = targets;
     config.rate = rate;
     config.duration = Duration::from_secs_f64(duration_s);
     config.seed = seed;
@@ -154,7 +197,7 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     config.batch_size = batch;
     config.mix = mix;
     config.slo_p99_ms = slo_p99_ms;
-    config.fault_tolerant = chaos.is_some();
+    config.fault_tolerant = fault_tolerant || chaos.is_some();
     Ok(Args {
         config,
         connections,
@@ -174,12 +217,14 @@ fn main() {
         }
     };
 
-    // The gateway's real address — kept for --shutdown so the request
-    // does not go through the chaos proxy (which might corrupt it).
-    let direct_addr = args.config.addr.clone();
+    // The gateways' real addresses — kept for --shutdown so the requests
+    // do not go through the chaos proxy (which might corrupt them).
+    let direct_targets = args.config.targets.clone();
     let chaos_handle = match args.chaos.take() {
         Some(plan) => {
             use std::net::ToSocketAddrs;
+            // parse_args rejects --chaos with more than one target.
+            let direct_addr = direct_targets.first().cloned().unwrap_or_default();
             let upstream = match direct_addr
                 .to_socket_addrs()
                 .ok()
@@ -208,7 +253,7 @@ fn main() {
                         handle.addr(),
                         upstream
                     );
-                    args.config.addr = handle.addr().to_string();
+                    args.config.targets = vec![handle.addr().to_string()];
                     Some(handle)
                 }
                 Err(e) => {
@@ -227,7 +272,7 @@ fn main() {
         config.connections = connections;
         eprintln!(
             "dssddi-loadgen: driving {} with {} connection(s) at {} frames/s for {:.1}s ...",
-            config.addr,
+            config.targets.join(","),
             connections,
             config.rate,
             config.duration.as_secs_f64()
@@ -288,17 +333,19 @@ fn main() {
     }
 
     if args.shutdown {
-        match dssddi_serving::Client::connect(direct_addr.as_str()) {
-            Ok(client) => {
-                if let Err(e) = client.shutdown() {
-                    eprintln!("dssddi-loadgen: shutdown request failed: {e}");
+        for target in &direct_targets {
+            match dssddi_serving::Client::connect(target.as_str()) {
+                Ok(client) => {
+                    if let Err(e) = client.shutdown() {
+                        eprintln!("dssddi-loadgen: shutdown request to {target} failed: {e}");
+                        std::process::exit(1);
+                    }
+                    println!("gateway {target} acknowledged shutdown");
+                }
+                Err(e) => {
+                    eprintln!("dssddi-loadgen: cannot reconnect to {target} for shutdown: {e}");
                     std::process::exit(1);
                 }
-                println!("gateway acknowledged shutdown");
-            }
-            Err(e) => {
-                eprintln!("dssddi-loadgen: cannot reconnect for shutdown: {e}");
-                std::process::exit(1);
             }
         }
     }

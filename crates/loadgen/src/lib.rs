@@ -22,6 +22,11 @@
 //! * **Typed shed accounting.** `Overloaded` rejections are tallied
 //!   separately from successes and from unexpected errors, and
 //!   cross-checked against the gateway's own `Stats` counters.
+//! * **Replica-group targets.** `--target` takes a comma-separated
+//!   endpoint list: workers spread round-robin across the replicas, fail
+//!   over to the healthiest endpoint on reconnect, and the report breaks
+//!   outcomes down per endpoint ([`TargetTally`]) with the gateway-side
+//!   cross-check summed across the group.
 //!
 //! The `dssddi-loadgen` binary drives connection-count sweeps and can
 //! splice `loadgen_*` entries into `BENCH_serving.json`
@@ -37,5 +42,5 @@ pub mod workload;
 
 pub use histogram::Histogram;
 pub use report::{append_results, BenchEntry};
-pub use runner::{run, ConnFaults, KindTally, LoadgenConfig, LoadgenReport};
+pub use runner::{run, ConnFaults, KindTally, LoadgenConfig, LoadgenReport, TargetTally};
 pub use workload::{OpKind, WorkloadMix, Zipf};

@@ -20,6 +20,7 @@
 //! kind — resets, timeouts, short reads, corrupt frames, all distinct
 //! from sheds — and the worker reconnects and keeps its schedule.
 
+use std::net::{SocketAddr, ToSocketAddrs};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -35,8 +36,13 @@ use crate::workload::{OpKind, WorkloadMix, Zipf};
 /// Everything one load-generation run needs to know.
 #[derive(Clone, Debug)]
 pub struct LoadgenConfig {
-    /// Gateway address, `HOST:PORT`.
-    pub addr: String,
+    /// Gateway endpoints, `HOST:PORT` each. One entry is the classic
+    /// single-gateway run. Several entries (the `--target` list) drive a
+    /// whole replica group: workers are spread round-robin across the
+    /// endpoints, any endpoint can serve any worker after a fail-over,
+    /// and [`LoadgenReport::by_target`] breaks outcomes down per
+    /// endpoint.
+    pub targets: Vec<String>,
     /// Number of concurrent client connections (one worker thread each).
     pub connections: usize,
     /// Total offered frame rate across all connections, frames/second.
@@ -76,7 +82,7 @@ impl LoadgenConfig {
     /// 200 frames/s for 5 seconds.
     pub fn new(addr: impl Into<String>) -> Self {
         LoadgenConfig {
-            addr: addr.into(),
+            targets: vec![addr.into()],
             connections: 4,
             rate: 200.0,
             duration: Duration::from_secs(5),
@@ -93,6 +99,12 @@ impl LoadgenConfig {
     fn validate(&self) -> Result<(), String> {
         if self.connections == 0 {
             return Err("need at least one connection".to_string());
+        }
+        if self.targets.is_empty() {
+            return Err("need at least one target endpoint".to_string());
+        }
+        if self.targets.iter().any(|t| t.is_empty()) {
+            return Err("target endpoints must be non-empty".to_string());
         }
         if !self.rate.is_finite() || self.rate <= 0.0 {
             return Err(format!("rate must be finite and > 0, got {}", self.rate));
@@ -169,6 +181,27 @@ impl ConnFaults {
     }
 }
 
+/// Per-endpoint outcome counts (frame granularity) — the multi-target
+/// view: which replica of a group served how much, and where the faults
+/// landed. An exchange is attributed to the endpoint the client was
+/// connected to when it finished, so a frame retried across a fail-over
+/// counts against the endpoint that finally answered (or faulted).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TargetTally {
+    /// The endpoint, as given in [`LoadgenConfig::targets`].
+    pub target: String,
+    /// Frames exchanged against this endpoint.
+    pub frames: u64,
+    /// Frames answered normally.
+    pub ok: u64,
+    /// Frames rejected with a typed `Overloaded` error.
+    pub shed: u64,
+    /// Frames answered with any other typed error.
+    pub errors: u64,
+    /// Frames lost to a connection-level fault (fault-tolerant runs).
+    pub faults: u64,
+}
+
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum ConnFaultKind {
     Reset,
@@ -225,6 +258,9 @@ pub struct LoadgenReport {
     pub conn_faults: ConnFaults,
     /// Outcomes by operation kind, indexed by [`OpKind::index`].
     pub by_kind: [KindTally; 4],
+    /// Outcomes by target endpoint, in [`LoadgenConfig::targets`] order —
+    /// one entry per configured endpoint, zeros included.
+    pub by_target: Vec<TargetTally>,
     /// Latency of normally-answered frames, **microseconds**, measured
     /// from each frame's scheduled start (coordinated-omission safe).
     pub latency: Histogram,
@@ -302,6 +338,14 @@ impl LoadgenReport {
                 ));
             }
         }
+        if self.by_target.len() > 1 {
+            for t in &self.by_target {
+                out.push_str(&format!(
+                    "  target {:<21} {:>7} frames  {:>7} ok  {:>7} shed  {:>5} errors  {:>5} faults\n",
+                    t.target, t.frames, t.ok, t.shed, t.errors, t.faults
+                ));
+            }
+        }
         if self.conn_faults.total() > 0 {
             out.push_str(&format!(
                 "  conn faults: {} resets, {} timeouts, {} short reads, {} corrupt frames\n",
@@ -343,6 +387,9 @@ struct TargetPlan {
 
 /// Immutable run state shared by every worker.
 struct SharedPlan {
+    /// Target endpoints: the spec string (for reporting) and the address
+    /// it resolved to (for connecting and attributing outcomes).
+    endpoints: Vec<(String, SocketAddr)>,
     plans: Vec<TargetPlan>,
     /// Indices into `plans` of suggestion-capable shards.
     fitted: Vec<usize>,
@@ -398,16 +445,35 @@ struct WorkerTally {
     fault_requests: u64,
     conn_faults: ConnFaults,
     by_kind: [KindTally; 4],
+    by_target: Vec<TargetTally>,
     hist: Histogram,
 }
+
+/// Connect deadline (and armed response timeout) of multi-target workers.
+/// Single-target runs keep the legacy no-timeout connect; with several
+/// replicas a worker must not hang on one dead endpoint when it could
+/// fail over.
+const MULTI_TARGET_TIMEOUT: Duration = Duration::from_secs(5);
 
 fn worker_run(
     config: &LoadgenConfig,
     plan: &SharedPlan,
     worker: usize,
 ) -> Result<WorkerTally, String> {
-    let mut client = Client::connect(config.addr.as_str())
-        .map_err(|e| format!("worker {worker}: connect {}: {e}", config.addr))?;
+    // Spread workers round-robin across the targets; each worker still
+    // knows the whole set, so reconnects prefer its own endpoint but fail
+    // over to the healthiest other replica.
+    let mut order: Vec<SocketAddr> = plan.endpoints.iter().map(|(_, addr)| *addr).collect();
+    if !order.is_empty() {
+        let shift = worker % order.len();
+        order.rotate_left(shift);
+    }
+    let mut client = if order.len() > 1 {
+        Client::connect_any(&order, MULTI_TARGET_TIMEOUT)
+    } else {
+        Client::connect(order.as_slice())
+    }
+    .map_err(|e| format!("worker {worker}: connect {:?}: {e}", config.targets))?;
     if config.fault_tolerant {
         // One attempt (no in-client retries — the run wants to *observe*
         // every fault), but with connection-fault handling armed: a
@@ -437,6 +503,14 @@ fn worker_run(
         fault_requests: 0,
         conn_faults: ConnFaults::default(),
         by_kind: [KindTally::default(); 4],
+        by_target: plan
+            .endpoints
+            .iter()
+            .map(|(spec, _)| TargetTally {
+                target: spec.clone(),
+                ..TargetTally::default()
+            })
+            .collect(),
         hist: Histogram::new(),
     };
     // Per-pool cursors, offset per worker so the workers replay different
@@ -478,10 +552,23 @@ fn worker_run(
         tally.requests += n_requests;
         let per_kind = &mut tally.by_kind[kind.index()];
         per_kind.frames += 1;
+        // Attribute the exchange to the endpoint the client ended up on —
+        // after a fail-over that is the replica that actually answered.
+        let target_idx = client
+            .last_endpoint()
+            .and_then(|addr| plan.endpoints.iter().position(|(_, a)| *a == addr))
+            .unwrap_or(0);
+        let mut per_target = tally.by_target.get_mut(target_idx);
+        if let Some(t) = per_target.as_mut() {
+            t.frames += 1;
+        }
         match outcome {
             CallOutcome::Ok => {
                 tally.ok_requests += n_requests;
                 per_kind.ok += 1;
+                if let Some(t) = per_target.as_mut() {
+                    t.ok += 1;
+                }
                 tally
                     .hist
                     .record(latency.as_micros().min(u128::from(u64::MAX)) as u64);
@@ -489,15 +576,24 @@ fn worker_run(
             CallOutcome::Shed => {
                 tally.shed_requests += n_requests;
                 per_kind.shed += 1;
+                if let Some(t) = per_target.as_mut() {
+                    t.shed += 1;
+                }
             }
             CallOutcome::RemoteError => {
                 tally.error_requests += n_requests;
                 per_kind.errors += 1;
+                if let Some(t) = per_target.as_mut() {
+                    t.errors += 1;
+                }
             }
             CallOutcome::ConnFault(kind) => {
                 tally.fault_requests += n_requests;
                 tally.conn_faults.record(kind);
                 per_kind.faults += 1;
+                if let Some(t) = per_target.as_mut() {
+                    t.faults += 1;
+                }
             }
         }
     }
@@ -585,8 +681,21 @@ fn issue(
 /// own shed accounting afterwards.
 pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     config.validate()?;
-    let mut probe = Client::connect(config.addr.as_str())
-        .map_err(|e| format!("connect {}: {e}", config.addr))?;
+    let mut endpoints: Vec<(String, SocketAddr)> = Vec::with_capacity(config.targets.len());
+    for target in &config.targets {
+        let addr = target
+            .to_socket_addrs()
+            .map_err(|e| format!("resolving target {target:?}: {e}"))?
+            .next()
+            .ok_or_else(|| format!("target {target:?} resolved to no addresses"))?;
+        endpoints.push((target.clone(), addr));
+    }
+    let first_target = config
+        .targets
+        .first()
+        .ok_or("need at least one target endpoint")?;
+    let mut probe = Client::connect(first_target.as_str())
+        .map_err(|e| format!("connect {first_target}: {e}"))?;
     if config.fault_tolerant {
         // The probe's discovery and final stats calls must survive
         // injected faults too: retry with reconnect-and-failover armed.
@@ -680,6 +789,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         } else {
             Some(Zipf::new(reloadable.len(), config.zipf_exponent)?)
         },
+        endpoints: endpoints.clone(),
         plans,
         fitted,
         reloadable,
@@ -706,6 +816,13 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
     let mut fault_requests = 0u64;
     let mut conn_faults = ConnFaults::default();
     let mut by_kind = [KindTally::default(); 4];
+    let mut by_target: Vec<TargetTally> = endpoints
+        .iter()
+        .map(|(spec, _)| TargetTally {
+            target: spec.clone(),
+            ..TargetTally::default()
+        })
+        .collect();
     let mut latency = Histogram::new();
     let mut failure: Option<String> = None;
     for handle in workers {
@@ -725,6 +842,13 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
                     merged.errors += kind.errors;
                     merged.faults += kind.faults;
                 }
+                for (merged, target) in by_target.iter_mut().zip(tally.by_target) {
+                    merged.frames += target.frames;
+                    merged.ok += target.ok;
+                    merged.shed += target.shed;
+                    merged.errors += target.errors;
+                    merged.faults += target.faults;
+                }
                 latency.merge(&tally.hist);
             }
             Ok(Err(e)) => failure = failure.or(Some(e)),
@@ -736,9 +860,34 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         return Err(e);
     }
 
-    let stats = probe.stats().map_err(|e| format!("final stats: {e}"))?;
-    let server_shed_requests = stats.iter().map(|(_, s)| s.shed_requests).sum();
-    let server_requests = stats.iter().map(|(_, s)| s.requests).sum();
+    // Gateway-side cross-check. Single target: through the probe (which
+    // may sit behind a chaos proxy and has its retries armed). Several
+    // targets: each replica counts only the traffic it served, so the
+    // totals are summed across all of them — a replica killed mid-run
+    // takes its counters with it, which fault-tolerant runs accept.
+    let (server_shed_requests, server_requests) = if endpoints.len() == 1 {
+        let stats = probe.stats().map_err(|e| format!("final stats: {e}"))?;
+        (
+            stats.iter().map(|(_, s)| s.shed_requests).sum(),
+            stats.iter().map(|(_, s)| s.requests).sum(),
+        )
+    } else {
+        let mut shed = 0u64;
+        let mut served = 0u64;
+        for (spec, addr) in &endpoints {
+            match Client::connect_timeout(addr, Duration::from_secs(2))
+                .and_then(|mut client| client.stats())
+            {
+                Ok(stats) => {
+                    shed += stats.iter().map(|(_, s)| s.shed_requests).sum::<u64>();
+                    served += stats.iter().map(|(_, s)| s.requests).sum::<u64>();
+                }
+                Err(_) if config.fault_tolerant => {}
+                Err(e) => return Err(format!("final stats from {spec}: {e}")),
+            }
+        }
+        (shed, served)
+    };
 
     Ok(LoadgenReport {
         connections: config.connections,
@@ -753,6 +902,7 @@ pub fn run(config: &LoadgenConfig) -> Result<LoadgenReport, String> {
         fault_requests,
         conn_faults,
         by_kind,
+        by_target,
         latency,
         slo_p99_ms: config.slo_p99_ms,
         server_shed_requests,
@@ -814,6 +964,22 @@ mod tests {
             fault_requests: 0,
             conn_faults: ConnFaults::default(),
             by_kind: [KindTally::default(); 4],
+            by_target: vec![
+                TargetTally {
+                    target: "127.0.0.1:4641".to_string(),
+                    frames: 4,
+                    ok: 3,
+                    shed: 1,
+                    ..TargetTally::default()
+                },
+                TargetTally {
+                    target: "127.0.0.1:4642".to_string(),
+                    frames: 2,
+                    ok: 1,
+                    shed: 1,
+                    ..TargetTally::default()
+                },
+            ],
             latency,
             slo_p99_ms: 50.0,
             server_shed_requests: 6,
@@ -826,5 +992,20 @@ mod tests {
         let rendered = report.render();
         assert!(rendered.contains("MET"));
         assert!(rendered.contains("6 shed"));
+        assert!(
+            rendered.contains("target 127.0.0.1:4642"),
+            "multi-target runs render the per-endpoint breakdown"
+        );
+    }
+
+    #[test]
+    fn multi_target_config_validates() {
+        let mut config = LoadgenConfig::new("127.0.0.1:1");
+        config.targets = vec!["127.0.0.1:1".to_string(), "127.0.0.1:2".to_string()];
+        assert!(config.validate().is_ok());
+        config.targets.clear();
+        assert!(config.validate().is_err(), "no targets is rejected");
+        config.targets = vec![String::new()];
+        assert!(config.validate().is_err(), "empty target is rejected");
     }
 }

@@ -3,9 +3,13 @@
 //! Loads one or more trained `DSSD` model files into a [`ModelCatalog`] and
 //! serves them over TCP with the versioned wire protocol — the *train →
 //! save → serve → query* deployment story of the decision support system.
+//! With `--peer` flags the process becomes one replica of a group: a
+//! seeded anti-entropy agent keeps its catalog converged with its peers
+//! (see [`dssddi_replica`]).
 //!
 //! ```text
 //! dssddi-serve [--listen ADDR] [--demo] [--seed S] [--kb KEY=PATH.dskb ...]
+//!              [--peer ADDR ...] [--sync-interval-ms MS]
 //!              [--max-in-flight N] [--queue-depth N] [--queue-wait-ms MS]
 //!              [--rate-default RPS[:BURST]] [--rate KEY=RPS[:BURST] ...]
 //!              [--quota KEY=N ...] [KEY=PATH.dssd ...]
@@ -22,6 +26,16 @@
 //!                   their own DDI graph (severity defaults by sign).
 //!   KEY=PATH        load PATH (a DecisionService::save file) under the
 //!                   routing key KEY; repeatable
+//!
+//! Replication (each replica lists every OTHER replica as a peer; the
+//! group converges by pulling whole containers from whoever is ahead):
+//!
+//!   --peer ADDR             a peer replica's address; repeatable. Arms
+//!                           the anti-entropy agent and the ReplicaStats
+//!                           section of Stats responses.
+//!   --sync-interval-ms MS   pause between anti-entropy rounds (default
+//!                           500; jittered per replica so loops drift
+//!                           apart instead of polling in lock-step)
 //!
 //! Admission control (all opt-in; excess load is shed with typed
 //! `Overloaded` error frames instead of stalling or collapsing):
@@ -46,10 +60,14 @@
 //! `Shutdown` message.
 
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
+use dssddi_replica::{ReplicaAgent, ReplicaGroup};
 use dssddi_serving::demo::{demo_catalog, DEMO_SEED};
-use dssddi_serving::{AdmissionConfig, ModelCatalog, ModelKey, RateLimit, Router, Server};
+use dssddi_serving::{
+    AdmissionConfig, ModelCatalog, ModelKey, RateLimit, ReplicaState, Router, Server,
+};
 
 struct Args {
     listen: String,
@@ -57,18 +75,22 @@ struct Args {
     seed: u64,
     models: Vec<(String, String)>,
     kbs: Vec<(String, String)>,
+    peers: Vec<String>,
+    sync_interval: Duration,
     admission: AdmissionConfig,
 }
 
 fn usage() -> &'static str {
     "usage: dssddi-serve [--listen ADDR] [--demo] [--seed S] \
-     [--kb KEY=PATH.dskb ...] [--max-in-flight N] [--queue-depth N] \
+     [--kb KEY=PATH.dskb ...] [--peer ADDR ...] [--sync-interval-ms MS] \
+     [--max-in-flight N] [--queue-depth N] \
      [--queue-wait-ms MS] [--rate-default RPS[:BURST]] \
      [--rate KEY=RPS[:BURST] ...] [--quota KEY=N ...] [KEY=PATH.dssd ...]\n\
      serve trained DSSD model files (or the --demo catalog) over TCP, each \
      paired with a clinical knowledge base (--kb, or seeded from the \
-     shard's DDI graph); admission flags shed excess load with typed \
-     Overloaded errors instead of stalling"
+     shard's DDI graph); --peer flags make the process one replica of a \
+     group kept converged by anti-entropy; admission flags shed excess \
+     load with typed Overloaded errors instead of stalling"
 }
 
 /// Parses `RPS` or `RPS:BURST` into a validated rate limit (burst defaults
@@ -99,14 +121,16 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
         seed: DEMO_SEED,
         models: Vec::new(),
         kbs: Vec::new(),
+        peers: Vec::new(),
+        sync_interval: Duration::from_millis(500),
         admission: AdmissionConfig {
             queue_wait: Duration::from_millis(100),
             ..AdmissionConfig::default()
         },
     };
     let mut i = 0;
-    while i < args.len() {
-        match args[i].as_str() {
+    while let Some(arg) = args.get(i) {
+        match arg.as_str() {
             "--listen" => {
                 i += 1;
                 parsed.listen = args
@@ -130,6 +154,23 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     .ok_or("--seed needs a number argument")?
                     .parse()
                     .map_err(|e| format!("invalid --seed: {e}"))?;
+            }
+            "--peer" => {
+                i += 1;
+                let addr = args.get(i).ok_or("--peer needs an address argument")?;
+                parsed.peers.push(addr.clone());
+            }
+            "--sync-interval-ms" => {
+                i += 1;
+                let ms: u64 = args
+                    .get(i)
+                    .ok_or("--sync-interval-ms needs a number argument")?
+                    .parse()
+                    .map_err(|e| format!("invalid --sync-interval-ms: {e}"))?;
+                if ms == 0 {
+                    return Err("--sync-interval-ms must be at least 1".to_string());
+                }
+                parsed.sync_interval = Duration::from_millis(ms);
             }
             "--max-in-flight" => {
                 i += 1;
@@ -267,7 +308,30 @@ fn main() -> ExitCode {
             args.admission.quotas.len(),
         );
     }
-    let router = Router::with_admission(catalog, args.admission.clone());
+    let mut router = Router::with_admission(catalog, args.admission.clone());
+    let replica = if args.peers.is_empty() {
+        None
+    } else {
+        let group = match ReplicaGroup::parse(&args.peers) {
+            Ok(group) => group,
+            Err(error) => {
+                eprintln!("dssddi-serve: {error}");
+                return ExitCode::from(2);
+            }
+        };
+        // Seed the sync jitter from the listen address so co-deployed
+        // replicas (which differ exactly there) drift apart.
+        let seed = args
+            .listen
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |acc, b| {
+                (acc ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+            });
+        let group = group.with_sync_interval(args.sync_interval).with_seed(seed);
+        let state = Arc::new(ReplicaState::default());
+        router.attach_replica(Arc::clone(&state));
+        Some((group, state))
+    };
     let server = match Server::bind(args.listen.as_str(), router) {
         Ok(server) => server,
         Err(error) => {
@@ -287,7 +351,19 @@ fn main() -> ExitCode {
             return ExitCode::from(1);
         }
     }
-    match server.run() {
+    let agent = replica.map(|(group, state)| {
+        eprintln!(
+            "dssddi-serve: replica group armed ({} peers, sync interval {:?})",
+            group.len(),
+            group.sync_interval(),
+        );
+        ReplicaAgent::new(group, server.router_arc(), state).spawn()
+    });
+    let outcome = server.run();
+    if let Some(agent) = agent {
+        agent.stop();
+    }
+    match outcome {
         Ok(()) => {
             eprintln!("dssddi-serve: shutdown complete");
             ExitCode::SUCCESS

@@ -1,0 +1,156 @@
+//! The deployment-level client: reads fan out, writes forward.
+//!
+//! [`ReplicaClient`] is how a clinical caller talks to a *replica group*
+//! instead of a single gateway. It wraps the serving [`Client`] with the
+//! deployment semantics spelled out:
+//!
+//! * **Reads fan out.** The client connects via `Client::connect_any` over
+//!   the whole endpoint list and arms a retry policy that also covers
+//!   connection-level faults, so idempotent requests (suggest, critique,
+//!   stats, …) fail over to the healthiest replica — a killed replica
+//!   costs one failed attempt, then traffic routes around it.
+//! * **Writes forward to one replica.** `reload_model` / `reload_kb` ship
+//!   the artifact to whichever replica the client is connected to, and to
+//!   that replica only; the group's anti-entropy agents propagate it to
+//!   the rest within a few sync intervals. Reloads are never retried on
+//!   transport faults (they are not idempotent), exactly like on the
+//!   underlying client.
+//!
+//! Responses are byte-identical across converged replicas — the integration
+//! tests assert bit-equality of critique responses from all replicas after
+//! a reload converges.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use dssddi_core::{CheckPrescriptionRequest, InteractionReport, SuggestRequest, SuggestResponse};
+use dssddi_serving::{
+    Client, KbInfo, ModelInfo, ModelKey, ModelStats, RetryPolicy, ServingError, StatsReport,
+};
+
+/// The retry policy [`ReplicaClient::connect`] arms: 4 attempts with
+/// jittered exponential backoff from 25 ms capped at 400 ms, covering
+/// `Overloaded` rejections *and* connection faults — the fail-over knob.
+fn default_policy() -> RetryPolicy {
+    RetryPolicy::new(4, Duration::from_millis(25), Duration::from_millis(400))
+        .retry_connection_faults(true)
+}
+
+/// A blocking client for a whole replica group.
+#[derive(Debug)]
+pub struct ReplicaClient {
+    inner: Client,
+}
+
+impl ReplicaClient {
+    /// Connects to the first healthy replica of `endpoints` and arms
+    /// fail-over retries (see the module docs). `timeout` bounds each
+    /// connect attempt and each response; `seed` drives the retry jitter —
+    /// fix it in tests, make it distinct per client in a fleet.
+    pub fn connect(
+        endpoints: &[SocketAddr],
+        timeout: Duration,
+        seed: u64,
+    ) -> Result<Self, ServingError> {
+        let mut inner = Client::connect_any(endpoints, timeout)?;
+        inner.set_retry_policy(Some(default_policy()), seed);
+        Ok(Self { inner })
+    }
+
+    /// Replaces the armed retry policy (`None` disarms fail-over).
+    pub fn set_retry_policy(&mut self, policy: Option<RetryPolicy>, seed: u64) {
+        self.inner.set_retry_policy(policy, seed);
+    }
+
+    /// Asks one model shard for a top-k suggestion (read: fans over).
+    pub fn suggest(
+        &mut self,
+        model: &ModelKey,
+        request: &SuggestRequest,
+    ) -> Result<SuggestResponse, ServingError> {
+        self.inner.suggest(model, request)
+    }
+
+    /// Sends a whole batch in one frame (read: fans over).
+    pub fn suggest_batch(
+        &mut self,
+        model: &ModelKey,
+        requests: &[SuggestRequest],
+    ) -> Result<Vec<SuggestResponse>, ServingError> {
+        self.inner.suggest_batch(model, requests)
+    }
+
+    /// Critiques an existing prescription against one shard's DDI graph
+    /// (read: fans over).
+    pub fn check_prescription(
+        &mut self,
+        model: &ModelKey,
+        request: &CheckPrescriptionRequest,
+    ) -> Result<InteractionReport, ServingError> {
+        self.inner.check_prescription(model, request)
+    }
+
+    /// Lists the models the connected replica serves (identical across a
+    /// converged group).
+    pub fn list_models(&mut self) -> Result<Vec<ModelInfo>, ServingError> {
+        self.inner.list_models()
+    }
+
+    /// Per-model serving statistics of the connected replica. Statistics
+    /// are per-replica, *not* aggregated: each replica counts the traffic
+    /// it served.
+    pub fn stats(&mut self) -> Result<Vec<(ModelKey, ModelStats)>, ServingError> {
+        self.inner.stats()
+    }
+
+    /// Full statistics report of the connected replica, including its
+    /// `ReplicaStats` (peers, syncs, bytes shipped, per-key versions, lag).
+    pub fn stats_report(&mut self) -> Result<StatsReport, ServingError> {
+        self.inner.stats_report()
+    }
+
+    /// Summary of the knowledge base paired with one shard.
+    pub fn kb_info(&mut self, model: &ModelKey) -> Result<KbInfo, ServingError> {
+        self.inner.kb_info(model)
+    }
+
+    /// Round-trip liveness probe against the connected replica.
+    pub fn ping(&mut self) -> Result<Duration, ServingError> {
+        self.inner.ping()
+    }
+
+    /// Ships a `DSSD` container to *one* replica (write: forwards); the
+    /// group's anti-entropy agents propagate the new model version to
+    /// every other replica within a few sync intervals. Never retried on
+    /// transport faults.
+    pub fn reload_model(
+        &mut self,
+        model: &ModelKey,
+        container: &[u8],
+    ) -> Result<ModelInfo, ServingError> {
+        self.inner.reload_model(model, container)
+    }
+
+    /// Ships a `DSKB` container to *one* replica (write: forwards); the
+    /// KB's embedded version rides the anti-entropy loop to the rest of
+    /// the group. Never retried on transport faults.
+    pub fn reload_kb(
+        &mut self,
+        model: &ModelKey,
+        container: &[u8],
+    ) -> Result<KbInfo, ServingError> {
+        self.inner.reload_kb(model, container)
+    }
+
+    /// The wrapped single-connection client, for operations without a
+    /// deployment story (peer messages, shutdown).
+    pub fn client_mut(&mut self) -> &mut Client {
+        &mut self.inner
+    }
+
+    /// Unwraps into the underlying client, keeping its endpoint health
+    /// memory and retry policy.
+    pub fn into_inner(self) -> Client {
+        self.inner
+    }
+}

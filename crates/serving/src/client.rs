@@ -54,8 +54,8 @@ use dssddi_kb::KbInfo;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::router::{ModelInfo, ModelKey, ModelStats, StatsReport};
-use crate::wire::{self, ErrorCode, RequestRef, Response, WireError};
+use crate::router::{KeyVersions, ModelInfo, ModelKey, ModelStats, StatsReport};
+use crate::wire::{self, ErrorCode, RequestRef, Response, SyncArtifact, WireError};
 use crate::ServingError;
 
 /// First cooldown after an endpoint failure; doubles per consecutive
@@ -328,6 +328,15 @@ impl Client {
                 None => "no gateway endpoint to connect to".to_string(),
             },
         })
+    }
+
+    /// The address of the endpoint currently (or most recently) connected
+    /// — which gateway of a replica set answered the last call. Any
+    /// reconnect (including the automatic ones connection-fault retries
+    /// perform) can move it; multi-endpoint load generators use it to
+    /// attribute outcomes per gateway.
+    pub fn last_endpoint(&self) -> Option<SocketAddr> {
+        self.endpoints.get(self.current).map(|e| e.addr)
     }
 
     /// Arms (or with `None` disarms) the response timeout: a call whose
@@ -611,6 +620,49 @@ impl Client {
         }
     }
 
+    /// Replica-to-replica version exchange: reports `versions` (the
+    /// caller's per-key artifact versions) and returns the peer's own
+    /// vector, so one round trip tells both sides who is ahead. Idempotent
+    /// — retried across transport faults when retries are armed.
+    pub fn peer_status(
+        &mut self,
+        versions: &[KeyVersions],
+    ) -> Result<Vec<KeyVersions>, ServingError> {
+        match self.call(RequestRef::PeerStatus { versions })? {
+            Response::PeerStatus { versions } => Ok(versions),
+            other => Err(unexpected("PeerStatus", &other)),
+        }
+    }
+
+    /// Replica-to-replica artifact pull: fetches one shard's complete
+    /// `DSSD` or `DSKB` container from a peer that is ahead, plus the
+    /// version the bytes certify. Idempotent.
+    pub fn peer_sync(
+        &mut self,
+        model: &ModelKey,
+        artifact: SyncArtifact,
+    ) -> Result<(u64, Vec<u8>), ServingError> {
+        match self.call(RequestRef::PeerSync { model, artifact })? {
+            Response::PeerSync {
+                model: got_model,
+                artifact: got_artifact,
+                version,
+                container,
+            } => {
+                if &got_model != model || got_artifact != artifact {
+                    return Err(ServingError::Protocol {
+                        what: format!(
+                            "asked to sync {artifact} of {model}, server answered with \
+                             {got_artifact} of {got_model}"
+                        ),
+                    });
+                }
+                Ok((version, container))
+            }
+            other => Err(unexpected("PeerSync", &other)),
+        }
+    }
+
     /// Asks the gateway to shut down cleanly, consuming the client. Returns
     /// once the server has acknowledged. Never retried on transport faults.
     pub fn shutdown(mut self) -> Result<(), ServingError> {
@@ -633,6 +685,8 @@ fn unexpected(asked: &str, got: &Response) -> ServingError {
         Response::ListModels(_) => "ListModels",
         Response::Stats(_) => "Stats",
         Response::Pong => "Pong",
+        Response::PeerStatus { .. } => "PeerStatus",
+        Response::PeerSync { .. } => "PeerSync",
         Response::ShuttingDown => "ShuttingDown",
         Response::Error { .. } => "Error",
     };

@@ -77,10 +77,11 @@ pub use admission::{AdmissionConfig, RateLimit, TokenBucket};
 pub use client::{Client, RetryPolicy};
 pub use dssddi_kb::{AlertPolicy, KbInfo, KnowledgeBase, Severity};
 pub use router::{
-    GatewayStats, ModelCatalog, ModelInfo, ModelKey, ModelStats, Router, StatsReport,
+    GatewayStats, KeyVersions, ModelCatalog, ModelInfo, ModelKey, ModelStats, ReplicaState,
+    ReplicaStats, Router, StatsReport,
 };
 pub use server::{Server, ServerConfig, TransportStats};
-pub use wire::{ErrorCode, Request, Response, WireError};
+pub use wire::{ErrorCode, Request, Response, SyncArtifact, WireError};
 
 /// The single error type of the serving gateway, covering routing, wire
 /// protocol and transport failures on both ends of a connection.

@@ -196,6 +196,88 @@ pub struct GatewayStats {
     pub stalled_reaped: u64,
 }
 
+/// One shard's artifact versions, as exchanged between replicas by the
+/// `PeerStatus` wire message and reported in [`ReplicaStats`]: the monotone
+/// model version the gateway assigns on every swap, and the knowledge
+/// base's own version (which travels inside the `DSKB` container).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeyVersions {
+    /// The shard's routing key.
+    pub key: ModelKey,
+    /// Monotone version of the shard's trained model (starts at 1; bumped
+    /// on every hot reload; adopted from the source on anti-entropy sync).
+    pub model_version: u64,
+    /// Version of the shard's knowledge base.
+    pub kb_version: u64,
+}
+
+/// Replication statistics a replicated gateway appends to its `Stats`
+/// response: how many peers it gossips with, what its anti-entropy loop has
+/// pulled, and the per-key versions it currently certifies. Absent
+/// (`None` in [`StatsReport`]) on gateways running without a replica agent.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ReplicaStats {
+    /// Number of peer gateways in the replica group (not counting this one).
+    pub peers: usize,
+    /// Containers this replica's anti-entropy loop pulled from peers and
+    /// applied locally.
+    pub syncs: u64,
+    /// Total bytes of those pulled containers.
+    pub bytes_shipped: u64,
+    /// Largest per-key version gap behind any peer observed by the most
+    /// recent anti-entropy round, *before* that round's pulls (0 = fully
+    /// converged when last polled).
+    pub max_lag: u64,
+    /// The per-key `(model_version, kb_version)` pairs this gateway holds,
+    /// in key order.
+    pub versions: Vec<KeyVersions>,
+}
+
+/// Live replication counters, shared between the replica agent (which
+/// updates them after every anti-entropy round) and the router (which
+/// serves them on `Stats`). Mirrors the transport-counter pattern: the
+/// agent's host attaches the state via [`Router::attach_replica`] while it
+/// still owns the router exclusively, then hands the same `Arc` to the
+/// agent — no lock joins the serving path.
+#[derive(Debug, Default)]
+pub struct ReplicaState {
+    peers: AtomicU64,
+    syncs: AtomicU64,
+    bytes_shipped: AtomicU64,
+    max_lag: AtomicU64,
+}
+
+impl ReplicaState {
+    /// Records the replica group's peer count (excluding the local member).
+    pub fn set_peers(&self, peers: usize) {
+        self.peers.store(peers as u64, Ordering::Relaxed);
+    }
+
+    /// Records one pulled-and-applied container of `bytes` bytes.
+    pub fn record_sync(&self, bytes: u64) {
+        self.syncs.fetch_add(1, Ordering::Relaxed);
+        self.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
+    }
+
+    /// Records the largest version gap behind any peer observed by the most
+    /// recent anti-entropy round (0 when fully converged).
+    pub fn set_lag(&self, lag: u64) {
+        self.max_lag.store(lag, Ordering::Relaxed);
+    }
+
+    /// The counters as a [`ReplicaStats`] skeleton (versions left empty —
+    /// the router fills them from its catalog).
+    fn snapshot(&self) -> ReplicaStats {
+        ReplicaStats {
+            peers: self.peers.load(Ordering::Relaxed) as usize,
+            syncs: self.syncs.load(Ordering::Relaxed),
+            bytes_shipped: self.bytes_shipped.load(Ordering::Relaxed),
+            max_lag: self.max_lag.load(Ordering::Relaxed),
+            versions: Vec::new(),
+        }
+    }
+}
+
 /// Everything a `Stats` request reports: per-model serving statistics plus
 /// the gateway's transport-level counters.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -204,6 +286,8 @@ pub struct StatsReport {
     pub models: Vec<(ModelKey, ModelStats)>,
     /// Gateway-wide transport counters (zeros for in-process routers).
     pub gateway: GatewayStats,
+    /// Replication statistics (`None` on unreplicated gateways).
+    pub replica: Option<ReplicaStats>,
 }
 
 /// Sliding window of routed-call latencies (microseconds).
@@ -274,6 +358,11 @@ fn relock<T>(result: Result<T, std::sync::PoisonError<T>>) -> T {
 struct ModelEntry {
     service: RwLock<Arc<DecisionService>>,
     kb: RwLock<Arc<KnowledgeBase>>,
+    /// Monotone version of the shard's model: 1 on insert, bumped on every
+    /// hot reload, adopted from the source replica on anti-entropy sync.
+    /// (The knowledge base needs no twin — its version travels inside the
+    /// `DSKB` container itself.)
+    model_version: AtomicU64,
     requests: AtomicU64,
     errors: AtomicU64,
     errors_by_code: [AtomicU64; ErrorCode::ALL.len()],
@@ -298,6 +387,7 @@ impl ModelEntry {
         Self {
             service: RwLock::new(Arc::new(service)),
             kb: RwLock::new(Arc::new(kb)),
+            model_version: AtomicU64::new(1),
             requests: AtomicU64::new(0),
             errors: AtomicU64::new(0),
             errors_by_code: std::array::from_fn(|_| AtomicU64::new(0)),
@@ -513,7 +603,67 @@ impl ModelCatalog {
             service.registry().digest(),
         )?;
         *relock(entry.service.write()) = Arc::new(service);
+        entry.model_version.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Adopts a peer replica's model for a live key at the peer's version —
+    /// the anti-entropy apply path. Unlike [`ModelCatalog::replace`] (which
+    /// *bumps* the local version, making the local gateway the new source
+    /// of truth), a sync sets the version to the source's, so a pulled
+    /// artifact never re-propagates as fresh. Versions only move forward: a
+    /// stale or duplicate pull (`version` at or below the current one) is a
+    /// no-op returning `false`.
+    pub fn sync_model(
+        &self,
+        key: &ModelKey,
+        service: DecisionService,
+        version: u64,
+    ) -> Result<bool, ServingError> {
+        let entry = self.entry(key)?;
+        check_digest(
+            key,
+            entry.service().registry().digest(),
+            service.registry().digest(),
+        )?;
+        if entry.model_version.load(Ordering::Relaxed) >= version {
+            return Ok(false);
+        }
+        *relock(entry.service.write()) = Arc::new(service);
+        entry.model_version.store(version, Ordering::Relaxed);
+        Ok(true)
+    }
+
+    /// Adopts a peer replica's knowledge base for a live key — the
+    /// anti-entropy apply path. The version travels inside the `DSKB`
+    /// container, so adopting the bytes adopts the version; versions only
+    /// move forward (a stale or duplicate pull is a no-op returning
+    /// `false`).
+    pub fn sync_kb(&self, key: &ModelKey, kb: KnowledgeBase) -> Result<bool, ServingError> {
+        let entry = self.entry(key)?;
+        check_digest(
+            key,
+            entry.service().registry().digest(),
+            kb.registry_digest(),
+        )?;
+        if entry.kb().version() >= kb.version() {
+            return Ok(false);
+        }
+        *relock(entry.kb.write()) = Arc::new(kb);
+        Ok(true)
+    }
+
+    /// The per-key `(model_version, kb_version)` pairs this catalog holds,
+    /// in key order — the version vector `PeerStatus` exchanges.
+    pub fn version_vector(&self) -> Vec<KeyVersions> {
+        self.models
+            .iter()
+            .map(|(key, entry)| KeyVersions {
+                key: key.clone(),
+                model_version: entry.model_version.load(Ordering::Relaxed),
+                kb_version: entry.kb().version(),
+            })
+            .collect()
     }
 
     /// Hot-swaps the knowledge base paired with a live key. The replacement
@@ -578,6 +728,10 @@ pub struct Router {
     /// attached by `Server::bind` before the router is shared. In-process
     /// routers have none and report zeroed [`GatewayStats`].
     transport: Option<Arc<crate::server::TransportStats>>,
+    /// Replication counters of the replica agent syncing this gateway,
+    /// attached by the agent's host before the router is shared.
+    /// Unreplicated routers have none and omit the `Stats` replica section.
+    replica: Option<Arc<ReplicaState>>,
 }
 
 impl Router {
@@ -603,6 +757,7 @@ impl Router {
             queue,
             origin: Instant::now(),
             transport: None,
+            replica: None,
         }
     }
 
@@ -611,6 +766,14 @@ impl Router {
     /// the router exclusively.
     pub(crate) fn attach_transport(&mut self, transport: Arc<crate::server::TransportStats>) {
         self.transport = Some(transport);
+    }
+
+    /// Attaches a replica agent's counters so `Stats` responses carry the
+    /// replication section. Like [`Router::attach_transport`], this must
+    /// happen while the caller still owns the router exclusively (before
+    /// `Server::bind` shares it); the same `Arc` then goes to the agent.
+    pub fn attach_replica(&mut self, replica: Arc<ReplicaState>) {
+        self.replica = Some(replica);
     }
 
     /// The catalog behind the router.
@@ -791,6 +954,62 @@ impl Router {
         self.reload_kb(key, kb)
     }
 
+    /// [`ModelCatalog::sync_model`] from in-memory `DSSD` container bytes —
+    /// what a replica agent applies after a `PeerSync` pull. Returns
+    /// whether the shard actually moved forward.
+    pub fn sync_model_bytes(
+        &self,
+        key: &ModelKey,
+        version: u64,
+        container: &[u8],
+    ) -> Result<bool, ServingError> {
+        let service = DecisionService::load_with_embedded_registry_bytes(container)?;
+        self.catalog.sync_model(key, service, version)
+    }
+
+    /// [`ModelCatalog::sync_kb`] from in-memory `DSKB` container bytes —
+    /// what a replica agent applies after a `PeerSync` pull. Returns
+    /// whether the shard actually moved forward.
+    pub fn sync_kb_bytes(&self, key: &ModelKey, container: &[u8]) -> Result<bool, ServingError> {
+        let kb = KnowledgeBase::from_container_bytes(container).map_err(ServingError::Kb)?;
+        self.catalog.sync_kb(key, kb)
+    }
+
+    /// The per-key version vector this gateway holds (see
+    /// [`ModelCatalog::version_vector`]).
+    pub fn version_vector(&self) -> Vec<KeyVersions> {
+        self.catalog.version_vector()
+    }
+
+    /// Serves a `PeerSync` pull: one shard's complete container plus the
+    /// version the bytes certify. The version is read *before* the artifact
+    /// `Arc` is cloned, so a concurrent reload can only make the shipped
+    /// bytes newer than the claimed version — the puller then re-pulls on
+    /// its next round and still converges monotonically.
+    fn peer_sync(
+        &self,
+        key: &ModelKey,
+        artifact: wire::SyncArtifact,
+    ) -> Result<Response, ServingError> {
+        let entry = self.catalog.entry(key)?;
+        let (version, container) = match artifact {
+            wire::SyncArtifact::Model => {
+                let version = entry.model_version.load(Ordering::Relaxed);
+                (version, entry.service().to_container_bytes())
+            }
+            wire::SyncArtifact::Kb => {
+                let kb = entry.kb();
+                (kb.version(), kb.to_container_bytes())
+            }
+        };
+        Ok(Response::PeerSync {
+            model: key.clone(),
+            artifact,
+            version,
+            container,
+        })
+    }
+
     /// The summary of the knowledge base paired with a shard.
     pub fn kb_info(&self, key: &ModelKey) -> Result<KbInfo, ServingError> {
         Ok(self.catalog.entry(key)?.kb().info())
@@ -829,6 +1048,10 @@ impl Router {
         StatsReport {
             models: self.stats(),
             gateway: self.gateway_stats(),
+            replica: self.replica.as_ref().map(|state| ReplicaStats {
+                versions: self.version_vector(),
+                ..state.snapshot()
+            }),
         }
     }
 
@@ -867,6 +1090,15 @@ impl Router {
             // bypasses admission, so health checks keep answering while the
             // data plane sheds load.
             Request::Ping => Ok(Response::Pong),
+            // Peer messages are replication control plane: they bypass
+            // admission (a loaded gateway must still converge) and count
+            // toward no shard's request statistics. The requester's vector
+            // is gossip — this side answers with its own and lets each
+            // agent pull what it lags on.
+            Request::PeerStatus { versions: _ } => Ok(Response::PeerStatus {
+                versions: self.version_vector(),
+            }),
+            Request::PeerSync { model, artifact } => self.peer_sync(model, *artifact),
             Request::Shutdown => Ok(Response::ShuttingDown),
         };
         result.unwrap_or_else(|error| wire::error_response(&error))
@@ -885,6 +1117,8 @@ impl Router {
             | Request::ListModels
             | Request::Stats
             | Request::Ping
+            | Request::PeerStatus { .. }
+            | Request::PeerSync { .. }
             | Request::Shutdown => None,
         };
         if let Some(entry) = model.and_then(|key| self.catalog.models.get(key)) {

@@ -129,6 +129,13 @@ impl Server {
         &self.router
     }
 
+    /// A shared handle to the router, for components that outlive the
+    /// borrow — a replica agent applies anti-entropy pulls through this
+    /// while the server's run loop owns `self`.
+    pub fn router_arc(&self) -> Arc<Router> {
+        Arc::clone(&self.router)
+    }
+
     /// Runs the accept loop until a client sends `Shutdown`, then drains:
     /// handler threads finish the request they are serving (idle
     /// connections close within one poll interval) before `run` returns.

@@ -55,6 +55,44 @@
 //! once the whole frame overstays its deadline, instead of holding a
 //! handler thread forever. The same single-build caveat applies.
 //!
+//! The replication subsystem extended the protocol once more: a
+//! `PeerStatus` (12) request/response pair exchanging per-key
+//! `(model_version, kb_version)` version vectors between replicas (the
+//! requester sends its own vector, the responder answers with its — one
+//! round trip doubles as a gossip exchange), and a `PeerSync` (13)
+//! request/response pair through which a lagging replica pulls one shard's
+//! complete `DSSD` or `DSKB` container, tagged with the version it
+//! certifies, from a peer that is ahead. Both are idempotent reads: the
+//! anti-entropy loop may retry them freely across connection faults. The
+//! `Stats` body also grew an optional replica section (peer count, sync and
+//! byte counters, per-key versions, observed lag) appended after the
+//! gateway transport counters. The same single-build caveat applies.
+//!
+//! ## Tag registry
+//!
+//! The complete message-tag space of protocol version 1, by direction.
+//! Tags are assigned once and never reused: a value dropped from either
+//! direction's registry moves to `analysis/baseline.toml`'s
+//! `[retired.wire]` list, which `dssddi-analyze`'s wire pass enforces
+//! against the constants in this module.
+//!
+//! | Tag | Request             | Response            |
+//! |----:|---------------------|---------------------|
+//! |   0 | —                   | `Error`             |
+//! |   1 | `Suggest`           | `Suggest`           |
+//! |   2 | `SuggestBatch`      | `SuggestBatch`      |
+//! |   3 | `CheckPrescription` | `CheckPrescription` |
+//! |   4 | `ListModels`        | `ListModels`        |
+//! |   5 | `Stats`             | `Stats`             |
+//! |   6 | `Shutdown`          | —                   |
+//! |   7 | *retired*           | `ShuttingDown`      |
+//! |   8 | `ReloadModel`       | `ModelReloaded`     |
+//! |   9 | `ReloadKb`          | `KbReloaded`        |
+//! |  10 | `KbInfo`            | `KbInfo`            |
+//! |  11 | `Ping`              | `Pong`              |
+//! |  12 | `PeerStatus`        | `PeerStatus`        |
+//! |  13 | `PeerSync`          | `PeerSync`          |
+//!
 //! Decoding is fully defensive: truncated frames, flipped bits (caught by
 //! the CRC), foreign magic bytes, future protocol versions, unknown message
 //! tags and oversized declared lengths all produce typed [`WireError`]s —
@@ -74,7 +112,9 @@ use dssddi_tensor::serde::{
     FRAME_HEADER_LEN,
 };
 
-use crate::router::{GatewayStats, ModelInfo, ModelKey, ModelStats, StatsReport};
+use crate::router::{
+    GatewayStats, KeyVersions, ModelInfo, ModelKey, ModelStats, ReplicaStats, StatsReport,
+};
 use crate::ServingError;
 
 /// Magic bytes opening every wire frame ("DSsddi WiRe").
@@ -268,6 +308,47 @@ impl fmt::Display for ErrorCode {
     }
 }
 
+/// Which replicated artifact a [`Request::PeerSync`] pull targets: the
+/// trained model (`DSSD` container) or the knowledge base (`DSKB`
+/// container) behind a shard key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SyncArtifact {
+    /// The shard's trained model, shipped as a complete `DSSD` container.
+    Model,
+    /// The shard's knowledge base, shipped as a complete `DSKB` container.
+    Kb,
+}
+
+impl SyncArtifact {
+    fn to_u8(self) -> u8 {
+        match self {
+            SyncArtifact::Model => 0,
+            SyncArtifact::Kb => 1,
+        }
+    }
+
+    fn from_u8(tag: u8) -> Result<Self, SerdeError> {
+        Ok(match tag {
+            0 => SyncArtifact::Model,
+            1 => SyncArtifact::Kb,
+            other => {
+                return Err(SerdeError::Corrupt {
+                    what: format!("unknown sync artifact {other}"),
+                })
+            }
+        })
+    }
+}
+
+impl fmt::Display for SyncArtifact {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SyncArtifact::Model => "model",
+            SyncArtifact::Kb => "kb",
+        })
+    }
+}
+
 /// A client-to-server message.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -325,6 +406,24 @@ pub enum Request {
     /// Control-plane liveness check: answered with [`Response::Pong`]
     /// without touching any shard and without passing admission control.
     Ping,
+    /// Replica-to-replica version-vector exchange: the requester reports
+    /// the per-key `(model_version, kb_version)` pairs it holds and the
+    /// responder answers with its own, so one round trip tells both sides
+    /// who is ahead (gossip-style anti-entropy probe).
+    PeerStatus {
+        /// The requester's per-key artifact versions.
+        versions: Vec<KeyVersions>,
+    },
+    /// Replica-to-replica artifact pull: ask a peer that is ahead for one
+    /// shard's complete container, answered with
+    /// [`Response::PeerSync`] carrying the bytes and the version they
+    /// certify. Idempotent — pulling twice converges to the same state.
+    PeerSync {
+        /// The shard to pull.
+        model: ModelKey,
+        /// Which artifact (model or knowledge base) to ship.
+        artifact: SyncArtifact,
+    },
     /// Ask the server to stop accepting connections and exit its run loop.
     Shutdown,
 }
@@ -351,6 +450,25 @@ pub enum Response {
     Stats(StatsReport),
     /// Answer to [`Request::Ping`].
     Pong,
+    /// Answer to [`Request::PeerStatus`]: the responder's own per-key
+    /// version vector.
+    PeerStatus {
+        /// The responder's per-key artifact versions.
+        versions: Vec<KeyVersions>,
+    },
+    /// Answer to [`Request::PeerSync`]: one shard's complete artifact
+    /// container plus the version the bytes certify.
+    PeerSync {
+        /// The shard the container belongs to.
+        model: ModelKey,
+        /// Which artifact the container holds.
+        artifact: SyncArtifact,
+        /// The version the shipped container certifies; the puller adopts
+        /// it for the key after applying the container.
+        version: u64,
+        /// The complete `DSSD` or `DSKB` container bytes.
+        container: Vec<u8>,
+    },
     /// Acknowledgement of [`Request::Shutdown`].
     ShuttingDown,
     /// A typed server-side failure.
@@ -831,6 +949,46 @@ fn take_gateway_stats(r: &mut ByteReader<'_>) -> Result<GatewayStats, SerdeError
     })
 }
 
+fn put_key_versions(w: &mut ByteWriter, versions: &[KeyVersions]) {
+    w.put_usize(versions.len());
+    for entry in versions {
+        put_model_key(w, &entry.key);
+        w.put_u64(entry.model_version);
+        w.put_u64(entry.kb_version);
+    }
+}
+
+fn take_key_versions(r: &mut ByteReader<'_>) -> Result<Vec<KeyVersions>, SerdeError> {
+    let len = r.take_usize("versions.len")?;
+    let mut versions = Vec::new();
+    for _ in 0..len {
+        versions.push(KeyVersions {
+            key: take_model_key(r)?,
+            model_version: r.take_u64("versions.model_version")?,
+            kb_version: r.take_u64("versions.kb_version")?,
+        });
+    }
+    Ok(versions)
+}
+
+fn put_replica_stats(w: &mut ByteWriter, replica: &ReplicaStats) {
+    w.put_usize(replica.peers);
+    w.put_u64(replica.syncs);
+    w.put_u64(replica.bytes_shipped);
+    w.put_u64(replica.max_lag);
+    put_key_versions(w, &replica.versions);
+}
+
+fn take_replica_stats(r: &mut ByteReader<'_>) -> Result<ReplicaStats, SerdeError> {
+    Ok(ReplicaStats {
+        peers: r.take_usize("replica.peers")?,
+        syncs: r.take_u64("replica.syncs")?,
+        bytes_shipped: r.take_u64("replica.bytes_shipped")?,
+        max_lag: r.take_u64("replica.max_lag")?,
+        versions: take_key_versions(r)?,
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Message codecs.
 // ---------------------------------------------------------------------------
@@ -856,6 +1014,10 @@ const TAG_KB_INFO_RESPONSE: u8 = 10;
 // response share tag 11, like every paired message above).
 const TAG_PING: u8 = 11;
 const TAG_PONG: u8 = 11;
+// Replication messages: the peer-to-peer version-vector exchange and the
+// artifact pull (request and response share a tag, like Ping/Pong).
+const TAG_PEER_STATUS: u8 = 12;
+const TAG_PEER_SYNC: u8 = 13;
 const TAG_ERROR: u8 = 0;
 
 /// A borrowed view of a [`Request`], so callers holding the pieces (a key,
@@ -910,6 +1072,18 @@ pub enum RequestRef<'a> {
     Stats,
     /// Borrowed [`Request::Ping`].
     Ping,
+    /// Borrowed [`Request::PeerStatus`].
+    PeerStatus {
+        /// The requester's per-key artifact versions.
+        versions: &'a [KeyVersions],
+    },
+    /// Borrowed [`Request::PeerSync`].
+    PeerSync {
+        /// The shard to pull.
+        model: &'a ModelKey,
+        /// Which artifact to ship.
+        artifact: SyncArtifact,
+    },
     /// Borrowed [`Request::Shutdown`].
     Shutdown,
 }
@@ -928,7 +1102,12 @@ impl RequestRef<'_> {
             | RequestRef::KbInfo { .. }
             | RequestRef::ListModels
             | RequestRef::Stats
-            | RequestRef::Ping => true,
+            | RequestRef::Ping
+            // Peer messages are reads: a status exchange reports versions
+            // and a sync pull ships a container without mutating the
+            // responder, so the anti-entropy loop may retry them freely.
+            | RequestRef::PeerStatus { .. }
+            | RequestRef::PeerSync { .. } => true,
             RequestRef::ReloadModel { .. } | RequestRef::ReloadKb { .. } | RequestRef::Shutdown => {
                 false
             }
@@ -955,6 +1134,11 @@ impl Request {
             Request::ListModels => RequestRef::ListModels,
             Request::Stats => RequestRef::Stats,
             Request::Ping => RequestRef::Ping,
+            Request::PeerStatus { versions } => RequestRef::PeerStatus { versions },
+            Request::PeerSync { model, artifact } => RequestRef::PeerSync {
+                model,
+                artifact: *artifact,
+            },
             Request::Shutdown => RequestRef::Shutdown,
         }
     }
@@ -999,6 +1183,15 @@ pub fn encode_request_ref(request: RequestRef<'_>) -> Vec<u8> {
         RequestRef::ListModels => w.put_u8(TAG_LIST_MODELS),
         RequestRef::Stats => w.put_u8(TAG_STATS),
         RequestRef::Ping => w.put_u8(TAG_PING),
+        RequestRef::PeerStatus { versions } => {
+            w.put_u8(TAG_PEER_STATUS);
+            put_key_versions(&mut w, versions);
+        }
+        RequestRef::PeerSync { model, artifact } => {
+            w.put_u8(TAG_PEER_SYNC);
+            put_model_key(&mut w, model);
+            w.put_u8(artifact.to_u8());
+        }
         RequestRef::Shutdown => w.put_u8(TAG_SHUTDOWN),
     }
     seal_frame(WIRE_MAGIC, WIRE_VERSION, w.as_bytes())
@@ -1044,6 +1237,13 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, SerdeError> {
         TAG_LIST_MODELS => Request::ListModels,
         TAG_STATS => Request::Stats,
         TAG_PING => Request::Ping,
+        TAG_PEER_STATUS => Request::PeerStatus {
+            versions: take_key_versions(&mut r)?,
+        },
+        TAG_PEER_SYNC => Request::PeerSync {
+            model: take_model_key(&mut r)?,
+            artifact: SyncArtifact::from_u8(r.take_u8("sync.artifact")?)?,
+        },
         TAG_SHUTDOWN => Request::Shutdown,
         other => {
             return Err(SerdeError::Corrupt {
@@ -1096,6 +1296,16 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             // entries when the resilience work landed (same single-build
             // compatibility caveat as every other grown body).
             put_gateway_stats(&mut w, &report.gateway);
+            // Replica section, appended behind a presence flag when the
+            // replication work landed: absent on gateways that run without
+            // a replica agent.
+            match &report.replica {
+                Some(replica) => {
+                    w.put_bool(true);
+                    put_replica_stats(&mut w, replica);
+                }
+                None => w.put_bool(false),
+            }
         }
         Response::ModelReloaded(info) => {
             w.put_u8(TAG_MODEL_RELOADED);
@@ -1110,6 +1320,22 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             put_kb_info(&mut w, info);
         }
         Response::Pong => w.put_u8(TAG_PONG),
+        Response::PeerStatus { versions } => {
+            w.put_u8(TAG_PEER_STATUS);
+            put_key_versions(&mut w, versions);
+        }
+        Response::PeerSync {
+            model,
+            artifact,
+            version,
+            container,
+        } => {
+            w.put_u8(TAG_PEER_SYNC);
+            put_model_key(&mut w, model);
+            w.put_u8(artifact.to_u8());
+            w.put_u64(*version);
+            w.put_u8_slice(container);
+        }
         Response::ShuttingDown => w.put_u8(TAG_SHUTTING_DOWN),
         Response::Error { code, message } => {
             w.put_u8(TAG_ERROR);
@@ -1150,15 +1376,31 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, SerdeError> {
                 let stats = take_model_stats(&mut r)?;
                 models.push((key, stats));
             }
+            let gateway = take_gateway_stats(&mut r)?;
+            let replica = if r.take_bool("stats.replica.present")? {
+                Some(take_replica_stats(&mut r)?)
+            } else {
+                None
+            };
             Response::Stats(StatsReport {
                 models,
-                gateway: take_gateway_stats(&mut r)?,
+                gateway,
+                replica,
             })
         }
         TAG_MODEL_RELOADED => Response::ModelReloaded(take_model_info(&mut r)?),
         TAG_KB_RELOADED => Response::KbReloaded(take_kb_info(&mut r)?),
         TAG_KB_INFO_RESPONSE => Response::KbInfo(take_kb_info(&mut r)?),
         TAG_PONG => Response::Pong,
+        TAG_PEER_STATUS => Response::PeerStatus {
+            versions: take_key_versions(&mut r)?,
+        },
+        TAG_PEER_SYNC => Response::PeerSync {
+            model: take_model_key(&mut r)?,
+            artifact: SyncArtifact::from_u8(r.take_u8("sync.artifact")?)?,
+            version: r.take_u64("sync.version")?,
+            container: r.take_u8_vec("sync.container")?,
+        },
         TAG_SHUTTING_DOWN => Response::ShuttingDown,
         TAG_ERROR => Response::Error {
             code: ErrorCode::from_u8(r.take_u8("error.code")?)?,
@@ -1415,16 +1657,45 @@ mod tests {
 
     #[test]
     fn control_messages_round_trip() {
+        let versions = vec![
+            KeyVersions {
+                key: ModelKey::new("chronic").unwrap(),
+                model_version: 3,
+                kb_version: 7,
+            },
+            KeyVersions {
+                key: ModelKey::new("critique").unwrap(),
+                model_version: 1,
+                kb_version: 1,
+            },
+        ];
         for request in [
             Request::ListModels,
             Request::Stats,
             Request::Ping,
+            Request::PeerStatus {
+                versions: versions.clone(),
+            },
+            Request::PeerSync {
+                model: ModelKey::new("chronic").unwrap(),
+                artifact: SyncArtifact::Kb,
+            },
             Request::Shutdown,
         ] {
             let frame = encode_request(&request);
             let payload = open_wire_frame(&frame).unwrap();
             assert_eq!(decode_request(payload).unwrap(), request);
         }
+        let replicated = StatsReport {
+            replica: Some(ReplicaStats {
+                peers: 2,
+                syncs: 5,
+                bytes_shipped: 40_960,
+                max_lag: 1,
+                versions: versions.clone(),
+            }),
+            ..StatsReport::default()
+        };
         for response in [
             Response::ShuttingDown,
             Response::Error {
@@ -1433,7 +1704,15 @@ mod tests {
             },
             Response::ListModels(vec![]),
             Response::Stats(StatsReport::default()),
+            Response::Stats(replicated),
             Response::Pong,
+            Response::PeerStatus { versions },
+            Response::PeerSync {
+                model: ModelKey::new("chronic").unwrap(),
+                artifact: SyncArtifact::Model,
+                version: 4,
+                container: vec![0xDE, 0xAD, 0xBE, 0xEF],
+            },
         ] {
             let frame = encode_response(&response);
             let payload = open_wire_frame(&frame).unwrap();

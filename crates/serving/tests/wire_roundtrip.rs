@@ -366,6 +366,19 @@ fn arb_response() -> impl Strategy<Value = Response> {
                             connections_shed: gateway.2,
                             stalled_reaped: gateway.3,
                         },
+                        // Half the generated reports are replicated so the
+                        // optional trailer roundtrips in both states.
+                        replica: (gateway.0 % 2 == 1).then(|| dssddi_serving::ReplicaStats {
+                            peers: (gateway.1 % 5) as usize,
+                            syncs: gateway.2,
+                            bytes_shipped: gateway.3,
+                            max_lag: gateway.0 % 17,
+                            versions: vec![dssddi_serving::KeyVersions {
+                                key: ModelKey::new("chronic").expect("valid key"),
+                                model_version: gateway.2.wrapping_add(1),
+                                kb_version: gateway.3.wrapping_add(1),
+                            }],
+                        }),
                     }),
                     5 => Response::ModelReloaded(models.into_iter().next().unwrap_or_else(|| {
                         dssddi_serving::ModelInfo {

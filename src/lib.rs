@@ -24,6 +24,11 @@
 //!   [`ModelCatalog`](serving::ModelCatalog)/[`Router`](serving::Router) over
 //!   several fitted services, a versioned binary wire protocol, the
 //!   `dssddi-serve` server binary and a blocking [`Client`](serving::Client),
+//! * [`replica`] — replica groups and catalog replication: a seeded
+//!   anti-entropy agent ([`ReplicaAgent`](replica::ReplicaAgent)) keeps N
+//!   gateway processes converged per shard via version vectors, and
+//!   [`ReplicaClient`](replica::ReplicaClient) gives callers read fan-out
+//!   with fail-over plus write forwarding,
 //! * [`loadgen`] — the open-loop traffic generator (`dssddi-loadgen`
 //!   binary): Poisson arrivals of mixed clinical traffic with Zipf
 //!   hot-shard skew, replayed against a live gateway with an
@@ -114,10 +119,56 @@
 //! ```
 //!
 //! The same gateway runs stand-alone as the `dssddi-serve` binary
-//! (`cargo run --release -p dssddi-serving --bin dssddi-serve -- --demo`);
+//! (`cargo run --release -p dssddi-replica --bin dssddi-serve -- --demo`);
 //! see the [`serving`] crate docs for the wire protocol's frame layout
 //! (magic `DSWR`, version, payload length, CRC-32) and the
 //! `serve_client` example for the full network round trip.
+//!
+//! ## Replication and deployment
+//!
+//! One gateway process is a single point of failure; the [`replica`] crate
+//! turns N of them into one logical deployment. Each replica lists every
+//! *other* replica as a peer, and a seeded anti-entropy agent converges
+//! the group — a three-replica demo deployment is three processes:
+//!
+//! ```text
+//! dssddi-serve --listen 127.0.0.1:4641 --demo \
+//!     --peer 127.0.0.1:4642 --peer 127.0.0.1:4643 &
+//! dssddi-serve --listen 127.0.0.1:4642 --demo \
+//!     --peer 127.0.0.1:4641 --peer 127.0.0.1:4643 &
+//! dssddi-serve --listen 127.0.0.1:4643 --demo \
+//!     --peer 127.0.0.1:4641 --peer 127.0.0.1:4642 &
+//! ```
+//!
+//! **Version semantics.** Every shard carries a monotone
+//! `(model_version, kb_version)` pair: the model version is assigned by
+//! the gateway (1 at load, bumped on every hot-swap), while the KB version
+//! travels inside the `DSKB` container itself. Each agent round exchanges
+//! these vectors with every peer (`PeerStatus`), pulls whole `DSSD`/`DSKB`
+//! containers wherever a peer is ahead (`PeerSync`), and applies them
+//! through the same hot-reload machinery a direct
+//! [`Client::reload_model`](serving::Client)/`reload_kb` uses — so a
+//! synced replica serves **byte-identical** responses to the reloaded one,
+//! and sync is monotone: a shard never moves backwards, making rounds
+//! idempotent and concurrent reloads benign. Per-replica progress (peers,
+//! syncs, bytes shipped, per-key versions, lag) is reported in
+//! [`ReplicaStats`](serving::ReplicaStats) on the `Stats` response.
+//!
+//! Reload any one replica — for example the first — and within a few sync
+//! intervals (default 500 ms, jittered) all three report the same
+//! `kb_version` via `Stats` and critique identically.
+//!
+//! **Failure modes.** An unreachable peer costs the agent one bounded
+//! timeout per round and is retried next round; it cannot stall serving.
+//! A replica killed mid-traffic is routed around by
+//! [`ReplicaClient`](replica::ReplicaClient) (reads retry over the
+//! healthiest endpoint; the chaos drill asserts ≥99% client success with
+//! one of three replicas down), and on restart it pulls every artifact it
+//! missed on its first sync round — convergence is eventual, bounded by
+//! the sync interval, and never requires operator action. Reloads forward
+//! to *one* replica and are never retried on transport faults; if the
+//! forwarding connection dies mid-reload, check `Stats` versions before
+//! resending.
 //!
 //! ## Admission control and traffic simulation
 //!
@@ -358,6 +409,7 @@ pub use dssddi_graph as graph;
 pub use dssddi_kb as kb;
 pub use dssddi_loadgen as loadgen;
 pub use dssddi_ml as ml;
+pub use dssddi_replica as replica;
 pub use dssddi_serving as serving;
 pub use dssddi_tensor as tensor;
 
@@ -385,9 +437,11 @@ pub mod prelude {
     };
     pub use dssddi_loadgen::{LoadgenConfig, LoadgenReport, WorkloadMix};
     pub use dssddi_ml::{ndcg_at_k, precision_at_k, ranking_metrics, recall_at_k, top_k_indices};
+    pub use dssddi_replica::{ReplicaAgent, ReplicaClient, ReplicaGroup};
     pub use dssddi_serving::{
-        AdmissionConfig, Client, GatewayStats, ModelCatalog, ModelInfo, ModelKey, ModelStats,
-        RateLimit, RetryPolicy, Router, Server, ServerConfig, ServingError, StatsReport,
+        AdmissionConfig, Client, GatewayStats, KeyVersions, ModelCatalog, ModelInfo, ModelKey,
+        ModelStats, RateLimit, ReplicaState, ReplicaStats, RetryPolicy, Router, Server,
+        ServerConfig, ServingError, StatsReport,
     };
     pub use dssddi_tensor::Matrix;
 }

@@ -101,6 +101,66 @@ where
     }
 }
 
+/// Strategy choosing uniformly among alternatives (see [`prop_oneof!`]).
+///
+/// Upstream's `prop_oneof!` supports per-arm weights; this stand-in picks
+/// each arm with equal probability, which is all the workspace uses.
+pub struct Union<T> {
+    first: Box<dyn Strategy<Value = T>>,
+    rest: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// A union of `first` and `rest`, each drawn with equal probability.
+    pub fn new(
+        first: Box<dyn Strategy<Value = T>>,
+        rest: Vec<Box<dyn Strategy<Value = T>>>,
+    ) -> Self {
+        Self { first, rest }
+    }
+
+    /// Boxes one alternative (the `prop_oneof!` macro's adapter).
+    pub fn boxed<S>(strategy: S) -> Box<dyn Strategy<Value = T>>
+    where
+        S: Strategy<Value = T> + 'static,
+    {
+        Box::new(strategy)
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let pick = rng.gen_range(0..=self.rest.len());
+        match pick.checked_sub(1).and_then(|i| self.rest.get(i)) {
+            Some(strategy) => strategy.generate(rng),
+            None => self.first.generate(rng),
+        }
+    }
+}
+
+impl<T> Strategy for Box<dyn Strategy<Value = T>> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        self.as_ref().generate(rng)
+    }
+}
+
+/// Chooses uniformly among the listed strategies (all must generate the
+/// same value type). Upstream's weighted `weight => strategy` arms are not
+/// supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {
+        $crate::Union::new(
+            $crate::Union::boxed($first),
+            vec![$($crate::Union::boxed($rest)),*],
+        )
+    };
+}
+
 impl<T: rand::SampleUniform> Strategy for std::ops::Range<T> {
     type Value = T;
 
@@ -274,7 +334,8 @@ pub mod prelude {
     /// Alias matching upstream's `prelude::prop` module path.
     pub use crate as prop;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, proptest, Arbitrary, ProptestConfig, Strategy,
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Arbitrary, ProptestConfig,
+        Strategy, Union,
     };
 }
 
@@ -350,6 +411,14 @@ mod tests {
         fn ranges_in_bounds(x in 3usize..9, f in -1.0f32..1.0) {
             prop_assert!((3..9).contains(&x));
             prop_assert!((-1.0..1.0).contains(&f));
+        }
+
+        /// `prop_oneof!` draws from every arm and only from its arms.
+        #[test]
+        fn oneof_covers_its_arms(picks in prop::collection::vec(prop_oneof![0usize..2, 5usize..7], 64)) {
+            prop_assert!(picks
+                .iter()
+                .all(|&x| (0..2).contains(&x) || (5..7).contains(&x)));
         }
 
         #[test]
