@@ -498,10 +498,19 @@ fn check_doc_claims(file: &SourceFile, consts: &[ConstDef], findings: &mut Vec<F
         }
         // `Name` (N) claims.
         for (name, value) in backtick_claims(&comment.text) {
-            let expected = error_codes.get(name.as_str()).copied().or_else(|| {
-                let tag_name = format!("TAG_{}", camel_to_screaming(&name));
-                const_vals.get(tag_name.as_str()).copied()
-            });
+            let expected = error_codes
+                .get(name.as_str())
+                .copied()
+                .or_else(|| {
+                    let tag_name = format!("TAG_{}", camel_to_screaming(&name));
+                    const_vals.get(tag_name.as_str()).copied()
+                })
+                .or_else(|| {
+                    // Frame-extension type claims (`TraceId` (1) in the
+                    // extension-layout table) resolve via EXT_* constants.
+                    let ext_name = format!("EXT_{}", camel_to_screaming(&name));
+                    const_vals.get(ext_name.as_str()).copied()
+                });
             if let Some(exp) = expected {
                 if exp != value {
                     findings.push(Finding::new(
@@ -672,5 +681,26 @@ mod tests {
             Some(1)
         );
         assert_eq!(magic_claim("foreign magic bytes, future"), None);
+    }
+
+    #[test]
+    fn ext_doc_claims_resolve_against_ext_constants() {
+        use crate::baseline::RetiredValues;
+        use crate::workspace::SourceTree;
+
+        // A doc claim `TraceId` (N) must resolve through EXT_TRACE_ID:
+        // correct value → clean, wrong value → WIRE004.
+        let good = "//! extension `TraceId` (1) carries the trace.\n\
+                    pub const EXT_TRACE_ID: u8 = 1;\n";
+        let tree = SourceTree::from_parts(&[(WIRE_FILE, good)]);
+        assert!(check(&tree, &RetiredValues::default()).is_empty());
+
+        let bad = "//! extension `TraceId` (2) carries the trace.\n\
+                   pub const EXT_TRACE_ID: u8 = 1;\n";
+        let tree = SourceTree::from_parts(&[(WIRE_FILE, bad)]);
+        let findings = check(&tree, &RetiredValues::default());
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, FindingCode::Wire004);
+        assert!(findings[0].message.contains("TraceId"));
     }
 }

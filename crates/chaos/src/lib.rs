@@ -381,6 +381,16 @@ impl StatsInner {
             _ => return,
         };
         counter.fetch_add(1, Ordering::Relaxed);
+        // Mirror into the process-wide metrics registry so a chaos-harness
+        // host scraping /metrics sees injected faults next to the serving
+        // families.
+        dssddi_obs::global()
+            .counter_with(
+                "dssddi_chaos_faults_total",
+                "Faults the chaos proxy injected, by kind",
+                &[("kind", kind)],
+            )
+            .inc();
     }
 
     fn snapshot(&self) -> FaultCounts {
@@ -532,6 +542,12 @@ fn accept_loop(
         match listener.accept() {
             Ok((client, _)) => {
                 stats.connections.fetch_add(1, Ordering::Relaxed);
+                dssddi_obs::global()
+                    .counter(
+                        "dssddi_chaos_connections_total",
+                        "Connections the chaos proxy accepted",
+                    )
+                    .inc();
                 let spec = plan.for_connection(index);
                 let seed = plan.seed() ^ index.wrapping_mul(0x9E3779B97F4A7C15);
                 index += 1;
@@ -580,6 +596,12 @@ fn serve_connection(
         Ok(server) => server,
         Err(_) => {
             stats.upstream_failures.fetch_add(1, Ordering::Relaxed);
+            dssddi_obs::global()
+                .counter(
+                    "dssddi_chaos_upstream_failures_total",
+                    "Connections whose upstream leg failed to connect",
+                )
+                .inc();
             let _ = client.shutdown(Shutdown::Both);
             return;
         }

@@ -7,7 +7,10 @@ use dssddi_experiments::{ChronicWorld, RunOptions};
 
 fn main() {
     let opts = RunOptions::from_args();
-    let world = ChronicWorld::generate(&opts);
+    let world = ChronicWorld::generate(&opts).unwrap_or_else(|error| {
+        eprintln!("fig2: {error}");
+        std::process::exit(1);
+    });
     println!("Fig. 2 — proportion of patients with various diseases");
     println!(
         "(cohort of {} interview records, seed {})\n",

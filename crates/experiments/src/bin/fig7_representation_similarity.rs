@@ -68,9 +68,15 @@ fn main() {
         "Fig. 7 — representation similarity: DSSDDI vs LightGCN ({} patients)",
         opts.n_patients
     );
-    let world = ChronicWorld::generate(&opts);
+    let world = ChronicWorld::generate(&opts).unwrap_or_else(|error| {
+        eprintln!("fig7: {error}");
+        std::process::exit(1);
+    });
 
-    let (_, dssddi) = run_dssddi_variant(&world, &opts, Backbone::Sgcn);
+    let (_, dssddi) = run_dssddi_variant(&world, &opts, Backbone::Sgcn).unwrap_or_else(|error| {
+        eprintln!("fig7: {error}");
+        std::process::exit(1);
+    });
     let graph_cfg = dssddi_baselines::graph_models::GraphBaselineConfig {
         hidden_dim: if opts.full { 64 } else { 32 },
         epochs: if opts.full { 300 } else { 120 },
@@ -79,7 +85,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(opts.seed + 11);
     let lightgcn = LightGcnRecommender::fit(
         &world.train_features(),
-        &world.train_graph(),
+        &world.train_graph().unwrap_or_else(|error| {
+            eprintln!("fig7: {error}");
+            std::process::exit(1);
+        }),
         &graph_cfg,
         &mut rng,
     )

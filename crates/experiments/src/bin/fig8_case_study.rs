@@ -14,7 +14,10 @@ use dssddi_ml::top_k_indices;
 fn main() {
     let opts = RunOptions::from_args();
     println!("Fig. 8 — medication-suggestion case study for a cardiovascular patient\n");
-    let world = ChronicWorld::generate(&opts);
+    let world = ChronicWorld::generate(&opts).unwrap_or_else(|error| {
+        eprintln!("fig8: {error}");
+        std::process::exit(1);
+    });
 
     // Pick the first test patient suffering from cardiovascular disease.
     let patient = world
@@ -37,7 +40,10 @@ fn main() {
     let k = 3;
 
     // DSSDDI, through the typed decision service.
-    let (_, service) = run_dssddi_variant(&world, &opts, Backbone::Sgcn);
+    let (_, service) = run_dssddi_variant(&world, &opts, Backbone::Sgcn).unwrap_or_else(|error| {
+        eprintln!("fig8: {error}");
+        std::process::exit(1);
+    });
     let request = SuggestRequest::new(
         PatientId::new(patient),
         world.cohort.features().row(patient).to_vec(),
@@ -52,7 +58,10 @@ fn main() {
     );
 
     // Baselines (LightGCN, GCMC, SVM, ECC as in the figure).
-    let baselines = run_chronic_baselines(&world, &opts);
+    let baselines = run_chronic_baselines(&world, &opts).unwrap_or_else(|error| {
+        eprintln!("fig8: {error}");
+        std::process::exit(1);
+    });
     // The test feature matrix row index of this patient.
     let row = world
         .split

@@ -25,10 +25,16 @@ fn main() {
         "Fig. 9 — effect of the DDI module on individual rankings ({} patients)\n",
         opts.n_patients
     );
-    let world = ChronicWorld::generate(&opts);
+    let world = ChronicWorld::generate(&opts).unwrap_or_else(|error| {
+        eprintln!("fig9: {error}");
+        std::process::exit(1);
+    });
 
     // With DDI (full DSSDDI) and without DDI (ablated) score matrices.
-    let (with_ddi, _) = run_dssddi_variant(&world, &opts, Backbone::Sgcn);
+    let (with_ddi, _) = run_dssddi_variant(&world, &opts, Backbone::Sgcn).unwrap_or_else(|error| {
+        eprintln!("fig9: {error}");
+        std::process::exit(1);
+    });
     let without_ddi = {
         let mut config = opts.dssddi_config();
         config.md.use_ddi_embeddings = false;

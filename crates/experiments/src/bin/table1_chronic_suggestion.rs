@@ -15,12 +15,21 @@ fn main() {
         opts.n_patients,
         if opts.full { "paper" } else { "reduced" }
     );
-    let world = ChronicWorld::generate(&opts);
+    let world = ChronicWorld::generate(&opts).unwrap_or_else(|error| {
+        eprintln!("table1: {error}");
+        std::process::exit(1);
+    });
     let test_labels = world.test_labels();
 
-    let mut methods = run_chronic_baselines(&world, &opts);
+    let mut methods = run_chronic_baselines(&world, &opts).unwrap_or_else(|error| {
+        eprintln!("table1: {error}");
+        std::process::exit(1);
+    });
     for backbone in Backbone::ALL {
-        let (scores, _) = run_dssddi_variant(&world, &opts, backbone);
+        let (scores, _) = run_dssddi_variant(&world, &opts, backbone).unwrap_or_else(|error| {
+            eprintln!("table1: {error}");
+            std::process::exit(1);
+        });
         methods.push(scores);
     }
 

@@ -15,9 +15,15 @@ fn main() {
             "reduced configuration"
         }
     );
-    let world = ChronicWorld::generate(&opts);
+    let world = ChronicWorld::generate(&opts).unwrap_or_else(|error| {
+        eprintln!("table2: {error}");
+        std::process::exit(1);
+    });
     let test_labels = world.test_labels();
-    let methods = run_ablation_variants(&world, &opts);
+    let methods = run_ablation_variants(&world, &opts).unwrap_or_else(|error| {
+        eprintln!("table2: {error}");
+        std::process::exit(1);
+    });
     print_metric_table("Table II (k = 4, 5, 6)", &methods, &test_labels, &[4, 5, 6]);
     print_metric_table("Table II (k = 1, 2, 3)", &methods, &test_labels, &[1, 2, 3]);
     println!("\nPaper reference: DDIGCN > KG ≈ w/o DDI > One-hot on every metric.");

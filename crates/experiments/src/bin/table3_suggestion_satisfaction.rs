@@ -13,11 +13,20 @@ fn main() {
         "Table III — Suggestion Satisfaction on the chronic data set ({} patients)",
         opts.n_patients
     );
-    let world = ChronicWorld::generate(&opts);
+    let world = ChronicWorld::generate(&opts).unwrap_or_else(|error| {
+        eprintln!("table3: {error}");
+        std::process::exit(1);
+    });
 
-    let mut methods = run_chronic_baselines(&world, &opts);
+    let mut methods = run_chronic_baselines(&world, &opts).unwrap_or_else(|error| {
+        eprintln!("table3: {error}");
+        std::process::exit(1);
+    });
     for backbone in Backbone::ALL {
-        let (scores, _) = run_dssddi_variant(&world, &opts, backbone);
+        let (scores, _) = run_dssddi_variant(&world, &opts, backbone).unwrap_or_else(|error| {
+            eprintln!("table3: {error}");
+            std::process::exit(1);
+        });
         methods.push(scores);
     }
     print_ss_table(

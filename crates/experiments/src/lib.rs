@@ -33,6 +33,33 @@ use dssddi_graph::{BipartiteGraph, SignedGraph};
 use dssddi_ml::{ndcg_at_k, precision_at_k, recall_at_k, top_k_indices};
 use dssddi_tensor::Matrix;
 
+/// A failed experiment-harness stage: which stage, and the underlying
+/// error's message. Experiment binaries print it and exit non-zero instead
+/// of panicking mid-table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentError {
+    /// The stage that failed (e.g. `"DDI generation"`, `"GCMC training"`).
+    pub stage: &'static str,
+    /// The underlying error, rendered.
+    pub message: String,
+}
+
+impl std::fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} failed: {}", self.stage, self.message)
+    }
+}
+
+impl std::error::Error for ExperimentError {}
+
+/// Maps an underlying error into an [`ExperimentError`] naming its stage.
+fn stage<E: std::fmt::Display>(stage: &'static str) -> impl FnOnce(E) -> ExperimentError {
+    move |error| ExperimentError {
+        stage,
+        message: error.to_string(),
+    }
+}
+
 /// Command-line options shared by every experiment binary.
 #[derive(Debug, Clone)]
 pub struct RunOptions {
@@ -112,11 +139,11 @@ pub struct ChronicWorld {
 
 impl ChronicWorld {
     /// Generates the chronic-disease world for the given options.
-    pub fn generate(opts: &RunOptions) -> Self {
+    pub fn generate(opts: &RunOptions) -> Result<Self, ExperimentError> {
         let registry = DrugRegistry::standard();
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let ddi = generate_ddi_graph(&registry, &DdiConfig::default(), &mut rng)
-            .expect("DDI generation must succeed for the standard registry");
+            .map_err(stage("DDI generation"))?;
         let cohort = generate_chronic_cohort(
             &registry,
             &ddi,
@@ -126,7 +153,7 @@ impl ChronicWorld {
             },
             &mut rng,
         )
-        .expect("cohort generation");
+        .map_err(stage("cohort generation"))?;
         let kg_dim = if opts.full { 64 } else { 32 };
         let drug_features = pretrained_drug_embeddings(
             &registry,
@@ -137,15 +164,16 @@ impl ChronicWorld {
             },
             &mut rng,
         )
-        .expect("TransE pre-training");
-        let split = split_patients(cohort.n_patients(), (5, 3, 2), &mut rng).expect("split");
-        Self {
+        .map_err(stage("TransE pre-training"))?;
+        let split = split_patients(cohort.n_patients(), (5, 3, 2), &mut rng)
+            .map_err(stage("patient split"))?;
+        Ok(Self {
             registry,
             ddi,
             cohort,
             drug_features,
             split,
-        }
+        })
     }
 
     /// Features of the observed (training) patients.
@@ -159,10 +187,10 @@ impl ChronicWorld {
     }
 
     /// The training medication-use bipartite graph.
-    pub fn train_graph(&self) -> BipartiteGraph {
+    pub fn train_graph(&self) -> Result<BipartiteGraph, ExperimentError> {
         self.cohort
             .bipartite_graph(&self.split.train)
-            .expect("training graph")
+            .map_err(stage("training graph construction"))
     }
 
     /// Features of the held-out test patients.
@@ -185,10 +213,13 @@ pub struct MethodScores {
 }
 
 /// Trains and evaluates every baseline of Table I on the chronic world.
-pub fn run_chronic_baselines(world: &ChronicWorld, opts: &RunOptions) -> Vec<MethodScores> {
+pub fn run_chronic_baselines(
+    world: &ChronicWorld,
+    opts: &RunOptions,
+) -> Result<Vec<MethodScores>, ExperimentError> {
     let train_x = world.train_features();
     let train_y = world.train_labels();
-    let train_graph = world.train_graph();
+    let train_graph = world.train_graph()?;
     let test_x = world.test_features();
     let epochs = if opts.full { 300 } else { 120 };
     let graph_cfg = dssddi_baselines::graph_models::GraphBaselineConfig {
@@ -204,10 +235,12 @@ pub fn run_chronic_baselines(world: &ChronicWorld, opts: &RunOptions) -> Vec<Met
     let mut out = Vec::new();
     let mut rng = StdRng::seed_from_u64(opts.seed + 1);
 
-    let usersim = UserSim::fit(&train_x, &train_y).expect("UserSim");
+    let usersim = UserSim::fit(&train_x, &train_y).map_err(stage("UserSim training"))?;
     out.push(MethodScores {
         name: "UserSim".into(),
-        scores: usersim.predict_scores(&test_x).expect("UserSim scores"),
+        scores: usersim
+            .predict_scores(&test_x)
+            .map_err(stage("UserSim scoring"))?,
     });
 
     let ecc = EccRecommender::fit(
@@ -216,10 +249,10 @@ pub fn run_chronic_baselines(world: &ChronicWorld, opts: &RunOptions) -> Vec<Met
         &dssddi_ml::EccConfig::default(),
         &mut rng,
     )
-    .expect("ECC");
+    .map_err(stage("ECC training"))?;
     out.push(MethodScores {
         name: "ECC".into(),
-        scores: ecc.predict_scores(&test_x).expect("ECC scores"),
+        scores: ecc.predict_scores(&test_x).map_err(stage("ECC scoring"))?,
     });
 
     let svm = SvmRecommender::fit(
@@ -230,48 +263,59 @@ pub fn run_chronic_baselines(world: &ChronicWorld, opts: &RunOptions) -> Vec<Met
             ..Default::default()
         },
     )
-    .expect("SVM");
+    .map_err(stage("SVM training"))?;
     out.push(MethodScores {
         name: "SVM".into(),
-        scores: svm.predict_scores(&test_x).expect("SVM scores"),
+        scores: svm.predict_scores(&test_x).map_err(stage("SVM scoring"))?,
     });
 
-    let gcmc = GcmcRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).expect("GCMC");
+    let gcmc = GcmcRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng)
+        .map_err(stage("GCMC training"))?;
     out.push(MethodScores {
         name: "GCMC".into(),
-        scores: gcmc.predict_scores(&test_x).expect("GCMC scores"),
+        scores: gcmc
+            .predict_scores(&test_x)
+            .map_err(stage("GCMC scoring"))?,
     });
 
-    let lightgcn =
-        LightGcnRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).expect("LightGCN");
+    let lightgcn = LightGcnRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng)
+        .map_err(stage("LightGCN training"))?;
     out.push(MethodScores {
         name: "LightGCN".into(),
-        scores: lightgcn.predict_scores(&test_x).expect("LightGCN scores"),
+        scores: lightgcn
+            .predict_scores(&test_x)
+            .map_err(stage("LightGCN scoring"))?,
     });
 
     let safedrug =
         SafeDrugRecommender::fit(&train_x, &train_y, &world.ddi, 0.05, &neural_cfg, &mut rng)
-            .expect("SafeDrug");
+            .map_err(stage("SafeDrug training"))?;
     out.push(MethodScores {
         name: "SafeDrug".into(),
-        scores: safedrug.predict_scores(&test_x).expect("SafeDrug scores"),
+        scores: safedrug
+            .predict_scores(&test_x)
+            .map_err(stage("SafeDrug scoring"))?,
     });
 
-    let bipar =
-        BiparGcnRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng).expect("Bipar-GCN");
+    let bipar = BiparGcnRecommender::fit(&train_x, &train_graph, &graph_cfg, &mut rng)
+        .map_err(stage("Bipar-GCN training"))?;
     out.push(MethodScores {
         name: "Bipar-GCN".into(),
-        scores: bipar.predict_scores(&test_x).expect("Bipar-GCN scores"),
+        scores: bipar
+            .predict_scores(&test_x)
+            .map_err(stage("Bipar-GCN scoring"))?,
     });
 
-    let causerec =
-        CauseRecRecommender::fit(&train_x, &train_y, 0.2, &neural_cfg, &mut rng).expect("CauseRec");
+    let causerec = CauseRecRecommender::fit(&train_x, &train_y, 0.2, &neural_cfg, &mut rng)
+        .map_err(stage("CauseRec training"))?;
     out.push(MethodScores {
         name: "CauseRec".into(),
-        scores: causerec.predict_scores(&test_x).expect("CauseRec scores"),
+        scores: causerec
+            .predict_scores(&test_x)
+            .map_err(stage("CauseRec scoring"))?,
     });
 
-    out
+    Ok(out)
 }
 
 /// Trains a DSSDDI variant with the given backbone and returns its scores on
@@ -280,7 +324,7 @@ pub fn run_dssddi_variant(
     world: &ChronicWorld,
     opts: &RunOptions,
     backbone: Backbone,
-) -> (MethodScores, DecisionService) {
+) -> Result<(MethodScores, DecisionService), ExperimentError> {
     let mut rng = StdRng::seed_from_u64(opts.seed + 2);
     let service = ServiceBuilder::new()
         .config(opts.dssddi_config())
@@ -292,22 +336,25 @@ pub fn run_dssddi_variant(
             &world.ddi,
             &mut rng,
         )
-        .expect("DSSDDI training");
+        .map_err(stage("DSSDDI training"))?;
     let scores = service
         .predict_scores(&world.test_features())
-        .expect("DSSDDI scores");
-    (
+        .map_err(stage("DSSDDI scoring"))?;
+    Ok((
         MethodScores {
             name: format!("DSSDDI({})", backbone.name()),
             scores,
         },
         service,
-    )
+    ))
 }
 
 /// Trains the Table II ablation variants (w/o DDI, one-hot, KG, DDIGCN) and
 /// returns their scores on the test patients.
-pub fn run_ablation_variants(world: &ChronicWorld, opts: &RunOptions) -> Vec<MethodScores> {
+pub fn run_ablation_variants(
+    world: &ChronicWorld,
+    opts: &RunOptions,
+) -> Result<Vec<MethodScores>, ExperimentError> {
     let mut out = Vec::new();
     let hidden = opts.dssddi_config().md.hidden_dim;
     let n_drugs = world.registry.len();
@@ -325,12 +372,12 @@ pub fn run_ablation_variants(world: &ChronicWorld, opts: &RunOptions) -> Vec<Met
             &world.ddi,
             &mut rng,
         )
-        .expect("w/o DDI variant");
+        .map_err(stage("w/o DDI variant training"))?;
     out.push(MethodScores {
         name: "w/o DDI".into(),
         scores: service
             .predict_scores(&world.test_features())
-            .expect("scores"),
+            .map_err(stage("w/o DDI variant scoring"))?,
     });
 
     // One-hot relation embeddings (identity truncated/padded to hidden dim).
@@ -339,20 +386,20 @@ pub fn run_ablation_variants(world: &ChronicWorld, opts: &RunOptions) -> Vec<Met
         hidden,
         |r, c| if r % hidden == c { 1.0 } else { 0.0 },
     );
-    out.push(run_override_variant(world, opts, "One-hot", &one_hot));
+    out.push(run_override_variant(world, opts, "One-hot", &one_hot)?);
 
     // KG pre-trained relation embeddings (TransE, padded to hidden dim).
     let kg = pad_to_width(&world.drug_features, hidden);
-    out.push(run_override_variant(world, opts, "KG", &kg));
+    out.push(run_override_variant(world, opts, "KG", &kg)?);
 
     // Full DDIGCN (SGCN backbone, the best of Table I).
-    let (ddigcn, _) = run_dssddi_variant(world, opts, Backbone::Sgcn);
+    let (ddigcn, _) = run_dssddi_variant(world, opts, Backbone::Sgcn)?;
     out.push(MethodScores {
         name: "DDIGCN".into(),
         scores: ddigcn.scores,
     });
 
-    out
+    Ok(out)
 }
 
 fn run_override_variant(
@@ -360,11 +407,11 @@ fn run_override_variant(
     opts: &RunOptions,
     name: &str,
     embeddings: &Matrix,
-) -> MethodScores {
+) -> Result<MethodScores, ExperimentError> {
     let config = opts.dssddi_config();
     let mut rng = StdRng::seed_from_u64(opts.seed + 4);
     let train_features = world.train_features();
-    let train_graph = world.train_graph();
+    let train_graph = world.train_graph()?;
     let system = Dssddi::fit_with_relation_embeddings(
         &train_features,
         &train_graph,
@@ -374,13 +421,13 @@ fn run_override_variant(
         &config,
         &mut rng,
     )
-    .expect("ablation variant");
-    MethodScores {
+    .map_err(stage("ablation variant training"))?;
+    Ok(MethodScores {
         name: name.into(),
         scores: system
             .predict_scores(&world.test_features())
-            .expect("scores"),
-    }
+            .map_err(stage("ablation variant scoring"))?,
+    })
 }
 
 /// Pads (with zeros) or truncates a matrix to the requested number of columns.
@@ -486,7 +533,7 @@ mod tests {
 
     #[test]
     fn world_generation_and_split_shapes() {
-        let world = ChronicWorld::generate(&tiny_opts());
+        let world = ChronicWorld::generate(&tiny_opts()).expect("world");
         assert_eq!(world.cohort.n_patients(), 60);
         assert_eq!(world.split.len(), 60);
         assert_eq!(world.train_features().rows(), world.split.train.len());
@@ -507,7 +554,7 @@ mod tests {
 
     #[test]
     fn mean_ss_is_in_range() {
-        let world = ChronicWorld::generate(&tiny_opts());
+        let world = ChronicWorld::generate(&tiny_opts()).expect("world");
         let scores = Matrix::rand_uniform(5, 86, 0.0, 1.0, &mut StdRng::seed_from_u64(1));
         let ss = mean_ss_at_k(&scores, &world.ddi, 3, 0.5);
         assert!((0.0..=1.5).contains(&ss));

@@ -35,10 +35,17 @@
 
 #![warn(missing_docs)]
 
-pub mod histogram;
 pub mod report;
 pub mod runner;
 pub mod workload;
+
+/// Latency histogram, now shared process-wide: the implementation moved to
+/// [`dssddi_obs::histogram`] so the gateway's metrics registry and this
+/// load generator bucket latencies identically. Re-exported here (with the
+/// old `histogram` module path) for source compatibility.
+pub mod histogram {
+    pub use dssddi_obs::histogram::Histogram;
+}
 
 pub use histogram::Histogram;
 pub use report::{append_results, BenchEntry};

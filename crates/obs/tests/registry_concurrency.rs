@@ -1,0 +1,159 @@
+//! Concurrency properties of the metrics registry.
+//!
+//! Every handle the registry hands out is a cheap clone over shared
+//! state, and instrument registration is idempotent: re-registering a
+//! name returns a handle over the *same* cell. These tests hammer both
+//! claims from many threads at once — lost updates, duplicate series,
+//! or a poisoned registry lock would all surface as a count mismatch.
+
+// Tests may panic freely; the workspace-level panic-policy denies
+// target library and binary code.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
+use std::thread;
+
+use dssddi_obs::{Histogram, MetricsRegistry};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// N threads × M increments on the *same named counter* (each thread
+    /// registers it independently) sum exactly — registration hands every
+    /// thread the same cell and no update is lost.
+    #[test]
+    fn concurrent_counter_increments_sum_exactly(
+        threads in 1usize..8,
+        per_thread in proptest::collection::vec(1u64..200, 1..8),
+    ) {
+        let registry = MetricsRegistry::new();
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                let registry = &registry;
+                let per_thread = &per_thread;
+                scope.spawn(move || {
+                    for &n in per_thread {
+                        registry
+                            .counter("dssddi_test_total", "concurrency fixture")
+                            .add(n);
+                    }
+                });
+            }
+        });
+        let expected = per_thread.iter().sum::<u64>() * threads as u64;
+        let counter = registry.counter("dssddi_test_total", "concurrency fixture");
+        prop_assert_eq!(counter.get(), expected);
+        // The rendered exposition carries the same value — one series,
+        // not one per registering thread.
+        let rendered = registry.render();
+        let line = format!("dssddi_test_total {expected}");
+        prop_assert!(
+            rendered.contains(&line),
+            "rendered text missing `{}`:\n{}",
+            line,
+            rendered
+        );
+    }
+
+    /// Concurrent histogram observations are all retained: the merged
+    /// snapshot count equals the number of observations and the sum is
+    /// exact (log-bucketing approximates *values*, never counts).
+    #[test]
+    fn concurrent_histogram_observations_are_all_counted(
+        threads in 1usize..8,
+        samples in proptest::collection::vec(0u64..1_000_000, 1..32),
+    ) {
+        let registry = MetricsRegistry::new();
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                let registry = &registry;
+                let samples = &samples;
+                scope.spawn(move || {
+                    let histogram =
+                        registry.histogram("dssddi_test_micros", "concurrency fixture");
+                    for &v in samples {
+                        histogram.observe(v);
+                    }
+                });
+            }
+        });
+        let snapshot = registry
+            .histogram("dssddi_test_micros", "concurrency fixture")
+            .snapshot();
+        prop_assert_eq!(snapshot.count(), samples.len() as u64 * threads as u64);
+    }
+
+    /// Labelled registration from many threads never duplicates a series:
+    /// each distinct label value is rendered exactly once.
+    #[test]
+    fn concurrent_labelled_registration_is_idempotent(
+        threads in 2usize..8,
+        n_labels in 1usize..5,
+    ) {
+        let registry = MetricsRegistry::new();
+        let labels: Vec<String> = (0..n_labels).map(|i| format!("kind{i}")).collect();
+        thread::scope(|scope| {
+            for _ in 0..threads {
+                let registry = &registry;
+                let labels = &labels;
+                scope.spawn(move || {
+                    for value in labels {
+                        registry
+                            .counter_with(
+                                "dssddi_test_labelled_total",
+                                "concurrency fixture",
+                                &[("kind", value)],
+                            )
+                            .inc();
+                    }
+                });
+            }
+        });
+        let rendered = registry.render();
+        for value in &labels {
+            let series = format!("dssddi_test_labelled_total{{kind=\"{value}\"}}");
+            prop_assert_eq!(
+                rendered.matches(&series).count(),
+                1,
+                "series `{}` rendered other than exactly once:\n{}",
+                series,
+                rendered
+            );
+            let line = format!("{series} {threads}");
+            prop_assert!(
+                rendered.contains(&line),
+                "rendered text missing `{}`:\n{}",
+                line,
+                rendered
+            );
+        }
+    }
+
+    /// Merging per-thread histograms equals one histogram fed everything —
+    /// the property the shared registry handle relies on.
+    #[test]
+    fn histogram_merge_is_observation_order_independent(
+        shards in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000, 0..32),
+            1..6,
+        ),
+    ) {
+        let mut merged = Histogram::new();
+        let mut direct = Histogram::new();
+        for shard in &shards {
+            let mut partial = Histogram::new();
+            for &v in shard {
+                partial.record(v);
+                direct.record(v);
+            }
+            merged.merge(&partial);
+        }
+        prop_assert_eq!(merged.count(), direct.count());
+        prop_assert_eq!(merged.sum(), direct.sum());
+        prop_assert_eq!(merged.max(), direct.max());
+        prop_assert_eq!(
+            merged.value_at_quantile(0.5),
+            direct.value_at_quantile(0.5)
+        );
+    }
+}

@@ -104,9 +104,8 @@ impl ReplicaAgent {
             max_lag = max_lag.max(version_lag(&local, &theirs));
             for action in plan_pulls(&local, &theirs) {
                 report.pulls_planned += 1;
-                let pulled = client
-                    .peer_sync(&action.key, action.artifact)
-                    .and_then(|(version, container)| {
+                let pulled = client.peer_sync(&action.key, action.artifact).and_then(
+                    |(version, container)| {
                         let applied = match action.artifact {
                             SyncArtifact::Model => {
                                 self.router
@@ -117,7 +116,8 @@ impl ReplicaAgent {
                             }
                         };
                         Ok((applied, container.len() as u64))
-                    });
+                    },
+                );
                 match pulled {
                     Ok((true, bytes)) => {
                         report.pulls_applied += 1;

@@ -8,7 +8,8 @@
 //! (see [`dssddi_replica`]).
 //!
 //! ```text
-//! dssddi-serve [--listen ADDR] [--demo] [--seed S] [--kb KEY=PATH.dskb ...]
+//! dssddi-serve [--listen ADDR] [--metrics-listen ADDR] [--demo] [--seed S]
+//!              [--kb KEY=PATH.dskb ...]
 //!              [--peer ADDR ...] [--sync-interval-ms MS]
 //!              [--max-in-flight N] [--queue-depth N] [--queue-wait-ms MS]
 //!              [--rate-default RPS[:BURST]] [--rate KEY=RPS[:BURST] ...]
@@ -16,6 +17,10 @@
 //!
 //!   --listen ADDR   address to bind (default 127.0.0.1:7878; port 0 picks
 //!                   an ephemeral port, printed on startup)
+//!   --metrics-listen ADDR   also serve Prometheus-text metrics over HTTP
+//!                   at `GET /metrics` on ADDR (off by default; port 0
+//!                   picks an ephemeral port, printed on startup as
+//!                   `dssddi-serve metrics listening on <addr>`)
 //!   --demo          train and serve the deterministic demo catalog
 //!                   (shards "chronic" and "critique") instead of, or in
 //!                   addition to, loading files
@@ -63,6 +68,7 @@ use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::Duration;
 
+use dssddi_obs::scrape::MetricsServer;
 use dssddi_replica::{ReplicaAgent, ReplicaGroup};
 use dssddi_serving::demo::{demo_catalog, DEMO_SEED};
 use dssddi_serving::{
@@ -71,6 +77,7 @@ use dssddi_serving::{
 
 struct Args {
     listen: String,
+    metrics_listen: Option<String>,
     demo: bool,
     seed: u64,
     models: Vec<(String, String)>,
@@ -81,8 +88,8 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: dssddi-serve [--listen ADDR] [--demo] [--seed S] \
-     [--kb KEY=PATH.dskb ...] [--peer ADDR ...] [--sync-interval-ms MS] \
+    "usage: dssddi-serve [--listen ADDR] [--metrics-listen ADDR] [--demo] \
+     [--seed S] [--kb KEY=PATH.dskb ...] [--peer ADDR ...] [--sync-interval-ms MS] \
      [--max-in-flight N] [--queue-depth N] \
      [--queue-wait-ms MS] [--rate-default RPS[:BURST]] \
      [--rate KEY=RPS[:BURST] ...] [--quota KEY=N ...] [KEY=PATH.dssd ...]\n\
@@ -90,7 +97,8 @@ fn usage() -> &'static str {
      paired with a clinical knowledge base (--kb, or seeded from the \
      shard's DDI graph); --peer flags make the process one replica of a \
      group kept converged by anti-entropy; admission flags shed excess \
-     load with typed Overloaded errors instead of stalling"
+     load with typed Overloaded errors instead of stalling; \
+     --metrics-listen serves Prometheus metrics at GET /metrics"
 }
 
 /// Parses `RPS` or `RPS:BURST` into a validated rate limit (burst defaults
@@ -117,6 +125,7 @@ fn parse_rate(spec: &str) -> Result<RateLimit, String> {
 fn parse_args(args: &[String]) -> Result<Args, String> {
     let mut parsed = Args {
         listen: "127.0.0.1:7878".to_string(),
+        metrics_listen: None,
         demo: false,
         seed: DEMO_SEED,
         models: Vec::new(),
@@ -137,6 +146,14 @@ fn parse_args(args: &[String]) -> Result<Args, String> {
                     .get(i)
                     .ok_or("--listen needs an address argument")?
                     .clone();
+            }
+            "--metrics-listen" => {
+                i += 1;
+                parsed.metrics_listen = Some(
+                    args.get(i)
+                        .ok_or("--metrics-listen needs an address argument")?
+                        .clone(),
+                );
             }
             "--kb" => {
                 i += 1;
@@ -308,6 +325,22 @@ fn main() -> ExitCode {
             args.admission.quotas.len(),
         );
     }
+    // Register every serving-path metric family before the first request,
+    // so an early scrape already lists them (at zero).
+    dssddi_serving::register_metrics();
+    let metrics_server = match args.metrics_listen.as_deref() {
+        Some(addr) => match MetricsServer::bind(addr) {
+            Ok(server) => {
+                println!("dssddi-serve metrics listening on {}", server.local_addr());
+                Some(server)
+            }
+            Err(error) => {
+                eprintln!("dssddi-serve: cannot bind metrics endpoint {addr}: {error}");
+                return ExitCode::from(1);
+            }
+        },
+        None => None,
+    };
     let mut router = Router::with_admission(catalog, args.admission.clone());
     let replica = if args.peers.is_empty() {
         None
@@ -363,6 +396,7 @@ fn main() -> ExitCode {
     if let Some(agent) = agent {
         agent.stop();
     }
+    drop(metrics_server); // joins the scrape thread before exit
     match outcome {
         Ok(()) => {
             eprintln!("dssddi-serve: shutdown complete");

@@ -51,6 +51,7 @@ use std::time::{Duration, Instant};
 
 use dssddi_core::{CheckPrescriptionRequest, InteractionReport, SuggestRequest, SuggestResponse};
 use dssddi_kb::KbInfo;
+use dssddi_obs::trace::{next_trace_id, TraceExemplar};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -186,6 +187,10 @@ pub struct Client {
     poisoned: bool,
     /// Retry policy plus the jitter RNG (`None` = fail fast, the default).
     retry: Option<(RetryPolicy, StdRng)>,
+    /// Whether requests carry a fresh wire-propagated trace ID (see
+    /// [`Client::set_tracing`]); off by default — untraced frames are
+    /// bit-identical to the pre-tracing protocol.
+    tracing: bool,
 }
 
 impl Client {
@@ -264,7 +269,17 @@ impl Client {
             read_timeout,
             poisoned: false,
             retry: None,
+            tracing: false,
         })
+    }
+
+    /// Turns wire-propagated request tracing on or off. A tracing client
+    /// stamps every request frame with a fresh trace ID (version-2 frames;
+    /// old gateways that only speak version 1 will reject them), which the
+    /// gateway echoes on the response and attaches to its slow-request
+    /// exemplars — correlate with [`Client::trace_dump`].
+    pub fn set_tracing(&mut self, on: bool) {
+        self.tracing = on;
     }
 
     /// Endpoint indices in the order a reconnect should try them: healthy
@@ -465,21 +480,23 @@ impl Client {
         // socket timeout but never completing the frame (slow loris) must
         // still fail with a typed timeout, not block the caller forever.
         let frame_deadline = self.read_timeout;
+        let trace = self.tracing.then(next_trace_id);
         let Some(stream) = self.stream.as_mut() else {
             return Err(ServingError::Io {
                 what: "no gateway connection".to_string(),
             });
         };
-        wire::write_frame(stream, &wire::encode_request_ref(request))?;
-        let payload = wire::read_frame_with_limits(stream, 1, frame_deadline).map_err(|e| {
-            match e {
-                // For a client a frame is always in flight once the request
-                // is written, so "idle" timeouts are the server failing to
-                // answer.
-                WireError::IdleTimeout => WireError::Timeout,
-                other => other,
-            }
-        })?;
+        wire::write_frame(stream, &wire::encode_request_ref_traced(request, trace))?;
+        let (_trace, payload) =
+            wire::read_frame_traced(stream, 1, frame_deadline).map_err(|e| {
+                match e {
+                    // For a client a frame is always in flight once the
+                    // request is written, so "idle" timeouts are the server
+                    // failing to answer.
+                    WireError::IdleTimeout => WireError::Timeout,
+                    other => other,
+                }
+            })?;
         let response = wire::decode_response(&payload).map_err(WireError::Decode)?;
         match response {
             Response::Error { code, message } => Err(ServingError::Remote { code, message }),
@@ -609,6 +626,19 @@ impl Client {
         }
     }
 
+    /// Fetches the gateway's slow-request exemplars — the slowest recently
+    /// served data-plane requests, slowest first, each with its trace ID
+    /// and per-stage latency breakdown (decode / admit / queue / infer /
+    /// encode, in microseconds). `limit` of zero returns the whole ring.
+    /// Idempotent, and answered even by a gateway shedding load (trace
+    /// dumps bypass admission).
+    pub fn trace_dump(&mut self, limit: u64) -> Result<Vec<TraceExemplar>, ServingError> {
+        match self.call(RequestRef::TraceDump { limit })? {
+            Response::TraceDump(exemplars) => Ok(exemplars),
+            other => Err(unexpected("TraceDump", &other)),
+        }
+    }
+
     /// Control-plane liveness check: sends a `Ping` frame and returns the
     /// round-trip time. Pings bypass admission control on the gateway, so
     /// health probes keep answering while the data plane sheds load.
@@ -687,6 +717,7 @@ fn unexpected(asked: &str, got: &Response) -> ServingError {
         Response::Pong => "Pong",
         Response::PeerStatus { .. } => "PeerStatus",
         Response::PeerSync { .. } => "PeerSync",
+        Response::TraceDump(_) => "TraceDump",
         Response::ShuttingDown => "ShuttingDown",
         Response::Error { .. } => "Error",
     };

@@ -21,6 +21,13 @@
 //!   thread-per-connection [`Server`] over the sharded `suggest_batch`
 //!   core.
 //! * [`client`] — a blocking [`Client`] speaking the same wire protocol.
+//! * [`telemetry`] — every hot point (admission sheds, queue wait,
+//!   per-stage serving latency, severity-graded findings, replica sync,
+//!   transport counters) reports into the process-wide [`dssddi_obs`]
+//!   metrics registry; scrape it with `dssddi-serve --metrics-listen`.
+//!   Requests carry an optional wire-propagated trace ID and the slowest
+//!   recent requests land in a per-router exemplar ring, dumpable over the
+//!   wire with [`Client::trace_dump`].
 //!
 //! The quickstart story becomes *train → save → serve → query over the
 //! network*:
@@ -71,16 +78,19 @@ pub mod client;
 pub mod demo;
 pub mod router;
 pub mod server;
+pub mod telemetry;
 pub mod wire;
 
 pub use admission::{AdmissionConfig, RateLimit, TokenBucket};
 pub use client::{Client, RetryPolicy};
 pub use dssddi_kb::{AlertPolicy, KbInfo, KnowledgeBase, Severity};
+pub use dssddi_obs::trace::TraceExemplar;
 pub use router::{
     GatewayStats, KeyVersions, ModelCatalog, ModelInfo, ModelKey, ModelStats, ReplicaState,
     ReplicaStats, Router, StatsReport,
 };
 pub use server::{Server, ServerConfig, TransportStats};
+pub use telemetry::register_metrics;
 pub use wire::{ErrorCode, Request, Response, SyncArtifact, WireError};
 
 /// The single error type of the serving gateway, covering routing, wire

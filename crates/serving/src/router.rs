@@ -35,8 +35,10 @@ use dssddi_core::{
 };
 use dssddi_data::DrugRegistry;
 use dssddi_kb::{KbInfo, KnowledgeBase};
+use dssddi_obs::trace::{next_trace_id, SpanRecorder, Stage, TraceExemplar, TraceRing};
 
 use crate::admission::{AdmissionConfig, GlobalQueue, TokenBucket};
+use crate::telemetry;
 use crate::wire::{self, ErrorCode, Request, Response};
 use crate::ServingError;
 
@@ -47,6 +49,11 @@ pub const MAX_MODEL_KEY_LEN: usize = 64;
 /// stable p99 figures, small enough that a long-lived gateway's stats stay
 /// O(1) per shard.
 const LATENCY_WINDOW: usize = 1024;
+
+/// Slow-request exemplars the gateway keeps (top-K by end-to-end latency),
+/// served by the `TraceDump` wire message. Small enough that the snapshot a
+/// dump clones is negligible next to one model call.
+const TRACE_RING_CAPACITY: usize = 64;
 
 /// Identifies one model shard in the catalog (e.g. `chronic`,
 /// `mimic/icu`, `region-hk.hypertension`).
@@ -163,6 +170,11 @@ pub struct ModelStats {
     /// Most callers ever observed waiting in the gateway's bounded request
     /// queue when a call for this shard was admitted.
     pub queue_depth_hwm: u64,
+    /// Latency samples ever recorded for this shard. Unlike `p50_ms`/
+    /// `p99_ms` (which cover only the sliding window), this counts every
+    /// sample, so a dashboard polling `Stats` can weight and diff
+    /// percentile snapshots between scrapes.
+    pub samples: u64,
 }
 
 impl ModelStats {
@@ -251,18 +263,23 @@ impl ReplicaState {
     /// Records the replica group's peer count (excluding the local member).
     pub fn set_peers(&self, peers: usize) {
         self.peers.store(peers as u64, Ordering::Relaxed);
+        telemetry::handles().replica_peers.set(peers as u64);
     }
 
     /// Records one pulled-and-applied container of `bytes` bytes.
     pub fn record_sync(&self, bytes: u64) {
         self.syncs.fetch_add(1, Ordering::Relaxed);
         self.bytes_shipped.fetch_add(bytes, Ordering::Relaxed);
+        let metrics = telemetry::handles();
+        metrics.replica_syncs.inc();
+        metrics.replica_bytes.add(bytes);
     }
 
     /// Records the largest version gap behind any peer observed by the most
     /// recent anti-entropy round (0 when fully converged).
     pub fn set_lag(&self, lag: u64) {
         self.max_lag.store(lag, Ordering::Relaxed);
+        telemetry::handles().replica_lag.set(lag);
     }
 
     /// The counters as a [`ReplicaStats`] skeleton (versions left empty —
@@ -295,6 +312,8 @@ struct LatencyWindow {
     samples: Vec<u64>,
     /// Next slot to overwrite once the window is full.
     next: usize,
+    /// Samples ever recorded, including those the window has since evicted.
+    recorded: u64,
 }
 
 impl LatencyWindow {
@@ -302,10 +321,12 @@ impl LatencyWindow {
         Self {
             samples: Vec::with_capacity(LATENCY_WINDOW),
             next: 0,
+            recorded: 0,
         }
     }
 
     fn record(&mut self, micros: u64) {
+        self.recorded += 1;
         if self.samples.len() < LATENCY_WINDOW {
             self.samples.push(micros);
         } else {
@@ -350,6 +371,8 @@ fn relock<T>(result: Result<T, std::sync::PoisonError<T>>) -> T {
 //   4. DecisionService.explanations  explanation memo, leaf on the request path
 //   5. ModelEntry.bucket             rate-limit check entering admission
 //   6. GlobalQueue.state             global queue slots, innermost lock
+//   7. Router.traces                 slow-request exemplar ring; taken with
+//                                    no other serving lock held
 //
 /// One shard: the service, its paired knowledge base and its serving
 /// counters. Service and KB each sit behind `RwLock<Arc<...>>` so hot
@@ -414,10 +437,13 @@ impl ModelEntry {
     /// Records one routed call's outcome: `n_requests` individual requests,
     /// and the error class when it failed.
     fn record_outcome(&self, n_requests: u64, error: Option<ErrorCode>) {
+        let metrics = telemetry::handles();
         self.requests.fetch_add(n_requests, Ordering::Relaxed);
+        metrics.requests.add(n_requests);
         if let Some(code) = error {
             self.errors.fetch_add(n_requests, Ordering::Relaxed);
             self.errors_by_code[code.index()].fetch_add(n_requests, Ordering::Relaxed);
+            metrics.errors.add(n_requests);
         }
     }
 
@@ -427,7 +453,11 @@ impl ModelEntry {
     }
 
     fn stats(&self) -> ModelStats {
-        let (p50_ms, p99_ms) = relock(self.latencies.lock()).percentiles_ms();
+        let (p50_ms, p99_ms, samples) = {
+            let window = relock(self.latencies.lock());
+            let (p50_ms, p99_ms) = window.percentiles_ms();
+            (p50_ms, p99_ms, window.recorded)
+        };
         let (cache_hits, cache_misses) = self.service().explanation_cache_stats();
         let errors_by_code = ErrorCode::ALL
             .iter()
@@ -447,6 +477,7 @@ impl ModelEntry {
             shed_requests: self.shed.load(Ordering::Relaxed),
             in_flight: self.in_flight.load(Ordering::Relaxed),
             queue_depth_hwm: self.queue_hwm.load(Ordering::Relaxed),
+            samples,
         }
     }
 
@@ -732,6 +763,10 @@ pub struct Router {
     /// attached by the agent's host before the router is shared.
     /// Unreplicated routers have none and omit the `Stats` replica section.
     replica: Option<Arc<ReplicaState>>,
+    /// Top-K slowest-request exemplars, served by the `TraceDump` wire
+    /// message. Touched once per data-plane frame, after the response is
+    /// encoded and with no other serving lock held.
+    traces: Mutex<TraceRing>,
 }
 
 impl Router {
@@ -758,6 +793,7 @@ impl Router {
             origin: Instant::now(),
             transport: None,
             replica: None,
+            traces: Mutex::new(TraceRing::new(TRACE_RING_CAPACITY)),
         }
     }
 
@@ -791,13 +827,18 @@ impl Router {
     /// requests against a shard. On admission the returned guard holds the
     /// shard's in-flight slot and the gateway queue slot until dropped; on
     /// shed the shard's `shed_requests` counter grows by `n_requests` and
-    /// the caller gets a typed [`ServingError::Overloaded`].
+    /// the caller gets a typed [`ServingError::Overloaded`]. The admission
+    /// decision and any queue wait are recorded into `span` (and the
+    /// gateway-wide shed/queue-wait metric families).
     fn admit<'a>(
         &'a self,
         key: &ModelKey,
         entry: &'a ModelEntry,
         n_requests: u64,
+        span: &mut SpanRecorder,
     ) -> Result<AdmissionGuard<'a>, ServingError> {
+        let metrics = telemetry::handles();
+        let admit_start = Instant::now();
         let shed = |what: &str| {
             entry.shed.fetch_add(n_requests, Ordering::Relaxed);
             Err(ServingError::Overloaded {
@@ -807,21 +848,32 @@ impl Router {
         };
         if let Some(bucket) = relock(entry.bucket.lock()).as_mut() {
             if !bucket.try_acquire_at(n_requests as f64, self.origin_nanos()) {
+                span.record(Stage::Admit, elapsed_micros(admit_start));
+                metrics.shed_rate.add(n_requests);
                 return shed("per-model rate limit exhausted");
             }
         }
         let prior = entry.in_flight.fetch_add(1, Ordering::Relaxed);
         if entry.quota.is_some_and(|quota| prior >= quota) {
             entry.in_flight.fetch_sub(1, Ordering::Relaxed);
+            span.record(Stage::Admit, elapsed_micros(admit_start));
+            metrics.shed_quota.add(n_requests);
             return shed("per-model in-flight quota exhausted");
         }
+        span.record(Stage::Admit, elapsed_micros(admit_start));
         if let Some(queue) = &self.queue {
-            match queue.acquire() {
+            let queue_start = Instant::now();
+            let outcome = queue.acquire();
+            let wait = elapsed_micros(queue_start);
+            span.record(Stage::Queue, wait);
+            metrics.queue_wait.observe(wait);
+            match outcome {
                 Ok(depth) => {
                     entry.queue_hwm.fetch_max(depth as u64, Ordering::Relaxed);
                 }
                 Err(()) => {
                     entry.in_flight.fetch_sub(1, Ordering::Relaxed);
+                    metrics.shed_queue.add(n_requests);
                     return shed("gateway request queue full");
                 }
             }
@@ -853,10 +905,11 @@ impl Router {
         &self,
         key: &ModelKey,
         n_requests: u64,
+        span: &mut SpanRecorder,
         call: impl FnOnce(&DecisionService, &KnowledgeBase) -> Result<T, dssddi_core::CoreError>,
     ) -> Result<T, ServingError> {
         let entry = self.catalog.entry(key)?;
-        let _guard = self.admit(key, entry, n_requests)?;
+        let _guard = self.admit(key, entry, n_requests, span)?;
         Self::call_entry(entry, n_requests, call)
     }
 
@@ -871,7 +924,8 @@ impl Router {
         call: impl FnOnce(&DecisionService, &KnowledgeBase) -> Result<T, dssddi_core::CoreError>,
     ) -> Result<T, ServingError> {
         let entry = self.catalog.entry(key)?;
-        let _guard = self.admit(key, entry, n_requests)?;
+        let mut span = SpanRecorder::new(0);
+        let _guard = self.admit(key, entry, n_requests, &mut span)?;
         let start = Instant::now();
         let result = Self::call_entry(entry, n_requests, call);
         entry.record_latency(elapsed_micros(start));
@@ -1061,22 +1115,32 @@ impl Router {
     /// Reload operations are control-plane calls and do not count toward a
     /// shard's request statistics.
     fn dispatch_core(&self, request: &Request) -> Response {
+        let mut span = SpanRecorder::new(0);
+        self.dispatch_traced(request, &mut span)
+    }
+
+    /// [`Router::dispatch_core`] with the request's span threaded through
+    /// admission, so shed/queue time lands on the caller's trace.
+    fn dispatch_traced(&self, request: &Request, span: &mut SpanRecorder) -> Response {
         let result = match request {
             Request::Suggest { model, request } => self
-                .routed_core(model, 1, |service, kb| {
+                .routed_core(model, 1, span, |service, kb| {
                     service.suggest_with_kb(request, Some(kb))
                 })
                 .map(Response::Suggest),
             Request::SuggestBatch { model, requests } => self
-                .routed_core(model, requests.len() as u64, |service, kb| {
+                .routed_core(model, requests.len() as u64, span, |service, kb| {
                     service.suggest_batch_with_kb(requests, Some(kb))
                 })
                 .map(Response::SuggestBatch),
             Request::CheckPrescription { model, request } => self
-                .routed_core(model, 1, |service, kb| {
+                .routed_core(model, 1, span, |service, kb| {
                     service.check_prescription_with_kb(request, Some(kb))
                 })
-                .map(Response::CheckPrescription),
+                .map(|report| {
+                    telemetry::count_report_severities(&report);
+                    Response::CheckPrescription(report)
+                }),
             Request::ReloadModel { model, container } => self
                 .reload_model_bytes(model, container)
                 .map(Response::ModelReloaded),
@@ -1099,9 +1163,21 @@ impl Router {
                 versions: self.version_vector(),
             }),
             Request::PeerSync { model, artifact } => self.peer_sync(model, *artifact),
+            // Trace dumps are observability control plane: they bypass
+            // admission so a saturated gateway can still be inspected.
+            Request::TraceDump { limit } => Ok(Response::TraceDump(
+                self.trace_exemplars(usize::try_from(*limit).unwrap_or(usize::MAX)),
+            )),
             Request::Shutdown => Ok(Response::ShuttingDown),
         };
         result.unwrap_or_else(|error| wire::error_response(&error))
+    }
+
+    /// The slowest recently served data-plane requests, slowest first —
+    /// what a wire `TraceDump` answers with. `limit` of zero returns the
+    /// whole exemplar ring.
+    pub fn trace_exemplars(&self, limit: usize) -> Vec<TraceExemplar> {
+        relock(self.traces.lock()).snapshot(limit)
     }
 
     /// Records one latency sample against the shard a data-plane request
@@ -1119,6 +1195,7 @@ impl Router {
             | Request::Ping
             | Request::PeerStatus { .. }
             | Request::PeerSync { .. }
+            | Request::TraceDump { .. }
             | Request::Shutdown => None,
         };
         if let Some(entry) = model.and_then(|key| self.catalog.models.get(key)) {
@@ -1144,11 +1221,64 @@ impl Router {
     /// sees is the time a client actually waits between frames: encoding a
     /// batch of explanation subgraphs is real serving cost, not free.
     pub fn serve_framed(&self, request: &Request) -> Vec<u8> {
+        self.serve_framed_traced(request, None, 0)
+    }
+
+    /// [`Router::serve_framed`] with the request's wire trace threaded
+    /// through: `trace` is the trace ID the client propagated (the gateway
+    /// mints one when the client sent none, so untraced traffic still fills
+    /// the exemplar ring) and `decode_micros` is the time the transport
+    /// spent reading and decoding the request frame.
+    ///
+    /// Stage accounting is exact by construction: `infer` is the dispatch
+    /// time net of admission and queueing, so the five stage values sum to
+    /// the recorded end-to-end latency (up to microsecond truncation).
+    pub fn serve_framed_traced(
+        &self,
+        request: &Request,
+        trace: Option<u64>,
+        decode_micros: u64,
+    ) -> Vec<u8> {
+        let metrics = telemetry::handles();
+        let mut span = SpanRecorder::new(trace.unwrap_or_else(next_trace_id));
+        span.record(Stage::Decode, decode_micros);
         let start = Instant::now();
-        let response = self.dispatch_core(request);
-        let frame = wire::encode_response(&response);
+        let response = self.dispatch_traced(request, &mut span);
+        let dispatch_micros = elapsed_micros(start);
+        let encode_start = Instant::now();
+        let frame = wire::encode_response_traced(&response, trace);
+        span.record(Stage::Encode, elapsed_micros(encode_start));
         self.record_request_latency(request, start);
+        let admission = span
+            .stage_micros(Stage::Admit)
+            .saturating_add(span.stage_micros(Stage::Queue));
+        span.record(Stage::Infer, dispatch_micros.saturating_sub(admission));
+        let total = decode_micros
+            .saturating_add(dispatch_micros)
+            .saturating_add(span.stage_micros(Stage::Encode));
+        metrics.latency.observe(total);
+        for stage in Stage::ALL {
+            metrics.observe_stage(stage, span.stage_micros(stage));
+        }
+        if let Some((model, op)) = Self::data_plane_target(request) {
+            relock(self.traces.lock()).offer(span.into_exemplar(model, op.to_string(), total));
+        }
         frame
+    }
+
+    /// The shard key and operation name of a data-plane request — the
+    /// requests eligible for the slow-request exemplar ring.
+    fn data_plane_target(request: &Request) -> Option<(String, &'static str)> {
+        match request {
+            Request::Suggest { model, .. } => Some((model.as_str().to_string(), "suggest")),
+            Request::SuggestBatch { model, .. } => {
+                Some((model.as_str().to_string(), "suggest_batch"))
+            }
+            Request::CheckPrescription { model, .. } => {
+                Some((model.as_str().to_string(), "check_prescription"))
+            }
+            _ => None,
+        }
     }
 }
 
@@ -1209,6 +1339,7 @@ mod tests {
             shed_requests: 0,
             in_flight: 0,
             queue_depth_hwm: 0,
+            samples: 0,
         };
         assert_eq!(stats.cache_hit_rate(), 0.0);
         let stats = ModelStats {

@@ -22,9 +22,10 @@
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crate::router::{GatewayStats, Router};
+use crate::telemetry;
 use crate::wire::{self, Request, WireError};
 use crate::ServingError;
 
@@ -163,6 +164,7 @@ impl Server {
             match stream {
                 Ok(stream) => {
                     self.transport.accepted.fetch_add(1, Ordering::Relaxed);
+                    telemetry::handles().connections_accepted.inc();
                     // Reap finished handlers so the list tracks live
                     // connections, not connection history.
                     handlers.retain(|handle| !handle.is_finished());
@@ -171,6 +173,7 @@ impl Server {
                     // active gauge is incremented *here*, before the spawn,
                     // so a burst of accepts cannot overshoot the bound.
                     let active = self.transport.active.fetch_add(1, Ordering::SeqCst);
+                    telemetry::handles().connections_active.inc();
                     if self
                         .config
                         .max_connections
@@ -178,6 +181,9 @@ impl Server {
                     {
                         self.transport.active.fetch_sub(1, Ordering::SeqCst);
                         self.transport.shed.fetch_add(1, Ordering::Relaxed);
+                        let metrics = telemetry::handles();
+                        metrics.connections_active.dec();
+                        metrics.connections_shed.inc();
                         shed_connection(stream, self.config.max_connections.unwrap_or(0));
                         continue;
                     }
@@ -219,6 +225,7 @@ struct ActiveGuard<'a>(&'a TransportStats);
 impl Drop for ActiveGuard<'_> {
     fn drop(&mut self) {
         self.0.active.fetch_sub(1, Ordering::SeqCst);
+        telemetry::handles().connections_active.dec();
     }
 }
 
@@ -279,37 +286,37 @@ fn handle_connection(
     // fires mid-frame means the peer stalled and the connection is dropped.
     stream.set_read_timeout(Some(IDLE_POLL_INTERVAL)).ok();
     loop {
-        let payload = match wire::read_frame_with_limits(
-            &mut stream,
-            MID_FRAME_STALL_POLLS,
-            Some(frame_deadline),
-        ) {
-            Ok(payload) => payload,
-            Err(WireError::IdleTimeout) => {
-                if shutdown.load(Ordering::SeqCst) {
+        let (trace, payload) =
+            match wire::read_frame_traced(&mut stream, MID_FRAME_STALL_POLLS, Some(frame_deadline))
+            {
+                Ok(traced) => traced,
+                Err(WireError::IdleTimeout) => {
+                    if shutdown.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    continue;
+                }
+                Err(WireError::ConnectionClosed) => return,
+                Err(WireError::Timeout) => {
+                    // The peer stalled mid-frame past the deadline (silent, or
+                    // a slow-loris trickle): reap the connection and count it.
+                    transport.stalled.fetch_add(1, Ordering::Relaxed);
+                    telemetry::handles().stalled_reaped.inc();
                     return;
                 }
-                continue;
-            }
-            Err(WireError::ConnectionClosed) => return,
-            Err(WireError::Timeout) => {
-                // The peer stalled mid-frame past the deadline (silent, or
-                // a slow-loris trickle): reap the connection and count it.
-                transport.stalled.fetch_add(1, Ordering::Relaxed);
-                return;
-            }
-            Err(WireError::Io { .. }) => return,
-            Err(error) => {
-                // Bad magic, version mismatch, truncation, CRC failure or an
-                // oversized length: answer with a typed error, then close —
-                // after a framing failure the stream may no longer be
-                // frame-aligned, so continuing could misparse every later
-                // byte. The *gateway* stays up; only this connection ends.
-                let response = wire::error_response(&ServingError::Wire(error));
-                let _ = wire::write_frame(&mut stream, &wire::encode_response(&response));
-                return;
-            }
-        };
+                Err(WireError::Io { .. }) => return,
+                Err(error) => {
+                    // Bad magic, version mismatch, truncation, CRC failure or an
+                    // oversized length: answer with a typed error, then close —
+                    // after a framing failure the stream may no longer be
+                    // frame-aligned, so continuing could misparse every later
+                    // byte. The *gateway* stays up; only this connection ends.
+                    let response = wire::error_response(&ServingError::Wire(error));
+                    let _ = wire::write_frame(&mut stream, &wire::encode_response(&response));
+                    return;
+                }
+            };
+        let decode_start = Instant::now();
         let request = match wire::decode_request(&payload) {
             Ok(request) => request,
             Err(error) => {
@@ -323,10 +330,13 @@ fn handle_connection(
                 continue;
             }
         };
+        let decode_micros = decode_start.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
         let shutting_down = matches!(request, Request::Shutdown);
         // The router encodes the response itself so the per-model latency
         // sample covers the wire encode — the time a client actually waits.
-        let frame = router.serve_framed(&request);
+        // The request's trace ID (if any) rides along into the router's
+        // span recorder and back out on the response frame.
+        let frame = router.serve_framed_traced(&request, trace, decode_micros);
         if wire::write_frame(&mut stream, &frame).is_err() {
             return;
         }

@@ -1,0 +1,222 @@
+//! Serving-path metrics: every hot point of the gateway reports into the
+//! process-wide [`dssddi_obs`] registry.
+//!
+//! Families follow the `dssddi_<subsystem>_<name>` convention, counters
+//! suffixed `_total`, durations in microseconds:
+//!
+//! * `dssddi_serving_requests_total` / `dssddi_serving_errors_total` —
+//!   individual requests served / failed (a batch of 16 counts 16).
+//! * `dssddi_serving_latency_micros` — end-to-end per-frame latency
+//!   (decode through encode), as a quantile summary.
+//! * `dssddi_serving_stage_micros{stage=...}` — the same latency broken
+//!   down per pipeline [`Stage`] (decode, admit, queue, infer, encode).
+//! * `dssddi_admission_shed_total{reason=...}` — requests shed before
+//!   execution, by which limit fired (`rate_limit`, `quota`, `queue_full`).
+//! * `dssddi_admission_queue_wait_micros` — time admitted calls spent in
+//!   the bounded gateway queue.
+//! * `dssddi_kb_severity_total{grade=...}` — severity-graded interaction
+//!   findings served in prescription critiques, per [`Severity`] grade.
+//! * `dssddi_replica_*` — anti-entropy sync rounds, bytes shipped,
+//!   peer count and version lag (see [`crate::ReplicaState`]).
+//! * `dssddi_gateway_connections_*` — transport counters mirrored from
+//!   [`crate::TransportStats`].
+//!
+//! Handles are resolved once into a process-wide table ([`handles`]); the
+//! hot path pays one relaxed atomic per increment. Call
+//! [`register_metrics`] at startup so a scrape sees every family at zero
+//! before the first request arrives.
+
+use std::sync::OnceLock;
+
+use dssddi_core::InteractionReport;
+use dssddi_kb::Severity;
+use dssddi_obs::trace::{Stage, STAGE_COUNT};
+use dssddi_obs::{global, Counter, Gauge, HistogramHandle};
+
+/// Every serving-path metric handle, resolved once against the global
+/// registry.
+pub(crate) struct Metrics {
+    /// `dssddi_serving_requests_total`.
+    pub(crate) requests: Counter,
+    /// `dssddi_serving_errors_total`.
+    pub(crate) errors: Counter,
+    /// `dssddi_serving_latency_micros`.
+    pub(crate) latency: HistogramHandle,
+    /// `dssddi_serving_stage_micros{stage=...}`, indexed by [`Stage::index`].
+    stages: [HistogramHandle; STAGE_COUNT],
+    /// `dssddi_admission_shed_total{reason="rate_limit"}`.
+    pub(crate) shed_rate: Counter,
+    /// `dssddi_admission_shed_total{reason="quota"}`.
+    pub(crate) shed_quota: Counter,
+    /// `dssddi_admission_shed_total{reason="queue_full"}`.
+    pub(crate) shed_queue: Counter,
+    /// `dssddi_admission_queue_wait_micros`.
+    pub(crate) queue_wait: HistogramHandle,
+    /// `dssddi_kb_severity_total{grade=...}`, indexed by [`Severity::to_u8`].
+    severities: [Counter; Severity::ALL.len()],
+    /// `dssddi_replica_syncs_total`.
+    pub(crate) replica_syncs: Counter,
+    /// `dssddi_replica_sync_bytes_total`.
+    pub(crate) replica_bytes: Counter,
+    /// `dssddi_replica_max_lag`.
+    pub(crate) replica_lag: Gauge,
+    /// `dssddi_replica_peers`.
+    pub(crate) replica_peers: Gauge,
+    /// `dssddi_gateway_connections_total`.
+    pub(crate) connections_accepted: Counter,
+    /// `dssddi_gateway_connections_active`.
+    pub(crate) connections_active: Gauge,
+    /// `dssddi_gateway_connections_shed_total`.
+    pub(crate) connections_shed: Counter,
+    /// `dssddi_gateway_stalled_reaped_total`.
+    pub(crate) stalled_reaped: Counter,
+}
+
+impl Metrics {
+    /// Records one sample into the per-stage latency family.
+    pub(crate) fn observe_stage(&self, stage: Stage, micros: u64) {
+        if let Some(histogram) = self.stages.get(stage.index()) {
+            histogram.observe(micros);
+        }
+    }
+
+    /// Counts `n` severity-graded findings of one grade.
+    pub(crate) fn count_severity(&self, severity: Severity, n: u64) {
+        if let Some(counter) = self.severities.get(usize::from(severity.to_u8())) {
+            counter.add(n);
+        }
+    }
+}
+
+/// The process-wide handle table, registering every family on first use.
+pub(crate) fn handles() -> &'static Metrics {
+    static METRICS: OnceLock<Metrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let registry = global();
+        Metrics {
+            requests: registry.counter(
+                "dssddi_serving_requests_total",
+                "Individual requests served (a batch of 16 counts 16)",
+            ),
+            errors: registry.counter(
+                "dssddi_serving_errors_total",
+                "Individual requests that ended in an error",
+            ),
+            latency: registry.histogram(
+                "dssddi_serving_latency_micros",
+                "End-to-end per-frame serving latency in microseconds",
+            ),
+            stages: Stage::ALL.map(|stage| {
+                registry.histogram_with(
+                    "dssddi_serving_stage_micros",
+                    "Per-frame serving latency broken down by pipeline stage",
+                    &[("stage", stage.as_str())],
+                )
+            }),
+            shed_rate: registry.counter_with(
+                "dssddi_admission_shed_total",
+                "Requests shed by admission control, by which limit fired",
+                &[("reason", "rate_limit")],
+            ),
+            shed_quota: registry.counter_with(
+                "dssddi_admission_shed_total",
+                "Requests shed by admission control, by which limit fired",
+                &[("reason", "quota")],
+            ),
+            shed_queue: registry.counter_with(
+                "dssddi_admission_shed_total",
+                "Requests shed by admission control, by which limit fired",
+                &[("reason", "queue_full")],
+            ),
+            queue_wait: registry.histogram(
+                "dssddi_admission_queue_wait_micros",
+                "Time admitted calls spent waiting in the bounded gateway queue",
+            ),
+            severities: Severity::ALL.map(|severity| {
+                registry.counter_with(
+                    "dssddi_kb_severity_total",
+                    "Severity-graded interaction findings served in critiques",
+                    &[("grade", severity.name())],
+                )
+            }),
+            replica_syncs: registry.counter(
+                "dssddi_replica_syncs_total",
+                "Containers pulled from peers and applied by anti-entropy",
+            ),
+            replica_bytes: registry.counter(
+                "dssddi_replica_sync_bytes_total",
+                "Total bytes of containers pulled from peers",
+            ),
+            replica_lag: registry.gauge(
+                "dssddi_replica_max_lag",
+                "Largest per-key version gap behind any peer at the last round",
+            ),
+            replica_peers: registry.gauge(
+                "dssddi_replica_peers",
+                "Peer gateways in the replica group (excluding this one)",
+            ),
+            connections_accepted: registry.counter(
+                "dssddi_gateway_connections_total",
+                "Connections the gateway server ever accepted",
+            ),
+            connections_active: registry.gauge(
+                "dssddi_gateway_connections_active",
+                "Connections currently being served",
+            ),
+            connections_shed: registry.counter(
+                "dssddi_gateway_connections_shed_total",
+                "Connections refused at accept because the bound was reached",
+            ),
+            stalled_reaped: registry.counter(
+                "dssddi_gateway_stalled_reaped_total",
+                "Connections reaped because a peer stalled mid-frame",
+            ),
+        }
+    })
+}
+
+/// Eagerly registers every serving-path metric family with the global
+/// registry, so a `GET /metrics` scrape lists them (at zero) before the
+/// first request arrives. Idempotent; `dssddi-serve` calls this at startup.
+pub fn register_metrics() {
+    let _ = handles();
+}
+
+/// Counts the severity-graded findings of one served critique into
+/// `dssddi_kb_severity_total{grade=...}`.
+pub(crate) fn count_report_severities(report: &InteractionReport) {
+    let metrics = handles();
+    for finding in report.antagonistic.iter().chain(&report.synergistic) {
+        metrics.count_severity(finding.severity, 1);
+    }
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)] // tests may panic freely
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_and_families_render() {
+        register_metrics();
+        register_metrics();
+        let metrics = handles();
+        metrics.observe_stage(Stage::Infer, 120);
+        metrics.count_severity(Severity::Contraindicated, 2);
+        let text = global().render();
+        for family in [
+            "dssddi_serving_requests_total",
+            "dssddi_serving_stage_micros",
+            "dssddi_admission_shed_total",
+            "dssddi_kb_severity_total",
+            "dssddi_replica_syncs_total",
+            "dssddi_gateway_connections_total",
+        ] {
+            assert!(text.contains(family), "missing family {family}: {text}");
+        }
+        // All four severity grades render even before any finding fired.
+        for grade in Severity::ALL {
+            assert!(text.contains(&format!("grade=\"{}\"", grade.name())));
+        }
+    }
+}

@@ -68,6 +68,33 @@
 //! byte counters, per-key versions, observed lag) appended after the
 //! gateway transport counters. The same single-build caveat applies.
 //!
+//! The observability subsystem extended the protocol with the first real
+//! version bump: **traced frames**. An untraced frame still seals exactly
+//! as version 1 above — byte-identical, so old peers interoperate with
+//! clients that never enable tracing. A frame carrying a trace seals as
+//! version 2 ([`WIRE_VERSION_TRACED`]), whose payload opens with an
+//! *extension block* before the tagged message:
+//!
+//! ```text
+//! offset  size  field
+//! 0       1     extension count (u8)
+//! —  per extension, repeated `count` times —
+//! +0      1     extension type (u8)
+//! +1      1     extension value length in bytes (u8)
+//! +2      len   extension value
+//! ```
+//!
+//! Unknown extension types are skipped on decode, so the block can grow
+//! without another version bump. The only type assigned so far is
+//! `TraceId` (1): an 8-byte little-endian u64 request trace ID, minted at
+//! the client edge (or by the gateway when absent) and threaded through
+//! the serving pipeline into per-stage [`SpanRecorder`] breakdowns. A new
+//! `TraceDump` (14) request/response pair dumps the gateway's ring of
+//! slowest-request exemplars so operators can ask a live deployment where
+//! its tail latency lives.
+//!
+//! [`SpanRecorder`]: dssddi_obs::SpanRecorder
+//!
 //! ## Tag registry
 //!
 //! The complete message-tag space of protocol version 1, by direction.
@@ -92,6 +119,7 @@
 //! |  11 | `Ping`              | `Pong`              |
 //! |  12 | `PeerStatus`        | `PeerStatus`        |
 //! |  13 | `PeerSync`          | `PeerSync`          |
+//! |  14 | `TraceDump`         | `TraceDump`         |
 //!
 //! Decoding is fully defensive: truncated frames, flipped bits (caught by
 //! the CRC), foreign magic bytes, future protocol versions, unknown message
@@ -107,9 +135,10 @@ use dssddi_core::{
 };
 use dssddi_graph::{Community, Interaction};
 use dssddi_kb::{AlertPolicy, KbInfo, Severity};
+use dssddi_obs::trace::{TraceExemplar, STAGE_COUNT};
 use dssddi_tensor::serde::{
-    open_frame, parse_frame_header, seal_frame, ByteReader, ByteWriter, SerdeError,
-    FRAME_HEADER_LEN,
+    open_frame_versions, parse_frame_header_versions, seal_frame, ByteReader, ByteWriter,
+    SerdeError, FRAME_HEADER_LEN,
 };
 
 use crate::router::{
@@ -120,8 +149,23 @@ use crate::ServingError;
 /// Magic bytes opening every wire frame ("DSsddi WiRe").
 pub const WIRE_MAGIC: [u8; 4] = *b"DSWR";
 
-/// Current wire protocol version.
+/// Current wire protocol version. Untraced frames — the default — always
+/// seal under this version, bit-identical to every build since the
+/// protocol shipped.
 pub const WIRE_VERSION: u16 = 1;
+
+/// Wire protocol version of *traced* frames: the payload opens with the
+/// extension block (carrying the request trace ID) before the tagged
+/// message. Both versions are accepted on decode; old peers that only
+/// speak version 1 interoperate with any peer that leaves tracing off.
+pub const WIRE_VERSION_TRACED: u16 = 2;
+
+/// Every protocol version this build decodes.
+const WIRE_SUPPORTED_VERSIONS: [u16; 2] = [WIRE_VERSION, WIRE_VERSION_TRACED];
+
+/// Frame-extension type carrying the 8-byte little-endian u64 request
+/// trace ID in a version-2 frame's extension block.
+pub const EXT_TRACE_ID: u8 = 1;
 
 /// Upper bound on a frame's declared payload length. A 64-request batch
 /// with wide feature vectors is a few hundred kilobytes; 16 MiB leaves two
@@ -424,6 +468,13 @@ pub enum Request {
         /// Which artifact (model or knowledge base) to ship.
         artifact: SyncArtifact,
     },
+    /// Dump the gateway's ring of slowest-request trace exemplars
+    /// (control-plane: answered without passing admission control, like
+    /// `Stats`).
+    TraceDump {
+        /// Maximum exemplars to return (`0` means all retained).
+        limit: u64,
+    },
     /// Ask the server to stop accepting connections and exit its run loop.
     Shutdown,
 }
@@ -469,6 +520,9 @@ pub enum Response {
         /// The complete `DSSD` or `DSKB` container bytes.
         container: Vec<u8>,
     },
+    /// Answer to [`Request::TraceDump`]: the slowest-request exemplars
+    /// retained by the gateway, slowest first.
+    TraceDump(Vec<TraceExemplar>),
     /// Acknowledgement of [`Request::Shutdown`].
     ShuttingDown,
     /// A typed server-side failure.
@@ -907,6 +961,10 @@ fn put_model_stats(w: &mut ByteWriter, stats: &ModelStats) {
     w.put_u64(stats.shed_requests);
     w.put_u64(stats.in_flight);
     w.put_u64(stats.queue_depth_hwm);
+    // Appended by the observability work: how many latency samples back
+    // the percentiles, so dashboards can tell "no traffic" from "fast
+    // traffic" (both report p50/p99 of zero when the window is empty).
+    w.put_u64(stats.samples);
 }
 
 fn take_model_stats(r: &mut ByteReader<'_>) -> Result<ModelStats, SerdeError> {
@@ -930,6 +988,35 @@ fn take_model_stats(r: &mut ByteReader<'_>) -> Result<ModelStats, SerdeError> {
         shed_requests: r.take_u64("stats.shed_requests")?,
         in_flight: r.take_u64("stats.in_flight")?,
         queue_depth_hwm: r.take_u64("stats.queue_depth_hwm")?,
+        samples: r.take_u64("stats.samples")?,
+    })
+}
+
+fn put_trace_exemplar(w: &mut ByteWriter, exemplar: &TraceExemplar) {
+    w.put_u64(exemplar.trace_id);
+    w.put_str(&exemplar.model);
+    w.put_str(&exemplar.op);
+    w.put_u64(exemplar.total_micros);
+    for &micros in &exemplar.stage_micros {
+        w.put_u64(micros);
+    }
+}
+
+fn take_trace_exemplar(r: &mut ByteReader<'_>) -> Result<TraceExemplar, SerdeError> {
+    let trace_id = r.take_u64("trace.id")?;
+    let model = r.take_str("trace.model")?;
+    let op = r.take_str("trace.op")?;
+    let total_micros = r.take_u64("trace.total_micros")?;
+    let mut stage_micros = [0u64; STAGE_COUNT];
+    for micros in &mut stage_micros {
+        *micros = r.take_u64("trace.stage_micros")?;
+    }
+    Ok(TraceExemplar {
+        trace_id,
+        model,
+        op,
+        total_micros,
+        stage_micros,
     })
 }
 
@@ -1018,6 +1105,9 @@ const TAG_PONG: u8 = 11;
 // artifact pull (request and response share a tag, like Ping/Pong).
 const TAG_PEER_STATUS: u8 = 12;
 const TAG_PEER_SYNC: u8 = 13;
+// Observability: the slow-request exemplar dump (request and response
+// share tag 14, like every paired message above).
+const TAG_TRACE_DUMP: u8 = 14;
 const TAG_ERROR: u8 = 0;
 
 /// A borrowed view of a [`Request`], so callers holding the pieces (a key,
@@ -1084,6 +1174,11 @@ pub enum RequestRef<'a> {
         /// Which artifact to ship.
         artifact: SyncArtifact,
     },
+    /// Borrowed [`Request::TraceDump`].
+    TraceDump {
+        /// Maximum exemplars to return (`0` means all retained).
+        limit: u64,
+    },
     /// Borrowed [`Request::Shutdown`].
     Shutdown,
 }
@@ -1107,7 +1202,9 @@ impl RequestRef<'_> {
             // and a sync pull ships a container without mutating the
             // responder, so the anti-entropy loop may retry them freely.
             | RequestRef::PeerStatus { .. }
-            | RequestRef::PeerSync { .. } => true,
+            | RequestRef::PeerSync { .. }
+            // Dumping trace exemplars reads a ring without mutating it.
+            | RequestRef::TraceDump { .. } => true,
             RequestRef::ReloadModel { .. } | RequestRef::ReloadKb { .. } | RequestRef::Shutdown => {
                 false
             }
@@ -1139,6 +1236,7 @@ impl Request {
                 model,
                 artifact: *artifact,
             },
+            Request::TraceDump { limit } => RequestRef::TraceDump { limit: *limit },
             Request::Shutdown => RequestRef::Shutdown,
         }
     }
@@ -1192,9 +1290,25 @@ pub fn encode_request_ref(request: RequestRef<'_>) -> Vec<u8> {
             put_model_key(&mut w, model);
             w.put_u8(artifact.to_u8());
         }
+        RequestRef::TraceDump { limit } => {
+            w.put_u8(TAG_TRACE_DUMP);
+            w.put_u64(limit);
+        }
         RequestRef::Shutdown => w.put_u8(TAG_SHUTDOWN),
     }
     seal_frame(WIRE_MAGIC, WIRE_VERSION, w.as_bytes())
+}
+
+/// [`encode_request_ref`] with an optional trace ID. `None` produces the
+/// version-1 frame unchanged (bit-identical to [`encode_request_ref`], so
+/// untraced clients interoperate with old peers); `Some` re-seals the same
+/// payload as a version-2 frame whose extension block carries the ID.
+pub fn encode_request_ref_traced(request: RequestRef<'_>, trace: Option<u64>) -> Vec<u8> {
+    let frame = encode_request_ref(request);
+    match trace {
+        None => frame,
+        Some(id) => reseal_traced(&frame, id),
+    }
 }
 
 /// Encodes a request into a complete, sealed wire frame.
@@ -1243,6 +1357,9 @@ pub fn decode_request(payload: &[u8]) -> Result<Request, SerdeError> {
         TAG_PEER_SYNC => Request::PeerSync {
             model: take_model_key(&mut r)?,
             artifact: SyncArtifact::from_u8(r.take_u8("sync.artifact")?)?,
+        },
+        TAG_TRACE_DUMP => Request::TraceDump {
+            limit: r.take_u64("trace.limit")?,
         },
         TAG_SHUTDOWN => Request::Shutdown,
         other => {
@@ -1336,6 +1453,13 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
             w.put_u64(*version);
             w.put_u8_slice(container);
         }
+        Response::TraceDump(exemplars) => {
+            w.put_u8(TAG_TRACE_DUMP);
+            w.put_usize(exemplars.len());
+            for exemplar in exemplars {
+                put_trace_exemplar(&mut w, exemplar);
+            }
+        }
         Response::ShuttingDown => w.put_u8(TAG_SHUTTING_DOWN),
         Response::Error { code, message } => {
             w.put_u8(TAG_ERROR);
@@ -1344,6 +1468,75 @@ pub fn encode_response(response: &Response) -> Vec<u8> {
         }
     }
     seal_frame(WIRE_MAGIC, WIRE_VERSION, w.as_bytes())
+}
+
+/// [`encode_response`] with an optional trace ID, mirroring
+/// [`encode_request_ref_traced`]: `None` is the version-1 frame unchanged,
+/// `Some` re-seals as a version-2 traced frame.
+pub fn encode_response_traced(response: &Response, trace: Option<u64>) -> Vec<u8> {
+    let frame = encode_response(response);
+    match trace {
+        None => frame,
+        Some(id) => reseal_traced(&frame, id),
+    }
+}
+
+/// Re-seals a version-1 frame produced in this module as a version-2
+/// traced frame: the same tagged payload, prefixed with an extension block
+/// carrying `trace_id`.
+fn reseal_traced(frame: &[u8], trace_id: u64) -> Vec<u8> {
+    // The frame was just sealed by `seal_frame`, so the payload sits
+    // between the fixed header and the 4-byte CRC trailer.
+    let payload = frame
+        .get(FRAME_HEADER_LEN..frame.len().saturating_sub(4))
+        .unwrap_or(&[]);
+    let mut traced = Vec::with_capacity(payload.len() + 11);
+    traced.push(1); // extension count
+    traced.push(EXT_TRACE_ID);
+    traced.push(8); // extension value length
+    traced.extend_from_slice(&trace_id.to_le_bytes());
+    traced.extend_from_slice(payload);
+    seal_frame(WIRE_MAGIC, WIRE_VERSION_TRACED, &traced)
+}
+
+/// Splits a version-2 payload into its trace ID (if the block carries one)
+/// and the tagged message that follows. Unknown extension types — and
+/// known types with unexpected lengths — are skipped, so the block can
+/// grow without another version bump.
+fn strip_extensions(payload: &[u8]) -> Result<(Option<u64>, &[u8]), SerdeError> {
+    fn take_byte(payload: &[u8], pos: &mut usize) -> Result<u8, SerdeError> {
+        let byte = payload.get(*pos).copied().ok_or(SerdeError::Truncated {
+            what: "frame extension block",
+        })?;
+        *pos += 1;
+        Ok(byte)
+    }
+    let mut pos = 0usize;
+    let count = take_byte(payload, &mut pos)?;
+    let mut trace = None;
+    for _ in 0..count {
+        let ext_type = take_byte(payload, &mut pos)?;
+        let len = take_byte(payload, &mut pos)? as usize;
+        let end = pos.checked_add(len).ok_or(SerdeError::Truncated {
+            what: "frame extension value",
+        })?;
+        let value = payload.get(pos..end).ok_or(SerdeError::Truncated {
+            what: "frame extension value",
+        })?;
+        pos = end;
+        if ext_type == EXT_TRACE_ID && len == 8 {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(value);
+            let id = u64::from_le_bytes(bytes);
+            if id != 0 {
+                trace = Some(id);
+            }
+        }
+    }
+    let rest = payload.get(pos..).ok_or(SerdeError::Truncated {
+        what: "frame extension block",
+    })?;
+    Ok((trace, rest))
 }
 
 /// Decodes a response from a validated frame payload.
@@ -1401,6 +1594,14 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, SerdeError> {
             version: r.take_u64("sync.version")?,
             container: r.take_u8_vec("sync.container")?,
         },
+        TAG_TRACE_DUMP => {
+            let len = r.take_usize("trace.len")?;
+            let mut exemplars = Vec::new();
+            for _ in 0..len {
+                exemplars.push(take_trace_exemplar(&mut r)?);
+            }
+            Response::TraceDump(exemplars)
+        }
         TAG_SHUTTING_DOWN => Response::ShuttingDown,
         TAG_ERROR => Response::Error {
             code: ErrorCode::from_u8(r.take_u8("error.code")?)?,
@@ -1421,18 +1622,29 @@ pub fn decode_response(payload: &[u8]) -> Result<Response, SerdeError> {
 }
 
 /// Validates a complete frame (as produced by [`encode_request`] /
-/// [`encode_response`]) and returns its payload. This is the non-streaming
-/// entry point used by tests and benchmarks; sockets go through
-/// [`read_frame`].
+/// [`encode_response`]) and returns its payload, discarding any trace ID.
+/// This is the non-streaming entry point used by tests and benchmarks;
+/// sockets go through [`read_frame`].
 pub fn open_wire_frame(frame: &[u8]) -> Result<&[u8], WireError> {
-    let declared = parse_frame_header(WIRE_MAGIC, WIRE_VERSION, frame)?;
+    open_wire_frame_traced(frame).map(|(_, payload)| payload)
+}
+
+/// [`open_wire_frame`] keeping the trace ID a version-2 frame carries
+/// (`None` for version-1 frames and traced frames without a trace ID).
+pub fn open_wire_frame_traced(frame: &[u8]) -> Result<(Option<u64>, &[u8]), WireError> {
+    let (_, declared) = parse_frame_header_versions(WIRE_MAGIC, &WIRE_SUPPORTED_VERSIONS, frame)?;
     if declared > MAX_FRAME_PAYLOAD {
         return Err(WireError::Oversized {
             declared,
             max: MAX_FRAME_PAYLOAD,
         });
     }
-    Ok(open_frame(WIRE_MAGIC, WIRE_VERSION, frame)?)
+    let (version, payload) = open_frame_versions(WIRE_MAGIC, &WIRE_SUPPORTED_VERSIONS, frame)?;
+    if version == WIRE_VERSION_TRACED {
+        Ok(strip_extensions(payload)?)
+    } else {
+        Ok((None, payload))
+    }
 }
 
 /// Writes a sealed frame to a stream.
@@ -1493,6 +1705,17 @@ pub fn read_frame_with_limits(
     max_stalls: u32,
     frame_deadline: Option<std::time::Duration>,
 ) -> Result<Vec<u8>, WireError> {
+    read_frame_traced(stream, max_stalls, frame_deadline).map(|(_, payload)| payload)
+}
+
+/// [`read_frame_with_limits`] keeping the trace ID a version-2 frame
+/// carries (`None` for version-1 frames). This is the server's read path:
+/// the gateway threads the trace ID into the request's span breakdown.
+pub fn read_frame_traced(
+    stream: &mut impl Read,
+    max_stalls: u32,
+    frame_deadline: Option<std::time::Duration>,
+) -> Result<(Option<u64>, Vec<u8>), WireError> {
     let max_stalls = max_stalls.max(1);
     let mut stalls = 0u32;
     let mut deadline: Option<std::time::Instant> = None;
@@ -1549,7 +1772,7 @@ pub fn read_frame_with_limits(
             }
         }
     }
-    let declared = parse_frame_header(WIRE_MAGIC, WIRE_VERSION, &header)?;
+    let (_, declared) = parse_frame_header_versions(WIRE_MAGIC, &WIRE_SUPPORTED_VERSIONS, &header)?;
     if declared > MAX_FRAME_PAYLOAD {
         return Err(WireError::Oversized {
             declared,
@@ -1596,7 +1819,13 @@ pub fn read_frame_with_limits(
             }
         }
     }
-    Ok(open_frame(WIRE_MAGIC, WIRE_VERSION, &frame)?.to_vec())
+    let (version, payload) = open_frame_versions(WIRE_MAGIC, &WIRE_SUPPORTED_VERSIONS, &frame)?;
+    if version == WIRE_VERSION_TRACED {
+        let (trace, rest) = strip_extensions(payload)?;
+        Ok((trace, rest.to_vec()))
+    } else {
+        Ok((None, payload.to_vec()))
+    }
 }
 
 /// Maps a routing/service error to the typed error frame the server sends
@@ -1730,14 +1959,15 @@ mod tests {
             open_wire_frame(&bad),
             Err(WireError::Decode(SerdeError::BadMagic))
         ));
-        // Future protocol version.
+        // Future protocol version (one past the traced version, which is
+        // the highest this build decodes).
         let mut bad = frame.clone();
-        bad[4..6].copy_from_slice(&2u16.to_le_bytes());
+        bad[4..6].copy_from_slice(&3u16.to_le_bytes());
         assert!(matches!(
             open_wire_frame(&bad),
             Err(WireError::Decode(SerdeError::UnsupportedVersion {
-                found: 2,
-                supported: WIRE_VERSION,
+                found: 3,
+                supported: WIRE_VERSION_TRACED,
             }))
         ));
         // Oversized declared payload is rejected before allocation.
@@ -1838,6 +2068,117 @@ mod tests {
             read_frame_with_stall_budget(&mut idle, 5),
             Err(WireError::IdleTimeout)
         ));
+    }
+
+    #[test]
+    fn traced_frames_round_trip_and_untraced_frames_are_bit_identical() {
+        let request = sample_request();
+        // No trace: the traced encoder is byte-for-byte the v1 encoder.
+        assert_eq!(
+            encode_request_ref_traced(request.as_request_ref(), None),
+            encode_request_ref(request.as_request_ref()),
+        );
+        let response = Response::Pong;
+        assert_eq!(
+            encode_response_traced(&response, None),
+            encode_response(&response),
+        );
+        // With a trace: a v2 frame whose payload decodes identically and
+        // whose trace ID survives both open paths.
+        let traced = encode_request_ref_traced(request.as_request_ref(), Some(0xDEAD_BEEF));
+        let (trace, payload) = open_wire_frame_traced(&traced).unwrap();
+        assert_eq!(trace, Some(0xDEAD_BEEF));
+        assert!(matches!(
+            decode_request(payload).unwrap(),
+            Request::Suggest { .. }
+        ));
+        // The trace-discarding entry point still opens the same frame.
+        assert_eq!(open_wire_frame(&traced).unwrap(), payload);
+        let mut stream = std::io::Cursor::new(traced.clone());
+        let (trace, streamed) = read_frame_traced(&mut stream, 1, None).unwrap();
+        assert_eq!(trace, Some(0xDEAD_BEEF));
+        assert_eq!(streamed, payload);
+        // Traced responses too.
+        let exemplars = vec![TraceExemplar {
+            trace_id: 7,
+            model: "chronic".into(),
+            op: "suggest".into(),
+            total_micros: 1_234,
+            stage_micros: [10, 2, 0, 1_200, 22],
+        }];
+        let frame = encode_response_traced(&Response::TraceDump(exemplars.clone()), Some(7));
+        let (trace, payload) = open_wire_frame_traced(&frame).unwrap();
+        assert_eq!(trace, Some(7));
+        assert_eq!(
+            decode_response(payload).unwrap(),
+            Response::TraceDump(exemplars)
+        );
+    }
+
+    #[test]
+    fn unknown_extensions_are_skipped_and_torn_blocks_are_typed_errors() {
+        let payload_v1 = {
+            let frame = encode_request(&Request::ListModels);
+            open_wire_frame(&frame).unwrap().to_vec()
+        };
+        // Three extensions: an unknown type, a trace ID, and an unknown
+        // type with a weird length. Only the trace ID is interpreted.
+        let mut ext = vec![3u8];
+        ext.extend_from_slice(&[0xEE, 2, 0xAA, 0xBB]); // unknown type 0xEE
+        ext.push(EXT_TRACE_ID);
+        ext.push(8);
+        ext.extend_from_slice(&99u64.to_le_bytes());
+        ext.extend_from_slice(&[0x7F, 1, 0x00]); // unknown type 0x7F
+        ext.extend_from_slice(&payload_v1);
+        let frame = seal_frame(WIRE_MAGIC, WIRE_VERSION_TRACED, &ext);
+        let (trace, payload) = open_wire_frame_traced(&frame).unwrap();
+        assert_eq!(trace, Some(99));
+        assert_eq!(decode_request(payload).unwrap(), Request::ListModels);
+        // A v2 frame whose extension block runs past the payload is a
+        // typed truncation, never a panic.
+        let torn = seal_frame(WIRE_MAGIC, WIRE_VERSION_TRACED, &[5u8, EXT_TRACE_ID, 200]);
+        assert!(matches!(
+            open_wire_frame_traced(&torn),
+            Err(WireError::Decode(SerdeError::Truncated { .. }))
+        ));
+        // A trace extension with the wrong length is skipped, not trusted.
+        let mut short = vec![1u8, EXT_TRACE_ID, 4, 1, 2, 3, 4];
+        short.extend_from_slice(&payload_v1);
+        let frame = seal_frame(WIRE_MAGIC, WIRE_VERSION_TRACED, &short);
+        let (trace, payload) = open_wire_frame_traced(&frame).unwrap();
+        assert_eq!(trace, None);
+        assert_eq!(decode_request(payload).unwrap(), Request::ListModels);
+    }
+
+    #[test]
+    fn trace_dump_messages_round_trip() {
+        let request = Request::TraceDump { limit: 16 };
+        let frame = encode_request(&request);
+        assert_eq!(
+            decode_request(open_wire_frame(&frame).unwrap()).unwrap(),
+            request
+        );
+        let response = Response::TraceDump(vec![
+            TraceExemplar {
+                trace_id: 1,
+                model: "chronic".into(),
+                op: "suggest".into(),
+                total_micros: 900,
+                stage_micros: [1, 2, 3, 890, 4],
+            },
+            TraceExemplar {
+                trace_id: 2,
+                model: String::new(),
+                op: "stats".into(),
+                total_micros: 10,
+                stage_micros: [10, 0, 0, 0, 0],
+            },
+        ]);
+        let frame = encode_response(&response);
+        assert_eq!(
+            decode_response(open_wire_frame(&frame).unwrap()).unwrap(),
+            response
+        );
     }
 
     #[test]

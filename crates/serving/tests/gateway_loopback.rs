@@ -230,6 +230,15 @@ fn every_message_type_is_byte_identical_to_in_process_serving() {
     assert!(codes.contains(&ErrorCode::InvalidInput));
     assert!(fitted_stats.cache_hits + fitted_stats.cache_misses > 0);
     assert!(fitted_stats.p50_ms >= 0.0 && fitted_stats.p99_ms >= fitted_stats.p50_ms);
+    // Every served request left a latency sample behind, and the sample
+    // count travelled over the wire explicitly (it is no longer inferred
+    // from `requests` client-side).
+    assert!(
+        fitted_stats.samples > 0,
+        "latency window is empty after {} requests",
+        fitted_stats.requests
+    );
+    assert!(fitted_stats.samples <= fitted_stats.requests);
     let rate = fitted_stats.cache_hit_rate();
     assert!((0.0..=1.0).contains(&rate));
     // Admission-control fields: no limits are configured on this gateway,
@@ -272,6 +281,67 @@ fn second_connection_sees_stats_of_the_first() {
     handle.join().expect("no panic").expect("clean exit");
 }
 
+#[test]
+fn trace_dump_exemplars_account_for_the_full_request_latency() {
+    // A traced client exercises the data plane; the gateway keeps the
+    // slowest exemplars with a per-stage breakdown whose sum must match
+    // the recorded end-to-end latency (the ISSUE bar: within 10% — the
+    // stage accounting is constructed to make it exact up to µs rounding).
+    let (catalog, _, world) = file_backed_world();
+    let (addr, handle) = spawn_server(catalog);
+    let mut client = Client::connect(addr).expect("connect");
+    client.set_tracing(true);
+    let fitted_key = ModelKey::new("chronic").expect("key");
+    let requests = demo_requests(&world, 6, 3);
+    for request in &requests {
+        client.suggest(&fitted_key, request).expect("suggest");
+    }
+    client
+        .check_prescription(
+            &fitted_key,
+            &CheckPrescriptionRequest::new(vec![DrugId::new(61), DrugId::new(59)]),
+        )
+        .expect("check");
+
+    let dump = client.trace_dump(32).expect("trace dump");
+    assert!(
+        dump.len() >= requests.len(),
+        "expected >= {} exemplars, got {}",
+        requests.len(),
+        dump.len()
+    );
+    // Slowest first, and every exemplar is internally consistent.
+    let mut previous = u64::MAX;
+    for exemplar in &dump {
+        assert!(exemplar.trace_id != 0, "trace IDs are non-zero");
+        assert!(
+            exemplar.total_micros <= previous,
+            "exemplars must be sorted slowest-first"
+        );
+        previous = exemplar.total_micros;
+        assert!(
+            ["suggest", "suggest_batch", "check_prescription"].contains(&exemplar.op.as_str()),
+            "only data-plane ops are traced, got {:?}",
+            exemplar.op
+        );
+        let stage_sum: u64 = exemplar.stage_micros.iter().sum();
+        let tolerance = exemplar.total_micros / 10;
+        assert!(
+            stage_sum.abs_diff(exemplar.total_micros) <= tolerance,
+            "stage sum {} vs total {} drifts more than 10%",
+            stage_sum,
+            exemplar.total_micros
+        );
+    }
+    // The dump honours its limit.
+    let top = client.trace_dump(2).expect("bounded trace dump");
+    assert_eq!(top.len(), 2);
+    assert_eq!(top[0].trace_id, dump[0].trace_id);
+
+    client.shutdown().expect("shutdown");
+    handle.join().expect("no panic").expect("clean exit");
+}
+
 /// Sends raw bytes on a fresh connection and returns the decoded response
 /// frame (if the server answers before closing).
 fn send_raw(addr: SocketAddr, bytes: &[u8]) -> Option<Response> {
@@ -303,8 +373,9 @@ fn hostile_frames_get_typed_errors_and_the_server_stays_up() {
         other => panic!("expected Malformed error frame, got {other:?}"),
     }
 
-    // 2. Version-mismatched frame: typed Malformed error.
-    let future = seal_frame(WIRE_MAGIC, WIRE_VERSION + 1, &[4u8]);
+    // 2. Version-mismatched frame: typed Malformed error. (`+ 1` is the
+    //    live traced version, so the first unknown version is `+ 2`.)
+    let future = seal_frame(WIRE_MAGIC, WIRE_VERSION + 2, &[4u8]);
     match send_raw(addr, &future) {
         Some(Response::Error { code, message }) => {
             assert_eq!(code, ErrorCode::Malformed);

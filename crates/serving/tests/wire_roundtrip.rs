@@ -15,7 +15,8 @@ use dssddi_core::{
 use dssddi_graph::{Community, Interaction};
 use dssddi_kb::{AlertPolicy, KbInfo, Severity};
 use dssddi_serving::wire::{
-    decode_request, decode_response, encode_request, encode_response, open_wire_frame, WireError,
+    decode_request, decode_response, encode_request, encode_request_ref_traced, encode_response,
+    encode_response_traced, open_wire_frame, open_wire_frame_traced, WireError,
 };
 use dssddi_serving::{ErrorCode, ModelKey, ModelStats, Request, Response};
 use proptest::prelude::*;
@@ -285,7 +286,7 @@ fn arb_model_stats() -> impl Strategy<Value = ModelStats> {
         any::<u64>(),
         arb_f64_bits(),
         arb_f64_bits(),
-        (any::<u64>(), any::<u64>(), any::<u64>()),
+        (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>()),
     )
         .prop_map(
             |(
@@ -296,7 +297,7 @@ fn arb_model_stats() -> impl Strategy<Value = ModelStats> {
                 cache_misses,
                 p50_ms,
                 p99_ms,
-                (shed_requests, in_flight, queue_depth_hwm),
+                (shed_requests, in_flight, queue_depth_hwm, samples),
             )| {
                 ModelStats {
                     requests,
@@ -309,6 +310,7 @@ fn arb_model_stats() -> impl Strategy<Value = ModelStats> {
                     shed_requests,
                     in_flight,
                     queue_depth_hwm,
+                    samples,
                 }
             },
         )
@@ -437,6 +439,51 @@ proptest! {
         let payload = open_wire_frame(&frame).expect("fresh frame validates");
         let back = decode_response(payload).expect("fresh payload decodes");
         prop_assert_eq!(response_bytes(&back), frame);
+    }
+
+    /// Any trace ID rides the version-2 extension block losslessly, and a
+    /// `None` trace produces the version-1 frame bit-identically — a traced
+    /// client with tracing off is indistinguishable from an old client.
+    #[test]
+    fn trace_ids_round_trip_through_the_frame_extension(
+        request in arb_request(),
+        response in arb_response(),
+        trace in any::<u64>(),
+    ) {
+        // Requests.
+        let traced = encode_request_ref_traced(request.as_request_ref(), Some(trace));
+        let (got, payload) = open_wire_frame_traced(&traced).expect("traced frame validates");
+        prop_assert_eq!(got, Some(trace));
+        let back = decode_request(payload).expect("traced payload decodes");
+        prop_assert_eq!(request_bytes(&back), request_bytes(&request));
+        let untraced = encode_request_ref_traced(request.as_request_ref(), None);
+        prop_assert_eq!(&untraced, &encode_request(&request));
+        let (got, _) = open_wire_frame_traced(&untraced).expect("v1 frame validates");
+        prop_assert_eq!(got, None);
+
+        // Responses, same contract.
+        let traced = encode_response_traced(&response, Some(trace));
+        let (got, payload) = open_wire_frame_traced(&traced).expect("traced frame validates");
+        prop_assert_eq!(got, Some(trace));
+        let back = decode_response(payload).expect("traced payload decodes");
+        prop_assert_eq!(response_bytes(&back), response_bytes(&response));
+        prop_assert_eq!(
+            encode_response_traced(&response, None),
+            encode_response(&response)
+        );
+    }
+
+    /// Truncating a traced frame anywhere yields a typed error, never a
+    /// panic — the extension block is length-checked like everything else.
+    #[test]
+    fn truncated_traced_frames_are_typed_errors(
+        response in arb_response(),
+        trace in any::<u64>(),
+        cut_at in any::<proptest::sample::Index>(),
+    ) {
+        let frame = encode_response_traced(&response, Some(trace));
+        let cut = cut_at.index(frame.len());
+        prop_assert!(open_wire_frame_traced(&frame[..cut]).is_err());
     }
 
     /// Truncating a frame anywhere yields a typed error, never a panic.

@@ -536,6 +536,96 @@ pub fn open_frame(magic: [u8; 4], version: u16, bytes: &[u8]) -> Result<&[u8], S
     Ok(payload)
 }
 
+/// Like [`parse_frame_header`] but accepting any of several `supported`
+/// versions — the entry point for protocols that negotiate per-frame
+/// (the serving wire protocol's traced frames). Returns the version the
+/// frame actually carries plus its declared payload length; a version not
+/// in `supported` reports the highest supported one in the error.
+pub fn parse_frame_header_versions(
+    magic: [u8; 4],
+    supported: &[u16],
+    bytes: &[u8],
+) -> Result<(u16, usize), SerdeError> {
+    if bytes.len() < 4 {
+        return Err(SerdeError::Truncated {
+            what: "container magic",
+        });
+    }
+    if bytes.get(..4) != Some(magic.as_slice()) {
+        return Err(SerdeError::BadMagic);
+    }
+    if bytes.len() < FRAME_HEADER_LEN {
+        return Err(SerdeError::Truncated {
+            what: "container header",
+        });
+    }
+    let mut version_bytes = [0u8; 2];
+    if let Some(src) = bytes.get(4..6) {
+        version_bytes.copy_from_slice(src);
+    }
+    let found = u16::from_le_bytes(version_bytes);
+    if !supported.contains(&found) {
+        return Err(SerdeError::UnsupportedVersion {
+            found,
+            supported: supported.iter().copied().max().unwrap_or(0),
+        });
+    }
+    let mut len_bytes = [0u8; 8];
+    if let Some(src) = bytes.get(6..FRAME_HEADER_LEN) {
+        len_bytes.copy_from_slice(src);
+    }
+    let declared = u64::from_le_bytes(len_bytes);
+    let declared = usize::try_from(declared).map_err(|_| SerdeError::Corrupt {
+        what: format!("declared payload length {declared} does not fit in usize"),
+    })?;
+    Ok((found, declared))
+}
+
+/// Like [`open_frame`] but accepting any of several `supported` versions;
+/// returns the version the frame carries alongside its payload slice.
+pub fn open_frame_versions<'a>(
+    magic: [u8; 4],
+    supported: &[u16],
+    bytes: &'a [u8],
+) -> Result<(u16, &'a [u8]), SerdeError> {
+    let (found, declared) = parse_frame_header_versions(magic, supported, bytes)?;
+    let body = bytes.get(FRAME_HEADER_LEN..).unwrap_or(&[]);
+    // The declared length is untrusted input: checked arithmetic, so a
+    // near-usize::MAX value cannot overflow `declared + 4`.
+    let declared_with_crc = declared.checked_add(4).ok_or_else(|| SerdeError::Corrupt {
+        what: format!("declared payload length {declared} overflows"),
+    })?;
+    if body.len() < declared_with_crc {
+        return Err(SerdeError::Truncated {
+            what: "container payload",
+        });
+    }
+    if body.len() > declared_with_crc {
+        return Err(SerdeError::Corrupt {
+            what: format!(
+                "container has {} trailing bytes after the checksum",
+                body.len() - declared_with_crc
+            ),
+        });
+    }
+    let payload = body.get(..declared).ok_or(SerdeError::Truncated {
+        what: "container payload",
+    })?;
+    let mut crc_bytes = [0u8; 4];
+    if let Some(src) = body.get(declared..declared_with_crc) {
+        crc_bytes.copy_from_slice(src);
+    }
+    let stored = u32::from_le_bytes(crc_bytes);
+    let computed = crc32(payload);
+    if stored != computed {
+        return Err(SerdeError::ChecksumMismatch {
+            expected: stored,
+            found: computed,
+        });
+    }
+    Ok((found, payload))
+}
+
 /// Wraps a payload in the `DSSD` container: magic, version, length, payload,
 /// CRC-32 trailer.
 pub fn seal_container(payload: &[u8]) -> Vec<u8> {
@@ -786,6 +876,43 @@ mod tests {
             parse_frame_header(*b"DSWP", 3, &framed[..FRAME_HEADER_LEN]).unwrap(),
             b"payload".len()
         );
+    }
+
+    #[test]
+    fn multi_version_frames_report_the_found_version() {
+        let v3 = seal_frame(*b"DSWP", 3, b"payload");
+        let v4 = seal_frame(*b"DSWP", 4, b"payload");
+        // Either supported version opens, reporting which one was found.
+        assert_eq!(
+            open_frame_versions(*b"DSWP", &[3, 4], &v3).unwrap(),
+            (3, b"payload".as_slice())
+        );
+        assert_eq!(
+            open_frame_versions(*b"DSWP", &[3, 4], &v4).unwrap(),
+            (4, b"payload".as_slice())
+        );
+        // A version outside the set reports the highest supported one.
+        assert!(matches!(
+            open_frame_versions(*b"DSWP", &[3, 4], &seal_frame(*b"DSWP", 5, b"payload")),
+            Err(SerdeError::UnsupportedVersion {
+                found: 5,
+                supported: 4
+            })
+        ));
+        // The streaming header parse agrees with the whole-frame open.
+        assert_eq!(
+            parse_frame_header_versions(*b"DSWP", &[3, 4], &v4[..FRAME_HEADER_LEN]).unwrap(),
+            (4, b"payload".len())
+        );
+        // Corruption is still caught after the version gate.
+        let mut torn = v3;
+        if let Some(byte) = torn.get_mut(FRAME_HEADER_LEN) {
+            *byte ^= 0xFF;
+        }
+        assert!(matches!(
+            open_frame_versions(*b"DSWP", &[3, 4], &torn),
+            Err(SerdeError::ChecksumMismatch { .. })
+        ));
     }
 
     #[test]

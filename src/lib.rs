@@ -33,6 +33,11 @@
 //!   binary): Poisson arrivals of mixed clinical traffic with Zipf
 //!   hot-shard skew, replayed against a live gateway with an
 //!   achieved-throughput-vs-SLO report,
+//! * [`obs`] — the unified observability layer: a process-wide metrics
+//!   registry rendered as Prometheus text over `GET /metrics`, the shared
+//!   log-bucketed latency histogram, and per-request tracing
+//!   ([`SpanRecorder`](obs::SpanRecorder)/[`TraceRing`](obs::TraceRing))
+//!   whose IDs ride the wire protocol's version-2 frame extension,
 //! * [`baselines`] — the comparison methods of the paper's evaluation.
 //!
 //! ## Quickstart
@@ -209,6 +214,46 @@
 //! admitted-frame percentiles from a log-bucketed histogram, and an
 //! SLO verdict; `--append` splices `loadgen_c{N}` entries into
 //! `BENCH_serving.json` under the existing schema.
+//!
+//! ## Observability
+//!
+//! Every serving-path subsystem publishes into one process-wide
+//! [`MetricsRegistry`](obs::MetricsRegistry) ([`obs::global()`](obs::global)),
+//! and `dssddi-serve --metrics-listen ADDR` exposes it as Prometheus
+//! text — no external crates, no agent:
+//!
+//! ```text
+//! dssddi-serve --listen 127.0.0.1:4641 --demo \
+//!     --metrics-listen 127.0.0.1:9641 &
+//! curl -s http://127.0.0.1:9641/metrics | grep dssddi_serving_requests_total
+//! ```
+//!
+//! Metric names follow `dssddi_<subsystem>_<name>[_total]`: the serving
+//! family (`dssddi_serving_requests_total`, `dssddi_serving_latency_micros`,
+//! per-stage `dssddi_serving_stage_micros{stage="decode"|"admit"|"queue"|
+//! "infer"|"encode"}`), admission control
+//! (`dssddi_admission_shed_total{reason=...}`,
+//! `dssddi_admission_queue_wait_micros`), clinical critique outcomes
+//! (`dssddi_kb_severity_total{grade=...}`), replication progress
+//! (`dssddi_replica_syncs_total`, `dssddi_replica_max_lag`), gateway
+//! transport counters and chaos-proxy fault injection
+//! (`dssddi_chaos_faults_total{kind=...}`).
+//!
+//! Per-request tracing rides the same wire protocol: a client that opts in
+//! with [`Client::set_tracing`](serving::Client::set_tracing) stamps every
+//! request with a `u64` trace ID carried in a version-2 frame extension
+//! (untraced clients still emit version-1 frames bit-identically, so old
+//! peers interoperate). The gateway times each request's
+//! decode → admit → queue → infer → encode stages into a
+//! [`SpanRecorder`](obs::SpanRecorder) and keeps the slowest exemplars in a
+//! bounded [`TraceRing`](obs::TraceRing), dumpable over the wire with
+//! [`Client::trace_dump`](serving::Client::trace_dump) — the `dssddi-top`
+//! example renders them as a live per-model/per-stage console view:
+//!
+//! ```text
+//! cargo run --release -p dssddi-replica --example dssddi-top -- \
+//!     127.0.0.1:4641 --iterations 5 --interval-ms 1000
+//! ```
 //!
 //! ## Resilience and fault injection
 //!
@@ -409,6 +454,7 @@ pub use dssddi_graph as graph;
 pub use dssddi_kb as kb;
 pub use dssddi_loadgen as loadgen;
 pub use dssddi_ml as ml;
+pub use dssddi_obs as obs;
 pub use dssddi_replica as replica;
 pub use dssddi_serving as serving;
 pub use dssddi_tensor as tensor;
@@ -437,6 +483,7 @@ pub mod prelude {
     };
     pub use dssddi_loadgen::{LoadgenConfig, LoadgenReport, WorkloadMix};
     pub use dssddi_ml::{ndcg_at_k, precision_at_k, ranking_metrics, recall_at_k, top_k_indices};
+    pub use dssddi_obs::{Histogram, MetricsRegistry, MetricsServer, TraceExemplar};
     pub use dssddi_replica::{ReplicaAgent, ReplicaClient, ReplicaGroup};
     pub use dssddi_serving::{
         AdmissionConfig, Client, GatewayStats, KeyVersions, ModelCatalog, ModelInfo, ModelKey,
